@@ -1,0 +1,44 @@
+// Ablation: the demand-distance correlation imposed by the generators.
+//
+// DESIGN.md documents that the synthetic datasets couple demand to
+// distance (rank correlation -0.8) because real transit traffic is
+// demand-heavy on short paths and because the paper's demand-aware
+// heuristics presuppose such structure. This bench quantifies that
+// choice: profit capture per strategy as the coupling sweeps from
+// independent (0) to perfectly anti-correlated (-1).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace manytiers;
+  bench::header("Ablation — demand-distance correlation in the generators",
+                "Capture at 3 bundles (CED, EU ISP) vs the imposed rank "
+                "correlation rho.");
+
+  util::TextTable table({"rho", "Optimal", "Profit-weighted", "Cost-weighted",
+                         "Demand-weighted", "Headroom (max/blended)"});
+  for (const double rho : {0.0, -0.25, -0.5, -0.8, -1.0}) {
+    workload::GeneratorOptions opts{.seed = 42, .n_flows = 400};
+    opts.demand_distance_correlation = rho;
+    const auto flows = workload::generate_eu_isp(opts);
+    const auto cost = cost::make_linear_cost(0.2);
+    const auto m = bench::market(
+        flows, demand::DemandKind::ConstantElasticity, *cost);
+    const auto capture = [&](pricing::Strategy s) {
+      return pricing::run_strategy(m, s, 3).capture;
+    };
+    table.add_row(util::format_double(rho, 2),
+                  {capture(pricing::Strategy::Optimal),
+                   capture(pricing::Strategy::ProfitWeighted),
+                   capture(pricing::Strategy::CostWeighted),
+                   capture(pricing::Strategy::DemandWeighted),
+                   pricing::max_profit(m) / pricing::blended_profit(m)},
+                  3);
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: cost-aware strategies (optimal, profit-, "
+               "cost-weighted) are robust to the coupling, while the\n"
+               "purely demand-weighted heuristic only works when demand "
+               "actually encodes cost — the structural reason the paper's\n"
+               "profit-weighted strategy must consider both.\n";
+  return 0;
+}

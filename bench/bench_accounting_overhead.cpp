@@ -1,0 +1,82 @@
+// Quantifies the §5.2 trade-off between the two tier-accounting
+// implementations: link-based accounting needs one BGP session and
+// virtual link per tier (overhead grows with tiers, byte counts exact),
+// while flow-based accounting keeps one session and joins sampled NetFlow
+// with the RIB after the fact (constant overhead, sampling error).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "accounting/billing.hpp"
+#include "accounting/flow_acct.hpp"
+#include "accounting/link_acct.hpp"
+#include "netflow/exporter.hpp"
+
+int main() {
+  using namespace manytiers;
+  bench::header("Accounting — link-based vs flow-based tier accounting",
+                "Provisioning overhead and billing accuracy as the number "
+                "of tiers grows (1-in-100 sampling).");
+
+  const auto flows = bench::dataset(workload::DatasetKind::EuIsp);
+  const auto cost_model = cost::make_linear_cost(0.2);
+  const auto m = bench::market(flows, demand::DemandKind::ConstantElasticity,
+                               *cost_model);
+  const std::uint32_t window = 3600;
+  const std::uint32_t sampling = 100;
+
+  util::TextTable table({"Tiers", "Link sessions", "Flow sessions",
+                         "Link bill ($)", "Flow bill ($)", "Bill error (%)"});
+  for (std::size_t tiers = 1; tiers <= 8; ++tiers) {
+    const auto res =
+        pricing::run_strategy(m, pricing::Strategy::ProfitWeighted, tiers);
+    // Announce one host route per destination, tagged with its tier.
+    accounting::Rib rib;
+    accounting::RatePlan plan;
+    for (std::size_t b = 0; b < res.pricing.bundles.size(); ++b) {
+      plan.rates.push_back(
+          {std::uint16_t(b), res.pricing.bundle_prices[b]});
+      for (const std::size_t i : res.pricing.bundles[b]) {
+        accounting::Route route;
+        route.prefix = geo::Prefix{m.flows()[i].dst_ip, 32};
+        route.tag = accounting::TierTag{65000, std::uint16_t(b)};
+        rib.add(route);
+      }
+    }
+    accounting::LinkAccounting link(rib);
+    accounting::FlowAccounting flow(rib, sampling);
+    netflow::SampledExporter exporter(
+        {.sampling_rate = sampling, .window_seconds = window},
+        util::Rng(7 + tiers));
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      const auto bytes = std::uint64_t(m.flows()[i].demand_mbps * 1e6 / 8.0 *
+                                       double(window));
+      link.send(m.flows()[i].dst_ip, bytes);
+      netflow::GroundTruthFlow gt;
+      gt.key.src_ip = m.flows()[i].src_ip;
+      gt.key.dst_ip = m.flows()[i].dst_ip;
+      gt.key.src_port = std::uint16_t(40000 + i);
+      gt.bytes = bytes;
+      gt.packets = std::max<std::uint64_t>(1, bytes / 1400);
+      const std::vector<netflow::RouterId> path{1};
+      flow.ingest(exporter.export_flow(gt, path));
+    }
+    const double link_bill =
+        accounting::tiered_invoice(link.poll(), window, plan).total;
+    const double flow_bill =
+        accounting::tiered_invoice(flow.usage(), window, plan).total;
+    table.add_row({std::to_string(res.pricing.bundles.size()),
+                   std::to_string(link.session_count()),
+                   std::to_string(accounting::FlowAccounting::session_count()),
+                   util::format_double(link_bill, 0),
+                   util::format_double(flow_bill, 0),
+                   util::format_double(
+                       100.0 * std::abs(flow_bill - link_bill) / link_bill,
+                       2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: link-based sessions grow linearly with "
+               "tiers while flow-based stays at one; the sampled flow\n"
+               "bill tracks the exact link bill to within a few percent.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Shared setup for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table or figure from the paper using the
+// paper's default parameters (§4.2.2): price sensitivity alpha = 1.1,
+// blended rate P0 = $20, linear cost with base fraction theta = 0.2, and
+// logit no-purchase share s0 = 0.2. Datasets are the seeded synthetic
+// reproductions of Table 1.
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "pricing/counterfactual.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+#include "workload/table1.hpp"
+
+namespace manytiers::bench {
+
+struct Defaults {
+  double alpha = 1.1;
+  double blended_price = 20.0;
+  double theta = 0.2;
+  double s0 = 0.2;
+  std::uint64_t seed = 42;
+  std::size_t n_flows = 400;
+  std::size_t max_bundles = 6;
+};
+
+inline workload::FlowSet dataset(workload::DatasetKind kind,
+                                 const Defaults& d = {}) {
+  return workload::generate_dataset(kind,
+                                    {.seed = d.seed, .n_flows = d.n_flows});
+}
+
+inline pricing::Market market(const workload::FlowSet& flows,
+                              demand::DemandKind demand_kind,
+                              const cost::CostModel& cost_model,
+                              const Defaults& d = {}) {
+  pricing::DemandSpec spec;
+  spec.kind = demand_kind;
+  spec.alpha = d.alpha;
+  spec.no_purchase_share = d.s0;
+  return pricing::Market::calibrate(flows, spec, cost_model, d.blended_price);
+}
+
+inline pricing::Market linear_market(workload::DatasetKind kind,
+                                     demand::DemandKind demand_kind,
+                                     const Defaults& d = {}) {
+  const auto flows = dataset(kind, d);
+  const auto cost = cost::make_linear_cost(d.theta);
+  return market(flows, demand_kind, *cost, d);
+}
+
+// Capture-vs-bundles table: one row per strategy (Figs. 8 and 9).
+inline util::TextTable capture_table(
+    const pricing::Market& m, const std::vector<pricing::Strategy>& strategies,
+    std::size_t max_bundles) {
+  std::vector<std::string> headers{"Strategy"};
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    headers.push_back("B=" + std::to_string(b));
+  }
+  util::TextTable table(std::move(headers));
+  for (const auto s : strategies) {
+    table.add_row(std::string(to_string(s)),
+                  pricing::capture_series(m, s, max_bundles), 3);
+  }
+  return table;
+}
+
+// Theta-sweep table (Figs. 10-13): one row per theta, columns are bundle
+// counts. As in the paper, profits are normalized to the highest profit
+// headroom observed across the whole figure, so plateaus show how much
+// attainable profit each theta setting leaves on the table.
+template <typename CostFactory>
+util::TextTable theta_sweep_table(const workload::FlowSet& flows,
+                                  demand::DemandKind kind,
+                                  const CostFactory& make_cost,
+                                  const std::vector<double>& thetas,
+                                  pricing::Strategy strategy,
+                                  const Defaults& d = {}) {
+  struct Row {
+    double theta;
+    double original;
+    std::vector<double> profits;
+  };
+  std::vector<Row> rows;
+  double best_headroom = 0.0;
+  for (const double theta : thetas) {
+    const auto cost = make_cost(theta);
+    const auto m = market(flows, kind, *cost, d);
+    Row row;
+    row.theta = theta;
+    row.original = pricing::blended_profit(m);
+    for (std::size_t b = 1; b <= d.max_bundles; ++b) {
+      // The class-aware strategy needs one bundle per class; fall back to
+      // plain profit-weighted below that (same convention as
+      // capture_series).
+      const auto effective =
+          (strategy == pricing::Strategy::ClassAwareProfitWeighted &&
+           b < m.cost_class_count())
+              ? pricing::Strategy::ProfitWeighted
+              : strategy;
+      row.profits.push_back(
+          pricing::run_strategy(m, effective, b).pricing.profit);
+    }
+    best_headroom =
+        std::max(best_headroom, pricing::max_profit(m) - row.original);
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::string> headers{"theta"};
+  for (std::size_t b = 1; b <= d.max_bundles; ++b) {
+    headers.push_back("B=" + std::to_string(b));
+  }
+  util::TextTable table(std::move(headers));
+  for (const auto& row : rows) {
+    std::vector<double> cells;
+    for (const double profit : row.profits) {
+      cells.push_back((profit - row.original) / best_headroom);
+    }
+    table.add_row(util::format_double(row.theta, 2), cells, 3);
+  }
+  return table;
+}
+
+inline const char* demand_name(demand::DemandKind kind) {
+  return kind == demand::DemandKind::ConstantElasticity
+             ? "Constant Elasticity Demand"
+             : "Logit Demand";
+}
+
+inline void header(const char* figure, const char* summary) {
+  std::cout << "==================================================\n"
+            << figure << "\n"
+            << summary << "\n"
+            << "==================================================\n\n";
+}
+
+}  // namespace manytiers::bench

@@ -1,0 +1,29 @@
+// Reproduces paper Figure 12: the EU ISP under the regional cost model
+// (metro gamma, national gamma*2^theta, international gamma*3^theta) for
+// theta in {1.0, 1.1, 1.2}.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace manytiers;
+  bench::header("Figure 12 — Regional cost model, EU ISP",
+                "Profit capture vs bundles for theta in {1.0, 1.1, 1.2}, "
+                "profit-weighted bundling.");
+
+  const auto flows = bench::dataset(workload::DatasetKind::EuIsp);
+  const std::vector<double> thetas{1.0, 1.1, 1.2};
+  for (const auto kind : {demand::DemandKind::ConstantElasticity,
+                          demand::DemandKind::Logit}) {
+    std::cout << bench::demand_name(kind) << ":\n";
+    bench::theta_sweep_table(
+        flows, kind, [](double t) { return cost::make_regional_cost(t); },
+        thetas, pricing::Strategy::ProfitWeighted)
+        .print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Shape check: higher theta widens the regional cost gaps "
+               "(higher CV of cost) and raises the attainable profit;\n"
+               "with only three intrinsic cost classes the curves flatten "
+               "by ~3 bundles, and suboptimal extra bundles can dip\n"
+               "slightly when a bundle straddles two classes.\n";
+  return 0;
+}

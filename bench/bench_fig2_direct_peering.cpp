@@ -1,0 +1,54 @@
+// Reproduces the paper's Figure 2 / §2.2.2 analysis: when does a customer
+// bypass its transit ISP with a direct link to a nearby IXP, and when is
+// that bypass a market failure that tiered pricing would have prevented?
+#include "bench_common.hpp"
+
+#include "accounting/billing.hpp"
+#include "geo/cities.hpp"
+
+int main() {
+  using namespace manytiers;
+  bench::header(
+      "Figure 2 — Direct peering incentive under blended-rate pricing",
+      "CDN at the NYC PoP deciding whether to build a link to the Boston "
+      "IXP.");
+
+  const double nyc_boston =
+      geo::city_distance_miles(*geo::find_city("New York"),
+                               *geo::find_city("Boston"));
+  std::cout << "NYC -> Boston great-circle distance: "
+            << util::format_double(nyc_boston, 1) << " miles\n\n";
+
+  accounting::PeeringEconomics econ;
+  econ.blended_rate = 10.0;        // R, $/Mbps/month for the full mix
+  econ.isp_unit_cost = 2.0;        // c_ISP for the short NYC-Boston flow
+  econ.isp_margin = 0.3;           // M
+  econ.accounting_overhead = 0.4;  // A, cost of maintaining the tier
+  const double floor = accounting::tiered_price_floor(econ);
+
+  std::cout << "Blended rate R = $" << econ.blended_rate
+            << ", ISP unit cost c_ISP = $" << econ.isp_unit_cost
+            << ", margin M = " << econ.isp_margin << ", overhead A = $"
+            << econ.accounting_overhead << "\n";
+  std::cout << "Tiered price floor (M+1)*c_ISP + A = $"
+            << util::format_double(floor, 2) << "\n\n";
+
+  util::TextTable table({"c_direct ($/Mbps)", "Peels off (blended)?",
+                         "Market failure?", "Outcome under tiered pricing"});
+  for (const double c_direct : {1.0, 2.0, 2.5, 3.0, 5.0, 8.0, 9.9, 12.0}) {
+    const bool peels = accounting::customer_peels_off(c_direct, econ);
+    const bool failure = accounting::market_failure(c_direct, econ);
+    const char* tiered_outcome =
+        !peels ? "stays (was staying anyway)"
+        : c_direct < floor ? "still peers directly (efficient bypass)"
+                           : "stays with ISP at the tier price";
+    table.add_row({util::format_double(c_direct, 2), peels ? "yes" : "no",
+                   failure ? "YES" : "no", tiered_outcome});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: the failure window is exactly (floor, R) — "
+               "bypass happens under the blended rate even though the ISP\n"
+               "could profitably serve the flow cheaper than the customer's "
+               "own link.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces paper Figure 6: fitting a concave price-vs-distance curve
+// y = a log_b(x) + c to leased-line price lists.
+//
+// The ITU and NTT price sheets are not redistributable, so we regenerate
+// synthetic price points from the paper's two published fits
+// (ITU: y = 0.43 log_9.43 x + 0.99; NTT: y = 0.03 log_1.12 x + 1.01)
+// plus measurement noise, then re-fit. Note (a, b) are not separately
+// identifiable — only k = a/ln(b) and c are — so we report the curves in
+// the paper's own bases and the pooled fit in base 6 (paper: a ~ 0.5,
+// b ~ 6, c ~ 1).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "util/fitting.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct PriceSheet {
+  const char* name;
+  double a, b, c;  // the paper's published fit
+  std::vector<double> x, y;
+};
+
+void synthesize(PriceSheet& sheet, manytiers::util::Rng& rng, int points) {
+  const double k = sheet.a / std::log(sheet.b);
+  for (int i = 0; i < points; ++i) {
+    // Leased-line tariffs quote a handful of distance bands spread over
+    // two decades of normalized distance.
+    const double x = std::pow(10.0, rng.uniform(-2.0, 0.0));
+    const double y = k * std::log(x) + sheet.c + rng.normal(0.0, 0.02);
+    sheet.x.push_back(x);
+    sheet.y.push_back(y);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace manytiers;
+  bench::header("Figure 6 — Concave distance-to-cost fit (ITU/NTT prices)",
+                "Re-fitting y = a log_b(x) + c to regenerated price points.");
+
+  util::Rng rng(42);
+  PriceSheet itu{"ITU", 0.43, 9.43, 0.99, {}, {}};
+  PriceSheet ntt{"NTT", 0.03, 1.12, 1.01, {}, {}};
+  synthesize(itu, rng, 40);
+  synthesize(ntt, rng, 40);
+
+  util::TextTable table({"Data set", "a (fit)", "b (basis)", "c (fit)",
+                         "a (paper)", "c (paper)", "R^2"});
+  std::vector<double> pooled_x, pooled_y;
+  for (auto* sheet : {&itu, &ntt}) {
+    const auto fit = util::fit_concave_log(sheet->x, sheet->y, sheet->b);
+    table.add_row({std::string(sheet->name), util::format_double(fit.a, 3),
+                   util::format_double(fit.b, 2), util::format_double(fit.c, 3),
+                   util::format_double(sheet->a, 3),
+                   util::format_double(sheet->c, 3),
+                   util::format_double(fit.r2, 4)});
+    pooled_x.insert(pooled_x.end(), sheet->x.begin(), sheet->x.end());
+    pooled_y.insert(pooled_y.end(), sheet->y.begin(), sheet->y.end());
+  }
+  const auto pooled = util::fit_concave_log(pooled_x, pooled_y, 6.0);
+  table.add_row({"Pooled", util::format_double(pooled.a, 3), "6.0",
+                 util::format_double(pooled.c, 3), "~0.5", "~1.0",
+                 util::format_double(pooled.r2, 4)});
+  table.print(std::cout);
+
+  std::cout << "\nFitted curve samples (pooled, base 6):\n";
+  util::TextTable samples({"Normalized distance", "Normalized price"});
+  for (const double x : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    samples.add_row({x, pooled.evaluate(x)}, 3);
+  }
+  samples.print(std::cout);
+  std::cout << "\nShape check: per-sheet fits recover the generating (a, c) "
+               "in their own bases; the pooled fit lands near the paper's\n"
+               "(a ~ 0.5, b ~ 6, c ~ 1) parameterization used by the "
+               "concave cost model.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces paper Figure 8 (a-c): profit capture vs number of bundles
+// for the six bundling strategies under constant-elasticity demand, on
+// all three datasets. Parameters as in §4.2.2: alpha = 1.1, P0 = $20,
+// linear cost with theta = 0.2.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace manytiers;
+  bench::header("Figure 8 — Profit capture by bundling strategy (CED)",
+                "Fraction of the per-flow-pricing profit headroom captured "
+                "at 1..6 bundles.");
+
+  for (const auto kind :
+       {workload::DatasetKind::EuIsp, workload::DatasetKind::Internet2,
+        workload::DatasetKind::Cdn}) {
+    const auto m = bench::linear_market(
+        kind, demand::DemandKind::ConstantElasticity);
+    std::cout << "(" << to_string(kind) << ")\n";
+    bench::capture_table(m, pricing::figure8_strategies(), 6)
+        .print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Shape check: Optimal saturates by 3-4 bundles at ~0.9+; "
+               "Profit-weighted tracks it, Cost-weighted close behind;\n"
+               "naive Cost/Index division need many more bundles; every "
+               "strategy starts at 0 for one bundle (the calibrated\n"
+               "blended rate is already optimal for a single tier).\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces paper Table 1: the four dataset moments for the EU ISP, CDN
+// and Internet2 traces, measured on the synthetic reproductions and
+// printed against the paper's values.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace manytiers;
+  bench::header("Table 1 — Data sets used in the evaluation",
+                "Measured moments of the synthetic datasets vs the paper.");
+
+  std::vector<workload::DatasetStats> measured;
+  for (const auto kind :
+       {workload::DatasetKind::EuIsp, workload::DatasetKind::Cdn,
+        workload::DatasetKind::Internet2}) {
+    measured.push_back(workload::compute_stats(bench::dataset(kind)));
+  }
+  std::cout << "Measured (seed 42, 400 flows):\n";
+  workload::print_table1(std::cout, measured);
+
+  std::cout << "\nPaper Table 1 targets:\n";
+  util::TextTable paper({"Data set", "w-avg dist (mi)", "CV dist",
+                         "Aggregate (Gbps)", "CV demand"});
+  for (const auto kind :
+       {workload::DatasetKind::EuIsp, workload::DatasetKind::Cdn,
+        workload::DatasetKind::Internet2}) {
+    const auto spec = workload::paper_spec(kind);
+    paper.add_row(std::string(spec.name),
+                  {spec.wavg_distance_miles, spec.cv_distance,
+                   spec.aggregate_gbps, spec.cv_demand},
+                  2);
+  }
+  paper.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Capacity planning under tiered pricing: a gravity traffic matrix over
+// the Internet2 backbone, link utilization today, and what happens to
+// both revenue and the network when tiered prices shift demand.
+#include <iostream>
+
+#include "pricing/counterfactual.hpp"
+#include "topology/internet2.hpp"
+#include "topology/utilization.hpp"
+#include "util/table.hpp"
+#include "workload/gravity.hpp"
+
+int main() {
+  using namespace manytiers;
+
+  const auto net = topology::internet2_network();
+  // Masses ~ metro prominence of each PoP.
+  std::vector<double> masses(net.pop_count(), 1.0);
+  masses[*net.find_pop("New York")] = 6.0;
+  masses[*net.find_pop("Chicago")] = 4.0;
+  masses[*net.find_pop("Los Angeles")] = 5.0;
+  masses[*net.find_pop("Washington")] = 3.0;
+  masses[*net.find_pop("Atlanta")] = 2.5;
+  workload::GravityOptions gravity;
+  gravity.total_demand_mbps = 60000.0;  // 60 Gbps day-peak matrix
+  gravity.distance_exponent = 0.8;
+  const auto tm = workload::gravity_matrix(net, masses, gravity);
+
+  const auto report = topology::load_network(net, tm);
+  std::cout << "Gravity matrix: " << tm.size() << " PoP pairs, "
+            << util::format_double(report.total_demand_mbps / 1000.0, 1)
+            << " Gbps total demand\n\nLink loads:\n";
+  util::TextTable links({"Link", "Length (mi)", "Load (Gbps)", "Utilization"});
+  for (const auto& l : report.links) {
+    const auto& link = net.links()[l.link_index];
+    links.add_row({net.pop(link.a).name + " - " + net.pop(link.b).name,
+                   util::format_double(link.length_miles, 0),
+                   util::format_double(l.mbps / 1000.0, 2),
+                   util::format_double(l.utilization, 3)});
+  }
+  links.print(std::cout);
+  const auto& busiest = net.links()[report.busiest_link];
+  std::cout << "\nBusiest link: " << net.pop(busiest.a).name << " - "
+            << net.pop(busiest.b).name << " at "
+            << util::format_double(100.0 * report.max_utilization, 1)
+            << "% of capacity\n";
+
+  // Feed the same matrix into the pricing pipeline: flows with distance =
+  // routed path length, then look at how 3 tiers price short vs long
+  // paths.
+  workload::FlowSet flows("Internet2 gravity");
+  const auto dist = topology::all_pairs_distances(net);
+  for (const auto& d : tm) {
+    workload::Flow f;
+    f.demand_mbps = d.mbps;
+    f.distance_miles = dist[d.src][d.dst];
+    flows.add(f);
+  }
+  const auto cost_model = cost::make_linear_cost(0.2);
+  const auto market =
+      pricing::Market::calibrate(flows, pricing::DemandSpec{}, *cost_model,
+                                 20.0);
+  const auto res =
+      pricing::run_strategy(market, pricing::Strategy::Optimal, 3);
+  std::cout << "\nOptimal 3-tier pricing of the matrix (capture "
+            << util::format_double(res.capture, 3) << "):\n";
+  util::TextTable tiers({"Tier", "Price ($/Mbps)", "Flows",
+                         "Mean path (mi)", "Demand (Gbps)"});
+  for (std::size_t b = 0; b < res.pricing.bundles.size(); ++b) {
+    double demand = 0.0, path = 0.0;
+    for (const auto i : res.pricing.bundles[b]) {
+      demand += market.flows()[i].demand_mbps;
+      path += market.flows()[i].distance_miles;
+    }
+    tiers.add_row({std::to_string(b + 1),
+                   util::format_double(res.pricing.bundle_prices[b], 2),
+                   std::to_string(res.pricing.bundles[b].size()),
+                   util::format_double(path / double(res.pricing.bundles[b].size()), 0),
+                   util::format_double(demand / 1000.0, 1)});
+  }
+  tiers.print(std::cout);
+  std::cout << "\nReading: tiers line up with path length — the cheap tier "
+               "holds the short-haul metro pairs that dominate the\ngravity "
+               "matrix, the premium tier the transcontinental paths whose "
+               "capacity is the planning constraint above.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Burstable billing and commit selection: the volume-discount side of
+// tiered transit pricing (paper §1/§2.1). A customer with a strongly
+// diurnal traffic profile meters a month of 5-minute samples, sees what
+// the 95th percentile shaves off the peak, and picks the cheapest commit
+// level on a realistic discount ladder.
+#include <iostream>
+
+#include "accounting/commit.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/diurnal.hpp"
+
+int main() {
+  using namespace manytiers;
+
+  workload::DiurnalProfile profile;
+  profile.mean_mbps = 620.0;
+  profile.peak_to_trough = 3.5;  // heavy evening peak (eyeball traffic)
+  profile.peak_hour = 20.5;
+  profile.noise_sd = 0.12;
+
+  util::Rng rng(42);
+  accounting::BurstMeter meter(300);
+  for (const auto bytes :
+       workload::diurnal_interval_bytes(profile, 30, 300, rng)) {
+    meter.record_interval(bytes);
+  }
+
+  std::cout << "One month of 5-minute samples (" << meter.interval_count()
+            << " intervals):\n";
+  util::TextTable rates({"Measure", "Mbps"});
+  rates.add_row({"mean", util::format_double(meter.mean_mbps(), 1)});
+  rates.add_row({"95th percentile (billable)",
+                 util::format_double(meter.billable_mbps(), 1)});
+  rates.add_row({"peak", util::format_double(meter.peak_mbps(), 1)});
+  rates.print(std::cout);
+
+  const accounting::CommitSchedule schedule({{0.0, 18.0},
+                                             {100.0, 12.0},
+                                             {500.0, 8.0},
+                                             {1000.0, 5.5},
+                                             {10000.0, 3.0}});
+  const double billable = meter.billable_mbps();
+  std::cout << "\nCommit options for a billable rate of "
+            << util::format_double(billable, 1) << " Mbps:\n";
+  util::TextTable bills({"Commit (Mbps)", "$/Mbps", "Monthly bill ($)"});
+  for (const auto& tier : schedule.tiers()) {
+    bills.add_row({util::format_double(tier.min_commit_mbps, 0),
+                   util::format_double(tier.price_per_mbps, 2),
+                   util::format_double(
+                       schedule.monthly_bill(tier.min_commit_mbps, billable),
+                       0)});
+  }
+  bills.print(std::cout);
+
+  const double commit = schedule.optimal_commit(billable);
+  std::cout << "\nOptimal commit: "
+            << util::format_double(commit, 0) << " Mbps at $"
+            << util::format_double(schedule.tier_for(commit).price_per_mbps, 2)
+            << "/Mbps -> $"
+            << util::format_double(schedule.monthly_bill(commit, billable), 0)
+            << "/month.\n";
+  if (commit > billable) {
+    std::cout << "Committing *above* the measured rate is cheapest — the "
+                 "volume discount outweighs the unused headroom, which is\n"
+                 "exactly how commit ladders steer customers into larger "
+                 "contracts (paper §1).\n";
+  }
+  return 0;
+}

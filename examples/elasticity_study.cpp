@@ -1,0 +1,80 @@
+// Estimating demand elasticity from billing history, then repricing.
+//
+// The paper sweeps the price sensitivity alpha because it is unobservable
+// from a single snapshot. An operator, however, has *history*: past price
+// changes and how each customer's demand responded. This example
+// simulates two years of quarterly price changes with a known alpha,
+// recovers it with the estimation module, and shows the recovered model
+// prices tiers nearly identically to the ground truth.
+#include <iostream>
+
+#include "demand/estimation.hpp"
+#include "pricing/counterfactual.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace manytiers;
+
+  // Ground truth the operator cannot see directly.
+  const double true_alpha = 1.4;
+  const demand::CedModel truth(true_alpha);
+
+  // Simulate 8 quarters of billing data: the blended rate drifted down
+  // ~30%/year (the paper's Fig. of transit price decline), demand
+  // responded per CED with some noise.
+  util::Rng rng(42);
+  const std::size_t n_flows = 60;
+  std::vector<double> valuations;
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    valuations.push_back(rng.uniform(20.0, 120.0));
+  }
+  std::vector<std::vector<demand::PriceDemandPoint>> history(n_flows);
+  double rate = 34.0;
+  for (int quarter = 0; quarter < 8; ++quarter) {
+    for (std::size_t i = 0; i < n_flows; ++i) {
+      demand::PriceDemandPoint obs;
+      obs.price = rate;
+      obs.quantity = truth.quantity(valuations[i], rate) *
+                     std::exp(rng.normal(0.0, 0.08));
+      history[i].push_back(obs);
+    }
+    rate *= 0.92;  // ~ -30%/year quarterly
+  }
+
+  const auto fit = demand::estimate_ced_alpha(history);
+  std::cout << "Estimated alpha from " << fit.observations
+            << " billing observations: " << util::format_double(fit.alpha, 3)
+            << " (truth " << true_alpha << ", within-flow R^2 "
+            << util::format_double(fit.r_squared, 3) << ")\n\n";
+
+  // Use the estimated alpha to calibrate today's market and pick tiers.
+  const auto flows = workload::generate_eu_isp({.seed = 7, .n_flows = 150});
+  const auto cost_model = cost::make_linear_cost(0.2);
+  const double p0 = rate / 0.92;  // the current blended rate
+
+  util::TextTable table({"Model", "alpha", "3-tier prices ($/Mbps)",
+                         "Profit capture"});
+  for (const auto& [label, alpha] :
+       {std::pair{"ground truth", true_alpha},
+        std::pair{"estimated", fit.alpha}}) {
+    pricing::DemandSpec spec;
+    spec.alpha = alpha;
+    const auto market =
+        pricing::Market::calibrate(flows, spec, *cost_model, p0);
+    const auto res =
+        pricing::run_strategy(market, pricing::Strategy::Optimal, 3);
+    std::string prices;
+    for (const double p : res.pricing.bundle_prices) {
+      prices += (prices.empty() ? "" : " / ") + util::format_double(p, 2);
+    }
+    table.add_row({label, util::format_double(alpha, 3), prices,
+                   util::format_double(res.capture, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe estimated elasticity reproduces the true model's tier "
+               "structure — the paper's 'elusive' parameter is\nrecoverable "
+               "from data every transit ISP already collects.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// The Figure 2 scenario as a decision tool: a CDN with a backbone
+// presence at the NYC PoP evaluates procuring a direct link to the
+// Boston IXP instead of paying its upstream's blended rate, and the
+// upstream evaluates the tiered counter-offer that keeps the traffic.
+#include <iostream>
+
+#include "accounting/billing.hpp"
+#include "geo/cities.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace manytiers;
+
+  const auto nyc = *geo::find_city("New York");
+  const auto boston = *geo::find_city("Boston");
+  const double miles = geo::city_distance_miles(nyc, boston);
+
+  // Monthly economics of the NYC -> Boston traffic (per Mbps).
+  accounting::PeeringEconomics econ;
+  econ.blended_rate = 10.0;   // what the CDN pays today for ALL traffic
+  econ.isp_unit_cost = 1.8;   // ISP's amortized cost for this short flow
+  econ.isp_margin = 0.3;
+  econ.accounting_overhead = 0.35;
+
+  const double traffic_mbps = 4000.0;
+  // Amortized cost of the CDN's own wave + colo + optics to Boston.
+  const double direct_link_monthly = 26000.0;
+  const double c_direct = direct_link_monthly / traffic_mbps;
+
+  std::cout << "CDN at New York reaching the Boston IXP ("
+            << util::format_double(miles, 0) << " mi), "
+            << util::format_double(traffic_mbps / 1000.0, 1)
+            << " Gbps of traffic\n\n";
+
+  util::TextTable table({"Option", "$/Mbps/month", "Monthly cost ($)"});
+  table.add_row({"Stay on blended transit",
+                 util::format_double(econ.blended_rate, 2),
+                 util::format_double(econ.blended_rate * traffic_mbps, 0)});
+  table.add_row({"Build direct link", util::format_double(c_direct, 2),
+                 util::format_double(direct_link_monthly, 0)});
+  const double tier_price = accounting::tiered_price_floor(econ);
+  table.add_row({"ISP tiered counter-offer", util::format_double(tier_price, 2),
+                 util::format_double(tier_price * traffic_mbps, 0)});
+  table.print(std::cout);
+
+  std::cout << "\nUnder the blended rate: ";
+  if (accounting::customer_peels_off(c_direct, econ)) {
+    std::cout << "the CDN peels off (saves $"
+              << util::format_double(
+                     (econ.blended_rate - c_direct) * traffic_mbps, 0)
+              << "/month).\n";
+    if (accounting::market_failure(c_direct, econ)) {
+      std::cout << "This is a MARKET FAILURE: the direct link costs more "
+                   "than the ISP's own cost plus margin plus accounting\n"
+                   "overhead ($"
+                << util::format_double(tier_price, 2)
+                << "/Mbps) — society pays for redundant capacity because "
+                   "the blended rate cannot express the flow's true cost.\n";
+    }
+  } else {
+    std::cout << "the CDN stays.\n";
+  }
+
+  std::cout << "\nWith a tiered offer at $"
+            << util::format_double(tier_price, 2)
+            << "/Mbps for Boston-bound traffic: "
+            << (c_direct < tier_price
+                    ? "the CDN still builds the link (genuinely cheaper)."
+                    : "the CDN stays — the ISP keeps the revenue and the "
+                      "redundant build is avoided.")
+            << '\n';
+  return 0;
+}

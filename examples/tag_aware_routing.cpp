@@ -1,0 +1,76 @@
+// Tag-aware egress selection (paper §5.1): a customer with backbone
+// presence in New York and London receives tier-tagged routes from its
+// upstream at both PoPs and stops hot-potato routing blindly — traffic
+// to destinations the upstream tags as expensive at one PoP is carried
+// on the customer's own backbone to the PoP where it is cheap.
+#include <iostream>
+
+#include "accounting/policy.hpp"
+#include "geo/cities.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace manytiers;
+
+  // The upstream's announcements at each PoP. European destinations are
+  // tier 1 (cheap) in London but tier 3 (trans-Atlantic) in New York,
+  // and vice versa for North American destinations.
+  accounting::Rib nyc, london;
+  const auto add = [](accounting::Rib& rib, const char* prefix,
+                      std::uint16_t tier) {
+    accounting::Route r;
+    r.prefix = geo::parse_prefix(prefix);
+    r.tag = accounting::TierTag{65000, tier};
+    rib.add(r);
+  };
+  add(nyc, "100.0.0.0/8", 1);     // NA destinations: local at NYC
+  add(nyc, "110.0.0.0/8", 3);     // EU destinations: expensive at NYC
+  add(london, "100.0.0.0/8", 3);  // NA destinations: expensive at London
+  add(london, "110.0.0.0/8", 1);  // EU destinations: local at London
+
+  const accounting::RatePlan rates{{{1, 5.0}, {3, 21.0}}};
+  accounting::EgressPlanner planner;
+  planner.add_egress({"New York", &nyc, &rates, 0.0});
+  planner.add_egress({"London", &london, &rates, 4.5});  // own wave cost
+
+  // The customer's demand: mostly NA with a substantial European tail.
+  util::Rng rng(17);
+  std::vector<std::pair<geo::IpV4, double>> demands;
+  for (int i = 0; i < 200; ++i) {
+    const bool europe = rng.bernoulli(0.35);
+    const geo::IpV4 base =
+        geo::parse_ipv4(europe ? "110.0.0.0" : "100.0.0.0");
+    demands.emplace_back(base + geo::IpV4(rng.uniform_int(1, 1 << 24)),
+                         rng.pareto(1.0, 1.4));
+  }
+
+  // A few individual decisions.
+  util::TextTable decisions({"Destination", "Egress", "Tier", "Transit $",
+                             "Backbone $", "Total $/Mbps", "Routing"});
+  for (const auto dst : {"100.7.1.1", "110.9.2.2"}) {
+    const auto d = planner.plan(geo::parse_ipv4(dst));
+    decisions.add_row({dst, d->pop_name, std::to_string(d->tier),
+                       util::format_double(d->transit_price_per_mbps, 2),
+                       util::format_double(d->backbone_cost_per_mbps, 2),
+                       util::format_double(d->total_cost_per_mbps, 2),
+                       d->cold_potato ? "cold potato" : "hot potato"});
+  }
+  decisions.print(std::cout);
+
+  const auto cmp = planner.compare(demands);
+  std::cout << "\nMonthly transit spend over " << demands.size()
+            << " destinations:\n"
+            << "  naive hot-potato (ignore tags): $"
+            << util::format_double(cmp.hot_potato_cost, 0) << "\n"
+            << "  tag-aware egress selection:     $"
+            << util::format_double(cmp.tag_aware_cost, 0) << "\n"
+            << "  savings: "
+            << util::format_double(
+                   100.0 * (1.0 - cmp.tag_aware_cost / cmp.hot_potato_cost), 1)
+            << "%\n\nThis is the §5.1 mechanism: tier tags let customers "
+               "see the upstream's cost structure and route accordingly, "
+               "which\nis precisely what makes destination-based tiers "
+               "implementable with today's BGP.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Implementing tiered pricing (paper §5): tag routes with BGP-community
+// tier labels, run the same month of traffic through both accounting
+// implementations — link-based (one session per tier, SNMP counters) and
+// flow-based (one session, sampled NetFlow joined with the RIB) — and
+// produce the customer's invoice both ways.
+#include <iostream>
+
+#include "accounting/billing.hpp"
+#include "accounting/flow_acct.hpp"
+#include "accounting/link_acct.hpp"
+#include "netflow/exporter.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace manytiers;
+
+  // The upstream announces three tiers: on-net customers, regional
+  // routes, and global transit (the default).
+  accounting::Rib rib;
+  const struct {
+    const char* prefix;
+    std::uint16_t tier;
+    const char* what;
+  } announcements[] = {
+      {"100.0.0.0/8", 1, "on-net customer routes"},
+      {"101.0.0.0/8", 2, "regional (backplane peering) routes"},
+      {"0.0.0.0/0", 3, "global transit"},
+  };
+  std::cout << "Announced routes (BGP extended-community tier tags):\n";
+  util::TextTable routes({"Prefix", "Community", "Tier"});
+  for (const auto& a : announcements) {
+    accounting::Route r;
+    r.prefix = geo::parse_prefix(a.prefix);
+    r.tag = accounting::TierTag{65000, a.tier};
+    r.description = a.what;
+    rib.add(r);
+    routes.add_row({a.prefix, r.tag.to_string(), a.what});
+  }
+  routes.print(std::cout);
+
+  accounting::RatePlan plan{{{1, 4.0}, {2, 9.0}, {3, 18.0}}};
+
+  // A month of customer traffic toward a mix of destinations.
+  const std::uint32_t window = 30 * 86400;
+  const std::uint32_t sampling = 512;
+  accounting::LinkAccounting link(rib);
+  accounting::FlowAccounting flow(rib, sampling);
+  netflow::SampledExporter exporter(
+      {.sampling_rate = sampling, .window_seconds = window}, util::Rng(11));
+  util::Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const double mbps = rng.pareto(0.4, 1.3);
+    const auto bytes =
+        std::uint64_t(mbps * 1e6 / 8.0 * double(window));
+    const double mix = rng.uniform(0.0, 1.0);
+    const geo::IpV4 dst =
+        (mix < 0.5    ? geo::parse_ipv4("100.0.0.0")
+         : mix < 0.8  ? geo::parse_ipv4("101.0.0.0")
+                      : geo::parse_ipv4("9.0.0.0")) +
+        geo::IpV4(rng.uniform_int(1, 1 << 20));
+    link.send(dst, bytes);
+    netflow::GroundTruthFlow gt;
+    gt.key.src_ip = geo::parse_ipv4("10.0.0.1");
+    gt.key.dst_ip = dst;
+    gt.key.src_port = std::uint16_t(1024 + i);
+    gt.bytes = bytes;
+    gt.packets = std::max<std::uint64_t>(1, bytes / 1400);
+    const std::vector<netflow::RouterId> path{1};
+    flow.ingest(exporter.export_flow(gt, path));
+  }
+
+  const auto print_invoice = [&](const char* title,
+                                 const accounting::Invoice& inv,
+                                 std::size_t sessions) {
+    std::cout << '\n' << title << " (" << sessions << " BGP session"
+              << (sessions == 1 ? "" : "s") << "):\n";
+    util::TextTable t({"Tier", "Mbps", "$/Mbps", "Amount ($)"});
+    for (const auto& line : inv.lines) {
+      t.add_row({std::to_string(line.tier),
+                 util::format_double(line.mbps, 1),
+                 util::format_double(line.price_per_mbps, 2),
+                 util::format_double(line.amount, 2)});
+    }
+    t.add_row({"total", "", "", util::format_double(inv.total, 2)});
+    t.print(std::cout);
+  };
+
+  print_invoice("Link-based accounting invoice",
+                accounting::tiered_invoice(link.poll(), window, plan),
+                link.session_count());
+  print_invoice("Flow-based accounting invoice",
+                accounting::tiered_invoice(flow.usage(), window, plan),
+                accounting::FlowAccounting::session_count());
+
+  const auto blended =
+      accounting::blended_invoice(link.poll(), window, 14.0);
+  std::cout << "\nFor comparison, the same usage on a $14 blended rate: $"
+            << util::format_double(blended.total, 2)
+            << " — this customer's local-heavy mix is cheaper under "
+               "tiered pricing,\nwhich is exactly why local-heavy "
+               "customers push ISPs toward tiers (paper §2.2).\n";
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "accounting/bgp_codec.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace manytiers::accounting {
+
+namespace {
+
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kAttrExtendedCommunities = 16;
+constexpr std::uint8_t kFlagsWellKnown = 0x40;       // transitive
+constexpr std::uint8_t kFlagsOptionalTransitive = 0xC0;
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(std::uint8_t(v >> 8));
+  out.push_back(std::uint8_t(v & 0xff));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, std::uint16_t(v >> 16));
+  put16(out, std::uint16_t(v & 0xffff));
+}
+
+std::size_t prefix_octets(int length) {
+  return std::size_t((length + 7) / 8);
+}
+
+void put_prefix(std::vector<std::uint8_t>& out, const geo::Prefix& p) {
+  if (p.length < 0 || p.length > 32) {
+    throw std::invalid_argument("bgp encode: bad prefix length");
+  }
+  out.push_back(std::uint8_t(p.length));
+  for (std::size_t i = 0; i < prefix_octets(p.length); ++i) {
+    out.push_back(std::uint8_t(p.address >> (24 - 8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> bytes, std::size_t at)
+      : bytes_(bytes), at_(at) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return bytes_[at_++];
+  }
+  std::uint16_t u16() {
+    require(2);
+    const auto v = std::uint16_t((std::uint16_t(bytes_[at_]) << 8) |
+                                 bytes_[at_ + 1]);
+    at_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  geo::Prefix prefix() {
+    geo::Prefix p;
+    p.length = int(u8());
+    if (p.length > 32) {
+      throw std::invalid_argument("bgp decode: prefix length > 32");
+    }
+    p.address = 0;
+    for (std::size_t i = 0; i < prefix_octets(p.length); ++i) {
+      p.address |= geo::IpV4(u8()) << (24 - 8 * i);
+    }
+    return p;
+  }
+  std::size_t at() const { return at_; }
+  void require(std::size_t n) const {
+    if (at_ + n > bytes_.size()) {
+      throw std::invalid_argument("bgp decode: truncated message");
+    }
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
+                                        const BgpEncodeOptions& options) {
+  // All announced routes must share one tier tag (path attributes apply
+  // to every NLRI in the message).
+  for (const auto& route : update.announce) {
+    if (route.tag != update.announce.front().tag) {
+      throw std::invalid_argument(
+          "encode_update: announced routes must share one tier tag; use "
+          "encode_updates to split by tier");
+    }
+  }
+  std::vector<std::uint8_t> out;
+  // Header: marker (16 x 0xff), length placeholder, type.
+  out.assign(16, 0xff);
+  put16(out, 0);  // length, patched below
+  out.push_back(kBgpTypeUpdate);
+
+  // Withdrawn routes.
+  std::vector<std::uint8_t> withdrawn;
+  for (const auto& prefix : update.withdraw) put_prefix(withdrawn, prefix);
+  put16(out, std::uint16_t(withdrawn.size()));
+  out.insert(out.end(), withdrawn.begin(), withdrawn.end());
+
+  // Path attributes (only when there is NLRI).
+  std::vector<std::uint8_t> attrs;
+  if (!update.announce.empty()) {
+    // ORIGIN = IGP.
+    attrs.push_back(kFlagsWellKnown);
+    attrs.push_back(kAttrOrigin);
+    attrs.push_back(1);
+    attrs.push_back(0);
+    // AS_PATH: one AS_SEQUENCE segment with the local ASN.
+    attrs.push_back(kFlagsWellKnown);
+    attrs.push_back(kAttrAsPath);
+    attrs.push_back(4);
+    attrs.push_back(2);  // AS_SEQUENCE
+    attrs.push_back(1);  // one ASN
+    put16(attrs, options.local_asn);
+    // NEXT_HOP.
+    attrs.push_back(kFlagsWellKnown);
+    attrs.push_back(kAttrNextHop);
+    attrs.push_back(4);
+    put32(attrs, options.next_hop);
+    // EXTENDED_COMMUNITIES: RFC 4360 two-octet-AS route target carrying
+    // the tier in the local administrator field.
+    const TierTag tag = update.announce.front().tag;
+    attrs.push_back(kFlagsOptionalTransitive);
+    attrs.push_back(kAttrExtendedCommunities);
+    attrs.push_back(8);
+    attrs.push_back(0x00);  // type high: two-octet AS specific
+    attrs.push_back(0x02);  // type low: route target
+    put16(attrs, tag.asn);
+    put32(attrs, tag.tier);
+  }
+  put16(out, std::uint16_t(attrs.size()));
+  out.insert(out.end(), attrs.begin(), attrs.end());
+
+  // NLRI.
+  for (const auto& route : update.announce) put_prefix(out, route.prefix);
+
+  if (out.size() > kBgpMaxMessageBytes) {
+    throw std::invalid_argument(
+        "encode_update: message exceeds the 4096-byte BGP limit");
+  }
+  out[16] = std::uint8_t(out.size() >> 8);
+  out[17] = std::uint8_t(out.size() & 0xff);
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> encode_updates(
+    const UpdateMessage& update, const BgpEncodeOptions& options) {
+  // Group the announcements by tier tag; withdrawals ride on the first
+  // message (or their own message if nothing is announced).
+  std::map<TierTag, std::vector<Route>> by_tag;
+  for (const auto& route : update.announce) {
+    by_tag[route.tag].push_back(route);
+  }
+  std::vector<std::vector<std::uint8_t>> out;
+  bool withdrawals_sent = false;
+  for (const auto& [tag, routes] : by_tag) {
+    UpdateMessage one;
+    if (!withdrawals_sent) {
+      one.withdraw = update.withdraw;
+      withdrawals_sent = true;
+    }
+    one.announce = routes;
+    out.push_back(encode_update(one, options));
+  }
+  if (!withdrawals_sent && !update.withdraw.empty()) {
+    UpdateMessage only_withdraw;
+    only_withdraw.withdraw = update.withdraw;
+    out.push_back(encode_update(only_withdraw, options));
+  }
+  return out;
+}
+
+UpdateMessage decode_update(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kBgpHeaderBytes) {
+    throw std::invalid_argument("bgp decode: truncated header");
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (bytes[i] != 0xff) {
+      throw std::invalid_argument("bgp decode: bad marker");
+    }
+  }
+  const std::size_t length =
+      (std::size_t(bytes[16]) << 8) | std::size_t(bytes[17]);
+  if (length != bytes.size() || length > kBgpMaxMessageBytes) {
+    throw std::invalid_argument("bgp decode: length mismatch");
+  }
+  if (bytes[18] != kBgpTypeUpdate) {
+    throw std::invalid_argument("bgp decode: not an UPDATE message");
+  }
+  Reader reader(bytes, kBgpHeaderBytes);
+
+  UpdateMessage out;
+  // Withdrawn routes.
+  const std::size_t withdrawn_len = reader.u16();
+  const std::size_t withdrawn_end = reader.at() + withdrawn_len;
+  reader.require(withdrawn_len);
+  while (reader.at() < withdrawn_end) {
+    out.withdraw.push_back(reader.prefix());
+  }
+  if (reader.at() != withdrawn_end) {
+    throw std::invalid_argument("bgp decode: withdrawn block overrun");
+  }
+  // Path attributes: we only need the extended-communities tier tag.
+  TierTag tag{0, 0};
+  const std::size_t attrs_len = reader.u16();
+  const std::size_t attrs_end = reader.at() + attrs_len;
+  reader.require(attrs_len);
+  while (reader.at() < attrs_end) {
+    const std::uint8_t flags = reader.u8();
+    const std::uint8_t type = reader.u8();
+    const std::size_t len = (flags & 0x10) ? reader.u16() : reader.u8();
+    const std::size_t value_end = reader.at() + len;
+    reader.require(len);
+    if (type == kAttrExtendedCommunities && len >= 8) {
+      const std::uint8_t type_high = reader.u8();
+      const std::uint8_t type_low = reader.u8();
+      const std::uint16_t asn = reader.u16();
+      const std::uint32_t local = reader.u32();
+      if (type_high == 0x00 && type_low == 0x02) {
+        tag = TierTag{asn, std::uint16_t(local & 0xffff)};
+      }
+    }
+    // Skip whatever remains of this attribute.
+    while (reader.at() < value_end) reader.u8();
+  }
+  if (reader.at() != attrs_end) {
+    throw std::invalid_argument("bgp decode: attribute block overrun");
+  }
+  // NLRI: everything to the end of the message.
+  while (reader.at() < bytes.size()) {
+    Route route;
+    route.prefix = reader.prefix();
+    route.tag = tag;
+    out.announce.push_back(std::move(route));
+  }
+  return out;
+}
+
+}  // namespace manytiers::accounting

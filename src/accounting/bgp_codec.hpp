@@ -1,0 +1,50 @@
+// BGP UPDATE wire format (RFC 4271) with extended-community tier tags.
+//
+// Completes the §5.1 control-plane path at the byte level: the upstream's
+// tier-tagged announcements are encoded as real BGP UPDATE messages —
+// 19-byte marker/length/type header, withdrawn-routes block, path
+// attributes (ORIGIN, AS_PATH, NEXT_HOP, EXTENDED_COMMUNITIES carrying
+// the tier tags, RFC 4360 type 0x0002 route-target), and NLRI with
+// variable-length prefixes. A decoded message round-trips back into the
+// session layer's UpdateMessage.
+//
+// Scope: IPv4 unicast, one tier tag per route. Because path attributes
+// apply to every NLRI in a message, routes with different tier tags are
+// emitted in separate messages (encode_updates groups by tier).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accounting/session.hpp"
+
+namespace manytiers::accounting {
+
+inline constexpr std::size_t kBgpHeaderBytes = 19;
+inline constexpr std::size_t kBgpMaxMessageBytes = 4096;
+inline constexpr std::uint8_t kBgpTypeUpdate = 2;
+
+struct BgpEncodeOptions {
+  std::uint16_t local_asn = 65000;
+  geo::IpV4 next_hop = 0x0a000001;  // 10.0.0.1
+};
+
+// Encode one UPDATE carrying `withdraw` plus `announce` routes that all
+// share one tier tag. Throws std::invalid_argument if announce routes
+// carry different tags or the message would exceed 4096 bytes.
+std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
+                                        const BgpEncodeOptions& options);
+
+// Encode an arbitrary UpdateMessage as one message per tier tag (the
+// withdrawals ride on the first message).
+std::vector<std::vector<std::uint8_t>> encode_updates(
+    const UpdateMessage& update, const BgpEncodeOptions& options);
+
+// Decode one UPDATE message. Returns the withdrawals and the announced
+// routes with their tier tags (taken from the extended-communities
+// attribute; routes without one get tier 0). Throws on malformed input:
+// bad marker, bad length, truncated blocks, or prefix overruns.
+UpdateMessage decode_update(std::span<const std::uint8_t> bytes);
+
+}  // namespace manytiers::accounting

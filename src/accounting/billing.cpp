@@ -1,0 +1,85 @@
+#include "accounting/billing.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "netflow/collector.hpp"  // bytes_to_mbps
+
+namespace manytiers::accounting {
+
+double RatePlan::rate_for(std::uint16_t tier) const {
+  for (const auto& r : rates) {
+    if (r.tier == tier) return r.price_per_mbps;
+  }
+  throw std::invalid_argument("RatePlan: no rate for tier " +
+                              std::to_string(tier));
+}
+
+Invoice tiered_invoice(std::span<const TierUsage> usage,
+                       std::uint32_t window_seconds, const RatePlan& plan) {
+  Invoice inv;
+  for (const auto& u : usage) {
+    InvoiceLine line;
+    line.tier = u.tier;
+    line.mbps = netflow::bytes_to_mbps(u.bytes, window_seconds);
+    line.price_per_mbps = plan.rate_for(u.tier);
+    line.amount = line.mbps * line.price_per_mbps;
+    inv.total += line.amount;
+    inv.lines.push_back(line);
+  }
+  return inv;
+}
+
+Invoice blended_invoice(std::span<const TierUsage> usage,
+                        std::uint32_t window_seconds,
+                        double blended_rate_per_mbps) {
+  if (!(blended_rate_per_mbps > 0.0)) {
+    throw std::invalid_argument("blended_invoice: rate must be > 0");
+  }
+  Invoice inv;
+  InvoiceLine line;
+  line.tier = 0;
+  for (const auto& u : usage) {
+    line.mbps += netflow::bytes_to_mbps(u.bytes, window_seconds);
+  }
+  line.price_per_mbps = blended_rate_per_mbps;
+  line.amount = line.mbps * blended_rate_per_mbps;
+  inv.total = line.amount;
+  inv.lines.push_back(line);
+  return inv;
+}
+
+namespace {
+void validate(const PeeringEconomics& econ) {
+  if (!(econ.blended_rate > 0.0) || !(econ.isp_unit_cost > 0.0)) {
+    throw std::invalid_argument(
+        "PeeringEconomics: rate and cost must be > 0");
+  }
+  if (econ.isp_margin < 0.0 || econ.accounting_overhead < 0.0) {
+    throw std::invalid_argument(
+        "PeeringEconomics: margin and overhead must be >= 0");
+  }
+}
+}  // namespace
+
+double tiered_price_floor(const PeeringEconomics& econ) {
+  validate(econ);
+  return (econ.isp_margin + 1.0) * econ.isp_unit_cost +
+         econ.accounting_overhead;
+}
+
+bool customer_peels_off(double direct_link_cost,
+                        const PeeringEconomics& econ) {
+  validate(econ);
+  if (!(direct_link_cost > 0.0)) {
+    throw std::invalid_argument("customer_peels_off: cost must be > 0");
+  }
+  return direct_link_cost < econ.blended_rate;
+}
+
+bool market_failure(double direct_link_cost, const PeeringEconomics& econ) {
+  return customer_peels_off(direct_link_cost, econ) &&
+         direct_link_cost > tiered_price_floor(econ);
+}
+
+}  // namespace manytiers::accounting

@@ -1,0 +1,72 @@
+// Billing and the direct-peering breakeven analysis (paper §2.2.2, §5.2).
+//
+// Converts per-tier usage into invoices (tiered vs blended) and models
+// the customer's decision to bypass the ISP with a private link to a
+// nearby exchange: the customer peels off when a direct link is cheaper
+// than the blended rate, and that bypass is a *market failure* when the
+// direct link costs more than the ISP's tiered price floor
+// (M + 1) * c_ISP + A would have been.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accounting/link_acct.hpp"  // TierUsage
+
+namespace manytiers::accounting {
+
+struct TierRate {
+  std::uint16_t tier = 0;
+  double price_per_mbps = 0.0;  // $/Mbps/month
+};
+
+struct RatePlan {
+  std::vector<TierRate> rates;
+
+  double rate_for(std::uint16_t tier) const;  // throws if tier is unknown
+};
+
+struct InvoiceLine {
+  std::uint16_t tier = 0;
+  double mbps = 0.0;
+  double price_per_mbps = 0.0;
+  double amount = 0.0;
+};
+
+struct Invoice {
+  std::vector<InvoiceLine> lines;
+  double total = 0.0;
+};
+
+// Tiered invoice from per-tier byte usage over a capture window.
+Invoice tiered_invoice(std::span<const TierUsage> usage,
+                       std::uint32_t window_seconds, const RatePlan& plan);
+
+// Blended invoice: all usage billed at a single rate.
+Invoice blended_invoice(std::span<const TierUsage> usage,
+                        std::uint32_t window_seconds,
+                        double blended_rate_per_mbps);
+
+// --- Direct peering economics (paper §2.2.2, Fig. 2) ---
+
+struct PeeringEconomics {
+  double blended_rate = 0.0;        // R: what the ISP charges today
+  double isp_unit_cost = 0.0;       // c_ISP: ISP's amortized cost to the IXP
+  double isp_margin = 0.0;          // M: ISP profit margin (e.g. 0.3)
+  double accounting_overhead = 0.0; // A: per-unit overhead of a tier
+};
+
+// The lowest tiered price the ISP could profitably offer for this flow.
+double tiered_price_floor(const PeeringEconomics& econ);
+
+// The customer bypasses the ISP when a direct link is cheaper than the
+// blended rate: c_direct < R.
+bool customer_peels_off(double direct_link_cost, const PeeringEconomics& econ);
+
+// Market failure: the customer builds a link that costs more than the
+// tiered price the ISP could have offered, i.e. it peels off even though
+// c_direct > (M + 1) c_ISP + A.
+bool market_failure(double direct_link_cost, const PeeringEconomics& econ);
+
+}  // namespace manytiers::accounting

@@ -1,0 +1,115 @@
+#include "accounting/commit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netflow/collector.hpp"  // bytes_to_mbps
+#include "util/stats.hpp"
+
+namespace manytiers::accounting {
+
+BurstMeter::BurstMeter(std::uint32_t interval_seconds)
+    : interval_seconds_(interval_seconds) {
+  if (interval_seconds_ == 0) {
+    throw std::invalid_argument("BurstMeter: interval must be >= 1s");
+  }
+}
+
+void BurstMeter::record_interval(std::uint64_t bytes) {
+  samples_.push_back(bytes);
+}
+
+double BurstMeter::billable_mbps(double percentile) const {
+  if (samples_.empty()) {
+    throw std::logic_error("BurstMeter::billable_mbps: no intervals recorded");
+  }
+  std::vector<double> rates;
+  rates.reserve(samples_.size());
+  for (const auto bytes : samples_) {
+    rates.push_back(netflow::bytes_to_mbps(bytes, interval_seconds_));
+  }
+  return util::percentile(rates, percentile);
+}
+
+double BurstMeter::peak_mbps() const { return billable_mbps(100.0); }
+
+double BurstMeter::mean_mbps() const {
+  if (samples_.empty()) {
+    throw std::logic_error("BurstMeter::mean_mbps: no intervals recorded");
+  }
+  double total = 0.0;
+  for (const auto bytes : samples_) total += double(bytes);
+  return netflow::bytes_to_mbps(std::uint64_t(total / double(samples_.size())),
+                                interval_seconds_);
+}
+
+CommitSchedule::CommitSchedule(std::vector<CommitTier> tiers)
+    : tiers_(std::move(tiers)) {
+  if (tiers_.empty()) {
+    throw std::invalid_argument("CommitSchedule: no tiers");
+  }
+  if (tiers_.front().min_commit_mbps != 0.0) {
+    throw std::invalid_argument(
+        "CommitSchedule: first tier must be the walk-in (commit 0) rate");
+  }
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (!(tiers_[i].price_per_mbps > 0.0)) {
+      throw std::invalid_argument("CommitSchedule: prices must be > 0");
+    }
+    if (i > 0) {
+      if (!(tiers_[i].min_commit_mbps > tiers_[i - 1].min_commit_mbps)) {
+        throw std::invalid_argument(
+            "CommitSchedule: commits must be strictly increasing");
+      }
+      if (!(tiers_[i].price_per_mbps < tiers_[i - 1].price_per_mbps)) {
+        throw std::invalid_argument(
+            "CommitSchedule: prices must be strictly decreasing (volume "
+            "discount)");
+      }
+    }
+  }
+}
+
+const CommitTier& CommitSchedule::tier_for(double commit_mbps) const {
+  if (commit_mbps < 0.0) {
+    throw std::invalid_argument("CommitSchedule::tier_for: negative commit");
+  }
+  const CommitTier* best = &tiers_.front();
+  for (const auto& tier : tiers_) {
+    if (tier.min_commit_mbps <= commit_mbps) best = &tier;
+  }
+  return *best;
+}
+
+double CommitSchedule::monthly_bill(double commit_mbps,
+                                    double billable_mbps) const {
+  if (billable_mbps < 0.0) {
+    throw std::invalid_argument(
+        "CommitSchedule::monthly_bill: negative billable rate");
+  }
+  const CommitTier& tier = tier_for(commit_mbps);
+  return std::max(commit_mbps, billable_mbps) * tier.price_per_mbps;
+}
+
+double CommitSchedule::optimal_commit(double expected_billable_mbps) const {
+  if (expected_billable_mbps < 0.0) {
+    throw std::invalid_argument(
+        "CommitSchedule::optimal_commit: negative rate");
+  }
+  // Candidate commits: the expected rate itself plus every rung boundary
+  // (committing above usage can be cheaper once a discount kicks in).
+  double best_commit = expected_billable_mbps;
+  double best_bill = monthly_bill(expected_billable_mbps,
+                                  expected_billable_mbps);
+  for (const auto& tier : tiers_) {
+    const double bill = monthly_bill(tier.min_commit_mbps,
+                                     expected_billable_mbps);
+    if (bill < best_bill) {
+      best_bill = bill;
+      best_commit = tier.min_commit_mbps;
+    }
+  }
+  return best_commit;
+}
+
+}  // namespace manytiers::accounting

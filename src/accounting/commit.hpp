@@ -1,0 +1,73 @@
+// Burstable metering and committed-rate contracts.
+//
+// The paper's background (§1, §2.1) describes the other axis of tiered
+// transit pricing: volume discounts for higher commit levels, billed on
+// the 95th percentile of five-minute usage samples (the industry's
+// "burstable billing"). This module implements both so the library can
+// express real transit contracts end to end: BurstMeter turns raw
+// per-interval byte counts into a billable rate, and CommitSchedule maps
+// a commitment to its discounted price and computes monthly bills.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace manytiers::accounting {
+
+// Collects per-interval transfer volumes and reports percentile rates.
+class BurstMeter {
+ public:
+  // interval_seconds is the metering window (industry default: 300 s).
+  explicit BurstMeter(std::uint32_t interval_seconds = 300);
+
+  // Record the bytes transferred during one complete interval.
+  void record_interval(std::uint64_t bytes);
+
+  std::size_t interval_count() const { return samples_.size(); }
+  std::uint32_t interval_seconds() const { return interval_seconds_; }
+
+  // The q-th percentile of per-interval rates in Mbps (default: the
+  // billing-standard 95th). Requires at least one interval.
+  double billable_mbps(double percentile = 95.0) const;
+  double peak_mbps() const;
+  double mean_mbps() const;
+
+ private:
+  std::uint32_t interval_seconds_;
+  std::vector<std::uint64_t> samples_;
+};
+
+// One rung of a volume-discount ladder: committing to at least
+// `min_commit_mbps` buys the `price_per_mbps` rate.
+struct CommitTier {
+  double min_commit_mbps = 0.0;
+  double price_per_mbps = 0.0;
+};
+
+// A commit schedule: higher commitments, lower per-Mbps prices (paper §1:
+// "customer networks committing to a lower minimum bandwidth receive a
+// higher per-bit price quote").
+class CommitSchedule {
+ public:
+  // Tiers must be non-empty with strictly increasing commits and strictly
+  // decreasing prices; the first tier's commit must be 0 (walk-in rate).
+  explicit CommitSchedule(std::vector<CommitTier> tiers);
+
+  const std::vector<CommitTier>& tiers() const { return tiers_; }
+
+  // The tier a given commitment level buys (highest rung <= commit).
+  const CommitTier& tier_for(double commit_mbps) const;
+
+  // Monthly bill for a commitment and a measured billable rate: the
+  // customer pays for max(commit, billable) at the committed tier's rate.
+  double monthly_bill(double commit_mbps, double billable_mbps) const;
+
+  // The cheapest commitment for an anticipated billable rate; committing
+  // above actual usage is often cheaper because of the discounts.
+  double optimal_commit(double expected_billable_mbps) const;
+
+ private:
+  std::vector<CommitTier> tiers_;
+};
+
+}  // namespace manytiers::accounting

@@ -1,0 +1,38 @@
+#include "accounting/flow_acct.hpp"
+
+#include <stdexcept>
+
+namespace manytiers::accounting {
+
+FlowAccounting::FlowAccounting(const Rib& rib, std::uint32_t sampling_rate)
+    : rib_(rib), sampling_rate_(sampling_rate) {
+  if (sampling_rate_ == 0) {
+    throw std::invalid_argument("FlowAccounting: sampling rate must be >= 1");
+  }
+}
+
+void FlowAccounting::ingest(const netflow::FlowRecord& record) {
+  ++records_;
+  const std::uint64_t bytes = record.sampled_bytes * sampling_rate_;
+  const auto tier = rib_.tier_of(record.key.dst_ip);
+  if (!tier) {
+    unrouted_bytes_ += bytes;
+    return;
+  }
+  bytes_by_tier_[*tier] += bytes;
+}
+
+void FlowAccounting::ingest(std::span<const netflow::FlowRecord> records) {
+  for (const auto& r : records) ingest(r);
+}
+
+std::vector<TierUsage> FlowAccounting::usage() const {
+  std::vector<TierUsage> out;
+  out.reserve(bytes_by_tier_.size());
+  for (const auto& [tier, bytes] : bytes_by_tier_) {
+    out.push_back(TierUsage{tier, bytes});
+  }
+  return out;
+}
+
+}  // namespace manytiers::accounting

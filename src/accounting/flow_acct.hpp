@@ -1,0 +1,45 @@
+// Flow-based accounting (paper §5.2, Fig. 17b).
+//
+// A single link and routing session; the provider collects sampled
+// NetFlow records and joins them with the RIB *after the fact* to assign
+// each flow to a pricing tier. Cheaper to provision than link-based
+// accounting and re-bundleable post facto, at the cost of sampling error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "accounting/link_acct.hpp"  // TierUsage
+#include "accounting/route.hpp"
+#include "netflow/record.hpp"
+
+namespace manytiers::accounting {
+
+class FlowAccounting {
+ public:
+  // `sampling_rate` is the exporter's 1-in-N rate, used to scale the
+  // sampled byte counts back up. The RIB must outlive this object.
+  FlowAccounting(const Rib& rib, std::uint32_t sampling_rate);
+
+  void ingest(const netflow::FlowRecord& record);
+  void ingest(std::span<const netflow::FlowRecord> records);
+
+  // Estimated per-tier usage, ordered by tier.
+  std::vector<TierUsage> usage() const;
+
+  std::uint64_t unrouted_bytes() const { return unrouted_bytes_; }
+  std::size_t records_processed() const { return records_; }
+  // One session regardless of the number of tiers.
+  static constexpr std::size_t session_count() { return 1; }
+
+ private:
+  const Rib& rib_;
+  std::uint32_t sampling_rate_;
+  std::size_t records_ = 0;
+  std::map<std::uint16_t, std::uint64_t> bytes_by_tier_;
+  std::uint64_t unrouted_bytes_ = 0;
+};
+
+}  // namespace manytiers::accounting

@@ -1,0 +1,29 @@
+#include "accounting/link_acct.hpp"
+
+namespace manytiers::accounting {
+
+LinkAccounting::LinkAccounting(const Rib& rib) : rib_(rib) {
+  for (const std::uint16_t tier : rib.tiers()) {
+    counters_.emplace(tier, 0);
+  }
+}
+
+void LinkAccounting::send(geo::IpV4 destination, std::uint64_t bytes) {
+  const auto tier = rib_.tier_of(destination);
+  if (!tier) {
+    unrouted_bytes_ += bytes;
+    return;
+  }
+  counters_[*tier] += bytes;
+}
+
+std::vector<TierUsage> LinkAccounting::poll() const {
+  std::vector<TierUsage> out;
+  out.reserve(counters_.size());
+  for (const auto& [tier, bytes] : counters_) {
+    out.push_back(TierUsage{tier, bytes});
+  }
+  return out;
+}
+
+}  // namespace manytiers::accounting

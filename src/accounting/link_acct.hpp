@@ -1,0 +1,46 @@
+// Link-based (SNMP) accounting (paper §5.2, Fig. 17a).
+//
+// One physical/virtual link — and one BGP session — per pricing tier.
+// Traffic to a destination flows over the link whose session announced
+// the covering route, so per-tier usage is just each link's octet
+// counter, polled periodically via SNMP. Precise, but the session/link
+// overhead grows with the number of tiers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "accounting/route.hpp"
+
+namespace manytiers::accounting {
+
+struct TierUsage {
+  std::uint16_t tier = 0;
+  std::uint64_t bytes = 0;
+};
+
+class LinkAccounting {
+ public:
+  // Provisions one virtual link per tier announced in the RIB. The RIB
+  // must outlive this object.
+  explicit LinkAccounting(const Rib& rib);
+
+  // Forward `bytes` toward `destination`; the covering route picks the
+  // link. Traffic with no covering route is dropped and counted.
+  void send(geo::IpV4 destination, std::uint64_t bytes);
+
+  // SNMP-style poll: per-tier octet counters, ordered by tier.
+  std::vector<TierUsage> poll() const;
+
+  std::uint64_t unrouted_bytes() const { return unrouted_bytes_; }
+  // Provisioning overhead: one BGP session (and link) per tier.
+  std::size_t session_count() const { return counters_.size(); }
+
+ private:
+  const Rib& rib_;
+  std::map<std::uint16_t, std::uint64_t> counters_;
+  std::uint64_t unrouted_bytes_ = 0;
+};
+
+}  // namespace manytiers::accounting

@@ -1,0 +1,74 @@
+#include "accounting/policy.hpp"
+
+#include <stdexcept>
+
+namespace manytiers::accounting {
+
+void EgressPlanner::add_egress(EgressPoint point) {
+  if (point.rib == nullptr || point.rates == nullptr) {
+    throw std::invalid_argument("EgressPlanner: null RIB or rate plan");
+  }
+  if (point.backbone_cost_per_mbps < 0.0) {
+    throw std::invalid_argument(
+        "EgressPlanner: negative backbone cost");
+  }
+  egresses_.push_back(std::move(point));
+}
+
+std::optional<EgressDecision> EgressPlanner::plan(
+    geo::IpV4 destination) const {
+  if (egresses_.empty()) {
+    throw std::logic_error("EgressPlanner::plan: no egress points");
+  }
+  std::optional<EgressDecision> best;
+  for (std::size_t i = 0; i < egresses_.size(); ++i) {
+    const auto& egress = egresses_[i];
+    const Route* route = egress.rib->lookup(destination);
+    if (route == nullptr) continue;
+    EgressDecision d;
+    d.egress_index = i;
+    d.pop_name = egress.pop_name;
+    d.tier = route->tag.tier;
+    d.transit_price_per_mbps = egress.rates->rate_for(route->tag.tier);
+    d.backbone_cost_per_mbps = egress.backbone_cost_per_mbps;
+    d.total_cost_per_mbps =
+        d.transit_price_per_mbps + d.backbone_cost_per_mbps;
+    d.cold_potato = i != 0;
+    if (!best || d.total_cost_per_mbps < best->total_cost_per_mbps) {
+      best = std::move(d);
+    }
+  }
+  return best;
+}
+
+EgressPlanner::CostComparison EgressPlanner::compare(
+    std::span<const std::pair<geo::IpV4, double>> demands_mbps) const {
+  CostComparison out;
+  for (const auto& [dst, mbps] : demands_mbps) {
+    if (!(mbps > 0.0)) {
+      throw std::invalid_argument("EgressPlanner::compare: demand must be > 0");
+    }
+    const auto best = plan(dst);
+    if (!best) {
+      ++out.unroutable;
+      continue;
+    }
+    out.tag_aware_cost += best->total_cost_per_mbps * mbps;
+    // Naive hot potato: always hand off at the first (local) egress.
+    const auto& local = egresses_.front();
+    const Route* route = local.rib->lookup(dst);
+    if (route != nullptr) {
+      out.hot_potato_cost +=
+          (local.rates->rate_for(route->tag.tier) +
+           local.backbone_cost_per_mbps) *
+          mbps;
+    } else {
+      // Hot potato cannot deliver; charge the tag-aware cost so the
+      // comparison stays apples to apples.
+      out.hot_potato_cost += best->total_cost_per_mbps * mbps;
+    }
+  }
+  return out;
+}
+
+}  // namespace manytiers::accounting

@@ -1,0 +1,66 @@
+// Customer-side routing policy over tier-tagged routes (paper §5.1).
+//
+// When the upstream tags its announcements with pricing tiers, a customer
+// with its own backbone can stop hot-potato routing blindly: for each
+// destination it compares handing traffic off at the local PoP (paying
+// that PoP's tier price) against carrying it on its own backbone to a
+// remote PoP where the same destination is announced in a cheaper tier.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accounting/billing.hpp"
+#include "accounting/route.hpp"
+
+namespace manytiers::accounting {
+
+// One potential egress: the upstream's RIB and rate plan at a PoP, plus
+// the customer's own per-Mbps cost of hauling traffic to that PoP.
+struct EgressPoint {
+  std::string pop_name;
+  const Rib* rib = nullptr;            // not owned; must outlive the planner
+  const RatePlan* rates = nullptr;     // not owned
+  double backbone_cost_per_mbps = 0.0; // 0 for the local PoP
+};
+
+struct EgressDecision {
+  std::size_t egress_index = 0;
+  std::string pop_name;
+  std::uint16_t tier = 0;
+  double transit_price_per_mbps = 0.0;
+  double backbone_cost_per_mbps = 0.0;
+  double total_cost_per_mbps = 0.0;
+  // True when the best egress is not the cheapest-haul (first) PoP —
+  // i.e. the tag made the customer carry traffic further itself.
+  bool cold_potato = false;
+};
+
+class EgressPlanner {
+ public:
+  // The first added egress is treated as the default hot-potato handoff.
+  void add_egress(EgressPoint point);
+
+  std::size_t egress_count() const { return egresses_.size(); }
+
+  // Cheapest way to reach `destination`; nullopt if no egress has a
+  // covering route.
+  std::optional<EgressDecision> plan(geo::IpV4 destination) const;
+
+  // Total cost per Mbps of a demand-weighted set of destinations, under
+  // this planner vs naive hot-potato (always the first egress). The
+  // difference is what §5.1's tag-aware routing saves the customer.
+  struct CostComparison {
+    double hot_potato_cost = 0.0;   // $/month
+    double tag_aware_cost = 0.0;    // $/month
+    std::size_t unroutable = 0;
+  };
+  CostComparison compare(
+      std::span<const std::pair<geo::IpV4, double>> demands_mbps) const;
+
+ private:
+  std::vector<EgressPoint> egresses_;
+};
+
+}  // namespace manytiers::accounting

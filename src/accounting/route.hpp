@@ -1,0 +1,75 @@
+// Routes tagged with pricing tiers (paper §5.1).
+//
+// An upstream ISP announces routes tagged with a BGP extended community
+// that names the route's pricing tier; the customer's routers match
+// destinations against these routes (longest prefix wins) and can steer
+// traffic per tier. This module models the RIB the two accounting
+// implementations (§5.2) share.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geo/geoip.hpp"
+
+namespace manytiers::geo {
+template <typename Value>
+class PrefixTrie;
+}  // namespace manytiers::geo
+
+namespace manytiers::accounting {
+
+// BGP extended community "asn:value" used as a tier tag.
+struct TierTag {
+  std::uint16_t asn = 65000;
+  std::uint16_t tier = 0;
+
+  std::string to_string() const;
+  friend auto operator<=>(const TierTag&, const TierTag&) = default;
+};
+
+struct Route {
+  geo::Prefix prefix;
+  TierTag tag;
+  std::string description;
+};
+
+// Routing information base with trie-backed longest-prefix-match lookup
+// and withdrawal support.
+class Rib {
+ public:
+  Rib();
+  Rib(Rib&&) noexcept;
+  Rib& operator=(Rib&&) noexcept;
+  ~Rib();
+
+  // Install or replace the route for its exact prefix.
+  void add(Route route);
+  // Remove the route for an exact prefix; false if it was not announced.
+  bool withdraw(const geo::Prefix& prefix);
+  // Drop every route (session reset).
+  void clear();
+
+  const Route* lookup(geo::IpV4 destination) const;
+  std::optional<std::uint16_t> tier_of(geo::IpV4 destination) const;
+
+  std::size_t size() const;
+  // Snapshot of all routes, ordered by (address, length).
+  std::vector<Route> routes() const;
+
+  // Distinct tiers announced (each needs its own session/link in
+  // link-based accounting).
+  std::vector<std::uint16_t> tiers() const;
+
+ private:
+  // Routes live in a node-stable map; the trie indexes pointers into it.
+  std::map<std::pair<geo::IpV4, int>, Route> by_prefix_;
+  std::unique_ptr<geo::PrefixTrie<const Route*>> index_;
+};
+
+}  // namespace manytiers::accounting

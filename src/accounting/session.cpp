@@ -1,0 +1,62 @@
+#include "accounting/session.hpp"
+
+#include <stdexcept>
+
+namespace manytiers::accounting {
+
+BgpSession::BgpSession(std::string peer_name)
+    : peer_name_(std::move(peer_name)) {}
+
+void BgpSession::establish() { established_ = true; }
+
+void BgpSession::reset() {
+  established_ = false;
+  rib_.clear();
+}
+
+void BgpSession::receive(const UpdateMessage& update) {
+  if (!established_) {
+    throw std::logic_error("BgpSession::receive: session '" + peer_name_ +
+                           "' is not established");
+  }
+  ++updates_received_;
+  for (const auto& prefix : update.withdraw) {
+    if (rib_.withdraw(prefix)) ++routes_withdrawn_;
+  }
+  for (const auto& route : update.announce) {
+    rib_.add(route);
+  }
+}
+
+std::vector<UpdateMessage> announcements_for_tiers(
+    const pricing::PricedBundling& pricing,
+    std::span<const geo::Prefix> flow_prefixes, std::uint16_t asn,
+    std::size_t max_routes_per_update) {
+  if (flow_prefixes.size() != pricing.flow_prices.size()) {
+    throw std::invalid_argument(
+        "announcements_for_tiers: one prefix per flow required");
+  }
+  if (max_routes_per_update == 0) {
+    throw std::invalid_argument(
+        "announcements_for_tiers: updates must carry at least one route");
+  }
+  std::vector<UpdateMessage> out;
+  UpdateMessage current;
+  for (std::size_t b = 0; b < pricing.bundles.size(); ++b) {
+    for (const std::size_t flow : pricing.bundles[b]) {
+      Route route;
+      route.prefix = flow_prefixes[flow];
+      route.tag = TierTag{asn, std::uint16_t(b)};
+      route.description = "tier " + std::to_string(b);
+      current.announce.push_back(std::move(route));
+      if (current.announce.size() == max_routes_per_update) {
+        out.push_back(std::move(current));
+        current = {};
+      }
+    }
+  }
+  if (!current.announce.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace manytiers::accounting

@@ -1,0 +1,63 @@
+// BGP-style sessions carrying tier-tagged announcements (paper §5.1).
+//
+// Models the control-plane path of tiered pricing: the upstream sends
+// UPDATE messages whose routes carry tier tags as extended communities;
+// the customer side of the session applies announcements and withdrawals
+// to its RIB. A session reset (flap) drops everything learned, as real
+// BGP does. `announcements_for_tiers` turns a priced bundling straight
+// into the updates that roll the tier plan out.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "accounting/route.hpp"
+#include "pricing/engine.hpp"
+
+namespace manytiers::accounting {
+
+struct UpdateMessage {
+  std::vector<Route> announce;
+  std::vector<geo::Prefix> withdraw;
+};
+
+class BgpSession {
+ public:
+  explicit BgpSession(std::string peer_name);
+
+  const std::string& peer_name() const { return peer_name_; }
+
+  // Session lifecycle: updates are only accepted while established, and
+  // a reset clears every learned route (BGP's session-flap semantics).
+  void establish();
+  void reset();
+  bool established() const { return established_; }
+
+  // Apply an update; withdrawals are processed before announcements (a
+  // prefix present in both ends up announced). Throws std::logic_error
+  // if the session is down.
+  void receive(const UpdateMessage& update);
+
+  const Rib& rib() const { return rib_; }
+  std::size_t updates_received() const { return updates_received_; }
+  std::size_t routes_withdrawn() const { return routes_withdrawn_; }
+
+ private:
+  std::string peer_name_;
+  bool established_ = false;
+  Rib rib_;
+  std::size_t updates_received_ = 0;
+  std::size_t routes_withdrawn_ = 0;
+};
+
+// Build the UPDATE stream announcing one destination prefix per flow,
+// tagged with the flow's tier from a priced bundling. Routes are packed
+// `max_routes_per_update` to a message (real updates are size-limited).
+std::vector<UpdateMessage> announcements_for_tiers(
+    const pricing::PricedBundling& pricing,
+    std::span<const geo::Prefix> flow_prefixes, std::uint16_t asn,
+    std::size_t max_routes_per_update = 100);
+
+}  // namespace manytiers::accounting

@@ -1,0 +1,55 @@
+#include "bundling/bundle.hpp"
+
+#include <stdexcept>
+
+namespace manytiers::bundling {
+
+void validate(const Bundling& b, std::size_t n_flows) {
+  std::vector<bool> seen(n_flows, false);
+  std::size_t count = 0;
+  for (const auto& bundle : b) {
+    if (bundle.empty()) {
+      throw std::invalid_argument("Bundling: empty bundle");
+    }
+    for (const std::size_t i : bundle) {
+      if (i >= n_flows) {
+        throw std::invalid_argument("Bundling: flow index out of range");
+      }
+      if (seen[i]) {
+        throw std::invalid_argument("Bundling: flow appears twice");
+      }
+      seen[i] = true;
+      ++count;
+    }
+  }
+  if (count != n_flows) {
+    throw std::invalid_argument("Bundling: not all flows are covered");
+  }
+}
+
+Bundling single_bundle(std::size_t n_flows) {
+  if (n_flows == 0) throw std::invalid_argument("single_bundle: no flows");
+  Bundle all(n_flows);
+  for (std::size_t i = 0; i < n_flows; ++i) all[i] = i;
+  return {all};
+}
+
+Bundling per_flow_bundles(std::size_t n_flows) {
+  if (n_flows == 0) throw std::invalid_argument("per_flow_bundles: no flows");
+  Bundling out;
+  out.reserve(n_flows);
+  for (std::size_t i = 0; i < n_flows; ++i) out.push_back({i});
+  return out;
+}
+
+std::vector<std::size_t> bundle_of_flow(const Bundling& b,
+                                        std::size_t n_flows) {
+  validate(b, n_flows);
+  std::vector<std::size_t> out(n_flows);
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    for (const std::size_t i : b[j]) out[i] = j;
+  }
+  return out;
+}
+
+}  // namespace manytiers::bundling

@@ -1,0 +1,29 @@
+// Bundlings: partitions of flow indices into pricing tiers.
+//
+// A Bundling is a partition of {0, ..., n-1}: every flow index appears in
+// exactly one bundle, every bundle is non-empty. Bundles are the paper's
+// "tiers": all flows in a bundle share one price.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace manytiers::bundling {
+
+using Bundle = std::vector<std::size_t>;
+using Bundling = std::vector<Bundle>;
+
+// Throws std::invalid_argument unless `b` is a partition of {0..n-1} into
+// non-empty bundles.
+void validate(const Bundling& b, std::size_t n_flows);
+
+// The trivial one-bundle (blended-rate) bundling.
+Bundling single_bundle(std::size_t n_flows);
+
+// One bundle per flow (infinitely fine-grained tiers).
+Bundling per_flow_bundles(std::size_t n_flows);
+
+// flow index -> bundle index lookup.
+std::vector<std::size_t> bundle_of_flow(const Bundling& b, std::size_t n_flows);
+
+}  // namespace manytiers::bundling

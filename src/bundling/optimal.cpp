@@ -1,0 +1,196 @@
+#include "bundling/optimal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace manytiers::bundling {
+
+namespace {
+
+void search_partitions(std::size_t n, std::size_t max_bundles, std::size_t i,
+                       Bundling& current,
+                       const std::function<double(const Bundling&)>& profit,
+                       double& best_value, Bundling& best) {
+  if (i == n) {
+    const double value = profit(current);
+    if (value > best_value) {
+      best_value = value;
+      best = current;
+    }
+    return;
+  }
+  // Flow i joins an existing bundle... (index loop: recursion may grow
+  // `current` and invalidate iterators, but indices below `existing`
+  // stay stable because deeper frames restore what they add)
+  const std::size_t existing = current.size();
+  for (std::size_t b = 0; b < existing; ++b) {
+    current[b].push_back(i);
+    search_partitions(n, max_bundles, i + 1, current, profit, best_value, best);
+    current[b].pop_back();
+  }
+  // ...or opens a new one (canonical order avoids duplicate partitions).
+  if (current.size() < max_bundles) {
+    current.push_back({i});
+    search_partitions(n, max_bundles, i + 1, current, profit, best_value, best);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+Bundling exhaustive_optimal(
+    std::size_t n_flows, std::size_t max_bundles,
+    const std::function<double(const Bundling&)>& profit) {
+  if (n_flows == 0) throw std::invalid_argument("exhaustive_optimal: no flows");
+  if (n_flows > 14) {
+    throw std::invalid_argument(
+        "exhaustive_optimal: refusing n > 14 (exponential search); use the "
+        "interval DP instead");
+  }
+  if (max_bundles == 0) {
+    throw std::invalid_argument("exhaustive_optimal: need at least one bundle");
+  }
+  Bundling current, best;
+  double best_value = -std::numeric_limits<double>::infinity();
+  search_partitions(n_flows, max_bundles, 0, current, profit, best_value, best);
+  return best;
+}
+
+Bundling interval_dp(std::span<const std::size_t> order, std::size_t n_bundles,
+                     const std::function<double(std::size_t, std::size_t)>&
+                         segment_value) {
+  const std::size_t n = order.size();
+  if (n == 0) throw std::invalid_argument("interval_dp: no flows");
+  if (n_bundles == 0) {
+    throw std::invalid_argument("interval_dp: need at least one bundle");
+  }
+  const std::size_t b_max = std::min(n_bundles, n);
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  // best[b][k]: maximum value of splitting the first k sorted flows into
+  // exactly b intervals; split[b][k]: start of the last interval.
+  std::vector<std::vector<double>> best(b_max + 1,
+                                        std::vector<double>(n + 1, kNegInf));
+  std::vector<std::vector<std::size_t>> split(
+      b_max + 1, std::vector<std::size_t>(n + 1, 0));
+  best[0][0] = 0.0;
+  for (std::size_t b = 1; b <= b_max; ++b) {
+    for (std::size_t k = b; k <= n; ++k) {
+      for (std::size_t i = b - 1; i < k; ++i) {
+        if (best[b - 1][i] == kNegInf) continue;
+        const double value = best[b - 1][i] + segment_value(i, k);
+        if (value > best[b][k]) {
+          best[b][k] = value;
+          split[b][k] = i;
+        }
+      }
+    }
+  }
+  // More bundles can never hurt (the objective is superadditive), but take
+  // the max over b anyway to stay correct for arbitrary segment values.
+  std::size_t b_best = 1;
+  for (std::size_t b = 2; b <= b_max; ++b) {
+    if (best[b][n] > best[b_best][n]) b_best = b;
+  }
+  Bundling out(b_best);
+  std::size_t end = n;
+  for (std::size_t b = b_best; b >= 1; --b) {
+    const std::size_t start = split[b][end];
+    for (std::size_t r = start; r < end; ++r) {
+      out[b - 1].push_back(order[r]);
+    }
+    end = start;
+  }
+  return out;
+}
+
+namespace {
+
+struct PrefixSums {
+  std::vector<std::size_t> order;  // flow indices sorted by unit cost
+  std::vector<double> w;           // prefix sums of weights
+  std::vector<double> wc;          // prefix sums of weight * cost
+};
+
+// Sort by unit cost and accumulate weight prefix sums. `weight` maps a
+// valuation to the model's bundle weight, already normalized by the
+// caller for overflow safety (both objectives are homogeneous in the
+// weights, so normalization does not change the argmax).
+PrefixSums build_prefix_sums(std::span<const double> valuations,
+                             std::span<const double> costs,
+                             const std::function<double(double)>& weight) {
+  if (valuations.empty() || valuations.size() != costs.size()) {
+    throw std::invalid_argument(
+        "optimal bundling: valuations/costs must be equal-size, non-empty");
+  }
+  PrefixSums ps;
+  ps.order.resize(valuations.size());
+  std::iota(ps.order.begin(), ps.order.end(), std::size_t{0});
+  std::stable_sort(ps.order.begin(), ps.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return costs[a] < costs[b];
+                   });
+  ps.w.assign(valuations.size() + 1, 0.0);
+  ps.wc.assign(valuations.size() + 1, 0.0);
+  for (std::size_t r = 0; r < ps.order.size(); ++r) {
+    const std::size_t i = ps.order[r];
+    if (!(costs[i] > 0.0)) {
+      throw std::invalid_argument("optimal bundling: costs must be > 0");
+    }
+    const double wi = weight(valuations[i]);
+    ps.w[r + 1] = ps.w[r] + wi;
+    ps.wc[r + 1] = ps.wc[r] + wi * costs[i];
+  }
+  return ps;
+}
+
+}  // namespace
+
+Bundling ced_optimal(std::span<const double> valuations,
+                     std::span<const double> costs, double alpha,
+                     std::size_t n_bundles) {
+  if (!(alpha > 1.0)) throw std::invalid_argument("ced_optimal: alpha must be > 1");
+  const double vmax = *std::max_element(valuations.begin(), valuations.end());
+  if (!(vmax > 0.0)) {
+    throw std::invalid_argument("ced_optimal: valuations must be > 0");
+  }
+  const auto ps = build_prefix_sums(
+      valuations, costs,
+      [alpha, vmax](double v) { return std::pow(v / vmax, alpha); });
+  // Bundle profit at its optimal price, up to the weight normalization:
+  // W * cbar^(1-alpha) * alpha^-alpha * (alpha-1)^(alpha-1).
+  const double kappa =
+      std::pow(alpha, -alpha) * std::pow(alpha - 1.0, alpha - 1.0);
+  const auto segment_value = [&](std::size_t i, std::size_t j) {
+    const double w = ps.w[j] - ps.w[i];
+    const double c_bar = (ps.wc[j] - ps.wc[i]) / w;
+    return kappa * w * std::pow(c_bar, 1.0 - alpha);
+  };
+  return interval_dp(ps.order, n_bundles, segment_value);
+}
+
+Bundling logit_optimal(std::span<const double> valuations,
+                       std::span<const double> costs, double alpha,
+                       std::size_t n_bundles) {
+  if (!(alpha > 0.0)) {
+    throw std::invalid_argument("logit_optimal: alpha must be > 0");
+  }
+  const double vmax = *std::max_element(valuations.begin(), valuations.end());
+  const double cmin = *std::min_element(costs.begin(), costs.end());
+  const auto ps = build_prefix_sums(
+      valuations, costs,
+      [alpha, vmax](double v) { return std::exp(alpha * (v - vmax)); });
+  // Bundle quality W * e^{-alpha cbar}, shifted by cmin for stability
+  // (multiplies every segment by the same e^{alpha cmin} constant).
+  const auto segment_value = [&](std::size_t i, std::size_t j) {
+    const double w = ps.w[j] - ps.w[i];
+    const double c_bar = (ps.wc[j] - ps.wc[i]) / w;
+    return w * std::exp(-alpha * (c_bar - cmin));
+  };
+  return interval_dp(ps.order, n_bundles, segment_value);
+}
+
+}  // namespace manytiers::bundling

@@ -1,0 +1,52 @@
+// Optimal bundling (paper §4.2.1, the "Optimal" strategy).
+//
+// The paper exhaustively searches all bundle combinations; that is
+// exponential, so we also provide an exact polynomial algorithm. For both
+// demand models, a bundle's contribution to total optimal profit depends
+// only on (W, C) = (sum of flow weights, sum of weight * unit cost):
+//
+//   CED:   weight w_i = v_i^alpha; bundle profit at its optimal price is
+//          W * (C/W)^(1-alpha) * alpha^(-alpha) * (alpha-1)^(alpha-1),
+//          and total profit is the sum over bundles.
+//   Logit: weight w_i = e^{alpha v_i}; total profit is monotone in the
+//          bundle-set quality G = sum_b W_b * e^{-alpha C_b / W_b}.
+//
+// Both per-bundle objectives are positively homogeneous and convex in
+// (W, C), so some optimal partition is contiguous in unit cost c_i: sort
+// flows by cost and split into intervals. That makes an O(B n^2) interval
+// DP exact; tests verify it against exhaustive enumeration on small
+// instances for both models.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "bundling/bundle.hpp"
+
+namespace manytiers::bundling {
+
+// Exhaustive search over every partition of {0..n-1} into at most
+// `max_bundles` non-empty bundles, maximizing `profit`. Exponential;
+// refuses n_flows > 14.
+Bundling exhaustive_optimal(std::size_t n_flows, std::size_t max_bundles,
+                            const std::function<double(const Bundling&)>& profit);
+
+// Exact optimal bundling for the CED model (interval DP, O(B n^2)).
+Bundling ced_optimal(std::span<const double> valuations,
+                     std::span<const double> costs, double alpha,
+                     std::size_t n_bundles);
+
+// Exact optimal bundling for the logit model (interval DP, O(B n^2)).
+Bundling logit_optimal(std::span<const double> valuations,
+                       std::span<const double> costs, double alpha,
+                       std::size_t n_bundles);
+
+// Shared machinery: maximize the sum of `segment_value(i, j)` (value of
+// the sorted segment [i, j)) over partitions of the `order`-sorted flows
+// into at most `n_bundles` intervals. Returns bundles of original indices.
+Bundling interval_dp(std::span<const std::size_t> order,
+                     std::size_t n_bundles,
+                     const std::function<double(std::size_t, std::size_t)>&
+                         segment_value);
+
+}  // namespace manytiers::bundling

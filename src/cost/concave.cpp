@@ -1,0 +1,68 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cost/cost.hpp"
+#include "util/stats.hpp"
+
+namespace manytiers::cost {
+
+namespace {
+
+// Concave function of distance (paper §3.3, Fig. 6): the paper fits
+// normalized leased-line price as y = a * log_b(x) + c with x = d/d_max.
+// Relative cost f_i = max(a * log_b(d_i/d_max) + c, floor) + theta * max f.
+class ConcaveCost final : public CostModel {
+ public:
+  ConcaveCost(double theta, const ConcaveParams& params)
+      : theta_(theta), params_(params) {
+    if (theta < 0.0) {
+      throw std::invalid_argument("concave cost: theta must be >= 0");
+    }
+    if (!(params.a > 0.0) || !(params.b > 1.0)) {
+      throw std::invalid_argument("concave cost: need a > 0 and b > 1");
+    }
+    if (!(params.floor > 0.0)) {
+      throw std::invalid_argument("concave cost: floor must be > 0");
+    }
+  }
+
+  std::string_view name() const override { return "concave"; }
+
+  std::vector<double> relative_costs(
+      const workload::FlowSet& flows) const override {
+    if (flows.empty()) {
+      throw std::invalid_argument("concave cost: empty flow set");
+    }
+    const auto d = flows.distances();
+    const double dmax = util::max_value(d);
+    if (!(dmax > 0.0)) {
+      throw std::domain_error("concave cost: all distances are zero");
+    }
+    const double log_b = std::log(params_.b);
+    std::vector<double> out(d.size());
+    double fmax = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const double x = std::max(d[i] / dmax, 1e-9);
+      const double f = params_.a * std::log(x) / log_b + params_.c;
+      out[i] = std::max(f, params_.floor);
+      fmax = std::max(fmax, out[i]);
+    }
+    const double base = theta_ * fmax;
+    for (auto& f : out) f += base;
+    return out;
+  }
+
+ private:
+  double theta_;
+  ConcaveParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<CostModel> make_concave_cost(double theta,
+                                             const ConcaveParams& params) {
+  return std::make_unique<ConcaveCost>(theta, params);
+}
+
+}  // namespace manytiers::cost

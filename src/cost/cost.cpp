@@ -1,0 +1,14 @@
+#include "cost/cost.hpp"
+
+namespace manytiers::cost {
+
+workload::FlowSet CostModel::expand(const workload::FlowSet& flows) const {
+  return flows;
+}
+
+std::vector<std::size_t> CostModel::class_of_flows(
+    const workload::FlowSet& flows) const {
+  return std::vector<std::size_t>(flows.size(), 0);
+}
+
+}  // namespace manytiers::cost

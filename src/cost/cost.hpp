@@ -1,0 +1,78 @@
+// Cost models (paper §3.3).
+//
+// Each model maps a flow set to *relative* unit costs f_i > 0 (only
+// ratios matter); the calibration step later finds the scale gamma that
+// reconciles them with the blended price, giving c_i = gamma * f_i. The
+// base-cost offset beta = theta * max_j(gamma * f_raw_j) is folded into
+// the relative costs here (f_i = f_raw_i + theta * max f_raw), so gamma
+// remains the single free scale.
+//
+// The destination-type model additionally *expands* the flow set: the
+// paper treats a fraction theta of each flow's traffic as "on-net"
+// (destined to the ISP's customers) at base cost and the rest as
+// "off-net" at twice the cost, so each flow splits into two class-labeled
+// sub-flows.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/flowset.hpp"
+
+namespace manytiers::cost {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Some models (destination-type) split flows into sub-flows; the default
+  // is the identity. Relative costs are always computed on the expanded
+  // set, and bundling/pricing run on the expanded set too.
+  virtual workload::FlowSet expand(const workload::FlowSet& flows) const;
+
+  // Relative unit costs f_i > 0, one per flow of the (expanded) set.
+  virtual std::vector<double> relative_costs(
+      const workload::FlowSet& flows) const = 0;
+
+  // Number of intrinsic cost classes, if the model has discrete classes
+  // (regional -> 3, destination-type -> 2); 0 means continuous.
+  virtual int cost_classes() const { return 0; }
+
+  // Class id of each flow of the (expanded) set, for class-aware bundling.
+  // Defaults to a single class; models with discrete classes override.
+  virtual std::vector<std::size_t> class_of_flows(
+      const workload::FlowSet& flows) const;
+};
+
+// c ~ gamma * (d + theta * d_max): cost linear in distance with a base
+// cost that is a fraction theta of the largest distance cost.
+std::unique_ptr<CostModel> make_linear_cost(double theta);
+
+struct ConcaveParams {
+  double a = 0.5;  // the paper's pooled ITU/NTT fit: a ~ 0.5, b ~ 6, c ~ 1
+  double b = 6.0;
+  double c = 1.0;
+  // Relative cost floor: a*log_b(x)+c goes negative for very small
+  // normalized distances; clamp keeps costs positive (documented
+  // substitution for the paper's unstated handling).
+  double floor = 0.05;
+};
+
+// c ~ gamma * (a * log_b(d / d_max) + c0 + base): concave in distance.
+std::unique_ptr<CostModel> make_concave_cost(double theta,
+                                             const ConcaveParams& params = {});
+
+// c_metro ~ gamma, c_national ~ gamma * 2^theta, c_international ~
+// gamma * 3^theta, using each flow's region label.
+std::unique_ptr<CostModel> make_regional_cost(double theta);
+
+// On-net traffic at gamma * d, off-net at 2 * gamma * d; theta is the
+// fraction of every flow's demand that is on-net. Expands each flow into
+// two class-labeled sub-flows.
+std::unique_ptr<CostModel> make_dest_type_cost(double theta);
+
+}  // namespace manytiers::cost

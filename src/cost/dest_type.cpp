@@ -1,0 +1,79 @@
+#include <stdexcept>
+
+#include "cost/cost.hpp"
+
+namespace manytiers::cost {
+
+namespace {
+
+// Function of destination type (paper §3.3): "on-net" traffic (to the
+// ISP's own customers) costs the ISP half of "off-net" traffic (to peers),
+// because customer-to-customer traffic is paid for twice. theta is the
+// fraction of traffic at each distance destined to customers, so each flow
+// is split into an on-net sub-flow (theta * q, relative cost d) and an
+// off-net sub-flow ((1 - theta) * q, relative cost 2d).
+class DestTypeCost final : public CostModel {
+ public:
+  explicit DestTypeCost(double theta) : theta_(theta) {
+    if (!(theta > 0.0 && theta < 1.0)) {
+      throw std::invalid_argument("dest-type cost: theta must be in (0, 1)");
+    }
+  }
+
+  std::string_view name() const override { return "dest-type"; }
+
+  workload::FlowSet expand(const workload::FlowSet& flows) const override {
+    if (flows.empty()) {
+      throw std::invalid_argument("dest-type cost: empty flow set");
+    }
+    workload::FlowSet out(flows.name() + " (on/off-net split)");
+    for (const auto& f : flows) {
+      workload::Flow on = f;
+      on.demand_mbps = f.demand_mbps * theta_;
+      on.dest_type = workload::DestType::OnNet;
+      out.add(on);
+      workload::Flow off = f;
+      off.demand_mbps = f.demand_mbps * (1.0 - theta_);
+      off.dest_type = workload::DestType::OffNet;
+      out.add(off);
+    }
+    return out;
+  }
+
+  std::vector<double> relative_costs(
+      const workload::FlowSet& flows) const override {
+    if (flows.empty()) {
+      throw std::invalid_argument("dest-type cost: empty flow set");
+    }
+    // Two cost levels only (paper §3.3): traffic between two customers is
+    // paid for twice, so the ISP's net cost for on-net traffic is half
+    // that of off-net traffic, independent of distance.
+    std::vector<double> out;
+    out.reserve(flows.size());
+    for (const auto& f : flows) {
+      out.push_back(f.dest_type == workload::DestType::OnNet ? 1.0 : 2.0);
+    }
+    return out;
+  }
+
+  int cost_classes() const override { return 2; }
+
+  std::vector<std::size_t> class_of_flows(
+      const workload::FlowSet& flows) const override {
+    std::vector<std::size_t> out;
+    out.reserve(flows.size());
+    for (const auto& f : flows) out.push_back(std::size_t(f.dest_type));
+    return out;
+  }
+
+ private:
+  double theta_;
+};
+
+}  // namespace
+
+std::unique_ptr<CostModel> make_dest_type_cost(double theta) {
+  return std::make_unique<DestTypeCost>(theta);
+}
+
+}  // namespace manytiers::cost

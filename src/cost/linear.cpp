@@ -1,0 +1,51 @@
+#include <stdexcept>
+
+#include "cost/cost.hpp"
+#include "util/stats.hpp"
+
+namespace manytiers::cost {
+
+namespace {
+
+// Linear function of distance (paper §3.3): c_i = gamma * d_i + beta with
+// beta = theta * max_j(gamma * d_j), i.e. relative cost f_i = d_i +
+// theta * max_j d_j. Low theta means distance dominates total cost.
+class LinearCost final : public CostModel {
+ public:
+  explicit LinearCost(double theta) : theta_(theta) {
+    if (theta < 0.0) {
+      throw std::invalid_argument("linear cost: theta must be >= 0");
+    }
+  }
+
+  std::string_view name() const override { return "linear"; }
+
+  std::vector<double> relative_costs(
+      const workload::FlowSet& flows) const override {
+    if (flows.empty()) {
+      throw std::invalid_argument("linear cost: empty flow set");
+    }
+    const auto d = flows.distances();
+    const double base = theta_ * util::max_value(d);
+    std::vector<double> out(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      out[i] = d[i] + base;
+      if (!(out[i] > 0.0)) {
+        throw std::domain_error(
+            "linear cost: zero relative cost (zero distance with theta = 0)");
+      }
+    }
+    return out;
+  }
+
+ private:
+  double theta_;
+};
+
+}  // namespace
+
+std::unique_ptr<CostModel> make_linear_cost(double theta) {
+  return std::make_unique<LinearCost>(theta);
+}
+
+}  // namespace manytiers::cost

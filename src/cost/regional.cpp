@@ -1,0 +1,64 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "cost/cost.hpp"
+
+namespace manytiers::cost {
+
+namespace {
+
+// Function of destination region (paper §3.3): metro capacity is cheapest,
+// then national, then international: c_metro = gamma, c_national =
+// gamma * 2^theta, c_international = gamma * 3^theta. theta = 0 removes
+// the regional differences; theta = 1 makes them linear (1, 2, 3); theta >
+// 1 separates them by magnitudes.
+class RegionalCost final : public CostModel {
+ public:
+  explicit RegionalCost(double theta) : theta_(theta) {
+    if (theta < 0.0) {
+      throw std::invalid_argument("regional cost: theta must be >= 0");
+    }
+  }
+
+  std::string_view name() const override { return "regional"; }
+
+  std::vector<double> relative_costs(
+      const workload::FlowSet& flows) const override {
+    if (flows.empty()) {
+      throw std::invalid_argument("regional cost: empty flow set");
+    }
+    std::vector<double> out;
+    out.reserve(flows.size());
+    for (const auto& f : flows) {
+      switch (f.region) {
+        case geo::Region::Metro: out.push_back(1.0); break;
+        case geo::Region::National: out.push_back(std::pow(2.0, theta_)); break;
+        case geo::Region::International:
+          out.push_back(std::pow(3.0, theta_));
+          break;
+      }
+    }
+    return out;
+  }
+
+  int cost_classes() const override { return 3; }
+
+  std::vector<std::size_t> class_of_flows(
+      const workload::FlowSet& flows) const override {
+    std::vector<std::size_t> out;
+    out.reserve(flows.size());
+    for (const auto& f : flows) out.push_back(std::size_t(f.region));
+    return out;
+  }
+
+ private:
+  double theta_;
+};
+
+}  // namespace
+
+std::unique_ptr<CostModel> make_regional_cost(double theta) {
+  return std::make_unique<RegionalCost>(theta);
+}
+
+}  // namespace manytiers::cost

@@ -1,0 +1,29 @@
+// Shared vocabulary for the demand models (paper §3.2).
+//
+// Both models describe, per flow i, how the quantity demanded Q_i responds
+// to the price vector, given a fitted valuation v_i. The pricing engine
+// only needs the operations in this header; CedModel and LogitModel each
+// provide them with their own closed forms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace manytiers::demand {
+
+enum class DemandKind { ConstantElasticity, Logit };
+
+// A flow as the demand models see it: fitted valuation and unit cost.
+struct ModeledFlow {
+  double valuation = 0.0;  // v_i
+  double cost = 0.0;       // c_i ($/Mbps)
+};
+
+// Result of a calibration step (paper §4.1): per-flow valuations plus any
+// model-specific scale (the logit model also needs the market size K).
+struct ValuationFit {
+  std::vector<double> valuations;
+  double market_size = 0.0;  // K for logit; unused (0) for CED
+};
+
+}  // namespace manytiers::demand

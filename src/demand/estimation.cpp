@@ -1,0 +1,118 @@
+#include "demand/estimation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace manytiers::demand {
+
+namespace {
+
+// Pooled within-flow OLS of y on x: demean per flow, regress, and return
+// (-slope, r^2, n). Throws if no flow contributes price variation.
+ElasticityFit within_flow_regression(
+    const std::vector<std::vector<std::pair<double, double>>>& xy) {
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  std::size_t n = 0;
+  for (const auto& history : xy) {
+    if (history.size() < 2) {
+      throw std::invalid_argument(
+          "elasticity estimation: every flow needs >= 2 observations");
+    }
+    double mx = 0.0, my = 0.0;
+    for (const auto& [x, y] : history) {
+      mx += x;
+      my += y;
+    }
+    mx /= double(history.size());
+    my /= double(history.size());
+    for (const auto& [x, y] : history) {
+      sxx += (x - mx) * (x - mx);
+      sxy += (x - mx) * (y - my);
+      syy += (y - my) * (y - my);
+      ++n;
+    }
+  }
+  if (!(sxx > 0.0)) {
+    throw std::invalid_argument(
+        "elasticity estimation: no price variation in any flow history");
+  }
+  ElasticityFit fit;
+  const double slope = sxy / sxx;
+  fit.alpha = -slope;
+  fit.observations = n;
+  fit.r_squared = syy > 0.0 ? (slope * sxy) / syy : 1.0;
+  return fit;
+}
+
+}  // namespace
+
+ElasticityFit estimate_ced_alpha(
+    std::span<const std::vector<PriceDemandPoint>> flow_histories) {
+  if (flow_histories.empty()) {
+    throw std::invalid_argument("estimate_ced_alpha: no flows");
+  }
+  std::vector<std::vector<std::pair<double, double>>> xy;
+  xy.reserve(flow_histories.size());
+  for (const auto& history : flow_histories) {
+    auto& points = xy.emplace_back();
+    for (const auto& obs : history) {
+      if (!(obs.price > 0.0) || !(obs.quantity > 0.0)) {
+        throw std::invalid_argument(
+            "estimate_ced_alpha: prices and quantities must be > 0");
+      }
+      points.emplace_back(std::log(obs.price), std::log(obs.quantity));
+    }
+  }
+  return within_flow_regression(xy);
+}
+
+std::vector<double> estimate_ced_valuations(
+    std::span<const std::vector<PriceDemandPoint>> flow_histories,
+    double alpha) {
+  if (!(alpha > 1.0)) {
+    throw std::invalid_argument("estimate_ced_valuations: alpha must be > 1");
+  }
+  std::vector<double> out;
+  out.reserve(flow_histories.size());
+  for (const auto& history : flow_histories) {
+    if (history.empty()) {
+      throw std::invalid_argument(
+          "estimate_ced_valuations: empty flow history");
+    }
+    // From q = (v/p)^alpha: v = q^{1/alpha} p; average in log space.
+    double acc = 0.0;
+    for (const auto& obs : history) {
+      if (!(obs.price > 0.0) || !(obs.quantity > 0.0)) {
+        throw std::invalid_argument(
+            "estimate_ced_valuations: prices and quantities must be > 0");
+      }
+      acc += std::log(obs.quantity) / alpha + std::log(obs.price);
+    }
+    out.push_back(std::exp(acc / double(history.size())));
+  }
+  return out;
+}
+
+ElasticityFit estimate_logit_alpha(
+    std::span<const std::vector<PriceSharePoint>> flow_histories) {
+  if (flow_histories.empty()) {
+    throw std::invalid_argument("estimate_logit_alpha: no flows");
+  }
+  std::vector<std::vector<std::pair<double, double>>> xy;
+  xy.reserve(flow_histories.size());
+  for (const auto& history : flow_histories) {
+    auto& points = xy.emplace_back();
+    for (const auto& obs : history) {
+      if (!(obs.share > 0.0 && obs.share < 1.0) ||
+          !(obs.no_purchase_share > 0.0 && obs.no_purchase_share < 1.0)) {
+        throw std::invalid_argument(
+            "estimate_logit_alpha: shares must be in (0, 1)");
+      }
+      points.emplace_back(obs.price,
+                          std::log(obs.share / obs.no_purchase_share));
+    }
+  }
+  return within_flow_regression(xy);
+}
+
+}  // namespace manytiers::demand

@@ -1,0 +1,60 @@
+// Elasticity estimation from observed price/demand histories.
+//
+// The paper treats the price sensitivity alpha as an unobservable swept
+// in the evaluation (§4.3.2). An ISP, however, sees how each customer's
+// demand responded to its own past price changes; this module recovers
+// the demand-model parameters from such histories.
+//
+// CED: ln q = alpha (ln v - ln p), so within one flow (v fixed) demand
+// and price co-move with slope -alpha on log scales. We estimate alpha by
+// pooled OLS with per-flow fixed effects (within-flow demeaning), which
+// cancels the unknown valuations exactly.
+//
+// Logit: ln(s_i / s0) = alpha (v_i - p_i), so within one flow the log
+// odds against the outside option move with slope -alpha in the price;
+// the same within-flow estimator applies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace manytiers::demand {
+
+// One (price, demand) observation of a flow, e.g. one billing period.
+struct PriceDemandPoint {
+  double price = 0.0;
+  double quantity = 0.0;
+};
+
+// One (price, market share, outside share) observation of a flow.
+struct PriceSharePoint {
+  double price = 0.0;
+  double share = 0.0;             // s_i
+  double no_purchase_share = 0.0; // s0 in the same period
+};
+
+struct ElasticityFit {
+  double alpha = 0.0;
+  double r_squared = 0.0;       // of the within-flow regression
+  std::size_t observations = 0; // points contributing variation
+};
+
+// Estimate CED alpha from per-flow histories. Every flow needs >= 2
+// observations and at least one flow must have price variation; prices
+// and quantities must be > 0.
+ElasticityFit estimate_ced_alpha(
+    std::span<const std::vector<PriceDemandPoint>> flow_histories);
+
+// Given alpha, recover each flow's valuation as the geometric mean of
+// q_t^{1/alpha} * p_t over its history (exact when the data is CED).
+std::vector<double> estimate_ced_valuations(
+    std::span<const std::vector<PriceDemandPoint>> flow_histories,
+    double alpha);
+
+// Estimate logit alpha from per-flow share histories (shares and s0 in
+// (0, 1)).
+ElasticityFit estimate_logit_alpha(
+    std::span<const std::vector<PriceSharePoint>> flow_histories);
+
+}  // namespace manytiers::demand

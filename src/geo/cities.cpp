@@ -1,0 +1,184 @@
+#include "geo/cities.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace manytiers::geo {
+
+std::string_view to_string(Continent c) {
+  switch (c) {
+    case Continent::NorthAmerica: return "North America";
+    case Continent::SouthAmerica: return "South America";
+    case Continent::Europe: return "Europe";
+    case Continent::Asia: return "Asia";
+    case Continent::Africa: return "Africa";
+    case Continent::Oceania: return "Oceania";
+  }
+  throw std::invalid_argument("unknown continent");
+}
+
+namespace {
+
+using enum Continent;
+
+// Coordinates are city centers, rounded to two decimals (~0.7 mi), which is
+// well below the distance scales the cost models care about.
+constexpr std::array<City, 113> kCities{{
+    // --- North America (Internet2 PoP cities first; the topology module
+    //     references these by name) ---
+    {"Seattle", "US", NorthAmerica, {47.61, -122.33}},
+    {"Sunnyvale", "US", NorthAmerica, {37.37, -122.04}},
+    {"Los Angeles", "US", NorthAmerica, {34.05, -118.24}},
+    {"Denver", "US", NorthAmerica, {39.74, -104.99}},
+    {"Kansas City", "US", NorthAmerica, {39.10, -94.58}},
+    {"Houston", "US", NorthAmerica, {29.76, -95.37}},
+    {"Chicago", "US", NorthAmerica, {41.88, -87.63}},
+    {"Indianapolis", "US", NorthAmerica, {39.77, -86.16}},
+    {"Atlanta", "US", NorthAmerica, {33.75, -84.39}},
+    {"Washington", "US", NorthAmerica, {38.91, -77.04}},
+    {"New York", "US", NorthAmerica, {40.71, -74.01}},
+    {"Boston", "US", NorthAmerica, {42.36, -71.06}},
+    {"Miami", "US", NorthAmerica, {25.76, -80.19}},
+    {"Dallas", "US", NorthAmerica, {32.78, -96.80}},
+    {"Phoenix", "US", NorthAmerica, {33.45, -112.07}},
+    {"Minneapolis", "US", NorthAmerica, {44.98, -93.27}},
+    {"Salt Lake City", "US", NorthAmerica, {40.76, -111.89}},
+    {"Portland", "US", NorthAmerica, {45.52, -122.68}},
+    {"San Diego", "US", NorthAmerica, {32.72, -117.16}},
+    {"Philadelphia", "US", NorthAmerica, {39.95, -75.17}},
+    {"Toronto", "CA", NorthAmerica, {43.65, -79.38}},
+    {"Montreal", "CA", NorthAmerica, {45.50, -73.57}},
+    {"Vancouver", "CA", NorthAmerica, {49.28, -123.12}},
+    {"Mexico City", "MX", NorthAmerica, {19.43, -99.13}},
+    {"Monterrey", "MX", NorthAmerica, {25.67, -100.31}},
+    // --- Europe (dense coverage; the EU ISP workload draws from these,
+    //     including same-country clusters for metro/national flows) ---
+    {"London", "GB", Europe, {51.51, -0.13}},
+    {"Manchester", "GB", Europe, {53.48, -2.24}},
+    {"Birmingham", "GB", Europe, {52.48, -1.90}},
+    {"Edinburgh", "GB", Europe, {55.95, -3.19}},
+    {"Dublin", "IE", Europe, {53.35, -6.26}},
+    {"Paris", "FR", Europe, {48.86, 2.35}},
+    {"Lyon", "FR", Europe, {45.76, 4.84}},
+    {"Marseille", "FR", Europe, {43.30, 5.37}},
+    {"Toulouse", "FR", Europe, {43.60, 1.44}},
+    {"Amsterdam", "NL", Europe, {52.37, 4.90}},
+    {"Rotterdam", "NL", Europe, {51.92, 4.48}},
+    {"The Hague", "NL", Europe, {52.08, 4.31}},
+    {"Brussels", "BE", Europe, {50.85, 4.35}},
+    {"Antwerp", "BE", Europe, {51.22, 4.40}},
+    {"Frankfurt", "DE", Europe, {50.11, 8.68}},
+    {"Berlin", "DE", Europe, {52.52, 13.40}},
+    {"Munich", "DE", Europe, {48.14, 11.58}},
+    {"Hamburg", "DE", Europe, {53.55, 9.99}},
+    {"Cologne", "DE", Europe, {50.94, 6.96}},
+    {"Dusseldorf", "DE", Europe, {51.23, 6.77}},
+    {"Zurich", "CH", Europe, {47.37, 8.54}},
+    {"Geneva", "CH", Europe, {46.20, 6.14}},
+    {"Vienna", "AT", Europe, {48.21, 16.37}},
+    {"Prague", "CZ", Europe, {50.08, 14.44}},
+    {"Warsaw", "PL", Europe, {52.23, 21.01}},
+    {"Krakow", "PL", Europe, {50.06, 19.94}},
+    {"Budapest", "HU", Europe, {47.50, 19.04}},
+    {"Bucharest", "RO", Europe, {44.43, 26.10}},
+    {"Sofia", "BG", Europe, {42.70, 23.32}},
+    {"Athens", "GR", Europe, {37.98, 23.73}},
+    {"Rome", "IT", Europe, {41.90, 12.50}},
+    {"Milan", "IT", Europe, {45.46, 9.19}},
+    {"Turin", "IT", Europe, {45.07, 7.69}},
+    {"Madrid", "ES", Europe, {40.42, -3.70}},
+    {"Barcelona", "ES", Europe, {41.39, 2.17}},
+    {"Valencia", "ES", Europe, {39.47, -0.38}},
+    {"Lisbon", "PT", Europe, {38.72, -9.14}},
+    {"Porto", "PT", Europe, {41.15, -8.61}},
+    {"Copenhagen", "DK", Europe, {55.68, 12.57}},
+    {"Stockholm", "SE", Europe, {59.33, 18.07}},
+    {"Gothenburg", "SE", Europe, {57.71, 11.97}},
+    {"Oslo", "NO", Europe, {59.91, 10.75}},
+    {"Helsinki", "FI", Europe, {60.17, 24.94}},
+    {"Vilnius", "LT", Europe, {54.69, 25.28}},
+    {"Kaunas", "LT", Europe, {54.90, 23.89}},
+    {"Riga", "LV", Europe, {56.95, 24.11}},
+    {"Tallinn", "EE", Europe, {59.44, 24.75}},
+    {"Kyiv", "UA", Europe, {50.45, 30.52}},
+    {"Istanbul", "TR", Europe, {41.01, 28.98}},
+    {"Moscow", "RU", Europe, {55.76, 37.62}},
+    // --- Asia ---
+    {"Tokyo", "JP", Asia, {35.68, 139.69}},
+    {"Osaka", "JP", Asia, {34.69, 135.50}},
+    {"Seoul", "KR", Asia, {37.57, 126.98}},
+    {"Beijing", "CN", Asia, {39.90, 116.41}},
+    {"Shanghai", "CN", Asia, {31.23, 121.47}},
+    {"Shenzhen", "CN", Asia, {22.54, 114.06}},
+    {"Hong Kong", "HK", Asia, {22.32, 114.17}},
+    {"Taipei", "TW", Asia, {25.03, 121.57}},
+    {"Singapore", "SG", Asia, {1.35, 103.82}},
+    {"Kuala Lumpur", "MY", Asia, {3.14, 101.69}},
+    {"Jakarta", "ID", Asia, {-6.21, 106.85}},
+    {"Bangkok", "TH", Asia, {13.76, 100.50}},
+    {"Mumbai", "IN", Asia, {19.08, 72.88}},
+    {"Delhi", "IN", Asia, {28.61, 77.21}},
+    {"Chennai", "IN", Asia, {13.08, 80.27}},
+    {"Dubai", "AE", Asia, {25.20, 55.27}},
+    {"Tel Aviv", "IL", Asia, {32.09, 34.78}},
+    {"Manila", "PH", Asia, {14.60, 120.98}},
+    {"Hanoi", "VN", Asia, {21.03, 105.85}},
+    // --- South America ---
+    {"Sao Paulo", "BR", SouthAmerica, {-23.55, -46.63}},
+    {"Rio de Janeiro", "BR", SouthAmerica, {-22.91, -43.17}},
+    {"Buenos Aires", "AR", SouthAmerica, {-34.60, -58.38}},
+    {"Santiago", "CL", SouthAmerica, {-33.45, -70.67}},
+    {"Bogota", "CO", SouthAmerica, {4.71, -74.07}},
+    {"Lima", "PE", SouthAmerica, {-12.05, -77.04}},
+    {"Caracas", "VE", SouthAmerica, {10.48, -66.90}},
+    // --- Africa ---
+    {"Johannesburg", "ZA", Africa, {-26.20, 28.05}},
+    {"Cape Town", "ZA", Africa, {-33.92, 18.42}},
+    {"Cairo", "EG", Africa, {30.04, 31.24}},
+    {"Lagos", "NG", Africa, {6.52, 3.38}},
+    {"Nairobi", "KE", Africa, {-1.29, 36.82}},
+    {"Casablanca", "MA", Africa, {33.57, -7.59}},
+    // --- Oceania ---
+    {"Sydney", "AU", Oceania, {-33.87, 151.21}},
+    {"Melbourne", "AU", Oceania, {-37.81, 144.96}},
+    {"Perth", "AU", Oceania, {-31.95, 115.86}},
+    {"Brisbane", "AU", Oceania, {-27.47, 153.03}},
+    {"Auckland", "NZ", Oceania, {-36.85, 174.76}},
+    {"Wellington", "NZ", Oceania, {-41.29, 174.78}},
+}};
+
+}  // namespace
+
+std::span<const City> world_cities() { return kCities; }
+
+std::optional<std::size_t> find_city(std::string_view name) {
+  for (std::size_t i = 0; i < kCities.size(); ++i) {
+    if (kCities[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> cities_in(Continent c) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < kCities.size(); ++i) {
+    if (kCities[i].continent == c) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> cities_in_country(std::string_view country) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < kCities.size(); ++i) {
+    if (kCities[i].country == country) out.push_back(i);
+  }
+  return out;
+}
+
+double city_distance_miles(std::size_t a, std::size_t b) {
+  if (a >= kCities.size() || b >= kCities.size()) {
+    throw std::out_of_range("city_distance_miles: bad city index");
+  }
+  return haversine_miles(kCities[a].location, kCities[b].location);
+}
+
+}  // namespace manytiers::geo

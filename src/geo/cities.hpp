@@ -1,0 +1,42 @@
+// Embedded world-city database.
+//
+// Substitutes for the commercial GeoIP city data the paper uses: a compact
+// set of real cities with coordinates, country, and continent, enough to
+// classify flows as metro / national / international and to compute
+// realistic great-circle distances.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "geo/coord.hpp"
+
+namespace manytiers::geo {
+
+enum class Continent { NorthAmerica, SouthAmerica, Europe, Asia, Africa, Oceania };
+
+std::string_view to_string(Continent c);
+
+struct City {
+  std::string_view name;
+  std::string_view country;  // ISO 3166-1 alpha-2
+  Continent continent;
+  GeoPoint location;
+};
+
+// The full embedded database (stable order; index is a valid city id).
+std::span<const City> world_cities();
+
+// Find a city by exact name; nullopt if absent.
+std::optional<std::size_t> find_city(std::string_view name);
+
+// All city indices on a continent / in a country.
+std::vector<std::size_t> cities_in(Continent c);
+std::vector<std::size_t> cities_in_country(std::string_view country);
+
+// Great-circle distance between two cities by index.
+double city_distance_miles(std::size_t a, std::size_t b);
+
+}  // namespace manytiers::geo

@@ -1,0 +1,33 @@
+#include "geo/coord.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace manytiers::geo {
+
+void validate(const GeoPoint& p) {
+  if (p.lat_deg < -90.0 || p.lat_deg > 90.0) {
+    throw std::invalid_argument("GeoPoint: latitude out of [-90, 90]");
+  }
+  if (p.lon_deg < -180.0 || p.lon_deg > 180.0) {
+    throw std::invalid_argument("GeoPoint: longitude out of [-180, 180]");
+  }
+}
+
+double haversine_miles(const GeoPoint& a, const GeoPoint& b) {
+  validate(a);
+  validate(b);
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMiles * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+}  // namespace manytiers::geo

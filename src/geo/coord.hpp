@@ -1,0 +1,24 @@
+// Geographic coordinates and great-circle distance.
+//
+// The paper's cost models are driven by the distance each flow travels
+// (paper §4.1.1): great-circle distance between entry/exit PoPs for the
+// EU ISP, GeoIP-estimated distance for the CDN, and summed link lengths
+// for Internet2. All distances in this library are in statute miles.
+#pragma once
+
+namespace manytiers::geo {
+
+struct GeoPoint {
+  double lat_deg = 0.0;  // [-90, 90]
+  double lon_deg = 0.0;  // [-180, 180]
+};
+
+inline constexpr double kEarthRadiusMiles = 3958.7613;
+
+// Great-circle (haversine) distance in miles between two points.
+double haversine_miles(const GeoPoint& a, const GeoPoint& b);
+
+// Validate a coordinate; throws std::invalid_argument if out of range.
+void validate(const GeoPoint& p);
+
+}  // namespace manytiers::geo

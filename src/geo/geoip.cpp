@@ -1,0 +1,153 @@
+#include "geo/geoip.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+#include "geo/trie.hpp"
+
+namespace manytiers::geo {
+
+namespace {
+
+int parse_octet(std::string_view s) {
+  int value = -1;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || value < 0 ||
+      value > 255) {
+    throw std::invalid_argument("parse_ipv4: bad octet '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+IpV4 parse_ipv4(std::string_view dotted) {
+  IpV4 out = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (octets < 4) {
+    const std::size_t dot = dotted.find('.', pos);
+    const bool last = octets == 3;
+    if (last != (dot == std::string_view::npos)) {
+      throw std::invalid_argument("parse_ipv4: expected 4 octets");
+    }
+    const std::string_view part =
+        last ? dotted.substr(pos) : dotted.substr(pos, dot - pos);
+    out = (out << 8) | IpV4(parse_octet(part));
+    pos = dot + 1;
+    ++octets;
+  }
+  return out;
+}
+
+std::string format_ipv4(IpV4 ip) {
+  return std::to_string((ip >> 24) & 0xff) + '.' +
+         std::to_string((ip >> 16) & 0xff) + '.' +
+         std::to_string((ip >> 8) & 0xff) + '.' + std::to_string(ip & 0xff);
+}
+
+namespace {
+IpV4 mask_for(int length) {
+  if (length < 0 || length > 32) {
+    throw std::invalid_argument("prefix length out of [0, 32]");
+  }
+  return length == 0 ? 0 : ~IpV4(0) << (32 - length);
+}
+}  // namespace
+
+IpV4 Prefix::first() const { return address; }
+
+IpV4 Prefix::last() const { return address | ~mask_for(length); }
+
+bool Prefix::contains(IpV4 ip) const {
+  return (ip & mask_for(length)) == address;
+}
+
+Prefix parse_prefix(std::string_view cidr) {
+  const std::size_t slash = cidr.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("parse_prefix: missing '/'");
+  }
+  Prefix p;
+  p.address = parse_ipv4(cidr.substr(0, slash));
+  const std::string_view len = cidr.substr(slash + 1);
+  const auto [ptr, ec] =
+      std::from_chars(len.data(), len.data() + len.size(), p.length);
+  if (ec != std::errc{} || ptr != len.data() + len.size()) {
+    throw std::invalid_argument("parse_prefix: bad length");
+  }
+  if ((p.address & ~mask_for(p.length)) != 0) {
+    throw std::invalid_argument("parse_prefix: nonzero host bits");
+  }
+  return p;
+}
+
+std::string format_prefix(const Prefix& p) {
+  return format_ipv4(p.address) + '/' + std::to_string(p.length);
+}
+
+GeoIpDb::GeoIpDb() : trie_(std::make_unique<PrefixTrie<std::size_t>>()) {}
+GeoIpDb::GeoIpDb(GeoIpDb&&) noexcept = default;
+GeoIpDb& GeoIpDb::operator=(GeoIpDb&&) noexcept = default;
+GeoIpDb::~GeoIpDb() = default;
+
+void GeoIpDb::add(const Prefix& prefix, std::size_t city_id) {
+  if (city_id >= world_cities().size()) {
+    throw std::out_of_range("GeoIpDb::add: bad city id");
+  }
+  trie_->insert(prefix, city_id);  // validates host bits; replaces dupes
+}
+
+std::optional<std::size_t> GeoIpDb::lookup_city(IpV4 ip) const {
+  return trie_->lookup(ip);
+}
+
+std::size_t GeoIpDb::size() const { return trie_->size(); }
+
+const City* GeoIpDb::lookup(IpV4 ip) const {
+  const auto id = lookup_city(ip);
+  return id ? &world_cities()[*id] : nullptr;
+}
+
+Prefix synthetic_block(std::size_t city_id, int block, int blocks_per_city) {
+  if (blocks_per_city <= 0) {
+    throw std::invalid_argument("synthetic_block: blocks_per_city must be > 0");
+  }
+  if (block < 0 || block >= blocks_per_city) {
+    throw std::out_of_range("synthetic_block: block index out of range");
+  }
+  // Lay city blocks out as consecutive /16s starting at 100.0.0.0; with
+  // ~113 cities and a handful of blocks each this stays inside 100/8.
+  const std::uint32_t index =
+      std::uint32_t(city_id) * std::uint32_t(blocks_per_city) +
+      std::uint32_t(block);
+  Prefix p;
+  p.address = (IpV4(100) << 24) | (index << 16);
+  p.length = 16;
+  return p;
+}
+
+GeoIpDb build_synthetic_geoip(int blocks_per_city) {
+  GeoIpDb db;
+  const auto cities = world_cities();
+  for (std::size_t c = 0; c < cities.size(); ++c) {
+    for (int b = 0; b < blocks_per_city; ++b) {
+      db.add(synthetic_block(c, b, blocks_per_city), c);
+    }
+  }
+  return db;
+}
+
+IpV4 synthetic_host(std::size_t city_id, std::uint32_t salt,
+                    int blocks_per_city) {
+  // splitmix-style scramble of the salt picks the block and host bits.
+  std::uint64_t z = salt + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  const int block = int(z % std::uint64_t(blocks_per_city));
+  const std::uint32_t host = std::uint32_t((z >> 8) & 0xffff);
+  return synthetic_block(city_id, block, blocks_per_city).address | host;
+}
+
+}  // namespace manytiers::geo

@@ -1,0 +1,76 @@
+// Synthetic GeoIP database: IPv4 prefix -> city, with longest-prefix match.
+//
+// Stand-in for the MaxMind GeoIP database the paper uses (§4.1.1) to
+// estimate CDN flow distances and to classify flow regions. Prefixes are
+// allocated to cities deterministically so traces are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/cities.hpp"
+
+namespace manytiers::geo {
+
+using IpV4 = std::uint32_t;  // host byte order
+
+// Parse "a.b.c.d" into an IpV4; throws std::invalid_argument on bad input.
+IpV4 parse_ipv4(std::string_view dotted);
+std::string format_ipv4(IpV4 ip);
+
+struct Prefix {
+  IpV4 address = 0;  // low bits below the mask must be zero
+  int length = 0;    // [0, 32]
+
+  IpV4 first() const;
+  IpV4 last() const;
+  bool contains(IpV4 ip) const;
+};
+
+// Parse "a.b.c.d/len"; throws on malformed input or nonzero host bits.
+Prefix parse_prefix(std::string_view cidr);
+std::string format_prefix(const Prefix& p);
+
+template <typename Value>
+class PrefixTrie;
+
+// Longest-prefix-match database mapping prefixes to city ids, backed by
+// a binary trie (geo/trie.hpp).
+class GeoIpDb {
+ public:
+  GeoIpDb();
+  GeoIpDb(GeoIpDb&&) noexcept;
+  GeoIpDb& operator=(GeoIpDb&&) noexcept;
+  ~GeoIpDb();
+
+  // Insert a mapping; later duplicates of the exact same prefix replace
+  // earlier ones.
+  void add(const Prefix& prefix, std::size_t city_id);
+
+  // Longest-prefix match; nullopt if no covering prefix exists.
+  std::optional<std::size_t> lookup_city(IpV4 ip) const;
+  const City* lookup(IpV4 ip) const;
+
+  std::size_t size() const;
+
+ private:
+  std::unique_ptr<PrefixTrie<std::size_t>> trie_;
+};
+
+// Build a deterministic database assigning one or more /16 blocks out of
+// 100.0.0.0/8..., to every city in `world_cities()`. Every city gets
+// `blocks_per_city` consecutive /16s; block assignment is a fixed function
+// of the city index.
+GeoIpDb build_synthetic_geoip(int blocks_per_city = 2);
+
+// The i-th /16 block base address used by the synthetic allocator, and a
+// deterministic "random-looking" host address inside a city's space.
+Prefix synthetic_block(std::size_t city_id, int block, int blocks_per_city);
+IpV4 synthetic_host(std::size_t city_id, std::uint32_t salt,
+                    int blocks_per_city = 2);
+
+}  // namespace manytiers::geo

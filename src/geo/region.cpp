@@ -1,0 +1,42 @@
+#include "geo/region.hpp"
+
+#include <stdexcept>
+
+#include "geo/cities.hpp"
+
+namespace manytiers::geo {
+
+std::string_view to_string(Region r) {
+  switch (r) {
+    case Region::Metro: return "metro";
+    case Region::National: return "national";
+    case Region::International: return "international";
+  }
+  throw std::invalid_argument("unknown region");
+}
+
+Region classify_cities(std::size_t src_city, std::size_t dst_city) {
+  const auto cities = world_cities();
+  if (src_city >= cities.size() || dst_city >= cities.size()) {
+    throw std::out_of_range("classify_cities: bad city index");
+  }
+  if (src_city == dst_city) return Region::Metro;
+  if (cities[src_city].country == cities[dst_city].country) {
+    return Region::National;
+  }
+  return Region::International;
+}
+
+Region classify_distance(double distance_miles, const DistanceThresholds& t) {
+  if (distance_miles < 0.0) {
+    throw std::invalid_argument("classify_distance: negative distance");
+  }
+  if (!(t.metro_miles < t.national_miles)) {
+    throw std::invalid_argument("classify_distance: thresholds must increase");
+  }
+  if (distance_miles < t.metro_miles) return Region::Metro;
+  if (distance_miles < t.national_miles) return Region::National;
+  return Region::International;
+}
+
+}  // namespace manytiers::geo

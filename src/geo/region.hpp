@@ -1,0 +1,31 @@
+// Metro / national / international flow classification (paper §3.3,
+// "function of destination region").
+//
+// Flows that originate and terminate in the same city are metro; the same
+// country, national; otherwise international. When only distances are
+// known (the EU ISP case), the paper classifies < 10 miles as metro and
+// < 100 miles as national.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace manytiers::geo {
+
+enum class Region { Metro, National, International };
+
+std::string_view to_string(Region r);
+
+// Classification from city identities.
+Region classify_cities(std::size_t src_city, std::size_t dst_city);
+
+struct DistanceThresholds {
+  double metro_miles = 10.0;
+  double national_miles = 100.0;
+};
+
+// Classification from distance alone (EU ISP heuristic, paper §3.3).
+Region classify_distance(double distance_miles,
+                         const DistanceThresholds& t = {});
+
+}  // namespace manytiers::geo

@@ -1,0 +1,116 @@
+// Binary trie for IPv4 longest-prefix match.
+//
+// The production lookup engine behind GeoIpDb and the accounting RIB:
+// insert is O(prefix length), lookup walks at most 32 levels and returns
+// the deepest value on the path. Values are stored by copy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "geo/geoip.hpp"
+
+namespace manytiers::geo {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+
+  // Insert (or replace) the value for an exact prefix.
+  void insert(const Prefix& prefix, Value value) {
+    if (prefix.length < 0 || prefix.length > 32) {
+      throw std::invalid_argument("PrefixTrie::insert: bad prefix length");
+    }
+    const IpV4 mask =
+        prefix.length == 0 ? 0 : ~IpV4(0) << (32 - prefix.length);
+    if ((prefix.address & ~mask) != 0) {
+      throw std::invalid_argument("PrefixTrie::insert: nonzero host bits");
+    }
+    Node* node = &root_;
+    for (int depth = 0; depth < prefix.length; ++depth) {
+      const int bit = (prefix.address >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  // Longest-prefix match: the value of the most specific prefix covering
+  // `address`, or nullopt.
+  std::optional<Value> lookup(IpV4 address) const {
+    const Value* found = lookup_ptr(address);
+    if (found == nullptr) return std::nullopt;
+    return *found;
+  }
+
+  // Pointer variant avoiding the copy; invalidated by insert.
+  const Value* lookup_ptr(IpV4 address) const {
+    const Node* node = &root_;
+    const Value* best = node->value ? &*node->value : nullptr;
+    for (int depth = 0; depth < 32; ++depth) {
+      const int bit = (address >> (31 - depth)) & 1;
+      const auto& child = node->children[bit];
+      if (!child) break;
+      node = child.get();
+      if (node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  // Exact-match retrieval (no LPM); nullptr if the prefix was not inserted.
+  const Value* find_exact(const Prefix& prefix) const {
+    const Node* node = &root_;
+    for (int depth = 0; depth < prefix.length; ++depth) {
+      const int bit = (prefix.address >> (31 - depth)) & 1;
+      const auto& child = node->children[bit];
+      if (!child) return nullptr;
+      node = child.get();
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  // Remove an exact prefix; returns false if it was not present. Empty
+  // branches are pruned so long-lived tries do not leak nodes.
+  bool erase(const Prefix& prefix) {
+    if (prefix.length < 0 || prefix.length > 32) return false;
+    return erase_impl(root_, prefix, 0);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> children[2];
+
+    bool prunable() const {
+      return !value && !children[0] && !children[1];
+    }
+  };
+
+  bool erase_impl(Node& node, const Prefix& prefix, int depth) {
+    if (depth == prefix.length) {
+      if (!node.value) return false;
+      node.value.reset();
+      --size_;
+      return true;
+    }
+    const int bit = (prefix.address >> (31 - depth)) & 1;
+    auto& child = node.children[bit];
+    if (!child) return false;
+    if (!erase_impl(*child, prefix, depth + 1)) return false;
+    if (child->prunable()) child.reset();
+    return true;
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace manytiers::geo

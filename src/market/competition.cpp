@@ -1,0 +1,153 @@
+#include "market/competition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/optimize.hpp"
+
+namespace manytiers::market {
+
+namespace {
+
+void require_flows(const std::vector<double>& v, const Transiter& t) {
+  if (t.costs.size() != v.size() || t.prices.size() != v.size()) {
+    throw std::invalid_argument("Duopoly: transiter '" + t.name +
+                                "' must quote every flow");
+  }
+  // Prices may legitimately sit below some flows' costs: a blended rate
+  // subsidizes expensive flows with cheap ones (paper §2.1).
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!(t.costs[i] > 0.0)) {
+      throw std::invalid_argument("Duopoly: costs must be > 0");
+    }
+    if (!(t.prices[i] > 0.0)) {
+      throw std::invalid_argument("Duopoly: prices must be > 0");
+    }
+  }
+}
+
+// Attraction mass sum_i e^{alpha (v_i - p_i)} of a price vector.
+double attraction(const std::vector<double>& v, std::span<const double> p,
+                  double alpha) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    total += std::exp(alpha * (v[i] - p[i]));
+  }
+  return total;
+}
+
+}  // namespace
+
+Duopoly::Duopoly(std::vector<double> valuations, CompetitionConfig config)
+    : valuations_(std::move(valuations)), config_(config) {
+  if (valuations_.empty()) {
+    throw std::invalid_argument("Duopoly: no flows");
+  }
+  if (!(config_.alpha > 0.0) || !(config_.market_size > 0.0)) {
+    throw std::invalid_argument("Duopoly: alpha and market size must be > 0");
+  }
+  if (config_.max_rounds < 1) {
+    throw std::invalid_argument("Duopoly: max_rounds must be >= 1");
+  }
+}
+
+std::vector<double> Duopoly::shares(const Transiter& self,
+                                    const Transiter& rival) const {
+  const double alpha = config_.alpha;
+  const double denom = 1.0 + attraction(valuations_, self.prices, alpha) +
+                       attraction(valuations_, rival.prices, alpha);
+  std::vector<double> out(valuations_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::exp(alpha * (valuations_[i] - self.prices[i])) / denom;
+  }
+  return out;
+}
+
+double Duopoly::profit(const Transiter& self, const Transiter& rival) const {
+  require_flows(valuations_, self);
+  require_flows(valuations_, rival);
+  const auto s = shares(self, rival);
+  double total = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    total += s[i] * (self.prices[i] - self.costs[i]);
+  }
+  return config_.market_size * total;
+}
+
+std::vector<double> Duopoly::best_response(const Transiter& self,
+                                           const Transiter& rival) const {
+  require_flows(valuations_, self);
+  require_flows(valuations_, rival);
+  const double alpha = config_.alpha;
+  // Multiproduct-logit best response: the optimal common markup satisfies
+  // m = 1 / (alpha (1 - S_self)), where S_self is the firm's total share.
+  // With D = 1 + E_rival + E_self(m) and 1 - S_self = (1 + E_rival)/D,
+  // the fixed point is m = (1 + E_rival + E_self(m)) / (alpha (1 +
+  // E_rival)); h(m) = m - g(m) is strictly increasing, so bisection is
+  // exact. (The monopoly case has E_rival = 0 and reduces to Eq. 9.)
+  const double outside = 1.0 + attraction(valuations_, rival.prices, alpha);
+  double self_mass = 0.0;  // at m = 0
+  for (std::size_t i = 0; i < valuations_.size(); ++i) {
+    self_mass += std::exp(alpha * (valuations_[i] - self.costs[i]));
+  }
+  const auto g = [&](double m) {
+    return (outside + self_mass * std::exp(-alpha * m)) / (alpha * outside);
+  };
+  const double hi = g(0.0);
+  const double m = util::find_root([&](double x) { return x - g(x); }, 1e-12,
+                                   hi, 1e-13 * std::max(1.0, hi));
+  std::vector<double> prices(valuations_.size());
+  for (std::size_t i = 0; i < prices.size(); ++i) {
+    prices[i] = self.costs[i] + m;
+  }
+  return prices;
+}
+
+double Duopoly::monopoly_profit(const Transiter& alone) const {
+  // A rival with unbuyable prices contributes no attraction.
+  Transiter ghost;
+  ghost.name = "(absent)";
+  ghost.costs.assign(valuations_.size(), 1.0);
+  const double vmax =
+      *std::max_element(valuations_.begin(), valuations_.end());
+  ghost.prices.assign(valuations_.size(), vmax + 1e4);
+  Transiter self = alone;
+  self.prices = best_response(self, ghost);
+  return profit(self, ghost);
+}
+
+CompetitionResult Duopoly::run(Transiter a, Transiter b) const {
+  require_flows(valuations_, a);
+  require_flows(valuations_, b);
+  CompetitionResult result;
+  for (int round = 1; round <= config_.max_rounds; ++round) {
+    result.rounds = round;
+    double max_change = 0.0;
+    for (Transiter* mover : {&a, &b}) {
+      const Transiter& rival = mover == &a ? b : a;
+      auto next = best_response(*mover, rival);
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        max_change = std::max(max_change,
+                              std::abs(next[i] - mover->prices[i]));
+      }
+      mover->prices = std::move(next);
+    }
+    if (max_change < config_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.profit_a = profit(a, b);
+  result.profit_b = profit(b, a);
+  const auto sa = shares(a, b);
+  const auto sb = shares(b, a);
+  for (const double s : sa) result.share_a += s;
+  for (const double s : sb) result.share_b += s;
+  result.no_purchase_share = 1.0 - result.share_a - result.share_b;
+  result.a = std::move(a);
+  result.b = std::move(b);
+  return result;
+}
+
+}  // namespace manytiers::market

@@ -1,0 +1,81 @@
+// Duopoly transit competition (the paper's noted future work).
+//
+// The paper models a single profit-maximizing ISP and folds competition
+// into the residual demand curves (§3.2.1), noting explicitly that it
+// does "not capture full dynamic interaction between competing ISPs
+// (e.g., price wars)". This module adds that interaction for the logit
+// market: two ISPs sell transit for the same flows, each consumer picks
+// ISP A's offer, ISP B's offer, or the outside option, and the ISPs
+// alternate best responses until prices converge.
+//
+// Each ISP's best response given the rival's prices is an equal-markup
+// fixed point like the monopoly case: with p_i = c_i + m, the first-order
+// conditions give m = (1 + E_rival + E_own(m)) / alpha evaluated at the
+// optimum, where E are the rival's and own exponential attraction sums.
+// h(m) = m - g(m) is strictly increasing, so bisection solves it exactly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace manytiers::market {
+
+// One competitor: per-flow unit costs, and a price vector that evolves.
+struct Transiter {
+  std::string name;
+  std::vector<double> costs;   // c_i per flow
+  std::vector<double> prices;  // current prices (start anywhere >= cost)
+};
+
+struct CompetitionConfig {
+  double alpha = 1.1;          // logit elasticity
+  double market_size = 1000.0; // consumers K
+  int max_rounds = 500;        // alternating best-response rounds
+  double tolerance = 1e-10;    // max price change declaring convergence
+};
+
+struct CompetitionResult {
+  Transiter a;
+  Transiter b;
+  int rounds = 0;
+  bool converged = false;
+  double profit_a = 0.0;
+  double profit_b = 0.0;
+  double share_a = 0.0;  // total market share won by A
+  double share_b = 0.0;
+  double no_purchase_share = 0.0;
+};
+
+class Duopoly {
+ public:
+  // Both ISPs must quote the same flows (equal-size valuation/cost sets).
+  Duopoly(std::vector<double> valuations, CompetitionConfig config);
+
+  // Exact best response of `self` to `rival`'s current prices: the
+  // equal-markup fixed point given the rival's attraction mass.
+  std::vector<double> best_response(const Transiter& self,
+                                    const Transiter& rival) const;
+
+  // Alternate best responses until convergence (or max_rounds).
+  CompetitionResult run(Transiter a, Transiter b) const;
+
+  // Profit of `self` at the current price vectors.
+  double profit(const Transiter& self, const Transiter& rival) const;
+
+  // Monopoly benchmark: the profit A would earn with B absent.
+  double monopoly_profit(const Transiter& alone) const;
+
+  const std::vector<double>& valuations() const { return valuations_; }
+
+ private:
+  // Logit shares of self's offers given both ISPs' prices.
+  std::vector<double> shares(const Transiter& self,
+                             const Transiter& rival) const;
+
+  std::vector<double> valuations_;
+  CompetitionConfig config_;
+};
+
+}  // namespace manytiers::market

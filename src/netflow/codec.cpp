@@ -1,0 +1,143 @@
+#include "netflow/codec.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace manytiers::netflow {
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(std::uint8_t(v >> 8));
+  out.push_back(std::uint8_t(v & 0xff));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(std::uint8_t(v >> 24));
+  out.push_back(std::uint8_t((v >> 16) & 0xff));
+  out.push_back(std::uint8_t((v >> 8) & 0xff));
+  out.push_back(std::uint8_t(v & 0xff));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t at) {
+  return std::uint16_t((std::uint16_t(in[at]) << 8) | in[at + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t at) {
+  return (std::uint32_t(in[at]) << 24) | (std::uint32_t(in[at + 1]) << 16) |
+         (std::uint32_t(in[at + 2]) << 8) | std::uint32_t(in[at + 3]);
+}
+
+std::uint32_t clamp32(std::uint64_t v) {
+  return v > std::numeric_limits<std::uint32_t>::max()
+             ? std::numeric_limits<std::uint32_t>::max()
+             : std::uint32_t(v);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_v5_packet(std::span<const FlowRecord> records,
+                                           const V5PacketOptions& options) {
+  if (records.empty() || records.size() > kV5MaxRecords) {
+    throw std::invalid_argument(
+        "encode_v5_packet: record count must be in [1, 30]");
+  }
+  if (options.sampling_rate >= (1u << 14)) {
+    throw std::invalid_argument(
+        "encode_v5_packet: sampling rate must fit in 14 bits");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kV5HeaderBytes + records.size() * kV5RecordBytes);
+  // --- header ---
+  put16(out, 5);  // version
+  put16(out, std::uint16_t(records.size()));
+  put32(out, options.sys_uptime_ms);
+  put32(out, options.unix_secs);
+  put32(out, 0);  // unix_nsecs
+  put32(out, options.flow_sequence);
+  out.push_back(0);  // engine_type
+  out.push_back(options.engine_id);
+  // sampling mode (2 bits, 01 = packet interval) + 14-bit interval.
+  put16(out, std::uint16_t((1u << 14) | options.sampling_rate));
+  // --- records ---
+  for (const auto& r : records) {
+    if (r.router > 0xffff) {
+      throw std::invalid_argument(
+          "encode_v5_packet: router id must fit the 16-bit ifIndex field");
+    }
+    put32(out, r.key.src_ip);
+    put32(out, r.key.dst_ip);
+    put32(out, 0);  // nexthop
+    put16(out, std::uint16_t(r.router));  // input ifIndex carries router id
+    put16(out, 0);                        // output ifIndex
+    put32(out, clamp32(r.sampled_packets));
+    put32(out, clamp32(r.sampled_bytes));
+    put32(out, clamp32(std::uint64_t(r.first_seen_s) * 1000));
+    put32(out, clamp32(std::uint64_t(r.last_seen_s) * 1000));
+    put16(out, r.key.src_port);
+    put16(out, r.key.dst_port);
+    out.push_back(0);  // pad1
+    out.push_back(0);  // tcp_flags
+    out.push_back(r.key.protocol);
+    out.push_back(0);  // tos
+    put16(out, 0);     // src_as
+    put16(out, 0);     // dst_as
+    out.push_back(0);  // src_mask
+    out.push_back(0);  // dst_mask
+    put16(out, 0);     // pad2
+  }
+  return out;
+}
+
+DecodedV5Packet decode_v5_packet(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kV5HeaderBytes) {
+    throw std::invalid_argument("decode_v5_packet: truncated header");
+  }
+  const std::uint16_t version = get16(bytes, 0);
+  if (version != 5) {
+    throw std::invalid_argument("decode_v5_packet: not a NetFlow v5 packet");
+  }
+  const std::uint16_t count = get16(bytes, 2);
+  if (count == 0 || count > kV5MaxRecords) {
+    throw std::invalid_argument("decode_v5_packet: bad record count");
+  }
+  if (bytes.size() != kV5HeaderBytes + std::size_t(count) * kV5RecordBytes) {
+    throw std::invalid_argument("decode_v5_packet: length/count mismatch");
+  }
+  DecodedV5Packet out;
+  out.header.sys_uptime_ms = get32(bytes, 4);
+  out.header.unix_secs = get32(bytes, 8);
+  out.header.flow_sequence = get32(bytes, 16);
+  out.header.engine_id = bytes[21];
+  out.header.sampling_rate = std::uint16_t(get16(bytes, 22) & 0x3fff);
+  out.records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t at = kV5HeaderBytes + i * kV5RecordBytes;
+    FlowRecord r;
+    r.key.src_ip = get32(bytes, at);
+    r.key.dst_ip = get32(bytes, at + 4);
+    r.router = get16(bytes, at + 12);
+    r.sampled_packets = get32(bytes, at + 16);
+    r.sampled_bytes = get32(bytes, at + 20);
+    r.first_seen_s = get32(bytes, at + 24) / 1000;
+    r.last_seen_s = get32(bytes, at + 28) / 1000;
+    r.key.src_port = get16(bytes, at + 32);
+    r.key.dst_port = get16(bytes, at + 34);
+    r.key.protocol = bytes[at + 38];
+    out.records.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> encode_v5_trace(
+    std::span<const FlowRecord> records, V5PacketOptions options) {
+  std::vector<std::vector<std::uint8_t>> packets;
+  for (std::size_t at = 0; at < records.size(); at += kV5MaxRecords) {
+    const std::size_t n = std::min(kV5MaxRecords, records.size() - at);
+    packets.push_back(encode_v5_packet(records.subspan(at, n), options));
+    options.flow_sequence += std::uint32_t(n);
+  }
+  return packets;
+}
+
+}  // namespace manytiers::netflow

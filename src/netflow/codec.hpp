@@ -1,0 +1,54 @@
+// NetFlow v5 wire format.
+//
+// The paper's datasets are sampled NetFlow collected from core routers;
+// this codec speaks the actual Cisco NetFlow v5 export format (24-byte
+// header + 48-byte records, big-endian) so the collector can ingest real
+// exporter packets. Mapping notes:
+//   * the router id travels in the record's input-interface field (v5
+//     only carries a 16-bit ifIndex, so router ids must fit 16 bits);
+//   * sampled packet/byte counts go to dPkts/dOctets;
+//   * first/last-seen seconds are carried as SysUptime milliseconds;
+//   * the 1-in-N sampling rate uses the header's 14-bit sampling field.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netflow/record.hpp"
+
+namespace manytiers::netflow {
+
+inline constexpr std::size_t kV5HeaderBytes = 24;
+inline constexpr std::size_t kV5RecordBytes = 48;
+inline constexpr std::size_t kV5MaxRecords = 30;  // per the v5 spec
+
+struct V5PacketOptions {
+  std::uint32_t sys_uptime_ms = 0;
+  std::uint32_t unix_secs = 0;
+  std::uint32_t flow_sequence = 0;  // sequence of the first record
+  std::uint8_t engine_id = 0;
+  std::uint16_t sampling_rate = 1;  // 1-in-N; must fit 14 bits
+};
+
+struct DecodedV5Packet {
+  V5PacketOptions header;
+  std::vector<FlowRecord> records;
+};
+
+// Encode at most kV5MaxRecords records into one export packet.
+// Throws std::invalid_argument on too many records, a router id over
+// 16 bits, or a sampling rate over 14 bits.
+std::vector<std::uint8_t> encode_v5_packet(std::span<const FlowRecord> records,
+                                           const V5PacketOptions& options);
+
+// Decode one packet. Throws std::invalid_argument on truncated input,
+// a non-v5 version field, or a count/length mismatch.
+DecodedV5Packet decode_v5_packet(std::span<const std::uint8_t> bytes);
+
+// Chunk an arbitrary record stream into consecutive v5 packets,
+// maintaining the flow sequence across packets.
+std::vector<std::vector<std::uint8_t>> encode_v5_trace(
+    std::span<const FlowRecord> records, V5PacketOptions options);
+
+}  // namespace manytiers::netflow

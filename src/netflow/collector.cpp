@@ -1,0 +1,63 @@
+#include "netflow/collector.hpp"
+
+#include <stdexcept>
+
+namespace manytiers::netflow {
+
+Collector::Collector(std::uint32_t sampling_rate)
+    : sampling_rate_(sampling_rate) {
+  if (sampling_rate_ == 0) {
+    throw std::invalid_argument("Collector: sampling rate must be >= 1");
+  }
+}
+
+void Collector::ingest(const FlowRecord& record) {
+  if (record.sampled_packets == 0) {
+    throw std::invalid_argument("Collector::ingest: empty record");
+  }
+  ++records_ingested_;
+  auto& best = best_[record.key];
+  ++best.routers_seen;
+  // Keep the router observation with the most sampled packets: with
+  // independent 1-in-N sampling it has the lowest relative error, and
+  // keeping exactly one observation avoids double counting.
+  if (record.sampled_packets > best.sampled_packets) {
+    best.sampled_packets = record.sampled_packets;
+    best.sampled_bytes = record.sampled_bytes;
+  }
+}
+
+void Collector::ingest(std::span<const FlowRecord> records) {
+  for (const auto& r : records) ingest(r);
+}
+
+std::vector<AggregatedFlow> Collector::aggregate() const {
+  std::vector<AggregatedFlow> out;
+  out.reserve(best_.size());
+  for (const auto& [key, best] : best_) {
+    AggregatedFlow f;
+    f.key = key;
+    f.estimated_bytes = best.sampled_bytes * sampling_rate_;
+    f.estimated_packets = best.sampled_packets * sampling_rate_;
+    f.routers_seen = best.routers_seen;
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::uint64_t Collector::total_estimated_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, best] : best_) {
+    total += best.sampled_bytes * sampling_rate_;
+  }
+  return total;
+}
+
+double bytes_to_mbps(std::uint64_t bytes, std::uint32_t window_seconds) {
+  if (window_seconds == 0) {
+    throw std::invalid_argument("bytes_to_mbps: window must be >= 1s");
+  }
+  return double(bytes) * 8.0 / 1e6 / double(window_seconds);
+}
+
+}  // namespace manytiers::netflow

@@ -1,0 +1,58 @@
+// Flow collection: de-duplicate multi-router records and estimate demand.
+//
+// Reproduces the paper's aggregation step (§4.1.1): "We obtain the demand
+// for each flow by aggregating all records of the flow, while ensuring
+// that we do not double-count records that are duplicated on different
+// routers." For each flow key we keep one router's observation (the one
+// with the most sampled packets — the best estimate) and scale it by the
+// sampling rate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "netflow/record.hpp"
+
+namespace manytiers::netflow {
+
+// Demand estimate for one flow after de-duplication and scale-up.
+struct AggregatedFlow {
+  FlowKey key;
+  std::uint64_t estimated_bytes = 0;
+  std::uint64_t estimated_packets = 0;
+  std::uint32_t routers_seen = 0;  // how many routers exported this flow
+};
+
+class Collector {
+ public:
+  explicit Collector(std::uint32_t sampling_rate);
+
+  void ingest(const FlowRecord& record);
+  void ingest(std::span<const FlowRecord> records);
+
+  // De-duplicated, scaled-up demand estimates, ordered by flow key.
+  std::vector<AggregatedFlow> aggregate() const;
+
+  // Total estimated bytes across all flows (after de-duplication).
+  std::uint64_t total_estimated_bytes() const;
+
+  std::size_t record_count() const { return records_ingested_; }
+  std::size_t flow_count() const { return best_.size(); }
+
+ private:
+  struct Best {
+    std::uint64_t sampled_bytes = 0;
+    std::uint64_t sampled_packets = 0;
+    std::uint32_t routers_seen = 0;
+  };
+  std::uint32_t sampling_rate_;
+  std::size_t records_ingested_ = 0;
+  std::map<FlowKey, Best> best_;
+};
+
+// Convert an aggregate byte count over a capture window to Mbps.
+double bytes_to_mbps(std::uint64_t bytes, std::uint32_t window_seconds);
+
+}  // namespace manytiers::netflow

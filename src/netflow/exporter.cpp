@@ -1,0 +1,59 @@
+#include "netflow/exporter.hpp"
+
+#include <stdexcept>
+
+namespace manytiers::netflow {
+
+SampledExporter::SampledExporter(ExporterConfig config, util::Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.sampling_rate == 0) {
+    throw std::invalid_argument("SampledExporter: sampling rate must be >= 1");
+  }
+  if (config_.window_seconds == 0) {
+    throw std::invalid_argument("SampledExporter: window must be >= 1s");
+  }
+}
+
+std::vector<FlowRecord> SampledExporter::export_flow(
+    const GroundTruthFlow& flow, std::span<const RouterId> path) {
+  if (flow.packets == 0 || flow.bytes < flow.packets) {
+    throw std::invalid_argument(
+        "export_flow: flow needs packets >= 1 and bytes >= packets");
+  }
+  std::vector<FlowRecord> out;
+  const double p = 1.0 / double(config_.sampling_rate);
+  const double bytes_per_packet = double(flow.bytes) / double(flow.packets);
+  for (const RouterId router : path) {
+    // Binomial thinning of the packet stream. For the large packet counts
+    // typical here a normal approximation would do, but exact binomial via
+    // std::binomial_distribution is cheap enough and exact for small flows.
+    std::binomial_distribution<std::uint64_t> dist(flow.packets, p);
+    const std::uint64_t sampled = dist(rng_.engine());
+    if (sampled == 0) continue;
+    FlowRecord rec;
+    rec.key = flow.key;
+    rec.router = router;
+    rec.sampled_packets = sampled;
+    rec.sampled_bytes = std::uint64_t(double(sampled) * bytes_per_packet);
+    rec.first_seen_s = 0;
+    rec.last_seen_s = config_.window_seconds;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<FlowRecord> SampledExporter::export_trace(
+    std::span<const GroundTruthFlow> flows,
+    std::span<const std::vector<RouterId>> paths) {
+  if (flows.size() != paths.size()) {
+    throw std::invalid_argument("export_trace: flows/paths size mismatch");
+  }
+  std::vector<FlowRecord> out;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    auto recs = export_flow(flows[i], paths[i]);
+    out.insert(out.end(), recs.begin(), recs.end());
+  }
+  return out;
+}
+
+}  // namespace manytiers::netflow

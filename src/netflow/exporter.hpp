@@ -1,0 +1,43 @@
+// Sampled NetFlow export.
+//
+// Simulates 1-in-N packet sampling at each router a flow traverses: each
+// router independently samples the flow's packets, so the same flow shows
+// up in several routers' exports with slightly different estimates —
+// exactly the duplication the paper's pipeline must not double-count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netflow/record.hpp"
+#include "util/rng.hpp"
+
+namespace manytiers::netflow {
+
+struct ExporterConfig {
+  std::uint32_t sampling_rate = 100;  // 1-in-N packet sampling
+  std::uint32_t window_seconds = 86400;
+};
+
+class SampledExporter {
+ public:
+  SampledExporter(ExporterConfig config, util::Rng rng);
+
+  // Export the records that the routers in `path` would emit for `flow`.
+  // Routers that sample zero packets emit no record.
+  std::vector<FlowRecord> export_flow(const GroundTruthFlow& flow,
+                                      std::span<const RouterId> path);
+
+  // Export a whole trace: every flow crosses its own router path.
+  std::vector<FlowRecord> export_trace(
+      std::span<const GroundTruthFlow> flows,
+      std::span<const std::vector<RouterId>> paths);
+
+  const ExporterConfig& config() const { return config_; }
+
+ private:
+  ExporterConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace manytiers::netflow

@@ -1,0 +1,45 @@
+// NetFlow-style flow records.
+//
+// The paper's demand data is sampled NetFlow from core routers (§4.1.1);
+// this module models the records themselves. A GroundTruthFlow is the real
+// traffic between two endpoints; routers observe it through packet
+// sampling and export FlowRecords.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+namespace manytiers::netflow {
+
+using RouterId = std::uint32_t;
+
+// Identity of a flow: the classic 5-tuple.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;  // TCP by default
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+// Actual traffic between two endpoints over the capture window.
+struct GroundTruthFlow {
+  FlowKey key;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+};
+
+// A record exported by one router, after packet sampling. `bytes` and
+// `packets` are the *sampled* counts (not yet scaled by the sampling rate).
+struct FlowRecord {
+  FlowKey key;
+  RouterId router = 0;
+  std::uint64_t sampled_bytes = 0;
+  std::uint64_t sampled_packets = 0;
+  std::uint32_t first_seen_s = 0;  // seconds into the capture window
+  std::uint32_t last_seen_s = 0;
+};
+
+}  // namespace manytiers::netflow

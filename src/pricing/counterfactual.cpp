@@ -1,0 +1,104 @@
+#include "pricing/counterfactual.hpp"
+
+#include <stdexcept>
+
+#include "bundling/optimal.hpp"
+#include "bundling/strategies.hpp"
+
+namespace manytiers::pricing {
+
+std::string_view to_string(Strategy s) {
+  switch (s) {
+    case Strategy::Optimal: return "Optimal";
+    case Strategy::DemandWeighted: return "Demand-weighted";
+    case Strategy::CostWeighted: return "Cost-weighted";
+    case Strategy::ProfitWeighted: return "Profit-weighted";
+    case Strategy::CostDivision: return "Cost division";
+    case Strategy::IndexDivision: return "Index division";
+    case Strategy::ClassAwareProfitWeighted:
+      return "Class-aware profit-weighted";
+  }
+  throw std::invalid_argument("unknown strategy");
+}
+
+std::vector<Strategy> figure8_strategies() {
+  return {Strategy::Optimal,         Strategy::CostWeighted,
+          Strategy::ProfitWeighted,  Strategy::DemandWeighted,
+          Strategy::CostDivision,    Strategy::IndexDivision};
+}
+
+std::vector<Strategy> figure9_strategies() {
+  return {Strategy::Optimal, Strategy::CostWeighted, Strategy::ProfitWeighted,
+          Strategy::CostDivision, Strategy::IndexDivision};
+}
+
+namespace {
+
+bundling::Bundling build_bundling(const Market& market, Strategy strategy,
+                                  std::size_t n_bundles) {
+  const auto& costs = market.costs();
+  switch (strategy) {
+    case Strategy::Optimal:
+      switch (market.demand_spec().kind) {
+        case demand::DemandKind::ConstantElasticity:
+          return bundling::ced_optimal(market.valuations(), costs,
+                                       market.demand_spec().alpha, n_bundles);
+        case demand::DemandKind::Logit:
+          return bundling::logit_optimal(market.valuations(), costs,
+                                         market.demand_spec().alpha,
+                                         n_bundles);
+      }
+      throw std::logic_error("build_bundling: unknown demand kind");
+    case Strategy::DemandWeighted:
+      return bundling::demand_weighted(market.flows().demands(), n_bundles);
+    case Strategy::CostWeighted:
+      return bundling::cost_weighted(costs, n_bundles);
+    case Strategy::ProfitWeighted:
+      return bundling::profit_weighted(potential_profits(market), costs,
+                                       n_bundles);
+    case Strategy::CostDivision:
+      return bundling::cost_division(costs, n_bundles);
+    case Strategy::IndexDivision:
+      return bundling::index_division(costs, n_bundles);
+    case Strategy::ClassAwareProfitWeighted:
+      return bundling::class_aware_profit_weighted(
+          potential_profits(market), costs, market.cost_classes(), n_bundles);
+  }
+  throw std::invalid_argument("unknown strategy");
+}
+
+}  // namespace
+
+StrategyResult run_strategy(const Market& market, Strategy strategy,
+                            std::size_t n_bundles) {
+  if (n_bundles == 0) {
+    throw std::invalid_argument("run_strategy: need at least one bundle");
+  }
+  StrategyResult res;
+  res.strategy = strategy;
+  res.requested_bundles = n_bundles;
+  res.pricing = price_bundles(market, build_bundling(market, strategy,
+                                                     n_bundles));
+  res.capture = profit_capture(market, res.pricing.profit);
+  return res;
+}
+
+std::vector<double> capture_series(const Market& market, Strategy strategy,
+                                   std::size_t max_bundles) {
+  std::vector<double> out;
+  out.reserve(max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    // The class-aware strategy cannot produce fewer bundles than classes;
+    // report the best feasible coarser bundling instead (one bundle per
+    // class) so the series starts at b = 1 like the paper's figures.
+    if (strategy == Strategy::ClassAwareProfitWeighted &&
+        b < market.cost_class_count()) {
+      out.push_back(run_strategy(market, Strategy::ProfitWeighted, b).capture);
+      continue;
+    }
+    out.push_back(run_strategy(market, strategy, b).capture);
+  }
+  return out;
+}
+
+}  // namespace manytiers::pricing

@@ -1,0 +1,47 @@
+// Counterfactual driver: run a bundling strategy at a tier count and
+// report profit capture (the machinery behind paper Figs. 8-16).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pricing/engine.hpp"
+
+namespace manytiers::pricing {
+
+enum class Strategy {
+  Optimal,          // exact optimal partition (interval DP; paper: search)
+  DemandWeighted,   // token bucket by observed demand
+  CostWeighted,     // token bucket by 1/cost
+  ProfitWeighted,   // token bucket by potential profit
+  CostDivision,     // equal-width cost ranges
+  IndexDivision,    // equal-count cost-rank groups
+  ClassAwareProfitWeighted,  // profit-weighted, never mixing cost classes
+};
+
+std::string_view to_string(Strategy s);
+
+// The strategy lineups of the paper's figures: Fig. 8 (CED) shows all six
+// base strategies; Fig. 9 (logit) drops demand-weighted (it coincides with
+// profit-weighted there, Eq. 13).
+std::vector<Strategy> figure8_strategies();
+std::vector<Strategy> figure9_strategies();
+
+struct StrategyResult {
+  Strategy strategy = Strategy::Optimal;
+  std::size_t requested_bundles = 0;
+  PricedBundling pricing;       // bundles, prices, profit
+  double capture = 0.0;
+};
+
+// Build the strategy's bundling for `n_bundles` tiers, price it, and
+// report capture. ClassAwareProfitWeighted requires n_bundles >= the
+// market's cost class count.
+StrategyResult run_strategy(const Market& market, Strategy strategy,
+                            std::size_t n_bundles);
+
+// Capture series for one strategy at 1..max_bundles tiers.
+std::vector<double> capture_series(const Market& market, Strategy strategy,
+                                   std::size_t max_bundles);
+
+}  // namespace manytiers::pricing

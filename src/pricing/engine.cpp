@@ -1,0 +1,139 @@
+#include "pricing/engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace manytiers::pricing {
+
+namespace {
+
+std::vector<double> gather(const std::vector<double>& xs,
+                           const bundling::Bundle& bundle) {
+  std::vector<double> out;
+  out.reserve(bundle.size());
+  for (const std::size_t i : bundle) out.push_back(xs[i]);
+  return out;
+}
+
+}  // namespace
+
+PricedBundling price_bundles(const Market& market,
+                             const bundling::Bundling& bundles) {
+  bundling::validate(bundles, market.size());
+  PricedBundling out;
+  out.bundles = bundles;
+  out.bundle_prices.resize(bundles.size());
+  out.flow_prices.resize(market.size());
+  const auto& v = market.valuations();
+  const auto& c = market.costs();
+
+  switch (market.demand_spec().kind) {
+    case demand::DemandKind::ConstantElasticity: {
+      const auto& model = market.ced();
+      for (std::size_t b = 0; b < bundles.size(); ++b) {
+        const auto bv = gather(v, bundles[b]);
+        const auto bc = gather(c, bundles[b]);
+        out.bundle_prices[b] = model.bundle_price(bv, bc);
+      }
+      break;
+    }
+    case demand::DemandKind::Logit: {
+      const auto& model = market.logit();
+      // Collapse each bundle to its aggregate valuation and cost (Eqs.
+      // 10-11), then solve the equal-markup optimum across bundles.
+      std::vector<double> bundle_v(bundles.size()), bundle_c(bundles.size());
+      for (std::size_t b = 0; b < bundles.size(); ++b) {
+        const auto bv = gather(v, bundles[b]);
+        const auto bc = gather(c, bundles[b]);
+        bundle_v[b] = model.bundle_valuation(bv);
+        bundle_c[b] = model.bundle_cost(bv, bc);
+      }
+      out.bundle_prices = model.optimal_prices(bundle_v, bundle_c).prices;
+      break;
+    }
+  }
+  for (std::size_t b = 0; b < bundles.size(); ++b) {
+    for (const std::size_t i : bundles[b]) {
+      out.flow_prices[i] = out.bundle_prices[b];
+    }
+  }
+  // Profit is always evaluated at flow granularity; for the logit model
+  // this equals the bundle-aggregate formula exactly (Eq. 10/11 are the
+  // log-sum-exp collapse of the flow-level shares).
+  switch (market.demand_spec().kind) {
+    case demand::DemandKind::ConstantElasticity:
+      out.profit = market.ced().total_profit(v, c, out.flow_prices);
+      break;
+    case demand::DemandKind::Logit:
+      out.profit = market.logit().total_profit(v, c, out.flow_prices);
+      break;
+  }
+  return out;
+}
+
+double blended_profit(const Market& market) {
+  const std::vector<double> prices(market.size(), market.blended_price());
+  switch (market.demand_spec().kind) {
+    case demand::DemandKind::ConstantElasticity:
+      return market.ced().total_profit(market.valuations(), market.costs(),
+                                       prices);
+    case demand::DemandKind::Logit:
+      return market.logit().total_profit(market.valuations(), market.costs(),
+                                         prices);
+  }
+  throw std::logic_error("blended_profit: unknown demand kind");
+}
+
+double max_profit(const Market& market) {
+  switch (market.demand_spec().kind) {
+    case demand::DemandKind::ConstantElasticity: {
+      const auto& model = market.ced();
+      double total = 0.0;
+      for (std::size_t i = 0; i < market.size(); ++i) {
+        total += model.potential_profit(market.valuations()[i],
+                                        market.costs()[i]);
+      }
+      return total;
+    }
+    case demand::DemandKind::Logit:
+      return market.logit()
+          .optimal_prices(market.valuations(), market.costs())
+          .profit;
+  }
+  throw std::logic_error("max_profit: unknown demand kind");
+}
+
+double profit_capture(const Market& market, double profit) {
+  const double original = blended_profit(market);
+  const double maximum = max_profit(market);
+  const double headroom = maximum - original;
+  if (!(headroom > 1e-12 * std::max(1.0, std::abs(maximum)))) {
+    return 1.0;  // no headroom: any bundling trivially captures everything
+  }
+  return (profit - original) / headroom;
+}
+
+double capture_of(const Market& market, const bundling::Bundling& bundles) {
+  return profit_capture(market, price_bundles(market, bundles).profit);
+}
+
+std::vector<double> potential_profits(const Market& market) {
+  switch (market.demand_spec().kind) {
+    case demand::DemandKind::ConstantElasticity: {
+      const auto& model = market.ced();
+      std::vector<double> out(market.size());
+      for (std::size_t i = 0; i < market.size(); ++i) {
+        out[i] = model.potential_profit(market.valuations()[i],
+                                        market.costs()[i]);
+      }
+      return out;
+    }
+    case demand::DemandKind::Logit: {
+      // Eq. 13: potential profit is proportional to observed demand.
+      return market.flows().demands();
+    }
+  }
+  throw std::logic_error("potential_profits: unknown demand kind");
+}
+
+}  // namespace manytiers::pricing

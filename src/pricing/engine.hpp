@@ -1,0 +1,47 @@
+// Pricing engine: price a bundling optimally and evaluate profit capture.
+//
+// Profit capture (paper §4.2.2) measures how much of the headroom between
+// the blended-rate profit and the infinitely-fine-grained profit a
+// bundling recovers:
+//
+//   capture = (pi_new - pi_original) / (pi_max - pi_original)
+#pragma once
+
+#include <vector>
+
+#include "bundling/bundle.hpp"
+#include "pricing/scenario.hpp"
+
+namespace manytiers::pricing {
+
+struct PricedBundling {
+  bundling::Bundling bundles;
+  std::vector<double> bundle_prices;  // one price per bundle
+  std::vector<double> flow_prices;    // the bundle price, per flow
+  double profit = 0.0;
+};
+
+// Compute each bundle's profit-maximizing price (CED: Eq. 5; logit: the
+// equal-markup optimum over bundle aggregates, Eqs. 9-11) and the
+// resulting total profit.
+PricedBundling price_bundles(const Market& market,
+                             const bundling::Bundling& bundles);
+
+// Profit at the status quo: every flow at the blended rate P0.
+double blended_profit(const Market& market);
+
+// Profit with per-flow pricing (an infinite number of tiers).
+double max_profit(const Market& market);
+
+// Profit capture of `profit` relative to the market's blended baseline
+// and per-flow maximum. Returns 1 when there is no headroom.
+double profit_capture(const Market& market, double profit);
+
+// Convenience: price a bundling and report its capture.
+double capture_of(const Market& market, const bundling::Bundling& bundles);
+
+// Potential profit of each flow at its individually optimal price:
+// CED Eq. 12; logit Eq. 13 (proportional to observed demand).
+std::vector<double> potential_profits(const Market& market);
+
+}  // namespace manytiers::pricing

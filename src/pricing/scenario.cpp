@@ -1,0 +1,78 @@
+#include "pricing/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace manytiers::pricing {
+
+Market Market::calibrate(const workload::FlowSet& flows,
+                         const DemandSpec& demand_spec,
+                         const cost::CostModel& cost_model,
+                         double blended_price) {
+  if (flows.empty()) {
+    throw std::invalid_argument("Market::calibrate: empty flow set");
+  }
+  if (!(blended_price > 0.0)) {
+    throw std::invalid_argument("Market::calibrate: blended price must be > 0");
+  }
+  Market m;
+  m.spec_ = demand_spec;
+  m.blended_price_ = blended_price;
+  m.flows_ = cost_model.expand(flows);
+  m.relative_costs_ = cost_model.relative_costs(m.flows_);
+  m.classes_ = cost_model.class_of_flows(m.flows_);
+  if (m.relative_costs_.size() != m.flows_.size() ||
+      m.classes_.size() != m.flows_.size()) {
+    throw std::logic_error("Market::calibrate: cost model size mismatch");
+  }
+  const auto demands = m.flows_.demands();
+
+  switch (demand_spec.kind) {
+    case demand::DemandKind::ConstantElasticity: {
+      demand::CedModel model(demand_spec.alpha);
+      const auto fit = model.fit_valuations(demands, blended_price);
+      m.valuations_ = fit.valuations;
+      m.gamma_ =
+          model.fit_gamma(m.valuations_, m.relative_costs_, blended_price);
+      m.ced_ = model;
+      break;
+    }
+    case demand::DemandKind::Logit: {
+      const auto fit = demand::LogitModel::fit_valuations(
+          demands, blended_price, demand_spec.no_purchase_share,
+          demand_spec.alpha);
+      demand::LogitModel model(demand_spec.alpha, fit.market_size);
+      m.valuations_ = fit.valuations;
+      m.gamma_ =
+          model.fit_gamma(m.valuations_, m.relative_costs_, blended_price);
+      m.logit_ = model;
+      break;
+    }
+  }
+  m.costs_.resize(m.relative_costs_.size());
+  for (std::size_t i = 0; i < m.costs_.size(); ++i) {
+    m.costs_[i] = m.gamma_ * m.relative_costs_[i];
+  }
+  return m;
+}
+
+std::size_t Market::cost_class_count() const {
+  if (classes_.empty()) return 0;
+  return *std::max_element(classes_.begin(), classes_.end()) + 1;
+}
+
+const demand::CedModel& Market::ced() const {
+  if (!ced_) {
+    throw std::logic_error("Market::ced: market uses the logit demand model");
+  }
+  return *ced_;
+}
+
+const demand::LogitModel& Market::logit() const {
+  if (!logit_) {
+    throw std::logic_error("Market::logit: market uses the CED demand model");
+  }
+  return *logit_;
+}
+
+}  // namespace manytiers::pricing

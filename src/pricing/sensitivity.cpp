@@ -1,0 +1,85 @@
+#include "pricing/sensitivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace manytiers::pricing {
+
+SweepResult sweep_captures(std::span<const double> parameter_values,
+                           const std::function<Market(double)>& calibrate,
+                           Strategy strategy, std::size_t max_bundles) {
+  if (parameter_values.empty()) {
+    throw std::invalid_argument("sweep_captures: no parameter values");
+  }
+  if (max_bundles == 0) {
+    throw std::invalid_argument("sweep_captures: need at least one bundle");
+  }
+  SweepResult out;
+  out.min_capture.assign(max_bundles, std::numeric_limits<double>::max());
+  out.max_capture.assign(max_bundles, -std::numeric_limits<double>::max());
+  for (const double value : parameter_values) {
+    const Market market = calibrate(value);
+    const auto series = capture_series(market, strategy, max_bundles);
+    for (std::size_t b = 0; b < max_bundles; ++b) {
+      out.min_capture[b] = std::min(out.min_capture[b], series[b]);
+      out.max_capture[b] = std::max(out.max_capture[b], series[b]);
+    }
+    ++out.points;
+  }
+  return out;
+}
+
+namespace {
+void require_inputs(const SensitivityInputs& inputs) {
+  if (inputs.flows == nullptr || inputs.cost_model == nullptr) {
+    throw std::invalid_argument("sensitivity sweep: null flows or cost model");
+  }
+}
+}  // namespace
+
+SweepResult sweep_alpha(const SensitivityInputs& inputs,
+                        std::span<const double> alphas) {
+  require_inputs(inputs);
+  return sweep_captures(
+      alphas,
+      [&](double alpha) {
+        DemandSpec spec = inputs.demand;
+        spec.alpha = alpha;
+        return Market::calibrate(*inputs.flows, spec, *inputs.cost_model,
+                                 inputs.blended_price);
+      },
+      inputs.strategy, inputs.max_bundles);
+}
+
+SweepResult sweep_blended_price(const SensitivityInputs& inputs,
+                                std::span<const double> prices) {
+  require_inputs(inputs);
+  return sweep_captures(
+      prices,
+      [&](double p0) {
+        return Market::calibrate(*inputs.flows, inputs.demand,
+                                 *inputs.cost_model, p0);
+      },
+      inputs.strategy, inputs.max_bundles);
+}
+
+SweepResult sweep_no_purchase_share(const SensitivityInputs& inputs,
+                                    std::span<const double> shares) {
+  require_inputs(inputs);
+  if (inputs.demand.kind != demand::DemandKind::Logit) {
+    throw std::invalid_argument(
+        "sweep_no_purchase_share: s0 only exists in the logit model");
+  }
+  return sweep_captures(
+      shares,
+      [&](double s0) {
+        DemandSpec spec = inputs.demand;
+        spec.no_purchase_share = s0;
+        return Market::calibrate(*inputs.flows, spec, *inputs.cost_model,
+                                 inputs.blended_price);
+      },
+      inputs.strategy, inputs.max_bundles);
+}
+
+}  // namespace manytiers::pricing

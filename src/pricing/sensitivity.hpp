@@ -1,0 +1,52 @@
+// Parameter-sensitivity sweeps (paper §4.3.2, Figs. 14-16).
+//
+// The paper's robustness methodology: re-calibrate the market at each
+// value of an unobservable parameter (price sensitivity alpha, blended
+// rate P0, logit outside share s0), run a bundling strategy at every
+// tier count, and report the worst (and best) capture observed across
+// the range.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pricing/counterfactual.hpp"
+
+namespace manytiers::pricing {
+
+struct SweepResult {
+  // Indexed by bundle count - 1.
+  std::vector<double> min_capture;
+  std::vector<double> max_capture;
+  std::size_t points = 0;  // parameter values evaluated
+};
+
+// Core sweep: `calibrate` builds the market for a parameter value.
+SweepResult sweep_captures(
+    std::span<const double> parameter_values,
+    const std::function<Market(double)>& calibrate, Strategy strategy,
+    std::size_t max_bundles);
+
+struct SensitivityInputs {
+  const workload::FlowSet* flows = nullptr;  // not owned
+  const cost::CostModel* cost_model = nullptr;
+  DemandSpec demand;
+  double blended_price = 20.0;
+  Strategy strategy = Strategy::ProfitWeighted;
+  std::size_t max_bundles = 6;
+};
+
+// Fig. 14: sweep the price sensitivity alpha.
+SweepResult sweep_alpha(const SensitivityInputs& inputs,
+                        std::span<const double> alphas);
+
+// Fig. 15: sweep the blended rate P0.
+SweepResult sweep_blended_price(const SensitivityInputs& inputs,
+                                std::span<const double> prices);
+
+// Fig. 16: sweep the logit no-purchase share s0 (logit demand only).
+SweepResult sweep_no_purchase_share(const SensitivityInputs& inputs,
+                                    std::span<const double> shares);
+
+}  // namespace manytiers::pricing

@@ -1,0 +1,46 @@
+#include "pricing/welfare.hpp"
+
+#include <stdexcept>
+
+namespace manytiers::pricing {
+
+WelfareReport welfare_at_prices(const Market& market,
+                                std::span<const double> flow_prices) {
+  if (flow_prices.size() != market.size()) {
+    throw std::invalid_argument("welfare_at_prices: price vector size mismatch");
+  }
+  WelfareReport report;
+  const auto& v = market.valuations();
+  const auto& c = market.costs();
+  switch (market.demand_spec().kind) {
+    case demand::DemandKind::ConstantElasticity: {
+      const auto& model = market.ced();
+      report.profit = model.total_profit(v, c, flow_prices);
+      for (std::size_t i = 0; i < market.size(); ++i) {
+        report.consumer_surplus +=
+            model.consumer_surplus(v[i], flow_prices[i]);
+      }
+      break;
+    }
+    case demand::DemandKind::Logit: {
+      const auto& model = market.logit();
+      report.profit = model.total_profit(v, c, flow_prices);
+      report.consumer_surplus = model.consumer_surplus(v, flow_prices);
+      break;
+    }
+  }
+  report.welfare = report.profit + report.consumer_surplus;
+  return report;
+}
+
+WelfareReport welfare_of(const Market& market,
+                         const bundling::Bundling& bundles) {
+  return welfare_at_prices(market, price_bundles(market, bundles).flow_prices);
+}
+
+WelfareReport blended_welfare(const Market& market) {
+  const std::vector<double> prices(market.size(), market.blended_price());
+  return welfare_at_prices(market, prices);
+}
+
+}  // namespace manytiers::pricing

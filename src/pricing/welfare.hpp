@@ -1,0 +1,32 @@
+// Welfare accounting for pricing counterfactuals.
+//
+// Paper Fig. 1 argues tiered pricing raises not only ISP profit but also
+// consumer surplus (and therefore social welfare). This module extends
+// that two-flow illustration to whole calibrated markets: for any
+// bundling it reports profit, consumer surplus, and their sum, so the
+// welfare claim can be tested at dataset scale (see the welfare bench).
+#pragma once
+
+#include "bundling/bundle.hpp"
+#include "pricing/engine.hpp"
+
+namespace manytiers::pricing {
+
+struct WelfareReport {
+  double profit = 0.0;
+  double consumer_surplus = 0.0;
+  double welfare = 0.0;  // profit + consumer surplus
+};
+
+// Welfare at explicit flow prices.
+WelfareReport welfare_at_prices(const Market& market,
+                                std::span<const double> flow_prices);
+
+// Welfare when `bundles` are priced at their profit-maximizing prices.
+WelfareReport welfare_of(const Market& market,
+                         const bundling::Bundling& bundles);
+
+// Welfare at the blended rate (the status quo).
+WelfareReport blended_welfare(const Market& market);
+
+}  // namespace manytiers::pricing

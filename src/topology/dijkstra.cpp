@@ -1,0 +1,66 @@
+#include "topology/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace manytiers::topology {
+
+std::vector<PopId> ShortestPaths::path_to(PopId dst) const {
+  if (dst >= distance_miles.size()) {
+    throw std::out_of_range("ShortestPaths::path_to: bad id");
+  }
+  if (distance_miles[dst] == kUnreachable) return {};
+  std::vector<PopId> path{dst};
+  while (path.back() != source) path.push_back(predecessor[path.back()]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPaths shortest_paths(const Network& net, PopId source) {
+  if (source >= net.pop_count()) {
+    throw std::out_of_range("shortest_paths: bad source id");
+  }
+  ShortestPaths out;
+  out.source = source;
+  out.distance_miles.assign(net.pop_count(), kUnreachable);
+  out.predecessor.resize(net.pop_count());
+  for (PopId i = 0; i < net.pop_count(); ++i) out.predecessor[i] = i;
+
+  using Item = std::pair<double, PopId>;  // (distance, pop)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  out.distance_miles[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > out.distance_miles[u]) continue;  // stale entry
+    for (const auto& edge : net.neighbors(u)) {
+      const double next = dist + edge.length_miles;
+      if (next < out.distance_miles[edge.to]) {
+        out.distance_miles[edge.to] = next;
+        out.predecessor[edge.to] = u;
+        heap.emplace(next, edge.to);
+      }
+    }
+  }
+  return out;
+}
+
+double shortest_distance(const Network& net, PopId src, PopId dst) {
+  if (dst >= net.pop_count()) {
+    throw std::out_of_range("shortest_distance: bad destination id");
+  }
+  return shortest_paths(net, src).distance_miles[dst];
+}
+
+std::vector<std::vector<double>> all_pairs_distances(const Network& net) {
+  std::vector<std::vector<double>> out;
+  out.reserve(net.pop_count());
+  for (PopId s = 0; s < net.pop_count(); ++s) {
+    out.push_back(shortest_paths(net, s).distance_miles);
+  }
+  return out;
+}
+
+}  // namespace manytiers::topology

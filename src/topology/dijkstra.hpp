@@ -1,0 +1,35 @@
+// Shortest-path routing over a backbone topology.
+//
+// Internet2 flow distances in the paper are the sum of the link lengths on
+// the path the flow traverses (§4.1.1); we route along shortest geographic
+// paths, which matches how research backbones are provisioned.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace manytiers::topology {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+struct ShortestPaths {
+  PopId source = 0;
+  std::vector<double> distance_miles;  // kUnreachable if not reachable
+  std::vector<PopId> predecessor;      // self for source / unreachable nodes
+
+  // Reconstruct the path source -> dst (inclusive); empty if unreachable.
+  std::vector<PopId> path_to(PopId dst) const;
+};
+
+// Single-source shortest paths by link length (Dijkstra).
+ShortestPaths shortest_paths(const Network& net, PopId source);
+
+// Distance of the shortest path between two PoPs; kUnreachable if none.
+double shortest_distance(const Network& net, PopId src, PopId dst);
+
+// All-pairs distance matrix, indexed [src][dst].
+std::vector<std::vector<double>> all_pairs_distances(const Network& net);
+
+}  // namespace manytiers::topology

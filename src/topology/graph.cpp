@@ -1,0 +1,69 @@
+#include "topology/graph.hpp"
+
+#include <stdexcept>
+
+namespace manytiers::topology {
+
+PopId Network::add_pop(std::string_view name, geo::GeoPoint location) {
+  geo::validate(location);
+  if (find_pop(name)) {
+    throw std::invalid_argument("Network::add_pop: duplicate PoP name '" +
+                                std::string(name) + "'");
+  }
+  pops_.push_back(Pop{std::string(name), location});
+  adjacency_.emplace_back();
+  return pops_.size() - 1;
+}
+
+void Network::add_link(PopId a, PopId b, std::optional<double> length_miles,
+                       double capacity_gbps) {
+  if (a >= pops_.size() || b >= pops_.size()) {
+    throw std::out_of_range("Network::add_link: bad PoP id");
+  }
+  if (a == b) throw std::invalid_argument("Network::add_link: self link");
+  if (has_link(a, b)) {
+    throw std::invalid_argument("Network::add_link: duplicate link");
+  }
+  const double length = length_miles.value_or(
+      geo::haversine_miles(pops_[a].location, pops_[b].location));
+  if (length < 0.0) {
+    throw std::invalid_argument("Network::add_link: negative length");
+  }
+  if (capacity_gbps <= 0.0) {
+    throw std::invalid_argument("Network::add_link: capacity must be > 0");
+  }
+  links_.push_back(Link{a, b, length, capacity_gbps});
+  adjacency_[a].push_back(Edge{b, length});
+  adjacency_[b].push_back(Edge{a, length});
+}
+
+const Pop& Network::pop(PopId id) const {
+  if (id >= pops_.size()) throw std::out_of_range("Network::pop: bad id");
+  return pops_[id];
+}
+
+std::optional<PopId> Network::find_pop(std::string_view name) const {
+  for (std::size_t i = 0; i < pops_.size(); ++i) {
+    if (pops_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Network::Edge>& Network::neighbors(PopId id) const {
+  if (id >= adjacency_.size()) {
+    throw std::out_of_range("Network::neighbors: bad id");
+  }
+  return adjacency_[id];
+}
+
+bool Network::has_link(PopId a, PopId b) const {
+  if (a >= adjacency_.size() || b >= adjacency_.size()) {
+    throw std::out_of_range("Network::has_link: bad id");
+  }
+  for (const auto& e : adjacency_[a]) {
+    if (e.to == b) return true;
+  }
+  return false;
+}
+
+}  // namespace manytiers::topology

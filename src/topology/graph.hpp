@@ -1,0 +1,71 @@
+// Backbone topology: points of presence connected by physical links.
+//
+// Used to compute the distance a flow travels inside a network when that
+// distance is the sum of traversed link lengths (the paper's Internet2
+// heuristic, §4.1.1). Link lengths default to the great-circle distance
+// between PoP coordinates.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/coord.hpp"
+
+namespace manytiers::topology {
+
+using PopId = std::size_t;
+
+struct Pop {
+  std::string name;
+  geo::GeoPoint location;
+};
+
+struct Link {
+  PopId a = 0;
+  PopId b = 0;
+  double length_miles = 0.0;
+  double capacity_gbps = 0.0;  // informational; not used by the cost models
+};
+
+class Network {
+ public:
+  explicit Network(std::string name = "network") : name_(std::move(name)) {}
+
+  // Returns the new PoP's id. Names must be unique.
+  PopId add_pop(std::string_view name, geo::GeoPoint location);
+
+  // Add an undirected link; length defaults to the great-circle distance
+  // between the endpoints. Self-links and duplicate links are rejected.
+  void add_link(PopId a, PopId b,
+                std::optional<double> length_miles = std::nullopt,
+                double capacity_gbps = 10.0);
+
+  std::size_t pop_count() const { return pops_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const Pop& pop(PopId id) const;
+  const std::vector<Pop>& pops() const { return pops_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::string& name() const { return name_; }
+
+  std::optional<PopId> find_pop(std::string_view name) const;
+
+  // Neighbors of `id` as (neighbor, link length) pairs.
+  struct Edge {
+    PopId to;
+    double length_miles;
+  };
+  const std::vector<Edge>& neighbors(PopId id) const;
+
+  bool has_link(PopId a, PopId b) const;
+
+ private:
+  std::string name_;
+  std::vector<Pop> pops_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace manytiers::topology

@@ -1,0 +1,51 @@
+#include "topology/internet2.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string_view>
+
+#include "geo/cities.hpp"
+
+namespace manytiers::topology {
+
+Network internet2_network() {
+  constexpr std::array<std::string_view, 11> kPops{
+      "Seattle",      "Sunnyvale", "Los Angeles", "Denver",
+      "Kansas City",  "Houston",   "Chicago",     "Indianapolis",
+      "Atlanta",      "Washington", "New York",
+  };
+  // The Abilene backbone link map.
+  constexpr std::array<std::pair<std::string_view, std::string_view>, 14>
+      kLinks{{
+          {"Seattle", "Sunnyvale"},
+          {"Seattle", "Denver"},
+          {"Sunnyvale", "Los Angeles"},
+          {"Sunnyvale", "Denver"},
+          {"Los Angeles", "Houston"},
+          {"Denver", "Kansas City"},
+          {"Kansas City", "Houston"},
+          {"Kansas City", "Indianapolis"},
+          {"Houston", "Atlanta"},
+          {"Indianapolis", "Chicago"},
+          {"Indianapolis", "Atlanta"},
+          {"Chicago", "New York"},
+          {"Atlanta", "Washington"},
+          {"Washington", "New York"},
+      }};
+
+  Network net("Internet2");
+  for (const auto name : kPops) {
+    const auto city = geo::find_city(name);
+    if (!city) {
+      throw std::logic_error("internet2_network: city database is missing '" +
+                             std::string(name) + "'");
+    }
+    net.add_pop(name, geo::world_cities()[*city].location);
+  }
+  for (const auto& [a, b] : kLinks) {
+    net.add_link(*net.find_pop(a), *net.find_pop(b));
+  }
+  return net;
+}
+
+}  // namespace manytiers::topology

@@ -1,0 +1,15 @@
+// The Internet2 (Abilene) research backbone, embedded.
+//
+// Eleven PoPs with real city coordinates and the classic Abilene link map.
+// This is the topology substrate for the paper's third dataset (§4.1.1).
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace manytiers::topology {
+
+// Build the 11-PoP Abilene/Internet2 backbone. PoP names match entries in
+// geo::world_cities() ("Seattle", "Sunnyvale", ..., "New York").
+Network internet2_network();
+
+}  // namespace manytiers::topology

@@ -1,0 +1,66 @@
+#include "topology/utilization.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace manytiers::topology {
+
+UtilizationReport load_network(const Network& net,
+                               std::span<const TrafficDemand> demands) {
+  if (net.pop_count() == 0) {
+    throw std::invalid_argument("load_network: empty network");
+  }
+  // Link endpoints -> index, with canonical (low, high) ordering.
+  std::map<std::pair<PopId, PopId>, std::size_t> link_index;
+  for (std::size_t i = 0; i < net.links().size(); ++i) {
+    const auto& link = net.links()[i];
+    link_index[{std::min(link.a, link.b), std::max(link.a, link.b)}] = i;
+  }
+  UtilizationReport report;
+  report.links.resize(net.links().size());
+  for (std::size_t i = 0; i < report.links.size(); ++i) {
+    report.links[i].link_index = i;
+  }
+  // Group demands by source so each source's Dijkstra runs once.
+  std::map<PopId, std::vector<const TrafficDemand*>> by_src;
+  for (const auto& d : demands) {
+    if (d.src >= net.pop_count() || d.dst >= net.pop_count()) {
+      throw std::invalid_argument("load_network: demand references bad PoP");
+    }
+    if (!(d.mbps > 0.0)) {
+      throw std::invalid_argument("load_network: demand must be > 0");
+    }
+    report.total_demand_mbps += d.mbps;
+    by_src[d.src].push_back(&d);
+  }
+  for (const auto& [src, group] : by_src) {
+    const auto sp = shortest_paths(net, src);
+    for (const TrafficDemand* d : group) {
+      if (sp.distance_miles[d->dst] == kUnreachable) {
+        ++report.unroutable_demands;
+        continue;
+      }
+      const auto path = sp.path_to(d->dst);
+      for (std::size_t hop = 1; hop < path.size(); ++hop) {
+        const auto key = std::pair{std::min(path[hop - 1], path[hop]),
+                                   std::max(path[hop - 1], path[hop])};
+        auto& load = report.links[link_index.at(key)];
+        load.mbps += d->mbps;
+        report.total_carried_mbps += d->mbps;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < report.links.size(); ++i) {
+    auto& load = report.links[i];
+    load.utilization =
+        load.mbps / (net.links()[i].capacity_gbps * 1000.0);
+    if (load.utilization > report.max_utilization) {
+      report.max_utilization = load.utilization;
+      report.busiest_link = i;
+    }
+  }
+  return report;
+}
+
+}  // namespace manytiers::topology

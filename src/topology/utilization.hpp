@@ -1,0 +1,44 @@
+// Link utilization: load a traffic matrix onto a backbone.
+//
+// Routes every (src, dst, Mbps) demand along its shortest path and
+// accumulates per-link load — the capacity-planning view a transit ISP
+// needs when a pricing change shifts traffic (e.g. the paper's §5.1
+// cold-potato customers pulling traffic deeper into their own backbone).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "topology/dijkstra.hpp"
+#include "topology/graph.hpp"
+
+namespace manytiers::topology {
+
+struct TrafficDemand {
+  PopId src = 0;
+  PopId dst = 0;
+  double mbps = 0.0;
+};
+
+struct LinkLoad {
+  std::size_t link_index = 0;  // into Network::links()
+  double mbps = 0.0;
+  double utilization = 0.0;  // mbps / capacity
+};
+
+struct UtilizationReport {
+  std::vector<LinkLoad> links;      // one entry per network link
+  double max_utilization = 0.0;
+  std::size_t busiest_link = 0;     // index into links
+  double total_demand_mbps = 0.0;
+  double total_carried_mbps = 0.0;  // demand x hops, summed over links
+  std::size_t unroutable_demands = 0;
+};
+
+// Route all demands over shortest paths and report per-link load.
+// Demands between disconnected PoPs are counted, not routed.
+UtilizationReport load_network(const Network& net,
+                               std::span<const TrafficDemand> demands);
+
+}  // namespace manytiers::topology

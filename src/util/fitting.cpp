@@ -1,0 +1,102 @@
+#include "util/fitting.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace manytiers::util {
+
+namespace {
+void require_same_nonempty(std::span<const double> xs,
+                           std::span<const double> ys, const char* what) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": inputs must be equal-size and non-empty");
+  }
+}
+}  // namespace
+
+double rmse(std::span<const double> predicted, std::span<const double> actual) {
+  require_same_nonempty(predicted, actual, "rmse");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - actual[i];
+    acc += e * e;
+  }
+  return std::sqrt(acc / double(predicted.size()));
+}
+
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> actual) {
+  require_same_nonempty(predicted, actual, "r_squared");
+  const double m = mean(actual);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - m) * (actual[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+LinearFit linear_least_squares(std::span<const double> xs,
+                               std::span<const double> ys) {
+  require_same_nonempty(xs, ys, "linear_least_squares");
+  const double mx = mean(xs), my = mean(ys);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  LinearFit fit;
+  fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    pred[i] = fit.slope * xs[i] + fit.intercept;
+  }
+  fit.r2 = r_squared(pred, ys);
+  fit.rmse = rmse(pred, ys);
+  return fit;
+}
+
+double ConcaveFit::evaluate(double x) const {
+  if (x <= 0.0) throw std::invalid_argument("ConcaveFit::evaluate: x must be > 0");
+  return k * std::log(x) + c;
+}
+
+ConcaveFit ConcaveFit::with_base(double new_base) const {
+  if (new_base <= 1.0) {
+    throw std::invalid_argument("ConcaveFit::with_base: base must be > 1");
+  }
+  ConcaveFit out = *this;
+  out.b = new_base;
+  out.a = k * std::log(new_base);
+  return out;
+}
+
+ConcaveFit fit_concave_log(std::span<const double> xs,
+                           std::span<const double> ys, double base) {
+  require_same_nonempty(xs, ys, "fit_concave_log");
+  if (base <= 1.0) throw std::invalid_argument("fit_concave_log: base must be > 1");
+  std::vector<double> lx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0) {
+      throw std::invalid_argument("fit_concave_log: x values must be > 0");
+    }
+    lx[i] = std::log(xs[i]);
+  }
+  const LinearFit lin = linear_least_squares(lx, ys);
+  ConcaveFit fit;
+  fit.k = lin.slope;
+  fit.c = lin.intercept;
+  fit.b = base;
+  fit.a = fit.k * std::log(base);
+  fit.r2 = lin.r2;
+  fit.rmse = lin.rmse;
+  return fit;
+}
+
+}  // namespace manytiers::util

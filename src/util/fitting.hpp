@@ -1,0 +1,48 @@
+// Curve fitting for the concave cost model (paper Fig. 6).
+//
+// The paper fits normalized leased-line price vs normalized distance with
+// y = a * log_b(x) + c. Note that a and b are not separately identifiable
+// (only k = a / ln(b) matters), so the canonical fit estimates (k, c) by
+// linear least squares in ln(x) and reports (a, b, c) for a chosen base b.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace manytiers::util {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+  double rmse = 0.0;
+};
+
+// Ordinary least squares y = slope*x + intercept.
+LinearFit linear_least_squares(std::span<const double> xs,
+                               std::span<const double> ys);
+
+struct ConcaveFit {
+  // y = a * log_b(x) + c, equivalently y = k*ln(x) + c with k = a/ln(b).
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+  double k = 0.0;  // slope per natural log
+  double r2 = 0.0;
+  double rmse = 0.0;
+
+  double evaluate(double x) const;
+  // Re-express the same curve with a different log base.
+  ConcaveFit with_base(double new_base) const;
+};
+
+// Fit y = a*log_b(x) + c to the data. xs must be > 0. `base` chooses the
+// reported log base (the curve itself is base-independent).
+ConcaveFit fit_concave_log(std::span<const double> xs,
+                           std::span<const double> ys, double base = 6.0);
+
+double rmse(std::span<const double> predicted, std::span<const double> actual);
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> actual);
+
+}  // namespace manytiers::util

@@ -1,0 +1,120 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+namespace manytiers::util {
+
+namespace {
+void require_nonempty(std::span<const double> xs, const char* what) {
+  if (xs.empty()) throw std::invalid_argument(std::string(what) + ": empty input");
+}
+}  // namespace
+
+double sum(std::span<const double> xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double mean(std::span<const double> xs) {
+  require_nonempty(xs, "mean");
+  return sum(xs) / double(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  require_nonempty(xs, "variance");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / double(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) throw std::invalid_argument("cv: mean is zero");
+  return stddev(xs) / m;
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+  require_nonempty(xs, "weighted_mean");
+  if (xs.size() != ws.size()) {
+    throw std::invalid_argument("weighted_mean: size mismatch");
+  }
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (ws[i] < 0.0) throw std::invalid_argument("weighted_mean: negative weight");
+    num += xs[i] * ws[i];
+    den += ws[i];
+  }
+  if (den <= 0.0) throw std::invalid_argument("weighted_mean: zero total weight");
+  return num / den;
+}
+
+double min_value(std::span<const double> xs) {
+  require_nonempty(xs, "min_value");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  require_nonempty(xs, "max_value");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double q) {
+  require_nonempty(xs, "percentile");
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile: q out of range");
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  if (s.size() == 1) return s[0];
+  const double pos = q / 100.0 * double(s.size() - 1);
+  const std::size_t lo = std::size_t(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - double(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::mean: no samples");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::variance: no samples");
+  return m2_ / double(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  if (m == 0.0) throw std::logic_error("RunningStats::cv: mean is zero");
+  return stddev() / m;
+}
+
+double RunningStats::min() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::min: no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::max: no samples");
+  return max_;
+}
+
+}  // namespace manytiers::util

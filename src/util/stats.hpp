@@ -1,0 +1,50 @@
+// Descriptive statistics used throughout the model-fitting pipeline and
+// the Table 1 dataset characterization.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace manytiers::util {
+
+double sum(std::span<const double> xs);
+double mean(std::span<const double> xs);
+// Population variance / stddev (divide by n); the paper's CV figures are
+// descriptive statistics of full datasets, not sample estimates.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+// Coefficient of variation: stddev / mean. Requires mean != 0.
+double coefficient_of_variation(std::span<const double> xs);
+
+// Weighted statistics; weights must be non-negative and sum > 0.
+double weighted_mean(std::span<const double> xs, std::span<const double> ws);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+// Linear-interpolated percentile, q in [0, 100].
+double percentile(std::span<const double> xs, double q);
+
+// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double cv() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace manytiers::util

@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace manytiers::util {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  std::string s = os.str();
+  // Trim trailing zeros but keep at least one decimal digit for clarity.
+  if (s.find('.') != std::string::npos) {
+    while (s.size() > 1 && s.back() == '0' &&
+           s[s.size() - 2] != '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no headers");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double c : cells) out.push_back(format_double(c, precision));
+  add_row(std::move(out));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size() + 1);
+  out.push_back(label);
+  for (double c : cells) out.push_back(format_double(c, precision));
+  add_row(std::move(out));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(int(widths[c])) << cells[c];
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool quote = cells[c].find(',') != std::string::npos;
+      if (quote) os << '"';
+      os << cells[c];
+      if (quote) os << '"';
+      if (c + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace manytiers::util

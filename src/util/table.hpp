@@ -1,0 +1,41 @@
+// Plain-text table rendering for benchmark and example output.
+//
+// Every bench binary reproduces a paper table or figure as an aligned text
+// table (and optionally CSV) so the series can be compared to the paper
+// directly or piped into a plotting tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace manytiers::util {
+
+// Format a double with fixed precision, trimming to a compact form.
+std::string format_double(double value, int precision = 3);
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: numeric row formatted at the given precision.
+  void add_row(const std::vector<double>& cells, int precision = 3);
+  // Mixed row: first cell is a label, remaining cells numeric.
+  void add_row(const std::string& label, const std::vector<double>& cells,
+               int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+  // Render with aligned columns, a header underline, and a trailing newline.
+  void print(std::ostream& os) const;
+  // Render as RFC-4180-ish CSV (quotes around cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace manytiers::util

@@ -1,0 +1,67 @@
+#include "workload/diurnal.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace manytiers::workload {
+
+namespace {
+void validate(const DiurnalProfile& p) {
+  if (!(p.mean_mbps > 0.0)) {
+    throw std::invalid_argument("diurnal: mean rate must be > 0");
+  }
+  if (!(p.peak_to_trough >= 1.0)) {
+    throw std::invalid_argument("diurnal: peak/trough ratio must be >= 1");
+  }
+  if (p.peak_hour < 0.0 || p.peak_hour >= 24.0) {
+    throw std::invalid_argument("diurnal: peak hour must be in [0, 24)");
+  }
+  if (p.noise_sd < 0.0) {
+    throw std::invalid_argument("diurnal: noise sd must be >= 0");
+  }
+}
+}  // namespace
+
+double diurnal_rate_mbps(const DiurnalProfile& profile,
+                         std::uint32_t second_of_day) {
+  validate(profile);
+  if (second_of_day >= 86400) {
+    throw std::invalid_argument("diurnal: second of day out of range");
+  }
+  // mean * (1 + a cos(phase)) with a = (r - 1)/(r + 1) puts max/min at
+  // mean(1 +/- a), whose ratio is exactly peak_to_trough.
+  const double amplitude =
+      (profile.peak_to_trough - 1.0) / (profile.peak_to_trough + 1.0);
+  const double hour = double(second_of_day) / 3600.0;
+  const double phase =
+      2.0 * std::numbers::pi * (hour - profile.peak_hour) / 24.0;
+  return profile.mean_mbps * (1.0 + amplitude * std::cos(phase));
+}
+
+std::vector<std::uint64_t> diurnal_interval_bytes(
+    const DiurnalProfile& profile, int days, std::uint32_t interval_seconds,
+    util::Rng& rng) {
+  validate(profile);
+  if (days < 1) throw std::invalid_argument("diurnal: days must be >= 1");
+  if (interval_seconds == 0 || interval_seconds > 86400) {
+    throw std::invalid_argument("diurnal: interval must be in [1s, 1 day]");
+  }
+  const std::uint32_t per_day = 86400 / interval_seconds;
+  std::vector<std::uint64_t> out;
+  out.reserve(std::size_t(days) * per_day);
+  for (int day = 0; day < days; ++day) {
+    for (std::uint32_t k = 0; k < per_day; ++k) {
+      const std::uint32_t mid = k * interval_seconds + interval_seconds / 2;
+      double mbps = diurnal_rate_mbps(profile, mid);
+      if (profile.noise_sd > 0.0) {
+        mbps *= std::exp(rng.normal(0.0, profile.noise_sd));
+      }
+      out.push_back(
+          std::uint64_t(mbps * 1e6 / 8.0 * double(interval_seconds)));
+    }
+  }
+  return out;
+}
+
+}  // namespace manytiers::workload

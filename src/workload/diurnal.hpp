@@ -1,0 +1,34 @@
+// Diurnal traffic profiles.
+//
+// Transit demand swings daily (the evening peak is what 95th-percentile
+// billing prices). This models a sinusoidal day shape with a configurable
+// peak-to-trough ratio plus lognormal noise, and renders it as the
+// per-interval byte counts a billing meter consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace manytiers::workload {
+
+struct DiurnalProfile {
+  double mean_mbps = 100.0;
+  double peak_to_trough = 3.0;  // ratio of daily max to daily min (>= 1)
+  double peak_hour = 20.0;      // local hour of the daily maximum [0, 24)
+  double noise_sd = 0.1;        // lognormal sigma on each interval
+};
+
+// Deterministic rate (Mbps) at a given second of the day: a sinusoid with
+// the profile's mean, ratio, and peak position.
+double diurnal_rate_mbps(const DiurnalProfile& profile,
+                         std::uint32_t second_of_day);
+
+// Bytes transferred in each metering interval over `days` days, with
+// noise; ready for accounting::BurstMeter::record_interval.
+std::vector<std::uint64_t> diurnal_interval_bytes(
+    const DiurnalProfile& profile, int days, std::uint32_t interval_seconds,
+    util::Rng& rng);
+
+}  // namespace manytiers::workload

@@ -1,0 +1,68 @@
+#include "workload/flowset.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace manytiers::workload {
+
+void FlowSet::add(Flow flow) {
+  if (flow.demand_mbps <= 0.0) {
+    throw std::invalid_argument("FlowSet::add: demand must be > 0");
+  }
+  if (flow.distance_miles < 0.0) {
+    throw std::invalid_argument("FlowSet::add: distance must be >= 0");
+  }
+  flows_.push_back(flow);
+}
+
+std::vector<double> FlowSet::demands() const {
+  std::vector<double> out;
+  out.reserve(flows_.size());
+  for (const auto& f : flows_) out.push_back(f.demand_mbps);
+  return out;
+}
+
+std::vector<double> FlowSet::distances() const {
+  std::vector<double> out;
+  out.reserve(flows_.size());
+  for (const auto& f : flows_) out.push_back(f.distance_miles);
+  return out;
+}
+
+double FlowSet::total_demand_mbps() const {
+  double total = 0.0;
+  for (const auto& f : flows_) total += f.demand_mbps;
+  return total;
+}
+
+double FlowSet::weighted_avg_distance() const {
+  if (flows_.empty()) {
+    throw std::logic_error("FlowSet::weighted_avg_distance: empty set");
+  }
+  const auto d = distances();
+  const auto q = demands();
+  return util::weighted_mean(d, q);
+}
+
+void FlowSet::scale_distances(double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("FlowSet::scale_distances: factor must be > 0");
+  }
+  for (auto& f : flows_) f.distance_miles *= factor;
+}
+
+void FlowSet::scale_demands(double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("FlowSet::scale_demands: factor must be > 0");
+  }
+  for (auto& f : flows_) f.demand_mbps *= factor;
+}
+
+void FlowSet::classify_regions_by_distance(const geo::DistanceThresholds& t) {
+  for (auto& f : flows_) {
+    f.region = geo::classify_distance(f.distance_miles, t);
+  }
+}
+
+}  // namespace manytiers::workload

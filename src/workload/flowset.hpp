@@ -1,0 +1,75 @@
+// FlowSet: the demand table every model consumes.
+//
+// A Flow is one (source, destination) traffic aggregate with its observed
+// demand and the distance it travels in the ISP's network — the two
+// quantities the paper's calibration needs (§4.1) — plus metadata used by
+// the regional and destination-type cost models.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/region.hpp"
+
+namespace manytiers::workload {
+
+// Destination type for the paper's "on-net / off-net" cost model (§3.3):
+// traffic to the ISP's own customers vs traffic handed off to peers.
+enum class DestType { OnNet, OffNet };
+
+struct Flow {
+  double demand_mbps = 0.0;     // observed demand at the blended rate
+  double distance_miles = 0.0;  // distance traveled in the ISP network
+  geo::Region region = geo::Region::International;
+  DestType dest_type = DestType::OffNet;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::optional<std::size_t> src_city;  // indices into geo::world_cities()
+  std::optional<std::size_t> dst_city;
+};
+
+class FlowSet {
+ public:
+  explicit FlowSet(std::string name = "flows") : name_(std::move(name)) {}
+
+  // Flows must have positive demand and non-negative distance.
+  void add(Flow flow);
+
+  std::size_t size() const { return flows_.size(); }
+  bool empty() const { return flows_.empty(); }
+  const Flow& operator[](std::size_t i) const { return flows_[i]; }
+  const std::vector<Flow>& flows() const { return flows_; }
+  const std::string& name() const { return name_; }
+
+  auto begin() const { return flows_.begin(); }
+  auto end() const { return flows_.end(); }
+
+  // Column views (copies) used by calibration and statistics.
+  std::vector<double> demands() const;
+  std::vector<double> distances() const;
+
+  double total_demand_mbps() const;
+  double total_demand_gbps() const { return total_demand_mbps() / 1000.0; }
+
+  // Demand-weighted average distance (Table 1's "w-avg" column).
+  double weighted_avg_distance() const;
+
+  // Multiply every distance by `factor` (> 0). Used by the generators to
+  // pin the demand-weighted average distance to a target; pure rescaling
+  // preserves the CV of distance and all relative cost structure.
+  void scale_distances(double factor);
+  // Multiply every demand by `factor` (> 0); preserves the CV of demand.
+  void scale_demands(double factor);
+
+  // Re-derive each flow's region from its distance using the paper's
+  // EU ISP thresholds (metro < 10 mi, national < 100 mi).
+  void classify_regions_by_distance(const geo::DistanceThresholds& t = {});
+
+ private:
+  std::string name_;
+  std::vector<Flow> flows_;
+};
+
+}  // namespace manytiers::workload

@@ -1,0 +1,55 @@
+#include "workload/gravity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "topology/dijkstra.hpp"
+
+namespace manytiers::workload {
+
+std::vector<topology::TrafficDemand> gravity_matrix(
+    const topology::Network& net, std::span<const double> masses,
+    const GravityOptions& options) {
+  if (masses.size() != net.pop_count()) {
+    throw std::invalid_argument("gravity_matrix: one mass per PoP required");
+  }
+  for (const double m : masses) {
+    if (!(m > 0.0)) {
+      throw std::invalid_argument("gravity_matrix: masses must be > 0");
+    }
+  }
+  if (!(options.total_demand_mbps > 0.0)) {
+    throw std::invalid_argument("gravity_matrix: total demand must be > 0");
+  }
+  if (options.distance_exponent < 0.0 ||
+      !(options.distance_floor_miles > 0.0)) {
+    throw std::invalid_argument("gravity_matrix: bad distance parameters");
+  }
+  const auto dist = topology::all_pairs_distances(net);
+  std::vector<topology::TrafficDemand> out;
+  double total = 0.0;
+  for (topology::PopId i = 0; i < net.pop_count(); ++i) {
+    for (topology::PopId j = 0; j < net.pop_count(); ++j) {
+      if (i == j && !options.include_self_pairs) continue;
+      if (dist[i][j] == topology::kUnreachable) continue;
+      const double d =
+          std::max(dist[i][j], options.distance_floor_miles);
+      topology::TrafficDemand demand;
+      demand.src = i;
+      demand.dst = j;
+      demand.mbps =
+          masses[i] * masses[j] / std::pow(d, options.distance_exponent);
+      total += demand.mbps;
+      out.push_back(demand);
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument(
+        "gravity_matrix: no routable PoP pairs in the topology");
+  }
+  const double scale = options.total_demand_mbps / total;
+  for (auto& d : out) d.mbps *= scale;
+  return out;
+}
+
+}  // namespace manytiers::workload

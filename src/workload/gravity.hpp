@@ -1,0 +1,32 @@
+// Gravity-model traffic matrices.
+//
+// The standard synthesis model for backbone traffic: demand between two
+// PoPs is proportional to the product of their masses (population,
+// attached customer base) divided by a function of their distance.
+// Provides a principled structural prior for the workload generators and
+// for users who need a traffic matrix for an arbitrary topology.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/utilization.hpp"
+
+namespace manytiers::workload {
+
+struct GravityOptions {
+  // Demand(i, j) = scale * mass_i * mass_j / max(distance_ij, floor)^beta.
+  double distance_exponent = 1.0;  // beta; 0 = distance-independent
+  double distance_floor_miles = 10.0;
+  double total_demand_mbps = 1000.0;  // matrix is scaled to this total
+  bool include_self_pairs = false;
+};
+
+// Build the demand list for every ordered PoP pair (i != j unless
+// include_self_pairs). `masses` must be positive, one per PoP; distances
+// are shortest-path miles over the topology.
+std::vector<topology::TrafficDemand> gravity_matrix(
+    const topology::Network& net, std::span<const double> masses,
+    const GravityOptions& options = {});
+
+}  // namespace manytiers::workload

@@ -1,0 +1,125 @@
+#include "workload/io.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "geo/geoip.hpp"
+
+namespace manytiers::workload {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "demand_mbps,distance_miles,region,dest_type,src_ip,dst_ip";
+
+std::string_view region_name(geo::Region r) { return geo::to_string(r); }
+
+std::string_view dest_type_name(DestType t) {
+  return t == DestType::OnNet ? "on-net" : "off-net";
+}
+
+geo::Region parse_region(std::string_view s, std::size_t line) {
+  if (s == "metro") return geo::Region::Metro;
+  if (s == "national") return geo::Region::National;
+  if (s == "international") return geo::Region::International;
+  throw std::invalid_argument("read_csv: line " + std::to_string(line) +
+                              ": unknown region '" + std::string(s) + "'");
+}
+
+DestType parse_dest_type(std::string_view s, std::size_t line) {
+  if (s == "on-net") return DestType::OnNet;
+  if (s == "off-net") return DestType::OffNet;
+  throw std::invalid_argument("read_csv: line " + std::to_string(line) +
+                              ": unknown dest_type '" + std::string(s) + "'");
+}
+
+double parse_double(std::string_view s, std::size_t line, const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("read_csv: line " + std::to_string(line) +
+                                ": bad " + what + " '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+std::vector<std::string_view> split_fields(std::string_view row) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = row.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(row.substr(start));
+      return out;
+    }
+    out.push_back(row.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const FlowSet& flows) {
+  const auto saved_precision = os.precision(15);
+  os << kHeader << '\n';
+  for (const auto& f : flows) {
+    os << f.demand_mbps << ',' << f.distance_miles << ','
+       << region_name(f.region) << ',' << dest_type_name(f.dest_type) << ',';
+    if (f.src_ip != 0) os << geo::format_ipv4(f.src_ip);
+    os << ',';
+    if (f.dst_ip != 0) os << geo::format_ipv4(f.dst_ip);
+    os << '\n';
+  }
+  os.precision(saved_precision);
+}
+
+std::string to_csv(const FlowSet& flows) {
+  std::ostringstream os;
+  write_csv(os, flows);
+  return os.str();
+}
+
+FlowSet read_csv(std::istream& is, std::string name) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::invalid_argument(
+        "read_csv: missing or malformed header line (expected '" +
+        std::string(kHeader) + "')");
+  }
+  FlowSet flows(std::move(name));
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split_fields(line);
+    if (fields.size() != 6) {
+      throw std::invalid_argument("read_csv: line " + std::to_string(line_no) +
+                                  ": expected 6 fields, got " +
+                                  std::to_string(fields.size()));
+    }
+    Flow f;
+    f.demand_mbps = parse_double(fields[0], line_no, "demand");
+    f.distance_miles = parse_double(fields[1], line_no, "distance");
+    f.region = parse_region(fields[2], line_no);
+    f.dest_type = parse_dest_type(fields[3], line_no);
+    if (!fields[4].empty()) f.src_ip = geo::parse_ipv4(fields[4]);
+    if (!fields[5].empty()) f.dst_ip = geo::parse_ipv4(fields[5]);
+    try {
+      flows.add(f);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("read_csv: line " + std::to_string(line_no) +
+                                  ": " + e.what());
+    }
+  }
+  return flows;
+}
+
+FlowSet from_csv(const std::string& text, std::string name) {
+  std::istringstream is(text);
+  return read_csv(is, std::move(name));
+}
+
+}  // namespace manytiers::workload

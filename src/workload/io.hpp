@@ -1,0 +1,29 @@
+// FlowSet CSV import/export.
+//
+// Lets operators run the counterfactual engine on their own traffic
+// matrices. The format is one header line followed by one row per flow:
+//
+//   demand_mbps,distance_miles,region,dest_type,src_ip,dst_ip
+//   900.5,12.0,metro,on-net,10.0.0.1,100.1.2.3
+//
+// region is metro|national|international; dest_type is on-net|off-net;
+// the IP columns are optional (empty fields allowed).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/flowset.hpp"
+
+namespace manytiers::workload {
+
+// Serialize a flow set (header + rows).
+void write_csv(std::ostream& os, const FlowSet& flows);
+std::string to_csv(const FlowSet& flows);
+
+// Parse a flow set; throws std::invalid_argument with a line number on
+// malformed input. The header line is required and validated.
+FlowSet read_csv(std::istream& is, std::string name = "csv");
+FlowSet from_csv(const std::string& text, std::string name = "csv");
+
+}  // namespace manytiers::workload

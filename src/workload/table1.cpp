@@ -1,0 +1,40 @@
+#include "workload/table1.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace manytiers::workload {
+
+DatasetStats compute_stats(const FlowSet& flows) {
+  if (flows.empty()) {
+    throw std::invalid_argument("compute_stats: empty flow set");
+  }
+  DatasetStats s;
+  s.name = flows.name();
+  s.flow_count = flows.size();
+  s.wavg_distance_miles = flows.weighted_avg_distance();
+  const auto d = flows.distances();
+  const auto q = flows.demands();
+  s.cv_distance = util::coefficient_of_variation(d);
+  s.aggregate_gbps = flows.total_demand_gbps();
+  s.cv_demand = util::coefficient_of_variation(q);
+  return s;
+}
+
+void print_table1(std::ostream& os, std::span<const DatasetStats> measured) {
+  util::TextTable table({"Data set", "Flows", "w-avg dist (mi)", "CV dist",
+                         "Aggregate (Gbps)", "CV demand"});
+  for (const auto& s : measured) {
+    table.add_row({s.name, std::to_string(s.flow_count),
+                   util::format_double(s.wavg_distance_miles, 1),
+                   util::format_double(s.cv_distance, 2),
+                   util::format_double(s.aggregate_gbps, 1),
+                   util::format_double(s.cv_demand, 2)});
+  }
+  table.print(os);
+}
+
+}  // namespace manytiers::workload

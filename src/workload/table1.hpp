@@ -1,0 +1,27 @@
+// Dataset characterization: the columns of the paper's Table 1.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "workload/flowset.hpp"
+#include "workload/generators.hpp"
+
+namespace manytiers::workload {
+
+struct DatasetStats {
+  std::string name;
+  std::size_t flow_count = 0;
+  double wavg_distance_miles = 0.0;  // demand-weighted mean flow distance
+  double cv_distance = 0.0;          // CV of flow distances
+  double aggregate_gbps = 0.0;       // total demand
+  double cv_demand = 0.0;            // CV of flow demands
+};
+
+DatasetStats compute_stats(const FlowSet& flows);
+
+// Render a Table 1-shaped comparison of measured stats vs paper targets.
+void print_table1(std::ostream& os, std::span<const DatasetStats> measured);
+
+}  // namespace manytiers::workload

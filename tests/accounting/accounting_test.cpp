@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "accounting/flow_acct.hpp"
+#include "accounting/link_acct.hpp"
+#include "netflow/exporter.hpp"
+
+namespace manytiers::accounting {
+namespace {
+
+Rib three_tier_rib() {
+  Rib rib;
+  Route metro;
+  metro.prefix = geo::parse_prefix("100.0.0.0/8");
+  metro.tag = TierTag{65000, 1};
+  rib.add(metro);
+  Route national;
+  national.prefix = geo::parse_prefix("101.0.0.0/8");
+  national.tag = TierTag{65000, 2};
+  rib.add(national);
+  Route global;
+  global.prefix = geo::parse_prefix("0.0.0.0/0");
+  global.tag = TierTag{65000, 3};
+  rib.add(global);
+  return rib;
+}
+
+TEST(LinkAccounting, ProvisionsOneSessionPerTier) {
+  const auto rib = three_tier_rib();
+  const LinkAccounting acct(rib);
+  EXPECT_EQ(acct.session_count(), 3u);
+}
+
+TEST(LinkAccounting, CountsBytesOnTheRightLink) {
+  const auto rib = three_tier_rib();
+  LinkAccounting acct(rib);
+  acct.send(geo::parse_ipv4("100.1.1.1"), 1000);  // tier 1
+  acct.send(geo::parse_ipv4("100.2.2.2"), 500);   // tier 1
+  acct.send(geo::parse_ipv4("101.1.1.1"), 700);   // tier 2
+  acct.send(geo::parse_ipv4("8.8.8.8"), 300);     // tier 3 (default)
+  const auto usage = acct.poll();
+  ASSERT_EQ(usage.size(), 3u);
+  EXPECT_EQ(usage[0].tier, 1);
+  EXPECT_EQ(usage[0].bytes, 1500u);
+  EXPECT_EQ(usage[1].bytes, 700u);
+  EXPECT_EQ(usage[2].bytes, 300u);
+  EXPECT_EQ(acct.unrouted_bytes(), 0u);
+}
+
+TEST(LinkAccounting, TracksUnroutedTraffic) {
+  Rib rib;
+  Route only;
+  only.prefix = geo::parse_prefix("100.0.0.0/8");
+  only.tag = TierTag{65000, 1};
+  rib.add(only);
+  LinkAccounting acct(rib);
+  acct.send(geo::parse_ipv4("9.9.9.9"), 400);
+  EXPECT_EQ(acct.unrouted_bytes(), 400u);
+  EXPECT_EQ(acct.poll()[0].bytes, 0u);
+}
+
+netflow::FlowRecord record_to(const char* dst, std::uint64_t sampled_bytes) {
+  netflow::FlowRecord r;
+  r.key.src_ip = geo::parse_ipv4("10.0.0.1");
+  r.key.dst_ip = geo::parse_ipv4(dst);
+  r.key.dst_port = 443;
+  r.sampled_bytes = sampled_bytes;
+  r.sampled_packets = 1 + sampled_bytes / 1500;
+  return r;
+}
+
+TEST(FlowAccounting, ScalesAndBinsByTier) {
+  const auto rib = three_tier_rib();
+  FlowAccounting acct(rib, 100);
+  acct.ingest(record_to("100.1.1.1", 15));
+  acct.ingest(record_to("101.1.1.1", 7));
+  const auto usage = acct.usage();
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage[0].tier, 1);
+  EXPECT_EQ(usage[0].bytes, 1500u);
+  EXPECT_EQ(usage[1].tier, 2);
+  EXPECT_EQ(usage[1].bytes, 700u);
+  EXPECT_EQ(acct.records_processed(), 2u);
+}
+
+TEST(FlowAccounting, SingleSessionRegardlessOfTiers) {
+  EXPECT_EQ(FlowAccounting::session_count(), 1u);
+}
+
+TEST(FlowAccounting, RejectsZeroSamplingRate) {
+  const auto rib = three_tier_rib();
+  EXPECT_THROW(FlowAccounting(rib, 0), std::invalid_argument);
+}
+
+TEST(FlowAccounting, UnroutedTrafficIsTracked) {
+  Rib rib;
+  Route only;
+  only.prefix = geo::parse_prefix("100.0.0.0/8");
+  only.tag = TierTag{65000, 1};
+  rib.add(only);
+  FlowAccounting acct(rib, 10);
+  acct.ingest(record_to("50.0.0.1", 100));
+  EXPECT_EQ(acct.unrouted_bytes(), 1000u);
+  EXPECT_TRUE(acct.usage().empty());
+}
+
+TEST(Accounting, LinkAndFlowAccountingAgreeAtRateOne) {
+  // The paper's two implementations must produce the same bill when
+  // sampling is exact (rate 1).
+  const auto rib = three_tier_rib();
+  LinkAccounting link(rib);
+  FlowAccounting flow(rib, 1);
+  const struct {
+    const char* dst;
+    std::uint64_t bytes;
+  } traffic[] = {
+      {"100.1.1.1", 123456}, {"100.7.0.9", 999},   {"101.3.3.3", 5000},
+      {"8.8.8.8", 42},       {"101.0.0.1", 77777},
+  };
+  for (const auto& t : traffic) {
+    link.send(geo::parse_ipv4(t.dst), t.bytes);
+    flow.ingest(record_to(t.dst, t.bytes));
+  }
+  const auto a = link.poll();
+  const auto b = flow.usage();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tier, b[i].tier);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+  }
+}
+
+TEST(Accounting, SampledFlowAccountingApproximatesLinkTruth) {
+  // With 1-in-N sampling the flow-based bill is an unbiased estimate of
+  // the link-based (exact) bill.
+  const auto rib = three_tier_rib();
+  LinkAccounting link(rib);
+  FlowAccounting flow(rib, 50);
+  netflow::SampledExporter exporter({.sampling_rate = 50, .window_seconds = 60},
+                                    util::Rng(21));
+  netflow::GroundTruthFlow gt;
+  gt.key.src_ip = geo::parse_ipv4("10.0.0.1");
+  gt.key.dst_ip = geo::parse_ipv4("100.1.1.1");
+  gt.bytes = 30000000;
+  gt.packets = 20000;
+  const std::vector<netflow::RouterId> path{1};
+  link.send(gt.key.dst_ip, gt.bytes);
+  flow.ingest(exporter.export_flow(gt, path));
+  ASSERT_EQ(flow.usage().size(), 1u);
+  const double est = double(flow.usage()[0].bytes);
+  EXPECT_NEAR(est, double(gt.bytes), 0.1 * double(gt.bytes));
+}
+
+}  // namespace
+}  // namespace manytiers::accounting

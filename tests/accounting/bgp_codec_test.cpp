@@ -1,0 +1,210 @@
+#include "accounting/bgp_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace manytiers::accounting {
+namespace {
+
+Route make_route(const char* cidr, std::uint16_t tier,
+                 std::uint16_t asn = 65000) {
+  Route r;
+  r.prefix = geo::parse_prefix(cidr);
+  r.tag = TierTag{asn, tier};
+  return r;
+}
+
+TEST(BgpCodec, HeaderGoldenBytes) {
+  UpdateMessage update;
+  update.announce.push_back(make_route("100.0.0.0/8", 1));
+  const auto bytes = encode_update(update, {});
+  ASSERT_GE(bytes.size(), kBgpHeaderBytes);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(bytes[i], 0xff);
+  // Length is big-endian and equals the buffer size.
+  EXPECT_EQ((std::size_t(bytes[16]) << 8) | bytes[17], bytes.size());
+  EXPECT_EQ(bytes[18], kBgpTypeUpdate);
+}
+
+TEST(BgpCodec, PrefixesUseMinimalOctets) {
+  // A /8 NLRI takes 1 length byte + 1 address octet.
+  UpdateMessage a, b;
+  a.announce.push_back(make_route("100.0.0.0/8", 1));
+  b.announce.push_back(make_route("100.1.2.0/24", 1));
+  const auto bytes_a = encode_update(a, {});
+  const auto bytes_b = encode_update(b, {});
+  EXPECT_EQ(bytes_b.size(), bytes_a.size() + 2);  // two more address octets
+}
+
+TEST(BgpCodec, RoundTripsAnnouncementsWithTierTags) {
+  UpdateMessage update;
+  update.announce.push_back(make_route("100.0.0.0/8", 3, 64512));
+  update.announce.push_back(make_route("100.64.0.0/10", 3, 64512));
+  update.announce.push_back(make_route("1.2.3.4/32", 3, 64512));
+  BgpEncodeOptions opts;
+  opts.local_asn = 64512;
+  const auto decoded = decode_update(encode_update(update, opts));
+  ASSERT_EQ(decoded.announce.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded.announce[i].prefix.address,
+              update.announce[i].prefix.address);
+    EXPECT_EQ(decoded.announce[i].prefix.length,
+              update.announce[i].prefix.length);
+    EXPECT_EQ(decoded.announce[i].tag, update.announce[i].tag);
+  }
+}
+
+TEST(BgpCodec, RoundTripsWithdrawals) {
+  UpdateMessage update;
+  update.withdraw.push_back(geo::parse_prefix("100.0.0.0/8"));
+  update.withdraw.push_back(geo::parse_prefix("0.0.0.0/0"));
+  const auto decoded = decode_update(encode_update(update, {}));
+  ASSERT_EQ(decoded.withdraw.size(), 2u);
+  EXPECT_EQ(decoded.withdraw[0].length, 8);
+  EXPECT_EQ(decoded.withdraw[1].length, 0);
+  EXPECT_TRUE(decoded.announce.empty());
+}
+
+TEST(BgpCodec, WithdrawOnlyMessageHasNoPathAttributes) {
+  UpdateMessage update;
+  update.withdraw.push_back(geo::parse_prefix("100.0.0.0/8"));
+  const auto bytes = encode_update(update, {});
+  // header(19) + wrl(2) + prefix(2) + tpal(2) = 25 bytes.
+  EXPECT_EQ(bytes.size(), 25u);
+}
+
+TEST(BgpCodec, MixedTiersMustBeSplit) {
+  UpdateMessage update;
+  update.announce.push_back(make_route("100.0.0.0/8", 1));
+  update.announce.push_back(make_route("110.0.0.0/8", 2));
+  EXPECT_THROW(encode_update(update, {}), std::invalid_argument);
+  const auto messages = encode_updates(update, {});
+  ASSERT_EQ(messages.size(), 2u);
+  const auto first = decode_update(messages[0]);
+  const auto second = decode_update(messages[1]);
+  EXPECT_EQ(first.announce.size(), 1u);
+  EXPECT_EQ(second.announce.size(), 1u);
+  EXPECT_NE(first.announce[0].tag.tier, second.announce[0].tag.tier);
+}
+
+TEST(BgpCodec, EncodeUpdatesPutsWithdrawalsOnFirstMessage) {
+  UpdateMessage update;
+  update.withdraw.push_back(geo::parse_prefix("9.0.0.0/8"));
+  update.announce.push_back(make_route("100.0.0.0/8", 1));
+  update.announce.push_back(make_route("110.0.0.0/8", 2));
+  const auto messages = encode_updates(update, {});
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(decode_update(messages[0]).withdraw.size(), 1u);
+  EXPECT_TRUE(decode_update(messages[1]).withdraw.empty());
+}
+
+TEST(BgpCodec, WithdrawOnlyThroughEncodeUpdates) {
+  UpdateMessage update;
+  update.withdraw.push_back(geo::parse_prefix("9.0.0.0/8"));
+  const auto messages = encode_updates(update, {});
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(decode_update(messages[0]).withdraw.size(), 1u);
+}
+
+TEST(BgpCodec, DecodeRejectsMalformedInput) {
+  UpdateMessage update;
+  update.announce.push_back(make_route("100.0.0.0/8", 1));
+  auto bytes = encode_update(update, {});
+  // Truncated.
+  EXPECT_THROW(decode_update(std::span(bytes).first(10)),
+               std::invalid_argument);
+  EXPECT_THROW(decode_update(std::span(bytes).first(bytes.size() - 1)),
+               std::invalid_argument);
+  // Bad marker.
+  auto bad_marker = bytes;
+  bad_marker[0] = 0x00;
+  EXPECT_THROW(decode_update(bad_marker), std::invalid_argument);
+  // Wrong type.
+  auto keepalive = bytes;
+  keepalive[18] = 4;
+  EXPECT_THROW(decode_update(keepalive), std::invalid_argument);
+  // Lying length.
+  auto bad_len = bytes;
+  bad_len[17] = std::uint8_t(bytes.size() + 5);
+  EXPECT_THROW(decode_update(bad_len), std::invalid_argument);
+  // Prefix length > 32 in the NLRI.
+  auto bad_prefix = bytes;
+  bad_prefix[bytes.size() - 2] = 64;
+  EXPECT_THROW(decode_update(bad_prefix), std::invalid_argument);
+}
+
+TEST(BgpCodec, WireUpdatesDriveASession) {
+  // Full §5.1 path: tier plan -> session updates -> BGP wire -> decode ->
+  // customer session RIB.
+  UpdateMessage update;
+  update.announce.push_back(make_route("100.0.0.0/8", 1));
+  update.announce.push_back(make_route("110.0.0.0/8", 2));
+  update.announce.push_back(make_route("0.0.0.0/0", 3));
+  BgpSession session("customer");
+  session.establish();
+  for (const auto& wire : encode_updates(update, {})) {
+    session.receive(decode_update(wire));
+  }
+  EXPECT_EQ(session.rib().size(), 3u);
+  EXPECT_EQ(session.rib().tier_of(geo::parse_ipv4("100.1.1.1")), 1);
+  EXPECT_EQ(session.rib().tier_of(geo::parse_ipv4("110.1.1.1")), 2);
+  EXPECT_EQ(session.rib().tier_of(geo::parse_ipv4("8.8.8.8")), 3);
+}
+
+TEST(BgpCodec, RejectsOversizedMessages) {
+  UpdateMessage update;
+  // ~1300 /32 routes at 5 bytes each exceed 4096 bytes.
+  for (std::uint32_t i = 0; i < 1300; ++i) {
+    Route r;
+    r.prefix = geo::Prefix{(geo::IpV4(10) << 24) | i, 32};
+    r.tag = TierTag{65000, 1};
+    update.announce.push_back(r);
+  }
+  EXPECT_THROW(encode_update(update, {}), std::invalid_argument);
+}
+
+TEST(BgpCodec, FuzzRoundTripRandomUpdates) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    UpdateMessage update;
+    const auto n_withdraw = std::size_t(rng.uniform_int(0, 10));
+    for (std::size_t i = 0; i < n_withdraw; ++i) {
+      const int length = int(rng.uniform_int(0, 32));
+      const geo::IpV4 mask =
+          length == 0 ? 0 : ~geo::IpV4(0) << (32 - length);
+      update.withdraw.push_back(
+          geo::Prefix{geo::IpV4(rng.uniform_int(0, 0xffffffffLL)) & mask,
+                      length});
+    }
+    const auto n_announce = std::size_t(rng.uniform_int(0, 40));
+    const TierTag tag{std::uint16_t(rng.uniform_int(1, 0xffff)),
+                      std::uint16_t(rng.uniform_int(0, 0xffff))};
+    for (std::size_t i = 0; i < n_announce; ++i) {
+      const int length = int(rng.uniform_int(1, 32));
+      const geo::IpV4 mask = ~geo::IpV4(0) << (32 - length);
+      Route r;
+      r.prefix =
+          geo::Prefix{geo::IpV4(rng.uniform_int(0, 0xffffffffLL)) & mask,
+                      length};
+      r.tag = tag;
+      update.announce.push_back(r);
+    }
+    const auto decoded = decode_update(encode_update(update, {}));
+    ASSERT_EQ(decoded.withdraw.size(), update.withdraw.size());
+    ASSERT_EQ(decoded.announce.size(), update.announce.size());
+    for (std::size_t i = 0; i < update.withdraw.size(); ++i) {
+      EXPECT_EQ(decoded.withdraw[i].address, update.withdraw[i].address);
+      EXPECT_EQ(decoded.withdraw[i].length, update.withdraw[i].length);
+    }
+    for (std::size_t i = 0; i < update.announce.size(); ++i) {
+      EXPECT_EQ(decoded.announce[i].prefix.address,
+                update.announce[i].prefix.address);
+      EXPECT_EQ(decoded.announce[i].prefix.length,
+                update.announce[i].prefix.length);
+      EXPECT_EQ(decoded.announce[i].tag, update.announce[i].tag);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manytiers::accounting

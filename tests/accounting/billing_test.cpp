@@ -1,0 +1,108 @@
+#include "accounting/billing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::accounting {
+namespace {
+
+TEST(RatePlan, LooksUpTierRates) {
+  const RatePlan plan{{{1, 5.0}, {2, 12.0}}};
+  EXPECT_DOUBLE_EQ(plan.rate_for(1), 5.0);
+  EXPECT_DOUBLE_EQ(plan.rate_for(2), 12.0);
+  EXPECT_THROW(plan.rate_for(9), std::invalid_argument);
+}
+
+TEST(TieredInvoice, BillsEachTierAtItsRate) {
+  // 1e6 bytes over 8 s = 1 Mbps per unit used below.
+  const std::vector<TierUsage> usage{{1, 3000000}, {2, 1000000}};
+  const RatePlan plan{{{1, 5.0}, {2, 12.0}}};
+  const auto inv = tiered_invoice(usage, 8, plan);
+  ASSERT_EQ(inv.lines.size(), 2u);
+  EXPECT_NEAR(inv.lines[0].mbps, 3.0, 1e-9);
+  EXPECT_NEAR(inv.lines[0].amount, 15.0, 1e-9);
+  EXPECT_NEAR(inv.lines[1].amount, 12.0, 1e-9);
+  EXPECT_NEAR(inv.total, 27.0, 1e-9);
+}
+
+TEST(BlendedInvoice, BillsEverythingAtOneRate) {
+  const std::vector<TierUsage> usage{{1, 3000000}, {2, 1000000}};
+  const auto inv = blended_invoice(usage, 8, 10.0);
+  ASSERT_EQ(inv.lines.size(), 1u);
+  EXPECT_NEAR(inv.lines[0].mbps, 4.0, 1e-9);
+  EXPECT_NEAR(inv.total, 40.0, 1e-9);
+  EXPECT_THROW(blended_invoice(usage, 8, 0.0), std::invalid_argument);
+}
+
+TEST(Invoices, TieredBeatsBlendedForLocalHeavyCustomers) {
+  // A customer whose traffic is mostly cheap/local pays less under
+  // tiered pricing — the incentive in paper §2.2.
+  const std::vector<TierUsage> usage{{1, 90000000}, {3, 10000000}};
+  const RatePlan plan{{{1, 4.0}, {3, 25.0}}};
+  const auto tiered = tiered_invoice(usage, 8, plan);
+  const auto blended = blended_invoice(usage, 8, 12.0);
+  EXPECT_LT(tiered.total, blended.total);
+}
+
+TEST(PeeringEconomics, TieredPriceFloorFormula) {
+  // (M + 1) * c_ISP + A from paper §2.2.2.
+  PeeringEconomics econ;
+  econ.blended_rate = 10.0;
+  econ.isp_unit_cost = 2.0;
+  econ.isp_margin = 0.3;
+  econ.accounting_overhead = 0.5;
+  EXPECT_NEAR(tiered_price_floor(econ), 1.3 * 2.0 + 0.5, 1e-12);
+}
+
+TEST(PeeringEconomics, CustomerPeelsOffWhenDirectIsCheaper) {
+  PeeringEconomics econ;
+  econ.blended_rate = 10.0;
+  econ.isp_unit_cost = 2.0;
+  EXPECT_TRUE(customer_peels_off(9.99, econ));
+  EXPECT_FALSE(customer_peels_off(10.0, econ));
+  EXPECT_FALSE(customer_peels_off(15.0, econ));
+}
+
+TEST(PeeringEconomics, MarketFailureWindow) {
+  // Failure iff floor < c_direct < R: the customer builds a link that
+  // costs society more than a tiered price would have.
+  PeeringEconomics econ;
+  econ.blended_rate = 10.0;
+  econ.isp_unit_cost = 2.0;
+  econ.isp_margin = 0.3;
+  econ.accounting_overhead = 0.4;  // floor = 3.0
+  EXPECT_FALSE(market_failure(2.5, econ));   // direct genuinely cheaper
+  EXPECT_TRUE(market_failure(5.0, econ));    // wasteful bypass
+  EXPECT_TRUE(market_failure(9.9, econ));
+  EXPECT_FALSE(market_failure(11.0, econ));  // no bypass at all
+}
+
+TEST(PeeringEconomics, TieredPricingClosesTheFailureWindow) {
+  // Once the ISP offers the floor price as a tier, bypass happens only
+  // when the direct link truly beats ISP cost + margin — no waste.
+  PeeringEconomics econ;
+  econ.blended_rate = 10.0;
+  econ.isp_unit_cost = 2.0;
+  econ.isp_margin = 0.3;
+  econ.accounting_overhead = 0.4;
+  const double tier_price = tiered_price_floor(econ);
+  // Any customer with c_direct above the tier price now stays.
+  for (const double c_direct : {3.1, 5.0, 9.9}) {
+    EXPECT_GT(c_direct, tier_price - 1e-9);
+    EXPECT_TRUE(market_failure(c_direct, econ));  // failure under blended...
+    EXPECT_FALSE(c_direct < tier_price);          // ...gone under tiered
+  }
+}
+
+TEST(PeeringEconomics, Validates) {
+  PeeringEconomics bad;
+  EXPECT_THROW(tiered_price_floor(bad), std::invalid_argument);
+  PeeringEconomics econ;
+  econ.blended_rate = 10.0;
+  econ.isp_unit_cost = 2.0;
+  EXPECT_THROW(customer_peels_off(0.0, econ), std::invalid_argument);
+  econ.isp_margin = -0.1;
+  EXPECT_THROW(tiered_price_floor(econ), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::accounting

@@ -1,0 +1,146 @@
+#include "accounting/commit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace manytiers::accounting {
+namespace {
+
+// 1e6 bytes over 8 s = 1 Mbps; use 8-second intervals for round numbers.
+constexpr std::uint32_t kInterval = 8;
+constexpr std::uint64_t kMbpsBytes = 1000000;
+
+TEST(BurstMeter, ValidatesInterval) {
+  EXPECT_THROW(BurstMeter(0), std::invalid_argument);
+}
+
+TEST(BurstMeter, ThrowsWithoutSamples) {
+  BurstMeter meter(kInterval);
+  EXPECT_THROW(meter.billable_mbps(), std::logic_error);
+  EXPECT_THROW(meter.mean_mbps(), std::logic_error);
+}
+
+TEST(BurstMeter, ConstantRate) {
+  BurstMeter meter(kInterval);
+  for (int i = 0; i < 10; ++i) meter.record_interval(5 * kMbpsBytes);
+  EXPECT_DOUBLE_EQ(meter.billable_mbps(), 5.0);
+  EXPECT_DOUBLE_EQ(meter.peak_mbps(), 5.0);
+  EXPECT_DOUBLE_EQ(meter.mean_mbps(), 5.0);
+}
+
+TEST(BurstMeter, NinetyFifthPercentileShavesTheTop) {
+  // 100 intervals at 1 Mbps and 4 bursts at 100 Mbps: the 95th
+  // percentile ignores the bursts (they are < 5% of samples), the peak
+  // does not. This is exactly why burstable billing exists.
+  BurstMeter meter(kInterval);
+  for (int i = 0; i < 100; ++i) meter.record_interval(kMbpsBytes);
+  for (int i = 0; i < 4; ++i) meter.record_interval(100 * kMbpsBytes);
+  EXPECT_NEAR(meter.billable_mbps(95.0), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(meter.peak_mbps(), 100.0);
+  EXPECT_GT(meter.mean_mbps(), 1.0);
+}
+
+TEST(BurstMeter, PercentileMonotoneInQ) {
+  BurstMeter meter(kInterval);
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    meter.record_interval(std::uint64_t(rng.uniform(0.5, 20.0) * kMbpsBytes));
+  }
+  double prev = 0.0;
+  for (const double q : {5.0, 50.0, 95.0, 99.0, 100.0}) {
+    const double rate = meter.billable_mbps(q);
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+CommitSchedule standard_schedule() {
+  return CommitSchedule({{0.0, 20.0},      // walk-in
+                         {100.0, 14.0},    // 100 Mbps commit
+                         {1000.0, 8.0},    // 1 Gbps commit
+                         {10000.0, 4.0}})  // 10 Gbps commit
+      ;
+}
+
+TEST(CommitSchedule, ValidatesLadder) {
+  EXPECT_THROW(CommitSchedule({}), std::invalid_argument);
+  // First tier must be commit 0.
+  EXPECT_THROW(CommitSchedule({{10.0, 5.0}}), std::invalid_argument);
+  // Commits must increase.
+  EXPECT_THROW(CommitSchedule({{0.0, 5.0}, {0.0, 4.0}}),
+               std::invalid_argument);
+  // Prices must decrease (it is a *discount* schedule).
+  EXPECT_THROW(CommitSchedule({{0.0, 5.0}, {10.0, 6.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(CommitSchedule({{0.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(CommitSchedule, TierForPicksHighestAffordedRung) {
+  const auto sched = standard_schedule();
+  EXPECT_DOUBLE_EQ(sched.tier_for(0.0).price_per_mbps, 20.0);
+  EXPECT_DOUBLE_EQ(sched.tier_for(99.0).price_per_mbps, 20.0);
+  EXPECT_DOUBLE_EQ(sched.tier_for(100.0).price_per_mbps, 14.0);
+  EXPECT_DOUBLE_EQ(sched.tier_for(5000.0).price_per_mbps, 8.0);
+  EXPECT_DOUBLE_EQ(sched.tier_for(50000.0).price_per_mbps, 4.0);
+  EXPECT_THROW(sched.tier_for(-1.0), std::invalid_argument);
+}
+
+TEST(CommitSchedule, BillPaysForMaxOfCommitAndUsage) {
+  const auto sched = standard_schedule();
+  // Under-commit: pay usage at the committed rate.
+  EXPECT_DOUBLE_EQ(sched.monthly_bill(100.0, 400.0), 400.0 * 14.0);
+  // Over-commit: pay the commit even if usage is lower.
+  EXPECT_DOUBLE_EQ(sched.monthly_bill(1000.0, 400.0), 1000.0 * 8.0);
+  EXPECT_THROW(sched.monthly_bill(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(CommitSchedule, CommittingAboveUsageCanBeCheaper) {
+  const auto sched = standard_schedule();
+  // 700 Mbps of real usage: committing to 1 Gbps at $8 beats paying for
+  // 700 at the 100-Mbps tier's $14.
+  const double honest = sched.monthly_bill(700.0, 700.0);
+  const double padded = sched.monthly_bill(1000.0, 700.0);
+  EXPECT_LT(padded, honest);
+  EXPECT_DOUBLE_EQ(sched.optimal_commit(700.0), 1000.0);
+}
+
+TEST(CommitSchedule, OptimalCommitIsHonestWhenDiscountsDontPay) {
+  const auto sched = standard_schedule();
+  // 50 Mbps: the 100-commit tier costs 100*14 = 1400 > 50*20 = 1000.
+  EXPECT_DOUBLE_EQ(sched.optimal_commit(50.0), 50.0);
+}
+
+TEST(CommitSchedule, OptimalCommitNeverCostsMoreThanHonest) {
+  const auto sched = standard_schedule();
+  util::Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const double usage = rng.uniform(1.0, 20000.0);
+    const double commit = sched.optimal_commit(usage);
+    EXPECT_LE(sched.monthly_bill(commit, usage),
+              sched.monthly_bill(usage, usage) + 1e-9)
+        << "usage " << usage;
+  }
+}
+
+TEST(CommitAndMeter, EndToEndMonthlyBill) {
+  // Meter a bursty month, bill the 95th percentile against the optimal
+  // commit.
+  BurstMeter meter(kInterval);
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double mbps = rng.bernoulli(0.03) ? 900.0 : rng.uniform(80.0, 120.0);
+    meter.record_interval(std::uint64_t(mbps * kMbpsBytes));
+  }
+  const double billable = meter.billable_mbps();
+  EXPECT_GT(billable, 80.0);
+  EXPECT_LT(billable, 900.0);  // bursts shaved by the 95th percentile
+  const auto sched = standard_schedule();
+  const double commit = sched.optimal_commit(billable);
+  const double bill = sched.monthly_bill(commit, billable);
+  EXPECT_GT(bill, 0.0);
+  EXPECT_LE(bill, sched.monthly_bill(billable, billable));
+}
+
+}  // namespace
+}  // namespace manytiers::accounting

@@ -1,0 +1,122 @@
+#include "accounting/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::accounting {
+namespace {
+
+// Upstream PoP "NYC": announces Europe-learned routes in the expensive
+// tier 3 and regional routes in tier 1.
+// Upstream PoP "London": the same European destinations in tier 1.
+struct Fixture {
+  Rib nyc_rib;
+  Rib london_rib;
+  RatePlan rates{{{1, 5.0}, {3, 22.0}}};
+
+  Fixture() {
+    Route nyc_regional;
+    nyc_regional.prefix = geo::parse_prefix("100.0.0.0/8");
+    nyc_regional.tag = TierTag{65000, 1};
+    nyc_rib.add(nyc_regional);
+    Route nyc_europe;
+    nyc_europe.prefix = geo::parse_prefix("110.0.0.0/8");
+    nyc_europe.tag = TierTag{65000, 3};  // trans-Atlantic: expensive
+    nyc_rib.add(nyc_europe);
+
+    Route london_europe;
+    london_europe.prefix = geo::parse_prefix("110.0.0.0/8");
+    london_europe.tag = TierTag{65000, 1};  // local in London
+    london_rib.add(london_europe);
+  }
+
+  EgressPlanner planner(double backbone_to_london) {
+    EgressPlanner p;
+    p.add_egress({"NYC", &nyc_rib, &rates, 0.0});
+    p.add_egress({"London", &london_rib, &rates, backbone_to_london});
+    return p;
+  }
+};
+
+TEST(EgressPlanner, HotPotatoWhenLocalTierIsCheap) {
+  Fixture fx;
+  const auto planner = fx.planner(4.0);
+  const auto d = planner.plan(geo::parse_ipv4("100.1.1.1"));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->pop_name, "NYC");
+  EXPECT_FALSE(d->cold_potato);
+  EXPECT_DOUBLE_EQ(d->total_cost_per_mbps, 5.0);
+}
+
+TEST(EgressPlanner, ColdPotatoWhenTagRevealsExpensiveRoute) {
+  // Europe via NYC costs tier 3 ($22); hauling to London ($4) and paying
+  // tier 1 ($5) is cheaper -> the tag drives cold-potato routing, the
+  // exact behaviour §5.1 describes.
+  Fixture fx;
+  const auto planner = fx.planner(4.0);
+  const auto d = planner.plan(geo::parse_ipv4("110.1.1.1"));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->pop_name, "London");
+  EXPECT_TRUE(d->cold_potato);
+  EXPECT_DOUBLE_EQ(d->total_cost_per_mbps, 9.0);
+  EXPECT_EQ(d->tier, 1);
+}
+
+TEST(EgressPlanner, ExpensiveBackboneKeepsHotPotato) {
+  Fixture fx;
+  const auto planner = fx.planner(30.0);  // hauling costs more than the tier gap
+  const auto d = planner.plan(geo::parse_ipv4("110.1.1.1"));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->pop_name, "NYC");
+  EXPECT_DOUBLE_EQ(d->total_cost_per_mbps, 22.0);
+}
+
+TEST(EgressPlanner, UnroutableDestination) {
+  Fixture fx;
+  const auto planner = fx.planner(4.0);
+  EXPECT_FALSE(planner.plan(geo::parse_ipv4("9.9.9.9")).has_value());
+}
+
+TEST(EgressPlanner, CompareQuantifiesTagAwareSavings) {
+  Fixture fx;
+  const auto planner = fx.planner(4.0);
+  const std::vector<std::pair<geo::IpV4, double>> demands{
+      {geo::parse_ipv4("100.1.1.1"), 1000.0},  // regional, stays hot potato
+      {geo::parse_ipv4("110.1.1.1"), 500.0},   // Europe, goes cold potato
+  };
+  const auto cmp = planner.compare(demands);
+  EXPECT_EQ(cmp.unroutable, 0u);
+  // Hot potato: 1000*5 + 500*22 = 16000; tag-aware: 1000*5 + 500*9 = 9500.
+  EXPECT_DOUBLE_EQ(cmp.hot_potato_cost, 16000.0);
+  EXPECT_DOUBLE_EQ(cmp.tag_aware_cost, 9500.0);
+  EXPECT_LT(cmp.tag_aware_cost, cmp.hot_potato_cost);
+}
+
+TEST(EgressPlanner, CompareCountsUnroutables) {
+  Fixture fx;
+  const auto planner = fx.planner(4.0);
+  const std::vector<std::pair<geo::IpV4, double>> demands{
+      {geo::parse_ipv4("9.9.9.9"), 100.0}};
+  const auto cmp = planner.compare(demands);
+  EXPECT_EQ(cmp.unroutable, 1u);
+  EXPECT_DOUBLE_EQ(cmp.tag_aware_cost, 0.0);
+}
+
+TEST(EgressPlanner, Validates) {
+  EgressPlanner empty;
+  EXPECT_THROW(empty.plan(geo::parse_ipv4("1.2.3.4")), std::logic_error);
+  Fixture fx;
+  EgressPlanner p;
+  EXPECT_THROW(p.add_egress({"x", nullptr, &fx.rates, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(p.add_egress({"x", &fx.nyc_rib, nullptr, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(p.add_egress({"x", &fx.nyc_rib, &fx.rates, -1.0}),
+               std::invalid_argument);
+  const auto planner = fx.planner(1.0);
+  const std::vector<std::pair<geo::IpV4, double>> bad{
+      {geo::parse_ipv4("100.1.1.1"), 0.0}};
+  EXPECT_THROW(planner.compare(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::accounting

@@ -1,0 +1,77 @@
+#include "accounting/route.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::accounting {
+namespace {
+
+Route make_route(const char* cidr, std::uint16_t tier) {
+  Route r;
+  r.prefix = geo::parse_prefix(cidr);
+  r.tag = TierTag{65000, tier};
+  return r;
+}
+
+TEST(TierTag, FormatsAsBgpCommunity) {
+  EXPECT_EQ((TierTag{65000, 2}).to_string(), "65000:2");
+  EXPECT_EQ((TierTag{64512, 0}).to_string(), "64512:0");
+}
+
+TEST(Rib, LongestPrefixMatchWins) {
+  Rib rib;
+  rib.add(make_route("0.0.0.0/0", 3));      // default: global transit tier
+  rib.add(make_route("100.0.0.0/8", 2));    // regional
+  rib.add(make_route("100.5.0.0/16", 1));   // on-net
+  EXPECT_EQ(rib.tier_of(geo::parse_ipv4("100.5.9.9")), 1);
+  EXPECT_EQ(rib.tier_of(geo::parse_ipv4("100.9.9.9")), 2);
+  EXPECT_EQ(rib.tier_of(geo::parse_ipv4("9.9.9.9")), 3);
+}
+
+TEST(Rib, MissWithoutDefaultRoute) {
+  Rib rib;
+  rib.add(make_route("100.0.0.0/8", 1));
+  EXPECT_FALSE(rib.tier_of(geo::parse_ipv4("99.0.0.1")).has_value());
+  EXPECT_EQ(rib.lookup(geo::parse_ipv4("99.0.0.1")), nullptr);
+}
+
+TEST(Rib, ReplacementAnnouncementUpdatesTag) {
+  Rib rib;
+  rib.add(make_route("100.0.0.0/8", 1));
+  rib.add(make_route("100.0.0.0/8", 2));
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.tier_of(geo::parse_ipv4("100.0.0.1")), 2);
+}
+
+TEST(Rib, TiersAreSortedAndDeduplicated) {
+  Rib rib;
+  rib.add(make_route("100.0.0.0/8", 2));
+  rib.add(make_route("101.0.0.0/8", 1));
+  rib.add(make_route("102.0.0.0/8", 2));
+  EXPECT_EQ(rib.tiers(), (std::vector<std::uint16_t>{1, 2}));
+}
+
+TEST(Rib, RejectsMalformedPrefix) {
+  Rib rib;
+  Route bad;
+  bad.prefix.address = geo::parse_ipv4("10.0.0.1");
+  bad.prefix.length = 8;
+  EXPECT_THROW(rib.add(bad), std::invalid_argument);
+  Route bad_len;
+  bad_len.prefix.address = 0;
+  bad_len.prefix.length = 33;
+  EXPECT_THROW(rib.add(bad_len), std::invalid_argument);
+}
+
+TEST(Rib, LookupReturnsFullRoute) {
+  Rib rib;
+  Route r = make_route("100.0.0.0/8", 1);
+  r.description = "on-net customers";
+  rib.add(r);
+  const Route* found = rib.lookup(geo::parse_ipv4("100.1.2.3"));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->description, "on-net customers");
+  EXPECT_EQ(found->tag.to_string(), "65000:1");
+}
+
+}  // namespace
+}  // namespace manytiers::accounting

@@ -1,0 +1,174 @@
+#include "accounting/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pricing/counterfactual.hpp"
+#include "workload/generators.hpp"
+
+namespace manytiers::accounting {
+namespace {
+
+Route make_route(const char* cidr, std::uint16_t tier) {
+  Route r;
+  r.prefix = geo::parse_prefix(cidr);
+  r.tag = TierTag{65000, tier};
+  return r;
+}
+
+TEST(Rib, WithdrawRemovesExactPrefixOnly) {
+  Rib rib;
+  rib.add(make_route("100.0.0.0/8", 1));
+  rib.add(make_route("100.5.0.0/16", 2));
+  EXPECT_TRUE(rib.withdraw(geo::parse_prefix("100.5.0.0/16")));
+  EXPECT_EQ(rib.size(), 1u);
+  // The /8 still covers the withdrawn space.
+  EXPECT_EQ(rib.tier_of(geo::parse_ipv4("100.5.1.1")), 1);
+  // Withdrawing again is a no-op.
+  EXPECT_FALSE(rib.withdraw(geo::parse_prefix("100.5.0.0/16")));
+  EXPECT_FALSE(rib.withdraw(geo::parse_prefix("99.0.0.0/8")));
+}
+
+TEST(Rib, ClearDropsEverything) {
+  Rib rib;
+  rib.add(make_route("100.0.0.0/8", 1));
+  rib.add(make_route("0.0.0.0/0", 3));
+  rib.clear();
+  EXPECT_EQ(rib.size(), 0u);
+  EXPECT_EQ(rib.lookup(geo::parse_ipv4("100.0.0.1")), nullptr);
+}
+
+TEST(Rib, RoutesSnapshotIsOrdered) {
+  Rib rib;
+  rib.add(make_route("110.0.0.0/8", 2));
+  rib.add(make_route("100.0.0.0/8", 1));
+  const auto routes = rib.routes();
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_LT(routes[0].prefix.address, routes[1].prefix.address);
+}
+
+TEST(Rib, LookupSurvivesManyInsertionsAndWithdrawals) {
+  // Pointer stability check: interleave adds and withdraws, then verify
+  // lookups against route contents.
+  Rib rib;
+  for (int i = 0; i < 50; ++i) {
+    Route r;
+    r.prefix = geo::Prefix{geo::IpV4(100 + i) << 24, 8};
+    r.tag = TierTag{65000, std::uint16_t(i % 4)};
+    r.description = "slot " + std::to_string(i);
+    rib.add(r);
+  }
+  for (int i = 0; i < 50; i += 2) {
+    EXPECT_TRUE(rib.withdraw(geo::Prefix{geo::IpV4(100 + i) << 24, 8}));
+  }
+  EXPECT_EQ(rib.size(), 25u);
+  for (int i = 0; i < 50; ++i) {
+    const Route* r = rib.lookup((geo::IpV4(100 + i) << 24) | 0x010101);
+    if (i % 2 == 0) {
+      EXPECT_EQ(r, nullptr) << i;
+    } else {
+      ASSERT_NE(r, nullptr) << i;
+      EXPECT_EQ(r->description, "slot " + std::to_string(i));
+    }
+  }
+}
+
+TEST(BgpSession, RejectsUpdatesWhenDown) {
+  BgpSession session("upstream");
+  UpdateMessage update;
+  update.announce.push_back(make_route("100.0.0.0/8", 1));
+  EXPECT_FALSE(session.established());
+  EXPECT_THROW(session.receive(update), std::logic_error);
+}
+
+TEST(BgpSession, AppliesAnnouncementsAndWithdrawals) {
+  BgpSession session("upstream");
+  session.establish();
+  UpdateMessage first;
+  first.announce.push_back(make_route("100.0.0.0/8", 1));
+  first.announce.push_back(make_route("110.0.0.0/8", 2));
+  session.receive(first);
+  EXPECT_EQ(session.rib().size(), 2u);
+  UpdateMessage second;
+  second.withdraw.push_back(geo::parse_prefix("110.0.0.0/8"));
+  session.receive(second);
+  EXPECT_EQ(session.rib().size(), 1u);
+  EXPECT_EQ(session.updates_received(), 2u);
+  EXPECT_EQ(session.routes_withdrawn(), 1u);
+}
+
+TEST(BgpSession, WithdrawBeforeAnnounceWithinOneUpdate) {
+  BgpSession session("upstream");
+  session.establish();
+  UpdateMessage first;
+  first.announce.push_back(make_route("100.0.0.0/8", 1));
+  session.receive(first);
+  // Re-announce the same prefix in a different tier while withdrawing it:
+  // the announcement must win.
+  UpdateMessage flip;
+  flip.withdraw.push_back(geo::parse_prefix("100.0.0.0/8"));
+  flip.announce.push_back(make_route("100.0.0.0/8", 3));
+  session.receive(flip);
+  EXPECT_EQ(session.rib().tier_of(geo::parse_ipv4("100.1.1.1")), 3);
+}
+
+TEST(BgpSession, ResetFlapsClearLearnedRoutes) {
+  BgpSession session("upstream");
+  session.establish();
+  UpdateMessage update;
+  update.announce.push_back(make_route("100.0.0.0/8", 1));
+  session.receive(update);
+  session.reset();
+  EXPECT_FALSE(session.established());
+  EXPECT_EQ(session.rib().size(), 0u);
+  // Re-establish and re-learn.
+  session.establish();
+  session.receive(update);
+  EXPECT_EQ(session.rib().size(), 1u);
+}
+
+TEST(AnnouncementsForTiers, RollsAPricedBundlingIntoUpdates) {
+  // Price a real market into 3 tiers and announce one /32 per flow.
+  const auto flows = workload::generate_eu_isp({.seed = 4, .n_flows = 50});
+  const auto cost = cost::make_linear_cost(0.2);
+  const auto market =
+      pricing::Market::calibrate(flows, pricing::DemandSpec{}, *cost, 20.0);
+  const auto res =
+      pricing::run_strategy(market, pricing::Strategy::ProfitWeighted, 3);
+  std::vector<geo::Prefix> prefixes;
+  for (std::size_t i = 0; i < market.size(); ++i) {
+    prefixes.push_back(geo::Prefix{market.flows()[i].dst_ip, 32});
+  }
+  const auto updates =
+      announcements_for_tiers(res.pricing, prefixes, 65000, 20);
+  // 50 routes at 20 per update -> 3 messages.
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[0].announce.size(), 20u);
+  EXPECT_EQ(updates[2].announce.size(), 10u);
+
+  BgpSession session("customer");
+  session.establish();
+  for (const auto& u : updates) session.receive(u);
+  EXPECT_EQ(session.rib().size(), 50u);
+  // Every flow's destination resolves to its bundle's tier.
+  const auto lookup = bundling::bundle_of_flow(res.pricing.bundles,
+                                               market.size());
+  for (std::size_t i = 0; i < market.size(); ++i) {
+    EXPECT_EQ(session.rib().tier_of(market.flows()[i].dst_ip),
+              std::uint16_t(lookup[i]));
+  }
+}
+
+TEST(AnnouncementsForTiers, Validates) {
+  pricing::PricedBundling pricing;
+  pricing.bundles = {{0}};
+  pricing.flow_prices = {10.0};
+  const std::vector<geo::Prefix> none;
+  EXPECT_THROW(announcements_for_tiers(pricing, none, 65000),
+               std::invalid_argument);
+  const std::vector<geo::Prefix> one{geo::parse_prefix("100.0.0.0/8")};
+  EXPECT_THROW(announcements_for_tiers(pricing, one, 65000, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::accounting

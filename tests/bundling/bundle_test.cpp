@@ -1,0 +1,60 @@
+#include "bundling/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::bundling {
+namespace {
+
+TEST(Validate, AcceptsProperPartition) {
+  EXPECT_NO_THROW(validate({{0, 2}, {1}}, 3));
+}
+
+TEST(Validate, RejectsEmptyBundle) {
+  EXPECT_THROW(validate({{0, 1}, {}}, 2), std::invalid_argument);
+}
+
+TEST(Validate, RejectsDuplicateFlow) {
+  EXPECT_THROW(validate({{0, 1}, {1}}, 2), std::invalid_argument);
+}
+
+TEST(Validate, RejectsMissingFlow) {
+  EXPECT_THROW(validate({{0}}, 2), std::invalid_argument);
+}
+
+TEST(Validate, RejectsOutOfRangeIndex) {
+  EXPECT_THROW(validate({{0, 5}}, 2), std::invalid_argument);
+}
+
+TEST(SingleBundle, CoversAllFlows) {
+  const auto b = single_bundle(4);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], (Bundle{0, 1, 2, 3}));
+  EXPECT_NO_THROW(validate(b, 4));
+  EXPECT_THROW(single_bundle(0), std::invalid_argument);
+}
+
+TEST(PerFlowBundles, OneBundlePerFlow) {
+  const auto b = per_flow_bundles(3);
+  ASSERT_EQ(b.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(b[i], Bundle{i});
+  }
+  EXPECT_NO_THROW(validate(b, 3));
+  EXPECT_THROW(per_flow_bundles(0), std::invalid_argument);
+}
+
+TEST(BundleOfFlow, InvertsThePartition) {
+  const Bundling b{{2, 0}, {1, 3}};
+  const auto lookup = bundle_of_flow(b, 4);
+  EXPECT_EQ(lookup[0], 0u);
+  EXPECT_EQ(lookup[1], 1u);
+  EXPECT_EQ(lookup[2], 0u);
+  EXPECT_EQ(lookup[3], 1u);
+}
+
+TEST(BundleOfFlow, ValidatesFirst) {
+  EXPECT_THROW(bundle_of_flow({{0}}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::bundling

@@ -1,0 +1,234 @@
+#include "bundling/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "demand/ced.hpp"
+#include "demand/logit.hpp"
+#include "util/rng.hpp"
+
+namespace manytiers::bundling {
+namespace {
+
+// Total CED profit of a bundling with each bundle at its optimal price.
+double ced_bundling_profit(const demand::CedModel& model,
+                           const std::vector<double>& v,
+                           const std::vector<double>& c, const Bundling& b) {
+  double total = 0.0;
+  for (const auto& bundle : b) {
+    std::vector<double> bv, bc;
+    for (const std::size_t i : bundle) {
+      bv.push_back(v[i]);
+      bc.push_back(c[i]);
+    }
+    const double price = model.bundle_price(bv, bc);
+    for (std::size_t i = 0; i < bv.size(); ++i) {
+      total += model.flow_profit(bv[i], bc[i], price);
+    }
+  }
+  return total;
+}
+
+// Total logit profit of a bundling at the equal-markup optimum.
+double logit_bundling_profit(const demand::LogitModel& model,
+                             const std::vector<double>& v,
+                             const std::vector<double>& c, const Bundling& b) {
+  std::vector<double> bundle_v, bundle_c;
+  for (const auto& bundle : b) {
+    std::vector<double> bv, bc;
+    for (const std::size_t i : bundle) {
+      bv.push_back(v[i]);
+      bc.push_back(c[i]);
+    }
+    bundle_v.push_back(model.bundle_valuation(bv));
+    bundle_c.push_back(model.bundle_cost(bv, bc));
+  }
+  return model.optimal_prices(bundle_v, bundle_c).profit;
+}
+
+TEST(ExhaustiveOptimal, FindsTheObviousSplit) {
+  // Two cheap flows and two expensive flows, two bundles: the optimal
+  // partition separates them by cost.
+  const demand::CedModel model(2.0);
+  const std::vector<double> v{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> c{1.0, 1.0, 4.0, 4.0};
+  const auto best = exhaustive_optimal(4, 2, [&](const Bundling& b) {
+    return ced_bundling_profit(model, v, c, b);
+  });
+  ASSERT_EQ(best.size(), 2u);
+  auto sorted = best;
+  for (auto& bundle : sorted) std::sort(bundle.begin(), bundle.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted[0], (Bundle{0, 1}));
+  EXPECT_EQ(sorted[1], (Bundle{2, 3}));
+}
+
+TEST(ExhaustiveOptimal, OneBundleMeansNoChoice) {
+  const auto best =
+      exhaustive_optimal(3, 1, [](const Bundling&) { return 1.0; });
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0].size(), 3u);
+}
+
+TEST(ExhaustiveOptimal, Validates) {
+  const auto unit = [](const Bundling&) { return 0.0; };
+  EXPECT_THROW(exhaustive_optimal(0, 2, unit), std::invalid_argument);
+  EXPECT_THROW(exhaustive_optimal(20, 2, unit), std::invalid_argument);
+  EXPECT_THROW(exhaustive_optimal(3, 0, unit), std::invalid_argument);
+}
+
+TEST(IntervalDp, SplitsAtTheObviousBoundary) {
+  const std::vector<std::size_t> order{0, 1, 2, 3};
+  // Segment value: 1 point per singleton segment, 0 otherwise, capped at
+  // two bundles -> DP must pick some 2-way split; with value favoring
+  // {0} | {1,2,3} style splits we can check reconstruction.
+  const auto value = [](std::size_t i, std::size_t j) {
+    return (j - i == 2) ? 10.0 : 0.0;  // reward segments of exactly 2
+  };
+  const auto b = interval_dp(order, 2, value);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], (Bundle{0, 1}));
+  EXPECT_EQ(b[1], (Bundle{2, 3}));
+}
+
+TEST(IntervalDp, MapsBackToOriginalIndices) {
+  const std::vector<std::size_t> order{3, 1, 0, 2};  // cost-sorted order
+  const auto value = [](std::size_t, std::size_t) { return 1.0; };
+  const auto b = interval_dp(order, 4, value);
+  EXPECT_NO_THROW(validate(b, 4));
+}
+
+TEST(IntervalDp, Validates) {
+  const auto unit = [](std::size_t, std::size_t) { return 0.0; };
+  EXPECT_THROW(interval_dp({}, 2, unit), std::invalid_argument);
+  const std::vector<std::size_t> order{0};
+  EXPECT_THROW(interval_dp(order, 0, unit), std::invalid_argument);
+}
+
+// --- The load-bearing property: the interval DP is exact. ---
+
+struct RandomInstance {
+  std::vector<double> v, c;
+};
+
+RandomInstance random_instance(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  RandomInstance inst;
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.v.push_back(rng.uniform(0.5, 3.0));
+    inst.c.push_back(rng.uniform(0.2, 5.0));
+  }
+  return inst;
+}
+
+class DpMatchesExhaustive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpMatchesExhaustive, CedInstances) {
+  const auto inst = random_instance(GetParam(), 8);
+  const demand::CedModel model(1.6);
+  for (const std::size_t n_bundles : {2u, 3u}) {
+    const auto dp = ced_optimal(inst.v, inst.c, 1.6, n_bundles);
+    const auto ex =
+        exhaustive_optimal(inst.v.size(), n_bundles, [&](const Bundling& b) {
+          return ced_bundling_profit(model, inst.v, inst.c, b);
+        });
+    const double dp_profit = ced_bundling_profit(model, inst.v, inst.c, dp);
+    const double ex_profit = ced_bundling_profit(model, inst.v, inst.c, ex);
+    EXPECT_NEAR(dp_profit, ex_profit, 1e-9 * std::abs(ex_profit))
+        << "seed=" << GetParam() << " bundles=" << n_bundles;
+  }
+}
+
+TEST_P(DpMatchesExhaustive, LogitInstances) {
+  const auto inst = random_instance(GetParam() + 1000, 7);
+  const demand::LogitModel model(1.2, 100.0);
+  for (const std::size_t n_bundles : {2u, 3u}) {
+    const auto dp = logit_optimal(inst.v, inst.c, 1.2, n_bundles);
+    const auto ex =
+        exhaustive_optimal(inst.v.size(), n_bundles, [&](const Bundling& b) {
+          return logit_bundling_profit(model, inst.v, inst.c, b);
+        });
+    const double dp_profit =
+        logit_bundling_profit(model, inst.v, inst.c, dp);
+    const double ex_profit =
+        logit_bundling_profit(model, inst.v, inst.c, ex);
+    EXPECT_NEAR(dp_profit, ex_profit, 1e-7 * std::abs(ex_profit))
+        << "seed=" << GetParam() << " bundles=" << n_bundles;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpMatchesExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(CedOptimal, ProfitIsMonotoneInBundleCount) {
+  const auto inst = random_instance(42, 40);
+  const demand::CedModel model(1.3);
+  double prev = -1e300;
+  for (std::size_t n = 1; n <= 8; ++n) {
+    const auto b = ced_optimal(inst.v, inst.c, 1.3, n);
+    const double profit = ced_bundling_profit(model, inst.v, inst.c, b);
+    EXPECT_GE(profit, prev - 1e-9);
+    prev = profit;
+  }
+}
+
+TEST(LogitOptimal, ProfitIsMonotoneInBundleCount) {
+  const auto inst = random_instance(43, 40);
+  const demand::LogitModel model(1.1, 500.0);
+  double prev = -1e300;
+  for (std::size_t n = 1; n <= 8; ++n) {
+    const auto b = logit_optimal(inst.v, inst.c, 1.1, n);
+    const double profit = logit_bundling_profit(model, inst.v, inst.c, b);
+    EXPECT_GE(profit, prev - 1e-9);
+    prev = profit;
+  }
+}
+
+TEST(CedOptimal, BundlesAreContiguousInCost) {
+  const auto inst = random_instance(44, 30);
+  const auto b = ced_optimal(inst.v, inst.c, 2.0, 4);
+  // For each pair of bundles, cost ranges must not interleave.
+  for (std::size_t x = 0; x < b.size(); ++x) {
+    for (std::size_t y = x + 1; y < b.size(); ++y) {
+      double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+      for (const auto i : b[x]) {
+        xmin = std::min(xmin, inst.c[i]);
+        xmax = std::max(xmax, inst.c[i]);
+      }
+      for (const auto i : b[y]) {
+        ymin = std::min(ymin, inst.c[i]);
+        ymax = std::max(ymax, inst.c[i]);
+      }
+      EXPECT_TRUE(xmax <= ymin || ymax <= xmin);
+    }
+  }
+}
+
+TEST(CedOptimal, SingleBundleProfitMatchesBlendedFormula) {
+  const auto inst = random_instance(45, 10);
+  const demand::CedModel model(1.5);
+  const auto b = ced_optimal(inst.v, inst.c, 1.5, 1);
+  ASSERT_EQ(b.size(), 1u);
+  const double profit = ced_bundling_profit(model, inst.v, inst.c, b);
+  const double price = model.bundle_price(inst.v, inst.c);
+  EXPECT_NEAR(profit, model.total_profit(inst.v, inst.c,
+                                         std::vector<double>(10, price)),
+              1e-9);
+}
+
+TEST(OptimalBundling, ValidatesArguments) {
+  const std::vector<double> v{1.0, 2.0};
+  const std::vector<double> c{1.0, -1.0};
+  EXPECT_THROW(ced_optimal(v, c, 2.0, 2), std::invalid_argument);
+  EXPECT_THROW(ced_optimal(v, std::vector<double>{1.0}, 2.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(ced_optimal(v, std::vector<double>{1.0, 1.0}, 1.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(logit_optimal(v, std::vector<double>{1.0, 1.0}, 0.0, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::bundling

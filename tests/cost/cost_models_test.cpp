@@ -1,0 +1,268 @@
+#include "cost/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/stats.hpp"
+
+namespace manytiers::cost {
+namespace {
+
+workload::FlowSet flows_with_distances(std::vector<double> distances) {
+  workload::FlowSet fs("test");
+  for (const double d : distances) {
+    workload::Flow f;
+    f.demand_mbps = 10.0;
+    f.distance_miles = d;
+    f.region = geo::classify_distance(d);
+    fs.add(f);
+  }
+  return fs;
+}
+
+// --- Linear cost ---
+
+TEST(LinearCost, MatchesPaperExample) {
+  // Paper §3.3: distances {1, 10, 100}, theta = 0.1 -> base 10 ->
+  // relative costs {11, 20, 110}.
+  const auto model = make_linear_cost(0.1);
+  const auto fs = flows_with_distances({1.0, 10.0, 100.0});
+  const auto f = model->relative_costs(fs);
+  EXPECT_DOUBLE_EQ(f[0], 11.0);
+  EXPECT_DOUBLE_EQ(f[1], 20.0);
+  EXPECT_DOUBLE_EQ(f[2], 110.0);
+}
+
+TEST(LinearCost, ZeroThetaIsPureDistance) {
+  const auto model = make_linear_cost(0.0);
+  const auto f = model->relative_costs(flows_with_distances({2.0, 8.0}));
+  EXPECT_DOUBLE_EQ(f[0], 2.0);
+  EXPECT_DOUBLE_EQ(f[1], 8.0);
+}
+
+TEST(LinearCost, HigherThetaReducesCostVariability) {
+  // Raising the base cost lowers the CV of cost — the mechanism behind
+  // the declining profits in paper Fig. 10.
+  const auto fs = flows_with_distances({1.0, 5.0, 20.0, 100.0});
+  double prev_cv = 1e9;
+  for (const double theta : {0.0, 0.1, 0.2, 0.3, 1.0}) {
+    const auto f = make_linear_cost(theta)->relative_costs(fs);
+    const double cv = util::coefficient_of_variation(f);
+    EXPECT_LT(cv, prev_cv);
+    prev_cv = cv;
+  }
+}
+
+TEST(LinearCost, PreservesDistanceOrder) {
+  const auto f =
+      make_linear_cost(0.2)->relative_costs(flows_with_distances({7.0, 3.0, 9.0}));
+  EXPECT_GT(f[0], f[1]);
+  EXPECT_GT(f[2], f[0]);
+}
+
+TEST(LinearCost, Validates) {
+  EXPECT_THROW(make_linear_cost(-0.1), std::invalid_argument);
+  const auto model = make_linear_cost(0.0);
+  EXPECT_THROW(model->relative_costs(workload::FlowSet("empty")),
+               std::invalid_argument);
+  EXPECT_THROW(model->relative_costs(flows_with_distances({0.0, 1.0})),
+               std::domain_error);
+}
+
+TEST(LinearCost, NoExpansionAndSingleClass) {
+  const auto model = make_linear_cost(0.2);
+  const auto fs = flows_with_distances({1.0, 2.0});
+  EXPECT_EQ(model->expand(fs).size(), 2u);
+  EXPECT_EQ(model->cost_classes(), 0);
+  const auto classes = model->class_of_flows(fs);
+  EXPECT_EQ(classes, (std::vector<std::size_t>{0, 0}));
+}
+
+// --- Concave cost ---
+
+TEST(ConcaveCost, IsConcaveInDistance) {
+  // Adding 10 miles to a short path raises cost more than adding 10
+  // miles to a long one (diminishing marginal cost of distance).
+  const auto model = make_concave_cost(0.0);
+  // Distances chosen to stay above the relative-cost floor clamp.
+  const auto fs = flows_with_distances({200.0, 300.0, 900.0, 1000.0});
+  const auto f = model->relative_costs(fs);
+  EXPECT_GT(f[1] - f[0], f[3] - f[2]);
+}
+
+TEST(ConcaveCost, MaxDistanceCostsC0) {
+  // At the normalization point x = 1, cost equals the fit's constant c.
+  const auto model = make_concave_cost(0.0);
+  const auto f = model->relative_costs(flows_with_distances({100.0, 1000.0}));
+  EXPECT_NEAR(f[1], 1.0, 1e-12);
+}
+
+TEST(ConcaveCost, FloorPreventsNegativeCosts) {
+  const auto model = make_concave_cost(0.0);
+  // 1e-6 relative distance would give a negative log value without the
+  // clamp.
+  const auto f =
+      model->relative_costs(flows_with_distances({0.001, 1000.0}));
+  EXPECT_GT(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[0], 0.05);
+}
+
+TEST(ConcaveCost, HasLowerCvThanLinearAtSameTheta) {
+  // The paper attributes Fig. 11's faster profit decline to the concave
+  // model's lower CV of cost.
+  const auto fs = flows_with_distances({1.0, 5.0, 50.0, 500.0, 2000.0});
+  const auto lin = make_linear_cost(0.2)->relative_costs(fs);
+  const auto con = make_concave_cost(0.2)->relative_costs(fs);
+  EXPECT_LT(util::coefficient_of_variation(con),
+            util::coefficient_of_variation(lin));
+}
+
+TEST(ConcaveCost, CustomParameters) {
+  ConcaveParams params;
+  params.a = 0.43;
+  params.b = 9.43;
+  params.c = 0.99;
+  const auto model = make_concave_cost(0.0, params);
+  const auto f = model->relative_costs(flows_with_distances({10.0, 100.0}));
+  // x = 0.1: y = 0.43 log_9.43(0.1) + 0.99.
+  EXPECT_NEAR(f[0], 0.43 * std::log(0.1) / std::log(9.43) + 0.99, 1e-9);
+  EXPECT_NEAR(f[1], 0.99, 1e-12);
+}
+
+TEST(ConcaveCost, Validates) {
+  EXPECT_THROW(make_concave_cost(-0.1), std::invalid_argument);
+  ConcaveParams bad;
+  bad.b = 1.0;
+  EXPECT_THROW(make_concave_cost(0.0, bad), std::invalid_argument);
+  ConcaveParams bad2;
+  bad2.floor = 0.0;
+  EXPECT_THROW(make_concave_cost(0.0, bad2), std::invalid_argument);
+  const auto model = make_concave_cost(0.0);
+  EXPECT_THROW(model->relative_costs(flows_with_distances({0.0, 0.0})),
+               std::domain_error);
+}
+
+// --- Regional cost ---
+
+TEST(RegionalCost, ThetaZeroErasesRegionalDifferences) {
+  const auto model = make_regional_cost(0.0);
+  const auto fs = flows_with_distances({5.0, 50.0, 500.0});
+  const auto f = model->relative_costs(fs);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);
+}
+
+TEST(RegionalCost, ThetaOneIsLinearRatios) {
+  const auto model = make_regional_cost(1.0);
+  const auto fs = flows_with_distances({5.0, 50.0, 500.0});
+  const auto f = model->relative_costs(fs);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 2.0);
+  EXPECT_DOUBLE_EQ(f[2], 3.0);
+}
+
+TEST(RegionalCost, LargeThetaSeparatesByMagnitudes) {
+  const auto model = make_regional_cost(2.0);
+  const auto fs = flows_with_distances({5.0, 50.0, 500.0});
+  const auto f = model->relative_costs(fs);
+  EXPECT_DOUBLE_EQ(f[1], 4.0);
+  EXPECT_DOUBLE_EQ(f[2], 9.0);
+}
+
+TEST(RegionalCost, ExposesThreeClasses) {
+  const auto model = make_regional_cost(1.0);
+  EXPECT_EQ(model->cost_classes(), 3);
+  const auto fs = flows_with_distances({5.0, 50.0, 500.0, 5.0});
+  const auto classes = model->class_of_flows(fs);
+  EXPECT_EQ(classes[0], classes[3]);
+  EXPECT_NE(classes[0], classes[1]);
+  EXPECT_NE(classes[1], classes[2]);
+}
+
+TEST(RegionalCost, Validates) {
+  EXPECT_THROW(make_regional_cost(-1.0), std::invalid_argument);
+  EXPECT_THROW(make_regional_cost(1.0)->relative_costs(workload::FlowSet()),
+               std::invalid_argument);
+}
+
+// --- Destination-type cost ---
+
+TEST(DestTypeCost, SplitsEveryFlowInTwo) {
+  const auto model = make_dest_type_cost(0.1);
+  const auto fs = flows_with_distances({10.0, 20.0});
+  const auto expanded = model->expand(fs);
+  ASSERT_EQ(expanded.size(), 4u);
+  // Demand is conserved.
+  EXPECT_NEAR(expanded.total_demand_mbps(), fs.total_demand_mbps(), 1e-9);
+  // theta fraction is on-net.
+  EXPECT_EQ(expanded[0].dest_type, workload::DestType::OnNet);
+  EXPECT_NEAR(expanded[0].demand_mbps, 1.0, 1e-12);
+  EXPECT_EQ(expanded[1].dest_type, workload::DestType::OffNet);
+  EXPECT_NEAR(expanded[1].demand_mbps, 9.0, 1e-12);
+}
+
+TEST(DestTypeCost, OffNetCostsTwiceOnNet) {
+  const auto model = make_dest_type_cost(0.5);
+  const auto expanded = model->expand(flows_with_distances({10.0, 40.0}));
+  const auto f = model->relative_costs(expanded);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_NEAR(f[1] / f[0], 2.0, 1e-12);
+  EXPECT_NEAR(f[3] / f[2], 2.0, 1e-12);
+}
+
+TEST(DestTypeCost, CostIsClassBasedNotDistanceBased) {
+  // Paper §3.3: the on/off-net model has exactly two cost levels; the
+  // customer-to-customer revenue offset, not distance, drives the gap.
+  const auto model = make_dest_type_cost(0.5);
+  const auto expanded = model->expand(flows_with_distances({10.0, 40.0}));
+  const auto f = model->relative_costs(expanded);
+  EXPECT_DOUBLE_EQ(f[0], f[2]);  // on-net near == on-net far
+  EXPECT_DOUBLE_EQ(f[1], f[3]);  // off-net near == off-net far
+}
+
+TEST(DestTypeCost, ExposesTwoClasses) {
+  const auto model = make_dest_type_cost(0.15);
+  EXPECT_EQ(model->cost_classes(), 2);
+  const auto expanded = model->expand(flows_with_distances({10.0}));
+  const auto classes = model->class_of_flows(expanded);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_NE(classes[0], classes[1]);
+}
+
+TEST(DestTypeCost, Validates) {
+  EXPECT_THROW(make_dest_type_cost(0.0), std::invalid_argument);
+  EXPECT_THROW(make_dest_type_cost(1.0), std::invalid_argument);
+  const auto model = make_dest_type_cost(0.1);
+  EXPECT_THROW(model->expand(workload::FlowSet()), std::invalid_argument);
+  EXPECT_THROW(model->relative_costs(workload::FlowSet()),
+               std::invalid_argument);
+}
+
+// Property: every model emits strictly positive costs on realistic inputs.
+class CostPositivityProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CostPositivityProperty, AllModelsProducePositiveCosts) {
+  const double theta = GetParam();
+  const auto fs = flows_with_distances({0.5, 3.0, 25.0, 120.0, 4000.0});
+  std::vector<std::unique_ptr<CostModel>> models;
+  models.push_back(make_linear_cost(theta));
+  models.push_back(make_concave_cost(theta));
+  models.push_back(make_regional_cost(theta));
+  if (theta > 0.0 && theta < 1.0) models.push_back(make_dest_type_cost(theta));
+  for (const auto& model : models) {
+    const auto expanded = model->expand(fs);
+    const auto f = model->relative_costs(expanded);
+    ASSERT_EQ(f.size(), expanded.size()) << model->name();
+    for (const double fi : f) EXPECT_GT(fi, 0.0) << model->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThetaGrid, CostPositivityProperty,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.9, 1.2));
+
+}  // namespace
+}  // namespace manytiers::cost

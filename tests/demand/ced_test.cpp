@@ -1,0 +1,192 @@
+#include "demand/ced.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/optimize.hpp"
+
+namespace manytiers::demand {
+namespace {
+
+TEST(CedModel, RejectsAlphaAtOrBelowOne) {
+  EXPECT_THROW(CedModel(1.0), std::invalid_argument);
+  EXPECT_THROW(CedModel(0.5), std::invalid_argument);
+  EXPECT_NO_THROW(CedModel(1.0001));
+}
+
+TEST(CedModel, QuantityFollowsEq2) {
+  const CedModel m(2.0);
+  EXPECT_DOUBLE_EQ(m.quantity(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.quantity(2.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.quantity(1.0, 2.0), 0.25);
+}
+
+TEST(CedModel, QuantityIsDecreasingInPrice) {
+  const CedModel m(1.5);
+  double prev = m.quantity(3.0, 0.5);
+  for (double p = 1.0; p < 10.0; p += 0.5) {
+    const double q = m.quantity(3.0, p);
+    EXPECT_LT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(CedModel, HigherAlphaMeansMoreElasticDemand) {
+  // Above the valuation point, a price increase cuts demand more when
+  // alpha is larger (Fig. 3's intuition).
+  const CedModel low(1.4), high(3.3);
+  const double ratio_low = low.quantity(1.0, 2.0) / low.quantity(1.0, 1.5);
+  const double ratio_high = high.quantity(1.0, 2.0) / high.quantity(1.0, 1.5);
+  EXPECT_LT(ratio_high, ratio_low);
+}
+
+TEST(CedModel, OptimalPriceFormulaEq4) {
+  const CedModel m(2.0);
+  EXPECT_DOUBLE_EQ(m.optimal_price(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.optimal_price(2.0), 4.0);
+  const CedModel m11(1.1);
+  EXPECT_NEAR(m11.optimal_price(1.0), 11.0, 1e-12);
+}
+
+TEST(CedModel, OptimalPriceMaximizesProfitNumerically) {
+  for (const double alpha : {1.2, 2.0, 4.0}) {
+    const CedModel m(alpha);
+    for (const double c : {0.5, 1.0, 3.0}) {
+      const auto peak = util::maximize_scalar(
+          [&](double p) { return m.flow_profit(1.5, c, p); }, c + 1e-6,
+          100.0 * c);
+      EXPECT_NEAR(peak.x, m.optimal_price(c), 1e-4 * m.optimal_price(c))
+          << "alpha=" << alpha << " c=" << c;
+    }
+  }
+}
+
+TEST(CedModel, PotentialProfitMatchesProfitAtOptimalPrice) {
+  const CedModel m(2.0);
+  for (const double c : {0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(m.potential_profit(1.0, c),
+                m.flow_profit(1.0, c, m.optimal_price(c)), 1e-12);
+  }
+}
+
+TEST(CedModel, Figure4Values) {
+  // Paper Fig. 4: v = 1, alpha = 2; c = 1 -> p* = 2, profit 0.25;
+  // c = 2 -> p* = 4, profit 0.125.
+  const CedModel m(2.0);
+  EXPECT_DOUBLE_EQ(m.optimal_price(1.0), 2.0);
+  EXPECT_NEAR(m.potential_profit(1.0, 1.0), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(m.optimal_price(2.0), 4.0);
+  EXPECT_NEAR(m.potential_profit(1.0, 2.0), 0.125, 1e-12);
+}
+
+TEST(CedModel, BundlePriceReducesToSingleFlowOptimum) {
+  const CedModel m(1.7);
+  const std::vector<double> v{2.0};
+  const std::vector<double> c{1.3};
+  EXPECT_NEAR(m.bundle_price(v, c), m.optimal_price(1.3), 1e-12);
+}
+
+TEST(CedModel, BundlePriceIsWeightedBetweenFlowOptima) {
+  const CedModel m(2.0);
+  const std::vector<double> v{1.0, 1.0};
+  const std::vector<double> c{1.0, 2.0};
+  const double p = m.bundle_price(v, c);
+  EXPECT_GT(p, m.optimal_price(1.0));
+  EXPECT_LT(p, m.optimal_price(2.0));
+}
+
+TEST(CedModel, BundlePriceMaximizesBundleProfitNumerically) {
+  const CedModel m(1.4);
+  const std::vector<double> v{1.0, 2.0, 0.7};
+  const std::vector<double> c{0.8, 2.5, 1.1};
+  const double p_star = m.bundle_price(v, c);
+  const auto bundle_profit = [&](double p) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      total += m.flow_profit(v[i], c[i], p);
+    }
+    return total;
+  };
+  const auto peak = util::maximize_scalar(bundle_profit, 0.9, 50.0);
+  EXPECT_NEAR(p_star, peak.x, 1e-4 * p_star);
+  EXPECT_NEAR(bundle_profit(p_star), peak.value, 1e-9);
+}
+
+TEST(CedModel, TotalProfitSumsFlowProfits) {
+  const CedModel m(2.0);
+  const std::vector<double> v{1.0, 2.0};
+  const std::vector<double> c{1.0, 1.0};
+  const std::vector<double> p{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.total_profit(v, c, p),
+                   m.flow_profit(1.0, 1.0, 2.0) + m.flow_profit(2.0, 1.0, 2.0));
+}
+
+TEST(CedModel, FitValuationsInvertsDemand) {
+  const CedModel m(1.8);
+  const std::vector<double> q{4.0, 100.0, 0.5};
+  const double p0 = 20.0;
+  const auto fit = m.fit_valuations(q, p0);
+  ASSERT_EQ(fit.valuations.size(), q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    // Feeding the fitted valuation back through Eq. 2 at P0 must
+    // reproduce the observed demand.
+    EXPECT_NEAR(m.quantity(fit.valuations[i], p0), q[i], 1e-9 * q[i]);
+  }
+}
+
+TEST(CedModel, FitGammaMakesBlendedPriceOptimal) {
+  // The calibration invariant (paper §4.1.3): with c_i = gamma f(d_i),
+  // the single-bundle profit-maximizing price is exactly P0.
+  const CedModel m(1.1);
+  const std::vector<double> q{10.0, 5.0, 80.0, 2.0};
+  const std::vector<double> fd{1.0, 3.0, 0.5, 10.0};
+  const double p0 = 20.0;
+  const auto fit = m.fit_valuations(q, p0);
+  const double gamma = m.fit_gamma(fit.valuations, fd, p0);
+  EXPECT_GT(gamma, 0.0);
+  std::vector<double> c(fd.size());
+  for (std::size_t i = 0; i < fd.size(); ++i) c[i] = gamma * fd[i];
+  EXPECT_NEAR(m.bundle_price(fit.valuations, c), p0, 1e-9 * p0);
+}
+
+TEST(CedModel, ValidatesArguments) {
+  const CedModel m(2.0);
+  EXPECT_THROW(m.quantity(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.quantity(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(m.optimal_price(0.0), std::invalid_argument);
+  EXPECT_THROW(m.potential_profit(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(m.bundle_price({}, {}), std::invalid_argument);
+  EXPECT_THROW(m.fit_valuations({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(
+      m.fit_valuations(std::vector<double>{1.0}, 0.0), std::invalid_argument);
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(m.bundle_price(one, two), std::invalid_argument);
+  EXPECT_THROW(m.total_profit(one, one, two), std::invalid_argument);
+  EXPECT_THROW(m.fit_gamma(one, two, 1.0), std::invalid_argument);
+}
+
+// Property sweep: the optimal-price formula beats any nearby price across
+// a grid of (alpha, cost) combinations.
+class CedOptimalityProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CedOptimalityProperty, NoNearbyPriceBeatsTheFormula) {
+  const auto [alpha, cost] = GetParam();
+  const CedModel m(alpha);
+  const double p_star = m.optimal_price(cost);
+  const double best = m.flow_profit(1.0, cost, p_star);
+  for (const double bump : {0.8, 0.9, 0.99, 1.01, 1.1, 1.25}) {
+    EXPECT_GE(best, m.flow_profit(1.0, cost, p_star * bump));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CedOptimalityProperty,
+    ::testing::Combine(::testing::Values(1.1, 1.5, 2.0, 3.3, 6.0),
+                       ::testing::Values(0.1, 1.0, 7.5)));
+
+}  // namespace
+}  // namespace manytiers::demand

@@ -1,0 +1,153 @@
+#include "demand/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "demand/ced.hpp"
+#include "demand/logit.hpp"
+#include "util/rng.hpp"
+
+namespace manytiers::demand {
+namespace {
+
+// Simulate CED flows at a few historical prices.
+std::vector<std::vector<PriceDemandPoint>> ced_histories(
+    double alpha, double noise_sd, util::Rng& rng, std::size_t flows = 20,
+    std::size_t periods = 6) {
+  const CedModel model(alpha);
+  std::vector<std::vector<PriceDemandPoint>> out(flows);
+  for (auto& history : out) {
+    const double v = rng.uniform(1.0, 50.0);
+    for (std::size_t t = 0; t < periods; ++t) {
+      PriceDemandPoint obs;
+      obs.price = rng.uniform(5.0, 30.0);
+      obs.quantity =
+          model.quantity(v, obs.price) * std::exp(rng.normal(0.0, noise_sd));
+      history.push_back(obs);
+    }
+  }
+  return out;
+}
+
+TEST(EstimateCedAlpha, RecoversAlphaExactlyFromCleanData) {
+  util::Rng rng(1);
+  for (const double alpha : {1.1, 1.7, 3.3}) {
+    const auto histories = ced_histories(alpha, 0.0, rng);
+    const auto fit = estimate_ced_alpha(histories);
+    EXPECT_NEAR(fit.alpha, alpha, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+    EXPECT_EQ(fit.observations, 20u * 6u);
+  }
+}
+
+TEST(EstimateCedAlpha, RobustToDemandNoise) {
+  util::Rng rng(2);
+  const auto histories = ced_histories(2.0, 0.15, rng, 60, 8);
+  const auto fit = estimate_ced_alpha(histories);
+  EXPECT_NEAR(fit.alpha, 2.0, 0.15);
+  EXPECT_GT(fit.r_squared, 0.8);
+}
+
+TEST(EstimateCedAlpha, UnknownValuationsDoNotBias) {
+  // Flows with wildly different valuations but the same alpha: the
+  // within-flow demeaning removes v completely.
+  const CedModel model(1.5);
+  std::vector<std::vector<PriceDemandPoint>> histories;
+  for (const double v : {0.1, 1.0, 1000.0}) {
+    std::vector<PriceDemandPoint> h;
+    for (const double p : {10.0, 20.0}) {
+      h.push_back({p, model.quantity(v, p)});
+    }
+    histories.push_back(h);
+  }
+  EXPECT_NEAR(estimate_ced_alpha(histories).alpha, 1.5, 1e-9);
+}
+
+TEST(EstimateCedAlpha, Validates) {
+  EXPECT_THROW(estimate_ced_alpha({}), std::invalid_argument);
+  // Single observation per flow.
+  std::vector<std::vector<PriceDemandPoint>> one{{{10.0, 1.0}}};
+  EXPECT_THROW(estimate_ced_alpha(one), std::invalid_argument);
+  // No price variation anywhere.
+  std::vector<std::vector<PriceDemandPoint>> flat{
+      {{10.0, 1.0}, {10.0, 1.0}}};
+  EXPECT_THROW(estimate_ced_alpha(flat), std::invalid_argument);
+  // Non-positive values.
+  std::vector<std::vector<PriceDemandPoint>> bad{
+      {{10.0, 1.0}, {-1.0, 2.0}}};
+  EXPECT_THROW(estimate_ced_alpha(bad), std::invalid_argument);
+}
+
+TEST(EstimateCedValuations, RecoversGeneratingValuations) {
+  const CedModel model(2.5);
+  const std::vector<double> truth{2.0, 7.5, 40.0};
+  std::vector<std::vector<PriceDemandPoint>> histories;
+  for (const double v : truth) {
+    std::vector<PriceDemandPoint> h;
+    for (const double p : {8.0, 16.0, 24.0}) {
+      h.push_back({p, model.quantity(v, p)});
+    }
+    histories.push_back(h);
+  }
+  const auto estimated = estimate_ced_valuations(histories, 2.5);
+  ASSERT_EQ(estimated.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(estimated[i], truth[i], 1e-9 * truth[i]);
+  }
+}
+
+TEST(EstimateCedValuations, Validates) {
+  std::vector<std::vector<PriceDemandPoint>> h{{{10.0, 1.0}}};
+  EXPECT_THROW(estimate_ced_valuations(h, 1.0), std::invalid_argument);
+  std::vector<std::vector<PriceDemandPoint>> empty{{}};
+  EXPECT_THROW(estimate_ced_valuations(empty, 2.0), std::invalid_argument);
+}
+
+TEST(EstimateLogitAlpha, RecoversAlphaFromSimulatedMarket) {
+  // Simulate a 3-flow logit market at several price vectors and estimate
+  // alpha from each flow's (price, share, s0) history.
+  const double alpha = 1.3;
+  const LogitModel model(alpha, 100.0);
+  const std::vector<double> v{2.0, 1.0, 3.0};
+  util::Rng rng(4);
+  std::vector<std::vector<PriceSharePoint>> histories(v.size());
+  for (int t = 0; t < 8; ++t) {
+    std::vector<double> prices;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      prices.push_back(rng.uniform(0.5, 3.0));
+    }
+    const auto shares = model.shares(v, prices);
+    const double s0 = model.no_purchase_share(v, prices);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      histories[i].push_back({prices[i], shares[i], s0});
+    }
+  }
+  const auto fit = estimate_logit_alpha(histories);
+  EXPECT_NEAR(fit.alpha, alpha, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(EstimateLogitAlpha, Validates) {
+  EXPECT_THROW(estimate_logit_alpha({}), std::invalid_argument);
+  std::vector<std::vector<PriceSharePoint>> bad{
+      {{1.0, 0.5, 0.2}, {2.0, 1.5, 0.2}}};  // share >= 1
+  EXPECT_THROW(estimate_logit_alpha(bad), std::invalid_argument);
+}
+
+TEST(Estimation, RoundTripThroughCalibration) {
+  // End-to-end: simulate demand responses with one alpha, estimate it,
+  // and check the estimated alpha prices a flow near the true optimum.
+  const double true_alpha = 1.8;
+  util::Rng rng(6);
+  const auto histories = ced_histories(true_alpha, 0.05, rng, 40, 6);
+  const auto fit = estimate_ced_alpha(histories);
+  const CedModel truth(true_alpha);
+  const CedModel fitted(fit.alpha);
+  const double c = 3.0;
+  EXPECT_NEAR(fitted.optimal_price(c), truth.optimal_price(c),
+              0.1 * truth.optimal_price(c));
+}
+
+}  // namespace
+}  // namespace manytiers::demand

@@ -1,0 +1,265 @@
+#include "demand/logit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace manytiers::demand {
+namespace {
+
+TEST(LogitModel, ValidatesConstruction) {
+  EXPECT_THROW(LogitModel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogitModel(1.0, 0.0), std::invalid_argument);
+  EXPECT_NO_THROW(LogitModel(1.0, 100.0));
+}
+
+TEST(LogitModel, SharesMatchEq6) {
+  const LogitModel m(1.0, 1.0);
+  const std::vector<double> v{1.0, 2.0};
+  const std::vector<double> p{0.5, 0.5};
+  const auto s = m.shares(v, p);
+  const double e1 = std::exp(1.0 * (1.0 - 0.5));
+  const double e2 = std::exp(1.0 * (2.0 - 0.5));
+  EXPECT_NEAR(s[0], e1 / (e1 + e2 + 1.0), 1e-12);
+  EXPECT_NEAR(s[1], e2 / (e1 + e2 + 1.0), 1e-12);
+}
+
+TEST(LogitModel, SharesPlusOutsideOptionSumToOne) {
+  const LogitModel m(2.0, 50.0);
+  const std::vector<double> v{1.0, 1.5, 0.2};
+  const std::vector<double> p{0.9, 1.1, 0.1};
+  const auto s = m.shares(v, p);
+  const double total = std::accumulate(s.begin(), s.end(), 0.0);
+  EXPECT_NEAR(total + m.no_purchase_share(v, p), 1.0, 1e-12);
+}
+
+TEST(LogitModel, SharesAreStableForExtremeUtilities) {
+  const LogitModel m(10.0, 1.0);
+  const std::vector<double> v{100.0, 1.0};
+  const std::vector<double> p{1.0, 1.0};
+  const auto s = m.shares(v, p);
+  EXPECT_NEAR(s[0], 1.0, 1e-9);
+  EXPECT_GE(s[1], 0.0);
+  EXPECT_FALSE(std::isnan(s[0]));
+}
+
+TEST(LogitModel, DemandIsDecreasingInOwnPrice) {
+  const LogitModel m(1.0, 1.0);
+  const std::vector<double> v{1.6, 1.0};
+  double prev = 2.0;
+  for (double p2 = 0.0; p2 <= 4.0; p2 += 0.25) {
+    const std::vector<double> p{1.0, std::max(p2, 1e-9)};
+    const double s2 = m.shares(v, p)[1];
+    EXPECT_LT(s2, prev);
+    prev = s2;
+  }
+}
+
+TEST(LogitModel, DemandsAreNotSeparable) {
+  // Raising flow 2's price must increase flow 1's demand (substitution).
+  const LogitModel m(1.0, 1.0);
+  const std::vector<double> v{1.6, 1.0};
+  const std::vector<double> cheap{1.0, 0.5};
+  const std::vector<double> dear{1.0, 3.0};
+  EXPECT_GT(m.shares(v, dear)[0], m.shares(v, cheap)[0]);
+}
+
+TEST(LogitModel, QuantitiesScaleWithMarketSize) {
+  const std::vector<double> v{1.0};
+  const std::vector<double> p{0.5};
+  const LogitModel small(1.0, 10.0), big(1.0, 1000.0);
+  EXPECT_NEAR(big.quantities(v, p)[0] / small.quantities(v, p)[0], 100.0,
+              1e-9);
+}
+
+TEST(LogitModel, ProfitMatchesEq8ByHand) {
+  const LogitModel m(1.0, 100.0);
+  const std::vector<double> v{2.0};
+  const std::vector<double> c{0.5};
+  const std::vector<double> p{1.5};
+  const double share = std::exp(2.0 - 1.5) / (std::exp(2.0 - 1.5) + 1.0);
+  EXPECT_NEAR(m.total_profit(v, c, p), 100.0 * share * 1.0, 1e-9);
+}
+
+TEST(LogitModel, OptimalPricesSatisfyEq9) {
+  // p*_i = c_i + 1/(alpha s0) at the optimum.
+  const LogitModel m(1.3, 500.0);
+  const std::vector<double> v{2.0, 1.0, 3.0};
+  const std::vector<double> c{0.5, 0.7, 1.5};
+  const auto res = m.optimal_prices(v, c);
+  ASSERT_TRUE(res.converged);
+  const double s0 = m.no_purchase_share(v, res.prices);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(res.prices[i] - c[i], 1.0 / (1.3 * s0), 1e-7);
+  }
+}
+
+TEST(LogitModel, OptimalMarkupIsCommonAcrossFlows) {
+  const LogitModel m(2.0, 10.0);
+  const std::vector<double> v{1.0, 5.0};
+  const std::vector<double> c{0.2, 2.0};
+  const auto res = m.optimal_prices(v, c);
+  EXPECT_NEAR(res.prices[0] - c[0], res.prices[1] - c[1], 1e-10);
+  EXPECT_NEAR(res.prices[0] - c[0], res.markup, 1e-10);
+}
+
+TEST(LogitModel, GradientHeuristicAgreesWithExactOptimum) {
+  // The paper's gradient-descent heuristic should land on the same profit
+  // as the closed-form equal-markup solution.
+  const LogitModel m(1.1, 200.0);
+  const std::vector<double> v{3.0, 2.5, 4.0, 1.0};
+  const std::vector<double> c{1.0, 0.5, 2.0, 0.3};
+  const auto exact = m.optimal_prices(v, c);
+  const auto grad = m.gradient_prices(v, c);
+  EXPECT_NEAR(grad.profit, exact.profit, 1e-3 * exact.profit);
+}
+
+TEST(LogitModel, NoPriceVectorBeatsTheExactOptimum) {
+  const LogitModel m(1.5, 100.0);
+  const std::vector<double> v{2.0, 1.2};
+  const std::vector<double> c{0.6, 0.9};
+  const auto res = m.optimal_prices(v, c);
+  for (const double d0 : {-0.2, 0.0, 0.2}) {
+    for (const double d1 : {-0.2, 0.0, 0.2}) {
+      const std::vector<double> p{res.prices[0] + d0, res.prices[1] + d1};
+      EXPECT_LE(m.total_profit(v, c, p), res.profit + 1e-9);
+    }
+  }
+}
+
+TEST(LogitModel, OptimalPricesStableUnderLargeAlpha) {
+  const LogitModel m(10.0, 100.0);
+  const std::vector<double> v{20.0, 18.0};
+  const std::vector<double> c{2.0, 1.0};
+  const auto res = m.optimal_prices(v, c);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(std::isfinite(res.profit));
+  EXPECT_GT(res.profit, 0.0);
+}
+
+TEST(LogitModel, BundleValuationIsLogSumExp) {
+  const LogitModel m(2.0, 1.0);
+  const std::vector<double> v{1.0, 3.0};
+  const double vb = m.bundle_valuation(v);
+  EXPECT_NEAR(vb,
+              std::log(std::exp(2.0 * 1.0) + std::exp(2.0 * 3.0)) / 2.0,
+              1e-12);
+  EXPECT_GT(vb, 3.0);          // bundling adds option value
+  EXPECT_LT(vb, 3.0 + 0.5);    // but bounded by max + log(n)/alpha
+}
+
+TEST(LogitModel, BundleCostIsShareWeighted) {
+  const LogitModel m(1.0, 1.0);
+  const std::vector<double> v{1.0, 1.0};
+  const std::vector<double> c{2.0, 4.0};
+  EXPECT_NEAR(m.bundle_cost(v, c), 3.0, 1e-12);  // equal weights -> mean
+  const std::vector<double> v2{5.0, 1.0};
+  EXPECT_LT(m.bundle_cost(v2, c), 2.1);  // dominated by the high-v flow
+}
+
+TEST(LogitModel, BundleAggregationPreservesSharesAndProfit) {
+  // Eq. 10/11 consistency: a bundle priced at P behaves exactly like its
+  // member flows each priced at P.
+  const LogitModel m(1.4, 100.0);
+  const std::vector<double> v{1.0, 2.0, 2.5};
+  const std::vector<double> c{0.3, 0.8, 1.1};
+  const double price = 1.9;
+  // Flow-level: all three at the common price.
+  const std::vector<double> p_flows(3, price);
+  const double profit_flows = m.total_profit(v, c, p_flows);
+  // Bundle-level: one aggregate good.
+  const std::vector<double> vb{m.bundle_valuation(v)};
+  const std::vector<double> cb{m.bundle_cost(v, c)};
+  const std::vector<double> pb{price};
+  const double profit_bundle = m.total_profit(vb, cb, pb);
+  EXPECT_NEAR(profit_flows, profit_bundle, 1e-9 * std::abs(profit_flows));
+}
+
+TEST(LogitModel, FitValuationsReproducesObservedDemand) {
+  const double alpha = 1.1, p0 = 20.0, s0 = 0.2;
+  const std::vector<double> q{100.0, 40.0, 5.0};
+  const auto fit = LogitModel::fit_valuations(q, p0, s0, alpha);
+  const double total = 145.0;
+  EXPECT_NEAR(fit.market_size, total / (1.0 - s0), 1e-9);
+  const LogitModel m(alpha, fit.market_size);
+  const std::vector<double> prices(q.size(), p0);
+  const auto quantities = m.quantities(fit.valuations, prices);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_NEAR(quantities[i], q[i], 1e-6 * q[i]);
+  }
+  EXPECT_NEAR(m.no_purchase_share(fit.valuations, prices), s0, 1e-9);
+}
+
+TEST(LogitModel, FitGammaMakesBlendedPriceOptimal) {
+  const double alpha = 1.1, p0 = 20.0, s0 = 0.2;
+  const std::vector<double> q{100.0, 40.0, 5.0, 70.0};
+  const std::vector<double> fd{1.0, 4.0, 9.0, 2.0};
+  const auto fit = LogitModel::fit_valuations(q, p0, s0, alpha);
+  const LogitModel m(alpha, fit.market_size);
+  const double gamma = m.fit_gamma(fit.valuations, fd, p0);
+  EXPECT_GT(gamma, 0.0);
+  // With a single blended bundle, the optimal common price must be P0.
+  std::vector<double> c(fd.size());
+  for (std::size_t i = 0; i < fd.size(); ++i) c[i] = gamma * fd[i];
+  const std::vector<double> vb{m.bundle_valuation(fit.valuations)};
+  const std::vector<double> cb{m.bundle_cost(fit.valuations, c)};
+  const auto res = m.optimal_prices(vb, cb);
+  EXPECT_NEAR(res.prices[0], p0, 1e-6 * p0);
+}
+
+TEST(LogitModel, FitGammaRejectsInfeasibleCalibration) {
+  // alpha * P0 <= 1/s0 makes the blended rate unprofitable to sustain.
+  const double alpha = 0.1, p0 = 2.0, s0 = 0.2;
+  const std::vector<double> q{10.0, 20.0};
+  const std::vector<double> fd{1.0, 2.0};
+  const auto fit = LogitModel::fit_valuations(q, p0, s0, alpha);
+  const LogitModel m(alpha, fit.market_size);
+  EXPECT_THROW(m.fit_gamma(fit.valuations, fd, p0), std::domain_error);
+}
+
+TEST(LogitModel, PotentialProfitWeightIsProportionalToDemand) {
+  const LogitModel m(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.potential_profit_weight(10.0), 10.0);
+  EXPECT_THROW(m.potential_profit_weight(0.0), std::invalid_argument);
+}
+
+TEST(LogitModel, ValidatesVectorArguments) {
+  const LogitModel m(1.0, 1.0);
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(m.shares({}, {}), std::invalid_argument);
+  EXPECT_THROW(m.shares(one, two), std::invalid_argument);
+  EXPECT_THROW(m.total_profit(one, one, two), std::invalid_argument);
+  EXPECT_THROW(m.bundle_valuation({}), std::invalid_argument);
+  EXPECT_THROW(m.bundle_cost(one, two), std::invalid_argument);
+  EXPECT_THROW(LogitModel::fit_valuations({}, 1.0, 0.2, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(LogitModel::fit_valuations(one, 1.0, 1.5, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(LogitModel::fit_valuations(one, -1.0, 0.2, 1.0),
+               std::invalid_argument);
+}
+
+// Property sweep: Eq. 9 holds across (alpha, s0-ish spread) combinations.
+class LogitMarkupProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LogitMarkupProperty, MarkupEqualsInverseAlphaS0) {
+  const auto [alpha, v_scale] = GetParam();
+  const LogitModel m(alpha, 100.0);
+  const std::vector<double> v{v_scale, v_scale * 0.8, v_scale * 1.2};
+  const std::vector<double> c{0.4, 0.6, 0.9};
+  const auto res = m.optimal_prices(v, c);
+  const double s0 = m.no_purchase_share(v, res.prices);
+  EXPECT_NEAR(res.markup, 1.0 / (alpha * s0), 1e-6 * res.markup);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LogitMarkupProperty,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 1.1, 2.0, 5.0),
+                       ::testing::Values(1.0, 3.0, 8.0)));
+
+}  // namespace
+}  // namespace manytiers::demand

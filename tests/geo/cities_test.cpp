@@ -1,0 +1,93 @@
+#include "geo/cities.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace manytiers::geo {
+namespace {
+
+TEST(Cities, DatabaseIsNonTrivial) {
+  EXPECT_GE(world_cities().size(), 100u);
+}
+
+TEST(Cities, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const auto& c : world_cities()) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate: " << c.name;
+  }
+}
+
+TEST(Cities, AllCoordinatesAreValid) {
+  for (const auto& c : world_cities()) {
+    EXPECT_NO_THROW(validate(c.location)) << std::string(c.name);
+  }
+}
+
+TEST(Cities, EveryContinentIsRepresented) {
+  for (const auto continent :
+       {Continent::NorthAmerica, Continent::SouthAmerica, Continent::Europe,
+        Continent::Asia, Continent::Africa, Continent::Oceania}) {
+    EXPECT_FALSE(cities_in(continent).empty()) << to_string(continent);
+  }
+}
+
+TEST(Cities, FindCityReturnsCorrectIndex) {
+  const auto id = find_city("London");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(world_cities()[*id].name, "London");
+  EXPECT_EQ(world_cities()[*id].country, "GB");
+}
+
+TEST(Cities, FindCityMissReturnsNullopt) {
+  EXPECT_FALSE(find_city("Atlantis").has_value());
+}
+
+TEST(Cities, Internet2PopCitiesExist) {
+  for (const auto name :
+       {"Seattle", "Sunnyvale", "Los Angeles", "Denver", "Kansas City",
+        "Houston", "Chicago", "Indianapolis", "Atlanta", "Washington",
+        "New York"}) {
+    EXPECT_TRUE(find_city(name).has_value()) << name;
+  }
+}
+
+TEST(Cities, CountryLookupFindsGermanCluster) {
+  const auto de = cities_in_country("DE");
+  EXPECT_GE(de.size(), 4u);
+  for (const auto id : de) EXPECT_EQ(world_cities()[id].country, "DE");
+}
+
+TEST(Cities, EuropeHasSameCountryClustersForNationalFlows) {
+  // The EU ISP generator needs countries with several cities.
+  int multi_city_countries = 0;
+  std::set<std::string_view> seen;
+  for (const auto id : cities_in(Continent::Europe)) {
+    const auto country = world_cities()[id].country;
+    if (!seen.insert(country).second) continue;
+    if (cities_in_country(country).size() >= 2) ++multi_city_countries;
+  }
+  EXPECT_GE(multi_city_countries, 5);
+}
+
+TEST(Cities, DistanceLondonParis) {
+  const auto london = find_city("London");
+  const auto paris = find_city("Paris");
+  ASSERT_TRUE(london && paris);
+  EXPECT_NEAR(city_distance_miles(*london, *paris), 213.0, 10.0);
+}
+
+TEST(Cities, DistanceRejectsBadIndex) {
+  EXPECT_THROW(city_distance_miles(0, world_cities().size()),
+               std::out_of_range);
+}
+
+TEST(Cities, ContinentToStringCoversAll) {
+  EXPECT_EQ(to_string(Continent::Europe), "Europe");
+  EXPECT_EQ(to_string(Continent::NorthAmerica), "North America");
+  EXPECT_EQ(to_string(Continent::Oceania), "Oceania");
+}
+
+}  // namespace
+}  // namespace manytiers::geo

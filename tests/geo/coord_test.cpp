@@ -1,0 +1,63 @@
+#include "geo/coord.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::geo {
+namespace {
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const GeoPoint p{40.71, -74.01};
+  EXPECT_DOUBLE_EQ(haversine_miles(p, p), 0.0);
+}
+
+TEST(Haversine, IsSymmetric) {
+  const GeoPoint a{40.71, -74.01}, b{51.51, -0.13};
+  EXPECT_DOUBLE_EQ(haversine_miles(a, b), haversine_miles(b, a));
+}
+
+TEST(Haversine, NewYorkToLondonIsAbout3460Miles) {
+  const GeoPoint nyc{40.71, -74.01}, london{51.51, -0.13};
+  EXPECT_NEAR(haversine_miles(nyc, london), 3461.0, 30.0);
+}
+
+TEST(Haversine, SeattleToSunnyvaleIsAbout700Miles) {
+  const GeoPoint sea{47.61, -122.33}, svl{37.37, -122.04};
+  EXPECT_NEAR(haversine_miles(sea, svl), 708.0, 15.0);
+}
+
+TEST(Haversine, AntipodalPointsAreHalfCircumference) {
+  const GeoPoint a{0.0, 0.0}, b{0.0, 180.0};
+  EXPECT_NEAR(haversine_miles(a, b), 3.14159265 * kEarthRadiusMiles, 1.0);
+}
+
+TEST(Haversine, OneDegreeLongitudeAtEquator) {
+  const GeoPoint a{0.0, 0.0}, b{0.0, 1.0};
+  // One degree of arc = 2 pi R / 360 ~ 69.1 miles.
+  EXPECT_NEAR(haversine_miles(a, b), 69.1, 0.2);
+}
+
+TEST(Haversine, TriangleInequalityHolds) {
+  const GeoPoint a{47.61, -122.33}, b{39.74, -104.99}, c{40.71, -74.01};
+  EXPECT_LE(haversine_miles(a, c),
+            haversine_miles(a, b) + haversine_miles(b, c) + 1e-9);
+}
+
+TEST(Validate, AcceptsBoundaryValues) {
+  EXPECT_NO_THROW(validate(GeoPoint{90.0, 180.0}));
+  EXPECT_NO_THROW(validate(GeoPoint{-90.0, -180.0}));
+}
+
+TEST(Validate, RejectsOutOfRange) {
+  EXPECT_THROW(validate(GeoPoint{90.1, 0.0}), std::invalid_argument);
+  EXPECT_THROW(validate(GeoPoint{-90.1, 0.0}), std::invalid_argument);
+  EXPECT_THROW(validate(GeoPoint{0.0, 180.1}), std::invalid_argument);
+  EXPECT_THROW(validate(GeoPoint{0.0, -180.1}), std::invalid_argument);
+}
+
+TEST(Haversine, RejectsInvalidCoordinates) {
+  EXPECT_THROW(haversine_miles(GeoPoint{91.0, 0.0}, GeoPoint{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::geo

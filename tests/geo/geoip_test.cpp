@@ -1,0 +1,129 @@
+#include "geo/geoip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::geo {
+namespace {
+
+TEST(ParseIpv4, ParsesDottedQuad) {
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xffffffffu);
+  EXPECT_EQ(parse_ipv4("10.0.0.1"), 0x0a000001u);
+  EXPECT_EQ(parse_ipv4("192.168.1.2"), 0xc0a80102u);
+}
+
+TEST(ParseIpv4, RoundTripsWithFormat) {
+  for (const auto s : {"1.2.3.4", "100.42.0.255", "8.8.8.8"}) {
+    EXPECT_EQ(format_ipv4(parse_ipv4(s)), s);
+  }
+}
+
+TEST(ParseIpv4, RejectsMalformedInput) {
+  EXPECT_THROW(parse_ipv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4(""), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("1..2.3"), std::invalid_argument);
+}
+
+TEST(Prefix, ContainsAndBounds) {
+  const Prefix p = parse_prefix("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(parse_ipv4("10.1.0.0")));
+  EXPECT_TRUE(p.contains(parse_ipv4("10.1.255.255")));
+  EXPECT_FALSE(p.contains(parse_ipv4("10.2.0.0")));
+  EXPECT_EQ(p.first(), parse_ipv4("10.1.0.0"));
+  EXPECT_EQ(p.last(), parse_ipv4("10.1.255.255"));
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix p = parse_prefix("0.0.0.0/0");
+  EXPECT_TRUE(p.contains(0));
+  EXPECT_TRUE(p.contains(0xffffffffu));
+}
+
+TEST(Prefix, HostRouteMatchesExactlyOneAddress) {
+  const Prefix p = parse_prefix("10.0.0.1/32");
+  EXPECT_TRUE(p.contains(parse_ipv4("10.0.0.1")));
+  EXPECT_FALSE(p.contains(parse_ipv4("10.0.0.2")));
+}
+
+TEST(Prefix, ParseRejectsHostBitsAndBadLength) {
+  EXPECT_THROW(parse_prefix("10.1.1.0/16"), std::invalid_argument);
+  EXPECT_THROW(parse_prefix("10.0.0.0/33"), std::invalid_argument);
+  EXPECT_THROW(parse_prefix("10.0.0.0"), std::invalid_argument);
+  EXPECT_THROW(parse_prefix("10.0.0.0/x"), std::invalid_argument);
+}
+
+TEST(Prefix, FormatRoundTrips) {
+  EXPECT_EQ(format_prefix(parse_prefix("100.7.0.0/16")), "100.7.0.0/16");
+}
+
+TEST(GeoIpDb, LongestPrefixWins) {
+  GeoIpDb db;
+  db.add(parse_prefix("100.0.0.0/8"), 0);
+  db.add(parse_prefix("100.5.0.0/16"), 1);
+  EXPECT_EQ(db.lookup_city(parse_ipv4("100.5.1.1")), 1u);
+  EXPECT_EQ(db.lookup_city(parse_ipv4("100.6.1.1")), 0u);
+}
+
+TEST(GeoIpDb, MissReturnsNullopt) {
+  GeoIpDb db;
+  db.add(parse_prefix("100.0.0.0/16"), 0);
+  EXPECT_FALSE(db.lookup_city(parse_ipv4("99.0.0.1")).has_value());
+  EXPECT_EQ(db.lookup(parse_ipv4("99.0.0.1")), nullptr);
+}
+
+TEST(GeoIpDb, DuplicatePrefixReplaces) {
+  GeoIpDb db;
+  db.add(parse_prefix("100.0.0.0/16"), 0);
+  db.add(parse_prefix("100.0.0.0/16"), 2);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.lookup_city(parse_ipv4("100.0.0.1")), 2u);
+}
+
+TEST(GeoIpDb, AddValidatesCityAndHostBits) {
+  GeoIpDb db;
+  EXPECT_THROW(db.add(parse_prefix("100.0.0.0/16"), world_cities().size()),
+               std::out_of_range);
+  Prefix bad;
+  bad.address = parse_ipv4("100.0.0.1");
+  bad.length = 16;
+  EXPECT_THROW(db.add(bad, 0), std::invalid_argument);
+}
+
+TEST(SyntheticGeoip, EveryCityIsResolvable) {
+  const GeoIpDb db = build_synthetic_geoip();
+  for (std::size_t c = 0; c < world_cities().size(); ++c) {
+    const IpV4 host = synthetic_host(c, 12345);
+    const auto found = db.lookup_city(host);
+    ASSERT_TRUE(found.has_value()) << world_cities()[c].name;
+    EXPECT_EQ(*found, c) << world_cities()[c].name;
+  }
+}
+
+TEST(SyntheticGeoip, HostsLandInsideTheCityBlock) {
+  for (const std::uint32_t salt : {0u, 1u, 77u, 123456u}) {
+    const IpV4 host = synthetic_host(3, salt);
+    bool inside = false;
+    for (int b = 0; b < 2; ++b) {
+      inside |= synthetic_block(3, b, 2).contains(host);
+    }
+    EXPECT_TRUE(inside);
+  }
+}
+
+TEST(SyntheticGeoip, BlocksAreDisjointAcrossCities) {
+  const auto a = synthetic_block(0, 0, 2);
+  const auto b = synthetic_block(1, 0, 2);
+  EXPECT_FALSE(a.contains(b.address));
+  EXPECT_FALSE(b.contains(a.address));
+}
+
+TEST(SyntheticGeoip, BlockValidatesArguments) {
+  EXPECT_THROW(synthetic_block(0, 2, 2), std::out_of_range);
+  EXPECT_THROW(synthetic_block(0, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::geo

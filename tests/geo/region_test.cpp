@@ -1,0 +1,64 @@
+#include "geo/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/cities.hpp"
+
+namespace manytiers::geo {
+namespace {
+
+TEST(ClassifyCities, SameCityIsMetro) {
+  const auto london = find_city("London");
+  ASSERT_TRUE(london);
+  EXPECT_EQ(classify_cities(*london, *london), Region::Metro);
+}
+
+TEST(ClassifyCities, SameCountryIsNational) {
+  const auto london = find_city("London");
+  const auto manchester = find_city("Manchester");
+  ASSERT_TRUE(london && manchester);
+  EXPECT_EQ(classify_cities(*london, *manchester), Region::National);
+}
+
+TEST(ClassifyCities, DifferentCountryIsInternational) {
+  const auto london = find_city("London");
+  const auto paris = find_city("Paris");
+  ASSERT_TRUE(london && paris);
+  EXPECT_EQ(classify_cities(*london, *paris), Region::International);
+}
+
+TEST(ClassifyCities, RejectsBadIndices) {
+  EXPECT_THROW(classify_cities(0, world_cities().size()), std::out_of_range);
+}
+
+TEST(ClassifyDistance, PaperThresholds) {
+  // Paper §3.3: flows < 10 miles are metro, < 100 miles national.
+  EXPECT_EQ(classify_distance(0.0), Region::Metro);
+  EXPECT_EQ(classify_distance(9.99), Region::Metro);
+  EXPECT_EQ(classify_distance(10.0), Region::National);
+  EXPECT_EQ(classify_distance(99.9), Region::National);
+  EXPECT_EQ(classify_distance(100.0), Region::International);
+  EXPECT_EQ(classify_distance(5000.0), Region::International);
+}
+
+TEST(ClassifyDistance, CustomThresholds) {
+  const DistanceThresholds t{50.0, 500.0};
+  EXPECT_EQ(classify_distance(49.0, t), Region::Metro);
+  EXPECT_EQ(classify_distance(499.0, t), Region::National);
+  EXPECT_EQ(classify_distance(501.0, t), Region::International);
+}
+
+TEST(ClassifyDistance, Validates) {
+  EXPECT_THROW(classify_distance(-1.0), std::invalid_argument);
+  EXPECT_THROW(classify_distance(5.0, DistanceThresholds{100.0, 10.0}),
+               std::invalid_argument);
+}
+
+TEST(RegionToString, AllValues) {
+  EXPECT_EQ(to_string(Region::Metro), "metro");
+  EXPECT_EQ(to_string(Region::National), "national");
+  EXPECT_EQ(to_string(Region::International), "international");
+}
+
+}  // namespace
+}  // namespace manytiers::geo

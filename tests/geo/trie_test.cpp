@@ -1,0 +1,136 @@
+#include "geo/trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace manytiers::geo {
+namespace {
+
+TEST(PrefixTrie, StartsEmpty) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_FALSE(trie.lookup(parse_ipv4("1.2.3.4")).has_value());
+}
+
+TEST(PrefixTrie, InsertAndExactLookup) {
+  PrefixTrie<std::string> trie;
+  trie.insert(parse_prefix("10.0.0.0/8"), "ten");
+  EXPECT_EQ(trie.size(), 1u);
+  ASSERT_NE(trie.find_exact(parse_prefix("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find_exact(parse_prefix("10.0.0.0/8")), "ten");
+  EXPECT_EQ(trie.find_exact(parse_prefix("10.0.0.0/16")), nullptr);
+}
+
+TEST(PrefixTrie, LongestPrefixWins) {
+  PrefixTrie<int> trie;
+  trie.insert(parse_prefix("0.0.0.0/0"), 0);
+  trie.insert(parse_prefix("10.0.0.0/8"), 8);
+  trie.insert(parse_prefix("10.1.0.0/16"), 16);
+  trie.insert(parse_prefix("10.1.2.0/24"), 24);
+  EXPECT_EQ(trie.lookup(parse_ipv4("10.1.2.3")), 24);
+  EXPECT_EQ(trie.lookup(parse_ipv4("10.1.9.9")), 16);
+  EXPECT_EQ(trie.lookup(parse_ipv4("10.9.9.9")), 8);
+  EXPECT_EQ(trie.lookup(parse_ipv4("11.0.0.1")), 0);
+}
+
+TEST(PrefixTrie, NoDefaultRouteMeansMisses) {
+  PrefixTrie<int> trie;
+  trie.insert(parse_prefix("192.168.0.0/16"), 1);
+  EXPECT_FALSE(trie.lookup(parse_ipv4("192.169.0.1")).has_value());
+  EXPECT_FALSE(trie.lookup(parse_ipv4("8.8.8.8")).has_value());
+}
+
+TEST(PrefixTrie, HostRouteMatchesOneAddress) {
+  PrefixTrie<int> trie;
+  trie.insert(parse_prefix("1.2.3.4/32"), 7);
+  EXPECT_EQ(trie.lookup(parse_ipv4("1.2.3.4")), 7);
+  EXPECT_FALSE(trie.lookup(parse_ipv4("1.2.3.5")).has_value());
+}
+
+TEST(PrefixTrie, ReplaceKeepsSizeStable) {
+  PrefixTrie<int> trie;
+  trie.insert(parse_prefix("10.0.0.0/8"), 1);
+  trie.insert(parse_prefix("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.lookup(parse_ipv4("10.0.0.1")), 2);
+}
+
+TEST(PrefixTrie, SiblingBranchesAreIndependent) {
+  PrefixTrie<int> trie;
+  trie.insert(parse_prefix("128.0.0.0/1"), 1);  // high half
+  trie.insert(parse_prefix("0.0.0.0/1"), 0);    // low half
+  EXPECT_EQ(trie.lookup(parse_ipv4("200.0.0.1")), 1);
+  EXPECT_EQ(trie.lookup(parse_ipv4("20.0.0.1")), 0);
+}
+
+TEST(PrefixTrie, ValidatesInsert) {
+  PrefixTrie<int> trie;
+  Prefix host_bits;
+  host_bits.address = parse_ipv4("10.0.0.1");
+  host_bits.length = 8;
+  EXPECT_THROW(trie.insert(host_bits, 1), std::invalid_argument);
+  Prefix bad_len;
+  bad_len.length = 33;
+  EXPECT_THROW(trie.insert(bad_len, 1), std::invalid_argument);
+}
+
+TEST(PrefixTrie, LookupPtrAvoidsCopy) {
+  PrefixTrie<std::string> trie;
+  trie.insert(parse_prefix("10.0.0.0/8"), "value");
+  const std::string* p = trie.lookup_ptr(parse_ipv4("10.1.1.1"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, "value");
+  EXPECT_EQ(trie.lookup_ptr(parse_ipv4("11.1.1.1")), nullptr);
+}
+
+// Fuzz the trie against a straightforward linear-scan reference.
+TEST(PrefixTrie, AgreesWithLinearReferenceOnRandomTables) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    PrefixTrie<int> trie;
+    std::vector<std::pair<Prefix, int>> reference;
+    for (int i = 0; i < 60; ++i) {
+      const int length = int(rng.uniform_int(0, 32));
+      const IpV4 mask = length == 0 ? 0 : ~IpV4(0) << (32 - length);
+      Prefix p;
+      p.address = IpV4(rng.uniform_int(0, 0xffffffffLL)) & mask;
+      p.length = length;
+      trie.insert(p, i);
+      bool replaced = false;
+      for (auto& [rp, rv] : reference) {
+        if (rp.address == p.address && rp.length == p.length) {
+          rv = i;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) reference.emplace_back(p, i);
+    }
+    EXPECT_EQ(trie.size(), reference.size());
+    for (int probe = 0; probe < 300; ++probe) {
+      const IpV4 ip = IpV4(rng.uniform_int(0, 0xffffffffLL));
+      const std::pair<Prefix, int>* best = nullptr;
+      for (const auto& entry : reference) {
+        if (entry.first.contains(ip) &&
+            (best == nullptr || entry.first.length > best->first.length)) {
+          best = &entry;
+        }
+      }
+      const auto got = trie.lookup(ip);
+      if (best == nullptr) {
+        EXPECT_FALSE(got.has_value()) << format_ipv4(ip);
+      } else {
+        ASSERT_TRUE(got.has_value()) << format_ipv4(ip);
+        EXPECT_EQ(*got, best->second) << format_ipv4(ip);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manytiers::geo

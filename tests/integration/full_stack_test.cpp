@@ -1,0 +1,139 @@
+// The complete §5 story in one test: calibrate a market, compute tiers,
+// announce them as real BGP UPDATE bytes, build the customer's RIB from
+// the decoded wire messages, account a day of traffic both ways, bill
+// it, and let the customer's egress planner react to the tags.
+#include <gtest/gtest.h>
+
+#include "accounting/bgp_codec.hpp"
+#include "accounting/billing.hpp"
+#include "accounting/flow_acct.hpp"
+#include "accounting/link_acct.hpp"
+#include "accounting/policy.hpp"
+#include "accounting/session.hpp"
+#include "netflow/exporter.hpp"
+#include "pricing/counterfactual.hpp"
+#include "workload/generators.hpp"
+
+namespace manytiers {
+namespace {
+
+TEST(FullStack, PricingToWireToAccountingToBilling) {
+  // 1. Calibrate and pick 3 tiers.
+  const auto flows = workload::generate_eu_isp({.seed = 12, .n_flows = 40});
+  const auto cost_model = cost::make_linear_cost(0.2);
+  const auto market = pricing::Market::calibrate(
+      flows, pricing::DemandSpec{}, *cost_model, 20.0);
+  const auto plan =
+      pricing::run_strategy(market, pricing::Strategy::Optimal, 3);
+  ASSERT_EQ(plan.pricing.bundles.size(), 3u);
+
+  // 2. Render the tier plan as session updates, then as BGP wire bytes.
+  std::vector<geo::Prefix> prefixes;
+  for (std::size_t i = 0; i < market.size(); ++i) {
+    prefixes.push_back(geo::Prefix{market.flows()[i].dst_ip, 32});
+  }
+  const auto updates =
+      accounting::announcements_for_tiers(plan.pricing, prefixes, 65000);
+  accounting::BgpSession session("customer-edge");
+  session.establish();
+  std::size_t wire_bytes = 0;
+  for (const auto& update : updates) {
+    for (const auto& wire : accounting::encode_updates(update, {})) {
+      wire_bytes += wire.size();
+      session.receive(accounting::decode_update(wire));
+    }
+  }
+  EXPECT_GT(wire_bytes, 0u);
+  ASSERT_EQ(session.rib().size(), market.size());
+
+  // 3. Push a day of traffic through both accounting implementations
+  //    against the session-learned RIB.
+  const auto& rib = session.rib();
+  accounting::RatePlan rates;
+  for (std::size_t b = 0; b < plan.pricing.bundles.size(); ++b) {
+    rates.rates.push_back(
+        {std::uint16_t(b), plan.pricing.bundle_prices[b]});
+  }
+  accounting::LinkAccounting link(rib);
+  accounting::FlowAccounting flow(rib, 1);
+  netflow::SampledExporter exporter(
+      {.sampling_rate = 1, .window_seconds = 86400}, util::Rng(3));
+  for (std::size_t i = 0; i < market.size(); ++i) {
+    const auto bytes = std::uint64_t(market.flows()[i].demand_mbps * 1e6 /
+                                     8.0 * 86400.0);
+    link.send(market.flows()[i].dst_ip, bytes);
+    netflow::GroundTruthFlow gt;
+    gt.key.src_ip = market.flows()[i].src_ip;
+    gt.key.dst_ip = market.flows()[i].dst_ip;
+    gt.key.src_port = std::uint16_t(1000 + i);
+    gt.bytes = bytes;
+    gt.packets = std::max<std::uint64_t>(1, bytes / 1400);
+    const std::vector<netflow::RouterId> path{1};
+    flow.ingest(exporter.export_flow(gt, path));
+  }
+  EXPECT_EQ(link.unrouted_bytes(), 0u);
+  EXPECT_EQ(link.session_count(), 3u);
+
+  // 4. Both accounting paths produce the same invoice at sampling rate 1,
+  //    and its revenue matches the pricing engine's model revenue.
+  const auto link_invoice =
+      accounting::tiered_invoice(link.poll(), 86400, rates);
+  const auto flow_invoice =
+      accounting::tiered_invoice(flow.usage(), 86400, rates);
+  EXPECT_NEAR(link_invoice.total, flow_invoice.total,
+              1e-6 * link_invoice.total);
+  double model_revenue = 0.0;
+  for (std::size_t i = 0; i < market.size(); ++i) {
+    model_revenue +=
+        market.flows()[i].demand_mbps * plan.pricing.flow_prices[i];
+  }
+  EXPECT_NEAR(link_invoice.total, model_revenue, 0.01 * model_revenue);
+
+  // 5. The customer's egress planner consumes the same RIB: with only one
+  //    upstream PoP every decision is hot-potato at the tier price.
+  accounting::EgressPlanner planner;
+  planner.add_egress({"local", &rib, &rates, 0.0});
+  const auto decision = planner.plan(market.flows()[0].dst_ip);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_FALSE(decision->cold_potato);
+  const auto tier = rib.tier_of(market.flows()[0].dst_ip);
+  ASSERT_TRUE(tier.has_value());
+  EXPECT_DOUBLE_EQ(decision->transit_price_per_mbps,
+                   plan.pricing.bundle_prices[*tier]);
+}
+
+TEST(FullStack, WithdrawingATierReroutesItsTraffic) {
+  // Announce two tiers from two PoPs; withdrawing the cheap tier at the
+  // local PoP flips the planner to the remote PoP (cold potato).
+  accounting::BgpSession local("pop-local"), remote("pop-remote");
+  local.establish();
+  remote.establish();
+  accounting::UpdateMessage announce;
+  accounting::Route cheap;
+  cheap.prefix = geo::parse_prefix("110.0.0.0/8");
+  cheap.tag = accounting::TierTag{65000, 1};
+  announce.announce.push_back(cheap);
+  for (const auto& wire : accounting::encode_updates(announce, {})) {
+    local.receive(accounting::decode_update(wire));
+    remote.receive(accounting::decode_update(wire));
+  }
+  const accounting::RatePlan rates{{{1, 5.0}}};
+  accounting::EgressPlanner planner;
+  planner.add_egress({"local", &local.rib(), &rates, 0.0});
+  planner.add_egress({"remote", &remote.rib(), &rates, 2.0});
+  EXPECT_FALSE(planner.plan(geo::parse_ipv4("110.1.1.1"))->cold_potato);
+
+  // Withdraw at the local PoP via the wire.
+  accounting::UpdateMessage withdraw;
+  withdraw.withdraw.push_back(geo::parse_prefix("110.0.0.0/8"));
+  for (const auto& wire : accounting::encode_updates(withdraw, {})) {
+    local.receive(accounting::decode_update(wire));
+  }
+  const auto after = planner.plan(geo::parse_ipv4("110.1.1.1"));
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(after->cold_potato);
+  EXPECT_EQ(after->pop_name, "remote");
+}
+
+}  // namespace
+}  // namespace manytiers

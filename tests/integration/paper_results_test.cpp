@@ -1,0 +1,232 @@
+// Shape-level reproduction checks for the paper's evaluation claims.
+// Absolute numbers depend on the synthetic datasets; these tests assert
+// the *qualitative* results the paper reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "demand/ced.hpp"
+#include "pricing/counterfactual.hpp"
+#include "util/stats.hpp"
+#include "workload/generators.hpp"
+
+namespace manytiers {
+namespace {
+
+using pricing::DemandSpec;
+using pricing::Market;
+using pricing::Strategy;
+
+Market make_market(workload::DatasetKind kind, demand::DemandKind demand_kind,
+                   double theta = 0.2, double alpha = 1.1, double p0 = 20.0) {
+  const auto flows = workload::generate_dataset(kind, {.seed = 42, .n_flows = 150});
+  const auto cost = cost::make_linear_cost(theta);
+  DemandSpec spec;
+  spec.kind = demand_kind;
+  spec.alpha = alpha;
+  return Market::calibrate(flows, spec, *cost, p0);
+}
+
+// --- Paper headline (§1, §4.2.2) ---
+
+TEST(PaperResults, ThreeToFourOptimalBundlesCapture90Percent) {
+  for (const auto kind :
+       {workload::DatasetKind::EuIsp, workload::DatasetKind::Cdn,
+        workload::DatasetKind::Internet2}) {
+    for (const auto dk : {demand::DemandKind::ConstantElasticity,
+                          demand::DemandKind::Logit}) {
+      const auto m = make_market(kind, dk);
+      const double c4 = run_strategy(m, Strategy::Optimal, 4).capture;
+      EXPECT_GE(c4, 0.88) << to_string(kind);
+    }
+  }
+}
+
+TEST(PaperResults, ProfitWeightedIsNearOptimal) {
+  // §4.2.2: "the profit-weighted bundling heuristic is almost as good as
+  // the optimal bundling."
+  for (const auto dk : {demand::DemandKind::ConstantElasticity,
+                        demand::DemandKind::Logit}) {
+    const auto m = make_market(workload::DatasetKind::EuIsp, dk);
+    for (std::size_t b = 2; b <= 5; ++b) {
+      const double opt = run_strategy(m, Strategy::Optimal, b).capture;
+      const double pw = run_strategy(m, Strategy::ProfitWeighted, b).capture;
+      EXPECT_GE(pw, opt - 0.25) << b << " bundles";
+    }
+  }
+}
+
+TEST(PaperResults, NaiveDivisionsNeedMoreBundlesThanOptimal) {
+  // §1/§4.2: a naive division (cost or index based) captures less profit
+  // at small bundle counts than optimal bundling.
+  const auto m =
+      make_market(workload::DatasetKind::Cdn, demand::DemandKind::ConstantElasticity);
+  const double opt2 = run_strategy(m, Strategy::Optimal, 2).capture;
+  EXPECT_GT(opt2, run_strategy(m, Strategy::CostDivision, 2).capture - 1e-9);
+  EXPECT_GT(opt2, run_strategy(m, Strategy::IndexDivision, 2).capture - 1e-9);
+}
+
+TEST(PaperResults, LogitSaturatesFasterThanCed) {
+  // §4.2.2: "maximum profit capture occurs more quickly in the logit
+  // model."
+  const auto ced = make_market(workload::DatasetKind::EuIsp,
+                               demand::DemandKind::ConstantElasticity);
+  const auto logit =
+      make_market(workload::DatasetKind::EuIsp, demand::DemandKind::Logit);
+  const double ced2 = run_strategy(ced, Strategy::Optimal, 2).capture;
+  const double logit2 = run_strategy(logit, Strategy::Optimal, 2).capture;
+  EXPECT_GE(logit2, ced2 - 0.05);
+}
+
+// --- Cost-model sensitivity (§4.3.1) ---
+
+TEST(PaperResults, HigherBaseCostLowersAttainableProfitHeadroom) {
+  // Fig. 10: raising theta (base cost) shrinks the CV of cost and with it
+  // the profit headroom of tiered pricing. We compare max/blended profit
+  // ratios across theta.
+  double prev_ratio = 1e300;
+  for (const double theta : {0.1, 0.2, 0.3}) {
+    const auto m = make_market(workload::DatasetKind::EuIsp,
+                               demand::DemandKind::ConstantElasticity, theta);
+    const double ratio = pricing::max_profit(m) / pricing::blended_profit(m);
+    EXPECT_LT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+}
+
+TEST(PaperResults, HeadroomTracksCvOfCost) {
+  // The mechanism behind Figs. 10-11: whichever cost model produces the
+  // higher coefficient of variation of cost offers the larger headroom
+  // for tiered pricing (the paper attributes the concave model's faster
+  // profit decline to its lower CV of cost).
+  const auto flows = workload::generate_eu_isp({.seed = 42, .n_flows = 150});
+  for (const bool concave : {false, true}) {
+    std::vector<std::pair<double, double>> cv_vs_headroom;  // (cv, ratio)
+    for (const double theta : {0.05, 0.2, 0.5}) {
+      const auto cost = concave ? cost::make_concave_cost(theta)
+                                : cost::make_linear_cost(theta);
+      const auto m = Market::calibrate(flows, DemandSpec{}, *cost, 20.0);
+      const double cv = util::coefficient_of_variation(m.costs());
+      const double ratio =
+          pricing::max_profit(m) / pricing::blended_profit(m);
+      cv_vs_headroom.emplace_back(cv, ratio);
+    }
+    // Raising theta must lower the CV of cost, and headroom must follow.
+    std::sort(cv_vs_headroom.begin(), cv_vs_headroom.end());
+    for (std::size_t i = 1; i < cv_vs_headroom.size(); ++i) {
+      EXPECT_GE(cv_vs_headroom[i].second, cv_vs_headroom[i - 1].second - 1e-9)
+          << (concave ? "concave" : "linear") << " cv "
+          << cv_vs_headroom[i].first;
+    }
+  }
+}
+
+TEST(PaperResults, RegionalThetaRaisesHeadroom) {
+  // Fig. 12: higher theta -> higher CV of cost -> more profit headroom.
+  const auto flows = workload::generate_eu_isp({.seed = 42, .n_flows = 150});
+  double prev = -1e300;
+  for (const double theta : {1.0, 1.1, 1.2}) {
+    const auto cost = cost::make_regional_cost(theta);
+    const auto m = Market::calibrate(flows, DemandSpec{}, *cost, 20.0);
+    const double ratio = pricing::max_profit(m) / pricing::blended_profit(m);
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+}
+
+TEST(PaperResults, TwoBundlesSufficeForTwoCostClasses) {
+  // Fig. 13: with on-net/off-net (two classes), two class-aware bundles
+  // capture most of the profit.
+  const auto flows = workload::generate_eu_isp({.seed = 42, .n_flows = 150});
+  const auto cost = cost::make_dest_type_cost(0.1);
+  const auto m = Market::calibrate(flows, DemandSpec{}, *cost, 20.0);
+  const double c2 =
+      run_strategy(m, Strategy::ClassAwareProfitWeighted, 2).capture;
+  EXPECT_GE(c2, 0.5);
+  const double c4 =
+      run_strategy(m, Strategy::ClassAwareProfitWeighted, 4).capture;
+  EXPECT_GE(c4, c2 - 1e-9);
+}
+
+// --- Parameter robustness (§4.3.2, Figs. 14-16) ---
+
+TEST(PaperResults, OptimalCaptureRobustToAlpha) {
+  // Fig. 14: min capture at 4 bundles stays high across alpha in [1, 10].
+  double min_capture = 1.0;
+  for (const double alpha : {1.05, 1.5, 2.0, 4.0, 10.0}) {
+    const auto m = make_market(workload::DatasetKind::EuIsp,
+                               demand::DemandKind::ConstantElasticity, 0.2,
+                               alpha);
+    min_capture =
+        std::min(min_capture, run_strategy(m, Strategy::Optimal, 4).capture);
+  }
+  EXPECT_GE(min_capture, 0.7);
+}
+
+TEST(PaperResults, OptimalCaptureRobustToBlendedRate) {
+  // Fig. 15: capture is insensitive to the starting blended price P0.
+  double min_capture = 1.0;
+  for (const double p0 : {5.0, 10.0, 20.0, 30.0}) {
+    const auto m = make_market(workload::DatasetKind::EuIsp,
+                               demand::DemandKind::ConstantElasticity, 0.2,
+                               1.1, p0);
+    min_capture =
+        std::min(min_capture, run_strategy(m, Strategy::Optimal, 4).capture);
+  }
+  EXPECT_GE(min_capture, 0.7);
+}
+
+TEST(PaperResults, CedCaptureIsExactlyP0Independent) {
+  // Stronger than the paper: under CED, valuations scale with P0 and
+  // costs rescale through gamma, so capture curves are *identical*
+  // across P0.
+  const auto a = make_market(workload::DatasetKind::EuIsp,
+                             demand::DemandKind::ConstantElasticity, 0.2, 1.1,
+                             10.0);
+  const auto b = make_market(workload::DatasetKind::EuIsp,
+                             demand::DemandKind::ConstantElasticity, 0.2, 1.1,
+                             30.0);
+  for (std::size_t n = 2; n <= 5; ++n) {
+    EXPECT_NEAR(run_strategy(a, Strategy::Optimal, n).capture,
+                run_strategy(b, Strategy::Optimal, n).capture, 1e-6);
+  }
+}
+
+TEST(PaperResults, LogitCaptureRobustToS0) {
+  // Fig. 16: capture at 4 bundles across s0 in (0, 0.9).
+  double min_capture = 1.0;
+  for (const double s0 : {0.05, 0.2, 0.5, 0.9}) {
+    const auto flows = workload::generate_eu_isp({.seed = 42, .n_flows = 150});
+    const auto cost = cost::make_linear_cost(0.2);
+    DemandSpec spec;
+    spec.kind = demand::DemandKind::Logit;
+    spec.alpha = 1.1;
+    spec.no_purchase_share = s0;
+    const auto m = Market::calibrate(flows, spec, *cost, 20.0);
+    min_capture =
+        std::min(min_capture, run_strategy(m, Strategy::Optimal, 4).capture);
+  }
+  EXPECT_GE(min_capture, 0.7);
+}
+
+// --- Market efficiency example (Fig. 1) ---
+
+TEST(PaperResults, Figure1TieredPricingBeatsBlended) {
+  // Two flows with costs 1 and 0.5 and CED demand: tiered prices beat the
+  // blended optimum for the ISP, as in Fig. 1 (profit 2.08 -> 2.25).
+  const demand::CedModel model(2.0);
+  const std::vector<double> v{2.0, 2.0};  // symmetric demands
+  const std::vector<double> c{1.0, 0.5};
+  const double blended = model.bundle_price(v, c);
+  const double profit_blended =
+      model.total_profit(v, c, std::vector<double>{blended, blended});
+  const double profit_tiered =
+      model.total_profit(v, c,
+                         std::vector<double>{model.optimal_price(1.0),
+                                             model.optimal_price(0.5)});
+  EXPECT_GT(profit_tiered, profit_blended);
+}
+
+}  // namespace
+}  // namespace manytiers

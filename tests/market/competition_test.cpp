@@ -1,0 +1,154 @@
+#include "market/competition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace manytiers::market {
+namespace {
+
+Duopoly small_market(double alpha = 1.2) {
+  CompetitionConfig config;
+  config.alpha = alpha;
+  config.market_size = 1000.0;
+  return Duopoly({3.0, 2.0, 4.0}, config);
+}
+
+Transiter transiter(const char* name, std::vector<double> costs) {
+  Transiter t;
+  t.name = name;
+  t.prices = costs;  // start at cost
+  t.costs = std::move(costs);
+  return t;
+}
+
+TEST(Duopoly, ValidatesConstruction) {
+  EXPECT_THROW(Duopoly({}, {}), std::invalid_argument);
+  CompetitionConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(Duopoly({1.0}, bad), std::invalid_argument);
+  CompetitionConfig bad2;
+  bad2.max_rounds = 0;
+  EXPECT_THROW(Duopoly({1.0}, bad2), std::invalid_argument);
+}
+
+TEST(Duopoly, ValidatesTransiters) {
+  const auto market = small_market();
+  auto a = transiter("A", {1.0, 1.0, 1.0});
+  auto short_b = transiter("B", {1.0, 1.0});
+  EXPECT_THROW(market.profit(a, short_b), std::invalid_argument);
+  auto free_lunch = transiter("B", {1.0, 1.0, 1.0});
+  free_lunch.prices[0] = 0.0;  // non-positive price
+  EXPECT_THROW(market.best_response(a, free_lunch), std::invalid_argument);
+  // Pricing *below cost* is legal: blended rates subsidize costly flows.
+  auto loss_leader = transiter("B", {1.0, 1.0, 1.0});
+  loss_leader.prices[0] = 0.5;
+  EXPECT_NO_THROW(market.best_response(a, loss_leader));
+}
+
+TEST(Duopoly, BestResponseChargesCommonMarkup) {
+  const auto market = small_market();
+  const auto a = transiter("A", {0.5, 1.0, 1.5});
+  const auto b = transiter("B", {1.0, 1.0, 1.0});
+  const auto prices = market.best_response(a, b);
+  ASSERT_EQ(prices.size(), 3u);
+  const double m0 = prices[0] - 0.5;
+  EXPECT_NEAR(prices[1] - 1.0, m0, 1e-9);
+  EXPECT_NEAR(prices[2] - 1.5, m0, 1e-9);
+  EXPECT_GT(m0, 0.0);
+}
+
+TEST(Duopoly, BestResponseIsActuallyBest) {
+  // No nearby uniform or single-price deviation improves on the best
+  // response.
+  const auto market = small_market();
+  auto a = transiter("A", {0.8, 1.2, 1.0});
+  const auto b = transiter("B", {1.0, 1.0, 1.0});
+  a.prices = market.best_response(a, b);
+  const double best = market.profit(a, b);
+  for (const double delta : {-0.1, -0.01, 0.01, 0.1}) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      auto deviant = a;
+      deviant.prices[i] = std::max(deviant.costs[i], a.prices[i] + delta);
+      EXPECT_LE(market.profit(deviant, b), best + 1e-9);
+    }
+    auto uniform = a;
+    for (std::size_t i = 0; i < 3; ++i) {
+      uniform.prices[i] = std::max(uniform.costs[i], a.prices[i] + delta);
+    }
+    EXPECT_LE(market.profit(uniform, b), best + 1e-9);
+  }
+}
+
+TEST(Duopoly, SymmetricFirmsConvergeToSymmetricEquilibrium) {
+  const auto market = small_market();
+  const auto result = market.run(transiter("A", {1.0, 1.0, 1.0}),
+                                 transiter("B", {1.0, 1.0, 1.0}));
+  EXPECT_TRUE(result.converged);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(result.a.prices[i], result.b.prices[i], 1e-7);
+  }
+  EXPECT_NEAR(result.profit_a, result.profit_b, 1e-5 * result.profit_a);
+  EXPECT_NEAR(result.share_a, result.share_b, 1e-7);
+}
+
+TEST(Duopoly, EquilibriumIsMutualBestResponse) {
+  const auto market = small_market();
+  const auto result = market.run(transiter("A", {0.7, 1.1, 0.9}),
+                                 transiter("B", {1.2, 0.8, 1.0}));
+  ASSERT_TRUE(result.converged);
+  const auto br_a = market.best_response(result.a, result.b);
+  const auto br_b = market.best_response(result.b, result.a);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(br_a[i], result.a.prices[i], 1e-6);
+    EXPECT_NEAR(br_b[i], result.b.prices[i], 1e-6);
+  }
+}
+
+TEST(Duopoly, CompetitionErodesMonopolyProfit) {
+  // The price-war effect the paper leaves to future work: an identical
+  // rival cuts profit well below monopoly, and equilibrium markups fall.
+  const auto market = small_market();
+  auto a = transiter("A", {1.0, 1.0, 1.0});
+  const double monopoly = market.monopoly_profit(a);
+  const auto result = market.run(a, transiter("B", {1.0, 1.0, 1.0}));
+  EXPECT_LT(result.profit_a, monopoly);
+  // Markups: monopoly vs duopoly.
+  Transiter ghost = transiter("ghost", {1.0, 1.0, 1.0});
+  for (auto& p : ghost.prices) p += 1e6;
+  const auto mono_prices = market.best_response(a, ghost);
+  EXPECT_LT(result.a.prices[0], mono_prices[0]);
+}
+
+TEST(Duopoly, CostAdvantageWinsShareAndProfit) {
+  const auto market = small_market();
+  const auto result = market.run(transiter("cheap", {0.5, 0.5, 0.5}),
+                                 transiter("dear", {1.5, 1.5, 1.5}));
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.share_a, result.share_b);
+  EXPECT_GT(result.profit_a, result.profit_b);
+}
+
+TEST(Duopoly, SharesPlusOutsideSumToOne) {
+  const auto market = small_market();
+  const auto result = market.run(transiter("A", {0.9, 1.0, 1.1}),
+                                 transiter("B", {1.1, 1.0, 0.9}));
+  EXPECT_NEAR(result.share_a + result.share_b + result.no_purchase_share, 1.0,
+              1e-9);
+  EXPECT_GT(result.no_purchase_share, 0.0);
+}
+
+TEST(Duopoly, MoreElasticMarketsHaveThinnerMarkups) {
+  double prev_markup = 1e300;
+  for (const double alpha : {0.8, 1.5, 3.0}) {
+    const auto market = small_market(alpha);
+    const auto result = market.run(transiter("A", {1.0, 1.0, 1.0}),
+                                   transiter("B", {1.0, 1.0, 1.0}));
+    const double markup = result.a.prices[0] - 1.0;
+    EXPECT_LT(markup, prev_markup);
+    prev_markup = markup;
+  }
+}
+
+}  // namespace
+}  // namespace manytiers::market

@@ -1,0 +1,206 @@
+#include "netflow/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netflow/collector.hpp"
+#include "netflow/exporter.hpp"
+
+namespace manytiers::netflow {
+namespace {
+
+FlowRecord sample_record(std::uint32_t dst = 0x64010203) {
+  FlowRecord r;
+  r.key = FlowKey{0x0a000001, dst, 40001, 443, 6};
+  r.router = 3;
+  r.sampled_bytes = 123456;
+  r.sampled_packets = 789;
+  r.first_seen_s = 10;
+  r.last_seen_s = 86400;
+  return r;
+}
+
+TEST(V5Codec, PacketSizeMatchesSpec) {
+  const std::vector<FlowRecord> records{sample_record(), sample_record(2)};
+  const auto bytes = encode_v5_packet(records, {});
+  EXPECT_EQ(bytes.size(), kV5HeaderBytes + 2 * kV5RecordBytes);
+}
+
+TEST(V5Codec, HeaderGoldenBytes) {
+  const std::vector<FlowRecord> records{sample_record()};
+  V5PacketOptions opts;
+  opts.unix_secs = 0x5f000001;
+  opts.flow_sequence = 0x00000102;
+  opts.engine_id = 9;
+  opts.sampling_rate = 100;
+  const auto bytes = encode_v5_packet(records, opts);
+  EXPECT_EQ(bytes[0], 0x00);  // version hi
+  EXPECT_EQ(bytes[1], 0x05);  // version lo
+  EXPECT_EQ(bytes[2], 0x00);  // count hi
+  EXPECT_EQ(bytes[3], 0x01);  // count lo
+  EXPECT_EQ(bytes[8], 0x5f);  // unix_secs big-endian
+  EXPECT_EQ(bytes[11], 0x01);
+  EXPECT_EQ(bytes[19], 0x02);  // flow_sequence low byte
+  EXPECT_EQ(bytes[21], 9);     // engine_id
+  // sampling: mode 01 in the top 2 bits, interval 100 in the low 14.
+  EXPECT_EQ(bytes[22], 0x40);
+  EXPECT_EQ(bytes[23], 100);
+}
+
+TEST(V5Codec, RecordFieldsAreBigEndian) {
+  const std::vector<FlowRecord> records{sample_record()};
+  const auto bytes = encode_v5_packet(records, {});
+  const std::size_t at = kV5HeaderBytes;
+  // srcaddr 10.0.0.1.
+  EXPECT_EQ(bytes[at + 0], 10);
+  EXPECT_EQ(bytes[at + 3], 1);
+  // dstaddr 100.1.2.3.
+  EXPECT_EQ(bytes[at + 4], 100);
+  EXPECT_EQ(bytes[at + 7], 3);
+  // protocol at offset 38.
+  EXPECT_EQ(bytes[at + 38], 6);
+}
+
+TEST(V5Codec, RoundTripsEveryField) {
+  const std::vector<FlowRecord> records{sample_record(), sample_record(7)};
+  V5PacketOptions opts;
+  opts.unix_secs = 1234567;
+  opts.flow_sequence = 42;
+  opts.engine_id = 5;
+  opts.sampling_rate = 512;
+  const auto bytes = encode_v5_packet(records, opts);
+  const auto decoded = decode_v5_packet(bytes);
+  EXPECT_EQ(decoded.header.unix_secs, 1234567u);
+  EXPECT_EQ(decoded.header.flow_sequence, 42u);
+  EXPECT_EQ(decoded.header.engine_id, 5);
+  EXPECT_EQ(decoded.header.sampling_rate, 512);
+  ASSERT_EQ(decoded.records.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(decoded.records[i].key, records[i].key);
+    EXPECT_EQ(decoded.records[i].router, records[i].router);
+    EXPECT_EQ(decoded.records[i].sampled_bytes, records[i].sampled_bytes);
+    EXPECT_EQ(decoded.records[i].sampled_packets, records[i].sampled_packets);
+    EXPECT_EQ(decoded.records[i].first_seen_s, records[i].first_seen_s);
+    EXPECT_EQ(decoded.records[i].last_seen_s, records[i].last_seen_s);
+  }
+}
+
+TEST(V5Codec, EncodeValidates) {
+  EXPECT_THROW(encode_v5_packet({}, {}), std::invalid_argument);
+  const std::vector<FlowRecord> too_many(31, sample_record());
+  EXPECT_THROW(encode_v5_packet(too_many, {}), std::invalid_argument);
+  auto big_router = sample_record();
+  big_router.router = 0x10000;
+  EXPECT_THROW(encode_v5_packet(std::vector<FlowRecord>{big_router}, {}),
+               std::invalid_argument);
+  V5PacketOptions bad_rate;
+  bad_rate.sampling_rate = 1u << 14;
+  EXPECT_THROW(
+      encode_v5_packet(std::vector<FlowRecord>{sample_record()}, bad_rate),
+      std::invalid_argument);
+}
+
+TEST(V5Codec, DecodeRejectsMalformedPackets) {
+  const std::vector<FlowRecord> records{sample_record()};
+  auto bytes = encode_v5_packet(records, {});
+  // Truncated header.
+  EXPECT_THROW(decode_v5_packet(std::span(bytes).first(10)),
+               std::invalid_argument);
+  // Truncated body.
+  EXPECT_THROW(decode_v5_packet(std::span(bytes).first(bytes.size() - 1)),
+               std::invalid_argument);
+  // Wrong version.
+  auto v9 = bytes;
+  v9[1] = 9;
+  EXPECT_THROW(decode_v5_packet(v9), std::invalid_argument);
+  // Count lies about the body length.
+  auto wrong_count = bytes;
+  wrong_count[3] = 2;
+  EXPECT_THROW(decode_v5_packet(wrong_count), std::invalid_argument);
+  // Zero-record packet.
+  auto zero = bytes;
+  zero[3] = 0;
+  EXPECT_THROW(decode_v5_packet(zero), std::invalid_argument);
+}
+
+TEST(V5Codec, TraceChunksAtThirtyRecords) {
+  std::vector<FlowRecord> records;
+  for (int i = 0; i < 65; ++i) {
+    records.push_back(sample_record(std::uint32_t(0x64010000 + i)));
+  }
+  V5PacketOptions opts;
+  opts.flow_sequence = 100;
+  const auto packets = encode_v5_trace(records, opts);
+  ASSERT_EQ(packets.size(), 3u);
+  const auto p0 = decode_v5_packet(packets[0]);
+  const auto p1 = decode_v5_packet(packets[1]);
+  const auto p2 = decode_v5_packet(packets[2]);
+  EXPECT_EQ(p0.records.size(), 30u);
+  EXPECT_EQ(p1.records.size(), 30u);
+  EXPECT_EQ(p2.records.size(), 5u);
+  // Flow sequence advances by the record count of each packet.
+  EXPECT_EQ(p0.header.flow_sequence, 100u);
+  EXPECT_EQ(p1.header.flow_sequence, 130u);
+  EXPECT_EQ(p2.header.flow_sequence, 160u);
+}
+
+TEST(V5Codec, WirePacketsFeedTheCollector) {
+  // Exporter -> v5 wire encoding -> decode -> collector: the full
+  // ingestion path a real deployment would run.
+  SampledExporter exporter({.sampling_rate = 1, .window_seconds = 60},
+                           util::Rng(3));
+  GroundTruthFlow gt;
+  gt.key = FlowKey{0x0a000001, 0x64010203, 40001, 443, 6};
+  gt.bytes = 1500000;
+  gt.packets = 1000;
+  const std::vector<RouterId> path{1, 2};
+  const auto exported = exporter.export_flow(gt, path);
+  const auto packets = encode_v5_trace(exported, {});
+  Collector collector(1);
+  for (const auto& packet : packets) {
+    const auto decoded = decode_v5_packet(packet);
+    collector.ingest(decoded.records);
+  }
+  EXPECT_EQ(collector.flow_count(), 1u);
+  EXPECT_EQ(collector.total_estimated_bytes(), gt.bytes);
+}
+
+TEST(V5Codec, FuzzRoundTripRandomRecords) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<FlowRecord> records;
+    const auto n = std::size_t(rng.uniform_int(1, 30));
+    for (std::size_t i = 0; i < n; ++i) {
+      FlowRecord r;
+      r.key.src_ip = std::uint32_t(rng.uniform_int(0, 0xffffffffLL));
+      r.key.dst_ip = std::uint32_t(rng.uniform_int(0, 0xffffffffLL));
+      r.key.src_port = std::uint16_t(rng.uniform_int(0, 0xffff));
+      r.key.dst_port = std::uint16_t(rng.uniform_int(0, 0xffff));
+      r.key.protocol = std::uint8_t(rng.uniform_int(0, 255));
+      r.router = std::uint32_t(rng.uniform_int(0, 0xffff));
+      r.sampled_packets = std::uint64_t(rng.uniform_int(1, 1 << 30));
+      r.sampled_bytes = std::uint64_t(rng.uniform_int(1, 1 << 30));
+      r.first_seen_s = std::uint32_t(rng.uniform_int(0, 86400));
+      r.last_seen_s = std::uint32_t(rng.uniform_int(0, 86400));
+      records.push_back(r);
+    }
+    V5PacketOptions opts;
+    opts.unix_secs = std::uint32_t(rng.uniform_int(0, 0xffffffffLL));
+    opts.flow_sequence = std::uint32_t(rng.uniform_int(0, 0xffffffffLL));
+    opts.engine_id = std::uint8_t(rng.uniform_int(0, 255));
+    opts.sampling_rate = std::uint16_t(rng.uniform_int(1, (1 << 14) - 1));
+    const auto decoded = decode_v5_packet(encode_v5_packet(records, opts));
+    ASSERT_EQ(decoded.records.size(), records.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(decoded.records[i].key, records[i].key);
+      EXPECT_EQ(decoded.records[i].router, records[i].router);
+      EXPECT_EQ(decoded.records[i].sampled_bytes, records[i].sampled_bytes);
+      EXPECT_EQ(decoded.records[i].sampled_packets,
+                records[i].sampled_packets);
+    }
+    EXPECT_EQ(decoded.header.sampling_rate, opts.sampling_rate);
+    EXPECT_EQ(decoded.header.flow_sequence, opts.flow_sequence);
+  }
+}
+
+}  // namespace
+}  // namespace manytiers::netflow

@@ -1,0 +1,114 @@
+#include "netflow/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netflow/exporter.hpp"
+
+namespace manytiers::netflow {
+namespace {
+
+FlowRecord make_record(std::uint32_t dst, RouterId router,
+                       std::uint64_t sampled_bytes,
+                       std::uint64_t sampled_packets) {
+  FlowRecord r;
+  r.key = FlowKey{0x0a000001, dst, 1234, 80, 6};
+  r.router = router;
+  r.sampled_bytes = sampled_bytes;
+  r.sampled_packets = sampled_packets;
+  return r;
+}
+
+TEST(Collector, DeduplicatesAcrossRouters) {
+  Collector c(10);
+  // The same flow seen at three routers with slightly different samples.
+  c.ingest(make_record(1, 100, 900, 9));
+  c.ingest(make_record(1, 101, 1100, 11));
+  c.ingest(make_record(1, 102, 1000, 10));
+  EXPECT_EQ(c.flow_count(), 1u);
+  EXPECT_EQ(c.record_count(), 3u);
+  const auto flows = c.aggregate();
+  ASSERT_EQ(flows.size(), 1u);
+  // Keeps the best (most-sampled) observation, scaled up — NOT the sum.
+  EXPECT_EQ(flows[0].estimated_bytes, 11000u);
+  EXPECT_EQ(flows[0].estimated_packets, 110u);
+  EXPECT_EQ(flows[0].routers_seen, 3u);
+}
+
+TEST(Collector, DistinctFlowsStaySeparate) {
+  Collector c(1);
+  c.ingest(make_record(1, 100, 500, 5));
+  c.ingest(make_record(2, 100, 700, 7));
+  EXPECT_EQ(c.flow_count(), 2u);
+  EXPECT_EQ(c.total_estimated_bytes(), 1200u);
+}
+
+TEST(Collector, ScalesBySamplingRate) {
+  Collector c(100);
+  c.ingest(make_record(1, 100, 15, 1));
+  const auto flows = c.aggregate();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].estimated_bytes, 1500u);
+  EXPECT_EQ(flows[0].estimated_packets, 100u);
+}
+
+TEST(Collector, AggregateIsSortedByKey) {
+  Collector c(1);
+  c.ingest(make_record(9, 1, 100, 1));
+  c.ingest(make_record(2, 1, 100, 1));
+  c.ingest(make_record(5, 1, 100, 1));
+  const auto flows = c.aggregate();
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_LT(flows[0].key.dst_ip, flows[1].key.dst_ip);
+  EXPECT_LT(flows[1].key.dst_ip, flows[2].key.dst_ip);
+}
+
+TEST(Collector, RejectsEmptyRecordsAndZeroRate) {
+  EXPECT_THROW(Collector(0), std::invalid_argument);
+  Collector c(1);
+  EXPECT_THROW(c.ingest(make_record(1, 1, 100, 0)), std::invalid_argument);
+}
+
+TEST(Collector, EndToEndWithExporterRecoversDemand) {
+  // Full pipeline: ground truth -> sampled multi-router export ->
+  // collect -> aggregate. With rate 1 the estimate is exact despite the
+  // duplicate records.
+  SampledExporter exporter({.sampling_rate = 1, .window_seconds = 60},
+                           util::Rng(7));
+  GroundTruthFlow flow;
+  flow.key = FlowKey{0x0a000001, 0x0a000002, 40000, 443, 6};
+  flow.bytes = 6000000;
+  flow.packets = 4000;
+  const std::vector<RouterId> path{1, 2, 3, 4};
+  Collector c(1);
+  c.ingest(exporter.export_flow(flow, path));
+  EXPECT_EQ(c.record_count(), 4u);
+  EXPECT_EQ(c.flow_count(), 1u);
+  EXPECT_EQ(c.total_estimated_bytes(), flow.bytes);
+}
+
+TEST(Collector, SampledPipelineApproximatesDemand) {
+  SampledExporter exporter({.sampling_rate = 50, .window_seconds = 60},
+                           util::Rng(8));
+  GroundTruthFlow flow;
+  flow.key = FlowKey{0x0a000001, 0x0a000003, 40000, 443, 6};
+  flow.bytes = 75000000;
+  flow.packets = 50000;
+  const std::vector<RouterId> path{1, 2};
+  Collector c(50);
+  c.ingest(exporter.export_flow(flow, path));
+  const double est = double(c.total_estimated_bytes());
+  EXPECT_NEAR(est, double(flow.bytes), 0.15 * double(flow.bytes));
+}
+
+TEST(BytesToMbps, ConvertsCorrectly) {
+  // 1e6 bytes over 8 seconds = 1 Mbps.
+  EXPECT_DOUBLE_EQ(bytes_to_mbps(1000000, 8), 1.0);
+  EXPECT_DOUBLE_EQ(bytes_to_mbps(0, 60), 0.0);
+}
+
+TEST(BytesToMbps, RejectsZeroWindow) {
+  EXPECT_THROW(bytes_to_mbps(100, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::netflow

@@ -1,0 +1,110 @@
+#include "netflow/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace manytiers::netflow {
+namespace {
+
+GroundTruthFlow make_flow(std::uint64_t bytes, std::uint64_t packets) {
+  GroundTruthFlow f;
+  f.key = FlowKey{0x0a000001, 0x0a000002, 1234, 80, 6};
+  f.bytes = bytes;
+  f.packets = packets;
+  return f;
+}
+
+TEST(SampledExporter, Rate1ExportsExactCounts) {
+  SampledExporter exporter({.sampling_rate = 1, .window_seconds = 60},
+                           util::Rng(1));
+  const auto flow = make_flow(150000, 100);
+  const std::vector<RouterId> path{1, 2, 3};
+  const auto records = exporter.export_flow(flow, path);
+  ASSERT_EQ(records.size(), 3u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.sampled_packets, 100u);
+    EXPECT_EQ(r.sampled_bytes, 150000u);
+    EXPECT_EQ(r.key, flow.key);
+  }
+}
+
+TEST(SampledExporter, RecordsCarryRouterIds) {
+  SampledExporter exporter({.sampling_rate = 1, .window_seconds = 60},
+                           util::Rng(1));
+  const std::vector<RouterId> path{7, 9};
+  const auto records = exporter.export_flow(make_flow(1000, 10), path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].router, 7u);
+  EXPECT_EQ(records[1].router, 9u);
+}
+
+TEST(SampledExporter, SamplingThinsPacketCounts) {
+  SampledExporter exporter({.sampling_rate = 100, .window_seconds = 60},
+                           util::Rng(2));
+  const auto flow = make_flow(15000000, 10000);
+  const std::vector<RouterId> path{1};
+  const auto records = exporter.export_flow(flow, path);
+  ASSERT_EQ(records.size(), 1u);
+  // E[sampled] = 100; binomial sd = sqrt(10000 * .01 * .99) ~ 10.
+  EXPECT_NEAR(double(records[0].sampled_packets), 100.0, 60.0);
+  EXPECT_LT(records[0].sampled_bytes, flow.bytes);
+}
+
+TEST(SampledExporter, ScaledEstimateIsUnbiased) {
+  SampledExporter exporter({.sampling_rate = 10, .window_seconds = 60},
+                           util::Rng(3));
+  const auto flow = make_flow(1500000, 1000);
+  const std::vector<RouterId> path{1};
+  double total = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto records = exporter.export_flow(flow, path);
+    if (!records.empty()) total += double(records[0].sampled_bytes) * 10.0;
+  }
+  EXPECT_NEAR(total / trials, double(flow.bytes), 0.05 * double(flow.bytes));
+}
+
+TEST(SampledExporter, TinyFlowsCanVanish) {
+  SampledExporter exporter({.sampling_rate = 1000, .window_seconds = 60},
+                           util::Rng(4));
+  const auto flow = make_flow(40, 1);  // one packet, 1-in-1000 sampling
+  const std::vector<RouterId> path{1};
+  int exported = 0;
+  for (int t = 0; t < 200; ++t) {
+    exported += int(exporter.export_flow(flow, path).size());
+  }
+  EXPECT_LT(exported, 10);  // nearly always unsampled
+}
+
+TEST(SampledExporter, ExportTraceConcatenates) {
+  SampledExporter exporter({.sampling_rate = 1, .window_seconds = 60},
+                           util::Rng(5));
+  std::vector<GroundTruthFlow> flows{make_flow(1000, 10), make_flow(2000, 20)};
+  flows[1].key.dst_port = 443;
+  const std::vector<std::vector<RouterId>> paths{{1}, {1, 2}};
+  const auto records = exporter.export_trace(flows, paths);
+  EXPECT_EQ(records.size(), 3u);
+}
+
+TEST(SampledExporter, ValidatesConfigAndInput) {
+  EXPECT_THROW(
+      SampledExporter({.sampling_rate = 0, .window_seconds = 60}, util::Rng(1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      SampledExporter({.sampling_rate = 1, .window_seconds = 0}, util::Rng(1)),
+      std::invalid_argument);
+  SampledExporter exporter({.sampling_rate = 1, .window_seconds = 60},
+                           util::Rng(1));
+  const std::vector<RouterId> path{1};
+  EXPECT_THROW(exporter.export_flow(make_flow(100, 0), path),
+               std::invalid_argument);
+  EXPECT_THROW(exporter.export_flow(make_flow(1, 10), path),
+               std::invalid_argument);
+  const std::vector<GroundTruthFlow> flows{make_flow(1000, 10)};
+  const std::vector<std::vector<RouterId>> paths;
+  EXPECT_THROW(exporter.export_trace(flows, paths), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::netflow

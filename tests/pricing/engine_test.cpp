@@ -1,0 +1,141 @@
+#include "pricing/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/generators.hpp"
+
+namespace manytiers::pricing {
+namespace {
+
+Market make_market(demand::DemandKind kind, double alpha = 1.1,
+                   double p0 = 20.0) {
+  const auto flows = workload::generate_eu_isp({.seed = 11, .n_flows = 60});
+  const auto cost = cost::make_linear_cost(0.2);
+  DemandSpec spec;
+  spec.kind = kind;
+  spec.alpha = alpha;
+  return Market::calibrate(flows, spec, *cost, p0);
+}
+
+class EngineBothModels : public ::testing::TestWithParam<demand::DemandKind> {
+};
+
+TEST_P(EngineBothModels, CalibrationInvariant_SingleBundleRepricesToP0) {
+  // The whole calibration hinges on this: the profit-maximizing price of
+  // a single blended bundle must be exactly the observed blended rate.
+  const auto m = make_market(GetParam());
+  const auto priced = price_bundles(m, bundling::single_bundle(m.size()));
+  ASSERT_EQ(priced.bundle_prices.size(), 1u);
+  EXPECT_NEAR(priced.bundle_prices[0], 20.0, 1e-6 * 20.0);
+  EXPECT_NEAR(priced.profit, blended_profit(m), 1e-6 * priced.profit);
+}
+
+TEST_P(EngineBothModels, PerFlowPricingAttainsMaxProfit) {
+  const auto m = make_market(GetParam());
+  const auto priced = price_bundles(m, bundling::per_flow_bundles(m.size()));
+  EXPECT_NEAR(priced.profit, max_profit(m), 1e-6 * priced.profit);
+}
+
+TEST_P(EngineBothModels, MaxProfitExceedsBlendedProfit) {
+  const auto m = make_market(GetParam());
+  EXPECT_GT(max_profit(m), blended_profit(m));
+}
+
+TEST_P(EngineBothModels, CaptureEndpoints) {
+  const auto m = make_market(GetParam());
+  EXPECT_NEAR(capture_of(m, bundling::single_bundle(m.size())), 0.0, 1e-6);
+  EXPECT_NEAR(capture_of(m, bundling::per_flow_bundles(m.size())), 1.0, 1e-6);
+}
+
+TEST_P(EngineBothModels, FlowPricesMirrorBundlePrices) {
+  const auto m = make_market(GetParam());
+  bundling::Bundling two;
+  bundling::Bundle a, b;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    (i % 2 == 0 ? a : b).push_back(i);
+  }
+  two.push_back(a);
+  two.push_back(b);
+  const auto priced = price_bundles(m, two);
+  ASSERT_EQ(priced.bundle_prices.size(), 2u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(priced.flow_prices[i],
+                     priced.bundle_prices[i % 2 == 0 ? 0 : 1]);
+  }
+}
+
+TEST_P(EngineBothModels, PotentialProfitsArePositive) {
+  const auto m = make_market(GetParam());
+  const auto pi = potential_profits(m);
+  ASSERT_EQ(pi.size(), m.size());
+  for (const double p : pi) EXPECT_GT(p, 0.0);
+}
+
+TEST_P(EngineBothModels, PriceBundlesValidatesPartition) {
+  const auto m = make_market(GetParam());
+  bundling::Bundling bad{{0, 1}};  // misses most flows
+  EXPECT_THROW(price_bundles(m, bad), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, EngineBothModels,
+    ::testing::Values(demand::DemandKind::ConstantElasticity,
+                      demand::DemandKind::Logit),
+    [](const auto& info) {
+      return info.param == demand::DemandKind::ConstantElasticity ? "Ced"
+                                                                  : "Logit";
+    });
+
+TEST(Engine, CedPotentialProfitMatchesModelFormula) {
+  const auto m = make_market(demand::DemandKind::ConstantElasticity);
+  const auto pi = potential_profits(m);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(pi[i],
+                m.ced().potential_profit(m.valuations()[i], m.costs()[i]),
+                1e-12);
+  }
+}
+
+TEST(Engine, LogitPotentialProfitIsObservedDemand) {
+  const auto m = make_market(demand::DemandKind::Logit);
+  EXPECT_EQ(potential_profits(m), m.flows().demands());
+}
+
+TEST(Engine, CedBundlePricesAreBetweenMemberOptima) {
+  const auto m = make_market(demand::DemandKind::ConstantElasticity);
+  const auto priced = price_bundles(m, bundling::single_bundle(m.size()));
+  double min_p = 1e300, max_p = -1e300;
+  for (const double c : m.costs()) {
+    min_p = std::min(min_p, m.ced().optimal_price(c));
+    max_p = std::max(max_p, m.ced().optimal_price(c));
+  }
+  EXPECT_GE(priced.bundle_prices[0], min_p - 1e-9);
+  EXPECT_LE(priced.bundle_prices[0], max_p + 1e-9);
+}
+
+TEST(Engine, ProfitCaptureIsMonotoneInProfit) {
+  const auto m = make_market(demand::DemandKind::ConstantElasticity);
+  const double lo = blended_profit(m);
+  const double hi = max_profit(m);
+  EXPECT_LT(profit_capture(m, lo), profit_capture(m, (lo + hi) / 2.0));
+  EXPECT_LT(profit_capture(m, (lo + hi) / 2.0), profit_capture(m, hi));
+}
+
+TEST(Engine, SplittingABundleNeverReducesProfit) {
+  // Finer partitions weakly dominate: check single -> a 2-way split.
+  const auto m = make_market(demand::DemandKind::ConstantElasticity);
+  const double one = price_bundles(m, bundling::single_bundle(m.size())).profit;
+  bundling::Bundle low, high;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    (m.costs()[i] < m.gamma() * 50.0 ? low : high).push_back(i);
+  }
+  if (!low.empty() && !high.empty()) {
+    const double two = price_bundles(m, {low, high}).profit;
+    EXPECT_GE(two, one - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace manytiers::pricing

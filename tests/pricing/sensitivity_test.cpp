@@ -1,0 +1,100 @@
+#include "pricing/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.hpp"
+
+namespace manytiers::pricing {
+namespace {
+
+struct Fixture {
+  workload::FlowSet flows = workload::generate_eu_isp({.seed = 6, .n_flows = 80});
+  std::unique_ptr<cost::CostModel> cost_model = cost::make_linear_cost(0.2);
+
+  SensitivityInputs inputs(demand::DemandKind kind) const {
+    SensitivityInputs in;
+    in.flows = &flows;
+    in.cost_model = cost_model.get();
+    in.demand.kind = kind;
+    in.max_bundles = 4;
+    return in;
+  }
+};
+
+TEST(SweepCaptures, MinNeverExceedsMaxAndCountsPoints) {
+  Fixture fx;
+  const std::vector<double> alphas{1.1, 2.0, 5.0};
+  const auto result = sweep_alpha(
+      fx.inputs(demand::DemandKind::ConstantElasticity), alphas);
+  EXPECT_EQ(result.points, 3u);
+  ASSERT_EQ(result.min_capture.size(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_LE(result.min_capture[b], result.max_capture[b] + 1e-12);
+  }
+}
+
+TEST(SweepCaptures, SinglePointCollapsesMinAndMax) {
+  Fixture fx;
+  const std::vector<double> one{1.1};
+  const auto result =
+      sweep_alpha(fx.inputs(demand::DemandKind::ConstantElasticity), one);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_DOUBLE_EQ(result.min_capture[b], result.max_capture[b]);
+  }
+}
+
+TEST(SweepAlpha, Figure14HeadlineHolds) {
+  Fixture fx;
+  const std::vector<double> alphas{1.05, 1.5, 3.0, 10.0};
+  for (const auto kind : {demand::DemandKind::ConstantElasticity,
+                          demand::DemandKind::Logit}) {
+    const auto result = sweep_alpha(fx.inputs(kind), alphas);
+    EXPECT_NEAR(result.min_capture[0], 0.0, 1e-6);  // one bundle: no gain
+    EXPECT_GE(result.min_capture[3], 0.5);          // four bundles stay strong
+  }
+}
+
+TEST(SweepBlendedPrice, CedCaptureIsExactlyInvariant) {
+  Fixture fx;
+  const std::vector<double> prices{5.0, 12.0, 20.0, 30.0};
+  const auto result = sweep_blended_price(
+      fx.inputs(demand::DemandKind::ConstantElasticity), prices);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_NEAR(result.min_capture[b], result.max_capture[b], 1e-6);
+  }
+}
+
+TEST(SweepNoPurchaseShare, Figure16Range) {
+  Fixture fx;
+  const std::vector<double> shares{0.05, 0.2, 0.5, 0.9};
+  const auto result =
+      sweep_no_purchase_share(fx.inputs(demand::DemandKind::Logit), shares);
+  EXPECT_EQ(result.points, 4u);
+  EXPECT_GE(result.min_capture[3], 0.5);
+}
+
+TEST(SweepNoPurchaseShare, RejectsCedDemand) {
+  Fixture fx;
+  const std::vector<double> shares{0.2};
+  EXPECT_THROW(
+      sweep_no_purchase_share(
+          fx.inputs(demand::DemandKind::ConstantElasticity), shares),
+      std::invalid_argument);
+}
+
+TEST(SweepCaptures, Validates) {
+  Fixture fx;
+  const std::vector<double> empty;
+  EXPECT_THROW(
+      sweep_alpha(fx.inputs(demand::DemandKind::ConstantElasticity), empty),
+      std::invalid_argument);
+  SensitivityInputs null_inputs;
+  const std::vector<double> one{1.1};
+  EXPECT_THROW(sweep_alpha(null_inputs, one), std::invalid_argument);
+  auto zero_bundles = fx.inputs(demand::DemandKind::ConstantElasticity);
+  zero_bundles.max_bundles = 0;
+  EXPECT_THROW(sweep_alpha(zero_bundles, one), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::pricing

@@ -1,0 +1,114 @@
+#include "pricing/welfare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pricing/counterfactual.hpp"
+#include "workload/generators.hpp"
+
+namespace manytiers::pricing {
+namespace {
+
+Market eu_market(demand::DemandKind kind) {
+  const auto flows = workload::generate_eu_isp({.seed = 42, .n_flows = 80});
+  const auto cost = cost::make_linear_cost(0.2);
+  DemandSpec spec;
+  spec.kind = kind;
+  return Market::calibrate(flows, spec, *cost, 20.0);
+}
+
+TEST(Welfare, Figure1TwoFlowNumbersAtMarketLevel) {
+  // Rebuild paper Fig. 1 through the Market/welfare API: two CED flows,
+  // alpha = 2, v = (1, 2), c = (1, 0.5).
+  workload::FlowSet flows("fig1");
+  workload::Flow f1;
+  f1.demand_mbps = (1.0 / 1.2) * (1.0 / 1.2);  // q = (v/P0)^2 at P0 = 1.2
+  f1.distance_miles = 2.0;
+  flows.add(f1);
+  workload::Flow f2;
+  f2.demand_mbps = (2.0 / 1.2) * (2.0 / 1.2);
+  f2.distance_miles = 1.0;
+  flows.add(f2);
+  DemandSpec spec;
+  spec.alpha = 2.0;
+  const auto cost = cost::make_linear_cost(0.0);
+  const auto m = Market::calibrate(flows, spec, *cost, 1.2);
+  // Calibration recovers the generating valuations and costs.
+  EXPECT_NEAR(m.valuations()[0], 1.0, 1e-9);
+  EXPECT_NEAR(m.valuations()[1], 2.0, 1e-9);
+  EXPECT_NEAR(m.costs()[0], 1.0, 1e-9);
+  EXPECT_NEAR(m.costs()[1], 0.5, 1e-9);
+  const auto blended = blended_welfare(m);
+  EXPECT_NEAR(blended.profit, 2.083, 1e-3);
+  EXPECT_NEAR(blended.consumer_surplus, 4.167, 1e-3);
+  const auto tiered = welfare_of(m, bundling::per_flow_bundles(2));
+  EXPECT_NEAR(tiered.profit, 2.25, 1e-9);
+  EXPECT_NEAR(tiered.consumer_surplus, 4.5, 1e-9);
+  EXPECT_GT(tiered.welfare, blended.welfare);
+}
+
+class WelfareBothModels : public ::testing::TestWithParam<demand::DemandKind> {
+};
+
+TEST_P(WelfareBothModels, ComponentsAreConsistent) {
+  const auto m = eu_market(GetParam());
+  const auto report = blended_welfare(m);
+  EXPECT_GT(report.profit, 0.0);
+  EXPECT_GT(report.consumer_surplus, 0.0);
+  EXPECT_NEAR(report.welfare, report.profit + report.consumer_surplus,
+              1e-9 * report.welfare);
+  EXPECT_NEAR(report.profit, blended_profit(m), 1e-9 * report.profit);
+}
+
+TEST_P(WelfareBothModels, TieringRaisesWelfareOnTheEuIspMarket) {
+  // Fig. 1's welfare claim at dataset scale: optimal tiers raise profit
+  // AND total welfare relative to the blended status quo.
+  const auto m = eu_market(GetParam());
+  const auto blended = blended_welfare(m);
+  const auto res = run_strategy(m, Strategy::Optimal, 4);
+  const auto tiered = welfare_at_prices(m, res.pricing.flow_prices);
+  EXPECT_GT(tiered.profit, blended.profit);
+  EXPECT_GT(tiered.welfare, blended.welfare);
+}
+
+TEST_P(WelfareBothModels, WelfareAtPricesValidates) {
+  const auto m = eu_market(GetParam());
+  EXPECT_THROW(welfare_at_prices(m, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, WelfareBothModels,
+    ::testing::Values(demand::DemandKind::ConstantElasticity,
+                      demand::DemandKind::Logit),
+    [](const auto& info) {
+      return info.param == demand::DemandKind::ConstantElasticity ? "Ced"
+                                                                  : "Logit";
+    });
+
+TEST(Welfare, CedSurplusFormula) {
+  const demand::CedModel model(2.0);
+  // v = 1, p = 2: surplus = v^2 p^-1 / 1 = 0.5.
+  EXPECT_NEAR(model.consumer_surplus(1.0, 2.0), 0.5, 1e-12);
+  // Surplus falls with price.
+  EXPECT_GT(model.consumer_surplus(1.0, 1.0),
+            model.consumer_surplus(1.0, 3.0));
+  EXPECT_THROW(model.consumer_surplus(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Welfare, LogitSurplusProperties) {
+  const demand::LogitModel model(1.0, 100.0);
+  const std::vector<double> v{2.0, 1.0};
+  const std::vector<double> cheap{0.5, 0.5};
+  const std::vector<double> dear{3.0, 3.0};
+  // Surplus is positive (outside option guarantees >= 0) and decreasing
+  // in prices.
+  EXPECT_GT(model.consumer_surplus(v, cheap), model.consumer_surplus(v, dear));
+  EXPECT_GE(model.consumer_surplus(v, dear), 0.0);
+  // With one dominant cheap flow, surplus ~ K * (v - p).
+  const std::vector<double> v1{10.0};
+  const std::vector<double> p1{1.0};
+  EXPECT_NEAR(model.consumer_surplus(v1, p1), 100.0 * 9.0, 1.0);
+}
+
+}  // namespace
+}  // namespace manytiers::pricing

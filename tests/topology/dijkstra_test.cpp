@@ -1,0 +1,105 @@
+#include "topology/dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::topology {
+namespace {
+
+// A diamond: A-B (1), A-C (5), B-C (1), C-D (1), B-D (5).
+Network diamond() {
+  Network net;
+  net.add_pop("A", {0.0, 0.0});
+  net.add_pop("B", {1.0, 0.0});
+  net.add_pop("C", {2.0, 0.0});
+  net.add_pop("D", {3.0, 0.0});
+  net.add_link(0, 1, 1.0);
+  net.add_link(0, 2, 5.0);
+  net.add_link(1, 2, 1.0);
+  net.add_link(2, 3, 1.0);
+  net.add_link(1, 3, 5.0);
+  return net;
+}
+
+TEST(Dijkstra, SourceDistanceIsZero) {
+  const auto sp = shortest_paths(diamond(), 0);
+  EXPECT_DOUBLE_EQ(sp.distance_miles[0], 0.0);
+}
+
+TEST(Dijkstra, PicksTheCheaperMultiHopPath) {
+  const auto net = diamond();
+  // A->C via B (1+1=2) beats the direct 5-mile link.
+  EXPECT_DOUBLE_EQ(shortest_distance(net, 0, 2), 2.0);
+  // A->D via B,C (1+1+1=3) beats A-B-D (6) and A-C-D (6).
+  EXPECT_DOUBLE_EQ(shortest_distance(net, 0, 3), 3.0);
+}
+
+TEST(Dijkstra, PathReconstruction) {
+  const auto sp = shortest_paths(diamond(), 0);
+  const auto path = sp.path_to(3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 2u);
+  EXPECT_EQ(path[3], 3u);
+}
+
+TEST(Dijkstra, PathToSourceIsSingleton) {
+  const auto sp = shortest_paths(diamond(), 2);
+  const auto path = sp.path_to(2);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 2u);
+}
+
+TEST(Dijkstra, DisconnectedNodeIsUnreachable) {
+  Network net;
+  net.add_pop("A", {0.0, 0.0});
+  net.add_pop("B", {1.0, 0.0});
+  net.add_pop("Island", {50.0, 50.0});
+  net.add_link(0, 1, 1.0);
+  const auto sp = shortest_paths(net, 0);
+  EXPECT_EQ(sp.distance_miles[2], kUnreachable);
+  EXPECT_TRUE(sp.path_to(2).empty());
+}
+
+TEST(Dijkstra, SymmetricDistances) {
+  const auto net = diamond();
+  for (PopId a = 0; a < net.pop_count(); ++a) {
+    for (PopId b = 0; b < net.pop_count(); ++b) {
+      EXPECT_DOUBLE_EQ(shortest_distance(net, a, b),
+                       shortest_distance(net, b, a));
+    }
+  }
+}
+
+TEST(Dijkstra, AllPairsMatchesSingleSource) {
+  const auto net = diamond();
+  const auto ap = all_pairs_distances(net);
+  ASSERT_EQ(ap.size(), net.pop_count());
+  for (PopId s = 0; s < net.pop_count(); ++s) {
+    const auto sp = shortest_paths(net, s);
+    EXPECT_EQ(ap[s], sp.distance_miles);
+  }
+}
+
+TEST(Dijkstra, TriangleInequalityOverAllPairs) {
+  const auto net = diamond();
+  const auto d = all_pairs_distances(net);
+  for (PopId a = 0; a < net.pop_count(); ++a) {
+    for (PopId b = 0; b < net.pop_count(); ++b) {
+      for (PopId c = 0; c < net.pop_count(); ++c) {
+        EXPECT_LE(d[a][c], d[a][b] + d[b][c] + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Dijkstra, ValidatesIds) {
+  const auto net = diamond();
+  EXPECT_THROW(shortest_paths(net, 99), std::out_of_range);
+  EXPECT_THROW(shortest_distance(net, 0, 99), std::out_of_range);
+  const auto sp = shortest_paths(net, 0);
+  EXPECT_THROW(sp.path_to(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace manytiers::topology

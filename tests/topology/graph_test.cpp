@@ -1,0 +1,89 @@
+#include "topology/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::topology {
+namespace {
+
+Network two_pop_network() {
+  Network net("test");
+  net.add_pop("A", {40.71, -74.01});   // New York
+  net.add_pop("B", {42.36, -71.06});   // Boston
+  return net;
+}
+
+TEST(Network, AddPopAssignsSequentialIds) {
+  Network net;
+  EXPECT_EQ(net.add_pop("A", {0.0, 0.0}), 0u);
+  EXPECT_EQ(net.add_pop("B", {1.0, 1.0}), 1u);
+  EXPECT_EQ(net.pop_count(), 2u);
+}
+
+TEST(Network, RejectsDuplicatePopNames) {
+  Network net;
+  net.add_pop("A", {0.0, 0.0});
+  EXPECT_THROW(net.add_pop("A", {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Network, RejectsInvalidCoordinates) {
+  Network net;
+  EXPECT_THROW(net.add_pop("bad", {95.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Network, FindPopByName) {
+  const auto net = two_pop_network();
+  EXPECT_EQ(net.find_pop("B"), 1u);
+  EXPECT_FALSE(net.find_pop("C").has_value());
+}
+
+TEST(Network, LinkDefaultsToGreatCircleLength) {
+  auto net = two_pop_network();
+  net.add_link(0, 1);
+  ASSERT_EQ(net.link_count(), 1u);
+  // NYC - Boston is about 190 miles.
+  EXPECT_NEAR(net.links()[0].length_miles, 190.0, 10.0);
+}
+
+TEST(Network, ExplicitLinkLengthIsRespected) {
+  auto net = two_pop_network();
+  net.add_link(0, 1, 500.0);
+  EXPECT_DOUBLE_EQ(net.links()[0].length_miles, 500.0);
+}
+
+TEST(Network, LinksAreBidirectional) {
+  auto net = two_pop_network();
+  net.add_link(0, 1);
+  ASSERT_EQ(net.neighbors(0).size(), 1u);
+  ASSERT_EQ(net.neighbors(1).size(), 1u);
+  EXPECT_EQ(net.neighbors(0)[0].to, 1u);
+  EXPECT_EQ(net.neighbors(1)[0].to, 0u);
+}
+
+TEST(Network, RejectsSelfAndDuplicateLinks) {
+  auto net = two_pop_network();
+  net.add_link(0, 1);
+  EXPECT_THROW(net.add_link(0, 0), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 1), std::invalid_argument);
+  EXPECT_THROW(net.add_link(1, 0), std::invalid_argument);
+}
+
+TEST(Network, RejectsBadIdsAndValues) {
+  auto net = two_pop_network();
+  EXPECT_THROW(net.add_link(0, 5), std::out_of_range);
+  EXPECT_THROW(net.add_link(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 1, 100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.pop(9), std::out_of_range);
+  EXPECT_THROW(net.neighbors(9), std::out_of_range);
+  EXPECT_THROW(net.has_link(9, 0), std::out_of_range);
+}
+
+TEST(Network, HasLink) {
+  auto net = two_pop_network();
+  EXPECT_FALSE(net.has_link(0, 1));
+  net.add_link(0, 1);
+  EXPECT_TRUE(net.has_link(0, 1));
+  EXPECT_TRUE(net.has_link(1, 0));
+}
+
+}  // namespace
+}  // namespace manytiers::topology

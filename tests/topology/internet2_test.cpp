@@ -1,0 +1,71 @@
+#include "topology/internet2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/cities.hpp"
+#include "topology/dijkstra.hpp"
+
+namespace manytiers::topology {
+namespace {
+
+TEST(Internet2, HasElevenPopsAndFourteenLinks) {
+  const auto net = internet2_network();
+  EXPECT_EQ(net.pop_count(), 11u);
+  EXPECT_EQ(net.link_count(), 14u);
+}
+
+TEST(Internet2, IsFullyConnected) {
+  const auto net = internet2_network();
+  const auto sp = shortest_paths(net, 0);
+  for (PopId i = 0; i < net.pop_count(); ++i) {
+    EXPECT_NE(sp.distance_miles[i], kUnreachable) << net.pop(i).name;
+  }
+}
+
+TEST(Internet2, ClassicAbileneAdjacencies) {
+  const auto net = internet2_network();
+  const auto id = [&](const char* name) { return *net.find_pop(name); };
+  EXPECT_TRUE(net.has_link(id("Seattle"), id("Sunnyvale")));
+  EXPECT_TRUE(net.has_link(id("Seattle"), id("Denver")));
+  EXPECT_TRUE(net.has_link(id("Chicago"), id("New York")));
+  EXPECT_TRUE(net.has_link(id("Atlanta"), id("Washington")));
+  // No transcontinental shortcut.
+  EXPECT_FALSE(net.has_link(id("Seattle"), id("New York")));
+  EXPECT_FALSE(net.has_link(id("Los Angeles"), id("Atlanta")));
+}
+
+TEST(Internet2, LinkLengthsAreGeographic) {
+  const auto net = internet2_network();
+  for (const auto& link : net.links()) {
+    EXPECT_GT(link.length_miles, 100.0);
+    EXPECT_LT(link.length_miles, 2500.0);
+  }
+}
+
+TEST(Internet2, SeattleToNewYorkIsTranscontinental) {
+  const auto net = internet2_network();
+  const double d = shortest_distance(net, *net.find_pop("Seattle"),
+                                     *net.find_pop("New York"));
+  // Routed distance must be at least the great-circle ~2400 mi and less
+  // than double it.
+  EXPECT_GT(d, 2400.0);
+  EXPECT_LT(d, 4800.0);
+}
+
+TEST(Internet2, WashingtonToNewYorkIsOneHop) {
+  const auto net = internet2_network();
+  const auto sp = shortest_paths(net, *net.find_pop("Washington"));
+  const auto path = sp.path_to(*net.find_pop("New York"));
+  EXPECT_EQ(path.size(), 2u);
+}
+
+TEST(Internet2, PopNamesResolveToCityDatabase) {
+  const auto net = internet2_network();
+  for (PopId i = 0; i < net.pop_count(); ++i) {
+    EXPECT_TRUE(geo::find_city(net.pop(i).name).has_value())
+        << net.pop(i).name;
+  }
+}
+
+}  // namespace
+}  // namespace manytiers::topology

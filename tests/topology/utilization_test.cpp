@@ -1,0 +1,93 @@
+#include "topology/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/internet2.hpp"
+
+namespace manytiers::topology {
+namespace {
+
+// Line network A - B - C with 10 Gbps links.
+Network line() {
+  Network net;
+  net.add_pop("A", {0.0, 0.0});
+  net.add_pop("B", {1.0, 0.0});
+  net.add_pop("C", {2.0, 0.0});
+  net.add_link(0, 1, 100.0, 10.0);
+  net.add_link(1, 2, 100.0, 10.0);
+  return net;
+}
+
+TEST(LoadNetwork, SingleDemandLoadsEveryHop) {
+  const auto net = line();
+  const std::vector<TrafficDemand> demands{{0, 2, 500.0}};
+  const auto report = load_network(net, demands);
+  ASSERT_EQ(report.links.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.links[0].mbps, 500.0);
+  EXPECT_DOUBLE_EQ(report.links[1].mbps, 500.0);
+  EXPECT_DOUBLE_EQ(report.total_demand_mbps, 500.0);
+  EXPECT_DOUBLE_EQ(report.total_carried_mbps, 1000.0);  // 2 hops
+  EXPECT_DOUBLE_EQ(report.max_utilization, 0.05);       // 500 / 10000
+}
+
+TEST(LoadNetwork, DemandsAccumulatePerLink) {
+  const auto net = line();
+  const std::vector<TrafficDemand> demands{
+      {0, 1, 300.0}, {0, 2, 200.0}, {2, 1, 100.0}};
+  const auto report = load_network(net, demands);
+  EXPECT_DOUBLE_EQ(report.links[0].mbps, 500.0);  // A-B: 300 + 200
+  EXPECT_DOUBLE_EQ(report.links[1].mbps, 300.0);  // B-C: 200 + 100
+  EXPECT_EQ(report.busiest_link, 0u);
+}
+
+TEST(LoadNetwork, CountsUnroutableDemands) {
+  Network net;
+  net.add_pop("A", {0.0, 0.0});
+  net.add_pop("B", {1.0, 0.0});
+  net.add_pop("Island", {10.0, 10.0});
+  net.add_link(0, 1, 50.0, 1.0);
+  const std::vector<TrafficDemand> demands{{0, 2, 100.0}, {0, 1, 10.0}};
+  const auto report = load_network(net, demands);
+  EXPECT_EQ(report.unroutable_demands, 1u);
+  EXPECT_DOUBLE_EQ(report.links[0].mbps, 10.0);
+}
+
+TEST(LoadNetwork, Validates) {
+  const auto net = line();
+  EXPECT_THROW(
+      load_network(net, std::vector<TrafficDemand>{{0, 9, 1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      load_network(net, std::vector<TrafficDemand>{{0, 1, 0.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(load_network(Network("empty"), std::vector<TrafficDemand>{}),
+               std::invalid_argument);
+}
+
+TEST(LoadNetwork, EmptyDemandsYieldZeroLoads) {
+  const auto report = load_network(line(), std::vector<TrafficDemand>{});
+  for (const auto& l : report.links) {
+    EXPECT_DOUBLE_EQ(l.mbps, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(report.max_utilization, 0.0);
+}
+
+TEST(LoadNetwork, Internet2TranscontinentalFlowCrossesTheCore) {
+  const auto net = internet2_network();
+  const std::vector<TrafficDemand> demands{
+      {*net.find_pop("Seattle"), *net.find_pop("New York"), 1000.0}};
+  const auto report = load_network(net, demands);
+  // The flow must traverse several links, each carrying exactly 1 Gbps.
+  int loaded = 0;
+  for (const auto& l : report.links) {
+    if (l.mbps > 0.0) {
+      EXPECT_DOUBLE_EQ(l.mbps, 1000.0);
+      ++loaded;
+    }
+  }
+  EXPECT_GE(loaded, 3);
+  EXPECT_DOUBLE_EQ(report.total_carried_mbps, 1000.0 * loaded);
+}
+
+}  // namespace
+}  // namespace manytiers::topology

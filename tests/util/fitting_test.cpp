@@ -1,0 +1,131 @@
+#include "util/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace manytiers::util {
+namespace {
+
+TEST(LinearLeastSquares, RecoversExactLine) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.0 * x + 1.0);
+  const auto fit = linear_least_squares(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-12);
+}
+
+TEST(LinearLeastSquares, HandlesNoisyData) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> ys{1.1, 1.9, 3.2, 3.8, 5.1};
+  const auto fit = linear_least_squares(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+  EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST(LinearLeastSquares, ConstantXGivesZeroSlope) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  const auto fit = linear_least_squares(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(LinearLeastSquares, ValidatesInput) {
+  EXPECT_THROW(
+      linear_least_squares(std::vector<double>{}, std::vector<double>{}),
+      std::invalid_argument);
+  EXPECT_THROW(linear_least_squares(std::vector<double>{1.0},
+                                    std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Rmse, ZeroForPerfectPrediction) {
+  const std::vector<double> a{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> pred{0.0, 0.0};
+  const std::vector<double> act{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(pred, act), std::sqrt(12.5));
+}
+
+TEST(RSquared, PerfectAndMeanPredictors) {
+  const std::vector<double> act{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(act, act), 1.0);
+  const std::vector<double> mean_pred{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(mean_pred, act), 0.0);
+}
+
+TEST(ConcaveFit, RecoversGeneratingCurve) {
+  // y = a log_b(x) + c with the paper's pooled constants a=0.5, b=6, c=1.
+  const double a = 0.5, b = 6.0, c = 1.0;
+  std::vector<double> xs, ys;
+  for (double x = 0.01; x <= 1.0; x += 0.01) {
+    xs.push_back(x);
+    ys.push_back(a * std::log(x) / std::log(b) + c);
+  }
+  const auto fit = fit_concave_log(xs, ys, b);
+  EXPECT_NEAR(fit.a, a, 1e-9);
+  EXPECT_NEAR(fit.b, b, 1e-12);
+  EXPECT_NEAR(fit.c, c, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(ConcaveFit, BaseIsNotIdentifiableButCurveIs) {
+  // Fitting the same data with a different base changes (a, b) but not
+  // the curve: k = a / ln(b) and c are invariant.
+  std::vector<double> xs, ys;
+  for (double x = 0.05; x <= 1.0; x += 0.05) {
+    xs.push_back(x);
+    ys.push_back(0.43 * std::log(x) / std::log(9.43) + 0.99);
+  }
+  const auto fit6 = fit_concave_log(xs, ys, 6.0);
+  const auto fit9 = fit_concave_log(xs, ys, 9.43);
+  EXPECT_NEAR(fit6.k, fit9.k, 1e-12);
+  EXPECT_NEAR(fit6.c, fit9.c, 1e-12);
+  EXPECT_NEAR(fit9.a, 0.43, 1e-9);
+  for (double x = 0.1; x <= 1.0; x += 0.1) {
+    EXPECT_NEAR(fit6.evaluate(x), fit9.evaluate(x), 1e-12);
+  }
+}
+
+TEST(ConcaveFit, WithBaseReexpressesCurve) {
+  std::vector<double> xs, ys;
+  for (double x = 0.1; x <= 1.0; x += 0.1) {
+    xs.push_back(x);
+    ys.push_back(0.25 * std::log(x) + 1.0);
+  }
+  const auto fit = fit_concave_log(xs, ys, 6.0);
+  const auto rebased = fit.with_base(2.0);
+  EXPECT_DOUBLE_EQ(rebased.b, 2.0);
+  EXPECT_NEAR(rebased.a, fit.k * std::log(2.0), 1e-12);
+  EXPECT_NEAR(rebased.evaluate(0.5), fit.evaluate(0.5), 1e-12);
+}
+
+TEST(ConcaveFit, ValidatesInput) {
+  const std::vector<double> xs{0.5, 1.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(fit_concave_log(xs, ys, 1.0), std::invalid_argument);
+  EXPECT_THROW(
+      fit_concave_log(std::vector<double>{-1.0, 1.0}, ys, 6.0),
+      std::invalid_argument);
+  EXPECT_THROW(fit_concave_log(std::vector<double>{}, std::vector<double>{},
+                               6.0),
+               std::invalid_argument);
+}
+
+TEST(ConcaveFit, EvaluateRejectsNonPositiveX) {
+  ConcaveFit fit;
+  fit.k = 1.0;
+  fit.c = 0.0;
+  EXPECT_THROW(fit.evaluate(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::util

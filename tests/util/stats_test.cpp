@@ -1,0 +1,125 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace manytiers::util {
+namespace {
+
+const std::vector<double> kSimple{1.0, 2.0, 3.0, 4.0};
+
+TEST(Stats, Sum) {
+  EXPECT_DOUBLE_EQ(sum(kSimple), 10.0);
+  EXPECT_DOUBLE_EQ(sum(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, Mean) { EXPECT_DOUBLE_EQ(mean(kSimple), 2.5); }
+
+TEST(Stats, MeanRejectsEmpty) {
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, PopulationVariance) {
+  // Population variance of {1,2,3,4} is 1.25.
+  EXPECT_DOUBLE_EQ(variance(kSimple), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(kSimple), std::sqrt(1.25));
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(kSimple), std::sqrt(1.25) / 2.5);
+}
+
+TEST(Stats, CvRejectsZeroMean) {
+  EXPECT_THROW(coefficient_of_variation(std::vector<double>{-1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Stats, WeightedMean) {
+  const std::vector<double> xs{1.0, 10.0};
+  const std::vector<double> ws{3.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, ws), (3.0 + 10.0) / 4.0);
+}
+
+TEST(Stats, WeightedMeanEqualWeightsIsMean) {
+  const std::vector<double> ws{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(kSimple, ws), mean(kSimple));
+}
+
+TEST(Stats, WeightedMeanValidates) {
+  EXPECT_THROW(weighted_mean(kSimple, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      weighted_mean(std::vector<double>{1.0}, std::vector<double>{-1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      weighted_mean(std::vector<double>{1.0}, std::vector<double>{0.0}),
+      std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value(kSimple), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(kSimple), 4.0);
+  EXPECT_THROW(min_value(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(max_value(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 50.0), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileIgnoresInputOrder) {
+  const std::vector<double> shuffled{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 50.0), 2.5);
+}
+
+TEST(Stats, PercentileValidates) {
+  EXPECT_THROW(percentile(kSimple, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(kSimple, 101.0), std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 99.0), 7.0);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  RunningStats rs;
+  for (const double x : kSimple) rs.add(x);
+  EXPECT_EQ(rs.count(), 4u);
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(kSimple));
+  EXPECT_NEAR(rs.variance(), variance(kSimple), 1e-12);
+  EXPECT_NEAR(rs.cv(), coefficient_of_variation(kSimple), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+}
+
+TEST(RunningStats, ThrowsBeforeAnySample) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), std::logic_error);
+  EXPECT_THROW(rs.variance(), std::logic_error);
+  EXPECT_THROW(rs.min(), std::logic_error);
+  EXPECT_THROW(rs.max(), std::logic_error);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats rs;
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace manytiers::util

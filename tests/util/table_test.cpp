@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manytiers::util {
+namespace {
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.5, 3), "1.5");
+  EXPECT_EQ(format_double(2.0, 3), "2.0");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.23456, 4), "1.2346");
+}
+
+TEST(TextTable, RejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST(TextTable, CountsRowsAndColumns) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({1.0, 2.0, 3.0});
+  t.add_row({4.0, 5.0, 6.0});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 3u);
+}
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({std::string("x"), std::string("1")});
+  t.add_row({std::string("longer"), std::string("22")});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, LabeledNumericRow) {
+  TextTable t({"strategy", "b1", "b2"});
+  t.add_row("Optimal", {0.5, 0.9}, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("Optimal"), std::string::npos);
+  EXPECT_NE(os.str().find("0.9"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+  TextTable t({"name", "value"});
+  t.add_row({std::string("a,b"), std::string("1")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(TextTable, CsvHasHeaderAndRows) {
+  TextTable t({"h1", "h2"});
+  t.add_row({1.0, 2.0});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "h1,h2\n1.0,2.0\n");
+}
+
+}  // namespace
+}  // namespace manytiers::util

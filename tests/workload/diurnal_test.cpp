@@ -1,0 +1,106 @@
+#include "workload/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accounting/commit.hpp"
+#include "util/stats.hpp"
+
+namespace manytiers::workload {
+namespace {
+
+TEST(DiurnalRate, PeaksAtThePeakHour) {
+  DiurnalProfile p;
+  p.mean_mbps = 100.0;
+  p.peak_to_trough = 3.0;
+  p.peak_hour = 20.0;
+  const double at_peak = diurnal_rate_mbps(p, 20 * 3600);
+  const double at_trough = diurnal_rate_mbps(p, 8 * 3600);
+  EXPECT_GT(at_peak, at_trough);
+  EXPECT_NEAR(at_peak / at_trough, 3.0, 1e-9);
+}
+
+TEST(DiurnalRate, MeanOverDayMatchesProfileMean) {
+  DiurnalProfile p;
+  p.mean_mbps = 250.0;
+  p.peak_to_trough = 4.0;
+  double total = 0.0;
+  const int samples = 288;
+  for (int k = 0; k < samples; ++k) {
+    total += diurnal_rate_mbps(p, std::uint32_t(k * 300 + 150));
+  }
+  EXPECT_NEAR(total / samples, 250.0, 0.5);
+}
+
+TEST(DiurnalRate, FlatProfileIsConstant) {
+  DiurnalProfile p;
+  p.peak_to_trough = 1.0;
+  EXPECT_DOUBLE_EQ(diurnal_rate_mbps(p, 0), p.mean_mbps);
+  EXPECT_DOUBLE_EQ(diurnal_rate_mbps(p, 43200), p.mean_mbps);
+}
+
+TEST(DiurnalRate, Validates) {
+  DiurnalProfile p;
+  EXPECT_THROW(diurnal_rate_mbps(p, 86400), std::invalid_argument);
+  p.mean_mbps = 0.0;
+  EXPECT_THROW(diurnal_rate_mbps(p, 0), std::invalid_argument);
+  DiurnalProfile bad_ratio;
+  bad_ratio.peak_to_trough = 0.5;
+  EXPECT_THROW(diurnal_rate_mbps(bad_ratio, 0), std::invalid_argument);
+  DiurnalProfile bad_hour;
+  bad_hour.peak_hour = 24.0;
+  EXPECT_THROW(diurnal_rate_mbps(bad_hour, 0), std::invalid_argument);
+}
+
+TEST(DiurnalIntervalBytes, ProducesOneSamplePerInterval) {
+  DiurnalProfile p;
+  util::Rng rng(5);
+  const auto samples = diurnal_interval_bytes(p, 2, 300, rng);
+  EXPECT_EQ(samples.size(), 2u * 288u);
+  for (const auto bytes : samples) EXPECT_GT(bytes, 0u);
+}
+
+TEST(DiurnalIntervalBytes, NoiselessSamplesFollowTheCurve) {
+  DiurnalProfile p;
+  p.mean_mbps = 80.0;
+  p.noise_sd = 0.0;
+  p.peak_hour = 20.5;  // the midpoint of the 20:00-21:00 interval
+  util::Rng rng(5);
+  const auto samples = diurnal_interval_bytes(p, 1, 3600, rng);
+  ASSERT_EQ(samples.size(), 24u);
+  // Hour containing the peak must carry the most bytes.
+  std::size_t argmax = 0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    if (samples[h] > samples[argmax]) argmax = h;
+  }
+  EXPECT_EQ(argmax, 20u);
+}
+
+TEST(DiurnalIntervalBytes, Validates) {
+  DiurnalProfile p;
+  util::Rng rng(1);
+  EXPECT_THROW(diurnal_interval_bytes(p, 0, 300, rng), std::invalid_argument);
+  EXPECT_THROW(diurnal_interval_bytes(p, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(diurnal_interval_bytes(p, 1, 90000, rng),
+               std::invalid_argument);
+}
+
+TEST(DiurnalIntervalBytes, FeedsBurstMeterSensibly) {
+  // A month of diurnal traffic: the 95th percentile sits between the
+  // mean and the peak, which is the whole point of burstable billing.
+  DiurnalProfile p;
+  p.mean_mbps = 200.0;
+  p.peak_to_trough = 3.0;
+  p.noise_sd = 0.05;
+  util::Rng rng(9);
+  accounting::BurstMeter meter(300);
+  for (const auto bytes : diurnal_interval_bytes(p, 30, 300, rng)) {
+    meter.record_interval(bytes);
+  }
+  const double billable = meter.billable_mbps();
+  EXPECT_GT(billable, meter.mean_mbps());
+  EXPECT_LT(billable, meter.peak_mbps());
+  EXPECT_NEAR(meter.mean_mbps(), 200.0, 10.0);
+}
+
+}  // namespace
+}  // namespace manytiers::workload

@@ -1,0 +1,97 @@
+#include "workload/flowset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::workload {
+namespace {
+
+Flow make_flow(double demand, double distance) {
+  Flow f;
+  f.demand_mbps = demand;
+  f.distance_miles = distance;
+  return f;
+}
+
+TEST(FlowSet, StartsEmpty) {
+  FlowSet fs("x");
+  EXPECT_TRUE(fs.empty());
+  EXPECT_EQ(fs.size(), 0u);
+  EXPECT_EQ(fs.name(), "x");
+}
+
+TEST(FlowSet, AddValidatesInputs) {
+  FlowSet fs;
+  EXPECT_THROW(fs.add(make_flow(0.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW(fs.add(make_flow(-1.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW(fs.add(make_flow(1.0, -1.0)), std::invalid_argument);
+  EXPECT_NO_THROW(fs.add(make_flow(1.0, 0.0)));  // zero distance is legal
+}
+
+TEST(FlowSet, ColumnsMatchInsertions) {
+  FlowSet fs;
+  fs.add(make_flow(10.0, 1.0));
+  fs.add(make_flow(20.0, 2.0));
+  EXPECT_EQ(fs.demands(), (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(fs.distances(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(FlowSet, TotalsAndUnits) {
+  FlowSet fs;
+  fs.add(make_flow(1500.0, 1.0));
+  fs.add(make_flow(500.0, 2.0));
+  EXPECT_DOUBLE_EQ(fs.total_demand_mbps(), 2000.0);
+  EXPECT_DOUBLE_EQ(fs.total_demand_gbps(), 2.0);
+}
+
+TEST(FlowSet, WeightedAvgDistanceWeightsByDemand) {
+  FlowSet fs;
+  fs.add(make_flow(30.0, 100.0));
+  fs.add(make_flow(10.0, 20.0));
+  EXPECT_DOUBLE_EQ(fs.weighted_avg_distance(),
+                   (30.0 * 100.0 + 10.0 * 20.0) / 40.0);
+}
+
+TEST(FlowSet, WeightedAvgDistanceThrowsOnEmpty) {
+  FlowSet fs;
+  EXPECT_THROW(fs.weighted_avg_distance(), std::logic_error);
+}
+
+TEST(FlowSet, ScaleDistancesPreservesDemands) {
+  FlowSet fs;
+  fs.add(make_flow(10.0, 5.0));
+  fs.scale_distances(3.0);
+  EXPECT_DOUBLE_EQ(fs[0].distance_miles, 15.0);
+  EXPECT_DOUBLE_EQ(fs[0].demand_mbps, 10.0);
+  EXPECT_THROW(fs.scale_distances(0.0), std::invalid_argument);
+}
+
+TEST(FlowSet, ScaleDemands) {
+  FlowSet fs;
+  fs.add(make_flow(10.0, 5.0));
+  fs.scale_demands(0.5);
+  EXPECT_DOUBLE_EQ(fs[0].demand_mbps, 5.0);
+  EXPECT_THROW(fs.scale_demands(-1.0), std::invalid_argument);
+}
+
+TEST(FlowSet, ClassifyRegionsByDistanceUsesPaperThresholds) {
+  FlowSet fs;
+  fs.add(make_flow(1.0, 5.0));
+  fs.add(make_flow(1.0, 50.0));
+  fs.add(make_flow(1.0, 500.0));
+  fs.classify_regions_by_distance();
+  EXPECT_EQ(fs[0].region, geo::Region::Metro);
+  EXPECT_EQ(fs[1].region, geo::Region::National);
+  EXPECT_EQ(fs[2].region, geo::Region::International);
+}
+
+TEST(FlowSet, RangeForIteration) {
+  FlowSet fs;
+  fs.add(make_flow(1.0, 1.0));
+  fs.add(make_flow(2.0, 2.0));
+  double total = 0.0;
+  for (const auto& f : fs) total += f.demand_mbps;
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+}  // namespace
+}  // namespace manytiers::workload

@@ -1,0 +1,194 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/cities.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/table1.hpp"
+
+namespace manytiers::workload {
+namespace {
+
+class GeneratorTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorTest, HitsTable1Moments) {
+  const auto kind = GetParam();
+  const auto spec = paper_spec(kind);
+  const auto flows = generate_dataset(kind, {.seed = 42, .n_flows = 400});
+  const auto stats = compute_stats(flows);
+  EXPECT_NEAR(stats.wavg_distance_miles, spec.wavg_distance_miles,
+              0.01 * spec.wavg_distance_miles);
+  EXPECT_NEAR(stats.aggregate_gbps, spec.aggregate_gbps,
+              0.01 * spec.aggregate_gbps);
+  EXPECT_NEAR(stats.cv_distance, spec.cv_distance, 0.12 * spec.cv_distance);
+  EXPECT_NEAR(stats.cv_demand, spec.cv_demand, 0.12 * spec.cv_demand);
+}
+
+TEST_P(GeneratorTest, IsDeterministicInSeed) {
+  const auto kind = GetParam();
+  const auto a = generate_dataset(kind, {.seed = 7, .n_flows = 50});
+  const auto b = generate_dataset(kind, {.seed = 7, .n_flows = 50});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].demand_mbps, b[i].demand_mbps);
+    EXPECT_DOUBLE_EQ(a[i].distance_miles, b[i].distance_miles);
+  }
+}
+
+TEST_P(GeneratorTest, DifferentSeedsDiffer) {
+  const auto kind = GetParam();
+  const auto a = generate_dataset(kind, {.seed = 1, .n_flows = 50});
+  const auto b = generate_dataset(kind, {.seed = 2, .n_flows = 50});
+  int identical = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].demand_mbps == b[i].demand_mbps) ++identical;
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST_P(GeneratorTest, AllFlowsAreValid) {
+  const auto flows = generate_dataset(GetParam(), {.seed = 3, .n_flows = 200});
+  EXPECT_EQ(flows.size(), 200u);
+  for (const auto& f : flows) {
+    EXPECT_GT(f.demand_mbps, 0.0);
+    EXPECT_GT(f.distance_miles, 0.0);
+    ASSERT_TRUE(f.src_city.has_value());
+    ASSERT_TRUE(f.dst_city.has_value());
+    EXPECT_LT(*f.src_city, geo::world_cities().size());
+    EXPECT_LT(*f.dst_city, geo::world_cities().size());
+    EXPECT_NE(f.src_ip, 0u);
+    EXPECT_NE(f.dst_ip, 0u);
+  }
+}
+
+TEST_P(GeneratorTest, RejectsDegenerateSizes) {
+  EXPECT_THROW(generate_dataset(GetParam(), {.seed = 1, .n_flows = 1}),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorTest,
+                         ::testing::Values(DatasetKind::EuIsp, DatasetKind::Cdn,
+                                           DatasetKind::Internet2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case DatasetKind::EuIsp: return "EuIsp";
+                             case DatasetKind::Cdn: return "Cdn";
+                             default: return "Internet2";
+                           }
+                         });
+
+TEST(EuIspGenerator, HasAllThreeRegions) {
+  const auto flows = generate_eu_isp({.seed = 42, .n_flows = 400});
+  int metro = 0, national = 0, international = 0;
+  for (const auto& f : flows) {
+    switch (f.region) {
+      case geo::Region::Metro: ++metro; break;
+      case geo::Region::National: ++national; break;
+      case geo::Region::International: ++international; break;
+    }
+  }
+  EXPECT_GT(metro, 0);
+  EXPECT_GT(national, 0);
+  EXPECT_GT(international, 0);
+}
+
+TEST(EuIspGenerator, EndpointsAreEuropean) {
+  const auto flows = generate_eu_isp({.seed = 1, .n_flows = 100});
+  for (const auto& f : flows) {
+    EXPECT_EQ(geo::world_cities()[*f.src_city].continent,
+              geo::Continent::Europe);
+    EXPECT_EQ(geo::world_cities()[*f.dst_city].continent,
+              geo::Continent::Europe);
+  }
+}
+
+TEST(CdnGenerator, IsLongHaul) {
+  const auto flows = generate_cdn({.seed = 42, .n_flows = 400});
+  // The CDN's demand-weighted mean distance target is 1988 miles.
+  EXPECT_GT(flows.weighted_avg_distance(), 1000.0);
+}
+
+TEST(CdnGenerator, RegionsComeFromCityMetadata) {
+  const auto flows = generate_cdn({.seed = 5, .n_flows = 200});
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.region, geo::classify_cities(*f.src_city, *f.dst_city));
+  }
+}
+
+TEST(Internet2Generator, DistancesAreBackbonePathLengths) {
+  const auto flows =
+      generate_internet2({.seed = 9, .n_flows = 100, .calibrate_moments = false});
+  for (const auto& f : flows) {
+    // Raw (uncalibrated) distances must be real routed path lengths
+    // between distinct Abilene PoPs: at least a link, at most coast to
+    // coast and back.
+    EXPECT_GT(f.distance_miles, 100.0);
+    EXPECT_LT(f.distance_miles, 6000.0);
+    EXPECT_NE(*f.src_city, *f.dst_city);
+  }
+}
+
+TEST(CalibrateToSpec, FixesMomentsOfArbitraryData) {
+  FlowSet fs("custom");
+  util::Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    Flow f;
+    f.demand_mbps = rng.uniform(1.0, 100.0);
+    f.distance_miles = rng.uniform(10.0, 5000.0);
+    fs.add(f);
+  }
+  const DatasetSpec spec{"custom", 500.0, 0.8, 10.0, 2.0};
+  calibrate_to_spec(fs, spec);
+  const auto stats = compute_stats(fs);
+  EXPECT_NEAR(stats.wavg_distance_miles, 500.0, 5.0);
+  EXPECT_NEAR(stats.aggregate_gbps, 10.0, 0.1);
+  EXPECT_NEAR(stats.cv_distance, 0.8, 0.1);
+  EXPECT_NEAR(stats.cv_demand, 2.0, 0.3);
+}
+
+TEST(CalibrateToSpec, PreservesRankOrder) {
+  FlowSet fs("ranks");
+  util::Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    Flow f;
+    f.demand_mbps = rng.uniform(1.0, 100.0);
+    f.distance_miles = rng.uniform(1.0, 1000.0);
+    fs.add(f);
+  }
+  const auto before = fs.distances();
+  calibrate_to_spec(fs, paper_spec(DatasetKind::EuIsp));
+  const auto after = fs.distances();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    for (std::size_t j = 0; j < before.size(); ++j) {
+      if (before[i] < before[j]) {
+        EXPECT_LT(after[i], after[j]);
+      }
+    }
+  }
+}
+
+TEST(CalibrateToSpec, RejectsTinySets) {
+  FlowSet fs;
+  Flow f;
+  f.demand_mbps = 1.0;
+  f.distance_miles = 1.0;
+  fs.add(f);
+  EXPECT_THROW(calibrate_to_spec(fs, paper_spec(DatasetKind::EuIsp)),
+               std::invalid_argument);
+}
+
+TEST(PaperSpec, MatchesTable1Constants) {
+  EXPECT_DOUBLE_EQ(paper_spec(DatasetKind::EuIsp).wavg_distance_miles, 54.0);
+  EXPECT_DOUBLE_EQ(paper_spec(DatasetKind::Cdn).aggregate_gbps, 96.0);
+  EXPECT_DOUBLE_EQ(paper_spec(DatasetKind::Internet2).cv_demand, 4.53);
+}
+
+TEST(DatasetKindNames, AreHumanReadable) {
+  EXPECT_EQ(to_string(DatasetKind::EuIsp), "EU ISP");
+  EXPECT_EQ(to_string(DatasetKind::Cdn), "CDN");
+  EXPECT_EQ(to_string(DatasetKind::Internet2), "Internet2");
+}
+
+}  // namespace
+}  // namespace manytiers::workload

@@ -1,0 +1,117 @@
+#include "workload/gravity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/internet2.hpp"
+
+namespace manytiers::workload {
+namespace {
+
+topology::Network triangle() {
+  topology::Network net;
+  net.add_pop("A", {0.0, 0.0});
+  net.add_pop("B", {1.0, 0.0});
+  net.add_pop("C", {0.0, 1.0});
+  net.add_link(0, 1, 100.0);
+  net.add_link(1, 2, 100.0);
+  net.add_link(0, 2, 100.0);
+  return net;
+}
+
+TEST(GravityMatrix, CoversAllOrderedPairs) {
+  const auto net = triangle();
+  const std::vector<double> masses{1.0, 1.0, 1.0};
+  const auto tm = gravity_matrix(net, masses);
+  EXPECT_EQ(tm.size(), 6u);  // 3 * 2 ordered pairs
+  for (const auto& d : tm) EXPECT_NE(d.src, d.dst);
+}
+
+TEST(GravityMatrix, TotalDemandIsExact) {
+  const auto net = triangle();
+  const std::vector<double> masses{2.0, 1.0, 3.0};
+  GravityOptions opts;
+  opts.total_demand_mbps = 5000.0;
+  const auto tm = gravity_matrix(net, masses, opts);
+  double total = 0.0;
+  for (const auto& d : tm) total += d.mbps;
+  EXPECT_NEAR(total, 5000.0, 1e-9);
+}
+
+TEST(GravityMatrix, BiggerMassesAttractMoreTraffic) {
+  const auto net = triangle();
+  const std::vector<double> masses{10.0, 1.0, 1.0};
+  GravityOptions opts;
+  opts.distance_exponent = 0.0;  // isolate the mass effect
+  const auto tm = gravity_matrix(net, masses, opts);
+  double to_a = 0.0, to_b = 0.0;
+  for (const auto& d : tm) {
+    if (d.dst == 0) to_a += d.mbps;
+    if (d.dst == 1) to_b += d.mbps;
+  }
+  // Traffic to A: (m_B + m_C) m_A = 20 units; to B: (m_A + m_C) m_B = 11.
+  EXPECT_NEAR(to_a / to_b, 20.0 / 11.0, 1e-9);
+}
+
+TEST(GravityMatrix, DistanceExponentSuppressesLongHaul) {
+  const auto net = topology::internet2_network();
+  const std::vector<double> masses(net.pop_count(), 1.0);
+  GravityOptions near_opts;
+  near_opts.distance_exponent = 2.0;
+  const auto near_heavy = gravity_matrix(net, masses, near_opts);
+  GravityOptions flat_opts;
+  flat_opts.distance_exponent = 0.0;
+  const auto flat = gravity_matrix(net, masses, flat_opts);
+  // Demand-weighted mean path distance must be shorter with beta = 2.
+  const auto dist = topology::all_pairs_distances(net);
+  const auto weighted_mean = [&](const auto& tm) {
+    double num = 0.0, den = 0.0;
+    for (const auto& d : tm) {
+      num += dist[d.src][d.dst] * d.mbps;
+      den += d.mbps;
+    }
+    return num / den;
+  };
+  EXPECT_LT(weighted_mean(near_heavy), weighted_mean(flat));
+}
+
+TEST(GravityMatrix, FeedsLoadNetwork) {
+  const auto net = topology::internet2_network();
+  std::vector<double> masses(net.pop_count(), 1.0);
+  masses[*net.find_pop("New York")] = 5.0;
+  masses[*net.find_pop("Los Angeles")] = 4.0;
+  GravityOptions opts;
+  opts.total_demand_mbps = 40000.0;
+  const auto tm = gravity_matrix(net, masses, opts);
+  const auto report = topology::load_network(net, tm);
+  EXPECT_EQ(report.unroutable_demands, 0u);
+  EXPECT_NEAR(report.total_demand_mbps, 40000.0, 1e-6);
+  EXPECT_GT(report.max_utilization, 0.0);
+}
+
+TEST(GravityMatrix, Validates) {
+  const auto net = triangle();
+  EXPECT_THROW(gravity_matrix(net, std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(gravity_matrix(net, std::vector<double>{1.0, 0.0, 1.0}),
+               std::invalid_argument);
+  GravityOptions bad;
+  bad.total_demand_mbps = 0.0;
+  EXPECT_THROW(gravity_matrix(net, std::vector<double>{1.0, 1.0, 1.0}, bad),
+               std::invalid_argument);
+  GravityOptions bad2;
+  bad2.distance_floor_miles = 0.0;
+  EXPECT_THROW(gravity_matrix(net, std::vector<double>{1.0, 1.0, 1.0}, bad2),
+               std::invalid_argument);
+}
+
+TEST(GravityMatrix, SelfPairsOptIn) {
+  const auto net = triangle();
+  const std::vector<double> masses{1.0, 1.0, 1.0};
+  GravityOptions opts;
+  opts.include_self_pairs = true;
+  const auto tm = gravity_matrix(net, masses, opts);
+  EXPECT_EQ(tm.size(), 9u);
+}
+
+}  // namespace
+}  // namespace manytiers::workload

@@ -1,0 +1,121 @@
+#include "workload/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geo/geoip.hpp"
+
+#include "workload/generators.hpp"
+
+namespace manytiers::workload {
+namespace {
+
+FlowSet sample_set() {
+  FlowSet fs("sample");
+  Flow a;
+  a.demand_mbps = 900.5;
+  a.distance_miles = 12.0;
+  a.region = geo::Region::Metro;
+  a.dest_type = DestType::OnNet;
+  a.src_ip = geo::parse_ipv4("10.0.0.1");
+  a.dst_ip = geo::parse_ipv4("100.1.2.3");
+  fs.add(a);
+  Flow b;
+  b.demand_mbps = 3.25;
+  b.distance_miles = 4800.0;
+  b.region = geo::Region::International;
+  b.dest_type = DestType::OffNet;
+  fs.add(b);
+  return fs;
+}
+
+TEST(FlowSetCsv, WritesHeaderAndRows) {
+  const std::string csv = to_csv(sample_set());
+  EXPECT_NE(csv.find("demand_mbps,distance_miles,region,dest_type"),
+            std::string::npos);
+  EXPECT_NE(csv.find("900.5,12,metro,on-net,10.0.0.1,100.1.2.3"),
+            std::string::npos);
+  EXPECT_NE(csv.find("3.25,4800,international,off-net,,"), std::string::npos);
+}
+
+TEST(FlowSetCsv, RoundTripsAllFields) {
+  const auto original = sample_set();
+  const auto parsed = from_csv(to_csv(original), "sample");
+  ASSERT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.name(), "sample");
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i].demand_mbps, original[i].demand_mbps);
+    EXPECT_DOUBLE_EQ(parsed[i].distance_miles, original[i].distance_miles);
+    EXPECT_EQ(parsed[i].region, original[i].region);
+    EXPECT_EQ(parsed[i].dest_type, original[i].dest_type);
+    EXPECT_EQ(parsed[i].src_ip, original[i].src_ip);
+    EXPECT_EQ(parsed[i].dst_ip, original[i].dst_ip);
+  }
+}
+
+TEST(FlowSetCsv, RoundTripsAGeneratedDataset) {
+  const auto flows = generate_eu_isp({.seed = 8, .n_flows = 120});
+  const auto parsed = from_csv(to_csv(flows), flows.name());
+  ASSERT_EQ(parsed.size(), flows.size());
+  EXPECT_NEAR(parsed.total_demand_mbps(), flows.total_demand_mbps(), 1e-6);
+  EXPECT_NEAR(parsed.weighted_avg_distance(), flows.weighted_avg_distance(),
+              1e-6);
+}
+
+TEST(FlowSetCsv, EmptySetWritesJustTheHeader) {
+  const FlowSet empty("e");
+  const auto parsed = from_csv(to_csv(empty));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(FlowSetCsv, SkipsBlankLines) {
+  const auto parsed = from_csv(
+      "demand_mbps,distance_miles,region,dest_type,src_ip,dst_ip\n"
+      "\n"
+      "1.0,2.0,metro,on-net,,\n"
+      "\n");
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(FlowSetCsv, RejectsMissingHeader) {
+  EXPECT_THROW(from_csv("1.0,2.0,metro,on-net,,\n"), std::invalid_argument);
+  EXPECT_THROW(from_csv(""), std::invalid_argument);
+}
+
+TEST(FlowSetCsv, RejectsMalformedRowsWithLineNumbers) {
+  const std::string header =
+      "demand_mbps,distance_miles,region,dest_type,src_ip,dst_ip\n";
+  const auto expect_error = [&](const std::string& row,
+                                const std::string& fragment) {
+    try {
+      from_csv(header + row + "\n");
+      FAIL() << "expected throw for: " << row;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("1.0,2.0,metro,on-net,", "expected 6 fields");
+  expect_error("abc,2.0,metro,on-net,,", "bad demand");
+  expect_error("1.0,xyz,metro,on-net,,", "bad distance");
+  expect_error("1.0,2.0,galactic,on-net,,", "unknown region");
+  expect_error("1.0,2.0,metro,sideways,,", "unknown dest_type");
+  expect_error("0.0,2.0,metro,on-net,,", "demand");   // FlowSet::add rule
+  expect_error("1.0,-2.0,metro,on-net,,", "distance");
+}
+
+TEST(FlowSetCsv, ParsedSetsFeedTheCalibrationPipeline) {
+  const auto flows = from_csv(
+      "demand_mbps,distance_miles,region,dest_type,src_ip,dst_ip\n"
+      "100,5,metro,on-net,,\n"
+      "50,80,national,off-net,,\n"
+      "10,900,international,off-net,,\n");
+  EXPECT_EQ(flows.size(), 3u);
+  EXPECT_DOUBLE_EQ(flows.total_demand_mbps(), 160.0);
+}
+
+}  // namespace
+}  // namespace manytiers::workload

@@ -1,0 +1,51 @@
+#include "workload/table1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manytiers::workload {
+namespace {
+
+FlowSet small_set() {
+  FlowSet fs("tiny");
+  Flow a;
+  a.demand_mbps = 3000.0;
+  a.distance_miles = 100.0;
+  fs.add(a);
+  Flow b;
+  b.demand_mbps = 1000.0;
+  b.distance_miles = 300.0;
+  fs.add(b);
+  return fs;
+}
+
+TEST(ComputeStats, MatchesHandComputedValues) {
+  const auto s = compute_stats(small_set());
+  EXPECT_EQ(s.name, "tiny");
+  EXPECT_EQ(s.flow_count, 2u);
+  EXPECT_DOUBLE_EQ(s.aggregate_gbps, 4.0);
+  EXPECT_DOUBLE_EQ(s.wavg_distance_miles, (3000.0 * 100 + 1000.0 * 300) / 4000.0);
+  // distances {100, 300}: mean 200, population sd 100 -> CV 0.5.
+  EXPECT_DOUBLE_EQ(s.cv_distance, 0.5);
+  // demands {3000, 1000}: mean 2000, sd 1000 -> CV 0.5.
+  EXPECT_DOUBLE_EQ(s.cv_demand, 0.5);
+}
+
+TEST(ComputeStats, RejectsEmpty) {
+  EXPECT_THROW(compute_stats(FlowSet("e")), std::invalid_argument);
+}
+
+TEST(PrintTable1, RendersAllDatasets) {
+  std::vector<DatasetStats> rows{compute_stats(small_set())};
+  rows[0].name = "EU ISP";
+  std::ostringstream os;
+  print_table1(os, rows);
+  const auto out = os.str();
+  EXPECT_NE(out.find("EU ISP"), std::string::npos);
+  EXPECT_NE(out.find("w-avg dist"), std::string::npos);
+  EXPECT_NE(out.find("CV demand"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manytiers::workload
