@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_competition.dir/bench_extension_competition.cpp.o"
+  "CMakeFiles/bench_extension_competition.dir/bench_extension_competition.cpp.o.d"
+  "bench_extension_competition"
+  "bench_extension_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

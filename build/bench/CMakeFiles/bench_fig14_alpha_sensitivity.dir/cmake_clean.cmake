@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_alpha_sensitivity.dir/bench_fig14_alpha_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig14_alpha_sensitivity.dir/bench_fig14_alpha_sensitivity.cpp.o.d"
+  "bench_fig14_alpha_sensitivity"
+  "bench_fig14_alpha_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_alpha_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_direct_peering.dir/bench_fig2_direct_peering.cpp.o"
+  "CMakeFiles/bench_fig2_direct_peering.dir/bench_fig2_direct_peering.cpp.o.d"
+  "bench_fig2_direct_peering"
+  "bench_fig2_direct_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_direct_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

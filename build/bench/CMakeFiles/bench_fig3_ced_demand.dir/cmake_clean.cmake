@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ced_demand.dir/bench_fig3_ced_demand.cpp.o"
+  "CMakeFiles/bench_fig3_ced_demand.dir/bench_fig3_ced_demand.cpp.o.d"
+  "bench_fig3_ced_demand"
+  "bench_fig3_ced_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ced_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_logit_demand.dir/bench_fig5_logit_demand.cpp.o"
+  "CMakeFiles/bench_fig5_logit_demand.dir/bench_fig5_logit_demand.cpp.o.d"
+  "bench_fig5_logit_demand"
+  "bench_fig5_logit_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_logit_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_concave_fit.dir/bench_fig6_concave_fit.cpp.o"
+  "CMakeFiles/bench_fig6_concave_fit.dir/bench_fig6_concave_fit.cpp.o.d"
+  "bench_fig6_concave_fit"
+  "bench_fig6_concave_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_concave_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_bundling_ced.cpp" "bench/CMakeFiles/bench_fig8_bundling_ced.dir/bench_fig8_bundling_ced.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_bundling_ced.dir/bench_fig8_bundling_ced.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manytiers_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_bundling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

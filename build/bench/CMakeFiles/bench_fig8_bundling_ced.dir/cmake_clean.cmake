@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bundling_ced.dir/bench_fig8_bundling_ced.cpp.o"
+  "CMakeFiles/bench_fig8_bundling_ced.dir/bench_fig8_bundling_ced.cpp.o.d"
+  "bench_fig8_bundling_ced"
+  "bench_fig8_bundling_ced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bundling_ced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_bundling_logit.dir/bench_fig9_bundling_logit.cpp.o"
+  "CMakeFiles/bench_fig9_bundling_logit.dir/bench_fig9_bundling_logit.cpp.o.d"
+  "bench_fig9_bundling_logit"
+  "bench_fig9_bundling_logit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_bundling_logit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_welfare_extension.dir/bench_welfare_extension.cpp.o"
+  "CMakeFiles/bench_welfare_extension.dir/bench_welfare_extension.cpp.o.d"
+  "bench_welfare_extension"
+  "bench_welfare_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_welfare_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

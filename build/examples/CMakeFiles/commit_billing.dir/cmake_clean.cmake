@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_billing.dir/commit_billing.cpp.o"
+  "CMakeFiles/commit_billing.dir/commit_billing.cpp.o.d"
+  "commit_billing"
+  "commit_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

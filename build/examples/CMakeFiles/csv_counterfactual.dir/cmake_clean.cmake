@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_counterfactual.dir/csv_counterfactual.cpp.o"
+  "CMakeFiles/csv_counterfactual.dir/csv_counterfactual.cpp.o.d"
+  "csv_counterfactual"
+  "csv_counterfactual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

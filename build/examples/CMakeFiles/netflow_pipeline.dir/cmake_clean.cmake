@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_pipeline.dir/netflow_pipeline.cpp.o"
+  "CMakeFiles/netflow_pipeline.dir/netflow_pipeline.cpp.o.d"
+  "netflow_pipeline"
+  "netflow_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

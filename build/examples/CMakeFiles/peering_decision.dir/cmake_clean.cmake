@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_decision.dir/peering_decision.cpp.o"
+  "CMakeFiles/peering_decision.dir/peering_decision.cpp.o.d"
+  "peering_decision"
+  "peering_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

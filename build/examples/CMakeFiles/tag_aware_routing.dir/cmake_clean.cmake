@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_aware_routing.dir/tag_aware_routing.cpp.o"
+  "CMakeFiles/tag_aware_routing.dir/tag_aware_routing.cpp.o.d"
+  "tag_aware_routing"
+  "tag_aware_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_aware_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tag_aware_routing.
+# This may be replaced when dependencies are built.

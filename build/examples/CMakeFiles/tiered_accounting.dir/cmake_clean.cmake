@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_accounting.dir/tiered_accounting.cpp.o"
+  "CMakeFiles/tiered_accounting.dir/tiered_accounting.cpp.o.d"
+  "tiered_accounting"
+  "tiered_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

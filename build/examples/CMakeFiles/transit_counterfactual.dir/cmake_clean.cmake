@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transit_counterfactual.dir/transit_counterfactual.cpp.o"
+  "CMakeFiles/transit_counterfactual.dir/transit_counterfactual.cpp.o.d"
+  "transit_counterfactual"
+  "transit_counterfactual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transit_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accounting/bgp_codec.cpp" "src/CMakeFiles/manytiers_accounting.dir/accounting/bgp_codec.cpp.o" "gcc" "src/CMakeFiles/manytiers_accounting.dir/accounting/bgp_codec.cpp.o.d"
+  "/root/repo/src/accounting/billing.cpp" "src/CMakeFiles/manytiers_accounting.dir/accounting/billing.cpp.o" "gcc" "src/CMakeFiles/manytiers_accounting.dir/accounting/billing.cpp.o.d"
+  "/root/repo/src/accounting/commit.cpp" "src/CMakeFiles/manytiers_accounting.dir/accounting/commit.cpp.o" "gcc" "src/CMakeFiles/manytiers_accounting.dir/accounting/commit.cpp.o.d"
+  "/root/repo/src/accounting/flow_acct.cpp" "src/CMakeFiles/manytiers_accounting.dir/accounting/flow_acct.cpp.o" "gcc" "src/CMakeFiles/manytiers_accounting.dir/accounting/flow_acct.cpp.o.d"
+  "/root/repo/src/accounting/link_acct.cpp" "src/CMakeFiles/manytiers_accounting.dir/accounting/link_acct.cpp.o" "gcc" "src/CMakeFiles/manytiers_accounting.dir/accounting/link_acct.cpp.o.d"
+  "/root/repo/src/accounting/policy.cpp" "src/CMakeFiles/manytiers_accounting.dir/accounting/policy.cpp.o" "gcc" "src/CMakeFiles/manytiers_accounting.dir/accounting/policy.cpp.o.d"
+  "/root/repo/src/accounting/route.cpp" "src/CMakeFiles/manytiers_accounting.dir/accounting/route.cpp.o" "gcc" "src/CMakeFiles/manytiers_accounting.dir/accounting/route.cpp.o.d"
+  "/root/repo/src/accounting/session.cpp" "src/CMakeFiles/manytiers_accounting.dir/accounting/session.cpp.o" "gcc" "src/CMakeFiles/manytiers_accounting.dir/accounting/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manytiers_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_bundling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

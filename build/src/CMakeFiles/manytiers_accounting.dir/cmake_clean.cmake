@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_accounting.dir/accounting/bgp_codec.cpp.o"
+  "CMakeFiles/manytiers_accounting.dir/accounting/bgp_codec.cpp.o.d"
+  "CMakeFiles/manytiers_accounting.dir/accounting/billing.cpp.o"
+  "CMakeFiles/manytiers_accounting.dir/accounting/billing.cpp.o.d"
+  "CMakeFiles/manytiers_accounting.dir/accounting/commit.cpp.o"
+  "CMakeFiles/manytiers_accounting.dir/accounting/commit.cpp.o.d"
+  "CMakeFiles/manytiers_accounting.dir/accounting/flow_acct.cpp.o"
+  "CMakeFiles/manytiers_accounting.dir/accounting/flow_acct.cpp.o.d"
+  "CMakeFiles/manytiers_accounting.dir/accounting/link_acct.cpp.o"
+  "CMakeFiles/manytiers_accounting.dir/accounting/link_acct.cpp.o.d"
+  "CMakeFiles/manytiers_accounting.dir/accounting/policy.cpp.o"
+  "CMakeFiles/manytiers_accounting.dir/accounting/policy.cpp.o.d"
+  "CMakeFiles/manytiers_accounting.dir/accounting/route.cpp.o"
+  "CMakeFiles/manytiers_accounting.dir/accounting/route.cpp.o.d"
+  "CMakeFiles/manytiers_accounting.dir/accounting/session.cpp.o"
+  "CMakeFiles/manytiers_accounting.dir/accounting/session.cpp.o.d"
+  "libmanytiers_accounting.a"
+  "libmanytiers_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_bundling.dir/bundling/bundle.cpp.o"
+  "CMakeFiles/manytiers_bundling.dir/bundling/bundle.cpp.o.d"
+  "CMakeFiles/manytiers_bundling.dir/bundling/optimal.cpp.o"
+  "CMakeFiles/manytiers_bundling.dir/bundling/optimal.cpp.o.d"
+  "CMakeFiles/manytiers_bundling.dir/bundling/strategies.cpp.o"
+  "CMakeFiles/manytiers_bundling.dir/bundling/strategies.cpp.o.d"
+  "libmanytiers_bundling.a"
+  "libmanytiers_bundling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/concave.cpp" "src/CMakeFiles/manytiers_cost.dir/cost/concave.cpp.o" "gcc" "src/CMakeFiles/manytiers_cost.dir/cost/concave.cpp.o.d"
+  "/root/repo/src/cost/cost.cpp" "src/CMakeFiles/manytiers_cost.dir/cost/cost.cpp.o" "gcc" "src/CMakeFiles/manytiers_cost.dir/cost/cost.cpp.o.d"
+  "/root/repo/src/cost/dest_type.cpp" "src/CMakeFiles/manytiers_cost.dir/cost/dest_type.cpp.o" "gcc" "src/CMakeFiles/manytiers_cost.dir/cost/dest_type.cpp.o.d"
+  "/root/repo/src/cost/linear.cpp" "src/CMakeFiles/manytiers_cost.dir/cost/linear.cpp.o" "gcc" "src/CMakeFiles/manytiers_cost.dir/cost/linear.cpp.o.d"
+  "/root/repo/src/cost/regional.cpp" "src/CMakeFiles/manytiers_cost.dir/cost/regional.cpp.o" "gcc" "src/CMakeFiles/manytiers_cost.dir/cost/regional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manytiers_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_cost.dir/cost/concave.cpp.o"
+  "CMakeFiles/manytiers_cost.dir/cost/concave.cpp.o.d"
+  "CMakeFiles/manytiers_cost.dir/cost/cost.cpp.o"
+  "CMakeFiles/manytiers_cost.dir/cost/cost.cpp.o.d"
+  "CMakeFiles/manytiers_cost.dir/cost/dest_type.cpp.o"
+  "CMakeFiles/manytiers_cost.dir/cost/dest_type.cpp.o.d"
+  "CMakeFiles/manytiers_cost.dir/cost/linear.cpp.o"
+  "CMakeFiles/manytiers_cost.dir/cost/linear.cpp.o.d"
+  "CMakeFiles/manytiers_cost.dir/cost/regional.cpp.o"
+  "CMakeFiles/manytiers_cost.dir/cost/regional.cpp.o.d"
+  "libmanytiers_cost.a"
+  "libmanytiers_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

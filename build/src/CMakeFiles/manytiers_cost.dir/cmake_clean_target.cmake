@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmanytiers_cost.a"
+)

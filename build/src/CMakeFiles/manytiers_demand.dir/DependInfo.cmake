@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/demand/ced.cpp" "src/CMakeFiles/manytiers_demand.dir/demand/ced.cpp.o" "gcc" "src/CMakeFiles/manytiers_demand.dir/demand/ced.cpp.o.d"
+  "/root/repo/src/demand/estimation.cpp" "src/CMakeFiles/manytiers_demand.dir/demand/estimation.cpp.o" "gcc" "src/CMakeFiles/manytiers_demand.dir/demand/estimation.cpp.o.d"
+  "/root/repo/src/demand/logit.cpp" "src/CMakeFiles/manytiers_demand.dir/demand/logit.cpp.o" "gcc" "src/CMakeFiles/manytiers_demand.dir/demand/logit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manytiers_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

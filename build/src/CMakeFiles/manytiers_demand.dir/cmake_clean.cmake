@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_demand.dir/demand/ced.cpp.o"
+  "CMakeFiles/manytiers_demand.dir/demand/ced.cpp.o.d"
+  "CMakeFiles/manytiers_demand.dir/demand/estimation.cpp.o"
+  "CMakeFiles/manytiers_demand.dir/demand/estimation.cpp.o.d"
+  "CMakeFiles/manytiers_demand.dir/demand/logit.cpp.o"
+  "CMakeFiles/manytiers_demand.dir/demand/logit.cpp.o.d"
+  "libmanytiers_demand.a"
+  "libmanytiers_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

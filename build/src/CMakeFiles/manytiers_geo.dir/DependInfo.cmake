@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/cities.cpp" "src/CMakeFiles/manytiers_geo.dir/geo/cities.cpp.o" "gcc" "src/CMakeFiles/manytiers_geo.dir/geo/cities.cpp.o.d"
+  "/root/repo/src/geo/coord.cpp" "src/CMakeFiles/manytiers_geo.dir/geo/coord.cpp.o" "gcc" "src/CMakeFiles/manytiers_geo.dir/geo/coord.cpp.o.d"
+  "/root/repo/src/geo/geoip.cpp" "src/CMakeFiles/manytiers_geo.dir/geo/geoip.cpp.o" "gcc" "src/CMakeFiles/manytiers_geo.dir/geo/geoip.cpp.o.d"
+  "/root/repo/src/geo/region.cpp" "src/CMakeFiles/manytiers_geo.dir/geo/region.cpp.o" "gcc" "src/CMakeFiles/manytiers_geo.dir/geo/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manytiers_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_geo.dir/geo/cities.cpp.o"
+  "CMakeFiles/manytiers_geo.dir/geo/cities.cpp.o.d"
+  "CMakeFiles/manytiers_geo.dir/geo/coord.cpp.o"
+  "CMakeFiles/manytiers_geo.dir/geo/coord.cpp.o.d"
+  "CMakeFiles/manytiers_geo.dir/geo/geoip.cpp.o"
+  "CMakeFiles/manytiers_geo.dir/geo/geoip.cpp.o.d"
+  "CMakeFiles/manytiers_geo.dir/geo/region.cpp.o"
+  "CMakeFiles/manytiers_geo.dir/geo/region.cpp.o.d"
+  "libmanytiers_geo.a"
+  "libmanytiers_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

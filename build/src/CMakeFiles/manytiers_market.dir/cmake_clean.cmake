@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_market.dir/market/competition.cpp.o"
+  "CMakeFiles/manytiers_market.dir/market/competition.cpp.o.d"
+  "libmanytiers_market.a"
+  "libmanytiers_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netflow/codec.cpp" "src/CMakeFiles/manytiers_netflow.dir/netflow/codec.cpp.o" "gcc" "src/CMakeFiles/manytiers_netflow.dir/netflow/codec.cpp.o.d"
+  "/root/repo/src/netflow/collector.cpp" "src/CMakeFiles/manytiers_netflow.dir/netflow/collector.cpp.o" "gcc" "src/CMakeFiles/manytiers_netflow.dir/netflow/collector.cpp.o.d"
+  "/root/repo/src/netflow/exporter.cpp" "src/CMakeFiles/manytiers_netflow.dir/netflow/exporter.cpp.o" "gcc" "src/CMakeFiles/manytiers_netflow.dir/netflow/exporter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manytiers_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_netflow.dir/netflow/codec.cpp.o"
+  "CMakeFiles/manytiers_netflow.dir/netflow/codec.cpp.o.d"
+  "CMakeFiles/manytiers_netflow.dir/netflow/collector.cpp.o"
+  "CMakeFiles/manytiers_netflow.dir/netflow/collector.cpp.o.d"
+  "CMakeFiles/manytiers_netflow.dir/netflow/exporter.cpp.o"
+  "CMakeFiles/manytiers_netflow.dir/netflow/exporter.cpp.o.d"
+  "libmanytiers_netflow.a"
+  "libmanytiers_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

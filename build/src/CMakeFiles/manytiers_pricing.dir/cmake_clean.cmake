@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_pricing.dir/pricing/counterfactual.cpp.o"
+  "CMakeFiles/manytiers_pricing.dir/pricing/counterfactual.cpp.o.d"
+  "CMakeFiles/manytiers_pricing.dir/pricing/engine.cpp.o"
+  "CMakeFiles/manytiers_pricing.dir/pricing/engine.cpp.o.d"
+  "CMakeFiles/manytiers_pricing.dir/pricing/scenario.cpp.o"
+  "CMakeFiles/manytiers_pricing.dir/pricing/scenario.cpp.o.d"
+  "CMakeFiles/manytiers_pricing.dir/pricing/sensitivity.cpp.o"
+  "CMakeFiles/manytiers_pricing.dir/pricing/sensitivity.cpp.o.d"
+  "CMakeFiles/manytiers_pricing.dir/pricing/welfare.cpp.o"
+  "CMakeFiles/manytiers_pricing.dir/pricing/welfare.cpp.o.d"
+  "libmanytiers_pricing.a"
+  "libmanytiers_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/dijkstra.cpp" "src/CMakeFiles/manytiers_topology.dir/topology/dijkstra.cpp.o" "gcc" "src/CMakeFiles/manytiers_topology.dir/topology/dijkstra.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/CMakeFiles/manytiers_topology.dir/topology/graph.cpp.o" "gcc" "src/CMakeFiles/manytiers_topology.dir/topology/graph.cpp.o.d"
+  "/root/repo/src/topology/internet2.cpp" "src/CMakeFiles/manytiers_topology.dir/topology/internet2.cpp.o" "gcc" "src/CMakeFiles/manytiers_topology.dir/topology/internet2.cpp.o.d"
+  "/root/repo/src/topology/utilization.cpp" "src/CMakeFiles/manytiers_topology.dir/topology/utilization.cpp.o" "gcc" "src/CMakeFiles/manytiers_topology.dir/topology/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manytiers_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

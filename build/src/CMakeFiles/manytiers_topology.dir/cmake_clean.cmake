@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_topology.dir/topology/dijkstra.cpp.o"
+  "CMakeFiles/manytiers_topology.dir/topology/dijkstra.cpp.o.d"
+  "CMakeFiles/manytiers_topology.dir/topology/graph.cpp.o"
+  "CMakeFiles/manytiers_topology.dir/topology/graph.cpp.o.d"
+  "CMakeFiles/manytiers_topology.dir/topology/internet2.cpp.o"
+  "CMakeFiles/manytiers_topology.dir/topology/internet2.cpp.o.d"
+  "CMakeFiles/manytiers_topology.dir/topology/utilization.cpp.o"
+  "CMakeFiles/manytiers_topology.dir/topology/utilization.cpp.o.d"
+  "libmanytiers_topology.a"
+  "libmanytiers_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

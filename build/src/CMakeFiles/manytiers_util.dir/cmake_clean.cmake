@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_util.dir/util/fitting.cpp.o"
+  "CMakeFiles/manytiers_util.dir/util/fitting.cpp.o.d"
+  "CMakeFiles/manytiers_util.dir/util/optimize.cpp.o"
+  "CMakeFiles/manytiers_util.dir/util/optimize.cpp.o.d"
+  "CMakeFiles/manytiers_util.dir/util/rng.cpp.o"
+  "CMakeFiles/manytiers_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/manytiers_util.dir/util/stats.cpp.o"
+  "CMakeFiles/manytiers_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/manytiers_util.dir/util/table.cpp.o"
+  "CMakeFiles/manytiers_util.dir/util/table.cpp.o.d"
+  "libmanytiers_util.a"
+  "libmanytiers_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

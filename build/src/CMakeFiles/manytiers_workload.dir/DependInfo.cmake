@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/diurnal.cpp" "src/CMakeFiles/manytiers_workload.dir/workload/diurnal.cpp.o" "gcc" "src/CMakeFiles/manytiers_workload.dir/workload/diurnal.cpp.o.d"
+  "/root/repo/src/workload/flowset.cpp" "src/CMakeFiles/manytiers_workload.dir/workload/flowset.cpp.o" "gcc" "src/CMakeFiles/manytiers_workload.dir/workload/flowset.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/manytiers_workload.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/manytiers_workload.dir/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/gravity.cpp" "src/CMakeFiles/manytiers_workload.dir/workload/gravity.cpp.o" "gcc" "src/CMakeFiles/manytiers_workload.dir/workload/gravity.cpp.o.d"
+  "/root/repo/src/workload/io.cpp" "src/CMakeFiles/manytiers_workload.dir/workload/io.cpp.o" "gcc" "src/CMakeFiles/manytiers_workload.dir/workload/io.cpp.o.d"
+  "/root/repo/src/workload/table1.cpp" "src/CMakeFiles/manytiers_workload.dir/workload/table1.cpp.o" "gcc" "src/CMakeFiles/manytiers_workload.dir/workload/table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manytiers_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/manytiers_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytiers_workload.dir/workload/diurnal.cpp.o"
+  "CMakeFiles/manytiers_workload.dir/workload/diurnal.cpp.o.d"
+  "CMakeFiles/manytiers_workload.dir/workload/flowset.cpp.o"
+  "CMakeFiles/manytiers_workload.dir/workload/flowset.cpp.o.d"
+  "CMakeFiles/manytiers_workload.dir/workload/generators.cpp.o"
+  "CMakeFiles/manytiers_workload.dir/workload/generators.cpp.o.d"
+  "CMakeFiles/manytiers_workload.dir/workload/gravity.cpp.o"
+  "CMakeFiles/manytiers_workload.dir/workload/gravity.cpp.o.d"
+  "CMakeFiles/manytiers_workload.dir/workload/io.cpp.o"
+  "CMakeFiles/manytiers_workload.dir/workload/io.cpp.o.d"
+  "CMakeFiles/manytiers_workload.dir/workload/table1.cpp.o"
+  "CMakeFiles/manytiers_workload.dir/workload/table1.cpp.o.d"
+  "libmanytiers_workload.a"
+  "libmanytiers_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytiers_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

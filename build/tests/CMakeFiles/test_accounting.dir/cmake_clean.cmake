@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accounting.dir/accounting/accounting_test.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/accounting_test.cpp.o.d"
+  "CMakeFiles/test_accounting.dir/accounting/bgp_codec_test.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/bgp_codec_test.cpp.o.d"
+  "CMakeFiles/test_accounting.dir/accounting/billing_test.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/billing_test.cpp.o.d"
+  "CMakeFiles/test_accounting.dir/accounting/commit_test.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/commit_test.cpp.o.d"
+  "CMakeFiles/test_accounting.dir/accounting/policy_test.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/policy_test.cpp.o.d"
+  "CMakeFiles/test_accounting.dir/accounting/route_test.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/route_test.cpp.o.d"
+  "CMakeFiles/test_accounting.dir/accounting/session_test.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/session_test.cpp.o.d"
+  "test_accounting"
+  "test_accounting.pdb"
+  "test_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

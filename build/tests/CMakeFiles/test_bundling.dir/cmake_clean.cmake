@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bundling.dir/bundling/bundle_test.cpp.o"
+  "CMakeFiles/test_bundling.dir/bundling/bundle_test.cpp.o.d"
+  "CMakeFiles/test_bundling.dir/bundling/optimal_test.cpp.o"
+  "CMakeFiles/test_bundling.dir/bundling/optimal_test.cpp.o.d"
+  "CMakeFiles/test_bundling.dir/bundling/strategies_test.cpp.o"
+  "CMakeFiles/test_bundling.dir/bundling/strategies_test.cpp.o.d"
+  "test_bundling"
+  "test_bundling.pdb"
+  "test_bundling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

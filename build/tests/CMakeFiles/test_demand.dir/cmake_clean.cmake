@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_demand.dir/demand/ced_test.cpp.o"
+  "CMakeFiles/test_demand.dir/demand/ced_test.cpp.o.d"
+  "CMakeFiles/test_demand.dir/demand/estimation_test.cpp.o"
+  "CMakeFiles/test_demand.dir/demand/estimation_test.cpp.o.d"
+  "CMakeFiles/test_demand.dir/demand/logit_test.cpp.o"
+  "CMakeFiles/test_demand.dir/demand/logit_test.cpp.o.d"
+  "test_demand"
+  "test_demand.pdb"
+  "test_demand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netflow.dir/netflow/codec_test.cpp.o"
+  "CMakeFiles/test_netflow.dir/netflow/codec_test.cpp.o.d"
+  "CMakeFiles/test_netflow.dir/netflow/collector_test.cpp.o"
+  "CMakeFiles/test_netflow.dir/netflow/collector_test.cpp.o.d"
+  "CMakeFiles/test_netflow.dir/netflow/exporter_test.cpp.o"
+  "CMakeFiles/test_netflow.dir/netflow/exporter_test.cpp.o.d"
+  "test_netflow"
+  "test_netflow.pdb"
+  "test_netflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

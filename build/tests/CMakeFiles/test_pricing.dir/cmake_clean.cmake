@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pricing.dir/pricing/counterfactual_test.cpp.o"
+  "CMakeFiles/test_pricing.dir/pricing/counterfactual_test.cpp.o.d"
+  "CMakeFiles/test_pricing.dir/pricing/engine_test.cpp.o"
+  "CMakeFiles/test_pricing.dir/pricing/engine_test.cpp.o.d"
+  "CMakeFiles/test_pricing.dir/pricing/scenario_test.cpp.o"
+  "CMakeFiles/test_pricing.dir/pricing/scenario_test.cpp.o.d"
+  "CMakeFiles/test_pricing.dir/pricing/sensitivity_test.cpp.o"
+  "CMakeFiles/test_pricing.dir/pricing/sensitivity_test.cpp.o.d"
+  "CMakeFiles/test_pricing.dir/pricing/welfare_test.cpp.o"
+  "CMakeFiles/test_pricing.dir/pricing/welfare_test.cpp.o.d"
+  "test_pricing"
+  "test_pricing.pdb"
+  "test_pricing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

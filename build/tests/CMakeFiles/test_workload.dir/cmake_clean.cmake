@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/diurnal_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/diurnal_test.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/flowset_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/flowset_test.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/generators_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/generators_test.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/gravity_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/gravity_test.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/io_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/io_test.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/table1_test.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/table1_test.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

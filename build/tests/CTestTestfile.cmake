@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_netflow[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_demand[1]_include.cmake")
+include("/root/repo/build/tests/test_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_bundling[1]_include.cmake")
+include("/root/repo/build/tests/test_pricing[1]_include.cmake")
+include("/root/repo/build/tests/test_market[1]_include.cmake")
+include("/root/repo/build/tests/test_accounting[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
