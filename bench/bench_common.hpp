@@ -7,7 +7,10 @@
 // reproductions of Table 1.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "pricing/counterfactual.hpp"
@@ -134,6 +137,56 @@ inline void header(const char* figure, const char* summary) {
             << figure << "\n"
             << summary << "\n"
             << "==================================================\n\n";
+}
+
+// --- Timing harness ---
+//
+// Wall-clock measurement with warmup iterations (caches, allocator, CPU
+// frequency settle) followed by `reps` timed repetitions; the reported
+// figure is the median, which shrugs off one-off scheduler hiccups that
+// poison means. Results are also emitted as one JSON object per line
+// (prefixed "BENCH_JSON ") so future PRs can scrape a perf trajectory
+// out of bench logs without parsing the human tables.
+
+struct TimingOptions {
+  std::size_t warmup = 1;
+  std::size_t reps = 5;
+};
+
+template <typename Fn>
+double median_wall_ms(Fn&& fn, const TimingOptions& opt = {}) {
+  for (std::size_t i = 0; i < opt.warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(opt.reps);
+  for (std::size_t i = 0; i < opt.reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1
+             ? samples[mid]
+             : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+inline void emit_timing_json(const std::string& name, std::size_t n,
+                             double wall_ms, std::size_t threads) {
+  std::cout << "BENCH_JSON {\"bench\":\"" << name << "\",\"n\":" << n
+            << ",\"wall_ms\":" << wall_ms << ",\"threads\":" << threads
+            << "}\n";
+}
+
+// Time `fn` (median of reps after warmup), emit the JSON record, and
+// return the median for further reporting.
+template <typename Fn>
+double run_timed(const std::string& name, std::size_t n, std::size_t threads,
+                 Fn&& fn, const TimingOptions& opt = {}) {
+  const double ms = median_wall_ms(fn, opt);
+  emit_timing_json(name, n, ms, threads);
+  return ms;
 }
 
 }  // namespace manytiers::bench

@@ -1,0 +1,133 @@
+// Regression guard for the parallel sweep engine: run one fixed
+// sensitivity-sweep workload (alpha sweep, Optimal bundling, both demand
+// models) at 1, 2, 4 and hardware_concurrency threads, report wall-clock
+// speedup over the 1-thread run, and verify the 1-thread result is
+// bit-identical to the pre-change serial reference (a plain loop over
+// parameter points calling run_strategy at every bundle count).
+#include "bench_common.hpp"
+
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "pricing/sensitivity.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace manytiers;
+
+struct Workload {
+  workload::FlowSet flows;
+  std::unique_ptr<cost::CostModel> cost;
+  std::vector<double> alphas;
+  std::size_t max_bundles = 6;
+
+  pricing::SensitivityInputs inputs(demand::DemandKind kind,
+                                    std::size_t threads) const {
+    pricing::SensitivityInputs in;
+    in.flows = &flows;
+    in.cost_model = cost.get();
+    in.demand.kind = kind;
+    in.strategy = pricing::Strategy::Optimal;
+    in.max_bundles = max_bundles;
+    in.threads = threads;
+    return in;
+  }
+};
+
+Workload fixed_workload() {
+  Workload w{.flows = workload::generate_eu_isp({.seed = 42, .n_flows = 300}),
+             .cost = cost::make_linear_cost(0.2),
+             .alphas = {1.05, 1.1, 1.3, 1.5, 2.0, 3.0, 5.0, 10.0}};
+  return w;
+}
+
+// The pre-change serial path: calibrate each point and evaluate every
+// bundle count through run_strategy, reducing min/max in parameter order.
+pricing::SweepResult serial_reference(const Workload& w,
+                                      demand::DemandKind kind) {
+  pricing::SweepResult out;
+  out.min_capture.assign(w.max_bundles, std::numeric_limits<double>::max());
+  out.max_capture.assign(w.max_bundles, -std::numeric_limits<double>::max());
+  for (const double alpha : w.alphas) {
+    pricing::DemandSpec spec;
+    spec.kind = kind;
+    spec.alpha = alpha;
+    const auto market = pricing::Market::calibrate(w.flows, spec, *w.cost, 20.0);
+    for (std::size_t b = 1; b <= w.max_bundles; ++b) {
+      const double capture =
+          pricing::run_strategy(market, pricing::Strategy::Optimal, b).capture;
+      out.min_capture[b - 1] = std::min(out.min_capture[b - 1], capture);
+      out.max_capture[b - 1] = std::max(out.max_capture[b - 1], capture);
+    }
+    ++out.points;
+  }
+  return out;
+}
+
+bool bitwise_equal(const pricing::SweepResult& a,
+                   const pricing::SweepResult& b) {
+  return a.min_capture == b.min_capture && a.max_capture == b.max_capture &&
+         a.points == b.points;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Sweep scaling — parallel sensitivity engine",
+                "Fixed alpha-sweep workload (300 flows, 8 alphas, Optimal "
+                "bundling) at 1/2/4/hw threads.");
+
+  const auto w = fixed_workload();
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  const std::size_t hw = util::default_thread_count();
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+      thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+  std::cout << "hardware_concurrency: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  bool all_identical = true;
+  for (const auto kind : {demand::DemandKind::ConstantElasticity,
+                          demand::DemandKind::Logit}) {
+    std::cout << bench::demand_name(kind) << ":\n";
+    pricing::SweepResult reference;
+    const double reference_ms = bench::run_timed(
+        std::string("sweep_prechange_") +
+            (kind == demand::DemandKind::ConstantElasticity ? "ced" : "logit"),
+        w.flows.size(), 1, [&] { reference = serial_reference(w, kind); });
+    std::cout << "  pre-change per-b path (serial): "
+              << util::format_double(reference_ms, 2) << " ms\n";
+    util::TextTable table({"Threads", "wall ms", "speedup"});
+    double base_ms = 0.0;
+    for (const std::size_t threads : thread_counts) {
+      pricing::SweepResult result;
+      const double ms = bench::run_timed(
+          std::string("sweep_scaling_") +
+              (kind == demand::DemandKind::ConstantElasticity ? "ced"
+                                                              : "logit"),
+          w.flows.size(), threads,
+          [&] { result = pricing::sweep_alpha(w.inputs(kind, threads),
+                                              w.alphas); });
+      if (threads == 1) base_ms = ms;
+      const bool identical = bitwise_equal(result, reference);
+      all_identical = all_identical && identical;
+      table.add_row(std::to_string(threads),
+                    {ms, base_ms > 0.0 ? base_ms / ms : 0.0}, 2);
+      std::cout << "  threads=" << threads
+                << (identical ? "  matches serial reference bit-for-bit"
+                              : "  MISMATCH vs serial reference!")
+                << '\n';
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << (all_identical
+                    ? "All thread counts reproduce the serial reference "
+                      "exactly.\n"
+                    : "ERROR: parallel sweep diverged from the serial "
+                      "reference.\n");
+  return all_identical ? 0 : 1;
+}

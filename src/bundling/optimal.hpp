@@ -41,6 +41,19 @@ Bundling logit_optimal(std::span<const double> valuations,
                        std::span<const double> costs, double alpha,
                        std::size_t n_bundles);
 
+// Series variants: element b-1 equals ced_optimal / logit_optimal at
+// bundle count b, for every b in 1..max_bundles, from ONE sort, one set
+// of prefix sums, and one DP table fill (interval_dp_all) — O(n^2 B)
+// total instead of O(n^2 B^2) for the per-b loop.
+std::vector<Bundling> ced_optimal_series(std::span<const double> valuations,
+                                         std::span<const double> costs,
+                                         double alpha,
+                                         std::size_t max_bundles);
+std::vector<Bundling> logit_optimal_series(std::span<const double> valuations,
+                                           std::span<const double> costs,
+                                           double alpha,
+                                           std::size_t max_bundles);
+
 // Shared machinery: maximize the sum of `segment_value(i, j)` (value of
 // the sorted segment [i, j)) over partitions of the `order`-sorted flows
 // into at most `n_bundles` intervals. Returns bundles of original indices.
@@ -48,5 +61,21 @@ Bundling interval_dp(std::span<const std::size_t> order,
                      std::size_t n_bundles,
                      const std::function<double(std::size_t, std::size_t)>&
                          segment_value);
+
+// One DP fill, every bundle count: element b-1 is identical to
+// interval_dp(order, b, segment_value) for b = 1..max_bundles. The DP
+// rows are shared across bundle counts (row b only reads row b-1), so
+// filling once and reconstructing per b gives bit-identical results at
+// 1/max_bundles of the cost.
+std::vector<Bundling> interval_dp_all(
+    std::span<const std::size_t> order, std::size_t max_bundles,
+    const std::function<double(std::size_t, std::size_t)>& segment_value);
+
+// Instrumentation: number of DP table fills since the last reset (shared
+// by interval_dp and interval_dp_all; atomic, safe under parallel
+// sweeps). Lets tests assert that a capture series costs exactly one
+// fill.
+std::size_t interval_dp_fill_count();
+void reset_interval_dp_fill_count();
 
 }  // namespace manytiers::bundling

@@ -75,17 +75,47 @@ Bundling token_bucket_ordered(std::span<const double> weights,
   return drop_empty(std::move(bundles));
 }
 
+std::vector<Bundling> token_bucket_series(std::span<const double> weights,
+                                          std::size_t max_bundles) {
+  if (max_bundles == 0) {
+    throw std::invalid_argument("token_bucket: need at least one bundle");
+  }
+  const auto order = sorted_desc(weights);
+  std::vector<Bundling> out;
+  out.reserve(max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    out.push_back(token_bucket_ordered(weights, order, b));
+  }
+  return out;
+}
+
 Bundling demand_weighted(std::span<const double> demands,
                          std::size_t n_bundles) {
   return token_bucket(demands, n_bundles);
 }
 
-Bundling cost_weighted(std::span<const double> costs, std::size_t n_bundles) {
+std::vector<Bundling> demand_weighted_series(std::span<const double> demands,
+                                             std::size_t max_bundles) {
+  return token_bucket_series(demands, max_bundles);
+}
+
+namespace {
+std::vector<double> inverse_costs(std::span<const double> costs) {
   require_weights(costs, "cost_weighted");
   std::vector<double> inv(costs.size());
   std::transform(costs.begin(), costs.end(), inv.begin(),
                  [](double c) { return 1.0 / c; });
-  return token_bucket(inv, n_bundles);
+  return inv;
+}
+}  // namespace
+
+Bundling cost_weighted(std::span<const double> costs, std::size_t n_bundles) {
+  return token_bucket(inverse_costs(costs), n_bundles);
+}
+
+std::vector<Bundling> cost_weighted_series(std::span<const double> costs,
+                                           std::size_t max_bundles) {
+  return token_bucket_series(inverse_costs(costs), max_bundles);
 }
 
 namespace {
@@ -110,12 +140,27 @@ Bundling profit_weighted(std::span<const double> potential_profits,
   return token_bucket_ordered(potential_profits, order, n_bundles);
 }
 
-Bundling cost_division(std::span<const double> costs, std::size_t n_bundles) {
-  require_weights(costs, "cost_division");
-  if (n_bundles == 0) {
-    throw std::invalid_argument("cost_division: need at least one bundle");
+std::vector<Bundling> profit_weighted_series(
+    std::span<const double> potential_profits, std::span<const double> costs,
+    std::size_t max_bundles) {
+  if (costs.size() != potential_profits.size()) {
+    throw std::invalid_argument("profit_weighted: costs size mismatch");
   }
-  const double cmax = *std::max_element(costs.begin(), costs.end());
+  if (max_bundles == 0) {
+    throw std::invalid_argument("token_bucket: need at least one bundle");
+  }
+  const auto order = sorted_by_cost(costs);
+  std::vector<Bundling> out;
+  out.reserve(max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    out.push_back(token_bucket_ordered(potential_profits, order, b));
+  }
+  return out;
+}
+
+namespace {
+Bundling cost_division_with_cmax(std::span<const double> costs,
+                                 std::size_t n_bundles, double cmax) {
   const double width = cmax / double(n_bundles);
   Bundling bundles(n_bundles);
   for (std::size_t i = 0; i < costs.size(); ++i) {
@@ -128,22 +173,62 @@ Bundling cost_division(std::span<const double> costs, std::size_t n_bundles) {
   return drop_empty(std::move(bundles));
 }
 
-Bundling index_division(std::span<const double> costs, std::size_t n_bundles) {
-  require_weights(costs, "index_division");
-  if (n_bundles == 0) {
-    throw std::invalid_argument("index_division: need at least one bundle");
-  }
-  std::vector<std::size_t> idx(costs.size());
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-    return costs[a] < costs[b];
-  });
-  Bundling bundles(std::min(n_bundles, costs.size()));
+Bundling index_division_ordered(std::span<const std::size_t> idx,
+                                std::size_t n_bundles) {
+  Bundling bundles(std::min(n_bundles, idx.size()));
   for (std::size_t r = 0; r < idx.size(); ++r) {
     const std::size_t j = r * bundles.size() / idx.size();
     bundles[j].push_back(idx[r]);
   }
   return drop_empty(std::move(bundles));
+}
+}  // namespace
+
+Bundling cost_division(std::span<const double> costs, std::size_t n_bundles) {
+  require_weights(costs, "cost_division");
+  if (n_bundles == 0) {
+    throw std::invalid_argument("cost_division: need at least one bundle");
+  }
+  const double cmax = *std::max_element(costs.begin(), costs.end());
+  return cost_division_with_cmax(costs, n_bundles, cmax);
+}
+
+std::vector<Bundling> cost_division_series(std::span<const double> costs,
+                                           std::size_t max_bundles) {
+  require_weights(costs, "cost_division");
+  if (max_bundles == 0) {
+    throw std::invalid_argument("cost_division: need at least one bundle");
+  }
+  const double cmax = *std::max_element(costs.begin(), costs.end());
+  std::vector<Bundling> out;
+  out.reserve(max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    out.push_back(cost_division_with_cmax(costs, b, cmax));
+  }
+  return out;
+}
+
+Bundling index_division(std::span<const double> costs, std::size_t n_bundles) {
+  require_weights(costs, "index_division");
+  if (n_bundles == 0) {
+    throw std::invalid_argument("index_division: need at least one bundle");
+  }
+  return index_division_ordered(sorted_by_cost(costs), n_bundles);
+}
+
+std::vector<Bundling> index_division_series(std::span<const double> costs,
+                                            std::size_t max_bundles) {
+  require_weights(costs, "index_division");
+  if (max_bundles == 0) {
+    throw std::invalid_argument("index_division: need at least one bundle");
+  }
+  const auto idx = sorted_by_cost(costs);
+  std::vector<Bundling> out;
+  out.reserve(max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    out.push_back(index_division_ordered(idx, b));
+  }
+  return out;
 }
 
 Bundling class_aware_profit_weighted(

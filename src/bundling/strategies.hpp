@@ -64,4 +64,24 @@ Bundling class_aware_profit_weighted(
     std::span<const double> potential_profits, std::span<const double> costs,
     std::span<const std::size_t> class_of_flow, std::size_t n_bundles);
 
+// --- Series variants ---
+//
+// Element b-1 equals the corresponding single-count strategy at bundle
+// count b, for every b in 1..max_bundles. The per-b bucket/division fill
+// is O(n), so sharing the one O(n log n) sort (and derived weights)
+// across the series is what makes capture-vs-bundle-count curves cheap.
+std::vector<Bundling> token_bucket_series(std::span<const double> weights,
+                                          std::size_t max_bundles);
+std::vector<Bundling> demand_weighted_series(std::span<const double> demands,
+                                             std::size_t max_bundles);
+std::vector<Bundling> cost_weighted_series(std::span<const double> costs,
+                                           std::size_t max_bundles);
+std::vector<Bundling> profit_weighted_series(
+    std::span<const double> potential_profits, std::span<const double> costs,
+    std::size_t max_bundles);
+std::vector<Bundling> cost_division_series(std::span<const double> costs,
+                                           std::size_t max_bundles);
+std::vector<Bundling> index_division_series(std::span<const double> costs,
+                                            std::size_t max_bundles);
+
 }  // namespace manytiers::bundling

@@ -83,20 +83,74 @@ StrategyResult run_strategy(const Market& market, Strategy strategy,
   return res;
 }
 
+namespace {
+
+// One bundling per bundle count in 1..max_bundles, sharing the per-
+// strategy invariant work across the series: the Optimal strategy fills
+// its interval-DP table once (interval_dp_all) instead of once per b,
+// and the weighted/division heuristics sort once. Results are identical
+// to calling build_bundling at each b.
+std::vector<bundling::Bundling> build_bundling_series(const Market& market,
+                                                      Strategy strategy,
+                                                      std::size_t max_bundles) {
+  const auto& costs = market.costs();
+  switch (strategy) {
+    case Strategy::Optimal:
+      switch (market.demand_spec().kind) {
+        case demand::DemandKind::ConstantElasticity:
+          return bundling::ced_optimal_series(market.valuations(), costs,
+                                              market.demand_spec().alpha,
+                                              max_bundles);
+        case demand::DemandKind::Logit:
+          return bundling::logit_optimal_series(market.valuations(), costs,
+                                                market.demand_spec().alpha,
+                                                max_bundles);
+      }
+      throw std::logic_error("build_bundling_series: unknown demand kind");
+    case Strategy::DemandWeighted:
+      return bundling::demand_weighted_series(market.flows().demands(),
+                                              max_bundles);
+    case Strategy::CostWeighted:
+      return bundling::cost_weighted_series(costs, max_bundles);
+    case Strategy::ProfitWeighted:
+      return bundling::profit_weighted_series(potential_profits(market), costs,
+                                              max_bundles);
+    case Strategy::CostDivision:
+      return bundling::cost_division_series(costs, max_bundles);
+    case Strategy::IndexDivision:
+      return bundling::index_division_series(costs, max_bundles);
+    case Strategy::ClassAwareProfitWeighted: {
+      // The class-aware strategy cannot produce fewer bundles than
+      // classes; report the best feasible coarser bundling instead (plain
+      // profit-weighted) so the series starts at b = 1 like the paper's
+      // figures. The potential-profit vector is shared across the series.
+      const auto profits = potential_profits(market);
+      const std::size_t n_classes = market.cost_class_count();
+      std::vector<bundling::Bundling> out;
+      out.reserve(max_bundles);
+      for (std::size_t b = 1; b <= max_bundles; ++b) {
+        out.push_back(b < n_classes
+                          ? bundling::profit_weighted(profits, costs, b)
+                          : bundling::class_aware_profit_weighted(
+                                profits, costs, market.cost_classes(), b));
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("unknown strategy");
+}
+
+}  // namespace
+
 std::vector<double> capture_series(const Market& market, Strategy strategy,
                                    std::size_t max_bundles) {
+  if (max_bundles == 0) return {};
+  const auto bundlings = build_bundling_series(market, strategy, max_bundles);
   std::vector<double> out;
   out.reserve(max_bundles);
-  for (std::size_t b = 1; b <= max_bundles; ++b) {
-    // The class-aware strategy cannot produce fewer bundles than classes;
-    // report the best feasible coarser bundling instead (one bundle per
-    // class) so the series starts at b = 1 like the paper's figures.
-    if (strategy == Strategy::ClassAwareProfitWeighted &&
-        b < market.cost_class_count()) {
-      out.push_back(run_strategy(market, Strategy::ProfitWeighted, b).capture);
-      continue;
-    }
-    out.push_back(run_strategy(market, strategy, b).capture);
+  for (const auto& bundling : bundlings) {
+    out.push_back(
+        profit_capture(market, price_bundles(market, bundling).profit));
   }
   return out;
 }

@@ -71,41 +71,20 @@ PricedBundling price_bundles(const Market& market,
   return out;
 }
 
+// Both baselines are invariants of the calibrated market; Market
+// computes them once (lazily, thread-safe) and these entry points just
+// read the cache, so a strategy x bundle-count grid pays the O(n)
+// blended evaluation and the logit price solve once per market instead
+// of once per capture.
 double blended_profit(const Market& market) {
-  const std::vector<double> prices(market.size(), market.blended_price());
-  switch (market.demand_spec().kind) {
-    case demand::DemandKind::ConstantElasticity:
-      return market.ced().total_profit(market.valuations(), market.costs(),
-                                       prices);
-    case demand::DemandKind::Logit:
-      return market.logit().total_profit(market.valuations(), market.costs(),
-                                         prices);
-  }
-  throw std::logic_error("blended_profit: unknown demand kind");
+  return market.blended_profit();
 }
 
-double max_profit(const Market& market) {
-  switch (market.demand_spec().kind) {
-    case demand::DemandKind::ConstantElasticity: {
-      const auto& model = market.ced();
-      double total = 0.0;
-      for (std::size_t i = 0; i < market.size(); ++i) {
-        total += model.potential_profit(market.valuations()[i],
-                                        market.costs()[i]);
-      }
-      return total;
-    }
-    case demand::DemandKind::Logit:
-      return market.logit()
-          .optimal_prices(market.valuations(), market.costs())
-          .profit;
-  }
-  throw std::logic_error("max_profit: unknown demand kind");
-}
+double max_profit(const Market& market) { return market.max_profit(); }
 
 double profit_capture(const Market& market, double profit) {
-  const double original = blended_profit(market);
-  const double maximum = max_profit(market);
+  const double original = market.blended_profit();
+  const double maximum = market.max_profit();
   const double headroom = maximum - original;
   if (!(headroom > 1e-12 * std::max(1.0, std::abs(maximum)))) {
     return 1.0;  // no headroom: any bundling trivially captures everything

@@ -1,9 +1,20 @@
 #include "pricing/scenario.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 namespace manytiers::pricing {
+
+// Lazily filled baseline profits. The flag makes the first computation a
+// once-only critical section; afterwards reads are plain loads of
+// immutable doubles. Copies of a Market share the cache (shared_ptr), so
+// priming any copy primes them all.
+struct Market::ProfitCache {
+  std::once_flag once;
+  double blended = 0.0;
+  double maximum = 0.0;
+};
 
 Market Market::calibrate(const workload::FlowSet& flows,
                          const DemandSpec& demand_spec,
@@ -53,8 +64,42 @@ Market Market::calibrate(const workload::FlowSet& flows,
   for (std::size_t i = 0; i < m.costs_.size(); ++i) {
     m.costs_[i] = m.gamma_ * m.relative_costs_[i];
   }
+  m.profit_cache_ = std::make_shared<ProfitCache>();
   return m;
 }
+
+const Market::ProfitCache& Market::primed_cache() const {
+  if (!profit_cache_) {
+    throw std::logic_error("Market: baseline profits of an uncalibrated market");
+  }
+  std::call_once(profit_cache_->once, [this] {
+    switch (spec_.kind) {
+      case demand::DemandKind::ConstantElasticity: {
+        const std::vector<double> prices(size(), blended_price_);
+        profit_cache_->blended = ced_->total_profit(valuations_, costs_, prices);
+        double total = 0.0;
+        for (std::size_t i = 0; i < size(); ++i) {
+          total += ced_->potential_profit(valuations_[i], costs_[i]);
+        }
+        profit_cache_->maximum = total;
+        break;
+      }
+      case demand::DemandKind::Logit: {
+        const std::vector<double> prices(size(), blended_price_);
+        profit_cache_->blended =
+            logit_->total_profit(valuations_, costs_, prices);
+        profit_cache_->maximum =
+            logit_->optimal_prices(valuations_, costs_).profit;
+        break;
+      }
+    }
+  });
+  return *profit_cache_;
+}
+
+double Market::blended_profit() const { return primed_cache().blended; }
+
+double Market::max_profit() const { return primed_cache().maximum; }
 
 std::size_t Market::cost_class_count() const {
   if (classes_.empty()) return 0;

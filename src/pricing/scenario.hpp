@@ -53,8 +53,20 @@ class Market {
   const demand::CedModel& ced() const;
   const demand::LogitModel& logit() const;
 
+  // Baseline profits of the calibrated market, the two invariants every
+  // capture evaluation divides by: profit at the blended rate P0 and
+  // profit under per-flow pricing (both O(n); the logit maximum runs a
+  // price solve). Computed lazily on first use, then cached — thread-safe
+  // via std::call_once, and shared across copies of the market (the
+  // calibrated state they derive from is immutable).
+  double blended_profit() const;
+  double max_profit() const;
+
  private:
   Market() = default;
+
+  struct ProfitCache;
+  const ProfitCache& primed_cache() const;
 
   workload::FlowSet flows_{"uncalibrated"};
   DemandSpec spec_;
@@ -66,6 +78,7 @@ class Market {
   std::vector<std::size_t> classes_;
   std::optional<demand::CedModel> ced_;
   std::optional<demand::LogitModel> logit_;
+  std::shared_ptr<ProfitCache> profit_cache_;  // created by calibrate()
 };
 
 }  // namespace manytiers::pricing

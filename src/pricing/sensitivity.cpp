@@ -3,27 +3,41 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
 
 namespace manytiers::pricing {
 
 SweepResult sweep_captures(std::span<const double> parameter_values,
                            const std::function<Market(double)>& calibrate,
-                           Strategy strategy, std::size_t max_bundles) {
+                           Strategy strategy, std::size_t max_bundles,
+                           std::size_t threads) {
   if (parameter_values.empty()) {
     throw std::invalid_argument("sweep_captures: no parameter values");
   }
   if (max_bundles == 0) {
     throw std::invalid_argument("sweep_captures: need at least one bundle");
   }
+  // Each parameter point calibrates its own market and evaluates its own
+  // capture series; points never touch shared state, so they fan out
+  // across threads. The min/max reduction below then runs serially in
+  // parameter order, making the result independent of the thread count.
+  std::vector<std::vector<double>> series(parameter_values.size());
+  util::parallel_for(
+      parameter_values.size(),
+      [&](std::size_t p) {
+        const Market market = calibrate(parameter_values[p]);
+        series[p] = capture_series(market, strategy, max_bundles);
+      },
+      threads);
   SweepResult out;
   out.min_capture.assign(max_bundles, std::numeric_limits<double>::max());
   out.max_capture.assign(max_bundles, -std::numeric_limits<double>::max());
-  for (const double value : parameter_values) {
-    const Market market = calibrate(value);
-    const auto series = capture_series(market, strategy, max_bundles);
+  for (const auto& point : series) {
     for (std::size_t b = 0; b < max_bundles; ++b) {
-      out.min_capture[b] = std::min(out.min_capture[b], series[b]);
-      out.max_capture[b] = std::max(out.max_capture[b], series[b]);
+      out.min_capture[b] = std::min(out.min_capture[b], point[b]);
+      out.max_capture[b] = std::max(out.max_capture[b], point[b]);
     }
     ++out.points;
   }
@@ -49,7 +63,7 @@ SweepResult sweep_alpha(const SensitivityInputs& inputs,
         return Market::calibrate(*inputs.flows, spec, *inputs.cost_model,
                                  inputs.blended_price);
       },
-      inputs.strategy, inputs.max_bundles);
+      inputs.strategy, inputs.max_bundles, inputs.threads);
 }
 
 SweepResult sweep_blended_price(const SensitivityInputs& inputs,
@@ -61,7 +75,7 @@ SweepResult sweep_blended_price(const SensitivityInputs& inputs,
         return Market::calibrate(*inputs.flows, inputs.demand,
                                  *inputs.cost_model, p0);
       },
-      inputs.strategy, inputs.max_bundles);
+      inputs.strategy, inputs.max_bundles, inputs.threads);
 }
 
 SweepResult sweep_no_purchase_share(const SensitivityInputs& inputs,
@@ -79,7 +93,7 @@ SweepResult sweep_no_purchase_share(const SensitivityInputs& inputs,
         return Market::calibrate(*inputs.flows, spec, *inputs.cost_model,
                                  inputs.blended_price);
       },
-      inputs.strategy, inputs.max_bundles);
+      inputs.strategy, inputs.max_bundles, inputs.threads);
 }
 
 }  // namespace manytiers::pricing

@@ -23,10 +23,18 @@ struct SweepResult {
 };
 
 // Core sweep: `calibrate` builds the market for a parameter value.
+//
+// Parameter points are independent by construction (each calibrates its
+// own Market), so they run in parallel: one task per point, `threads`
+// workers (0 = MANYTIERS_THREADS env override / hardware concurrency).
+// `calibrate` must be safe to call concurrently from multiple threads.
+// Each point's series lands in its own slot and the min/max reduction
+// runs serially in parameter order afterwards, so results are
+// bit-identical at every thread count.
 SweepResult sweep_captures(
     std::span<const double> parameter_values,
     const std::function<Market(double)>& calibrate, Strategy strategy,
-    std::size_t max_bundles);
+    std::size_t max_bundles, std::size_t threads = 0);
 
 struct SensitivityInputs {
   const workload::FlowSet* flows = nullptr;  // not owned
@@ -35,6 +43,7 @@ struct SensitivityInputs {
   double blended_price = 20.0;
   Strategy strategy = Strategy::ProfitWeighted;
   std::size_t max_bundles = 6;
+  std::size_t threads = 0;  // 0 = MANYTIERS_THREADS / hardware concurrency
 };
 
 // Fig. 14: sweep the price sensitivity alpha.

@@ -1,0 +1,57 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace manytiers::util {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("MANYTIERS_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  if (n == 0) return;
+  if (threads == 0) threads = default_thread_count();
+  if (threads > n) threads = n;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Static contiguous chunking: the first n % threads chunks get one
+  // extra index, so chunk boundaries depend only on (n, threads).
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t base = n / threads;
+  const std::size_t extra = n % threads;
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t size = base + (t < extra ? 1 : 0);
+    const std::size_t end = begin + size;
+    workers.emplace_back([&body, &errors, t, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+    begin = end;
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace manytiers::util

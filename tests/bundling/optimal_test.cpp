@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "demand/ced.hpp"
 #include "demand/logit.hpp"
@@ -161,6 +162,61 @@ TEST_P(DpMatchesExhaustive, LogitInstances) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DpMatchesExhaustive,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(IntervalDpAll, ElementWiseIdenticalToPerCountDp) {
+  // The single-pass series must be indistinguishable from re-filling the
+  // DP at every bundle count — exact Bundling equality, not just profit.
+  const auto inst = random_instance(7, 24);
+  std::vector<std::size_t> order(inst.v.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inst.c[a] < inst.c[b];
+  });
+  const auto value = [&](std::size_t i, std::size_t j) {
+    // An arbitrary non-monotone objective exercises the max-over-b
+    // extraction, not just the superadditive fast path.
+    double sum = 0.0;
+    for (std::size_t r = i; r < j; ++r) sum += inst.v[order[r]];
+    return sum - 0.7 * double(j - i) * double(j - i);
+  };
+  const std::size_t max_bundles = 30;  // deliberately > n to hit clamping
+  const auto all = interval_dp_all(order, max_bundles, value);
+  ASSERT_EQ(all.size(), max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    EXPECT_EQ(all[b - 1], interval_dp(order, b, value)) << "b=" << b;
+  }
+}
+
+TEST(IntervalDpAll, Validates) {
+  const auto unit = [](std::size_t, std::size_t) { return 0.0; };
+  EXPECT_THROW(interval_dp_all({}, 2, unit), std::invalid_argument);
+  const std::vector<std::size_t> order{0};
+  EXPECT_THROW(interval_dp_all(order, 0, unit), std::invalid_argument);
+}
+
+TEST(OptimalSeries, MatchPerCountCallsExactly) {
+  const auto inst = random_instance(11, 25);
+  const std::size_t max_bundles = 7;
+  const auto ced_series = ced_optimal_series(inst.v, inst.c, 1.4, max_bundles);
+  const auto logit_series =
+      logit_optimal_series(inst.v, inst.c, 1.2, max_bundles);
+  ASSERT_EQ(ced_series.size(), max_bundles);
+  ASSERT_EQ(logit_series.size(), max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    EXPECT_EQ(ced_series[b - 1], ced_optimal(inst.v, inst.c, 1.4, b));
+    EXPECT_EQ(logit_series[b - 1], logit_optimal(inst.v, inst.c, 1.2, b));
+  }
+}
+
+TEST(OptimalSeries, CostExactlyOneDpFill) {
+  const auto inst = random_instance(12, 20);
+  reset_interval_dp_fill_count();
+  ced_optimal_series(inst.v, inst.c, 1.4, 6);
+  EXPECT_EQ(interval_dp_fill_count(), 1u);
+  reset_interval_dp_fill_count();
+  logit_optimal_series(inst.v, inst.c, 1.2, 6);
+  EXPECT_EQ(interval_dp_fill_count(), 1u);
+}
 
 TEST(CedOptimal, ProfitIsMonotoneInBundleCount) {
   const auto inst = random_instance(42, 40);

@@ -235,6 +235,42 @@ TEST(ClassAware, SingleClassBehavesLikeProfitWeighted) {
   EXPECT_EQ(a, b);
 }
 
+TEST(StrategySeries, EveryVariantMatchesPerCountCalls) {
+  // The series variants share one sort across bundle counts; the output
+  // must still be exactly the per-count result, bundle for bundle.
+  const std::vector<double> weights{9.0, 3.5, 2.0, 2.0, 1.0, 0.25, 0.25, 14.0};
+  const std::vector<double> costs{0.8, 4.0, 2.5, 1.1, 6.0, 3.3, 0.4, 5.2};
+  const std::size_t max_bundles = 8;
+
+  const auto tb = token_bucket_series(weights, max_bundles);
+  const auto dw = demand_weighted_series(weights, max_bundles);
+  const auto cw = cost_weighted_series(costs, max_bundles);
+  const auto pw = profit_weighted_series(weights, costs, max_bundles);
+  const auto cd = cost_division_series(costs, max_bundles);
+  const auto id = index_division_series(costs, max_bundles);
+  ASSERT_EQ(tb.size(), max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    EXPECT_EQ(tb[b - 1], token_bucket(weights, b)) << "token_bucket b=" << b;
+    EXPECT_EQ(dw[b - 1], demand_weighted(weights, b)) << "demand b=" << b;
+    EXPECT_EQ(cw[b - 1], cost_weighted(costs, b)) << "cost b=" << b;
+    EXPECT_EQ(pw[b - 1], profit_weighted(weights, costs, b))
+        << "profit b=" << b;
+    EXPECT_EQ(cd[b - 1], cost_division(costs, b)) << "cost_div b=" << b;
+    EXPECT_EQ(id[b - 1], index_division(costs, b)) << "index_div b=" << b;
+  }
+}
+
+TEST(StrategySeries, Validate) {
+  const std::vector<double> w{1.0, 2.0};
+  EXPECT_THROW(token_bucket_series(w, 0), std::invalid_argument);
+  EXPECT_THROW(cost_weighted_series(std::vector<double>{}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(profit_weighted_series(w, std::vector<double>{1.0}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(cost_division_series(w, 0), std::invalid_argument);
+  EXPECT_THROW(index_division_series(w, 0), std::invalid_argument);
+}
+
 TEST(ClassAware, ValidatesSizes) {
   EXPECT_THROW(class_aware_profit_weighted(std::vector<double>{1.0},
                                            std::vector<double>{1.0},

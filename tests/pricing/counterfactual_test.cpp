@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bundling/optimal.hpp"
 #include "workload/generators.hpp"
 
 namespace manytiers::pricing {
@@ -117,6 +118,55 @@ TEST(Counterfactual, ClassAwareSeriesFallsBackBelowClassCount) {
   const auto series = capture_series(m, Strategy::ClassAwareProfitWeighted, 4);
   ASSERT_EQ(series.size(), 4u);
   EXPECT_NEAR(series[0], 0.0, 1e-6);  // falls back to one plain bundle
+}
+
+TEST(CaptureSeries, MatchesPerCountRunStrategyExactly) {
+  // The single-pass series shares sorts, DP tables, and cached baseline
+  // profits across bundle counts; the captures must still be the exact
+  // doubles the per-count path produces.
+  for (const auto kind : {demand::DemandKind::ConstantElasticity,
+                          demand::DemandKind::Logit}) {
+    const auto m = eu_market(kind);
+    for (const auto s :
+         {Strategy::Optimal, Strategy::DemandWeighted, Strategy::CostWeighted,
+          Strategy::ProfitWeighted, Strategy::CostDivision,
+          Strategy::IndexDivision}) {
+      const auto series = capture_series(m, s, 6);
+      ASSERT_EQ(series.size(), 6u);
+      for (std::size_t b = 1; b <= 6; ++b) {
+        EXPECT_EQ(series[b - 1], run_strategy(m, s, b).capture)
+            << to_string(s) << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(CaptureSeries, ClassAwareMatchesPerCountWithFallback) {
+  const auto flows = workload::generate_eu_isp({.seed = 42, .n_flows = 60});
+  const auto cost = cost::make_dest_type_cost(0.1);
+  const auto m = Market::calibrate(flows, DemandSpec{}, *cost, 20.0);
+  const auto series = capture_series(m, Strategy::ClassAwareProfitWeighted, 5);
+  for (std::size_t b = 1; b <= 5; ++b) {
+    const auto effective = b < m.cost_class_count()
+                               ? Strategy::ProfitWeighted
+                               : Strategy::ClassAwareProfitWeighted;
+    EXPECT_EQ(series[b - 1], run_strategy(m, effective, b).capture);
+  }
+}
+
+TEST(CaptureSeries, OptimalCostsExactlyOneDpTableFill) {
+  for (const auto kind : {demand::DemandKind::ConstantElasticity,
+                          demand::DemandKind::Logit}) {
+    const auto m = eu_market(kind);
+    bundling::reset_interval_dp_fill_count();
+    capture_series(m, Strategy::Optimal, 8);
+    EXPECT_EQ(bundling::interval_dp_fill_count(), 1u);
+  }
+}
+
+TEST(CaptureSeries, ZeroBundlesIsEmpty) {
+  const auto m = eu_market(demand::DemandKind::ConstantElasticity);
+  EXPECT_TRUE(capture_series(m, Strategy::Optimal, 0).empty());
 }
 
 TEST(Counterfactual, RejectsZeroBundles) {

@@ -115,6 +115,47 @@ TEST(Engine, CedBundlePricesAreBetweenMemberOptima) {
   EXPECT_LE(priced.bundle_prices[0], max_p + 1e-9);
 }
 
+TEST(Engine, CachedBaselinesMatchFreshComputation) {
+  // blended_profit / max_profit are served from the Market's lazy cache;
+  // they must equal the from-scratch model evaluation exactly.
+  {
+    const auto m = make_market(demand::DemandKind::ConstantElasticity);
+    const std::vector<double> blended(m.size(), m.blended_price());
+    const double fresh_blended =
+        m.ced().total_profit(m.valuations(), m.costs(), blended);
+    double fresh_max = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      fresh_max += m.ced().potential_profit(m.valuations()[i], m.costs()[i]);
+    }
+    EXPECT_EQ(blended_profit(m), fresh_blended);
+    EXPECT_EQ(max_profit(m), fresh_max);
+  }
+  {
+    const auto m = make_market(demand::DemandKind::Logit);
+    const std::vector<double> blended(m.size(), m.blended_price());
+    const double fresh_blended =
+        m.logit().total_profit(m.valuations(), m.costs(), blended);
+    const double fresh_max =
+        m.logit().optimal_prices(m.valuations(), m.costs()).profit;
+    EXPECT_EQ(blended_profit(m), fresh_blended);
+    EXPECT_EQ(max_profit(m), fresh_max);
+  }
+}
+
+TEST(Engine, CachedBaselinesAreStableAcrossRepeatedCalls) {
+  const auto m = make_market(demand::DemandKind::Logit);
+  const double first_blended = blended_profit(m);
+  const double first_max = max_profit(m);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(blended_profit(m), first_blended);
+    EXPECT_EQ(max_profit(m), first_max);
+  }
+  // Copies share the calibrated state, and the cached invariants with it.
+  const Market copy = m;
+  EXPECT_EQ(blended_profit(copy), first_blended);
+  EXPECT_EQ(max_profit(copy), first_max);
+}
+
 TEST(Engine, ProfitCaptureIsMonotoneInProfit) {
   const auto m = make_market(demand::DemandKind::ConstantElasticity);
   const double lo = blended_profit(m);

@@ -82,6 +82,39 @@ TEST(SweepNoPurchaseShare, RejectsCedDemand) {
       std::invalid_argument);
 }
 
+TEST(SweepCaptures, BitIdenticalAcrossThreadCounts) {
+  // The parallel engine assigns each parameter point its own output slot
+  // and reduces serially in parameter order, so the result must not
+  // depend on the worker count — exact double equality, no tolerance.
+  Fixture fx;
+  const std::vector<double> alphas{1.05, 1.2, 1.7, 2.5, 4.0, 8.0};
+  for (const auto kind : {demand::DemandKind::ConstantElasticity,
+                          demand::DemandKind::Logit}) {
+    auto inputs = fx.inputs(kind);
+    inputs.threads = 1;
+    const auto serial = sweep_alpha(inputs, alphas);
+    for (const std::size_t threads : {2u, 4u, 7u}) {
+      inputs.threads = threads;
+      const auto parallel = sweep_alpha(inputs, alphas);
+      EXPECT_EQ(parallel.min_capture, serial.min_capture)
+          << "threads=" << threads;
+      EXPECT_EQ(parallel.max_capture, serial.max_capture)
+          << "threads=" << threads;
+      EXPECT_EQ(parallel.points, serial.points);
+    }
+  }
+}
+
+TEST(SweepCaptures, PropagatesCalibrationErrorsFromWorkers) {
+  const std::vector<double> params{1.0, 2.0, 3.0, 4.0};
+  const auto boom = [](double value) -> Market {
+    if (value > 2.5) throw std::runtime_error("bad parameter point");
+    throw std::invalid_argument("also bad");
+  };
+  EXPECT_THROW(sweep_captures(params, boom, Strategy::ProfitWeighted, 3, 4),
+               std::exception);
+}
+
 TEST(SweepCaptures, Validates) {
   Fixture fx;
   const std::vector<double> empty;

@@ -1,0 +1,64 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace manytiers::util {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 3u, 8u, 64u}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, threads);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SlotPerIndexReductionIsThreadCountInvariant) {
+  // The sweep engine's pattern: write results into per-index slots, then
+  // reduce serially. The outcome must not depend on the thread count.
+  const std::size_t n = 257;
+  std::vector<double> serial(n), parallel(n);
+  const auto body = [](std::size_t i) {
+    double x = double(i) + 1.0;
+    for (int k = 0; k < 8; ++k) x = x * 1.000001 + double(k);
+    return x;
+  };
+  parallel_for(n, [&](std::size_t i) { serial[i] = body(i); }, 1);
+  parallel_for(n, [&](std::size_t i) { parallel[i] = body(i); }, 5);
+  EXPECT_EQ(serial, parallel);  // exact equality, bit for bit
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(
+          32,
+          [](std::size_t i) {
+            if (i == 17) throw std::runtime_error("worker failure");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkStillCovers) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DefaultThreadCount, IsAtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace manytiers::util
