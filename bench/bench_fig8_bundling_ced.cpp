@@ -2,7 +2,15 @@
 // for the six bundling strategies under constant-elasticity demand, on
 // all three datasets. Parameters as in §4.2.2: alpha = 1.1, P0 = $20,
 // linear cost with theta = 0.2.
+//
+// Thin wrapper over the batch driver: the figure is one ExperimentGrid
+// (datasets x CED x linear x the Fig. 8 strategy lineup) fanned out by
+// run_grid, tabulated per dataset from the consolidated report.
 #include "bench_common.hpp"
+
+#include "driver/grid.hpp"
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
 
 int main() {
   using namespace manytiers;
@@ -10,14 +18,13 @@ int main() {
                 "Fraction of the per-flow-pricing profit headroom captured "
                 "at 1..6 bundles.");
 
-  for (const auto kind :
-       {workload::DatasetKind::EuIsp, workload::DatasetKind::Internet2,
-        workload::DatasetKind::Cdn}) {
-    const auto m = bench::linear_market(
-        kind, demand::DemandKind::ConstantElasticity);
+  driver::ExperimentGrid grid = driver::default_grid();
+  grid.name = "fig8";
+  grid.demand_kinds = {demand::DemandKind::ConstantElasticity};
+  const auto report = driver::run_grid(grid);
+  for (const auto kind : grid.datasets) {
     std::cout << "(" << to_string(kind) << ")\n";
-    bench::capture_table(m, pricing::figure8_strategies(), 6)
-        .print(std::cout);
+    driver::capture_table(report, kind).print(std::cout);
     std::cout << '\n';
   }
   std::cout << "Shape check: Optimal saturates by 3-4 bundles at ~0.9+; "
@@ -25,5 +32,8 @@ int main() {
                "naive Cost/Index division need many more bundles; every "
                "strategy starts at 0 for one bundle (the calibrated\n"
                "blended rate is already optimal for a single tier).\n";
+  bench::emit_timing_json("fig8_batch_grid",
+                          report.cells.size() * report.points_per_cell,
+                          report.wall_ms, report.threads);
   return 0;
 }

@@ -2,7 +2,14 @@
 // under logit demand (five strategies; demand-weighted coincides with
 // profit-weighted there, Eq. 13). Parameters: alpha = 1.1, P0 = $20,
 // theta = 0.2, s0 = 0.2.
+//
+// Thin wrapper over the batch driver, like Fig. 8: one ExperimentGrid,
+// one run_grid call, tables cut from the consolidated report.
 #include "bench_common.hpp"
+
+#include "driver/grid.hpp"
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
 
 int main() {
   using namespace manytiers;
@@ -10,18 +17,22 @@ int main() {
                 "Fraction of the per-flow-pricing profit headroom captured "
                 "at 1..6 bundles.");
 
-  for (const auto kind :
-       {workload::DatasetKind::EuIsp, workload::DatasetKind::Internet2,
-        workload::DatasetKind::Cdn}) {
-    const auto m = bench::linear_market(kind, demand::DemandKind::Logit);
+  driver::ExperimentGrid grid = driver::default_grid();
+  grid.name = "fig9";
+  grid.demand_kinds = {demand::DemandKind::Logit};
+  grid.strategies = pricing::figure9_strategies();
+  const auto report = driver::run_grid(grid);
+  for (const auto kind : grid.datasets) {
     std::cout << "(" << to_string(kind) << ")\n";
-    bench::capture_table(m, pricing::figure9_strategies(), 6)
-        .print(std::cout);
+    driver::capture_table(report, kind).print(std::cout);
     std::cout << '\n';
   }
   std::cout << "Shape check: capture saturates faster than under CED "
                "(Fig. 8) — with two tiers the local and non-local traffic\n"
                "separate into bundles resembling backplane peering plus "
                "regional pricing.\n";
+  bench::emit_timing_json("fig9_batch_grid",
+                          report.cells.size() * report.points_per_cell,
+                          report.wall_ms, report.threads);
   return 0;
 }

@@ -1,0 +1,39 @@
+# Smoke test for the batch driver CLI, run by ctest (label: driver).
+#
+# 1. Run the smoke grid split across two shards, merged in-process.
+# 2. The merged report must be byte-identical to the checked-in golden.
+# 3. If python3 is available, tools/bench_diff.py must also report no
+#    regressions between the golden and the fresh run.
+#
+# Expects: BATCH_BIN, GOLDEN, BENCH_DIFF, PYTHON (may be empty), WORK_DIR.
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(merged "${WORK_DIR}/smoke_merged.batch")
+
+execute_process(
+  COMMAND "${BATCH_BIN}" --grid smoke --shards 2 --no-timing --out "${merged}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "manytiers_batch --grid smoke --shards 2 failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${merged}" "${GOLDEN}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "sharded smoke report differs from the golden report ${GOLDEN}; if the "
+    "pipeline change is intentional, regenerate it with: manytiers_batch "
+    "--grid smoke --no-timing --out ${GOLDEN}")
+endif()
+
+if(PYTHON)
+  execute_process(
+    COMMAND "${PYTHON}" "${BENCH_DIFF}" "${GOLDEN}" "${merged}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_diff.py flagged a regression:\n${out}${err}")
+  endif()
+else()
+  message(STATUS "python3 not found; skipping the bench_diff.py leg")
+endif()

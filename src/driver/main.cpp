@@ -1,0 +1,182 @@
+// manytiers_batch: the batch experiment CLI.
+//
+// Runs a named ExperimentGrid (optionally one shard of it, or all shards
+// in-process with an explicit merge) and writes the consolidated
+// BATCH_JSON report. Partial shard reports written with --shard-index can
+// later be folded together with --merge, reproducing the unsharded
+// report bit-for-bit.
+//
+//   manytiers_batch --grid smoke --out report.batch
+//   manytiers_batch --grid default --shard-index 1 --shard-count 4
+//       --out part1.batch
+//   manytiers_batch --merge part0.batch part1.batch ... --out full.batch
+//   manytiers_batch --grid smoke --shards 2 --no-timing --out merged.batch
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/grid.hpp"
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
+
+namespace {
+
+using namespace manytiers;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: manytiers_batch [options]\n"
+        "  --grid NAME          grid to run (default \"default\")\n"
+        "  --list-grids         print known grid names and exit\n"
+        "  --threads N          worker threads (0 = MANYTIERS_THREADS / "
+        "hardware)\n"
+        "  --shard-index I      run only shard I (requires --shard-count)\n"
+        "  --shard-count K      total number of shards (default 1)\n"
+        "  --shards K           run all K shards in-process, then merge\n"
+        "  --merge F1 F2 ...    merge partial shard reports instead of "
+        "running\n"
+        "  --out PATH           write the report to PATH (default stdout)\n"
+        "  --no-timing          omit wall-clock fields (byte-stable output)\n"
+        "  --seed S             dataset seed override\n"
+        "  --n-flows N          flows per dataset override\n"
+        "  --max-bundles B      bundle-count ceiling override\n";
+  return code;
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* flag) {
+  std::size_t used = 0;
+  const std::uint64_t value = std::stoull(text, &used);
+  if (used != text.size()) {
+    throw std::invalid_argument(std::string(flag) + ": not a number: " + text);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid_name = "default";
+  std::string out_path;
+  std::vector<std::string> merge_inputs;
+  bool merge_mode = false;
+  bool include_timing = true;
+  std::size_t threads = 0;
+  std::size_t shards_in_process = 0;
+  driver::ShardPlan shard;
+  bool shard_index_given = false;
+  std::uint64_t seed = 0;
+  bool seed_given = false;
+  std::size_t n_flows = 0;
+  std::size_t max_bundles = 0;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(arg + " requires a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        return usage(std::cout, 0);
+      } else if (arg == "--list-grids") {
+        for (const auto name : driver::grid_names()) {
+          std::cout << name << '\n';
+        }
+        return 0;
+      } else if (arg == "--grid") {
+        grid_name = next();
+      } else if (arg == "--threads") {
+        threads = parse_u64(next(), "--threads");
+      } else if (arg == "--shard-index") {
+        shard.index = parse_u64(next(), "--shard-index");
+        shard_index_given = true;
+      } else if (arg == "--shard-count") {
+        shard.count = parse_u64(next(), "--shard-count");
+      } else if (arg == "--shards") {
+        shards_in_process = parse_u64(next(), "--shards");
+      } else if (arg == "--merge") {
+        merge_mode = true;
+      } else if (arg == "--out") {
+        out_path = next();
+      } else if (arg == "--no-timing") {
+        include_timing = false;
+      } else if (arg == "--seed") {
+        seed = parse_u64(next(), "--seed");
+        seed_given = true;
+      } else if (arg == "--n-flows") {
+        n_flows = parse_u64(next(), "--n-flows");
+      } else if (arg == "--max-bundles") {
+        max_bundles = parse_u64(next(), "--max-bundles");
+      } else if (merge_mode && !arg.empty() && arg.front() != '-') {
+        merge_inputs.push_back(arg);
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        return usage(std::cerr, 2);
+      }
+    }
+    if (merge_mode && (shards_in_process != 0 || shard_index_given)) {
+      throw std::invalid_argument("--merge cannot be combined with --shards "
+                                  "or --shard-index");
+    }
+    if (shards_in_process != 0 && shard_index_given) {
+      throw std::invalid_argument(
+          "--shards (in-process) and --shard-index (single shard) conflict");
+    }
+
+    driver::BatchReport report;
+    if (merge_mode) {
+      if (merge_inputs.size() < 2) {
+        throw std::invalid_argument("--merge needs at least two report files");
+      }
+      std::vector<driver::BatchReport> parts;
+      parts.reserve(merge_inputs.size());
+      for (const auto& path : merge_inputs) {
+        std::ifstream in(path);
+        if (!in) {
+          throw std::invalid_argument("cannot open report file: " + path);
+        }
+        parts.push_back(driver::read_report(in));
+      }
+      report = driver::merge_shards(parts);
+    } else {
+      driver::ExperimentGrid grid = driver::named_grid(grid_name);
+      if (seed_given) grid.base.seed = seed;
+      if (n_flows != 0) grid.base.n_flows = n_flows;
+      if (max_bundles != 0) grid.max_bundles = max_bundles;
+      if (shards_in_process > 1) {
+        std::vector<driver::BatchReport> parts;
+        parts.reserve(shards_in_process);
+        for (std::size_t k = 0; k < shards_in_process; ++k) {
+          parts.push_back(
+              driver::run_grid(grid, {threads, {k, shards_in_process}}));
+        }
+        report = driver::merge_shards(parts);
+      } else {
+        report = driver::run_grid(grid, {threads, shard});
+      }
+    }
+
+    if (out_path.empty()) {
+      driver::write_report(std::cout, report, include_timing);
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        throw std::invalid_argument("cannot open output file: " + out_path);
+      }
+      driver::write_report(out, report, include_timing);
+    }
+    // Perf-trajectory breadcrumb, same shape as the bench binaries'.
+    const std::size_t n_tasks = report.cells.size() * report.points_per_cell;
+    std::cerr << "BENCH_JSON {\"bench\":\"manytiers_batch:" << report.grid_name
+              << "\",\"n\":" << n_tasks << ",\"wall_ms\":" << report.wall_ms
+              << ",\"threads\":" << report.threads << "}\n";
+  } catch (const std::exception& err) {
+    std::cerr << "manytiers_batch: " << err.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,309 @@
+#include "driver/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace manytiers::driver {
+
+namespace {
+
+constexpr std::string_view kLinePrefix = "BATCH_JSON ";
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_array(std::string& out, const std::vector<double>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += fmt_double(values[i]);
+  }
+  out += ']';
+}
+
+// --- Minimal field extraction for the writer's own line format. The
+// writer never emits escaped quotes or nested objects, so plain scanning
+// is exact (and keeps the reader dependency-free).
+
+std::string_view field_token(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) {
+    throw std::invalid_argument("batch report: missing field \"" +
+                                std::string(key) + "\" in line: " +
+                                std::string(line.substr(0, 80)));
+  }
+  return line.substr(at + needle.size());
+}
+
+std::string parse_string(std::string_view line, std::string_view key) {
+  std::string_view rest = field_token(line, key);
+  if (rest.empty() || rest.front() != '"') {
+    throw std::invalid_argument("batch report: field \"" + std::string(key) +
+                                "\" is not a string");
+  }
+  rest.remove_prefix(1);
+  const std::size_t end = rest.find('"');
+  if (end == std::string_view::npos) {
+    throw std::invalid_argument("batch report: unterminated string field");
+  }
+  return std::string(rest.substr(0, end));
+}
+
+double parse_double(std::string_view line, std::string_view key) {
+  const std::string token(field_token(line, key));
+  return std::strtod(token.c_str(), nullptr);
+}
+
+std::size_t parse_size(std::string_view line, std::string_view key) {
+  const std::string token(field_token(line, key));
+  return static_cast<std::size_t>(std::strtoull(token.c_str(), nullptr, 10));
+}
+
+std::vector<double> parse_array(std::string_view line, std::string_view key) {
+  std::string_view rest = field_token(line, key);
+  if (rest.empty() || rest.front() != '[') {
+    throw std::invalid_argument("batch report: field \"" + std::string(key) +
+                                "\" is not an array");
+  }
+  rest.remove_prefix(1);
+  const std::size_t end = rest.find(']');
+  if (end == std::string_view::npos) {
+    throw std::invalid_argument("batch report: unterminated array field");
+  }
+  std::vector<double> out;
+  std::string body(rest.substr(0, end));
+  const char* cursor = body.c_str();
+  while (*cursor != '\0') {
+    char* next = nullptr;
+    out.push_back(std::strtod(cursor, &next));
+    if (next == cursor) {
+      throw std::invalid_argument("batch report: malformed number in array");
+    }
+    cursor = next;
+    while (*cursor == ',' || *cursor == ' ') ++cursor;
+  }
+  return out;
+}
+
+}  // namespace
+
+pricing::SweepResult empty_envelope(std::size_t max_bundles) {
+  pricing::SweepResult sweep;
+  sweep.min_capture.assign(max_bundles,
+                           std::numeric_limits<double>::infinity());
+  sweep.max_capture.assign(max_bundles,
+                           -std::numeric_limits<double>::infinity());
+  sweep.points = 0;
+  return sweep;
+}
+
+void write_report(std::ostream& os, const BatchReport& report,
+                  bool include_timing) {
+  std::string line;
+  line += kLinePrefix;
+  line += "{\"type\":\"grid\",\"name\":\"" + report.grid_name +
+          "\",\"signature\":\"" + report.signature +
+          "\",\"max_bundles\":" + std::to_string(report.max_bundles) +
+          ",\"points_per_cell\":" + std::to_string(report.points_per_cell) +
+          ",\"shard_index\":" + std::to_string(report.shard_index) +
+          ",\"shard_count\":" + std::to_string(report.shard_count) +
+          ",\"cells\":" + std::to_string(report.cells.size()) + "}";
+  os << line << '\n';
+  for (const auto& cell : report.cells) {
+    line.clear();
+    line += kLinePrefix;
+    line += "{\"type\":\"cell\",\"key\":\"" + cell_key(cell.cell) +
+            "\",\"points\":" + std::to_string(cell.sweep.points) + ",\"min\":";
+    // Untouched shard cells hold +/-inf sentinels; serialize them as
+    // empty arrays so the file stays strict JSON.
+    if (cell.sweep.points == 0) {
+      line += "[],\"max\":[]";
+    } else {
+      append_array(line, cell.sweep.min_capture);
+      line += ",\"max\":";
+      append_array(line, cell.sweep.max_capture);
+    }
+    if (include_timing) {
+      line += ",\"wall_ms\":" + fmt_double(cell.wall_ms);
+    }
+    line += '}';
+    os << line << '\n';
+  }
+  if (include_timing) {
+    os << kLinePrefix << "{\"type\":\"timing\",\"wall_ms\":"
+       << fmt_double(report.wall_ms) << ",\"threads\":" << report.threads
+       << "}\n";
+  }
+}
+
+std::string report_to_string(const BatchReport& report, bool include_timing) {
+  std::ostringstream os;
+  write_report(os, report, include_timing);
+  return os.str();
+}
+
+BatchReport read_report(std::istream& is) {
+  BatchReport report;
+  bool saw_grid = false;
+  std::size_t declared_cells = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind(kLinePrefix, 0) != 0) continue;  // tolerate other output
+    const std::string_view body =
+        std::string_view(line).substr(kLinePrefix.size());
+    const std::string type = parse_string(body, "type");
+    if (type == "grid") {
+      if (saw_grid) {
+        throw std::invalid_argument("batch report: duplicate grid record");
+      }
+      saw_grid = true;
+      report.grid_name = parse_string(body, "name");
+      report.signature = parse_string(body, "signature");
+      report.max_bundles = parse_size(body, "max_bundles");
+      report.points_per_cell = parse_size(body, "points_per_cell");
+      report.shard_index = parse_size(body, "shard_index");
+      report.shard_count = parse_size(body, "shard_count");
+      declared_cells = parse_size(body, "cells");
+    } else if (type == "cell") {
+      if (!saw_grid) {
+        throw std::invalid_argument(
+            "batch report: cell record before grid record");
+      }
+      CellResult cell;
+      cell.cell = parse_cell_key(parse_string(body, "key"));
+      cell.sweep.points = parse_size(body, "points");
+      if (cell.sweep.points == 0) {
+        cell.sweep = empty_envelope(report.max_bundles);
+      } else {
+        cell.sweep.min_capture = parse_array(body, "min");
+        cell.sweep.max_capture = parse_array(body, "max");
+        if (cell.sweep.min_capture.size() != report.max_bundles ||
+            cell.sweep.max_capture.size() != report.max_bundles) {
+          throw std::invalid_argument(
+              "batch report: cell envelope length does not match max_bundles");
+        }
+      }
+      if (body.find("\"wall_ms\":") != std::string_view::npos) {
+        cell.wall_ms = parse_double(body, "wall_ms");
+      }
+      report.cells.push_back(std::move(cell));
+    } else if (type == "timing") {
+      report.wall_ms = parse_double(body, "wall_ms");
+      report.threads = parse_size(body, "threads");
+    } else {
+      throw std::invalid_argument("batch report: unknown record type \"" +
+                                  type + "\"");
+    }
+  }
+  if (!saw_grid) {
+    throw std::invalid_argument("batch report: no grid record found");
+  }
+  if (report.cells.size() != declared_cells) {
+    throw std::invalid_argument("batch report: expected " +
+                                std::to_string(declared_cells) +
+                                " cell records, found " +
+                                std::to_string(report.cells.size()));
+  }
+  return report;
+}
+
+BatchReport merge_shards(const std::vector<BatchReport>& shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument("merge_shards: no shard reports");
+  }
+  const BatchReport& first = shards.front();
+  std::vector<bool> seen(shards.size(), false);
+  for (const auto& shard : shards) {
+    if (shard.signature != first.signature) {
+      throw std::invalid_argument(
+          "merge_shards: shard signatures differ (mixed grids?)");
+    }
+    if (shard.shard_count != shards.size()) {
+      throw std::invalid_argument(
+          "merge_shards: shard_count " + std::to_string(shard.shard_count) +
+          " does not match the " + std::to_string(shards.size()) +
+          " reports provided");
+    }
+    if (shard.shard_index >= shards.size() || seen[shard.shard_index]) {
+      throw std::invalid_argument("merge_shards: duplicate or out-of-range "
+                                  "shard index " +
+                                  std::to_string(shard.shard_index));
+    }
+    seen[shard.shard_index] = true;
+    if (shard.cells.size() != first.cells.size()) {
+      throw std::invalid_argument("merge_shards: shard cell counts differ");
+    }
+    for (std::size_t c = 0; c < shard.cells.size(); ++c) {
+      if (!(shard.cells[c].cell == first.cells[c].cell)) {
+        throw std::invalid_argument("merge_shards: shard cell order differs");
+      }
+    }
+  }
+  BatchReport merged;
+  merged.grid_name = first.grid_name;
+  merged.signature = first.signature;
+  merged.max_bundles = first.max_bundles;
+  merged.points_per_cell = first.points_per_cell;
+  merged.shard_index = 0;
+  merged.shard_count = 1;
+  merged.cells.reserve(first.cells.size());
+  for (std::size_t c = 0; c < first.cells.size(); ++c) {
+    CellResult cell;
+    cell.cell = first.cells[c].cell;
+    cell.sweep = empty_envelope(merged.max_bundles);
+    for (const auto& shard : shards) {
+      const auto& part = shard.cells[c].sweep;
+      cell.wall_ms += shard.cells[c].wall_ms;
+      if (part.points == 0) continue;
+      for (std::size_t b = 0; b < merged.max_bundles; ++b) {
+        cell.sweep.min_capture[b] =
+            std::min(cell.sweep.min_capture[b], part.min_capture[b]);
+        cell.sweep.max_capture[b] =
+            std::max(cell.sweep.max_capture[b], part.max_capture[b]);
+      }
+      cell.sweep.points += part.points;
+    }
+    if (cell.sweep.points != merged.points_per_cell) {
+      throw std::invalid_argument(
+          "merge_shards: cell \"" + cell_key(cell.cell) + "\" covers " +
+          std::to_string(cell.sweep.points) + " of " +
+          std::to_string(merged.points_per_cell) +
+          " points (incomplete shard set)");
+    }
+    merged.cells.push_back(std::move(cell));
+  }
+  // Wall clock of a distributed run is the slowest shard; threads vary
+  // per host, so keep the first shard's count as representative.
+  for (const auto& shard : shards) {
+    merged.wall_ms = std::max(merged.wall_ms, shard.wall_ms);
+  }
+  merged.threads = first.threads;
+  return merged;
+}
+
+util::TextTable capture_table(const BatchReport& report,
+                              workload::DatasetKind dataset) {
+  std::vector<std::string> headers{"Strategy"};
+  for (std::size_t b = 1; b <= report.max_bundles; ++b) {
+    headers.push_back("B=" + std::to_string(b));
+  }
+  util::TextTable table(std::move(headers));
+  for (const auto& cell : report.cells) {
+    if (cell.cell.dataset != dataset) continue;
+    table.add_row(std::string(pricing::to_string(cell.cell.strategy)),
+                  cell.sweep.min_capture, 3);
+  }
+  return table;
+}
+
+}  // namespace manytiers::driver

@@ -1,0 +1,73 @@
+// Consolidated batch reports: the machine-diffable output of run_grid.
+//
+// A report is a sequence of "BATCH_JSON {...}" lines (one JSON object per
+// line, same convention as the benches' BENCH_JSON) holding the grid
+// signature, one record per cell with its capture envelope, and an
+// optional timing record. Capture values round-trip exactly (%.17g), so
+// two reports of the same grid can be compared bit-for-bit — that is
+// what the golden regression test and tools/bench_diff.py rely on.
+//
+// Sharding: a shard's report carries partial envelopes (each cell covers
+// only the parameter points the shard owned). merge_shards folds a
+// complete shard set back into the unsharded report; min/max are exactly
+// associative and commutative, so the merge is bit-identical to a
+// single-process run regardless of the shard count.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/grid.hpp"
+#include "pricing/sensitivity.hpp"
+#include "util/table.hpp"
+
+namespace manytiers::driver {
+
+struct CellResult {
+  GridCell cell;
+  // Envelope over the parameter points this run owned; points == 0 (an
+  // untouched cell of a shard) keeps +/-inf sentinels in min/max.
+  pricing::SweepResult sweep;
+  double wall_ms = 0.0;  // summed task wall time; never compared bitwise
+};
+
+struct BatchReport {
+  std::string grid_name;
+  std::string signature;
+  std::size_t max_bundles = 0;
+  std::size_t points_per_cell = 0;  // of the FULL grid, not this shard
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  std::vector<CellResult> cells;  // every grid cell, enumeration order
+};
+
+// A zero-point envelope: +/-inf sentinels that min/max folds replace on
+// the first real point. The neutral element of merge_shards.
+pricing::SweepResult empty_envelope(std::size_t max_bundles);
+
+// Render / parse the BATCH_JSON line format. `include_timing` off drops
+// the per-cell and total wall-clock fields, producing a byte-stable
+// artifact (the golden report is written this way).
+void write_report(std::ostream& os, const BatchReport& report,
+                  bool include_timing = true);
+std::string report_to_string(const BatchReport& report,
+                             bool include_timing = true);
+BatchReport read_report(std::istream& is);
+
+// Fold a complete shard set (every shard_index 0..K-1 exactly once, all
+// with matching signatures) into the unsharded report. Throws on
+// mismatched signatures, duplicate or missing shards, or per-cell point
+// counts that do not add up to the full grid.
+BatchReport merge_shards(const std::vector<BatchReport>& shards);
+
+// Capture-vs-bundles table of one dataset's cells (rows follow the
+// grid's strategy order) — the shape of the paper's Figs. 8 and 9. Only
+// meaningful for fully-evaluated reports; sweep cells show the envelope
+// minimum, matching the paper's worst-case robustness plots.
+util::TextTable capture_table(const BatchReport& report,
+                              workload::DatasetKind dataset);
+
+}  // namespace manytiers::driver

@@ -1,0 +1,40 @@
+// The batch engine: evaluate (a shard of) an ExperimentGrid.
+//
+// The unit of work is a task — one (cell, parameter point) pair. Tasks
+// enumerate in a fixed global order (cell-major, point-minor); a shard
+// owns every K-th task, so the expensive large-dataset cells spread
+// evenly across shards. Within a run, every distinct
+// (dataset, demand, cost, point) combination calibrates exactly one
+// Market, shared by all strategy cells that need it — the Market's lazy
+// blended/max-profit cache then makes the per-strategy capture
+// evaluations cheap.
+//
+// Determinism: tasks write into pre-sized slots and the min/max envelope
+// reduction runs serially in global task order, so a run is bit-identical
+// at any thread count, and merge_shards over any complete shard set
+// reproduces the unsharded report exactly.
+#pragma once
+
+#include "driver/grid.hpp"
+#include "driver/report.hpp"
+
+namespace manytiers::driver {
+
+// Which slice of the grid's task list this process evaluates: shard
+// `index` of `count` owns tasks {g : g mod count == index}.
+struct ShardPlan {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+struct RunOptions {
+  std::size_t threads = 0;  // 0 = MANYTIERS_THREADS / hardware concurrency
+  ShardPlan shard;
+};
+
+// Run (this shard of) the grid and return the consolidated report.
+// Throws std::invalid_argument on malformed grids or shard plans.
+BatchReport run_grid(const ExperimentGrid& grid,
+                     const RunOptions& options = {});
+
+}  // namespace manytiers::driver

@@ -144,7 +144,12 @@ std::vector<bundling::Bundling> build_bundling_series(const Market& market,
 
 std::vector<double> capture_series(const Market& market, Strategy strategy,
                                    std::size_t max_bundles) {
-  if (max_bundles == 0) return {};
+  // A zero-length series used to be returned silently, and downstream
+  // min/max envelope code indexed into it; fail loudly instead, matching
+  // run_strategy's contract.
+  if (max_bundles == 0) {
+    throw std::invalid_argument("capture_series: need at least one bundle");
+  }
   const auto bundlings = build_bundling_series(market, strategy, max_bundles);
   std::vector<double> out;
   out.reserve(max_bundles);

@@ -1,0 +1,63 @@
+// Golden regression for the whole counterfactual pipeline: dataset
+// synthesis -> calibration -> bundling -> pricing -> capture -> report.
+// The checked-in report was produced by `manytiers_batch --grid smoke
+// --no-timing`; any refactor of the DP, series, calibration, or report
+// code that shifts a double by one ulp fails here in ctest instead of
+// silently bending the figures.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
+
+#ifndef MANYTIERS_TEST_DATA_DIR
+#error "MANYTIERS_TEST_DATA_DIR must point at tests/driver/data"
+#endif
+
+namespace manytiers::driver {
+namespace {
+
+std::string golden_path() {
+  return std::string(MANYTIERS_TEST_DATA_DIR) + "/golden_smoke.batch";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden report: " << path
+                            << " (regenerate with `manytiers_batch --grid "
+                               "smoke --no-timing --out " << path << "`)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(GoldenReport, SmokeGridReproducesBitForBit) {
+  const auto report = run_grid(smoke_grid());
+  EXPECT_EQ(report_to_string(report, /*include_timing=*/false),
+            read_file(golden_path()));
+}
+
+TEST(GoldenReport, ShardedSmokeGridReproducesBitForBit) {
+  const auto grid = smoke_grid();
+  std::vector<BatchReport> parts;
+  for (std::size_t k = 0; k < 2; ++k) {
+    parts.push_back(run_grid(grid, {.shard = {k, 2}}));
+  }
+  EXPECT_EQ(report_to_string(merge_shards(parts), /*include_timing=*/false),
+            read_file(golden_path()));
+}
+
+TEST(GoldenReport, GoldenFileParsesAndMatchesTheSmokeSignature) {
+  std::istringstream in(read_file(golden_path()));
+  const auto golden = read_report(in);
+  EXPECT_EQ(golden.signature, grid_signature(smoke_grid()));
+  EXPECT_EQ(golden.cells.size(), enumerate_cells(smoke_grid()).size());
+  for (const auto& cell : golden.cells) {
+    EXPECT_EQ(cell.sweep.points, golden.points_per_cell);
+  }
+}
+
+}  // namespace
+}  // namespace manytiers::driver

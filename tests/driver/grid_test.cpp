@@ -1,0 +1,152 @@
+#include "driver/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::driver {
+namespace {
+
+ExperimentGrid tiny_grid() {
+  ExperimentGrid grid;
+  grid.name = "tiny";
+  grid.datasets = {workload::DatasetKind::EuIsp, workload::DatasetKind::Cdn};
+  grid.demand_kinds = {demand::DemandKind::ConstantElasticity,
+                       demand::DemandKind::Logit};
+  grid.cost_kinds = {CostKind::Linear, CostKind::Regional};
+  grid.strategies = {pricing::Strategy::Optimal,
+                     pricing::Strategy::ProfitWeighted,
+                     pricing::Strategy::IndexDivision};
+  grid.max_bundles = 3;
+  grid.base.n_flows = 20;
+  return grid;
+}
+
+TEST(GridEnumeration, CompleteAndLexicographic) {
+  const auto grid = tiny_grid();
+  const auto cells = enumerate_cells(grid);
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u * 3u);
+  // Dataset-major, strategy-minor: the first block holds the first
+  // dataset with the first demand/cost kinds, cycling strategies fastest.
+  EXPECT_EQ(cells[0].dataset, workload::DatasetKind::EuIsp);
+  EXPECT_EQ(cells[0].strategy, pricing::Strategy::Optimal);
+  EXPECT_EQ(cells[1].strategy, pricing::Strategy::ProfitWeighted);
+  EXPECT_EQ(cells[2].strategy, pricing::Strategy::IndexDivision);
+  EXPECT_EQ(cells[3].cost, CostKind::Regional);
+  EXPECT_EQ(cells[6].demand, demand::DemandKind::Logit);
+  EXPECT_EQ(cells[12].dataset, workload::DatasetKind::Cdn);
+  // Every cell distinct (completeness of the cross product).
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_FALSE(cells[i] == cells[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(GridEnumeration, DeterministicAcrossCalls) {
+  const auto grid = tiny_grid();
+  const auto first = enumerate_cells(grid);
+  const auto second = enumerate_cells(grid);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i] == second[i]);
+  }
+}
+
+TEST(GridValidation, RejectsEmptyAxes) {
+  for (const int axis : {0, 1, 2, 3}) {
+    auto grid = tiny_grid();
+    if (axis == 0) grid.datasets.clear();
+    if (axis == 1) grid.demand_kinds.clear();
+    if (axis == 2) grid.cost_kinds.clear();
+    if (axis == 3) grid.strategies.clear();
+    EXPECT_THROW(validate_grid(grid), std::invalid_argument) << axis;
+  }
+}
+
+TEST(GridValidation, RejectsDuplicateAxisEntries) {
+  auto grid = tiny_grid();
+  grid.datasets.push_back(workload::DatasetKind::EuIsp);
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = tiny_grid();
+  grid.strategies.push_back(pricing::Strategy::Optimal);
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = tiny_grid();
+  grid.sweep.kind = SweepAxis::Kind::Alpha;
+  grid.sweep.values = {1.5, 2.0, 1.5};
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+}
+
+TEST(GridValidation, RejectsDegenerateParameters) {
+  auto grid = tiny_grid();
+  grid.max_bundles = 0;
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = tiny_grid();
+  grid.base.alpha = 1.0;  // CED profit diverges at alpha <= 1
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = tiny_grid();
+  grid.base.n_flows = 1;
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+}
+
+TEST(GridValidation, RejectsInconsistentSweeps) {
+  auto grid = tiny_grid();
+  grid.sweep.values = {1.5};  // values without an axis
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = tiny_grid();
+  grid.sweep.kind = SweepAxis::Kind::Alpha;  // axis without values
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = tiny_grid();  // CED in demand_kinds, but s0 is logit-only
+  grid.sweep.kind = SweepAxis::Kind::NoPurchaseShare;
+  grid.sweep.values = {0.1, 0.3};
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+
+  grid = tiny_grid();
+  grid.sweep.kind = SweepAxis::Kind::Alpha;
+  grid.sweep.values = {0.9};  // swept alpha must stay above 1
+  EXPECT_THROW(validate_grid(grid), std::invalid_argument);
+}
+
+TEST(GridCells, KeyRoundTripsEveryEnumValue) {
+  const auto grid = tiny_grid();
+  for (const auto& cell : enumerate_cells(grid)) {
+    EXPECT_TRUE(parse_cell_key(cell_key(cell)) == cell) << cell_key(cell);
+  }
+  EXPECT_THROW(parse_cell_key("EU ISP/ced/linear"), std::invalid_argument);
+  EXPECT_THROW(parse_cell_key("mars/ced/linear/Optimal"),
+               std::invalid_argument);
+}
+
+TEST(GridSignature, DistinguishesGridsAndTracksParameters) {
+  const auto base = grid_signature(tiny_grid());
+  EXPECT_EQ(base, grid_signature(tiny_grid()));  // stable
+
+  auto grid = tiny_grid();
+  grid.base.seed = 43;
+  EXPECT_NE(base, grid_signature(grid));
+
+  grid = tiny_grid();
+  grid.strategies.pop_back();
+  EXPECT_NE(base, grid_signature(grid));
+
+  grid = tiny_grid();
+  grid.sweep.kind = SweepAxis::Kind::BlendedPrice;
+  grid.sweep.values = {10.0, 20.0};
+  EXPECT_NE(base, grid_signature(grid));
+}
+
+TEST(NamedGrids, AllValidateAndResolve) {
+  for (const auto name : grid_names()) {
+    const auto grid = named_grid(name);
+    EXPECT_EQ(grid.name, name);
+    EXPECT_NO_THROW(validate_grid(grid));
+  }
+  EXPECT_THROW(named_grid("no-such-grid"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::driver

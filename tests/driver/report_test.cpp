@@ -1,0 +1,113 @@
+#include "driver/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/runner.hpp"
+
+namespace manytiers::driver {
+namespace {
+
+ExperimentGrid small_grid() {
+  ExperimentGrid grid;
+  grid.name = "report-test";
+  grid.datasets = {workload::DatasetKind::EuIsp};
+  grid.demand_kinds = {demand::DemandKind::ConstantElasticity,
+                       demand::DemandKind::Logit};
+  grid.cost_kinds = {CostKind::Linear};
+  grid.strategies = {pricing::Strategy::Optimal,
+                     pricing::Strategy::CostWeighted};
+  grid.max_bundles = 3;
+  grid.base.n_flows = 30;
+  return grid;
+}
+
+TEST(BatchReportIo, RoundTripsBitExactly) {
+  const auto report = run_grid(small_grid());
+  const std::string text = report_to_string(report);
+  std::istringstream in(text);
+  const auto parsed = read_report(in);
+  EXPECT_EQ(parsed.grid_name, report.grid_name);
+  EXPECT_EQ(parsed.signature, report.signature);
+  EXPECT_EQ(parsed.max_bundles, report.max_bundles);
+  EXPECT_EQ(parsed.points_per_cell, report.points_per_cell);
+  EXPECT_EQ(parsed.shard_index, report.shard_index);
+  EXPECT_EQ(parsed.shard_count, report.shard_count);
+  ASSERT_EQ(parsed.cells.size(), report.cells.size());
+  for (std::size_t c = 0; c < report.cells.size(); ++c) {
+    EXPECT_TRUE(parsed.cells[c].cell == report.cells[c].cell);
+    // %.17g round-trips doubles exactly, so the parsed envelope must be
+    // bit-identical, not merely close.
+    EXPECT_EQ(parsed.cells[c].sweep.min_capture,
+              report.cells[c].sweep.min_capture);
+    EXPECT_EQ(parsed.cells[c].sweep.max_capture,
+              report.cells[c].sweep.max_capture);
+    EXPECT_EQ(parsed.cells[c].sweep.points, report.cells[c].sweep.points);
+  }
+  // And a re-render of the parsed report reproduces the bytes.
+  EXPECT_EQ(report_to_string(parsed), text);
+}
+
+TEST(BatchReportIo, PartialShardRoundTripsThroughFiles) {
+  const auto grid = small_grid();
+  const auto unsharded = run_grid(grid);
+  std::vector<BatchReport> parts;
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto part = run_grid(grid, {.shard = {k, 3}});
+    // Serialize and re-read each partial, as the CLI's --merge path does;
+    // untouched cells (points == 0) must survive the trip.
+    std::istringstream in(report_to_string(part));
+    parts.push_back(read_report(in));
+  }
+  const auto merged = merge_shards(parts);
+  for (std::size_t c = 0; c < merged.cells.size(); ++c) {
+    EXPECT_EQ(merged.cells[c].sweep.min_capture,
+              unsharded.cells[c].sweep.min_capture);
+    EXPECT_EQ(merged.cells[c].sweep.max_capture,
+              unsharded.cells[c].sweep.max_capture);
+  }
+}
+
+TEST(BatchReportIo, TimingLinesAreOptionalAndSkippedByParser) {
+  const auto report = run_grid(small_grid());
+  const std::string stable = report_to_string(report, false);
+  EXPECT_EQ(stable.find("wall_ms"), std::string::npos);
+  // Non-report chatter (bench tables, logs) is ignored by the reader.
+  std::istringstream in("starting up\n" + stable + "done\n");
+  const auto parsed = read_report(in);
+  EXPECT_EQ(parsed.cells.size(), report.cells.size());
+  EXPECT_EQ(parsed.wall_ms, 0.0);
+}
+
+TEST(BatchReportIo, RejectsCorruptReports) {
+  std::istringstream empty("no batch lines here\n");
+  EXPECT_THROW(read_report(empty), std::invalid_argument);
+
+  // Cell before grid record.
+  std::istringstream disordered(
+      "BATCH_JSON {\"type\":\"cell\",\"key\":\"EU ISP/ced/linear/Optimal\","
+      "\"points\":0,\"min\":[],\"max\":[]}\n");
+  EXPECT_THROW(read_report(disordered), std::invalid_argument);
+
+  // Declared cell count does not match the records present.
+  const auto report = run_grid(small_grid());
+  std::string text = report_to_string(report, false);
+  text += "BATCH_JSON {\"type\":\"cell\",\"key\":\"EU ISP/ced/linear/"
+          "Optimal\",\"points\":0,\"min\":[],\"max\":[]}\n";
+  std::istringstream extra(text);
+  EXPECT_THROW(read_report(extra), std::invalid_argument);
+}
+
+TEST(CaptureTable, CutsOneDatasetInStrategyOrder) {
+  const auto report = run_grid(small_grid());
+  const auto table = capture_table(report, workload::DatasetKind::EuIsp);
+  // 2 demand kinds x 2 strategies rows, B columns + label.
+  EXPECT_EQ(table.row_count(), 4u);
+  EXPECT_EQ(table.column_count(), 4u);
+  const auto none = capture_table(report, workload::DatasetKind::Cdn);
+  EXPECT_EQ(none.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace manytiers::driver

@@ -1,0 +1,156 @@
+#include "driver/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::driver {
+namespace {
+
+// Small but non-trivial: two datasets, both demand models, an alpha
+// sweep, and strategies that exercise the DP and the heuristics.
+ExperimentGrid sweep_grid() {
+  ExperimentGrid grid;
+  grid.name = "runner-test";
+  grid.datasets = {workload::DatasetKind::EuIsp,
+                   workload::DatasetKind::Internet2};
+  grid.demand_kinds = {demand::DemandKind::ConstantElasticity,
+                       demand::DemandKind::Logit};
+  grid.cost_kinds = {CostKind::Linear};
+  grid.strategies = {pricing::Strategy::Optimal,
+                     pricing::Strategy::ProfitWeighted,
+                     pricing::Strategy::CostDivision};
+  grid.max_bundles = 4;
+  grid.base.n_flows = 40;
+  grid.sweep.kind = SweepAxis::Kind::Alpha;
+  grid.sweep.values = {1.1, 1.5, 3.0};
+  return grid;
+}
+
+void expect_same_payload(const BatchReport& a, const BatchReport& b) {
+  ASSERT_EQ(a.signature, b.signature);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    EXPECT_TRUE(a.cells[c].cell == b.cells[c].cell);
+    EXPECT_EQ(a.cells[c].sweep.points, b.cells[c].sweep.points);
+    // Exact double equality: the engine promises bit-identical envelopes.
+    EXPECT_EQ(a.cells[c].sweep.min_capture, b.cells[c].sweep.min_capture)
+        << cell_key(a.cells[c].cell);
+    EXPECT_EQ(a.cells[c].sweep.max_capture, b.cells[c].sweep.max_capture)
+        << cell_key(a.cells[c].cell);
+  }
+}
+
+TEST(RunGrid, EveryCellFullyEvaluated) {
+  const auto grid = sweep_grid();
+  const auto report = run_grid(grid, {.threads = 2, .shard = {}});
+  EXPECT_EQ(report.grid_name, "runner-test");
+  EXPECT_EQ(report.signature, grid_signature(grid));
+  EXPECT_EQ(report.points_per_cell, 3u);
+  ASSERT_EQ(report.cells.size(), 2u * 2u * 1u * 3u);
+  for (const auto& cell : report.cells) {
+    EXPECT_EQ(cell.sweep.points, 3u);
+    ASSERT_EQ(cell.sweep.min_capture.size(), grid.max_bundles);
+    for (std::size_t b = 0; b < grid.max_bundles; ++b) {
+      EXPECT_LE(cell.sweep.min_capture[b], cell.sweep.max_capture[b]);
+    }
+  }
+}
+
+TEST(RunGrid, BitIdenticalAcrossThreadCounts) {
+  const auto grid = sweep_grid();
+  const auto serial = run_grid(grid, {.threads = 1, .shard = {}});
+  for (const std::size_t threads : {2u, 4u}) {
+    const auto parallel = run_grid(grid, {.threads = threads, .shard = {}});
+    expect_same_payload(serial, parallel);
+  }
+}
+
+TEST(RunGrid, MatchesTheSweepEngineCellByCell) {
+  // The driver is a fan-out over the same sweep machinery the per-figure
+  // benches use; an alpha-sweep cell must equal sweep_alpha exactly.
+  auto grid = sweep_grid();
+  grid.datasets = {workload::DatasetKind::EuIsp};
+  grid.demand_kinds = {demand::DemandKind::ConstantElasticity};
+  grid.strategies = {pricing::Strategy::ProfitWeighted};
+  const auto report = run_grid(grid, {.threads = 2, .shard = {}});
+  ASSERT_EQ(report.cells.size(), 1u);
+
+  const auto flows = workload::generate_dataset(
+      workload::DatasetKind::EuIsp,
+      {.seed = grid.base.seed, .n_flows = grid.base.n_flows});
+  const auto cost = make_cost_model(CostKind::Linear, grid.base.theta);
+  pricing::SensitivityInputs inputs;
+  inputs.flows = &flows;
+  inputs.cost_model = cost.get();
+  inputs.demand.kind = demand::DemandKind::ConstantElasticity;
+  inputs.blended_price = grid.base.blended_price;
+  inputs.strategy = pricing::Strategy::ProfitWeighted;
+  inputs.max_bundles = grid.max_bundles;
+  const auto expected = pricing::sweep_alpha(inputs, grid.sweep.values);
+  EXPECT_EQ(report.cells[0].sweep.min_capture, expected.min_capture);
+  EXPECT_EQ(report.cells[0].sweep.max_capture, expected.max_capture);
+  EXPECT_EQ(report.cells[0].sweep.points, expected.points);
+}
+
+TEST(ShardMerge, AnyShardCountReproducesTheUnshardedRun) {
+  const auto grid = sweep_grid();
+  const auto unsharded = run_grid(grid, {.threads = 2, .shard = {}});
+  for (const std::size_t shard_count : {1u, 2u, 3u, 5u}) {
+    std::vector<BatchReport> parts;
+    for (std::size_t k = 0; k < shard_count; ++k) {
+      parts.push_back(run_grid(grid, {.threads = 2, .shard = {k, shard_count}}));
+    }
+    const auto merged = merge_shards(parts);
+    expect_same_payload(unsharded, merged);
+  }
+}
+
+TEST(ShardMerge, ShardsPartitionTheTasks) {
+  const auto grid = sweep_grid();
+  const auto parts = std::vector<BatchReport>{
+      run_grid(grid, {.threads = 0, .shard = {0, 3}}), run_grid(grid, {.threads = 0, .shard = {1, 3}}),
+      run_grid(grid, {.threads = 0, .shard = {2, 3}})};
+  std::size_t total = 0;
+  for (const auto& part : parts) {
+    for (const auto& cell : part.cells) total += cell.sweep.points;
+  }
+  EXPECT_EQ(total, grid.sweep.values.size() * 12u);  // every task exactly once
+}
+
+TEST(ShardMerge, RejectsMalformedShardSets) {
+  const auto grid = sweep_grid();
+  const auto s0 = run_grid(grid, {.threads = 0, .shard = {0, 2}});
+  const auto s1 = run_grid(grid, {.threads = 0, .shard = {1, 2}});
+
+  EXPECT_THROW(merge_shards({}), std::invalid_argument);
+  // Duplicate shard.
+  EXPECT_THROW(merge_shards({s0, s0}), std::invalid_argument);
+  // Incomplete set: shard_count says 2 but only one report.
+  EXPECT_THROW(merge_shards({s0}), std::invalid_argument);
+  // Mixed grids.
+  auto other = grid;
+  other.base.seed = 7;
+  const auto foreign = run_grid(other, {.threads = 0, .shard = {1, 2}});
+  EXPECT_THROW(merge_shards({s0, foreign}), std::invalid_argument);
+}
+
+TEST(RunGrid, RejectsBadShardPlans) {
+  const auto grid = sweep_grid();
+  EXPECT_THROW(run_grid(grid, {.threads = 0, .shard = {0, 0}}), std::invalid_argument);
+  EXPECT_THROW(run_grid(grid, {.threads = 0, .shard = {2, 2}}), std::invalid_argument);
+  EXPECT_THROW(run_grid(grid, {.threads = 0, .shard = {5, 3}}), std::invalid_argument);
+}
+
+TEST(RunGrid, AcceptanceFullDefaultGridShardsBitIdentically) {
+  // The PR's acceptance criterion: K = 4 shards of the full default grid
+  // merge back to the unsharded report exactly.
+  const auto grid = default_grid();
+  const auto unsharded = run_grid(grid);
+  std::vector<BatchReport> parts;
+  for (std::size_t k = 0; k < 4; ++k) {
+    parts.push_back(run_grid(grid, {.threads = 0, .shard = {k, 4}}));
+  }
+  expect_same_payload(unsharded, merge_shards(parts));
+}
+
+}  // namespace
+}  // namespace manytiers::driver

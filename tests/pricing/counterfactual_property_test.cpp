@@ -1,0 +1,142 @@
+// Property tests for the counterfactual core over randomized markets
+// (seeded util/rng, so failures replay deterministically). The paper's
+// structural guarantees under test:
+//
+//  - profit capture lies in [0, 1]: optimal per-bundle pricing can never
+//    do worse than the calibrated blended rate (price every bundle at P0
+//    and you recover it) nor better than per-flow pricing;
+//  - the Optimal strategy is monotone non-decreasing in the bundle count
+//    (the DP partitions into *at most* B intervals);
+//  - no heuristic beats Optimal at any bundle count (the interval DP is
+//    exact: for both demand models some globally optimal partition is
+//    contiguous in unit cost).
+#include "pricing/counterfactual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace manytiers::pricing {
+namespace {
+
+constexpr double kEps = 1e-7;
+constexpr std::size_t kMaxBundles = 5;
+
+struct RandomMarketCase {
+  workload::DatasetKind dataset{};
+  demand::DemandKind demand_kind{};
+  std::uint64_t seed = 0;
+  std::size_t n_flows = 0;
+  double alpha = 0.0;
+  double theta = 0.0;
+  double s0 = 0.0;
+  double blended_price = 0.0;
+};
+
+std::vector<RandomMarketCase> random_cases(std::size_t count) {
+  util::Rng rng(20260805);
+  const workload::DatasetKind datasets[] = {workload::DatasetKind::EuIsp,
+                                            workload::DatasetKind::Cdn,
+                                            workload::DatasetKind::Internet2};
+  std::vector<RandomMarketCase> cases;
+  cases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RandomMarketCase c;
+    c.dataset = datasets[rng.index(3)];
+    c.demand_kind = i % 2 == 0 ? demand::DemandKind::ConstantElasticity
+                               : demand::DemandKind::Logit;
+    c.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1'000'000));
+    c.n_flows = static_cast<std::size_t>(rng.uniform_int(30, 70));
+    c.alpha = rng.uniform(1.05, 3.0);
+    c.theta = rng.uniform(0.05, 0.5);
+    c.s0 = rng.uniform(0.05, 0.6);
+    c.blended_price = rng.uniform(5.0, 40.0);
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+Market build_market(const RandomMarketCase& c) {
+  const auto flows = workload::generate_dataset(
+      c.dataset, {.seed = c.seed, .n_flows = c.n_flows});
+  const auto cost = cost::make_linear_cost(c.theta);
+  DemandSpec spec;
+  spec.kind = c.demand_kind;
+  spec.alpha = c.alpha;
+  spec.no_purchase_share = c.s0;
+  return Market::calibrate(flows, spec, *cost, c.blended_price);
+}
+
+std::string describe(const RandomMarketCase& c) {
+  return std::string(workload::to_string(c.dataset)) + " seed=" +
+         std::to_string(c.seed) + " n=" + std::to_string(c.n_flows) +
+         " alpha=" + std::to_string(c.alpha) +
+         (c.demand_kind == demand::DemandKind::Logit ? " logit" : " ced");
+}
+
+const std::vector<Strategy>& all_base_strategies() {
+  static const std::vector<Strategy> strategies = {
+      Strategy::Optimal,      Strategy::DemandWeighted,
+      Strategy::CostWeighted, Strategy::ProfitWeighted,
+      Strategy::CostDivision, Strategy::IndexDivision};
+  return strategies;
+}
+
+TEST(CounterfactualProperties, CaptureStaysWithinUnitInterval) {
+  for (const auto& c : random_cases(12)) {
+    const auto market = build_market(c);
+    for (const auto strategy : all_base_strategies()) {
+      const auto series = capture_series(market, strategy, kMaxBundles);
+      ASSERT_EQ(series.size(), kMaxBundles);
+      for (std::size_t b = 0; b < kMaxBundles; ++b) {
+        EXPECT_GE(series[b], -kEps)
+            << describe(c) << " " << to_string(strategy) << " B=" << b + 1;
+        EXPECT_LE(series[b], 1.0 + kEps)
+            << describe(c) << " " << to_string(strategy) << " B=" << b + 1;
+      }
+    }
+  }
+}
+
+TEST(CounterfactualProperties, OptimalCaptureIsMonotoneInBundleCount) {
+  for (const auto& c : random_cases(12)) {
+    const auto market = build_market(c);
+    const auto series = capture_series(market, Strategy::Optimal, kMaxBundles);
+    for (std::size_t b = 1; b < kMaxBundles; ++b) {
+      EXPECT_GE(series[b], series[b - 1] - kEps)
+          << describe(c) << " between B=" << b << " and B=" << b + 1;
+    }
+  }
+}
+
+TEST(CounterfactualProperties, NoHeuristicBeatsOptimalAtAnyBundleCount) {
+  for (const auto& c : random_cases(10)) {
+    const auto market = build_market(c);
+    const auto optimal = capture_series(market, Strategy::Optimal, kMaxBundles);
+    for (const auto strategy : all_base_strategies()) {
+      if (strategy == Strategy::Optimal) continue;
+      const auto series = capture_series(market, strategy, kMaxBundles);
+      for (std::size_t b = 0; b < kMaxBundles; ++b) {
+        EXPECT_LE(series[b], optimal[b] + kEps)
+            << describe(c) << " " << to_string(strategy) << " B=" << b + 1;
+      }
+    }
+  }
+}
+
+TEST(CounterfactualProperties, SingleBundleRecoversTheBlendedRate) {
+  // Calibration consistency (paper §4.1): re-optimizing one blended
+  // bundle reproduces P0, so every strategy's B = 1 capture is ~0.
+  for (const auto& c : random_cases(8)) {
+    const auto market = build_market(c);
+    for (const auto strategy : all_base_strategies()) {
+      const auto series = capture_series(market, strategy, 1);
+      EXPECT_NEAR(series[0], 0.0, 1e-6)
+          << describe(c) << " " << to_string(strategy);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manytiers::pricing

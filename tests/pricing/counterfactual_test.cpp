@@ -164,9 +164,12 @@ TEST(CaptureSeries, OptimalCostsExactlyOneDpTableFill) {
   }
 }
 
-TEST(CaptureSeries, ZeroBundlesIsEmpty) {
+TEST(CaptureSeries, RejectsZeroBundles) {
+  // Regression: a zero-length series used to be returned silently and
+  // sweep/report code indexed past its end.
   const auto m = eu_market(demand::DemandKind::ConstantElasticity);
-  EXPECT_TRUE(capture_series(m, Strategy::Optimal, 0).empty());
+  EXPECT_THROW(capture_series(m, Strategy::Optimal, 0),
+               std::invalid_argument);
 }
 
 TEST(Counterfactual, RejectsZeroBundles) {

@@ -129,5 +129,17 @@ TEST(SweepCaptures, Validates) {
   EXPECT_THROW(sweep_alpha(zero_bundles, one), std::invalid_argument);
 }
 
+TEST(SweepCaptures, RejectsZeroMaxBundlesBeforeCalibrating) {
+  // Regression for the silently-empty envelope: a direct call with
+  // max_bundles == 0 must throw up front rather than hand downstream
+  // reduction code empty min/max vectors to index into.
+  const std::vector<double> params{1.0};
+  const auto never = [](double) -> Market {
+    throw std::logic_error("calibrate must not run");
+  };
+  EXPECT_THROW(sweep_captures(params, never, Strategy::Optimal, 0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace manytiers::pricing

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Compare two manytiers batch reports and flag regressions.
+
+Reads the BATCH_JSON line format written by `manytiers_batch` (and the
+BENCH_JSON breadcrumbs the bench binaries emit), checks that the two runs
+cover the same grid, and reports:
+
+  * capture regressions — any per-cell min/max envelope value that moved
+    by more than --capture-tol (default 0: bit-exact, which the engine
+    guarantees for same-grid runs at any shard/thread count);
+  * latency regressions — cells or whole runs whose wall_ms grew by more
+    than --latency-factor AND --latency-min-ms (timing is noisy, so both
+    gates must trip; absent timing fields are skipped).
+
+Exit status: 0 clean, 1 capture regression (or latency regression with
+--fail-on-latency), 2 usage/incomparable-report errors.
+
+Examples:
+  bench_diff.py golden_smoke.batch fresh.batch
+  bench_diff.py old.batch new.batch --capture-tol 1e-12 --fail-on-latency
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_report(path):
+    report = {"grid": None, "cells": {}, "order": [], "timing": None}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.startswith("BATCH_JSON "):
+                record = json.loads(line[len("BATCH_JSON "):])
+            elif line.startswith("BENCH_JSON "):
+                # Bench breadcrumbs carry timing only; fold the first one
+                # in as run timing if the report itself has none.
+                record = json.loads(line[len("BENCH_JSON "):])
+                record["type"] = "timing"
+            else:
+                continue
+            kind = record.get("type")
+            if kind == "grid":
+                if report["grid"] is not None:
+                    raise ValueError(f"{path}: duplicate grid record")
+                report["grid"] = record
+            elif kind == "cell":
+                key = record["key"]
+                if key in report["cells"]:
+                    raise ValueError(f"{path}: duplicate cell {key!r}")
+                report["cells"][key] = record
+                report["order"].append(key)
+            elif kind == "timing":
+                if report["timing"] is None:
+                    report["timing"] = record
+    if report["grid"] is None:
+        raise ValueError(f"{path}: no BATCH_JSON grid record found")
+    return report
+
+
+def diff_envelopes(baseline, candidate, tol):
+    problems = []
+    for key in baseline["order"]:
+        base = baseline["cells"][key]
+        cand = candidate["cells"].get(key)
+        if cand is None:
+            problems.append(f"cell missing from candidate: {key}")
+            continue
+        if base["points"] != cand["points"]:
+            problems.append(
+                f"{key}: point count {base['points']} -> {cand['points']}")
+        for bound in ("min", "max"):
+            a, b = base[bound], cand[bound]
+            if len(a) != len(b):
+                problems.append(
+                    f"{key}: {bound} length {len(a)} -> {len(b)}")
+                continue
+            for i, (x, y) in enumerate(zip(a, b)):
+                if abs(x - y) > tol:
+                    problems.append(
+                        f"{key}: {bound}[B={i + 1}] {x!r} -> {y!r} "
+                        f"(|delta| = {abs(x - y):.3e} > tol {tol:g})")
+    for key in candidate["order"]:
+        if key not in baseline["cells"]:
+            problems.append(f"cell missing from baseline: {key}")
+    return problems
+
+
+def diff_latency(baseline, candidate, factor, min_ms):
+    regressions = []
+
+    def check(label, old_ms, new_ms):
+        if old_ms is None or new_ms is None:
+            return
+        if new_ms > old_ms * factor and new_ms - old_ms > min_ms:
+            regressions.append(
+                f"{label}: {old_ms:.2f} ms -> {new_ms:.2f} ms "
+                f"({new_ms / old_ms:.2f}x)")
+
+    for key in baseline["order"]:
+        cand = candidate["cells"].get(key)
+        if cand is None:
+            continue
+        check(key, baseline["cells"][key].get("wall_ms"),
+              cand.get("wall_ms"))
+    old_t = (baseline["timing"] or {}).get("wall_ms")
+    new_t = (candidate["timing"] or {}).get("wall_ms")
+    check("total", old_t, new_t)
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="reference report (e.g. the golden)")
+    parser.add_argument("candidate", help="report under test")
+    parser.add_argument("--capture-tol", type=float, default=0.0,
+                        help="allowed |delta| per envelope value (default 0)")
+    parser.add_argument("--latency-factor", type=float, default=1.5,
+                        help="flag wall_ms growth beyond this factor")
+    parser.add_argument("--latency-min-ms", type=float, default=5.0,
+                        help="ignore absolute growth below this many ms")
+    parser.add_argument("--fail-on-latency", action="store_true",
+                        help="exit 1 on latency regressions too")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = parse_report(args.baseline)
+        candidate = parse_report(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
+
+    if baseline["grid"]["signature"] != candidate["grid"]["signature"]:
+        print("bench_diff: reports cover different grids:\n"
+              f"  baseline:  {baseline['grid']['signature']}\n"
+              f"  candidate: {candidate['grid']['signature']}",
+              file=sys.stderr)
+        return 2
+
+    capture_problems = diff_envelopes(baseline, candidate, args.capture_tol)
+    latency_problems = diff_latency(baseline, candidate, args.latency_factor,
+                                    args.latency_min_ms)
+
+    for line in capture_problems:
+        print(f"CAPTURE  {line}")
+    for line in latency_problems:
+        print(f"LATENCY  {line}")
+    if not capture_problems and not latency_problems:
+        print(f"OK: {len(baseline['order'])} cells match "
+              f"(capture tol {args.capture_tol:g}), no latency regressions")
+    if capture_problems:
+        return 1
+    if latency_problems and args.fail_on_latency:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
