@@ -1,0 +1,68 @@
+# Smoke test for the shard orchestrator CLI, run by ctest (label:
+# orchestrator).
+#
+# 1. Supervise a 3-worker run of the smoke grid with shard 1 fault-
+#    injected to crash once; the merged report must be byte-identical to
+#    the checked-in golden, and the event log must record the retry.
+# 2. A run whose shard crashes on every attempt must exit nonzero and
+#    write no report at all.
+#
+# Expects: ORCH_BIN, BATCH_BIN, GOLDEN, WORK_DIR.
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(merged "${WORK_DIR}/smoke_merged.batch")
+set(events "${WORK_DIR}/smoke.events")
+
+execute_process(
+  COMMAND "${ORCH_BIN}" --grid smoke --workers 3 --fault crash:1
+    --retries 2 --backoff-ms 1 --worker "${BATCH_BIN}"
+    --work-dir "${WORK_DIR}/parts" --event-log "${events}"
+    --out "${merged}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "manytiers_orchestrate --grid smoke --workers 3 --fault crash:1 "
+    "failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${merged}" "${GOLDEN}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "orchestrated smoke report differs from the golden report ${GOLDEN}; "
+    "the supervised multi-process run must be byte-identical to the "
+    "single-process one")
+endif()
+
+file(READ "${events}" event_text)
+if(NOT event_text MATCHES "\"type\":\"retry\",\"shard\":1")
+  message(FATAL_ERROR
+    "event log ${events} records no retry for the fault-injected shard 1")
+endif()
+if(NOT event_text MATCHES "\"type\":\"done\"")
+  message(FATAL_ERROR "event log ${events} records no terminal done event")
+endif()
+
+# Negative leg: exhausted retries must fail the run and emit no report.
+set(failed "${WORK_DIR}/failed.batch")
+execute_process(
+  COMMAND "${ORCH_BIN}" --grid smoke --workers 2 --fault crash:0:99
+    --retries 1 --backoff-ms 1 --worker "${BATCH_BIN}"
+    --work-dir "${WORK_DIR}/failed_parts" --out "${failed}"
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "orchestrator reported success although shard 0 crashed on every "
+    "attempt")
+endif()
+if(EXISTS "${failed}")
+  message(FATAL_ERROR
+    "orchestrator wrote a report (${failed}) despite a failed shard; "
+    "partial results must never be emitted")
+endif()
+if(NOT err MATCHES "shard 0")
+  message(FATAL_ERROR
+    "failure output carries no per-shard summary:\n${err}")
+endif()

@@ -1,0 +1,111 @@
+#include "driver/fault.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace manytiers::driver {
+
+namespace {
+
+std::size_t parse_count(std::string_view text, const char* what) {
+  if (text.empty()) {
+    throw std::invalid_argument(std::string("fault spec: empty ") + what);
+  }
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument(std::string("fault spec: bad ") + what +
+                                  " \"" + std::string(text) + "\"");
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
+FaultSpec parse_spec(std::string_view item) {
+  FaultSpec spec;
+  const std::size_t first = item.find(':');
+  if (first == std::string_view::npos) {
+    throw std::invalid_argument("fault spec: expected kind:shard[:times], "
+                                "got \"" + std::string(item) + "\"");
+  }
+  const std::string_view kind = item.substr(0, first);
+  if (kind == "crash") {
+    spec.kind = FaultKind::Crash;
+  } else if (kind == "stall") {
+    spec.kind = FaultKind::Stall;
+  } else if (kind == "corrupt") {
+    spec.kind = FaultKind::Corrupt;
+  } else {
+    throw std::invalid_argument("fault spec: unknown kind \"" +
+                                std::string(kind) + "\"");
+  }
+  std::string_view rest = item.substr(first + 1);
+  const std::size_t second = rest.find(':');
+  if (second == std::string_view::npos) {
+    spec.shard = parse_count(rest, "shard index");
+  } else {
+    spec.shard = parse_count(rest.substr(0, second), "shard index");
+    spec.times = parse_count(rest.substr(second + 1), "times count");
+    if (spec.times == 0) {
+      throw std::invalid_argument("fault spec: times must be >= 1");
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Crash: return "crash";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Corrupt: return "corrupt";
+  }
+  throw std::invalid_argument("unknown fault kind");
+}
+
+FaultPlan parse_fault_plan(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size() && !spec.empty()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string_view item =
+        spec.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start);
+    if (item.empty()) {
+      throw std::invalid_argument("fault spec: empty entry in \"" +
+                                  std::string(spec) + "\"");
+    }
+    plan.faults.push_back(parse_spec(item));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return plan;
+}
+
+std::optional<FaultKind> fault_for(const FaultPlan& plan, std::size_t shard,
+                                   std::size_t attempt) {
+  for (const auto& spec : plan.faults) {
+    if (spec.shard == shard && attempt < spec.times) return spec.kind;
+  }
+  return std::nullopt;
+}
+
+FaultPlan fault_plan_from_env() {
+  const char* spec = std::getenv("MANYTIERS_FAULT");
+  if (spec == nullptr) return {};
+  return parse_fault_plan(spec);
+}
+
+std::size_t fault_attempt_from_env() {
+  const char* text = std::getenv("MANYTIERS_FAULT_ATTEMPT");
+  if (text == nullptr) return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return 0;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace manytiers::driver

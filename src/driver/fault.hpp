@@ -1,0 +1,57 @@
+// Deterministic fault injection for batch workers.
+//
+// The shard orchestrator needs hermetic tests of its crash / timeout /
+// corrupt-output paths, so the worker binary (manytiers_batch) compiles
+// in a fault hook driven by two environment variables:
+//
+//   MANYTIERS_FAULT          comma-separated specs `kind:shard[:times]`
+//                            with kind in {crash, stall, corrupt}
+//   MANYTIERS_FAULT_ATTEMPT  the supervisor's retry counter (default 0)
+//
+// A spec fires when the worker's shard index matches `shard` AND the
+// attempt counter is below `times` (default 1) — so `crash:2` makes
+// shard 2 crash exactly once and succeed on its retry, while
+// `crash:2:99` makes it crash until the retry budget is exhausted.
+// Everything is pure string/integer matching: no clocks, no randomness.
+//
+//   crash    exit immediately with code 70, producing no output file
+//   stall    sleep (nominally forever) so a wall-clock timeout fires
+//   corrupt  run normally but truncate the written report mid-line
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace manytiers::driver {
+
+enum class FaultKind { Crash, Stall, Corrupt };
+
+std::string_view to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind{};
+  std::size_t shard = 0;
+  std::size_t times = 1;  // fire on attempts 0 .. times-1
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+};
+
+// Parse "crash:2,stall:5,corrupt:0:3". Empty input yields an empty plan.
+// Throws std::invalid_argument on unknown kinds or malformed numbers.
+FaultPlan parse_fault_plan(std::string_view spec);
+
+// The fault (if any) that fires for this (shard, attempt): the first
+// spec whose shard matches and whose `times` exceeds `attempt`.
+std::optional<FaultKind> fault_for(const FaultPlan& plan, std::size_t shard,
+                                   std::size_t attempt);
+
+// Read MANYTIERS_FAULT (empty plan when unset) and
+// MANYTIERS_FAULT_ATTEMPT (0 when unset or unparsable).
+FaultPlan fault_plan_from_env();
+std::size_t fault_attempt_from_env();
+
+}  // namespace manytiers::driver

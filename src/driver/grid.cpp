@@ -283,16 +283,38 @@ ExperimentGrid alpha_sweep_grid() {
   return grid;
 }
 
+ExperimentGrid costmodels_grid() {
+  // The Fig. 10-13 family in one batch: every cost model against the
+  // cost-only industry practice and the paper's demand-and-cost
+  // recommendation, with Optimal as the upper bound.
+  ExperimentGrid grid;
+  grid.name = "costmodels";
+  grid.datasets = {workload::DatasetKind::EuIsp,
+                   workload::DatasetKind::Internet2,
+                   workload::DatasetKind::Cdn};
+  grid.demand_kinds = {demand::DemandKind::ConstantElasticity,
+                       demand::DemandKind::Logit};
+  grid.cost_kinds = {CostKind::Linear, CostKind::Concave, CostKind::Regional,
+                     CostKind::DestType};
+  grid.strategies = {pricing::Strategy::Optimal,
+                     pricing::Strategy::CostWeighted,
+                     pricing::Strategy::ProfitWeighted};
+  grid.max_bundles = 6;
+  return grid;
+}
+
 ExperimentGrid named_grid(std::string_view name) {
   if (name == "smoke") return smoke_grid();
   if (name == "default") return default_grid();
   if (name == "alpha-sweep") return alpha_sweep_grid();
+  if (name == "costmodels") return costmodels_grid();
   throw std::invalid_argument("unknown grid \"" + std::string(name) +
-                              "\"; known grids: smoke, default, alpha-sweep");
+                              "\"; known grids: smoke, default, alpha-sweep, "
+                              "costmodels");
 }
 
 std::vector<std::string_view> grid_names() {
-  return {"smoke", "default", "alpha-sweep"};
+  return {"smoke", "default", "alpha-sweep", "costmodels"};
 }
 
 }  // namespace manytiers::driver

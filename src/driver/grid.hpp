@@ -99,6 +99,7 @@ std::string grid_signature(const ExperimentGrid& grid);
 ExperimentGrid smoke_grid();       // 3 datasets x 2 demand x linear, n=50
 ExperimentGrid default_grid();     // the full Fig. 8/9 strategy lineup
 ExperimentGrid alpha_sweep_grid(); // Fig. 14-shaped robustness envelope
+ExperimentGrid costmodels_grid();  // all four cost models (Figs. 10-13)
 ExperimentGrid named_grid(std::string_view name);  // throws on unknown
 std::vector<std::string_view> grid_names();
 

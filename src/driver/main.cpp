@@ -11,16 +11,25 @@
 //       --out part1.batch
 //   manytiers_batch --merge part0.batch part1.batch ... --out full.batch
 //   manytiers_batch --grid smoke --shards 2 --no-timing --out merged.batch
+//
+// Exit codes (the orchestrator's contract): 0 success, 1 runtime
+// failure, 2 usage error. `--out` files are written atomically and
+// durably (temp file + fsync + rename), so a supervisor never reads a
+// torn report after a clean exit.
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "driver/fault.hpp"
 #include "driver/grid.hpp"
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
+#include "util/file.hpp"
 
 namespace {
 
@@ -37,11 +46,21 @@ int usage(std::ostream& os, int code) {
         "  --shards K           run all K shards in-process, then merge\n"
         "  --merge F1 F2 ...    merge partial shard reports instead of "
         "running\n"
-        "  --out PATH           write the report to PATH (default stdout)\n"
+        "  --out PATH           write the report to PATH (default stdout); "
+        "the\n"
+        "                       file appears atomically (fsync + rename)\n"
         "  --no-timing          omit wall-clock fields (byte-stable output)\n"
         "  --seed S             dataset seed override\n"
         "  --n-flows N          flows per dataset override\n"
-        "  --max-bundles B      bundle-count ceiling override\n";
+        "  --max-bundles B      bundle-count ceiling override\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  1  runtime failure (grid evaluation, merge, or report IO)\n"
+        "  2  usage error (bad flags, unknown grid, malformed "
+        "MANYTIERS_FAULT)\n"
+        "test hooks: MANYTIERS_FAULT=kind:shard[:times],... with kind in\n"
+        "  {crash, stall, corrupt} injects deterministic worker faults;\n"
+        "  MANYTIERS_FAULT_ATTEMPT gates specs to retry attempts < times.\n";
   return code;
 }
 
@@ -71,6 +90,10 @@ int main(int argc, char** argv) {
   std::size_t n_flows = 0;
   std::size_t max_bundles = 0;
 
+  // Phase 1 — argument parsing, grid resolution, and the fault-plan
+  // environment. Any failure here is a usage error: exit 2.
+  driver::ExperimentGrid grid;
+  driver::FaultPlan fault_plan;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -126,12 +149,46 @@ int main(int argc, char** argv) {
       throw std::invalid_argument(
           "--shards (in-process) and --shard-index (single shard) conflict");
     }
+    if (merge_mode && merge_inputs.size() < 2) {
+      throw std::invalid_argument("--merge needs at least two report files");
+    }
+    if (!merge_mode) {
+      grid = driver::named_grid(grid_name);
+      if (seed_given) grid.base.seed = seed;
+      if (n_flows != 0) grid.base.n_flows = n_flows;
+      if (max_bundles != 0) grid.max_bundles = max_bundles;
+    }
+    fault_plan = driver::fault_plan_from_env();
+  } catch (const std::exception& err) {
+    std::cerr << "manytiers_batch: " << err.what() << "\n";
+    return 2;
+  }
 
+  // The fault hook (see driver/fault.hpp): hermetic crash / stall /
+  // corrupt injection for orchestrator tests, keyed on this worker's
+  // shard index and the supervisor's retry counter.
+  bool corrupt_output = false;
+  if (const auto fault = driver::fault_for(
+          fault_plan, shard_index_given ? shard.index : 0,
+          driver::fault_attempt_from_env())) {
+    switch (*fault) {
+      case driver::FaultKind::Crash:
+        std::cerr << "manytiers_batch: injected crash\n";
+        std::_Exit(70);
+      case driver::FaultKind::Stall:
+        std::cerr << "manytiers_batch: injected stall\n";
+        std::this_thread::sleep_for(std::chrono::minutes(10));
+        return 1;  // a supervisor timeout should have fired long ago
+      case driver::FaultKind::Corrupt:
+        corrupt_output = true;
+        break;
+    }
+  }
+
+  // Phase 2 — evaluation, merge, and report IO. Failures exit 1.
+  try {
     driver::BatchReport report;
     if (merge_mode) {
-      if (merge_inputs.size() < 2) {
-        throw std::invalid_argument("--merge needs at least two report files");
-      }
       std::vector<driver::BatchReport> parts;
       parts.reserve(merge_inputs.size());
       for (const auto& path : merge_inputs) {
@@ -142,32 +199,32 @@ int main(int argc, char** argv) {
         parts.push_back(driver::read_report(in));
       }
       report = driver::merge_shards(parts);
-    } else {
-      driver::ExperimentGrid grid = driver::named_grid(grid_name);
-      if (seed_given) grid.base.seed = seed;
-      if (n_flows != 0) grid.base.n_flows = n_flows;
-      if (max_bundles != 0) grid.max_bundles = max_bundles;
-      if (shards_in_process > 1) {
-        std::vector<driver::BatchReport> parts;
-        parts.reserve(shards_in_process);
-        for (std::size_t k = 0; k < shards_in_process; ++k) {
-          parts.push_back(
-              driver::run_grid(grid, {threads, {k, shards_in_process}}));
-        }
-        report = driver::merge_shards(parts);
-      } else {
-        report = driver::run_grid(grid, {threads, shard});
+    } else if (shards_in_process > 1) {
+      std::vector<driver::BatchReport> parts;
+      parts.reserve(shards_in_process);
+      for (std::size_t k = 0; k < shards_in_process; ++k) {
+        parts.push_back(
+            driver::run_grid(grid, {threads, {k, shards_in_process}}));
       }
+      report = driver::merge_shards(parts);
+    } else {
+      report = driver::run_grid(grid, {threads, shard});
     }
 
+    const std::string payload =
+        driver::report_to_string(report, include_timing);
     if (out_path.empty()) {
-      driver::write_report(std::cout, report, include_timing);
+      std::cout << payload;
+    } else if (corrupt_output) {
+      // Injected corruption: leave a torn file (over half, so the grid
+      // header parses but the cell list is truncated) and exit clean —
+      // exactly what a worker killed mid-write would leave behind
+      // without the durable write path.
+      std::ofstream out(out_path, std::ios::binary);
+      out << payload.substr(0, payload.size() / 2 + payload.size() / 4);
+      std::cerr << "manytiers_batch: injected corrupt output\n";
     } else {
-      std::ofstream out(out_path);
-      if (!out) {
-        throw std::invalid_argument("cannot open output file: " + out_path);
-      }
-      driver::write_report(out, report, include_timing);
+      util::write_file_durable(out_path, payload);
     }
     // Perf-trajectory breadcrumb, same shape as the bench binaries'.
     const std::size_t n_tasks = report.cells.size() * report.points_per_cell;
@@ -176,7 +233,7 @@ int main(int argc, char** argv) {
               << ",\"threads\":" << report.threads << "}\n";
   } catch (const std::exception& err) {
     std::cerr << "manytiers_batch: " << err.what() << "\n";
-    return 2;
+    return 1;
   }
   return 0;
 }

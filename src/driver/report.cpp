@@ -291,6 +291,62 @@ BatchReport merge_shards(const std::vector<BatchReport>& shards) {
   return merged;
 }
 
+void validate_part(const BatchReport& part, const ExperimentGrid& grid,
+                   std::size_t shard_index, std::size_t shard_count) {
+  const auto cells = enumerate_cells(grid);
+  const std::size_t n_points = points_per_cell(grid);
+  if (part.signature != grid_signature(grid)) {
+    throw std::invalid_argument("part: signature mismatch (expected grid \"" +
+                                grid.name + "\")");
+  }
+  if (part.shard_index != shard_index || part.shard_count != shard_count) {
+    throw std::invalid_argument(
+        "part: claims shard " + std::to_string(part.shard_index) + "/" +
+        std::to_string(part.shard_count) + ", expected " +
+        std::to_string(shard_index) + "/" + std::to_string(shard_count));
+  }
+  if (part.max_bundles != grid.max_bundles ||
+      part.points_per_cell != n_points) {
+    throw std::invalid_argument("part: grid dimensions mismatch");
+  }
+  if (part.cells.size() != cells.size()) {
+    throw std::invalid_argument("part: expected " +
+                                std::to_string(cells.size()) +
+                                " cells, found " +
+                                std::to_string(part.cells.size()));
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (!(part.cells[c].cell == cells[c])) {
+      throw std::invalid_argument("part: cell order differs at \"" +
+                                  cell_key(part.cells[c].cell) + "\"");
+    }
+    // Exact ownership under the round-robin split: shard k of K owns
+    // global task g iff g mod K == k.
+    std::size_t owned = 0;
+    for (std::size_t p = 0; p < n_points; ++p) {
+      if ((c * n_points + p) % shard_count == shard_index) ++owned;
+    }
+    const auto& sweep = part.cells[c].sweep;
+    if (sweep.points != owned) {
+      throw std::invalid_argument(
+          "part: cell \"" + cell_key(cells[c]) + "\" covers " +
+          std::to_string(sweep.points) + " points, shard owns " +
+          std::to_string(owned));
+    }
+    if (sweep.min_capture.size() != grid.max_bundles ||
+        sweep.max_capture.size() != grid.max_bundles) {
+      throw std::invalid_argument("part: envelope length mismatch in \"" +
+                                  cell_key(cells[c]) + "\"");
+    }
+    for (std::size_t b = 0; owned > 0 && b < grid.max_bundles; ++b) {
+      if (!(sweep.min_capture[b] <= sweep.max_capture[b])) {
+        throw std::invalid_argument("part: inverted envelope in \"" +
+                                    cell_key(cells[c]) + "\"");
+      }
+    }
+  }
+}
+
 util::TextTable capture_table(const BatchReport& report,
                               workload::DatasetKind dataset) {
   std::vector<std::string> headers{"Strategy"};

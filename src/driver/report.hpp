@@ -63,6 +63,16 @@ BatchReport read_report(std::istream& is);
 // counts that do not add up to the full grid.
 BatchReport merge_shards(const std::vector<BatchReport>& shards);
 
+// Integrity check for one shard's partial report — the orchestrator's
+// corrupt-part detector, run on every worker output before it is
+// accepted. Verifies the part claims the expected grid (signature,
+// max_bundles, points_per_cell), carries the expected shard
+// coordinates, lists every grid cell in enumeration order, and covers
+// exactly the parameter points shard `index` of `count` owns under the
+// round-robin task split. Throws std::invalid_argument with the reason.
+void validate_part(const BatchReport& part, const ExperimentGrid& grid,
+                   std::size_t shard_index, std::size_t shard_count);
+
 // Capture-vs-bundles table of one dataset's cells (rows follow the
 // grid's strategy order) — the shape of the paper's Figs. 8 and 9. Only
 // meaningful for fully-evaluated reports; sweep cells show the envelope

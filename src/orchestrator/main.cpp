@@ -1,0 +1,188 @@
+// manytiers_orchestrate: supervised multi-process batch runs.
+//
+// Splits a named grid into K shards, runs each in its own
+// manytiers_batch worker process, supervises them (timeouts, bounded
+// exponential-backoff retries, part-file integrity checks), and writes
+// a merged report byte-identical to the unsharded single-process run.
+//
+//   manytiers_orchestrate --grid default --workers 4 --out default.batch
+//   manytiers_orchestrate --grid smoke --workers 3 --timeout-ms 60000
+//       --retries 2 --event-log run.events --out smoke.batch
+//
+// Exit codes: 0 success, 1 orchestration failure (a shard exhausted its
+// retries, or merge/report IO failed), 2 usage error.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "orchestrator/orchestrator.hpp"
+#include "util/file.hpp"
+
+namespace {
+
+using namespace manytiers;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: manytiers_orchestrate [options]\n"
+        "  --grid NAME          grid to run (default \"default\")\n"
+        "  --workers K          shard count == worker processes (default "
+        "4)\n"
+        "  --timeout-ms T       per-worker wall-clock timeout (0 = none)\n"
+        "  --retries N          extra attempts per shard (default 2)\n"
+        "  --backoff-ms B       base retry backoff, doubles per attempt "
+        "(default 250)\n"
+        "  --keep-parts         keep part files and worker logs on "
+        "success\n"
+        "  --out PATH           merged report destination (default "
+        "stdout)\n"
+        "  --work-dir PATH      part files + worker logs (default "
+        "<out>.parts)\n"
+        "  --worker PATH        manytiers_batch binary (default: next to "
+        "this one)\n"
+        "  --worker-threads N   --threads forwarded to each worker\n"
+        "  --event-log PATH     structured ORCH_JSON event log (default "
+        "stderr)\n"
+        "  --fault SPEC         MANYTIERS_FAULT plan injected into "
+        "workers\n"
+        "  --seed S / --n-flows N / --max-bundles B   grid overrides\n"
+        "exit codes: 0 success, 1 orchestration failure, 2 usage error\n";
+  return code;
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* flag) {
+  std::size_t used = 0;
+  const std::uint64_t value = std::stoull(text, &used);
+  if (used != text.size()) {
+    throw std::invalid_argument(std::string(flag) + ": not a number: " + text);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  orchestrator::Options options;
+  std::string out_path;
+  std::string event_log_path;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(arg + " requires a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        return usage(std::cout, 0);
+      } else if (arg == "--grid") {
+        options.grid = next();
+      } else if (arg == "--workers") {
+        options.workers = parse_u64(next(), "--workers");
+      } else if (arg == "--timeout-ms") {
+        options.timeout_ms =
+            static_cast<double>(parse_u64(next(), "--timeout-ms"));
+      } else if (arg == "--retries") {
+        options.retries = parse_u64(next(), "--retries");
+      } else if (arg == "--backoff-ms") {
+        options.backoff_ms =
+            static_cast<double>(parse_u64(next(), "--backoff-ms"));
+      } else if (arg == "--keep-parts") {
+        options.keep_parts = true;
+      } else if (arg == "--out") {
+        out_path = next();
+      } else if (arg == "--work-dir") {
+        options.work_dir = next();
+      } else if (arg == "--worker") {
+        options.worker_binary = next();
+      } else if (arg == "--worker-threads") {
+        options.worker_threads = parse_u64(next(), "--worker-threads");
+      } else if (arg == "--event-log") {
+        event_log_path = next();
+      } else if (arg == "--fault") {
+        options.fault = next();
+      } else if (arg == "--seed") {
+        options.seed = parse_u64(next(), "--seed");
+        options.seed_given = true;
+      } else if (arg == "--n-flows") {
+        options.n_flows = parse_u64(next(), "--n-flows");
+      } else if (arg == "--max-bundles") {
+        options.max_bundles = parse_u64(next(), "--max-bundles");
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        return usage(std::cerr, 2);
+      }
+    }
+    if (options.workers == 0) {
+      throw std::invalid_argument("--workers must be >= 1");
+    }
+    if (options.worker_binary.empty()) {
+      // Default: the batch binary that ships next to this one.
+      options.worker_binary =
+          (std::filesystem::path(argv[0]).parent_path() / "manytiers_batch")
+              .string();
+    }
+    if (!std::filesystem::exists(options.worker_binary)) {
+      throw std::invalid_argument("worker binary not found: \"" +
+                                  options.worker_binary +
+                                  "\" (point --worker at manytiers_batch)");
+    }
+    if (options.work_dir.empty()) {
+      options.work_dir = out_path.empty() ? std::string("manytiers_orchestrate.work")
+                                          : out_path + ".parts";
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "manytiers_orchestrate: " << err.what() << "\n";
+    return 2;
+  }
+
+  try {
+    std::ofstream event_file;
+    if (!event_log_path.empty()) {
+      event_file.open(event_log_path);
+      if (!event_file) {
+        std::cerr << "manytiers_orchestrate: cannot open event log: "
+                  << event_log_path << "\n";
+        return 2;
+      }
+    }
+    orchestrator::EventLog log(event_log_path.empty()
+                                   ? static_cast<std::ostream&>(std::cerr)
+                                   : event_file);
+
+    const auto result = orchestrator::orchestrate(options, log);
+    if (!result.ok) {
+      std::cerr << "manytiers_orchestrate: run FAILED; per-shard summary:\n";
+      for (const auto& shard : result.shards) {
+        std::cerr << "  shard " << shard.shard << ": "
+                  << (shard.ok ? "ok" : shard.failure) << " ("
+                  << shard.attempts << " attempt"
+                  << (shard.attempts == 1 ? "" : "s") << ")\n";
+      }
+      std::cerr << "no report written (partial results are never emitted); "
+                   "worker logs kept under "
+                << options.work_dir << "\n";
+      return 1;
+    }
+
+    if (out_path.empty()) {
+      std::cout << result.merged;
+    } else {
+      util::write_file_durable(out_path, result.merged);
+    }
+    std::cerr << "BENCH_JSON {\"bench\":\"manytiers_orchestrate:"
+              << options.grid << "\",\"n\":" << options.workers
+              << ",\"wall_ms\":" << result.wall_ms << ",\"threads\":"
+              << options.workers << "}\n";
+  } catch (const std::exception& err) {
+    // Unknown grid names and similar option-shaped problems surface from
+    // orchestrate() as invalid_argument: usage, not runtime.
+    const bool is_usage =
+        dynamic_cast<const std::invalid_argument*>(&err) != nullptr;
+    std::cerr << "manytiers_orchestrate: " << err.what() << "\n";
+    return is_usage ? 2 : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,283 @@
+#include "orchestrator/orchestrator.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "driver/grid.hpp"
+#include "driver/report.hpp"
+#include "orchestrator/process.hpp"
+
+namespace manytiers::orchestrator {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Supervision state of one shard. A shard cycles Pending -> Running ->
+// (Done | Pending-with-backoff | Failed).
+struct Shard {
+  enum class State { Pending, Running, Done, Failed };
+  State state = State::Pending;
+  std::size_t attempt = 0;           // next (or current) attempt number
+  Clock::time_point not_before{};    // backoff gate while Pending
+  Clock::time_point deadline{};      // timeout while Running
+  bool has_deadline = false;
+  pid_t pid = -1;
+  std::string last_failure;
+  std::optional<manytiers::driver::BatchReport> part;  // validated result
+};
+
+std::string part_path(const Options& opt, std::size_t shard) {
+  return opt.work_dir + "/part" + std::to_string(shard) + ".batch";
+}
+
+std::string log_path(const Options& opt, std::size_t shard,
+                     std::size_t attempt) {
+  return opt.work_dir + "/worker" + std::to_string(shard) + ".a" +
+         std::to_string(attempt) + ".log";
+}
+
+SpawnSpec worker_spec(const Options& opt, std::size_t shard,
+                      std::size_t attempt) {
+  SpawnSpec spec;
+  spec.argv = {opt.worker_binary,
+               "--grid",        opt.grid,
+               "--shard-index", std::to_string(shard),
+               "--shard-count", std::to_string(opt.workers),
+               "--no-timing",
+               "--out",         part_path(opt, shard)};
+  if (opt.worker_threads != 0) {
+    spec.argv.push_back("--threads");
+    spec.argv.push_back(std::to_string(opt.worker_threads));
+  }
+  if (opt.seed_given) {
+    spec.argv.push_back("--seed");
+    spec.argv.push_back(std::to_string(opt.seed));
+  }
+  if (opt.n_flows != 0) {
+    spec.argv.push_back("--n-flows");
+    spec.argv.push_back(std::to_string(opt.n_flows));
+  }
+  if (opt.max_bundles != 0) {
+    spec.argv.push_back("--max-bundles");
+    spec.argv.push_back(std::to_string(opt.max_bundles));
+  }
+  if (!opt.fault.empty()) {
+    spec.env_extra.push_back("MANYTIERS_FAULT=" + opt.fault);
+  }
+  spec.env_extra.push_back("MANYTIERS_FAULT_ATTEMPT=" +
+                           std::to_string(attempt));
+  spec.log_path = log_path(opt, shard, attempt);
+  return spec;
+}
+
+// Parse + integrity-check one part file; returns the failure reason
+// instead of throwing so the supervisor can fold it into retry logic.
+std::optional<std::string> load_part(const Options& opt,
+                                     const driver::ExperimentGrid& grid,
+                                     std::size_t shard_index, Shard& shard) {
+  const std::string path = part_path(opt, shard_index);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "missing part file " + path;
+  try {
+    auto report = driver::read_report(in);
+    driver::validate_part(report, grid, shard_index, opt.workers);
+    shard.part = std::move(report);
+  } catch (const std::exception& err) {
+    return "corrupt part " + path + ": " + err.what();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result orchestrate(const Options& options, EventLog& log) {
+  if (options.workers == 0) {
+    throw std::invalid_argument("orchestrate: workers must be >= 1");
+  }
+  if (options.worker_binary.empty() || !fs::exists(options.worker_binary)) {
+    throw std::invalid_argument("orchestrate: worker binary not found: \"" +
+                                options.worker_binary + "\"");
+  }
+  if (options.work_dir.empty()) {
+    throw std::invalid_argument("orchestrate: work_dir is required");
+  }
+  // Resolve the grid now: an unknown grid name or bad override is a
+  // caller error, not a worker failure to retry.
+  driver::ExperimentGrid grid = driver::named_grid(options.grid);
+  if (options.seed_given) grid.base.seed = options.seed;
+  if (options.n_flows != 0) grid.base.n_flows = options.n_flows;
+  if (options.max_bundles != 0) grid.max_bundles = options.max_bundles;
+  driver::validate_grid(grid);
+  fs::create_directories(options.work_dir);
+
+  const auto t_start = Clock::now();
+  const std::size_t max_attempts = options.retries + 1;
+  std::vector<Shard> shards(options.workers);
+
+  log.write(Event("plan")
+                .field("grid", options.grid)
+                .field("workers", options.workers)
+                .field("timeout_ms", options.timeout_ms)
+                .field("retries", options.retries)
+                .field("backoff_ms", options.backoff_ms)
+                .field("worker", options.worker_binary));
+
+  std::size_t open = options.workers;  // shards not yet Done/Failed
+
+  // Routes one attempt's failure into backoff-retry or permanent
+  // failure. `reason` is the human-readable cause ("exit code 70",
+  // "timeout after 500 ms", "corrupt part ...").
+  const auto handle_failure = [&](std::size_t k, const std::string& reason) {
+    Shard& shard = shards[k];
+    shard.last_failure =
+        reason + " (attempt " + std::to_string(shard.attempt) + ", log " +
+        log_path(options, k, shard.attempt) + ")";
+    if (shard.attempt + 1 >= max_attempts) {
+      shard.state = Shard::State::Failed;
+      --open;
+      log.write(Event("shard-failed")
+                    .field("shard", k)
+                    .field("attempts", shard.attempt + 1)
+                    .field("reason", reason));
+      return;
+    }
+    const double backoff =
+        options.backoff_ms * static_cast<double>(1ull << shard.attempt);
+    log.write(Event("retry")
+                  .field("shard", k)
+                  .field("attempt", shard.attempt)
+                  .field("reason", reason)
+                  .field("backoff_ms", backoff));
+    shard.state = Shard::State::Pending;
+    shard.not_before =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(backoff));
+    ++shard.attempt;
+  };
+
+  while (open > 0) {
+    const auto now = Clock::now();
+    // Spawn every eligible pending shard (the shard count is the
+    // concurrency cap by construction: one worker per shard).
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      Shard& shard = shards[k];
+      if (shard.state != Shard::State::Pending || now < shard.not_before) {
+        continue;
+      }
+      // Drop any stale part so a crashed attempt cannot hand the
+      // validator a previous attempt's output.
+      std::error_code ec;
+      fs::remove(part_path(options, k), ec);
+      shard.pid = spawn_process(worker_spec(options, k, shard.attempt));
+      shard.state = Shard::State::Running;
+      shard.has_deadline = options.timeout_ms > 0.0;
+      if (shard.has_deadline) {
+        shard.deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   options.timeout_ms));
+      }
+      log.write(Event("spawn")
+                    .field("shard", k)
+                    .field("attempt", shard.attempt)
+                    .field("pid", static_cast<long>(shard.pid)));
+    }
+
+    // Reap exits and enforce deadlines.
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      Shard& shard = shards[k];
+      if (shard.state != Shard::State::Running) continue;
+      if (const auto status = try_wait(shard.pid)) {
+        log.write(Event("exit")
+                      .field("shard", k)
+                      .field("attempt", shard.attempt)
+                      .field(status->signaled ? "signal" : "code",
+                             static_cast<long>(status->signaled
+                                                   ? status->signal
+                                                   : status->code)));
+        if (!status->success()) {
+          handle_failure(k, status->signaled
+                                ? "killed by signal " +
+                                      std::to_string(status->signal)
+                                : "exit code " + std::to_string(status->code));
+          continue;
+        }
+        if (const auto bad = load_part(options, grid, k, shard)) {
+          log.write(Event("bad-part").field("shard", k).field("reason", *bad));
+          handle_failure(k, *bad);
+          continue;
+        }
+        shard.state = Shard::State::Done;
+        --open;
+        log.write(Event("shard-done")
+                      .field("shard", k)
+                      .field("attempts", shard.attempt + 1));
+      } else if (shard.has_deadline && Clock::now() > shard.deadline) {
+        kill_and_reap(shard.pid);
+        log.write(Event("timeout")
+                      .field("shard", k)
+                      .field("attempt", shard.attempt)
+                      .field("timeout_ms", options.timeout_ms));
+        handle_failure(k, "timeout after " +
+                              std::to_string(options.timeout_ms) + " ms");
+      }
+    }
+    if (open > 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Result result;
+  result.shards.reserve(shards.size());
+  bool all_ok = true;
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    ShardOutcome outcome;
+    outcome.shard = k;
+    outcome.ok = shards[k].state == Shard::State::Done;
+    outcome.attempts = shards[k].attempt + 1;
+    outcome.failure = outcome.ok ? "" : shards[k].last_failure;
+    all_ok = all_ok && outcome.ok;
+    result.shards.push_back(std::move(outcome));
+  }
+
+  if (all_ok) {
+    const auto t_merge = Clock::now();
+    std::vector<driver::BatchReport> parts;
+    parts.reserve(shards.size());
+    for (auto& shard : shards) parts.push_back(std::move(*shard.part));
+    const auto merged = driver::merge_shards(parts);
+    result.merged =
+        driver::report_to_string(merged, /*include_timing=*/false);
+    log.write(Event("merge")
+                  .field("shards", shards.size())
+                  .field("cells", merged.cells.size())
+                  .field("wall_ms", ms_since(t_merge)));
+    if (!options.keep_parts) {
+      std::error_code ec;
+      for (std::size_t k = 0; k < shards.size(); ++k) {
+        fs::remove(part_path(options, k), ec);
+        for (std::size_t a = 0; a < max_attempts; ++a) {
+          fs::remove(log_path(options, k, a), ec);
+        }
+      }
+    }
+    result.ok = true;
+  }
+  // On failure, part files and worker logs are always kept as evidence.
+
+  result.wall_ms = ms_since(t_start);
+  log.write(Event(result.ok ? "done" : "failed")
+                .field("wall_ms", result.wall_ms));
+  return result;
+}
+
+}  // namespace manytiers::orchestrator

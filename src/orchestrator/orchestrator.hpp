@@ -1,0 +1,74 @@
+// Fault-tolerant multi-process shard orchestrator (ROADMAP:
+// "cross-process shard orchestration").
+//
+// Takes a named ExperimentGrid and a worker count K, splits the grid
+// into K shards (the driver's round-robin task split), spawns one
+// `manytiers_batch` worker process per shard, and supervises them to a
+// merged report that is byte-identical to the unsharded single-process
+// run. Robustness, not just parallelism:
+//
+//   * per-worker wall-clock timeouts (SIGKILL + retry);
+//   * bounded retry with exponential backoff on nonzero exit, crash
+//     signal, or corrupt/truncated part files;
+//   * part-file integrity via the BATCH_JSON parser + validate_part
+//     (signature, shard coordinates, exact per-cell point ownership);
+//   * graceful degradation — a shard that exhausts its retry budget
+//     fails the whole run with a per-shard summary; no partial report
+//     is ever emitted.
+//
+// Every decision is logged through the structured EventLog (see
+// events.hpp); workers inherit a deterministic fault-injection plan
+// (MANYTIERS_FAULT) plus the supervisor's per-attempt retry counter
+// (MANYTIERS_FAULT_ATTEMPT), which is what makes the crash/timeout/
+// corrupt paths hermetically testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "orchestrator/events.hpp"
+
+namespace manytiers::orchestrator {
+
+struct Options {
+  std::string grid = "default";
+  std::size_t workers = 4;       // K: shard count == max concurrent workers
+  std::string worker_binary;     // path to the manytiers_batch executable
+  std::string work_dir;          // part files + per-attempt worker logs
+  double timeout_ms = 0.0;       // per-worker wall clock; 0 = no timeout
+  std::size_t retries = 2;       // extra attempts per shard after the first
+  double backoff_ms = 250.0;     // base retry delay; doubles per attempt
+  bool keep_parts = false;       // keep part files + logs after success
+  std::size_t worker_threads = 0;  // --threads forwarded to workers
+  std::string fault;             // MANYTIERS_FAULT plan for workers (tests)
+
+  // Grid overrides, forwarded to workers and applied to the merge-time
+  // signature check; 0 / unset means "grid default".
+  std::uint64_t seed = 0;
+  bool seed_given = false;
+  std::size_t n_flows = 0;
+  std::size_t max_bundles = 0;
+};
+
+struct ShardOutcome {
+  std::size_t shard = 0;
+  std::size_t attempts = 0;  // attempts actually consumed
+  bool ok = false;
+  std::string failure;  // last failure description when !ok
+};
+
+struct Result {
+  bool ok = false;
+  std::vector<ShardOutcome> shards;
+  std::string merged;   // serialized merged report (no timing) when ok
+  double wall_ms = 0.0;
+};
+
+// Run the whole orchestration: spawn, supervise, validate, merge.
+// Throws std::invalid_argument on malformed options (unknown grid,
+// workers == 0, missing worker binary / work dir). Worker failures do
+// NOT throw — they are supervised into Result.ok == false.
+Result orchestrate(const Options& options, EventLog& log);
+
+}  // namespace manytiers::orchestrator

@@ -1,0 +1,90 @@
+#include "orchestrator/process.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <system_error>
+
+extern char** environ;
+
+namespace manytiers::orchestrator {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+ExitStatus decode(int status) {
+  ExitStatus out;
+  if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.signal = WTERMSIG(status);
+  } else {
+    out.code = WEXITSTATUS(status);
+  }
+  return out;
+}
+
+}  // namespace
+
+pid_t spawn_process(const SpawnSpec& spec) {
+  if (spec.argv.empty()) {
+    throw std::invalid_argument("spawn_process: empty argv");
+  }
+  // Build the child's argv/envp before forking: the post-fork child must
+  // only call async-signal-safe functions until exec.
+  std::vector<char*> argv;
+  argv.reserve(spec.argv.size() + 1);
+  for (const auto& arg : spec.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) envp.push_back(*e);
+  for (const auto& entry : spec.env_extra) {
+    envp.push_back(const_cast<char*>(entry.c_str()));
+  }
+  envp.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) throw_errno("fork");
+  if (pid == 0) {
+    if (!spec.log_path.empty()) {
+      const int fd =
+          ::open(spec.log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd < 0) ::_exit(127);
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) ::close(fd);
+    }
+    ::execve(argv[0], argv.data(), envp.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+std::optional<ExitStatus> try_wait(pid_t pid) {
+  int status = 0;
+  const pid_t got = ::waitpid(pid, &status, WNOHANG);
+  if (got < 0) throw_errno("waitpid");
+  if (got == 0) return std::nullopt;
+  return decode(status);
+}
+
+ExitStatus kill_and_reap(pid_t pid) {
+  ::kill(pid, SIGKILL);  // ESRCH (already gone) is fine; reap below
+  int status = 0;
+  pid_t got;
+  do {
+    got = ::waitpid(pid, &status, 0);
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) throw_errno("waitpid");
+  return decode(status);
+}
+
+}  // namespace manytiers::orchestrator

@@ -1,0 +1,45 @@
+// Minimal POSIX child-process supervision primitives.
+//
+// The orchestrator runs a single-threaded supervision loop over K
+// workers, so all it needs is: spawn (fork/exec with stdout+stderr
+// redirected to a per-attempt log file and extra environment entries),
+// a non-blocking reap, and kill. Everything throws std::system_error on
+// syscall failure; no global SIGCHLD state is installed, so the library
+// composes with test harnesses that spawn their own children.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace manytiers::orchestrator {
+
+struct SpawnSpec {
+  std::vector<std::string> argv;       // argv[0] is the executable path
+  std::vector<std::string> env_extra;  // "KEY=VALUE" entries appended
+  std::string log_path;                // stdout+stderr target; "" inherits
+};
+
+// How a child left the world: a normal exit with a code, or a signal
+// (the timeout path: the supervisor SIGKILLs and reaps).
+struct ExitStatus {
+  bool signaled = false;
+  int code = 0;    // exit code when !signaled
+  int signal = 0;  // terminating signal when signaled
+
+  bool success() const { return !signaled && code == 0; }
+};
+
+// Fork and exec. An exec failure inside the child exits with code 127
+// (reported through the usual ExitStatus path, like a shell).
+pid_t spawn_process(const SpawnSpec& spec);
+
+// Non-blocking reap: nullopt while the child still runs.
+std::optional<ExitStatus> try_wait(pid_t pid);
+
+// SIGKILL followed by a blocking reap; returns the (signaled) status.
+// Safe to call on an already-exited child.
+ExitStatus kill_and_reap(pid_t pid);
+
+}  // namespace manytiers::orchestrator

@@ -1,0 +1,24 @@
+// Durable small-file IO for report artifacts.
+//
+// Batch workers and the shard orchestrator exchange results through
+// files; a worker that is killed mid-write must never leave a file a
+// reader could mistake for a complete report. write_file_durable gives
+// the POSIX guarantee: the content is written to a sibling temp file,
+// flushed and fsync'ed, then renamed over the destination — a reader
+// sees either the old content or the new, never a torn prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace manytiers::util {
+
+// Write `content` to `path` atomically and durably (temp file + fsync +
+// rename). Throws std::runtime_error on any IO failure; on failure the
+// destination is untouched.
+void write_file_durable(const std::string& path, std::string_view content);
+
+// Slurp a whole file. Throws std::runtime_error if it cannot be opened.
+std::string read_file(const std::string& path);
+
+}  // namespace manytiers::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace manytiers::driver {
 namespace {
 
@@ -137,6 +139,26 @@ TEST(GridSignature, DistinguishesGridsAndTracksParameters) {
   grid.sweep.kind = SweepAxis::Kind::BlendedPrice;
   grid.sweep.values = {10.0, 20.0};
   EXPECT_NE(base, grid_signature(grid));
+}
+
+TEST(NamedGrids, CostModelsGridSweepsAllFourCostFamilies) {
+  // The Figs. 10-13 family: every CostKind crossed with both demand
+  // models, so one batch run yields the full cost-model comparison.
+  const auto grid = costmodels_grid();
+  EXPECT_EQ(grid.name, "costmodels");
+  ASSERT_EQ(grid.cost_kinds.size(), 4u);
+  for (const auto kind : {CostKind::Linear, CostKind::Concave,
+                          CostKind::Regional, CostKind::DestType}) {
+    EXPECT_NE(std::find(grid.cost_kinds.begin(), grid.cost_kinds.end(), kind),
+              grid.cost_kinds.end())
+        << to_string(kind);
+  }
+  EXPECT_EQ(grid.demand_kinds.size(), 2u);
+  EXPECT_NO_THROW(validate_grid(grid));
+  // Cells enumerate the full cross product, cost-kind in the middle.
+  const auto cells = enumerate_cells(grid);
+  EXPECT_EQ(cells.size(), grid.datasets.size() * grid.demand_kinds.size() *
+                              4u * grid.strategies.size());
 }
 
 TEST(NamedGrids, AllValidateAndResolve) {

@@ -99,6 +99,47 @@ TEST(BatchReportIo, RejectsCorruptReports) {
   EXPECT_THROW(read_report(extra), std::invalid_argument);
 }
 
+TEST(ValidatePart, AcceptsEveryShardOfACleanRun) {
+  const auto grid = small_grid();
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto part = run_grid(grid, {.shard = {k, 3}});
+    EXPECT_NO_THROW(validate_part(part, grid, k, 3));
+  }
+}
+
+TEST(ValidatePart, RejectsWrongGridAndWrongShardCoordinates) {
+  const auto grid = small_grid();
+  const auto part = run_grid(grid, {.shard = {0, 2}});
+
+  auto other = grid;
+  other.base.seed = 99;  // different signature
+  EXPECT_THROW(validate_part(part, other, 0, 2), std::invalid_argument);
+
+  // Part claims shard 0/2 but is checked as 1/2 (a mixed-up part file).
+  EXPECT_THROW(validate_part(part, grid, 1, 2), std::invalid_argument);
+  EXPECT_THROW(validate_part(part, grid, 0, 3), std::invalid_argument);
+}
+
+TEST(ValidatePart, RejectsTruncatedAndPaddedParts) {
+  const auto grid = small_grid();
+  auto part = run_grid(grid, {.shard = {0, 2}});
+
+  // A parseable part that lost a cell record: torn write survivor.
+  auto truncated = part;
+  truncated.cells.pop_back();
+  EXPECT_THROW(validate_part(truncated, grid, 0, 2), std::invalid_argument);
+
+  // A cell claiming more evaluated points than the shard plan owns.
+  auto padded = part;
+  padded.cells[0].sweep.points += 1;
+  EXPECT_THROW(validate_part(padded, grid, 0, 2), std::invalid_argument);
+
+  // Zeroed point counts (a worker that wrote headers but no work).
+  auto empty = part;
+  for (auto& cell : empty.cells) cell.sweep.points = 0;
+  EXPECT_THROW(validate_part(empty, grid, 0, 2), std::invalid_argument);
+}
+
 TEST(CaptureTable, CutsOneDatasetInStrategyOrder) {
   const auto report = run_grid(small_grid());
   const auto table = capture_table(report, workload::DatasetKind::EuIsp);

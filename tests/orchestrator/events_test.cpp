@@ -1,0 +1,51 @@
+#include "orchestrator/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace manytiers::orchestrator {
+namespace {
+
+TEST(Event, RendersTypedFieldsInOrder) {
+  const auto line = Event("spawn")
+                        .field("shard", std::size_t{1})
+                        .field("pid", 4242L)
+                        .field("grid", "smoke")
+                        .line();
+  EXPECT_EQ(line,
+            "ORCH_JSON {\"type\":\"spawn\",\"shard\":1,\"pid\":4242,"
+            "\"grid\":\"smoke\"}");
+}
+
+TEST(Event, EscapesStringsForStrictJson) {
+  const auto line =
+      Event("bad-part").field("reason", "path \"a\\b\"\nline2").line();
+  EXPECT_EQ(line,
+            "ORCH_JSON {\"type\":\"bad-part\","
+            "\"reason\":\"path \\\"a\\\\b\\\"\\nline2\"}");
+}
+
+TEST(EventLog, WritesOneLinePerEventWithTimestamp) {
+  std::ostringstream os;
+  EventLog log(os);
+  log.write(Event("plan").field("workers", std::size_t{3}));
+  log.write(Event("done"));
+  const auto text = os.str();
+  // Two newline-terminated ORCH_JSON lines, each stamped with t_ms.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("ORCH_JSON {\"type\":\"plan\",\"workers\":3,\"t_ms\":"),
+            std::string::npos);
+  EXPECT_NE(text.find("ORCH_JSON {\"type\":\"done\",\"t_ms\":"),
+            std::string::npos);
+}
+
+TEST(EventLog, DisabledLogDropsEvents) {
+  EventLog log;  // no sink
+  log.write(Event("spawn"));  // must not crash
+  EXPECT_GE(log.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace manytiers::orchestrator

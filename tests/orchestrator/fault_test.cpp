@@ -1,0 +1,69 @@
+#include "driver/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace manytiers::driver {
+namespace {
+
+TEST(FaultPlan, ParsesSingleSpec) {
+  const auto plan = parse_fault_plan("crash:2");
+  ASSERT_EQ(plan.faults.size(), 1u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::Crash);
+  EXPECT_EQ(plan.faults[0].shard, 2u);
+  EXPECT_EQ(plan.faults[0].times, 1u);
+}
+
+TEST(FaultPlan, ParsesMultipleSpecsWithTimes) {
+  const auto plan = parse_fault_plan("crash:2,stall:5,corrupt:0:3");
+  ASSERT_EQ(plan.faults.size(), 3u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::Crash);
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::Stall);
+  EXPECT_EQ(plan.faults[1].shard, 5u);
+  EXPECT_EQ(plan.faults[2].kind, FaultKind::Corrupt);
+  EXPECT_EQ(plan.faults[2].shard, 0u);
+  EXPECT_EQ(plan.faults[2].times, 3u);
+}
+
+TEST(FaultPlan, EmptySpecYieldsEmptyPlan) {
+  EXPECT_TRUE(parse_fault_plan("").faults.empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_plan("explode:1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("crash"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("crash:x"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("crash:1:"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("crash:1:0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("crash:1,,stall:2"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan(","), std::invalid_argument);
+}
+
+TEST(FaultPlan, FaultForMatchesShardAndAttemptGate) {
+  const auto plan = parse_fault_plan("crash:1,corrupt:2:2");
+  // Shard 0: no fault at all.
+  EXPECT_FALSE(fault_for(plan, 0, 0).has_value());
+  // Shard 1 crashes on the first attempt only.
+  ASSERT_TRUE(fault_for(plan, 1, 0).has_value());
+  EXPECT_EQ(*fault_for(plan, 1, 0), FaultKind::Crash);
+  EXPECT_FALSE(fault_for(plan, 1, 1).has_value());
+  // Shard 2 corrupts on the first two attempts, then recovers.
+  EXPECT_EQ(*fault_for(plan, 2, 0), FaultKind::Corrupt);
+  EXPECT_EQ(*fault_for(plan, 2, 1), FaultKind::Corrupt);
+  EXPECT_FALSE(fault_for(plan, 2, 2).has_value());
+}
+
+TEST(FaultPlan, FirstMatchingSpecWins) {
+  const auto plan = parse_fault_plan("stall:3,crash:3");
+  EXPECT_EQ(*fault_for(plan, 3, 0), FaultKind::Stall);
+}
+
+TEST(FaultPlan, KindNamesRoundTrip) {
+  EXPECT_EQ(to_string(FaultKind::Crash), "crash");
+  EXPECT_EQ(to_string(FaultKind::Stall), "stall");
+  EXPECT_EQ(to_string(FaultKind::Corrupt), "corrupt");
+}
+
+}  // namespace
+}  // namespace manytiers::driver

@@ -1,0 +1,174 @@
+// End-to-end supervision tests against the real manytiers_batch binary
+// (path injected as MANYTIERS_BATCH_BIN by CMake). Faults are injected
+// deterministically through MANYTIERS_FAULT, so every recovery path —
+// crash, stall + timeout, corrupt part — is exercised hermetically.
+#include "orchestrator/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "driver/grid.hpp"
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
+
+namespace manytiers::orchestrator {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string unsharded_report(const driver::ExperimentGrid& grid) {
+  return driver::report_to_string(driver::run_grid(grid),
+                                  /*include_timing=*/false);
+}
+
+// Fresh per-test options: fast backoff, quiet log, scratch work dir.
+struct Fixture {
+  Options options;
+  std::ostringstream events;
+  EventLog log{events};
+
+  explicit Fixture(const char* name) {
+    options.worker_binary = MANYTIERS_BATCH_BIN;
+    options.work_dir = ::testing::TempDir() + "orch_" + name;
+    options.backoff_ms = 1.0;
+    fs::remove_all(options.work_dir);
+  }
+  ~Fixture() { fs::remove_all(options.work_dir); }
+
+  Result run() { return orchestrate(options, log); }
+};
+
+TEST(Orchestrator, CleanRunMatchesUnshardedReport) {
+  Fixture fx("clean");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+  ASSERT_EQ(result.shards.size(), 2u);
+  for (const auto& shard : result.shards) {
+    EXPECT_TRUE(shard.ok);
+    EXPECT_EQ(shard.attempts, 1u);
+  }
+  // Parts and logs are cleaned up on success unless keep_parts.
+  EXPECT_FALSE(fs::exists(fs::path(fx.options.work_dir) / "part0.batch"));
+}
+
+TEST(Orchestrator, SingleWorkerDegeneratesToUnshardedRun) {
+  Fixture fx("single");
+  fx.options.grid = "smoke";
+  fx.options.workers = 1;
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+}
+
+TEST(Orchestrator, CrashedWorkerIsRetriedAndReportStaysIdentical) {
+  // ISSUE acceptance: a K-worker default-grid run with one injected
+  // crash must still be byte-identical to the single-process run.
+  Fixture fx("crash");
+  fx.options.grid = "default";
+  fx.options.workers = 3;
+  fx.options.fault = "crash:1";  // shard 1 crashes once, then recovers
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::default_grid()));
+  EXPECT_EQ(result.shards[0].attempts, 1u);
+  EXPECT_EQ(result.shards[1].attempts, 2u);
+  EXPECT_EQ(result.shards[2].attempts, 1u);
+  const auto events = fx.events.str();
+  EXPECT_NE(events.find("\"type\":\"retry\",\"shard\":1"), std::string::npos);
+  EXPECT_NE(events.find("\"type\":\"done\""), std::string::npos);
+}
+
+TEST(Orchestrator, PersistentCrashExhaustsRetriesAndFailsTheRun) {
+  Fixture fx("exhaust");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.retries = 1;
+  fx.options.fault = "crash:0:99";  // shard 0 crashes on every attempt
+  const auto result = fx.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.merged.empty());  // never a partial report
+  ASSERT_EQ(result.shards.size(), 2u);
+  EXPECT_FALSE(result.shards[0].ok);
+  EXPECT_EQ(result.shards[0].attempts, 2u);  // 1 try + 1 retry
+  EXPECT_NE(result.shards[0].failure.find("exit code"), std::string::npos);
+  EXPECT_TRUE(result.shards[1].ok);  // the healthy shard still completes
+  EXPECT_NE(fx.events.str().find("\"type\":\"shard-failed\",\"shard\":0"),
+            std::string::npos);
+  // Evidence (logs, any parts) is kept on failure for post-mortems.
+  EXPECT_TRUE(fs::exists(fs::path(fx.options.work_dir) / "worker0.a0.log"));
+}
+
+TEST(Orchestrator, StalledWorkerIsKilledOnTimeoutAndRetried) {
+  Fixture fx("stall");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.timeout_ms = 750.0;
+  fx.options.fault = "stall:1";  // shard 1 hangs on its first attempt
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+  EXPECT_EQ(result.shards[1].attempts, 2u);
+  EXPECT_NE(fx.events.str().find("\"type\":\"timeout\",\"shard\":1"),
+            std::string::npos);
+}
+
+TEST(Orchestrator, CorruptPartIsRejectedAndRetried) {
+  Fixture fx("corrupt");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.fault = "corrupt:0";  // shard 0 writes a torn part once
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+  EXPECT_EQ(result.shards[0].attempts, 2u);
+  EXPECT_NE(fx.events.str().find("\"type\":\"bad-part\",\"shard\":0"),
+            std::string::npos);
+}
+
+TEST(Orchestrator, GridOverridesReachWorkersAndTheMerge) {
+  Fixture fx("override");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.n_flows = 30;
+  fx.options.max_bundles = 3;
+  fx.options.seed = 7;
+  fx.options.seed_given = true;
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  auto grid = driver::smoke_grid();
+  grid.base.n_flows = 30;
+  grid.max_bundles = 3;
+  grid.base.seed = 7;
+  EXPECT_EQ(result.merged, unsharded_report(grid));
+}
+
+TEST(Orchestrator, KeepPartsPreservesPartFilesOnSuccess) {
+  Fixture fx("keep");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.keep_parts = true;
+  ASSERT_TRUE(fx.run().ok);
+  EXPECT_TRUE(fs::exists(fs::path(fx.options.work_dir) / "part0.batch"));
+  EXPECT_TRUE(fs::exists(fs::path(fx.options.work_dir) / "part1.batch"));
+}
+
+TEST(Orchestrator, MalformedOptionsThrowUsageErrors) {
+  Fixture fx("usage");
+  fx.options.workers = 0;
+  EXPECT_THROW(fx.run(), std::invalid_argument);
+  fx.options.workers = 2;
+  fx.options.grid = "no-such-grid";
+  EXPECT_THROW(fx.run(), std::invalid_argument);
+  fx.options.grid = "smoke";
+  fx.options.worker_binary = "/nonexistent/manytiers_batch";
+  EXPECT_THROW(fx.run(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::orchestrator

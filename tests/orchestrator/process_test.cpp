@@ -1,0 +1,90 @@
+// The POSIX process layer, exercised against /bin/sh: exit codes,
+// termination signals, env injection, log redirection, non-blocking
+// reaps, and the kill path the timeout handler uses.
+#include "orchestrator/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace manytiers::orchestrator {
+namespace {
+
+ExitStatus wait_until_exit(pid_t pid) {
+  for (int i = 0; i < 5000; ++i) {
+    if (const auto status = try_wait(pid)) return *status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ADD_FAILURE() << "child " << pid << " did not exit within 10 s";
+  return kill_and_reap(pid);
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Process, ReportsExitCodes) {
+  const pid_t pid = spawn_process({{"/bin/sh", "-c", "exit 3"}, {}, {}});
+  const auto status = wait_until_exit(pid);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 3);
+  EXPECT_FALSE(status.success());
+
+  const pid_t ok = spawn_process({{"/bin/sh", "-c", "exit 0"}, {}, {}});
+  EXPECT_TRUE(wait_until_exit(ok).success());
+}
+
+TEST(Process, ReportsTerminationSignals) {
+  const pid_t pid =
+      spawn_process({{"/bin/sh", "-c", "kill -9 $$"}, {}, {}});
+  const auto status = wait_until_exit(pid);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.signal, 9);
+  EXPECT_FALSE(status.success());
+}
+
+TEST(Process, InjectsEnvAndRedirectsOutputToLog) {
+  const std::string log = temp_path("process_env_test.log");
+  const pid_t pid = spawn_process({{"/bin/sh", "-c",
+                                    "echo marker-$MANYTIERS_TEST_VALUE; "
+                                    "echo on-stderr 1>&2"},
+                                   {"MANYTIERS_TEST_VALUE=42"},
+                                   log});
+  EXPECT_TRUE(wait_until_exit(pid).success());
+  std::ifstream in(log);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("marker-42"), std::string::npos);
+  EXPECT_NE(buf.str().find("on-stderr"), std::string::npos);
+  std::remove(log.c_str());
+}
+
+TEST(Process, TryWaitIsNonBlockingAndKillReaps) {
+  // Spawn sleep directly (no shell): the kill must hit the long-running
+  // process itself, and no orphan may outlive the test holding its
+  // stdout pipe open (ctest waits for pipe EOF, not just child exit).
+  const pid_t pid = spawn_process({{"/bin/sleep", "600"}, {}, {}});
+  EXPECT_FALSE(try_wait(pid).has_value());  // still running
+  const auto status = kill_and_reap(pid);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.signal, SIGKILL);
+}
+
+TEST(Process, ExecFailureSurfacesAs127) {
+  const pid_t pid =
+      spawn_process({{"/nonexistent/definitely-not-a-binary"}, {}, {}});
+  const auto status = wait_until_exit(pid);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 127);
+}
+
+TEST(Process, RejectsEmptyArgv) {
+  EXPECT_THROW(spawn_process({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::orchestrator

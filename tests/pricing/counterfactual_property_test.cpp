@@ -9,11 +9,15 @@
 //    (the DP partitions into *at most* B intervals);
 //  - no heuristic beats Optimal at any bundle count (the interval DP is
 //    exact: for both demand models some globally optimal partition is
-//    contiguous in unit cost).
+//    contiguous in unit cost);
+//  - the welfare accounting (pricing/welfare) is internally consistent:
+//    consumer surplus is non-negative, total welfare is exactly profit
+//    plus surplus, and surplus rises monotonically under price cuts.
 #include "pricing/counterfactual.hpp"
 
 #include <gtest/gtest.h>
 
+#include "pricing/welfare.hpp"
 #include "util/rng.hpp"
 #include "workload/generators.hpp"
 
@@ -134,6 +138,58 @@ TEST(CounterfactualProperties, SingleBundleRecoversTheBlendedRate) {
       const auto series = capture_series(market, strategy, 1);
       EXPECT_NEAR(series[0], 0.0, 1e-6)
           << describe(c) << " " << to_string(strategy);
+    }
+  }
+}
+
+TEST(WelfareProperties, SurplusIsNonNegativeAtBlendedAndTieredPrices) {
+  // Paper Fig. 1 premise: consumers keep a non-negative surplus under
+  // both the blended status quo and any profit-maximized tiering (CED
+  // surplus is strictly positive in closed form; the logit outside
+  // option bounds surplus below by zero).
+  for (const auto& c : random_cases(10)) {
+    const auto market = build_market(c);
+    EXPECT_GE(blended_welfare(market).consumer_surplus, 0.0) << describe(c);
+    for (const auto strategy :
+         {Strategy::Optimal, Strategy::ProfitWeighted, Strategy::CostWeighted}) {
+      const auto result = run_strategy(market, strategy, 3);
+      const auto report = welfare_at_prices(market, result.pricing.flow_prices);
+      EXPECT_GE(report.consumer_surplus, 0.0)
+          << describe(c) << " " << to_string(strategy);
+    }
+  }
+}
+
+TEST(WelfareProperties, WelfareIsExactlyProfitPlusSurplus) {
+  // The accounting identity must hold to the last bit — welfare is
+  // defined as the sum, and any drift means a component was computed
+  // from different prices.
+  for (const auto& c : random_cases(10)) {
+    const auto market = build_market(c);
+    const auto blended = blended_welfare(market);
+    EXPECT_EQ(blended.welfare, blended.profit + blended.consumer_surplus)
+        << describe(c);
+    const auto result = run_strategy(market, Strategy::Optimal, 4);
+    const auto tiered = welfare_at_prices(market, result.pricing.flow_prices);
+    EXPECT_EQ(tiered.welfare, tiered.profit + tiered.consumer_surplus)
+        << describe(c);
+  }
+}
+
+TEST(WelfareProperties, SurplusIsMonotoneUnderPriceCuts) {
+  // Cutting every price weakly raises consumer surplus in both demand
+  // models (CED surplus falls in own price; logit surplus is a
+  // decreasing function of each price through the log-sum-exp).
+  for (const auto& c : random_cases(10)) {
+    const auto market = build_market(c);
+    double previous = -1.0;  // surplus is >= 0, so any first value passes
+    for (const double factor : {1.0, 0.9, 0.7, 0.5}) {
+      const std::vector<double> prices(market.size(),
+                                       c.blended_price * factor);
+      const auto report = welfare_at_prices(market, prices);
+      EXPECT_GE(report.consumer_surplus, previous - kEps)
+          << describe(c) << " at price factor " << factor;
+      previous = report.consumer_surplus;
     }
   }
 }

@@ -1,23 +1,32 @@
 #!/usr/bin/env python3
-"""Compare two manytiers batch reports and flag regressions.
+"""Compare two manytiers batch reports or bench logs, flag regressions.
 
-Reads the BATCH_JSON line format written by `manytiers_batch` (and the
-BENCH_JSON breadcrumbs the bench binaries emit), checks that the two runs
-cover the same grid, and reports:
+Two input modes, auto-detected per file:
 
-  * capture regressions — any per-cell min/max envelope value that moved
-    by more than --capture-tol (default 0: bit-exact, which the engine
-    guarantees for same-grid runs at any shard/thread count);
-  * latency regressions — cells or whole runs whose wall_ms grew by more
-    than --latency-factor AND --latency-min-ms (timing is noisy, so both
-    gates must trip; absent timing fields are skipped).
+  * report mode — the BATCH_JSON line format written by `manytiers_batch`
+    (BENCH_JSON breadcrumbs fold in as run timing). Checks that the two
+    runs cover the same grid and reports capture regressions (any
+    per-cell min/max envelope value that moved by more than
+    --capture-tol; default 0: bit-exact, which the engine guarantees for
+    same-grid runs at any shard/thread count) and latency regressions.
+  * bench mode — pure BENCH_JSON trajectory logs, as emitted by the
+    bench binaries (e.g. `bench_sweep_scaling > run.log`). Records are
+    keyed by (bench name, threads); repeated keys collapse to their
+    median wall_ms. Only the latency gates apply.
+
+A latency regression is a wall_ms that grew by more than
+--latency-factor AND --latency-min-ms (timing is noisy, so both gates
+must trip; absent timing fields are skipped). Mixing modes — a batch
+report against a bench log — is an error.
 
 Exit status: 0 clean, 1 capture regression (or latency regression with
---fail-on-latency), 2 usage/incomparable-report errors.
+--fail-on-latency), 2 usage/incomparable-input errors (mismatched grids,
+mixed modes, missing bench keys).
 
 Examples:
   bench_diff.py golden_smoke.batch fresh.batch
   bench_diff.py old.batch new.batch --capture-tol 1e-12 --fail-on-latency
+  bench_diff.py sweep_scaling.old.log sweep_scaling.new.log --fail-on-latency
 """
 
 import argparse
@@ -55,6 +64,79 @@ def parse_report(path):
     if report["grid"] is None:
         raise ValueError(f"{path}: no BATCH_JSON grid record found")
     return report
+
+
+def detect_mode(path):
+    """'report' if the file has BATCH_JSON lines, else 'bench'."""
+    has_bench = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.startswith("BATCH_JSON "):
+                return "report"
+            if line.startswith("BENCH_JSON "):
+                has_bench = True
+    if has_bench:
+        return "bench"
+    raise ValueError(f"{path}: no BATCH_JSON or BENCH_JSON lines found")
+
+
+def parse_bench_log(path):
+    """BENCH_JSON trajectory -> {(bench, threads): {n, samples}} in order."""
+    log = {"keys": [], "records": {}}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.startswith("BENCH_JSON "):
+                continue
+            record = json.loads(line[len("BENCH_JSON "):])
+            key = (record["bench"], record.get("threads", 1))
+            entry = log["records"].get(key)
+            if entry is None:
+                entry = {"n": record.get("n"), "samples": []}
+                log["records"][key] = entry
+                log["keys"].append(key)
+            elif entry["n"] != record.get("n"):
+                raise ValueError(
+                    f"{path}: bench {key[0]!r} threads={key[1]} re-run with "
+                    f"different n ({entry['n']} vs {record.get('n')})")
+            entry["samples"].append(record["wall_ms"])
+    if not log["keys"]:
+        raise ValueError(f"{path}: no BENCH_JSON records found")
+    return log
+
+
+def median(samples):
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def diff_trajectory(baseline, candidate, factor, min_ms):
+    """-> (structure_problems, latency_regressions) between bench logs."""
+    structure, regressions = [], []
+    for key in baseline["keys"]:
+        bench, threads = key
+        label = f"{bench} threads={threads}"
+        cand = candidate["records"].get(key)
+        if cand is None:
+            structure.append(f"bench missing from candidate: {label}")
+            continue
+        base = baseline["records"][key]
+        if base["n"] != cand["n"]:
+            structure.append(
+                f"{label}: n {base['n']} -> {cand['n']} (not comparable)")
+            continue
+        old_ms, new_ms = median(base["samples"]), median(cand["samples"])
+        if new_ms > old_ms * factor and new_ms - old_ms > min_ms:
+            regressions.append(
+                f"{label}: {old_ms:.2f} ms -> {new_ms:.2f} ms "
+                f"({new_ms / old_ms:.2f}x)")
+    for key in candidate["keys"]:
+        if key not in baseline["records"]:
+            structure.append(
+                f"bench missing from baseline: {key[0]} threads={key[1]}")
+    return structure, regressions
 
 
 def diff_envelopes(baseline, candidate, tol):
@@ -108,6 +190,25 @@ def diff_latency(baseline, candidate, factor, min_ms):
     return regressions
 
 
+def diff_bench_logs(args):
+    baseline = parse_bench_log(args.baseline)
+    candidate = parse_bench_log(args.candidate)
+    structure, regressions = diff_trajectory(
+        baseline, candidate, args.latency_factor, args.latency_min_ms)
+    for line in structure:
+        print(f"bench_diff: {line}", file=sys.stderr)
+    for line in regressions:
+        print(f"LATENCY  {line}")
+    if structure:
+        return 2
+    if not regressions:
+        print(f"OK: {len(baseline['keys'])} bench trajectories match "
+              f"(factor {args.latency_factor:g}, min {args.latency_min_ms:g} "
+              "ms)")
+        return 0
+    return 1 if args.fail_on_latency else 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -124,6 +225,13 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     try:
+        modes = (detect_mode(args.baseline), detect_mode(args.candidate))
+        if modes[0] != modes[1]:
+            raise ValueError(
+                f"mixed input modes: {args.baseline} is a {modes[0]}, "
+                f"{args.candidate} is a {modes[1]}")
+        if modes[0] == "bench":
+            return diff_bench_logs(args)
         baseline = parse_report(args.baseline)
         candidate = parse_report(args.candidate)
     except (OSError, ValueError, json.JSONDecodeError) as err:
