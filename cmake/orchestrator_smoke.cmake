@@ -6,6 +6,9 @@
 #    the checked-in golden, and the event log must record the retry.
 # 2. A run whose shard crashes on every attempt must exit nonzero and
 #    write no report at all.
+# 3. Crash-safety: a run SIGKILLed after its first completed shard (via
+#    the --kill-after-shards test hook) must resume from its manifest
+#    and still produce the byte-identical golden report.
 #
 # Expects: ORCH_BIN, BATCH_BIN, GOLDEN, WORK_DIR.
 
@@ -65,4 +68,52 @@ endif()
 if(NOT err MATCHES "shard 0")
   message(FATAL_ERROR
     "failure output carries no per-shard summary:\n${err}")
+endif()
+
+# Resume leg: SIGKILL the orchestrator right after the first shard
+# completes, then resume; the merged report must still match the golden
+# byte-for-byte and the second run must record a resume-skip.
+set(resumed "${WORK_DIR}/resumed.batch")
+set(resume_events "${WORK_DIR}/resume.events")
+execute_process(
+  COMMAND "${ORCH_BIN}" --grid smoke --workers 3 --kill-after-shards 1
+    --timeout-ms 60000 --worker "${BATCH_BIN}"
+    --work-dir "${WORK_DIR}/resume_parts" --out "${resumed}"
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "--kill-after-shards 1 run exited 0; the SIGKILL test hook did not "
+    "fire")
+endif()
+if(EXISTS "${resumed}")
+  message(FATAL_ERROR
+    "killed orchestrator left a report at ${resumed}; no output may be "
+    "written before the run completes")
+endif()
+if(NOT EXISTS "${WORK_DIR}/resume_parts/manifest.orch")
+  message(FATAL_ERROR
+    "killed orchestrator left no manifest in ${WORK_DIR}/resume_parts")
+endif()
+execute_process(
+  COMMAND "${ORCH_BIN}" --grid smoke --workers 3 --resume
+    --timeout-ms 60000 --worker "${BATCH_BIN}"
+    --work-dir "${WORK_DIR}/resume_parts" --event-log "${resume_events}"
+    --out "${resumed}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--resume after SIGKILL failed (${rc})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${resumed}" "${GOLDEN}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "resumed report differs from the golden report ${GOLDEN}; a killed "
+    "and resumed run must stay byte-identical to the single-process one")
+endif()
+file(READ "${resume_events}" resume_text)
+if(NOT resume_text MATCHES "\"type\":\"resume-skip\"")
+  message(FATAL_ERROR
+    "resume event log ${resume_events} records no resume-skip; the "
+    "surviving part was re-run instead of being reused")
 endif()

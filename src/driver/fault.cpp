@@ -24,33 +24,63 @@ std::size_t parse_count(std::string_view text, const char* what) {
 }
 
 FaultSpec parse_spec(std::string_view item) {
-  FaultSpec spec;
-  const std::size_t first = item.find(':');
-  if (first == std::string_view::npos) {
+  // Split on every ':' — a trailing colon yields an (invalid) empty
+  // field, so "crash:1:" is rejected rather than silently defaulted.
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = item.find(':', start);
+    fields.push_back(item.substr(start, colon == std::string_view::npos
+                                            ? std::string_view::npos
+                                            : colon - start));
+    if (colon == std::string_view::npos) break;
+    start = colon + 1;
+  }
+  if (fields.size() < 2) {
     throw std::invalid_argument("fault spec: expected kind:shard[:times], "
                                 "got \"" + std::string(item) + "\"");
   }
-  const std::string_view kind = item.substr(0, first);
+  FaultSpec spec;
+  const std::string_view kind = fields[0];
   if (kind == "crash") {
     spec.kind = FaultKind::Crash;
   } else if (kind == "stall") {
     spec.kind = FaultKind::Stall;
+  } else if (kind == "slow") {
+    spec.kind = FaultKind::Slow;
   } else if (kind == "corrupt") {
     spec.kind = FaultKind::Corrupt;
+  } else if (kind == "partial") {
+    spec.kind = FaultKind::Partial;
   } else {
     throw std::invalid_argument("fault spec: unknown kind \"" +
                                 std::string(kind) + "\"");
   }
-  std::string_view rest = item.substr(first + 1);
-  const std::size_t second = rest.find(':');
-  if (second == std::string_view::npos) {
-    spec.shard = parse_count(rest, "shard index");
-  } else {
-    spec.shard = parse_count(rest.substr(0, second), "shard index");
-    spec.times = parse_count(rest.substr(second + 1), "times count");
+  spec.shard = parse_count(fields[1], "shard index");
+  std::size_t next = 2;
+  if (spec.kind == FaultKind::Slow) {
+    // slow:shard:ms[:times] — the straggle duration is mandatory.
+    if (fields.size() < 3) {
+      throw std::invalid_argument(
+          "fault spec: slow requires a duration, expected "
+          "slow:shard:ms[:times]");
+    }
+    spec.delay_ms = parse_count(fields[2], "slow duration (ms)");
+    if (spec.delay_ms == 0) {
+      throw std::invalid_argument("fault spec: slow duration must be >= 1 ms");
+    }
+    next = 3;
+  }
+  if (fields.size() > next) {
+    spec.times = parse_count(fields[next], "times count");
     if (spec.times == 0) {
       throw std::invalid_argument("fault spec: times must be >= 1");
     }
+    ++next;
+  }
+  if (fields.size() > next) {
+    throw std::invalid_argument("fault spec: trailing fields in \"" +
+                                std::string(item) + "\"");
   }
   return spec;
 }
@@ -61,7 +91,9 @@ std::string_view to_string(FaultKind kind) {
   switch (kind) {
     case FaultKind::Crash: return "crash";
     case FaultKind::Stall: return "stall";
+    case FaultKind::Slow: return "slow";
     case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::Partial: return "partial";
   }
   throw std::invalid_argument("unknown fault kind");
 }
@@ -85,10 +117,10 @@ FaultPlan parse_fault_plan(std::string_view spec) {
   return plan;
 }
 
-std::optional<FaultKind> fault_for(const FaultPlan& plan, std::size_t shard,
+std::optional<FaultSpec> fault_for(const FaultPlan& plan, std::size_t shard,
                                    std::size_t attempt) {
   for (const auto& spec : plan.faults) {
-    if (spec.shard == shard && attempt < spec.times) return spec.kind;
+    if (spec.shard == shard && attempt < spec.times) return spec;
   }
   return std::nullopt;
 }

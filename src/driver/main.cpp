@@ -17,10 +17,13 @@
 // durably (temp file + fsync + rename), so a supervisor never reads a
 // torn report after a clean exit.
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +53,12 @@ int usage(std::ostream& os, int code) {
         "the\n"
         "                       file appears atomically (fsync + rename)\n"
         "  --no-timing          omit wall-clock fields (byte-stable output)\n"
+        "  --per-point          schema v2: store per-point capture vectors\n"
+        "                       (one \"point\" record per parameter point)\n"
+        "  --heartbeat PATH     touch PATH periodically while computing, so "
+        "a\n"
+        "                       supervisor can tell slow from hung\n"
+        "  --heartbeat-interval-ms N   beat period (default 100)\n"
         "  --seed S             dataset seed override\n"
         "  --n-flows N          flows per dataset override\n"
         "  --max-bundles B      bundle-count ceiling override\n"
@@ -59,7 +68,8 @@ int usage(std::ostream& os, int code) {
         "  2  usage error (bad flags, unknown grid, malformed "
         "MANYTIERS_FAULT)\n"
         "test hooks: MANYTIERS_FAULT=kind:shard[:times],... with kind in\n"
-        "  {crash, stall, corrupt} injects deterministic worker faults;\n"
+        "  {crash, stall, slow, corrupt, partial} injects deterministic\n"
+        "  worker faults (slow takes a duration: slow:shard:ms[:times]);\n"
         "  MANYTIERS_FAULT_ATTEMPT gates specs to retry attempts < times.\n";
   return code;
 }
@@ -73,6 +83,49 @@ std::uint64_t parse_u64(const std::string& text, const char* flag) {
   return value;
 }
 
+// Liveness beacon: touches the heartbeat file on an interval from a
+// background thread for as long as the object lives. The supervisor
+// reads the file's mtime; a worker that stops being scheduled (hung,
+// swapped out, SIGSTOPped) stops beating, while a merely slow one keeps
+// beating through the whole computation.
+class Heartbeat {
+ public:
+  Heartbeat(std::string path, double interval_ms)
+      : path_(std::move(path)), interval_ms_(interval_ms) {
+    manytiers::util::touch_file(path_);  // first beat before any work
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~Heartbeat() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                             interval_ms_));
+      if (stop_) break;
+      lock.unlock();
+      manytiers::util::touch_file(path_);
+      lock.lock();
+    }
+  }
+
+  std::string path_;
+  double interval_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +138,9 @@ int main(int argc, char** argv) {
   std::size_t shards_in_process = 0;
   driver::ShardPlan shard;
   bool shard_index_given = false;
+  bool per_point = false;
+  std::string heartbeat_path;
+  double heartbeat_interval_ms = 100.0;
   std::uint64_t seed = 0;
   bool seed_given = false;
   std::size_t n_flows = 0;
@@ -127,6 +183,16 @@ int main(int argc, char** argv) {
         out_path = next();
       } else if (arg == "--no-timing") {
         include_timing = false;
+      } else if (arg == "--per-point") {
+        per_point = true;
+      } else if (arg == "--heartbeat") {
+        heartbeat_path = next();
+      } else if (arg == "--heartbeat-interval-ms") {
+        heartbeat_interval_ms =
+            static_cast<double>(parse_u64(next(), "--heartbeat-interval-ms"));
+        if (heartbeat_interval_ms <= 0.0) {
+          throw std::invalid_argument("--heartbeat-interval-ms must be >= 1");
+        }
       } else if (arg == "--seed") {
         seed = parse_u64(next(), "--seed");
         seed_given = true;
@@ -165,13 +231,18 @@ int main(int argc, char** argv) {
   }
 
   // The fault hook (see driver/fault.hpp): hermetic crash / stall /
-  // corrupt injection for orchestrator tests, keyed on this worker's
-  // shard index and the supervisor's retry counter.
+  // slow / corrupt / partial injection for orchestrator tests, keyed on
+  // this worker's shard index and the supervisor's retry counter. The
+  // stall fault hangs BEFORE the heartbeat starts (a wedged process
+  // never beats), while slow straggles with the heartbeat running — the
+  // two sides of the liveness distinction the supervisor must make.
   bool corrupt_output = false;
+  bool partial_output = false;
+  std::size_t slow_ms = 0;
   if (const auto fault = driver::fault_for(
           fault_plan, shard_index_given ? shard.index : 0,
           driver::fault_attempt_from_env())) {
-    switch (*fault) {
+    switch (fault->kind) {
       case driver::FaultKind::Crash:
         std::cerr << "manytiers_batch: injected crash\n";
         std::_Exit(70);
@@ -179,14 +250,29 @@ int main(int argc, char** argv) {
         std::cerr << "manytiers_batch: injected stall\n";
         std::this_thread::sleep_for(std::chrono::minutes(10));
         return 1;  // a supervisor timeout should have fired long ago
+      case driver::FaultKind::Slow:
+        slow_ms = fault->delay_ms;
+        break;
       case driver::FaultKind::Corrupt:
         corrupt_output = true;
+        break;
+      case driver::FaultKind::Partial:
+        partial_output = true;
         break;
     }
   }
 
   // Phase 2 — evaluation, merge, and report IO. Failures exit 1.
   try {
+    std::optional<Heartbeat> heartbeat;
+    if (!heartbeat_path.empty()) {
+      heartbeat.emplace(heartbeat_path, heartbeat_interval_ms);
+    }
+    if (slow_ms != 0) {
+      // Deterministic straggler: alive (beating) but slow.
+      std::cerr << "manytiers_batch: injected slow (" << slow_ms << " ms)\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
+    }
     driver::BatchReport report;
     if (merge_mode) {
       std::vector<driver::BatchReport> parts;
@@ -203,12 +289,12 @@ int main(int argc, char** argv) {
       std::vector<driver::BatchReport> parts;
       parts.reserve(shards_in_process);
       for (std::size_t k = 0; k < shards_in_process; ++k) {
-        parts.push_back(
-            driver::run_grid(grid, {threads, {k, shards_in_process}}));
+        parts.push_back(driver::run_grid(
+            grid, {threads, {k, shards_in_process}, per_point}));
       }
       report = driver::merge_shards(parts);
     } else {
-      report = driver::run_grid(grid, {threads, shard});
+      report = driver::run_grid(grid, {threads, shard, per_point});
     }
 
     const std::string payload =
@@ -223,6 +309,16 @@ int main(int argc, char** argv) {
       std::ofstream out(out_path, std::ios::binary);
       out << payload.substr(0, payload.size() / 2 + payload.size() / 4);
       std::cerr << "manytiers_batch: injected corrupt output\n";
+    } else if (partial_output) {
+      // Injected mid-write death: a torn prefix lands at the
+      // destination (bypassing the durable temp+rename path) and the
+      // process dies as if SIGKILLed while writing. A resuming
+      // supervisor must detect this part as invalid and re-run it.
+      std::ofstream out(out_path, std::ios::binary);
+      out << payload.substr(0, payload.size() / 4);
+      out.flush();
+      std::cerr << "manytiers_batch: injected partial write + crash\n";
+      std::_Exit(70);
     } else {
       util::write_file_durable(out_path, payload);
     }

@@ -117,6 +117,9 @@ void write_report(std::ostream& os, const BatchReport& report,
           ",\"points_per_cell\":" + std::to_string(report.points_per_cell) +
           ",\"shard_index\":" + std::to_string(report.shard_index) +
           ",\"shard_count\":" + std::to_string(report.shard_count) +
+          // Schema v2 marker only when enabled, so v1 output stays
+          // byte-identical (the golden reports predate the field).
+          (report.per_point ? std::string(",\"per_point\":1") : std::string()) +
           ",\"cells\":" + std::to_string(report.cells.size()) + "}";
   os << line << '\n';
   for (const auto& cell : report.cells) {
@@ -138,6 +141,18 @@ void write_report(std::ostream& os, const BatchReport& report,
     }
     line += '}';
     os << line << '\n';
+    // Schema v2: per-point records directly after their cell, ascending
+    // point index — the order the unsharded fold produces, and the order
+    // merge_shards restores, keeping merged output byte-identical.
+    for (const auto& point : cell.detail) {
+      line.clear();
+      line += kLinePrefix;
+      line += "{\"type\":\"point\",\"cell\":\"" + cell_key(cell.cell) +
+              "\",\"point\":" + std::to_string(point.point) + ",\"capture\":";
+      append_array(line, point.capture);
+      line += '}';
+      os << line << '\n';
+    }
   }
   if (include_timing) {
     os << kLinePrefix << "{\"type\":\"timing\",\"wall_ms\":"
@@ -173,6 +188,9 @@ BatchReport read_report(std::istream& is) {
       report.points_per_cell = parse_size(body, "points_per_cell");
       report.shard_index = parse_size(body, "shard_index");
       report.shard_count = parse_size(body, "shard_count");
+      report.per_point =
+          body.find("\"per_point\":") != std::string_view::npos &&
+          parse_size(body, "per_point") != 0;
       declared_cells = parse_size(body, "cells");
     } else if (type == "cell") {
       if (!saw_grid) {
@@ -197,6 +215,30 @@ BatchReport read_report(std::istream& is) {
         cell.wall_ms = parse_double(body, "wall_ms");
       }
       report.cells.push_back(std::move(cell));
+    } else if (type == "point") {
+      if (report.cells.empty()) {
+        throw std::invalid_argument(
+            "batch report: point record before any cell record");
+      }
+      CellResult& cell = report.cells.back();
+      if (parse_string(body, "cell") != cell_key(cell.cell)) {
+        throw std::invalid_argument(
+            "batch report: point record names a different cell than the "
+            "one preceding it");
+      }
+      PointCapture point;
+      point.point = parse_size(body, "point");
+      point.capture = parse_array(body, "capture");
+      if (point.capture.size() != report.max_bundles) {
+        throw std::invalid_argument(
+            "batch report: point capture length does not match max_bundles");
+      }
+      if (!cell.detail.empty() && cell.detail.back().point >= point.point) {
+        throw std::invalid_argument(
+            "batch report: point records out of order in cell \"" +
+            cell_key(cell.cell) + "\"");
+      }
+      cell.detail.push_back(std::move(point));
     } else if (type == "timing") {
       report.wall_ms = parse_double(body, "wall_ms");
       report.threads = parse_size(body, "threads");
@@ -213,6 +255,18 @@ BatchReport read_report(std::istream& is) {
                                 std::to_string(declared_cells) +
                                 " cell records, found " +
                                 std::to_string(report.cells.size()));
+  }
+  for (const auto& cell : report.cells) {
+    // A v2 report must carry exactly one point record per evaluated
+    // point (a torn write loses trailing points silently otherwise);
+    // a v1 report must carry none.
+    const std::size_t expected = report.per_point ? cell.sweep.points : 0;
+    if (cell.detail.size() != expected) {
+      throw std::invalid_argument(
+          "batch report: cell \"" + cell_key(cell.cell) + "\" has " +
+          std::to_string(cell.detail.size()) + " point records, expected " +
+          std::to_string(expected));
+    }
   }
   return report;
 }
@@ -240,6 +294,11 @@ BatchReport merge_shards(const std::vector<BatchReport>& shards) {
                                   std::to_string(shard.shard_index));
     }
     seen[shard.shard_index] = true;
+    if (shard.per_point != first.per_point) {
+      throw std::invalid_argument(
+          "merge_shards: mixed schema versions (some shards carry "
+          "per-point detail, some do not)");
+    }
     if (shard.cells.size() != first.cells.size()) {
       throw std::invalid_argument("merge_shards: shard cell counts differ");
     }
@@ -256,6 +315,7 @@ BatchReport merge_shards(const std::vector<BatchReport>& shards) {
   merged.points_per_cell = first.points_per_cell;
   merged.shard_index = 0;
   merged.shard_count = 1;
+  merged.per_point = first.per_point;
   merged.cells.reserve(first.cells.size());
   for (std::size_t c = 0; c < first.cells.size(); ++c) {
     CellResult cell;
@@ -264,6 +324,8 @@ BatchReport merge_shards(const std::vector<BatchReport>& shards) {
     for (const auto& shard : shards) {
       const auto& part = shard.cells[c].sweep;
       cell.wall_ms += shard.cells[c].wall_ms;
+      cell.detail.insert(cell.detail.end(), shard.cells[c].detail.begin(),
+                         shard.cells[c].detail.end());
       if (part.points == 0) continue;
       for (std::size_t b = 0; b < merged.max_bundles; ++b) {
         cell.sweep.min_capture[b] =
@@ -272,6 +334,20 @@ BatchReport merge_shards(const std::vector<BatchReport>& shards) {
             std::max(cell.sweep.max_capture[b], part.max_capture[b]);
       }
       cell.sweep.points += part.points;
+    }
+    // Restore ascending point order across the shard interleave; a
+    // duplicate index means two shards both claimed the same point.
+    std::sort(cell.detail.begin(), cell.detail.end(),
+              [](const PointCapture& a, const PointCapture& b) {
+                return a.point < b.point;
+              });
+    for (std::size_t i = 1; i < cell.detail.size(); ++i) {
+      if (cell.detail[i].point == cell.detail[i - 1].point) {
+        throw std::invalid_argument(
+            "merge_shards: duplicate point " +
+            std::to_string(cell.detail[i].point) + " in cell \"" +
+            cell_key(cell.cell) + "\"");
+      }
     }
     if (cell.sweep.points != merged.points_per_cell) {
       throw std::invalid_argument(
@@ -342,6 +418,43 @@ void validate_part(const BatchReport& part, const ExperimentGrid& grid,
       if (!(sweep.min_capture[b] <= sweep.max_capture[b])) {
         throw std::invalid_argument("part: inverted envelope in \"" +
                                     cell_key(cells[c]) + "\"");
+      }
+    }
+    if (part.per_point) {
+      // Schema v2 integrity: the detail must list exactly the owned
+      // points and fold back to the envelope the part claims.
+      if (part.cells[c].detail.size() != owned) {
+        throw std::invalid_argument(
+            "part: cell \"" + cell_key(cells[c]) + "\" carries " +
+            std::to_string(part.cells[c].detail.size()) +
+            " point records, shard owns " + std::to_string(owned));
+      }
+      auto folded = empty_envelope(grid.max_bundles);
+      for (const auto& point : part.cells[c].detail) {
+        if (point.point >= n_points ||
+            (c * n_points + point.point) % shard_count != shard_index) {
+          throw std::invalid_argument(
+              "part: cell \"" + cell_key(cells[c]) + "\" lists point " +
+              std::to_string(point.point) + " the shard does not own");
+        }
+        if (point.capture.size() != grid.max_bundles) {
+          throw std::invalid_argument(
+              "part: point capture length mismatch in \"" +
+              cell_key(cells[c]) + "\"");
+        }
+        for (std::size_t b = 0; b < grid.max_bundles; ++b) {
+          const double capture = point.capture[b] + 0.0;  // -0.0 canon
+          folded.min_capture[b] = std::min(folded.min_capture[b], capture);
+          folded.max_capture[b] = std::max(folded.max_capture[b], capture);
+        }
+      }
+      for (std::size_t b = 0; owned > 0 && b < grid.max_bundles; ++b) {
+        if (folded.min_capture[b] != sweep.min_capture[b] ||
+            folded.max_capture[b] != sweep.max_capture[b]) {
+          throw std::invalid_argument(
+              "part: per-point detail does not fold to the claimed "
+              "envelope in \"" + cell_key(cells[c]) + "\"");
+        }
       }
     }
   }

@@ -24,12 +24,22 @@
 
 namespace manytiers::driver {
 
+// Schema v2 (optional, --per-point): one record per evaluated parameter
+// point, keyed by the point's global index within its cell, so a diff
+// can name *which* parameter point regressed instead of only the
+// envelope. Points are stored in ascending index order.
+struct PointCapture {
+  std::size_t point = 0;        // parameter point index, 0..points_per_cell-1
+  std::vector<double> capture;  // the capture series, length max_bundles
+};
+
 struct CellResult {
   GridCell cell;
   // Envelope over the parameter points this run owned; points == 0 (an
   // untouched cell of a shard) keeps +/-inf sentinels in min/max.
   pricing::SweepResult sweep;
   double wall_ms = 0.0;  // summed task wall time; never compared bitwise
+  std::vector<PointCapture> detail;  // per-point capture, schema v2 only
 };
 
 struct BatchReport {
@@ -40,6 +50,7 @@ struct BatchReport {
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   std::size_t threads = 0;
+  bool per_point = false;  // schema v2: cells carry per-point detail
   double wall_ms = 0.0;
   std::vector<CellResult> cells;  // every grid cell, enumeration order
 };
@@ -50,7 +61,9 @@ pricing::SweepResult empty_envelope(std::size_t max_bundles);
 
 // Render / parse the BATCH_JSON line format. `include_timing` off drops
 // the per-cell and total wall-clock fields, producing a byte-stable
-// artifact (the golden report is written this way).
+// artifact (the golden report is written this way). Reports with
+// per_point set additionally emit one "point" record per evaluated
+// parameter point after each cell record.
 void write_report(std::ostream& os, const BatchReport& report,
                   bool include_timing = true);
 std::string report_to_string(const BatchReport& report,

@@ -147,6 +147,7 @@ BatchReport run_grid(const ExperimentGrid& grid, const RunOptions& options) {
   report.shard_count = options.shard.count;
   report.threads =
       options.threads != 0 ? options.threads : util::default_thread_count();
+  report.per_point = options.per_point;
   report.cells.reserve(cells.size());
   for (const auto& cell : cells) {
     CellResult result;
@@ -166,6 +167,11 @@ BatchReport run_grid(const ExperimentGrid& grid, const RunOptions& options) {
     }
     ++cell.sweep.points;
     cell.wall_ms += task_ms[t];
+    if (options.per_point) {
+      // Tasks fold in ascending global order, so within a cell the
+      // point indices arrive ascending — the order the writer expects.
+      cell.detail.push_back({tasks[t].point, std::move(series[t])});
+    }
   }
   report.wall_ms = ms_since(t_start);
   return report;

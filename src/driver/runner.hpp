@@ -30,6 +30,7 @@ struct ShardPlan {
 struct RunOptions {
   std::size_t threads = 0;  // 0 = MANYTIERS_THREADS / hardware concurrency
   ShardPlan shard;
+  bool per_point = false;  // schema v2: keep per-point capture vectors
 };
 
 // Run (this shard of) the grid and return the consolidated report.

@@ -1,13 +1,17 @@
 // manytiers_orchestrate: supervised multi-process batch runs.
 //
 // Splits a named grid into K shards, runs each in its own
-// manytiers_batch worker process, supervises them (timeouts, bounded
-// exponential-backoff retries, part-file integrity checks), and writes
-// a merged report byte-identical to the unsharded single-process run.
+// manytiers_batch worker process, supervises them (timeouts, heartbeat
+// liveness, bounded exponential-backoff retries, hedged straggler
+// retries, part-file integrity checks), and writes a merged report
+// byte-identical to the unsharded single-process run. A durable
+// manifest in the work dir makes a killed run resumable with --resume.
 //
 //   manytiers_orchestrate --grid default --workers 4 --out default.batch
 //   manytiers_orchestrate --grid smoke --workers 3 --timeout-ms 60000
 //       --retries 2 --event-log run.events --out smoke.batch
+//   manytiers_orchestrate --grid smoke --workers 3 --resume
+//       --work-dir smoke.batch.parts --out smoke.batch
 //
 // Exit codes: 0 success, 1 orchestration failure (a shard exhausted its
 // retries, or merge/report IO failed), 2 usage error.
@@ -28,10 +32,37 @@ int usage(std::ostream& os, int code) {
         "  --grid NAME          grid to run (default \"default\")\n"
         "  --workers K          shard count == worker processes (default "
         "4)\n"
-        "  --timeout-ms T       per-worker wall-clock timeout (0 = none)\n"
+        "  --timeout-ms T       per-worker wall-clock timeout (0 = none; "
+        "with no\n"
+        "                       --heartbeat-timeout-ms either, a wedged "
+        "worker hangs\n"
+        "                       the run forever — a warn event is logged)\n"
+        "  --heartbeat-timeout-ms T   kill a worker whose heartbeat file "
+        "is older\n"
+        "                       than T ms (0 = heartbeats off); workers "
+        "beat every\n"
+        "                       max(10, T/4) ms\n"
         "  --retries N          extra attempts per shard (default 2)\n"
         "  --backoff-ms B       base retry backoff, doubles per attempt "
         "(default 250)\n"
+        "  --hedge-after-ms T   spawn one backup attempt for a shard still "
+        "running\n"
+        "                       after T ms; first valid part wins, the "
+        "loser is\n"
+        "                       killed, and no retry budget is consumed\n"
+        "  --hedge-multiplier X hedge a shard after X times the median "
+        "completed-\n"
+        "                       attempt duration (needs >= 1 completed "
+        "shard;\n"
+        "                       --hedge-after-ms takes precedence)\n"
+        "  --resume             resume a killed run from the manifest in "
+        "--work-dir;\n"
+        "                       valid parts are kept, the rest re-run "
+        "(grid,\n"
+        "                       overrides, and --workers must be "
+        "unchanged)\n"
+        "  --per-point          forward schema v2 per-point capture "
+        "vectors\n"
         "  --keep-parts         keep part files and worker logs on "
         "success\n"
         "  --out PATH           merged report destination (default "
@@ -45,6 +76,9 @@ int usage(std::ostream& os, int code) {
         "stderr)\n"
         "  --fault SPEC         MANYTIERS_FAULT plan injected into "
         "workers\n"
+        "  --kill-after-shards N   TEST HOOK: SIGKILL this process right "
+        "after the\n"
+        "                       Nth shard completes (exercises --resume)\n"
         "  --seed S / --n-flows N / --max-bundles B   grid overrides\n"
         "exit codes: 0 success, 1 orchestration failure, 2 usage error\n";
   return code;
@@ -84,6 +118,21 @@ int main(int argc, char** argv) {
       } else if (arg == "--timeout-ms") {
         options.timeout_ms =
             static_cast<double>(parse_u64(next(), "--timeout-ms"));
+      } else if (arg == "--heartbeat-timeout-ms") {
+        options.heartbeat_timeout_ms =
+            static_cast<double>(parse_u64(next(), "--heartbeat-timeout-ms"));
+      } else if (arg == "--hedge-after-ms") {
+        options.hedge_after_ms =
+            static_cast<double>(parse_u64(next(), "--hedge-after-ms"));
+      } else if (arg == "--hedge-multiplier") {
+        options.hedge_multiplier =
+            static_cast<double>(parse_u64(next(), "--hedge-multiplier"));
+      } else if (arg == "--resume") {
+        options.resume = true;
+      } else if (arg == "--per-point") {
+        options.per_point = true;
+      } else if (arg == "--kill-after-shards") {
+        options.kill_after_shards = parse_u64(next(), "--kill-after-shards");
       } else if (arg == "--retries") {
         options.retries = parse_u64(next(), "--retries");
       } else if (arg == "--backoff-ms") {

@@ -1,0 +1,136 @@
+#include "orchestrator/manifest.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/file.hpp"
+
+namespace manytiers::orchestrator {
+
+namespace {
+
+constexpr std::string_view kLinePrefix = "ORCH_MANIFEST ";
+
+// Same minimal field scanning as the BATCH_JSON reader: the writer never
+// emits escaped quotes or nested objects, so plain scanning is exact.
+
+std::string_view field_token(std::string_view line, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) {
+    throw std::invalid_argument("manifest: missing field \"" +
+                                std::string(key) + "\" in line: " +
+                                std::string(line.substr(0, 80)));
+  }
+  return line.substr(at + needle.size());
+}
+
+std::string parse_string(std::string_view line, std::string_view key) {
+  std::string_view rest = field_token(line, key);
+  if (rest.empty() || rest.front() != '"') {
+    throw std::invalid_argument("manifest: field \"" + std::string(key) +
+                                "\" is not a string");
+  }
+  rest.remove_prefix(1);
+  const std::size_t end = rest.find('"');
+  if (end == std::string_view::npos) {
+    throw std::invalid_argument("manifest: unterminated string field");
+  }
+  return std::string(rest.substr(0, end));
+}
+
+std::size_t parse_size(std::string_view line, std::string_view key) {
+  const std::string token(field_token(line, key));
+  return static_cast<std::size_t>(std::strtoull(token.c_str(), nullptr, 10));
+}
+
+}  // namespace
+
+std::string manifest_to_string(const Manifest& manifest) {
+  std::string out;
+  out += kLinePrefix;
+  out += "{\"type\":\"run\",\"grid\":\"" + manifest.grid +
+         "\",\"signature\":\"" + manifest.signature +
+         "\",\"workers\":" + std::to_string(manifest.workers) + "}\n";
+  for (std::size_t k = 0; k < manifest.shards.size(); ++k) {
+    const ShardManifest& shard = manifest.shards[k];
+    out += kLinePrefix;
+    out += "{\"type\":\"shard\",\"shard\":" + std::to_string(k) +
+           ",\"state\":\"" + shard.state +
+           "\",\"spawned\":" + std::to_string(shard.spawned) +
+           ",\"failures\":" + std::to_string(shard.failures) + "}\n";
+  }
+  return out;
+}
+
+Manifest parse_manifest(std::string_view text) {
+  Manifest manifest;
+  bool saw_run = false;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind(kLinePrefix, 0) != 0) continue;
+    const std::string_view body =
+        std::string_view(line).substr(kLinePrefix.size());
+    const std::string type = parse_string(body, "type");
+    if (type == "run") {
+      if (saw_run) {
+        throw std::invalid_argument("manifest: duplicate run record");
+      }
+      saw_run = true;
+      manifest.grid = parse_string(body, "grid");
+      manifest.signature = parse_string(body, "signature");
+      manifest.workers = parse_size(body, "workers");
+    } else if (type == "shard") {
+      if (!saw_run) {
+        throw std::invalid_argument(
+            "manifest: shard record before run record");
+      }
+      const std::size_t index = parse_size(body, "shard");
+      if (index != manifest.shards.size()) {
+        throw std::invalid_argument(
+            "manifest: shard records out of order (got " +
+            std::to_string(index) + ", expected " +
+            std::to_string(manifest.shards.size()) + ")");
+      }
+      ShardManifest shard;
+      shard.state = parse_string(body, "state");
+      if (shard.state != "open" && shard.state != "done" &&
+          shard.state != "failed") {
+        throw std::invalid_argument("manifest: unknown shard state \"" +
+                                    shard.state + "\"");
+      }
+      shard.spawned = parse_size(body, "spawned");
+      shard.failures = parse_size(body, "failures");
+      manifest.shards.push_back(std::move(shard));
+    } else {
+      throw std::invalid_argument("manifest: unknown record type \"" + type +
+                                  "\"");
+    }
+  }
+  if (!saw_run) {
+    throw std::invalid_argument("manifest: no run record found");
+  }
+  if (manifest.shards.size() != manifest.workers) {
+    throw std::invalid_argument(
+        "manifest: run declares " + std::to_string(manifest.workers) +
+        " workers but carries " + std::to_string(manifest.shards.size()) +
+        " shard records");
+  }
+  return manifest;
+}
+
+void save_manifest(const std::string& path, const Manifest& manifest) {
+  util::write_file_durable(path, manifest_to_string(manifest));
+}
+
+Manifest load_manifest(const std::string& path) {
+  return parse_manifest(util::read_file(path));
+}
+
+}  // namespace manytiers::orchestrator

@@ -1,6 +1,9 @@
 #include "orchestrator/orchestrator.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -10,7 +13,9 @@
 
 #include "driver/grid.hpp"
 #include "driver/report.hpp"
+#include "orchestrator/manifest.hpp"
 #include "orchestrator/process.hpp"
+#include "util/file.hpp"
 
 namespace manytiers::orchestrator {
 
@@ -24,42 +29,91 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
+Clock::duration from_ms(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+// One running worker process for a shard. A shard usually has exactly
+// one, but hedging can put a primary and a backup in flight at once;
+// each attempt owns its own part/log/heartbeat paths (named by `id`) so
+// concurrent attempts never write the same file.
+struct Attempt {
+  std::size_t id = 0;  // globally unique per shard, across retries+hedges
+  bool hedge = false;
+  pid_t pid = -1;
+  Clock::time_point started{};
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+};
+
 // Supervision state of one shard. A shard cycles Pending -> Running ->
-// (Done | Pending-with-backoff | Failed).
+// (Done | Pending-with-backoff | Failed); Running may carry up to two
+// live attempts when hedged. A whole wave of attempts must die for one
+// unit of retry budget to be consumed.
 struct Shard {
   enum class State { Pending, Running, Done, Failed };
   State state = State::Pending;
-  std::size_t attempt = 0;           // next (or current) attempt number
-  Clock::time_point not_before{};    // backoff gate while Pending
-  Clock::time_point deadline{};      // timeout while Running
-  bool has_deadline = false;
-  pid_t pid = -1;
+  std::size_t next_attempt = 0;  // id for the next spawn; == spawned count
+  std::size_t failures = 0;      // retry budget consumed (whole waves)
+  bool hedged = false;           // backup already spawned for this wave
+  bool resumed = false;          // satisfied by a surviving part on resume
+  Clock::time_point not_before{};  // backoff gate while Pending
+  std::vector<Attempt> attempts;   // live attempts while Running
   std::string last_failure;
   std::optional<manytiers::driver::BatchReport> part;  // validated result
 };
 
-std::string part_path(const Options& opt, std::size_t shard) {
-  return opt.work_dir + "/part" + std::to_string(shard) + ".batch";
+// All work-dir paths go through std::filesystem::path so separators and
+// quoting stay correct on every platform.
+fs::path manifest_path(const fs::path& work) { return work / "manifest.orch"; }
+
+fs::path part_path(const fs::path& work, std::size_t shard) {
+  return work / ("part" + std::to_string(shard) + ".batch");
 }
 
-std::string log_path(const Options& opt, std::size_t shard,
-                     std::size_t attempt) {
-  return opt.work_dir + "/worker" + std::to_string(shard) + ".a" +
-         std::to_string(attempt) + ".log";
+fs::path attempt_part_path(const fs::path& work, std::size_t shard,
+                           std::size_t attempt) {
+  return work / ("part" + std::to_string(shard) + ".a" +
+                 std::to_string(attempt) + ".batch");
 }
 
-SpawnSpec worker_spec(const Options& opt, std::size_t shard,
-                      std::size_t attempt) {
+fs::path log_path(const fs::path& work, std::size_t shard,
+                  std::size_t attempt) {
+  return work / ("worker" + std::to_string(shard) + ".a" +
+                 std::to_string(attempt) + ".log");
+}
+
+fs::path heartbeat_path(const fs::path& work, std::size_t shard,
+                        std::size_t attempt) {
+  return work / ("hb" + std::to_string(shard) + ".a" +
+                 std::to_string(attempt));
+}
+
+SpawnSpec worker_spec(const Options& opt, const fs::path& work,
+                      std::size_t shard, std::size_t attempt) {
   SpawnSpec spec;
   spec.argv = {opt.worker_binary,
                "--grid",        opt.grid,
                "--shard-index", std::to_string(shard),
                "--shard-count", std::to_string(opt.workers),
                "--no-timing",
-               "--out",         part_path(opt, shard)};
+               "--out",         attempt_part_path(work, shard, attempt)
+                                    .string()};
+  if (opt.per_point) spec.argv.push_back("--per-point");
   if (opt.worker_threads != 0) {
     spec.argv.push_back("--threads");
     spec.argv.push_back(std::to_string(opt.worker_threads));
+  }
+  if (opt.heartbeat_timeout_ms > 0.0) {
+    // Beat 4x faster than the staleness cap so scheduling jitter on a
+    // loaded box cannot fake a dead worker.
+    const long interval = std::max<long>(
+        10, static_cast<long>(std::lround(opt.heartbeat_timeout_ms / 4.0)));
+    spec.argv.push_back("--heartbeat");
+    spec.argv.push_back(heartbeat_path(work, shard, attempt).string());
+    spec.argv.push_back("--heartbeat-interval-ms");
+    spec.argv.push_back(std::to_string(interval));
   }
   if (opt.seed_given) {
     spec.argv.push_back("--seed");
@@ -78,26 +132,51 @@ SpawnSpec worker_spec(const Options& opt, std::size_t shard,
   }
   spec.env_extra.push_back("MANYTIERS_FAULT_ATTEMPT=" +
                            std::to_string(attempt));
-  spec.log_path = log_path(opt, shard, attempt);
+  spec.log_path = log_path(work, shard, attempt).string();
   return spec;
 }
 
 // Parse + integrity-check one part file; returns the failure reason
 // instead of throwing so the supervisor can fold it into retry logic.
-std::optional<std::string> load_part(const Options& opt,
+std::optional<std::string> load_part(const fs::path& path, const Options& opt,
                                      const driver::ExperimentGrid& grid,
-                                     std::size_t shard_index, Shard& shard) {
-  const std::string path = part_path(opt, shard_index);
+                                     std::size_t shard_index,
+                                     std::optional<driver::BatchReport>& out) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return "missing part file " + path;
+  if (!in) return "missing part file " + path.string();
   try {
     auto report = driver::read_report(in);
     driver::validate_part(report, grid, shard_index, opt.workers);
-    shard.part = std::move(report);
+    if (report.per_point != opt.per_point) {
+      return "part " + path.string() + ": per_point=" +
+             std::to_string(report.per_point ? 1 : 0) +
+             " does not match this run";
+    }
+    out = std::move(report);
   } catch (const std::exception& err) {
-    return "corrupt part " + path + ": " + err.what();
+    return "corrupt part " + path.string() + ": " + err.what();
   }
   return std::nullopt;
+}
+
+// Heartbeat age: mtime of the beat file if the worker has touched it,
+// otherwise time since the attempt was spawned (covers a worker that
+// wedged before its first beat).
+double heartbeat_age_ms(const fs::path& hb, const Attempt& attempt) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(hb, ec);
+  if (!ec) {
+    return std::chrono::duration<double, std::milli>(
+               fs::file_time_type::clock::now() - mtime)
+        .count();
+  }
+  return ms_since(attempt.started);
+}
+
+double median_of(std::vector<double> values) {
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
 }
 
 }  // namespace
@@ -120,11 +199,15 @@ Result orchestrate(const Options& options, EventLog& log) {
   if (options.n_flows != 0) grid.base.n_flows = options.n_flows;
   if (options.max_bundles != 0) grid.max_bundles = options.max_bundles;
   driver::validate_grid(grid);
-  fs::create_directories(options.work_dir);
+  const std::string signature = driver::grid_signature(grid);
+  const fs::path work{options.work_dir};
+  fs::create_directories(work);
 
   const auto t_start = Clock::now();
   const std::size_t max_attempts = options.retries + 1;
   std::vector<Shard> shards(options.workers);
+  std::size_t open = options.workers;  // shards not yet Done/Failed
+  std::error_code ec;
 
   log.write(Event("plan")
                 .field("grid", options.grid)
@@ -132,39 +215,197 @@ Result orchestrate(const Options& options, EventLog& log) {
                 .field("timeout_ms", options.timeout_ms)
                 .field("retries", options.retries)
                 .field("backoff_ms", options.backoff_ms)
+                .field("heartbeat_timeout_ms", options.heartbeat_timeout_ms)
+                .field("hedge_after_ms", options.hedge_after_ms)
+                .field("hedge_multiplier", options.hedge_multiplier)
+                .field("resume",
+                       static_cast<std::size_t>(options.resume ? 1 : 0))
                 .field("worker", options.worker_binary));
+  if (options.timeout_ms <= 0.0 && options.heartbeat_timeout_ms <= 0.0) {
+    log.write(
+        Event("warn").field(
+            "message",
+            "no --timeout-ms and no --heartbeat-timeout-ms: a wedged worker "
+            "will hang this run forever"));
+  }
 
-  std::size_t open = options.workers;  // shards not yet Done/Failed
+  // Crash-safety record. Fresh runs start a new manifest; --resume loads
+  // the previous one, re-validates surviving canonical parts through the
+  // exact merge-time checks, and only re-runs shards that fail them.
+  // Attempt numbering continues from the dead run's `spawned` counters so
+  // a resumed supervisor never shares part/log paths with an orphan.
+  Manifest manifest;
+  if (options.resume) {
+    if (!fs::exists(manifest_path(work))) {
+      throw std::invalid_argument(
+          "orchestrate: --resume requires a manifest at " +
+          manifest_path(work).string());
+    }
+    manifest = load_manifest(manifest_path(work).string());
+    if (manifest.grid != options.grid || manifest.signature != signature ||
+        manifest.workers != options.workers) {
+      throw std::invalid_argument(
+          "orchestrate: manifest at " + manifest_path(work).string() +
+          " records a different run (grid \"" + manifest.grid +
+          "\", workers " + std::to_string(manifest.workers) +
+          ") — resume must keep grid, overrides, and workers identical");
+    }
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      Shard& shard = shards[k];
+      shard.next_attempt = manifest.shards[k].spawned;
+      // The operator chose to resume: give re-run shards a fresh retry
+      // budget (the manifest keeps the dead run's counters only until
+      // this rewrite).
+      manifest.shards[k].failures = 0;
+      if (!load_part(part_path(work, k), options, grid, k, shard.part)) {
+        shard.state = Shard::State::Done;
+        shard.resumed = true;
+        --open;
+        manifest.shards[k].state = "done";
+        log.write(Event("resume-skip")
+                      .field("shard", k)
+                      .field("attempts", shard.next_attempt));
+      } else {
+        manifest.shards[k].state = "open";
+        shard.part.reset();
+        fs::remove(part_path(work, k), ec);
+      }
+    }
+  } else {
+    manifest.grid = options.grid;
+    manifest.signature = signature;
+    manifest.workers = options.workers;
+    manifest.shards.assign(options.workers, ShardManifest{});
+    // Drop canonical parts from any unrelated previous use of this dir so
+    // a crashed attempt cannot hand the validator someone else's output.
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      fs::remove(part_path(work, k), ec);
+    }
+  }
+  save_manifest(manifest_path(work).string(), manifest);
 
-  // Routes one attempt's failure into backoff-retry or permanent
-  // failure. `reason` is the human-readable cause ("exit code 70",
-  // "timeout after 500 ms", "corrupt part ...").
-  const auto handle_failure = [&](std::size_t k, const std::string& reason) {
+  std::vector<double> completed_ms;  // winning-attempt durations (hedging)
+  std::size_t done_in_this_process = 0;
+
+  // Routes one whole wave's failure (every live attempt of the shard is
+  // gone) into backoff-retry or permanent failure. `attempt_id` is the
+  // last attempt that died; `reason` the human-readable cause.
+  const auto handle_failure = [&](std::size_t k, std::size_t attempt_id,
+                                  const std::string& reason) {
     Shard& shard = shards[k];
-    shard.last_failure =
-        reason + " (attempt " + std::to_string(shard.attempt) + ", log " +
-        log_path(options, k, shard.attempt) + ")";
-    if (shard.attempt + 1 >= max_attempts) {
+    shard.last_failure = reason + " (attempt " + std::to_string(attempt_id) +
+                         ", log " + log_path(work, k, attempt_id).string() +
+                         ")";
+    shard.hedged = false;
+    ++shard.failures;
+    manifest.shards[k].failures = shard.failures;
+    if (shard.failures >= max_attempts) {
       shard.state = Shard::State::Failed;
       --open;
+      manifest.shards[k].state = "failed";
+      save_manifest(manifest_path(work).string(), manifest);
       log.write(Event("shard-failed")
                     .field("shard", k)
-                    .field("attempts", shard.attempt + 1)
+                    .field("attempts", shard.next_attempt)
                     .field("reason", reason));
       return;
     }
+    save_manifest(manifest_path(work).string(), manifest);
     const double backoff =
-        options.backoff_ms * static_cast<double>(1ull << shard.attempt);
+        options.backoff_ms *
+        static_cast<double>(1ull << (shard.failures - 1));
     log.write(Event("retry")
                   .field("shard", k)
-                  .field("attempt", shard.attempt)
+                  .field("attempt", attempt_id)
                   .field("reason", reason)
                   .field("backoff_ms", backoff));
     shard.state = Shard::State::Pending;
-    shard.not_before =
-        Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double, std::milli>(backoff));
-    ++shard.attempt;
+    shard.not_before = Clock::now() + from_ms(backoff);
+  };
+
+  // Starts one attempt (primary or hedge) for shard k, including the
+  // durable spawned-counter bump that keeps resume collision-free.
+  const auto spawn_attempt = [&](std::size_t k, bool hedge) -> Attempt& {
+    Shard& shard = shards[k];
+    Attempt attempt;
+    attempt.id = shard.next_attempt++;
+    attempt.hedge = hedge;
+    manifest.shards[k].spawned = shard.next_attempt;
+    save_manifest(manifest_path(work).string(), manifest);
+    fs::remove(attempt_part_path(work, k, attempt.id), ec);
+    fs::remove(heartbeat_path(work, k, attempt.id), ec);
+    attempt.pid = spawn_process(worker_spec(options, work, k, attempt.id));
+    attempt.started = Clock::now();
+    attempt.has_deadline = options.timeout_ms > 0.0;
+    if (attempt.has_deadline) {
+      attempt.deadline = attempt.started + from_ms(options.timeout_ms);
+    }
+    shard.attempts.push_back(attempt);
+    shard.state = Shard::State::Running;
+    return shard.attempts.back();
+  };
+
+  // Marks shard k done with attempts[winner] as the winning attempt:
+  // cross-check/kill the losers, promote the winner's part file to the
+  // canonical name, persist, and maybe fire the SIGKILL test hook.
+  const auto finish_shard = [&](std::size_t k, std::size_t winner) {
+    Shard& shard = shards[k];
+    const Attempt win = shard.attempts[winner];
+    const bool raced = shard.attempts.size() > 1;
+    for (std::size_t j = 0; j < shard.attempts.size(); ++j) {
+      if (j == winner) continue;
+      const Attempt& loser = shard.attempts[j];
+      const auto status = try_wait(loser.pid);
+      if (status) {
+        // The loser also finished. If it produced a complete part, the
+        // determinism guarantee says the bytes must match the winner's —
+        // cross-check and scream if they do not.
+        const fs::path lp = attempt_part_path(work, k, loser.id);
+        if (status->success() && fs::exists(lp)) {
+          const std::string a =
+              util::read_file(attempt_part_path(work, k, win.id).string());
+          const std::string b = util::read_file(lp.string());
+          if (a != b) {
+            log.write(Event("hedge-mismatch")
+                          .field("shard", k)
+                          .field("attempt_a", win.id)
+                          .field("attempt_b", loser.id));
+          }
+        }
+      } else {
+        kill_and_reap(loser.pid);
+      }
+      fs::remove(attempt_part_path(work, k, loser.id), ec);
+      fs::remove(heartbeat_path(work, k, loser.id), ec);
+    }
+    // Same-directory rename: atomic promotion of the attempt's (already
+    // durably written) part to the canonical name resume looks for.
+    fs::rename(attempt_part_path(work, k, win.id), part_path(work, k));
+    completed_ms.push_back(ms_since(win.started));
+    shard.attempts.clear();
+    shard.state = Shard::State::Done;
+    --open;
+    manifest.shards[k].state = "done";
+    save_manifest(manifest_path(work).string(), manifest);
+    if (raced) {
+      log.write(Event("hedge-win")
+                    .field("shard", k)
+                    .field("attempt", win.id)
+                    .field("winner", win.hedge ? "hedge" : "primary"));
+    }
+    log.write(Event("shard-done")
+                  .field("shard", k)
+                  .field("attempts", shard.next_attempt));
+    ++done_in_this_process;
+    if (options.kill_after_shards > 0 &&
+        done_in_this_process == options.kill_after_shards) {
+      // TEST HOOK: die the hard way, mid-run, exactly like a fatal crash
+      // — no unwinding, no cleanup. The event lands first because the
+      // log flushes per line.
+      log.write(Event("test-kill").field("after_shards",
+                                         done_in_this_process));
+      ::raise(SIGKILL);
+    }
   };
 
   while (open > 0) {
@@ -176,66 +417,128 @@ Result orchestrate(const Options& options, EventLog& log) {
       if (shard.state != Shard::State::Pending || now < shard.not_before) {
         continue;
       }
-      // Drop any stale part so a crashed attempt cannot hand the
-      // validator a previous attempt's output.
-      std::error_code ec;
-      fs::remove(part_path(options, k), ec);
-      shard.pid = spawn_process(worker_spec(options, k, shard.attempt));
-      shard.state = Shard::State::Running;
-      shard.has_deadline = options.timeout_ms > 0.0;
-      if (shard.has_deadline) {
-        shard.deadline =
-            Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double, std::milli>(
-                                   options.timeout_ms));
-      }
+      const Attempt& attempt = spawn_attempt(k, /*hedge=*/false);
       log.write(Event("spawn")
                     .field("shard", k)
-                    .field("attempt", shard.attempt)
-                    .field("pid", static_cast<long>(shard.pid)));
+                    .field("attempt", attempt.id)
+                    .field("pid", static_cast<long>(attempt.pid)));
     }
 
-    // Reap exits and enforce deadlines.
+    // Reap exits, enforce deadlines and heartbeat staleness per attempt.
     for (std::size_t k = 0; k < shards.size(); ++k) {
       Shard& shard = shards[k];
       if (shard.state != Shard::State::Running) continue;
-      if (const auto status = try_wait(shard.pid)) {
-        log.write(Event("exit")
-                      .field("shard", k)
-                      .field("attempt", shard.attempt)
-                      .field(status->signaled ? "signal" : "code",
-                             static_cast<long>(status->signaled
-                                                   ? status->signal
-                                                   : status->code)));
-        if (!status->success()) {
-          handle_failure(k, status->signaled
-                                ? "killed by signal " +
-                                      std::to_string(status->signal)
-                                : "exit code " + std::to_string(status->code));
-          continue;
+      std::size_t winner = shard.attempts.size();  // sentinel: none
+      std::vector<std::size_t> dead;
+      std::string dead_reason;
+      std::size_t dead_attempt_id = 0;
+      for (std::size_t i = 0; i < shard.attempts.size(); ++i) {
+        Attempt& attempt = shard.attempts[i];
+        if (const auto status = try_wait(attempt.pid)) {
+          Event exit_event = Event("exit")
+                                 .field("shard", k)
+                                 .field("attempt", attempt.id)
+                                 .field(status->signaled ? "signal" : "code",
+                                        static_cast<long>(
+                                            status->signaled ? status->signal
+                                                             : status->code));
+          if (attempt.hedge) exit_event.field("hedge", std::size_t{1});
+          log.write(std::move(exit_event));
+          if (status->success()) {
+            const auto bad = load_part(attempt_part_path(work, k, attempt.id),
+                                       options, grid, k, shard.part);
+            if (!bad) {
+              winner = i;
+              break;  // first valid part wins; losers handled below
+            }
+            log.write(
+                Event("bad-part").field("shard", k).field("reason", *bad));
+            dead.push_back(i);
+            dead_reason = *bad;
+            dead_attempt_id = attempt.id;
+          } else {
+            dead.push_back(i);
+            dead_reason = status->signaled
+                              ? "killed by signal " +
+                                    std::to_string(status->signal)
+                              : "exit code " + std::to_string(status->code);
+            dead_attempt_id = attempt.id;
+          }
+        } else if (attempt.has_deadline && Clock::now() > attempt.deadline) {
+          kill_and_reap(attempt.pid);
+          log.write(Event("timeout")
+                        .field("shard", k)
+                        .field("attempt", attempt.id)
+                        .field("timeout_ms", options.timeout_ms));
+          dead.push_back(i);
+          dead_reason =
+              "timeout after " + std::to_string(options.timeout_ms) + " ms";
+          dead_attempt_id = attempt.id;
+        } else if (options.heartbeat_timeout_ms > 0.0) {
+          const double age =
+              heartbeat_age_ms(heartbeat_path(work, k, attempt.id), attempt);
+          if (age > options.heartbeat_timeout_ms) {
+            kill_and_reap(attempt.pid);
+            log.write(Event("heartbeat-stale")
+                          .field("shard", k)
+                          .field("attempt", attempt.id)
+                          .field("age_ms", age)
+                          .field("timeout_ms", options.heartbeat_timeout_ms));
+            dead.push_back(i);
+            dead_reason = "heartbeat stale for " + std::to_string(age) +
+                          " ms (cap " +
+                          std::to_string(options.heartbeat_timeout_ms) +
+                          " ms)";
+            dead_attempt_id = attempt.id;
+          }
         }
-        if (const auto bad = load_part(options, grid, k, shard)) {
-          log.write(Event("bad-part").field("shard", k).field("reason", *bad));
-          handle_failure(k, *bad);
-          continue;
+      }
+      if (winner < shard.attempts.size()) {
+        finish_shard(k, winner);
+        continue;
+      }
+      for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+        shard.attempts.erase(shard.attempts.begin() +
+                             static_cast<std::ptrdiff_t>(*it));
+      }
+      if (!dead.empty() && shard.attempts.empty()) {
+        // The whole wave is gone: this is what consumes retry budget. A
+        // failed attempt whose hedge partner is still alive costs
+        // nothing — the wave is still in flight.
+        handle_failure(k, dead_attempt_id, dead_reason);
+      }
+    }
+
+    // Hedging: one backup attempt per wave for a shard whose single
+    // attempt has outlived the straggler threshold.
+    if (options.hedge_after_ms > 0.0 || options.hedge_multiplier > 0.0) {
+      double threshold = options.hedge_after_ms;
+      if (threshold <= 0.0 && !completed_ms.empty()) {
+        threshold = options.hedge_multiplier * median_of(completed_ms);
+      }
+      if (threshold > 0.0) {
+        for (std::size_t k = 0; k < shards.size(); ++k) {
+          Shard& shard = shards[k];
+          if (shard.state != Shard::State::Running || shard.hedged ||
+              shard.attempts.size() != 1) {
+            continue;
+          }
+          const double age = ms_since(shard.attempts[0].started);
+          if (age < threshold) continue;
+          shard.hedged = true;
+          const Attempt& hedge = spawn_attempt(k, /*hedge=*/true);
+          log.write(Event("hedge-spawn")
+                        .field("shard", k)
+                        .field("attempt", hedge.id)
+                        .field("pid", static_cast<long>(hedge.pid))
+                        .field("age_ms", age)
+                        .field("threshold_ms", threshold));
         }
-        shard.state = Shard::State::Done;
-        --open;
-        log.write(Event("shard-done")
-                      .field("shard", k)
-                      .field("attempts", shard.attempt + 1));
-      } else if (shard.has_deadline && Clock::now() > shard.deadline) {
-        kill_and_reap(shard.pid);
-        log.write(Event("timeout")
-                      .field("shard", k)
-                      .field("attempt", shard.attempt)
-                      .field("timeout_ms", options.timeout_ms));
-        handle_failure(k, "timeout after " +
-                              std::to_string(options.timeout_ms) + " ms");
       }
     }
     if (open > 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+
   Result result;
   result.shards.reserve(shards.size());
   bool all_ok = true;
@@ -243,7 +546,9 @@ Result orchestrate(const Options& options, EventLog& log) {
     ShardOutcome outcome;
     outcome.shard = k;
     outcome.ok = shards[k].state == Shard::State::Done;
-    outcome.attempts = shards[k].attempt + 1;
+    outcome.attempts = shards[k].next_attempt;
+    outcome.failures = shards[k].failures;
+    outcome.resumed = shards[k].resumed;
     outcome.failure = outcome.ok ? "" : shards[k].last_failure;
     all_ok = all_ok && outcome.ok;
     result.shards.push_back(std::move(outcome));
@@ -262,17 +567,20 @@ Result orchestrate(const Options& options, EventLog& log) {
                   .field("cells", merged.cells.size())
                   .field("wall_ms", ms_since(t_merge)));
     if (!options.keep_parts) {
-      std::error_code ec;
       for (std::size_t k = 0; k < shards.size(); ++k) {
-        fs::remove(part_path(options, k), ec);
-        for (std::size_t a = 0; a < max_attempts; ++a) {
-          fs::remove(log_path(options, k, a), ec);
+        fs::remove(part_path(work, k), ec);
+        for (std::size_t a = 0; a < shards[k].next_attempt; ++a) {
+          fs::remove(attempt_part_path(work, k, a), ec);
+          fs::remove(log_path(work, k, a), ec);
+          fs::remove(heartbeat_path(work, k, a), ec);
         }
       }
     }
     result.ok = true;
   }
-  // On failure, part files and worker logs are always kept as evidence.
+  // On failure, part files and worker logs are always kept as evidence;
+  // the manifest is kept in both cases (it records the final states and
+  // is what a later --resume reads).
 
   result.wall_ms = ms_since(t_start);
   log.write(Event(result.ok ? "done" : "failed")

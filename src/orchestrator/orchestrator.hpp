@@ -1,13 +1,13 @@
-// Fault-tolerant multi-process shard orchestrator (ROADMAP:
-// "cross-process shard orchestration").
+// Crash-safe, straggler-proof multi-process shard orchestrator.
 //
 // Takes a named ExperimentGrid and a worker count K, splits the grid
 // into K shards (the driver's round-robin task split), spawns one
 // `manytiers_batch` worker process per shard, and supervises them to a
 // merged report that is byte-identical to the unsharded single-process
-// run. Robustness, not just parallelism:
+// run. Three robustness layers on top of plain parallelism:
 //
-//   * per-worker wall-clock timeouts (SIGKILL + retry);
+// Fault tolerance (workers may die):
+//   * per-attempt wall-clock timeouts (SIGKILL + retry);
 //   * bounded retry with exponential backoff on nonzero exit, crash
 //     signal, or corrupt/truncated part files;
 //   * part-file integrity via the BATCH_JSON parser + validate_part
@@ -16,11 +16,31 @@
 //     fails the whole run with a per-shard summary; no partial report
 //     is ever emitted.
 //
+// Crash safety (the orchestrator itself may die):
+//   * a durable manifest (manifest.hpp) in the work dir records the run
+//     identity and per-shard progress, written via fsync+rename at
+//     every milestone; worker part files land the same way;
+//   * `resume = true` re-validates surviving parts with validate_part
+//     and re-runs only missing/invalid shards — a SIGKILLed run resumed
+//     mid-flight merges byte-identically to the uninterrupted one.
+//
+// Straggler proofing (workers may be slow without being dead):
+//   * heartbeat liveness — workers touch a per-attempt heartbeat file;
+//     with `heartbeat_timeout_ms` set, the supervisor kills on beat
+//     staleness instead of waiting out the wall-clock cap, so hung
+//     shards die fast and slow-but-alive shards are left to finish;
+//   * hedged retries — after `hedge_after_ms` (or `hedge_multiplier` x
+//     the median completed-attempt time) a backup attempt is spawned in
+//     its own attempt paths; the first valid part wins, the loser is
+//     killed, and a hedge does NOT consume the retry budget. When both
+//     attempts happen to finish, their parts are cross-checked for
+//     byte-equality (determinism guard).
+//
 // Every decision is logged through the structured EventLog (see
 // events.hpp); workers inherit a deterministic fault-injection plan
-// (MANYTIERS_FAULT) plus the supervisor's per-attempt retry counter
+// (MANYTIERS_FAULT) plus the supervisor's per-attempt counter
 // (MANYTIERS_FAULT_ATTEMPT), which is what makes the crash/timeout/
-// corrupt paths hermetically testable.
+// straggle/corrupt/resume paths hermetically testable.
 #pragma once
 
 #include <cstdint>
@@ -33,15 +53,37 @@ namespace manytiers::orchestrator {
 
 struct Options {
   std::string grid = "default";
-  std::size_t workers = 4;       // K: shard count == max concurrent workers
+  std::size_t workers = 4;       // K: shard count == max concurrent shards
   std::string worker_binary;     // path to the manytiers_batch executable
-  std::string work_dir;          // part files + per-attempt worker logs
-  double timeout_ms = 0.0;       // per-worker wall clock; 0 = no timeout
+  std::string work_dir;          // manifest + parts + logs + heartbeats
+  double timeout_ms = 0.0;       // per-attempt wall clock; 0 = no timeout
   std::size_t retries = 2;       // extra attempts per shard after the first
   double backoff_ms = 250.0;     // base retry delay; doubles per attempt
   bool keep_parts = false;       // keep part files + logs after success
   std::size_t worker_threads = 0;  // --threads forwarded to workers
+  bool per_point = false;        // --per-point forwarded to workers
   std::string fault;             // MANYTIERS_FAULT plan for workers (tests)
+
+  // Crash safety: resume a previous run from its manifest instead of
+  // starting fresh. Valid parts are kept (resume-skip), everything else
+  // re-runs; the manifest must match grid/signature/workers exactly.
+  bool resume = false;
+
+  // Liveness: kill an attempt whose heartbeat file is older than this
+  // (0 = heartbeats disabled). The worker beats every
+  // max(10, heartbeat_timeout_ms / 4) ms.
+  double heartbeat_timeout_ms = 0.0;
+
+  // Hedging: spawn one backup attempt for a shard whose current attempt
+  // has been running longer than hedge_after_ms (takes precedence), or
+  // hedge_multiplier x the median duration of completed attempts (only
+  // once at least one attempt has completed). 0/0 disables hedging.
+  double hedge_after_ms = 0.0;
+  double hedge_multiplier = 0.0;
+
+  // TEST HOOK: SIGKILL this process (no cleanup, no unwind) right after
+  // the Nth shard completes — the hermetic way to exercise resume.
+  std::size_t kill_after_shards = 0;
 
   // Grid overrides, forwarded to workers and applied to the merge-time
   // signature check; 0 / unset means "grid default".
@@ -53,7 +95,9 @@ struct Options {
 
 struct ShardOutcome {
   std::size_t shard = 0;
-  std::size_t attempts = 0;  // attempts actually consumed
+  std::size_t attempts = 0;  // attempts actually spawned (hedges included)
+  std::size_t failures = 0;  // retry budget consumed (hedges excluded)
+  bool resumed = false;      // satisfied by a surviving part on resume
   bool ok = false;
   std::string failure;  // last failure description when !ok
 };
@@ -65,10 +109,11 @@ struct Result {
   double wall_ms = 0.0;
 };
 
-// Run the whole orchestration: spawn, supervise, validate, merge.
-// Throws std::invalid_argument on malformed options (unknown grid,
-// workers == 0, missing worker binary / work dir). Worker failures do
-// NOT throw — they are supervised into Result.ok == false.
+// Run the whole orchestration: plan (or resume), spawn, supervise,
+// validate, merge. Throws std::invalid_argument on malformed options
+// (unknown grid, workers == 0, missing worker binary / work dir, resume
+// without a matching manifest). Worker failures do NOT throw — they are
+// supervised into Result.ok == false.
 Result orchestrate(const Options& options, EventLog& log);
 
 }  // namespace manytiers::orchestrator

@@ -5,6 +5,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
 #include <cerrno>
 #include <cstdlib>
 #include <system_error>
@@ -54,6 +58,14 @@ pid_t spawn_process(const SpawnSpec& spec) {
   const pid_t pid = ::fork();
   if (pid < 0) throw_errno("fork");
   if (pid == 0) {
+#ifdef __linux__
+    // Die with the supervisor: a SIGKILLed orchestrator must not leave
+    // workers running (a stalled one would linger for its full injected
+    // sleep, and an orphan could race a resumed supervisor for part
+    // files). Best-effort — resume also defends by never reusing
+    // attempt numbers recorded in the manifest.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
     if (!spec.log_path.empty()) {
       const int fd =
           ::open(spec.log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);

@@ -50,6 +50,21 @@ void write_file_durable(const std::string& path, std::string_view content) {
   }
 }
 
+void touch_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) fail("cannot touch", path);
+  // A 1-byte append updates mtime on every filesystem (utimensat-free
+  // and immune to coarse timestamp caching); the file stays tiny because
+  // each supervisor attempt starts a fresh one.
+  const char beat = '.';
+  ssize_t n;
+  do {
+    n = ::write(fd, &beat, 1);
+  } while (n < 0 && errno == EINTR);
+  ::close(fd);
+  if (n < 0) fail("cannot touch", path);
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {

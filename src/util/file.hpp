@@ -18,6 +18,14 @@ namespace manytiers::util {
 // destination is untouched.
 void write_file_durable(const std::string& path, std::string_view content);
 
+// Create `path` if missing and bump its modification time to now — the
+// heartbeat primitive: a worker touches its per-attempt heartbeat file
+// on an interval, and the supervisor reads the mtime to distinguish a
+// slow-but-alive worker from a hung one. Deliberately not fsync'ed: a
+// heartbeat is a liveness signal, not data. Throws std::runtime_error
+// when the file cannot be created.
+void touch_file(const std::string& path);
+
 // Slurp a whole file. Throws std::runtime_error if it cannot be opened.
 std::string read_file(const std::string& path);
 

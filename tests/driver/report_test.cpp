@@ -9,6 +9,13 @@
 namespace manytiers::driver {
 namespace {
 
+RunOptions per_point_run(ShardPlan shard = {}) {
+  RunOptions options;
+  options.shard = shard;
+  options.per_point = true;
+  return options;
+}
+
 ExperimentGrid small_grid() {
   ExperimentGrid grid;
   grid.name = "report-test";
@@ -138,6 +145,84 @@ TEST(ValidatePart, RejectsTruncatedAndPaddedParts) {
   auto empty = part;
   for (auto& cell : empty.cells) cell.sweep.points = 0;
   EXPECT_THROW(validate_part(empty, grid, 0, 2), std::invalid_argument);
+}
+
+TEST(BatchReportIo, PerPointRoundTripsBitExactly) {
+  // Schema v2: per-point capture vectors ride along as "point" records
+  // and must round-trip with the same %.17g bit-exactness as envelopes.
+  const auto report = run_grid(small_grid(), per_point_run());
+  ASSERT_TRUE(report.per_point);
+  const std::string text = report_to_string(report, false);
+  EXPECT_NE(text.find("\"per_point\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"point\""), std::string::npos);
+  std::istringstream in(text);
+  const auto parsed = read_report(in);
+  ASSERT_TRUE(parsed.per_point);
+  ASSERT_EQ(parsed.cells.size(), report.cells.size());
+  for (std::size_t c = 0; c < report.cells.size(); ++c) {
+    ASSERT_EQ(parsed.cells[c].detail.size(), report.cells[c].detail.size());
+    for (std::size_t p = 0; p < report.cells[c].detail.size(); ++p) {
+      EXPECT_EQ(parsed.cells[c].detail[p].point,
+                report.cells[c].detail[p].point);
+      EXPECT_EQ(parsed.cells[c].detail[p].capture,
+                report.cells[c].detail[p].capture);
+    }
+  }
+  EXPECT_EQ(report_to_string(parsed, false), text);
+}
+
+TEST(BatchReportIo, SchemaV1OutputIsUnchangedWithoutPerPoint) {
+  // v2 is strictly additive: a run without --per-point must serialize
+  // byte-identically to what the v1 writer produced.
+  const auto report = run_grid(small_grid());
+  const std::string text = report_to_string(report, false);
+  EXPECT_EQ(text.find("per_point"), std::string::npos);
+  EXPECT_EQ(text.find("\"type\":\"point\""), std::string::npos);
+}
+
+TEST(BatchReportIo, PerPointShardedMergeIsByteIdentical) {
+  const auto grid = small_grid();
+  const auto unsharded = run_grid(grid, per_point_run());
+  std::vector<BatchReport> parts;
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto part = run_grid(grid, per_point_run({k, 3}));
+    EXPECT_NO_THROW(validate_part(part, grid, k, 3));
+    std::istringstream in(report_to_string(part, false));
+    parts.push_back(read_report(in));
+  }
+  const auto merged = merge_shards(parts);
+  EXPECT_EQ(report_to_string(merged, false),
+            report_to_string(unsharded, false));
+}
+
+TEST(BatchReportIo, MergeRejectsMixedPerPointParts) {
+  const auto grid = small_grid();
+  std::vector<BatchReport> parts;
+  parts.push_back(run_grid(grid, per_point_run({0, 2})));
+  parts.push_back(run_grid(grid, {.shard = {1, 2}}));
+  EXPECT_THROW(merge_shards(parts), std::invalid_argument);
+}
+
+TEST(ValidatePart, RejectsTamperedPerPointDetail) {
+  const auto grid = small_grid();
+  const auto part = run_grid(grid, per_point_run({0, 2}));
+  ASSERT_FALSE(part.cells.empty());
+  ASSERT_FALSE(part.cells[0].detail.empty());
+
+  // A point this shard does not own under round-robin sharding.
+  auto unowned = part;
+  unowned.cells[0].detail[0].point += 1;
+  EXPECT_THROW(validate_part(unowned, grid, 0, 2), std::invalid_argument);
+
+  // Capture vector of the wrong length (truncated mid-record).
+  auto short_vec = part;
+  short_vec.cells[0].detail[0].capture.pop_back();
+  EXPECT_THROW(validate_part(short_vec, grid, 0, 2), std::invalid_argument);
+
+  // Per-point data that disagrees with the cell's envelope fold.
+  auto skewed = part;
+  for (auto& v : skewed.cells[0].detail[0].capture) v += 1.0;
+  EXPECT_THROW(validate_part(skewed, grid, 0, 2), std::invalid_argument);
 }
 
 TEST(CaptureTable, CutsOneDatasetInStrategyOrder) {

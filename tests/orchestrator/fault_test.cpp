@@ -26,6 +26,32 @@ TEST(FaultPlan, ParsesMultipleSpecsWithTimes) {
   EXPECT_EQ(plan.faults[2].times, 3u);
 }
 
+TEST(FaultPlan, ParsesSlowSpecWithDelay) {
+  // slow carries a mandatory per-attempt delay: slow:shard:ms[:times]
+  const auto plan = parse_fault_plan("slow:1:2000");
+  ASSERT_EQ(plan.faults.size(), 1u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::Slow);
+  EXPECT_EQ(plan.faults[0].shard, 1u);
+  EXPECT_EQ(plan.faults[0].delay_ms, 2000u);
+  EXPECT_EQ(plan.faults[0].times, 1u);
+
+  const auto repeated = parse_fault_plan("slow:4:150:3");
+  ASSERT_EQ(repeated.faults.size(), 1u);
+  EXPECT_EQ(repeated.faults[0].shard, 4u);
+  EXPECT_EQ(repeated.faults[0].delay_ms, 150u);
+  EXPECT_EQ(repeated.faults[0].times, 3u);
+}
+
+TEST(FaultPlan, ParsesPartialSpec) {
+  const auto plan = parse_fault_plan("partial:0,partial:2:2");
+  ASSERT_EQ(plan.faults.size(), 2u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::Partial);
+  EXPECT_EQ(plan.faults[0].shard, 0u);
+  EXPECT_EQ(plan.faults[0].times, 1u);
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::Partial);
+  EXPECT_EQ(plan.faults[1].times, 2u);
+}
+
 TEST(FaultPlan, EmptySpecYieldsEmptyPlan) {
   EXPECT_TRUE(parse_fault_plan("").faults.empty());
 }
@@ -38,6 +64,13 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(parse_fault_plan("crash:1:0"), std::invalid_argument);
   EXPECT_THROW(parse_fault_plan("crash:1,,stall:2"), std::invalid_argument);
   EXPECT_THROW(parse_fault_plan(","), std::invalid_argument);
+  // slow without its delay, with a zero delay, or with trailing junk.
+  EXPECT_THROW(parse_fault_plan("slow:1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("slow:1:0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("slow:1:100:"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("slow:1:100:2:9"), std::invalid_argument);
+  // non-slow kinds must not carry a fourth field.
+  EXPECT_THROW(parse_fault_plan("crash:1:2:3"), std::invalid_argument);
 }
 
 TEST(FaultPlan, FaultForMatchesShardAndAttemptGate) {
@@ -46,23 +79,35 @@ TEST(FaultPlan, FaultForMatchesShardAndAttemptGate) {
   EXPECT_FALSE(fault_for(plan, 0, 0).has_value());
   // Shard 1 crashes on the first attempt only.
   ASSERT_TRUE(fault_for(plan, 1, 0).has_value());
-  EXPECT_EQ(*fault_for(plan, 1, 0), FaultKind::Crash);
+  EXPECT_EQ(fault_for(plan, 1, 0)->kind, FaultKind::Crash);
   EXPECT_FALSE(fault_for(plan, 1, 1).has_value());
   // Shard 2 corrupts on the first two attempts, then recovers.
-  EXPECT_EQ(*fault_for(plan, 2, 0), FaultKind::Corrupt);
-  EXPECT_EQ(*fault_for(plan, 2, 1), FaultKind::Corrupt);
+  EXPECT_EQ(fault_for(plan, 2, 0)->kind, FaultKind::Corrupt);
+  EXPECT_EQ(fault_for(plan, 2, 1)->kind, FaultKind::Corrupt);
   EXPECT_FALSE(fault_for(plan, 2, 2).has_value());
+}
+
+TEST(FaultPlan, FaultForCarriesSlowDelay) {
+  const auto plan = parse_fault_plan("slow:1:750");
+  ASSERT_TRUE(fault_for(plan, 1, 0).has_value());
+  EXPECT_EQ(fault_for(plan, 1, 0)->kind, FaultKind::Slow);
+  EXPECT_EQ(fault_for(plan, 1, 0)->delay_ms, 750u);
+  // The attempt gate applies to slow like every other kind: a hedge or
+  // retry (attempt 1) runs at full speed.
+  EXPECT_FALSE(fault_for(plan, 1, 1).has_value());
 }
 
 TEST(FaultPlan, FirstMatchingSpecWins) {
   const auto plan = parse_fault_plan("stall:3,crash:3");
-  EXPECT_EQ(*fault_for(plan, 3, 0), FaultKind::Stall);
+  EXPECT_EQ(fault_for(plan, 3, 0)->kind, FaultKind::Stall);
 }
 
 TEST(FaultPlan, KindNamesRoundTrip) {
   EXPECT_EQ(to_string(FaultKind::Crash), "crash");
   EXPECT_EQ(to_string(FaultKind::Stall), "stall");
+  EXPECT_EQ(to_string(FaultKind::Slow), "slow");
   EXPECT_EQ(to_string(FaultKind::Corrupt), "corrupt");
+  EXPECT_EQ(to_string(FaultKind::Partial), "partial");
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+#include "orchestrator/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace manytiers::orchestrator {
+namespace {
+
+namespace fs = std::filesystem;
+
+Manifest sample() {
+  Manifest m;
+  m.grid = "smoke";
+  m.signature = "smoke|seed=42|n_flows=100|max_bundles=8";
+  m.workers = 3;
+  m.shards.resize(3);
+  m.shards[0] = {"done", 1, 0};
+  m.shards[1] = {"open", 2, 1};
+  m.shards[2] = {"failed", 3, 3};
+  return m;
+}
+
+TEST(Manifest, RoundTripsThroughText) {
+  const Manifest m = sample();
+  const Manifest back = parse_manifest(manifest_to_string(m));
+  EXPECT_EQ(back.grid, m.grid);
+  EXPECT_EQ(back.signature, m.signature);
+  EXPECT_EQ(back.workers, m.workers);
+  ASSERT_EQ(back.shards.size(), m.shards.size());
+  for (std::size_t k = 0; k < m.shards.size(); ++k) {
+    EXPECT_EQ(back.shards[k].state, m.shards[k].state) << "shard " << k;
+    EXPECT_EQ(back.shards[k].spawned, m.shards[k].spawned) << "shard " << k;
+    EXPECT_EQ(back.shards[k].failures, m.shards[k].failures) << "shard " << k;
+  }
+}
+
+TEST(Manifest, TextIsOneObjectPerLineWithPrefix) {
+  const std::string text = manifest_to_string(sample());
+  EXPECT_EQ(text.rfind("ORCH_MANIFEST {\"type\":\"run\"", 0), 0u);
+  EXPECT_NE(text.find("ORCH_MANIFEST {\"type\":\"shard\",\"shard\":0"),
+            std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Manifest, ParserIgnoresForeignLines) {
+  // The manifest may sit in a log stream with other one-liners around it.
+  const std::string text = "# scribble\n" + manifest_to_string(sample()) +
+                           "ORCH_JSON {\"type\":\"done\"}\n";
+  EXPECT_EQ(parse_manifest(text).shards.size(), 3u);
+}
+
+TEST(Manifest, RejectsMissingRunRecord) {
+  EXPECT_THROW(parse_manifest(""), std::invalid_argument);
+  EXPECT_THROW(parse_manifest("ORCH_MANIFEST {\"type\":\"shard\",\"shard\":0,"
+                              "\"state\":\"open\",\"spawned\":0,"
+                              "\"failures\":0}\n"),
+               std::invalid_argument);
+}
+
+TEST(Manifest, RejectsShardCountMismatch) {
+  Manifest m = sample();
+  m.shards.pop_back();  // run record still says workers = 3
+  EXPECT_THROW(parse_manifest(manifest_to_string(m)), std::invalid_argument);
+}
+
+TEST(Manifest, RejectsOutOfOrderShards) {
+  std::string text = manifest_to_string(sample());
+  const std::size_t one = text.find("\"shard\":1");
+  ASSERT_NE(one, std::string::npos);
+  text[one + 9 - 1] = '2';  // duplicate index 2; order now 0,2,2
+  EXPECT_THROW(parse_manifest(text), std::invalid_argument);
+}
+
+TEST(Manifest, RejectsUnknownState) {
+  std::string text = manifest_to_string(sample());
+  const std::size_t at = text.find("\"state\":\"open\"");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 14, "\"state\":\"odd!\"");
+  EXPECT_THROW(parse_manifest(text), std::invalid_argument);
+}
+
+TEST(Manifest, RejectsDuplicateRunRecord) {
+  const std::string text = manifest_to_string(sample());
+  const std::string run_line = text.substr(0, text.find('\n') + 1);
+  EXPECT_THROW(parse_manifest(run_line + text), std::invalid_argument);
+}
+
+TEST(Manifest, SaveLoadRoundTripsOnDisk) {
+  const fs::path dir =
+      fs::temp_directory_path() / "manytiers_manifest_test";
+  fs::create_directories(dir);
+  const fs::path path = dir / "manifest.orch";
+  const Manifest m = sample();
+  save_manifest(path.string(), m);
+  const Manifest back = load_manifest(path.string());
+  EXPECT_EQ(manifest_to_string(back), manifest_to_string(m));
+  // Durable write must not leave its temp file behind.
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(Manifest, LoadMissingFileThrows) {
+  EXPECT_ANY_THROW(load_manifest("/nonexistent/manifest.orch"));
+}
+
+}  // namespace
+}  // namespace manytiers::orchestrator

@@ -1,18 +1,28 @@
 // End-to-end supervision tests against the real manytiers_batch binary
 // (path injected as MANYTIERS_BATCH_BIN by CMake). Faults are injected
 // deterministically through MANYTIERS_FAULT, so every recovery path —
-// crash, stall + timeout, corrupt part — is exercised hermetically.
+// crash, stall + heartbeat/timeout, slow + hedge, corrupt/partial part,
+// SIGKILLed supervisor + resume — is exercised hermetically. The resume
+// E2E additionally spawns the real manytiers_orchestrate CLI
+// (MANYTIERS_ORCH_BIN) so the SIGKILL lands on a separate process, not
+// on this test binary.
 #include "orchestrator/orchestrator.hpp"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "driver/grid.hpp"
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
+#include "orchestrator/process.hpp"
+#include "util/file.hpp"
 
 namespace manytiers::orchestrator {
 namespace {
@@ -156,6 +166,199 @@ TEST(Orchestrator, KeepPartsPreservesPartFilesOnSuccess) {
   ASSERT_TRUE(fx.run().ok);
   EXPECT_TRUE(fs::exists(fs::path(fx.options.work_dir) / "part0.batch"));
   EXPECT_TRUE(fs::exists(fs::path(fx.options.work_dir) / "part1.batch"));
+}
+
+TEST(Orchestrator, HeartbeatStalenessKillsWedgedWorkerWithoutWallClockCap) {
+  // A wedged worker never beats; with no --timeout-ms at all, the
+  // heartbeat staleness check is what must fire.
+  Fixture fx("heartbeat");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.timeout_ms = 0.0;
+  fx.options.heartbeat_timeout_ms = 400.0;
+  fx.options.fault = "stall:1";
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+  EXPECT_EQ(result.shards[1].attempts, 2u);
+  const auto events = fx.events.str();
+  EXPECT_NE(events.find("\"type\":\"heartbeat-stale\",\"shard\":1"),
+            std::string::npos);
+  // Liveness is configured, so the no-liveness footgun warning must not
+  // appear.
+  EXPECT_EQ(events.find("\"type\":\"warn\""), std::string::npos);
+}
+
+TEST(Orchestrator, NoLivenessConfiguredLogsFootgunWarning) {
+  Fixture fx("warn");
+  fx.options.grid = "smoke";
+  fx.options.workers = 1;
+  fx.options.timeout_ms = 0.0;
+  fx.options.heartbeat_timeout_ms = 0.0;
+  ASSERT_TRUE(fx.run().ok);
+  EXPECT_NE(fx.events.str().find("\"type\":\"warn\""), std::string::npos);
+}
+
+TEST(Orchestrator, SlowStragglerIsHedgedWithoutConsumingRetries) {
+  // Shard 1's first attempt straggles for 8 s (alive, just slow). With
+  // retries = 0 the only way this run can succeed quickly is the hedge:
+  // a backup attempt that costs no retry budget and wins.
+  Fixture fx("hedge");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.retries = 0;
+  fx.options.hedge_after_ms = 200.0;
+  fx.options.fault = "slow:1:8000";
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = fx.run();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+  EXPECT_EQ(result.shards[1].attempts, 2u);   // primary + hedge
+  EXPECT_EQ(result.shards[1].failures, 0u);   // hedge consumed no retry
+  EXPECT_LT(wall_ms, 8000.0);                 // did not wait out the sleep
+  const auto events = fx.events.str();
+  EXPECT_NE(events.find("\"type\":\"hedge-spawn\",\"shard\":1"),
+            std::string::npos);
+  EXPECT_NE(events.find("\"type\":\"hedge-win\",\"shard\":1"),
+            std::string::npos);
+}
+
+TEST(Orchestrator, PartialWriteThenDeathIsRetried) {
+  // The partial fault leaves a torn prefix at the part path and dies
+  // mid-write; the retry must overwrite it with a valid part.
+  Fixture fx("partial");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.fault = "partial:0";
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+  EXPECT_EQ(result.shards[0].attempts, 2u);
+  EXPECT_NE(fx.events.str().find("\"type\":\"retry\",\"shard\":0"),
+            std::string::npos);
+}
+
+TEST(Orchestrator, ResumeSkipsShardsWithValidParts) {
+  Fixture fx("resume_skip");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.keep_parts = true;  // leave canonical parts for the resume
+  const auto first = fx.run();
+  ASSERT_TRUE(first.ok);
+
+  fx.options.resume = true;
+  const auto second = fx.run();
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.merged, first.merged);
+  for (const auto& shard : second.shards) {
+    EXPECT_TRUE(shard.resumed) << "shard " << shard.shard;
+  }
+  EXPECT_NE(fx.events.str().find("\"type\":\"resume-skip\",\"shard\":0"),
+            std::string::npos);
+}
+
+TEST(Orchestrator, ResumeRerunsShardWithTornPart) {
+  Fixture fx("resume_torn");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.keep_parts = true;
+  ASSERT_TRUE(fx.run().ok);
+
+  // Tear canonical part 0 the way a mid-write death would (the durable
+  // path prevents this for workers, but resume must not trust any file
+  // it did not just validate).
+  const auto part0 = (fs::path(fx.options.work_dir) / "part0.batch").string();
+  const std::string text = util::read_file(part0);
+  {
+    std::ofstream out(part0, std::ios::binary | std::ios::trunc);
+    out << text.substr(0, text.size() / 4);
+  }
+  fx.options.resume = true;
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+  EXPECT_FALSE(result.shards[0].resumed);  // torn part re-ran
+  EXPECT_TRUE(result.shards[1].resumed);
+  const auto events = fx.events.str();
+  EXPECT_NE(events.find("\"type\":\"resume-skip\",\"shard\":1"),
+            std::string::npos);
+}
+
+TEST(Orchestrator, ResumeRejectsMissingOrMismatchedManifest) {
+  Fixture fx("resume_bad");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.resume = true;
+  // No manifest in a fresh work dir.
+  EXPECT_THROW(fx.run(), std::invalid_argument);
+
+  fx.options.resume = false;
+  fx.options.keep_parts = true;
+  ASSERT_TRUE(fx.run().ok);
+  // Changing the worker count changes shard ownership: resume must
+  // refuse rather than merge mismatched parts.
+  fx.options.resume = true;
+  fx.options.workers = 3;
+  EXPECT_THROW(fx.run(), std::invalid_argument);
+  // Same for a grid-signature change (different seed).
+  fx.options.workers = 2;
+  fx.options.seed = 123456;
+  fx.options.seed_given = true;
+  EXPECT_THROW(fx.run(), std::invalid_argument);
+}
+
+TEST(Orchestrator, KilledOrchestratorResumesToIdenticalBytes) {
+  // ISSUE acceptance: SIGKILL the real orchestrator CLI mid-run (via the
+  // --kill-after-shards test hook), then resume; the merged report must
+  // be byte-identical to the uninterrupted unsharded run.
+  const std::string work_dir = ::testing::TempDir() + "orch_e2e_resume";
+  fs::remove_all(work_dir);
+  const std::string out = work_dir + ".batch";
+  fs::remove(out);
+
+  SpawnSpec spec;
+  spec.argv = {MANYTIERS_ORCH_BIN,
+               "--grid",       "smoke",
+               "--workers",    "3",
+               "--timeout-ms", "60000",
+               "--kill-after-shards", "1",
+               "--work-dir",   work_dir,
+               "--out",        out};
+  spec.log_path = work_dir + ".kill.log";
+  const pid_t pid = spawn_process(spec);
+  std::optional<ExitStatus> status;
+  while (!(status = try_wait(pid))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(status->signaled);
+  EXPECT_EQ(status->signal, SIGKILL);
+  EXPECT_FALSE(fs::exists(out));  // died before any report was written
+  ASSERT_TRUE(fs::exists(fs::path(work_dir) / "manifest.orch"));
+
+  Options options;
+  options.grid = "smoke";
+  options.workers = 3;
+  options.worker_binary = MANYTIERS_BATCH_BIN;
+  options.work_dir = work_dir;
+  options.timeout_ms = 60000.0;
+  options.resume = true;
+  std::ostringstream events;
+  EventLog log{events};
+  const auto result = orchestrate(options, log);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+  // Exactly one shard finished before the SIGKILL (the hook fires inside
+  // that shard's completion), so exactly one resume-skip.
+  std::size_t resumed = 0;
+  for (const auto& shard : result.shards) resumed += shard.resumed ? 1 : 0;
+  EXPECT_EQ(resumed, 1u);
+  EXPECT_NE(events.str().find("\"type\":\"resume-skip\""), std::string::npos);
+  fs::remove_all(work_dir);
+  fs::remove(work_dir + ".kill.log");
 }
 
 TEST(Orchestrator, MalformedOptionsThrowUsageErrors) {

@@ -35,7 +35,8 @@ import sys
 
 
 def parse_report(path):
-    report = {"grid": None, "cells": {}, "order": [], "timing": None}
+    report = {"grid": None, "cells": {}, "order": [], "timing": None,
+              "points": {}}
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             if line.startswith("BATCH_JSON "):
@@ -58,6 +59,18 @@ def parse_report(path):
                     raise ValueError(f"{path}: duplicate cell {key!r}")
                 report["cells"][key] = record
                 report["order"].append(key)
+            elif kind == "point":
+                # Schema v2 per-point capture vectors (--per-point runs).
+                key = record["cell"]
+                if key not in report["cells"]:
+                    raise ValueError(
+                        f"{path}: point record for unknown cell {key!r}")
+                detail = report["points"].setdefault(key, {})
+                if record["point"] in detail:
+                    raise ValueError(
+                        f"{path}: duplicate point {record['point']} in cell "
+                        f"{key!r}")
+                detail[record["point"]] = record["capture"]
             elif kind == "timing":
                 if report["timing"] is None:
                     report["timing"] = record
@@ -167,6 +180,45 @@ def diff_envelopes(baseline, candidate, tol):
     return problems
 
 
+def diff_points(baseline, candidate, tol):
+    """Per-point capture diff (schema v2): names the exact sweep point
+    that regressed, not just the cell envelope. Cells without per-point
+    detail on both sides are skipped (the envelope diff still covers
+    them); a one-sided absence is reported as an info note, not a
+    regression."""
+    problems, notes = [], []
+    for key in baseline["order"]:
+        base = baseline["points"].get(key)
+        cand = candidate["points"].get(key)
+        if base is None and cand is None:
+            continue
+        if base is None or cand is None:
+            side = "baseline" if base is None else "candidate"
+            notes.append(f"{key}: no per-point detail in the {side} "
+                         "(envelope check only)")
+            continue
+        for point in sorted(base):
+            if point not in cand:
+                problems.append(f"{key}: point {point} missing from candidate")
+                continue
+            a, b = base[point], cand[point]
+            if len(a) != len(b):
+                problems.append(
+                    f"{key}: point {point} capture length {len(a)} -> "
+                    f"{len(b)}")
+                continue
+            for i, (x, y) in enumerate(zip(a, b)):
+                if abs(x - y) > tol:
+                    problems.append(
+                        f"{key}: point {point} capture[B={i + 1}] "
+                        f"{x!r} -> {y!r} (|delta| = {abs(x - y):.3e} > "
+                        f"tol {tol:g})")
+        for point in sorted(cand):
+            if point not in base:
+                problems.append(f"{key}: point {point} missing from baseline")
+    return problems, notes
+
+
 def diff_latency(baseline, candidate, factor, min_ms):
     regressions = []
 
@@ -246,16 +298,27 @@ def main(argv=None):
         return 2
 
     capture_problems = diff_envelopes(baseline, candidate, args.capture_tol)
+    point_problems, point_notes = diff_points(baseline, candidate,
+                                              args.capture_tol)
+    capture_problems += point_problems
     latency_problems = diff_latency(baseline, candidate, args.latency_factor,
                                     args.latency_min_ms)
 
+    for line in point_notes:
+        print(f"bench_diff: {line}", file=sys.stderr)
     for line in capture_problems:
         print(f"CAPTURE  {line}")
     for line in latency_problems:
         print(f"LATENCY  {line}")
     if not capture_problems and not latency_problems:
+        detailed = sum(1 for key in baseline["order"]
+                       if key in baseline["points"]
+                       and key in candidate["points"])
+        per_point = (f", {detailed} with per-point detail"
+                     if detailed else "")
         print(f"OK: {len(baseline['order'])} cells match "
-              f"(capture tol {args.capture_tol:g}), no latency regressions")
+              f"(capture tol {args.capture_tol:g}{per_point}), "
+              "no latency regressions")
     if capture_problems:
         return 1
     if latency_problems and args.fail_on_latency:

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus sanitizer pass for the process-supervision paths.
+#
+#   tools/check.sh            # full build + full ctest, then ASan+UBSan
+#                             # build + `ctest -L orchestrator`
+#   tools/check.sh --fast     # skip the sanitizer leg
+#
+# The orchestrator fork/exec/kill/heartbeat code is exactly the kind of
+# code where a latent use-after-free or signed-overflow hides behind
+# "the test passed": the sanitizer leg re-runs every orchestrator- and
+# driver-labelled supervision test with ASan+UBSan enabled.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== tier-1: configure + build =="
+cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$repo/build" -j "$jobs"
+
+echo "== tier-1: full ctest =="
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "$fast" == 1 ]]; then
+  echo "check.sh: --fast given, skipping sanitizer leg"
+  exit 0
+fi
+
+echo "== sanitizers: ASan+UBSan build =="
+cmake -S "$repo" -B "$repo/build-asan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMANYTIERS_SANITIZE=ON
+cmake --build "$repo/build-asan" -j "$jobs"
+
+echo "== sanitizers: ctest -L orchestrator =="
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ASAN_OPTIONS="detect_leaks=0" \
+  ctest --test-dir "$repo/build-asan" -L orchestrator \
+    --output-on-failure -j "$jobs"
+
+echo "check.sh: all green"
