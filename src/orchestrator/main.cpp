@@ -14,7 +14,8 @@
 //       --work-dir smoke.batch.parts --out smoke.batch
 //
 // Exit codes: 0 success, 1 orchestration failure (a shard exhausted its
-// retries, or merge/report IO failed), 2 usage error.
+// retries, a hedge race exposed nondeterministic workers, or
+// merge/report IO failed), 2 usage error.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -49,7 +50,11 @@ int usage(std::ostream& os, int code) {
         "running\n"
         "                       after T ms; first valid part wins, the "
         "loser is\n"
-        "                       killed, and no retry budget is consumed\n"
+        "                       killed, and no retry budget is consumed; "
+        "if both\n"
+        "                       attempts finish with byte-different parts "
+        "the run\n"
+        "                       exits 1 (determinism violation)\n"
         "  --hedge-multiplier X hedge a shard after X times the median "
         "completed-\n"
         "                       attempt duration (needs >= 1 completed "
@@ -93,6 +98,24 @@ std::uint64_t parse_u64(const std::string& text, const char* flag) {
   return value;
 }
 
+// Duration and multiplier flags are doubles: "1.5" is the canonical
+// hedging multiplier, so fractional values must parse.
+double parse_double(const std::string& text, const char* flag) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(flag) + ": not a number: " + text);
+  }
+  if (used != text.size() || !(value >= 0.0) ||
+      value > 1e18) {  // !(>= 0) also rejects NaN
+    throw std::invalid_argument(std::string(flag) +
+                                ": not a non-negative number: " + text);
+  }
+  return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,17 +139,14 @@ int main(int argc, char** argv) {
       } else if (arg == "--workers") {
         options.workers = parse_u64(next(), "--workers");
       } else if (arg == "--timeout-ms") {
-        options.timeout_ms =
-            static_cast<double>(parse_u64(next(), "--timeout-ms"));
+        options.timeout_ms = parse_double(next(), "--timeout-ms");
       } else if (arg == "--heartbeat-timeout-ms") {
         options.heartbeat_timeout_ms =
-            static_cast<double>(parse_u64(next(), "--heartbeat-timeout-ms"));
+            parse_double(next(), "--heartbeat-timeout-ms");
       } else if (arg == "--hedge-after-ms") {
-        options.hedge_after_ms =
-            static_cast<double>(parse_u64(next(), "--hedge-after-ms"));
+        options.hedge_after_ms = parse_double(next(), "--hedge-after-ms");
       } else if (arg == "--hedge-multiplier") {
-        options.hedge_multiplier =
-            static_cast<double>(parse_u64(next(), "--hedge-multiplier"));
+        options.hedge_multiplier = parse_double(next(), "--hedge-multiplier");
       } else if (arg == "--resume") {
         options.resume = true;
       } else if (arg == "--per-point") {
@@ -136,8 +156,7 @@ int main(int argc, char** argv) {
       } else if (arg == "--retries") {
         options.retries = parse_u64(next(), "--retries");
       } else if (arg == "--backoff-ms") {
-        options.backoff_ms =
-            static_cast<double>(parse_u64(next(), "--backoff-ms"));
+        options.backoff_ms = parse_double(next(), "--backoff-ms");
       } else if (arg == "--keep-parts") {
         options.keep_parts = true;
       } else if (arg == "--out") {
@@ -225,6 +244,19 @@ int main(int argc, char** argv) {
               << options.grid << "\",\"n\":" << options.workers
               << ",\"wall_ms\":" << result.wall_ms << ",\"threads\":"
               << options.workers << "}\n";
+    if (result.hedge_mismatches > 0) {
+      // Nondeterministic workers void the byte-identical-merge contract.
+      // The report above was written (the winning parts did validate, and
+      // the bytes are evidence for debugging) but the run must not look
+      // clean to scripts.
+      std::cerr << "manytiers_orchestrate: DETERMINISM VIOLATION: "
+                << result.hedge_mismatches
+                << " hedged shard(s) produced byte-different parts from two "
+                   "successful attempts; the merged report cannot be "
+                   "guaranteed byte-identical to the unsharded run (see "
+                   "hedge-mismatch events)\n";
+      return 1;
+    }
   } catch (const std::exception& err) {
     // Unknown grid names and similar option-shaped problems surface from
     // orchestrate() as invalid_argument: usage, not runtime.

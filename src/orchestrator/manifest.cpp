@@ -1,5 +1,7 @@
 #include "orchestrator/manifest.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -46,7 +48,23 @@ std::string parse_string(std::string_view line, std::string_view key) {
 
 std::size_t parse_size(std::string_view line, std::string_view key) {
   const std::string token(field_token(line, key));
-  return static_cast<std::size_t>(std::strtoull(token.c_str(), nullptr, 10));
+  // A garbled counter must fail loudly like every other manifest defect:
+  // silently reading 0 here would e.g. reset the spawned counter resume
+  // uses to keep attempt paths collision-free. Require the field to open
+  // with a digit (strtoull would skip whitespace and accept signs) and to
+  // parse without overflow.
+  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0]))) {
+    throw std::invalid_argument("manifest: field \"" + std::string(key) +
+                                "\" is not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end == token.c_str() || errno == ERANGE) {
+    throw std::invalid_argument("manifest: field \"" + std::string(key) +
+                                "\" is not a valid number: " + token);
+  }
+  return static_cast<std::size_t>(value);
 }
 
 }  // namespace

@@ -45,6 +45,14 @@ struct Attempt {
   Clock::time_point started{};
   Clock::time_point deadline{};
   bool has_deadline = false;
+  // Exit status once the pid has been waited on. A pid may be reaped at
+  // most once; every wait/kill goes through this cache so a dead attempt
+  // that lingers in shard.attempts (e.g. it failed in the same scan pass
+  // where a later attempt won) is never waited on a second time — the
+  // second waitpid would fail with ECHILD, or worse, SIGKILL a recycled
+  // pid.
+  std::optional<ExitStatus> reaped;
+  bool part_bad = false;  // exited 0 but its part failed validation
 };
 
 // Supervision state of one shard. A shard cycles Pending -> Running ->
@@ -58,6 +66,7 @@ struct Shard {
   std::size_t failures = 0;      // retry budget consumed (whole waves)
   bool hedged = false;           // backup already spawned for this wave
   bool resumed = false;          // satisfied by a surviving part on resume
+  bool hedge_mismatch = false;   // two clean attempts, byte-different parts
   Clock::time_point not_before{};  // backoff gate while Pending
   std::vector<Attempt> attempts;   // live attempts while Running
   std::string last_failure;
@@ -355,25 +364,30 @@ Result orchestrate(const Options& options, EventLog& log) {
     for (std::size_t j = 0; j < shard.attempts.size(); ++j) {
       if (j == winner) continue;
       const Attempt& loser = shard.attempts[j];
-      const auto status = try_wait(loser.pid);
-      if (status) {
-        // The loser also finished. If it produced a complete part, the
-        // determinism guarantee says the bytes must match the winner's —
-        // cross-check and scream if they do not.
-        const fs::path lp = attempt_part_path(work, k, loser.id);
-        if (status->success() && fs::exists(lp)) {
-          const std::string a =
-              util::read_file(attempt_part_path(work, k, win.id).string());
-          const std::string b = util::read_file(lp.string());
-          if (a != b) {
-            log.write(Event("hedge-mismatch")
-                          .field("shard", k)
-                          .field("attempt_a", win.id)
-                          .field("attempt_b", loser.id));
-          }
+      // The scan loop may already have reaped this loser (failed exit,
+      // timeout, or stale heartbeat in the same pass the winner landed);
+      // only wait/kill a pid that is still unreaped.
+      std::optional<ExitStatus> status = loser.reaped;
+      if (!status) {
+        status = try_wait(loser.pid);
+        if (!status) status = kill_and_reap(loser.pid);
+      }
+      // The loser also finished cleanly. If it produced a part that was
+      // not already rejected by validation, the determinism guarantee
+      // says the bytes must match the winner's — cross-check and scream
+      // if they do not.
+      const fs::path lp = attempt_part_path(work, k, loser.id);
+      if (status->success() && !loser.part_bad && fs::exists(lp)) {
+        const std::string a =
+            util::read_file(attempt_part_path(work, k, win.id).string());
+        const std::string b = util::read_file(lp.string());
+        if (a != b) {
+          shard.hedge_mismatch = true;
+          log.write(Event("hedge-mismatch")
+                        .field("shard", k)
+                        .field("attempt_a", win.id)
+                        .field("attempt_b", loser.id));
         }
-      } else {
-        kill_and_reap(loser.pid);
       }
       fs::remove(attempt_part_path(work, k, loser.id), ec);
       fs::remove(heartbeat_path(work, k, loser.id), ec);
@@ -435,6 +449,7 @@ Result orchestrate(const Options& options, EventLog& log) {
       for (std::size_t i = 0; i < shard.attempts.size(); ++i) {
         Attempt& attempt = shard.attempts[i];
         if (const auto status = try_wait(attempt.pid)) {
+          attempt.reaped = *status;
           Event exit_event = Event("exit")
                                  .field("shard", k)
                                  .field("attempt", attempt.id)
@@ -451,6 +466,7 @@ Result orchestrate(const Options& options, EventLog& log) {
               winner = i;
               break;  // first valid part wins; losers handled below
             }
+            attempt.part_bad = true;
             log.write(
                 Event("bad-part").field("shard", k).field("reason", *bad));
             dead.push_back(i);
@@ -465,7 +481,7 @@ Result orchestrate(const Options& options, EventLog& log) {
             dead_attempt_id = attempt.id;
           }
         } else if (attempt.has_deadline && Clock::now() > attempt.deadline) {
-          kill_and_reap(attempt.pid);
+          attempt.reaped = kill_and_reap(attempt.pid);
           log.write(Event("timeout")
                         .field("shard", k)
                         .field("attempt", attempt.id)
@@ -478,7 +494,7 @@ Result orchestrate(const Options& options, EventLog& log) {
           const double age =
               heartbeat_age_ms(heartbeat_path(work, k, attempt.id), attempt);
           if (age > options.heartbeat_timeout_ms) {
-            kill_and_reap(attempt.pid);
+            attempt.reaped = kill_and_reap(attempt.pid);
             log.write(Event("heartbeat-stale")
                           .field("shard", k)
                           .field("attempt", attempt.id)
@@ -549,8 +565,10 @@ Result orchestrate(const Options& options, EventLog& log) {
     outcome.attempts = shards[k].next_attempt;
     outcome.failures = shards[k].failures;
     outcome.resumed = shards[k].resumed;
+    outcome.hedge_mismatch = shards[k].hedge_mismatch;
     outcome.failure = outcome.ok ? "" : shards[k].last_failure;
     all_ok = all_ok && outcome.ok;
+    if (outcome.hedge_mismatch) ++result.hedge_mismatches;
     result.shards.push_back(std::move(outcome));
   }
 

@@ -34,7 +34,9 @@
 //     its own attempt paths; the first valid part wins, the loser is
 //     killed, and a hedge does NOT consume the retry budget. When both
 //     attempts happen to finish, their parts are cross-checked for
-//     byte-equality (determinism guard).
+//     byte-equality (determinism guard); a mismatch is logged AND
+//     surfaced through Result::hedge_mismatches so it cannot pass
+//     silently.
 //
 // Every decision is logged through the structured EventLog (see
 // events.hpp); workers inherit a deterministic fault-injection plan
@@ -98,6 +100,7 @@ struct ShardOutcome {
   std::size_t attempts = 0;  // attempts actually spawned (hedges included)
   std::size_t failures = 0;  // retry budget consumed (hedges excluded)
   bool resumed = false;      // satisfied by a surviving part on resume
+  bool hedge_mismatch = false;  // two clean attempts, byte-different parts
   bool ok = false;
   std::string failure;  // last failure description when !ok
 };
@@ -107,6 +110,14 @@ struct Result {
   std::vector<ShardOutcome> shards;
   std::string merged;   // serialized merged report (no timing) when ok
   double wall_ms = 0.0;
+
+  // Shards where a hedge race ended with two successful attempts whose
+  // parts differ byte-for-byte. That is a worker-determinism violation:
+  // the merged report (built from the winning parts, which did validate)
+  // is still emitted, but the byte-identical-merge guarantee is
+  // unverifiable, so callers should treat the run as suspect. The CLI
+  // exits nonzero when this is > 0.
+  std::size_t hedge_mismatches = 0;
 };
 
 // Run the whole orchestration: plan (or resume), spawn, supervise,

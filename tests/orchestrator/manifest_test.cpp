@@ -81,6 +81,22 @@ TEST(Manifest, RejectsUnknownState) {
   EXPECT_THROW(parse_manifest(text), std::invalid_argument);
 }
 
+TEST(Manifest, RejectsNonNumericCounters) {
+  // A garbled spawned counter must throw, not silently parse as 0 — the
+  // attempt-path collision guarantee on resume depends on it.
+  std::string text = manifest_to_string(sample());
+  const std::size_t at = text.find("\"spawned\":1");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 10] = 'x';  // "spawned":x
+  EXPECT_THROW(parse_manifest(text), std::invalid_argument);
+
+  std::string negative = manifest_to_string(sample());
+  const std::size_t sp = negative.find("\"spawned\":2");
+  ASSERT_NE(sp, std::string::npos);
+  negative.replace(sp, 11, "\"spawned\":-2");
+  EXPECT_THROW(parse_manifest(negative), std::invalid_argument);
+}
+
 TEST(Manifest, RejectsDuplicateRunRecord) {
   const std::string text = manifest_to_string(sample());
   const std::string run_line = text.substr(0, text.find('\n') + 1);
