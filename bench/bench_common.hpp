@@ -7,12 +7,15 @@
 // reproductions of Table 1.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "pricing/counterfactual.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
@@ -133,6 +136,9 @@ inline const char* demand_name(demand::DemandKind kind) {
 }
 
 inline void header(const char* figure, const char* summary) {
+  // The bench binaries take no flags, so MANYTIERS_TRACE is how a run
+  // gets a Perfetto timeline; header() is the one call they all share.
+  obs::maybe_start_trace_from_env();
   std::cout << "==================================================\n"
             << figure << "\n"
             << summary << "\n"
@@ -172,11 +178,37 @@ double median_wall_ms(Fn&& fn, const TimingOptions& opt = {}) {
              : 0.5 * (samples[mid - 1] + samples[mid]);
 }
 
+// Process resource footprint from getrusage: peak RSS plus cumulative
+// user/system CPU. Reported alongside wall time so bench logs carry a
+// memory trajectory too; note max_rss_kb is a process high-water mark,
+// so within one binary later benches inherit earlier benches' peak.
+struct ResourceUsage {
+  long max_rss_kb = 0;
+  double cpu_user_s = 0.0;
+  double cpu_sys_s = 0.0;
+};
+
+inline ResourceUsage resource_usage() {
+  ResourceUsage usage;
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    usage.max_rss_kb = ru.ru_maxrss;  // Linux reports kilobytes
+    usage.cpu_user_s = static_cast<double>(ru.ru_utime.tv_sec) +
+                       static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    usage.cpu_sys_s = static_cast<double>(ru.ru_stime.tv_sec) +
+                      static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+  }
+  return usage;
+}
+
 inline void emit_timing_json(const std::string& name, std::size_t n,
                              double wall_ms, std::size_t threads) {
+  const ResourceUsage usage = resource_usage();
   std::cout << "BENCH_JSON {\"bench\":\"" << name << "\",\"n\":" << n
             << ",\"wall_ms\":" << wall_ms << ",\"threads\":" << threads
-            << "}\n";
+            << ",\"max_rss_kb\":" << usage.max_rss_kb
+            << ",\"cpu_user_s\":" << usage.cpu_user_s
+            << ",\"cpu_sys_s\":" << usage.cpu_sys_s << "}\n";
 }
 
 // Time `fn` (median of reps after warmup), emit the JSON record, and

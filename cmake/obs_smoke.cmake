@@ -1,0 +1,130 @@
+# Observability smoke test, run by ctest (label: obs).
+#
+# The load-bearing invariant: turning tracing + metrics on never changes
+# a single byte of BATCH_JSON output.
+#
+# 1. Single-process: `manytiers_batch --grid default` with and without
+#    --trace/--metrics must produce byte-identical reports, and the
+#    sidecars must actually appear.
+# 2. Orchestrated: a 3-worker run with one injected crash, --trace and
+#    --metrics all at once must still be byte-identical to the
+#    single-process report; the event log must carry the "v":1 plan, the
+#    merged "metrics" roll-up, and the "trace" stitch event.
+# 3. When python3 is available, both the merged trace and the metrics
+#    sidecar must parse with json.load (the Perfetto-loadable contract).
+#
+# Expects: ORCH_BIN, BATCH_BIN, WORK_DIR; PYTHON may be empty.
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(plain "${WORK_DIR}/plain.batch")
+set(traced "${WORK_DIR}/traced.batch")
+set(trace_file "${WORK_DIR}/single.trace.json")
+set(metrics_file "${WORK_DIR}/single.metrics.json")
+
+execute_process(
+  COMMAND "${BATCH_BIN}" --grid default --no-timing --out "${plain}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "baseline manytiers_batch --grid default failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${BATCH_BIN}" --grid default --no-timing --out "${traced}"
+    --trace "${trace_file}" --metrics "${metrics_file}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "traced manytiers_batch --grid default failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${plain}" "${traced}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "--trace/--metrics changed the report bytes: ${plain} vs ${traced}; "
+    "observability must be invisible to BATCH_JSON")
+endif()
+foreach(sidecar "${trace_file}" "${metrics_file}")
+  if(NOT EXISTS "${sidecar}")
+    message(FATAL_ERROR "expected sidecar ${sidecar} was not written")
+  endif()
+endforeach()
+
+# A trace must open with spans in it: at least the two run_grid phases.
+file(READ "${trace_file}" trace_text)
+if(NOT trace_text MATCHES "run_grid.calibrate")
+  message(FATAL_ERROR "trace ${trace_file} has no run_grid.calibrate span")
+endif()
+if(NOT trace_text MATCHES "run_grid.sweep")
+  message(FATAL_ERROR "trace ${trace_file} has no run_grid.sweep span")
+endif()
+file(READ "${metrics_file}" metrics_text)
+if(NOT metrics_text MATCHES "\"name\":\"driver.tasks\"")
+  message(FATAL_ERROR
+    "metrics sidecar ${metrics_file} has no driver.tasks counter")
+endif()
+
+# Orchestrated leg: crash shard 1 once, trace + meter everything, and
+# the merged report must still match the single-process bytes.
+set(orch "${WORK_DIR}/orch.batch")
+set(merged_trace "${WORK_DIR}/merged.trace.json")
+set(events "${WORK_DIR}/orch.events")
+execute_process(
+  COMMAND "${ORCH_BIN}" --grid default --workers 3 --fault crash:1
+    --retries 2 --backoff-ms 1 --worker "${BATCH_BIN}"
+    --trace "${merged_trace}" --metrics
+    --work-dir "${WORK_DIR}/parts" --event-log "${events}"
+    --out "${orch}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "orchestrated traced run failed (${rc}); see ${events}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${plain}" "${orch}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "orchestrated report ${orch} differs from single-process ${plain}; "
+    "tracing + metrics + a crash-retry must not change the merged bytes")
+endif()
+
+file(READ "${events}" event_text)
+if(NOT event_text MATCHES "\"type\":\"plan\",\"v\":1")
+  message(FATAL_ERROR "event log ${events} has no versioned plan event")
+endif()
+if(NOT event_text MATCHES "\"type\":\"metrics\",\"shards_reporting\":3")
+  message(FATAL_ERROR
+    "event log ${events} has no merged metrics event for all 3 shards")
+endif()
+if(NOT event_text MATCHES "\"type\":\"trace\"")
+  message(FATAL_ERROR "event log ${events} has no trace stitch event")
+endif()
+if(NOT EXISTS "${merged_trace}")
+  message(FATAL_ERROR "merged trace ${merged_trace} was not written")
+endif()
+file(READ "${merged_trace}" merged_text)
+if(NOT merged_text MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR
+    "merged trace ${merged_trace} has no supervisor lifecycle X spans")
+endif()
+
+# Strict JSON validation when an interpreter is around: the merged trace
+# and the metrics sidecar must both load as JSON (Perfetto would).
+if(PYTHON)
+  execute_process(
+    COMMAND "${PYTHON}" -c "import json,sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, 'empty trace'
+pids = {e['pid'] for e in events}
+assert len(pids) >= 4, f'expected supervisor + 3 worker pids, got {pids}'
+json.load(open(sys.argv[2]))
+" "${merged_trace}" "${metrics_file}"
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "trace/metrics JSON validation failed:\n${err}")
+  endif()
+endif()

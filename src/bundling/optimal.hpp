@@ -71,11 +71,10 @@ std::vector<Bundling> interval_dp_all(
     std::span<const std::size_t> order, std::size_t max_bundles,
     const std::function<double(std::size_t, std::size_t)>& segment_value);
 
-// Instrumentation: number of DP table fills since the last reset (shared
-// by interval_dp and interval_dp_all; atomic, safe under parallel
-// sweeps). Lets tests assert that a capture series costs exactly one
-// fill.
-std::size_t interval_dp_fill_count();
-void reset_interval_dp_fill_count();
+// Instrumentation: DP table fills are counted on the obs registry
+// counter "bundling.dp_fills" (shared by interval_dp and
+// interval_dp_all; per-thread sharded, safe under parallel sweeps).
+// Tests enable the registry and assert a capture series costs exactly
+// one fill.
 
 }  // namespace manytiers::bundling

@@ -32,6 +32,8 @@
 #include "driver/grid.hpp"
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/file.hpp"
 
 namespace {
@@ -59,6 +61,13 @@ int usage(std::ostream& os, int code) {
         "a\n"
         "                       supervisor can tell slow from hung\n"
         "  --heartbeat-interval-ms N   beat period (default 100)\n"
+        "  --trace PATH         write a Chrome-trace-event JSON timeline to\n"
+        "                       PATH (Perfetto-loadable; MANYTIERS_TRACE is\n"
+        "                       the flagless equivalent). Never changes the\n"
+        "                       report bytes.\n"
+        "  --metrics PATH       write an obs-registry metrics sidecar\n"
+        "                       (counters/gauges/histograms, one JSON record\n"
+        "                       per line) to PATH after the report\n"
         "  --seed S             dataset seed override\n"
         "  --n-flows N          flows per dataset override\n"
         "  --max-bundles B      bundle-count ceiling override\n"
@@ -141,6 +150,8 @@ int main(int argc, char** argv) {
   bool per_point = false;
   std::string heartbeat_path;
   double heartbeat_interval_ms = 100.0;
+  std::string trace_path;
+  std::string metrics_path;
   std::uint64_t seed = 0;
   bool seed_given = false;
   std::size_t n_flows = 0;
@@ -193,6 +204,10 @@ int main(int argc, char** argv) {
         if (heartbeat_interval_ms <= 0.0) {
           throw std::invalid_argument("--heartbeat-interval-ms must be >= 1");
         }
+      } else if (arg == "--trace") {
+        trace_path = next();
+      } else if (arg == "--metrics") {
+        metrics_path = next();
       } else if (arg == "--seed") {
         seed = parse_u64(next(), "--seed");
         seed_given = true;
@@ -229,6 +244,24 @@ int main(int argc, char** argv) {
     std::cerr << "manytiers_batch: " << err.what() << "\n";
     return 2;
   }
+
+  // Observability is opt-in and must never change what the run computes
+  // or reports (the byte-identity ctest pins this): tracing and the
+  // metrics registry only add relaxed atomic work on the side.
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().start(trace_path);
+  } else {
+    obs::maybe_start_trace_from_env();
+  }
+  if (obs::Tracer::instance().active()) {
+    std::string process_name = "manytiers_batch " + grid_name;
+    if (shard_index_given) {
+      process_name += " shard " + std::to_string(shard.index) + "/" +
+                      std::to_string(shard.count);
+    }
+    obs::Tracer::instance().set_process_name(process_name);
+  }
+  if (!metrics_path.empty()) obs::set_enabled(true);
 
   // The fault hook (see driver/fault.hpp): hermetic crash / stall /
   // slow / corrupt / partial injection for orchestrator tests, keyed on
@@ -322,6 +355,15 @@ int main(int argc, char** argv) {
     } else {
       util::write_file_durable(out_path, payload);
     }
+    if (!metrics_path.empty()) {
+      // Sidecar after the report: a supervisor that sees a valid part
+      // file may still find the sidecar missing (worker died between the
+      // two writes) and must tolerate that.
+      util::write_file_durable(
+          metrics_path,
+          obs::snapshot_to_json(obs::Registry::instance().snapshot()));
+    }
+    obs::Tracer::instance().flush();
     // Perf-trajectory breadcrumb, same shape as the bench binaries'.
     const std::size_t n_tasks = report.cells.size() * report.points_per_cell;
     std::cerr << "BENCH_JSON {\"bench\":\"manytiers_batch:" << report.grid_name

@@ -4,8 +4,11 @@
 #include <chrono>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pricing/scenario.hpp"
 #include "util/parallel.hpp"
 
@@ -83,40 +86,61 @@ BatchReport run_grid(const ExperimentGrid& grid, const RunOptions& options) {
     tasks.push_back({c, p, it->second});
   }
 
+  // The dedupe ratio is the whole point of the market_slot map — surface
+  // it: tasks / markets_calibrated is the sharing factor across the
+  // strategy axis.
+  obs::Registry& registry = obs::Registry::instance();
+  static obs::Counter& tasks_counter = registry.counter("driver.tasks");
+  static obs::Counter& markets_counter =
+      registry.counter("driver.markets_calibrated");
+  static obs::Counter& dedup_counter =
+      registry.counter("driver.calib_dedup_hits");
+  static obs::Histogram& task_us_hist = registry.histogram("driver.task_us");
+  tasks_counter.add(tasks.size());
+  markets_counter.add(market_keys.size());
+  dedup_counter.add(tasks.size() - market_keys.size());
+
   // Phase 1: calibrate every needed market, one task per market.
   // Calibration is a pure function of the grid, so recalibrating the same
   // market in another shard yields bit-identical state.
   std::vector<std::optional<pricing::Market>> markets(market_keys.size());
-  util::parallel_for(
-      market_keys.size(),
-      [&](std::size_t m) {
-        const std::size_t key = market_keys[m];
-        const std::size_t p = key % n_points;
-        const std::size_t cost_i = (key / n_points) % n_cost;
-        const std::size_t dem_i = (key / n_points / n_cost) % n_dem;
-        const std::size_t ds_i = key / n_points / n_cost / n_dem;
-        pricing::DemandSpec spec;
-        spec.kind = grid.demand_kinds[dem_i];
-        spec.alpha = grid.base.alpha;
-        spec.no_purchase_share = grid.base.s0;
-        double blended_price = grid.base.blended_price;
-        switch (grid.sweep.kind) {
-          case SweepAxis::Kind::None:
-            break;
-          case SweepAxis::Kind::Alpha:
-            spec.alpha = grid.sweep.values[p];
-            break;
-          case SweepAxis::Kind::BlendedPrice:
-            blended_price = grid.sweep.values[p];
-            break;
-          case SweepAxis::Kind::NoPurchaseShare:
-            spec.no_purchase_share = grid.sweep.values[p];
-            break;
-        }
-        markets[m].emplace(pricing::Market::calibrate(
-            flows[ds_i], spec, *cost_models[cost_i], blended_price));
-      },
-      options.threads);
+  const bool tracing = obs::Tracer::instance().active();
+  {
+    const obs::Span phase(
+        "run_grid.calibrate",
+        tracing ? "{\"markets\":" + std::to_string(market_keys.size()) + "}"
+                : std::string());
+    util::parallel_for(
+        market_keys.size(),
+        [&](std::size_t m) {
+          const std::size_t key = market_keys[m];
+          const std::size_t p = key % n_points;
+          const std::size_t cost_i = (key / n_points) % n_cost;
+          const std::size_t dem_i = (key / n_points / n_cost) % n_dem;
+          const std::size_t ds_i = key / n_points / n_cost / n_dem;
+          pricing::DemandSpec spec;
+          spec.kind = grid.demand_kinds[dem_i];
+          spec.alpha = grid.base.alpha;
+          spec.no_purchase_share = grid.base.s0;
+          double blended_price = grid.base.blended_price;
+          switch (grid.sweep.kind) {
+            case SweepAxis::Kind::None:
+              break;
+            case SweepAxis::Kind::Alpha:
+              spec.alpha = grid.sweep.values[p];
+              break;
+            case SweepAxis::Kind::BlendedPrice:
+              blended_price = grid.sweep.values[p];
+              break;
+            case SweepAxis::Kind::NoPurchaseShare:
+              spec.no_purchase_share = grid.sweep.values[p];
+              break;
+          }
+          markets[m].emplace(pricing::Market::calibrate(
+              flows[ds_i], spec, *cost_models[cost_i], blended_price));
+        },
+        options.threads);
+  }
 
   // Phase 2: one fan-out over all tasks. Each task writes its capture
   // series into its own slot; the Market's internal profit cache makes
@@ -124,16 +148,23 @@ BatchReport run_grid(const ExperimentGrid& grid, const RunOptions& options) {
   // strategy task gets there first.
   std::vector<std::vector<double>> series(tasks.size());
   std::vector<double> task_ms(tasks.size(), 0.0);
-  util::parallel_for(
-      tasks.size(),
-      [&](std::size_t t) {
-        const auto start = Clock::now();
-        series[t] = pricing::capture_series(*markets[tasks[t].market],
-                                            cells[tasks[t].cell].strategy,
-                                            grid.max_bundles);
-        task_ms[t] = ms_since(start);
-      },
-      options.threads);
+  {
+    const obs::Span phase(
+        "run_grid.sweep",
+        tracing ? "{\"tasks\":" + std::to_string(tasks.size()) + "}"
+                : std::string());
+    util::parallel_for(
+        tasks.size(),
+        [&](std::size_t t) {
+          const auto start = Clock::now();
+          series[t] = pricing::capture_series(*markets[tasks[t].market],
+                                              cells[tasks[t].cell].strategy,
+                                              grid.max_bundles);
+          task_ms[t] = ms_since(start);
+          task_us_hist.record(task_ms[t] * 1000.0);
+        },
+        options.threads);
+  }
 
   // Serial envelope reduction in global task order: thread-count
   // independent, and shard partials fold back losslessly (min/max are

@@ -1,0 +1,426 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace manytiers::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  // Round-robin assignment spreads concurrent threads across shards;
+  // two threads only share a line after kShards distinct threads exist.
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+ScopedEnable::ScopedEnable(bool on) : previous_(enabled()) { set_enabled(on); }
+ScopedEnable::~ScopedEnable() { set_enabled(previous_); }
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t histogram_bucket(double value) {
+  if (!(value >= 2.0)) return 0;  // [0, 2), negatives, and NaN
+  const double capped =
+      std::min(value, static_cast<double>(std::uint64_t{1} << 62));
+  const auto u = static_cast<std::uint64_t>(capped);
+  return std::min<std::size_t>(std::bit_width(u) - 1, kHistogramBuckets - 1);
+}
+
+double histogram_bucket_floor(std::size_t b) {
+  if (b == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(b));
+}
+
+void Histogram::record(double value) {
+  if (!enabled()) return;
+  Shard& shard = shards_[detail::this_thread_shard()];
+  shard.buckets[histogram_bucket(value)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(kHistogramBuckets, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      out[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    const auto buckets = histogram->buckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] != 0) h.buckets.emplace_back(b, buckets[b]);
+    }
+    out.histograms[name] = std::move(h);
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+namespace {
+
+// Escape for the (writer-controlled) metric names; same minimal set as
+// the orchestrator's event writer.
+std::string quote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+// --- Minimal line-record reader for the sidecar format ---
+// Each record line is one flat JSON object written by snapshot_to_json;
+// the reader only has to invert that writer, not parse arbitrary JSON.
+
+[[noreturn]] void bad(const std::string& why) {
+  throw std::invalid_argument("parse_snapshot: " + why);
+}
+
+// Extracts the raw text of `"key":<value>` from a record line, where
+// <value> runs to the next top-level ',' or the closing '}'.
+std::string raw_field(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) {
+    bad("missing field \"" + std::string(key) + "\" in: " + std::string(line));
+  }
+  std::size_t i = pos + needle.size();
+  std::size_t depth = 0;
+  bool in_string = false;
+  const std::size_t start = i;
+  for (; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '[' || c == '{') ++depth;
+    else if (c == ']' || c == '}') {
+      if (depth == 0) break;
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      break;
+    }
+  }
+  return std::string(line.substr(start, i - start));
+}
+
+std::string parse_string(const std::string& raw) {
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') {
+    bad("expected string, got: " + raw);
+  }
+  std::string out;
+  for (std::size_t i = 1; i + 1 < raw.size(); ++i) {
+    if (raw[i] == '\\' && i + 2 < raw.size()) {
+      ++i;
+      switch (raw[i]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        default: bad("unsupported escape in: " + raw);
+      }
+    } else {
+      out += raw[i];
+    }
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& raw) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(raw, &used);
+  } catch (const std::exception&) {
+    bad("not an unsigned integer: " + raw);
+  }
+  if (used != raw.size()) bad("not an unsigned integer: " + raw);
+  return value;
+}
+
+std::int64_t parse_i64(const std::string& raw) {
+  std::size_t used = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(raw, &used);
+  } catch (const std::exception&) {
+    bad("not an integer: " + raw);
+  }
+  if (used != raw.size()) bad("not an integer: " + raw);
+  return value;
+}
+
+double parse_number(const std::string& raw) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(raw, &used);
+  } catch (const std::exception&) {
+    bad("not a number: " + raw);
+  }
+  if (used != raw.size()) bad("not a number: " + raw);
+  return value;
+}
+
+// "[[5,2],[6,1]]" -> sparse bucket list.
+std::vector<std::pair<std::size_t, std::uint64_t>> parse_buckets(
+    const std::string& raw) {
+  std::vector<std::pair<std::size_t, std::uint64_t>> out;
+  if (raw.size() < 2 || raw.front() != '[' || raw.back() != ']') {
+    bad("expected bucket array, got: " + raw);
+  }
+  std::size_t i = 1;
+  while (i < raw.size() - 1) {
+    if (raw[i] == ',') { ++i; continue; }
+    if (raw[i] != '[') bad("expected bucket pair in: " + raw);
+    const auto comma = raw.find(',', i);
+    const auto close = raw.find(']', i);
+    if (comma == std::string::npos || close == std::string::npos ||
+        comma > close) {
+      bad("malformed bucket pair in: " + raw);
+    }
+    out.emplace_back(parse_u64(raw.substr(i + 1, comma - i - 1)),
+                     parse_u64(raw.substr(comma + 1, close - comma - 1)));
+    i = close + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string snapshot_to_json(const Snapshot& snapshot) {
+  std::vector<std::string> records;
+  for (const auto& [name, value] : snapshot.counters) {
+    records.push_back("{\"kind\":\"counter\",\"name\":" + quote(name) +
+                      ",\"value\":" + std::to_string(value) + "}");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    records.push_back("{\"kind\":\"gauge\",\"name\":" + quote(name) +
+                      ",\"value\":" + std::to_string(value) + "}");
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string buckets = "[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i != 0) buckets += ',';
+      buckets += '[' + std::to_string(h.buckets[i].first) + ',' +
+                 std::to_string(h.buckets[i].second) + ']';
+    }
+    buckets += ']';
+    records.push_back("{\"kind\":\"hist\",\"name\":" + quote(name) +
+                      ",\"count\":" + std::to_string(h.count) +
+                      ",\"sum\":" + format_double(h.sum) +
+                      ",\"buckets\":" + buckets + "}");
+  }
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out += records[i];
+    if (i + 1 < records.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+Snapshot parse_snapshot(std::string_view text) {
+  Snapshot out;
+  std::size_t pos = 0;
+  bool saw_open = false, saw_close = false;
+  while (pos < text.size()) {
+    auto eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Trim whitespace and the inter-record comma.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == ','))
+      line.remove_suffix(1);
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty()) continue;
+    if (line == "[") {
+      saw_open = true;
+      continue;
+    }
+    if (line == "]") {
+      saw_close = true;
+      continue;
+    }
+    if (line.front() != '{' || line.back() != '}') {
+      bad("expected one JSON object per line, got: " + std::string(line));
+    }
+    const std::string kind = parse_string(raw_field(line, "kind"));
+    const std::string name = parse_string(raw_field(line, "name"));
+    if (kind == "counter") {
+      out.counters[name] += parse_u64(raw_field(line, "value"));
+    } else if (kind == "gauge") {
+      out.gauges[name] += parse_i64(raw_field(line, "value"));
+    } else if (kind == "hist") {
+      HistogramSnapshot h;
+      h.count = parse_u64(raw_field(line, "count"));
+      h.sum = parse_number(raw_field(line, "sum"));
+      h.buckets = parse_buckets(raw_field(line, "buckets"));
+      out.histograms[name] = std::move(h);
+    } else {
+      bad("unknown record kind \"" + kind + "\"");
+    }
+  }
+  if (!saw_open || !saw_close) bad("missing enclosing [ ] array markers");
+  return out;
+}
+
+Snapshot merge_snapshots(const std::vector<Snapshot>& parts) {
+  Snapshot out;
+  for (const auto& part : parts) {
+    for (const auto& [name, value] : part.counters) {
+      out.counters[name] += value;
+    }
+    for (const auto& [name, value] : part.gauges) {
+      out.gauges[name] += value;
+    }
+    for (const auto& [name, h] : part.histograms) {
+      HistogramSnapshot& dst = out.histograms[name];
+      dst.count += h.count;
+      dst.sum += h.sum;
+      // Merge the sparse bucket lists, keeping ascending order.
+      std::map<std::size_t, std::uint64_t> merged(dst.buckets.begin(),
+                                                  dst.buckets.end());
+      for (const auto& [b, n] : h.buckets) merged[b] += n;
+      dst.buckets.assign(merged.begin(), merged.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace manytiers::obs

@@ -1,0 +1,265 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace manytiers::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_active{false};
+
+// Writer-controlled strings (span names, file paths); escape the JSON
+// breakers so a hostile path cannot corrupt the trace.
+std::string quote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+long next_tid() {
+  static std::atomic<long> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mutex;
+  std::string path;
+  std::vector<std::string> events;
+  // Cross-process timeline anchor: wall-clock epoch captured once,
+  // advanced by the steady clock (immune to NTP steps mid-run).
+  std::chrono::system_clock::time_point wall_anchor =
+      std::chrono::system_clock::now();
+  std::chrono::steady_clock::time_point steady_anchor =
+      std::chrono::steady_clock::now();
+  long pid = static_cast<long>(::getpid());
+};
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Impl* Tracer::impl() {
+  // Leaked on purpose: the atexit flush may run after static
+  // destructors, so the buffer must never be destroyed.
+  static Impl* impl = new Impl;
+  return impl;
+}
+
+void Tracer::start(std::string path) {
+  Impl* i = impl();
+  {
+    std::lock_guard<std::mutex> lock(i->mutex);
+    i->path = std::move(path);
+  }
+  static std::once_flag exit_hook;
+  std::call_once(exit_hook, [] {
+    std::atexit([] { Tracer::instance().flush(); });
+  });
+  g_trace_active.store(true, std::memory_order_relaxed);
+}
+
+bool Tracer::active() const {
+  return g_trace_active.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_us() const {
+  Impl* i = impl();
+  const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           i->wall_anchor.time_since_epoch())
+                           .count();
+  const auto steady_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - i->steady_anchor)
+          .count();
+  return static_cast<std::uint64_t>(wall_us + steady_us);
+}
+
+long Tracer::current_tid() {
+  thread_local const long tid = next_tid();
+  return tid;
+}
+
+void Tracer::push(std::string line) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  i->events.push_back(std::move(line));
+}
+
+void Tracer::begin(std::string_view name, long tid,
+                   std::string_view args_json) {
+  if (!active()) return;
+  std::ostringstream os;
+  os << "{\"name\":" << quote(name) << ",\"ph\":\"B\",\"ts\":" << now_us()
+     << ",\"pid\":" << impl()->pid << ",\"tid\":" << tid;
+  if (!args_json.empty()) os << ",\"args\":" << args_json;
+  os << "}";
+  push(os.str());
+}
+
+void Tracer::end(long tid) {
+  if (!active()) return;
+  std::ostringstream os;
+  os << "{\"ph\":\"E\",\"ts\":" << now_us() << ",\"pid\":" << impl()->pid
+     << ",\"tid\":" << tid << "}";
+  push(os.str());
+}
+
+void Tracer::instant(std::string_view name, long tid,
+                     std::string_view args_json) {
+  if (!active()) return;
+  std::ostringstream os;
+  os << "{\"name\":" << quote(name)
+     << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << now_us()
+     << ",\"pid\":" << impl()->pid << ",\"tid\":" << tid;
+  if (!args_json.empty()) os << ",\"args\":" << args_json;
+  os << "}";
+  push(os.str());
+}
+
+void Tracer::complete(std::string_view name, std::uint64_t ts_us,
+                      std::uint64_t dur_us, long pid, long tid,
+                      std::string_view args_json) {
+  if (!active()) return;
+  std::ostringstream os;
+  os << "{\"name\":" << quote(name) << ",\"ph\":\"X\",\"ts\":" << ts_us
+     << ",\"dur\":" << dur_us << ",\"pid\":" << pid << ",\"tid\":" << tid;
+  if (!args_json.empty()) os << ",\"args\":" << args_json;
+  os << "}";
+  push(os.str());
+}
+
+void Tracer::set_process_name(std::string_view name) {
+  if (!active()) return;
+  std::ostringstream os;
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << impl()->pid
+     << ",\"tid\":0,\"args\":{\"name\":" << quote(name) << "}}";
+  push(os.str());
+}
+
+void Tracer::flush() {
+  if (!active()) return;
+  Impl* i = impl();
+  std::string path;
+  std::vector<std::string> events;
+  {
+    std::lock_guard<std::mutex> lock(i->mutex);
+    path = i->path;
+    events = i->events;  // copy: later spans keep accumulating
+  }
+  if (path.empty()) return;
+  write_trace_file(path, events);
+}
+
+Span::Span(std::string_view name, std::string_view args_json,
+           long tid_override) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.active()) return;
+  tid_ = tid_override >= 0 ? tid_override : Tracer::current_tid();
+  tracer.begin(name, tid_, args_json);
+  emitted_ = true;
+}
+
+Span::~Span() {
+  if (emitted_) Tracer::instance().end(tid_);
+}
+
+void maybe_start_trace_from_env() {
+  if (Tracer::instance().active()) return;
+  if (const char* path = std::getenv("MANYTIERS_TRACE")) {
+    if (path[0] != '\0') Tracer::instance().start(path);
+  }
+}
+
+std::vector<std::string> read_trace_events(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("read_trace_events: cannot open " + path);
+  }
+  std::vector<std::string> events;
+  std::string line;
+  bool saw_open = false, saw_close = false;
+  while (std::getline(in, line)) {
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == ','))
+      line.pop_back();
+    while (!line.empty() && line.front() == ' ') line.erase(line.begin());
+    if (line.empty()) continue;
+    if (line == "[") {
+      saw_open = true;
+      continue;
+    }
+    if (line == "]") {
+      saw_close = true;
+      continue;
+    }
+    if (line.front() != '{' || line.back() != '}') {
+      throw std::invalid_argument(
+          "read_trace_events: " + path +
+          " is not a one-event-per-line trace array (bad line: " + line + ")");
+    }
+    events.push_back(std::move(line));
+  }
+  if (!saw_open || !saw_close) {
+    throw std::invalid_argument("read_trace_events: " + path +
+                                " is missing the enclosing [ ] array");
+  }
+  return events;
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<std::string>& events) {
+  // Temp-file + rename: a reader (the orchestrator stitching worker
+  // traces) never observes a torn array. No fsync — a trace is
+  // diagnostics, not data; the durability discipline stays reserved
+  // for the report files.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("write_trace_file: cannot open " + tmp);
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      out << events[i];
+      if (i + 1 < events.size()) out << ',';
+      out << '\n';
+    }
+    out << "]\n";
+    if (!out.good()) {
+      throw std::runtime_error("write_trace_file: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("write_trace_file: rename to " + path +
+                             " failed");
+  }
+}
+
+}  // namespace manytiers::obs

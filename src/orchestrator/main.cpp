@@ -79,6 +79,18 @@ int usage(std::ostream& os, int code) {
         "  --worker-threads N   --threads forwarded to each worker\n"
         "  --event-log PATH     structured ORCH_JSON event log (default "
         "stderr)\n"
+        "  --trace PATH         run every worker with --trace and write "
+        "ONE\n"
+        "                       merged Chrome-trace-event JSON timeline "
+        "(worker\n"
+        "                       spans + supervisor lifecycle spans, "
+        "pid-tagged)\n"
+        "                       to PATH; load it at ui.perfetto.dev\n"
+        "  --metrics            run every worker with --metrics and emit "
+        "the\n"
+        "                       merged counters/histograms as one "
+        "\"metrics\"\n"
+        "                       ORCH_JSON event after the report merge\n"
         "  --fault SPEC         MANYTIERS_FAULT plan injected into "
         "workers\n"
         "  --kill-after-shards N   TEST HOOK: SIGKILL this process right "
@@ -169,6 +181,10 @@ int main(int argc, char** argv) {
         options.worker_threads = parse_u64(next(), "--worker-threads");
       } else if (arg == "--event-log") {
         event_log_path = next();
+      } else if (arg == "--trace") {
+        options.trace = next();
+      } else if (arg == "--metrics") {
+        options.metrics = true;
       } else if (arg == "--fault") {
         options.fault = next();
       } else if (arg == "--seed") {

@@ -1,9 +1,12 @@
 #include "orchestrator/orchestrator.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <csignal>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -13,6 +16,8 @@
 
 #include "driver/grid.hpp"
 #include "driver/report.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "orchestrator/manifest.hpp"
 #include "orchestrator/process.hpp"
 #include "util/file.hpp"
@@ -53,6 +58,8 @@ struct Attempt {
   // pid.
   std::optional<ExitStatus> reaped;
   bool part_bad = false;  // exited 0 but its part failed validation
+  std::uint64_t started_us = 0;  // spawn time on the shared trace timeline
+  bool span_emitted = false;     // lifecycle span already in the trace
 };
 
 // Supervision state of one shard. A shard cycles Pending -> Running ->
@@ -71,6 +78,52 @@ struct Shard {
   std::vector<Attempt> attempts;   // live attempts while Running
   std::string last_failure;
   std::optional<manytiers::driver::BatchReport> part;  // validated result
+};
+
+// Supervisor-side trace buffer. The orchestrator does NOT run through the
+// global Tracer: its atexit flush would rewrite the output file with only
+// the supervisor's events, clobbering the stitched worker timelines. All
+// names and args here are generated (digits and identifiers), so no JSON
+// escaping is needed.
+struct TraceCollector {
+  bool on = false;
+  long pid = static_cast<long>(::getpid());
+  std::vector<std::string> events;
+
+  static std::uint64_t now_us() {
+    return manytiers::obs::Tracer::instance().now_us();
+  }
+
+  // Pid-tagged lifecycle span: one row per shard on the supervisor's
+  // process track, spanning spawn -> termination of one attempt.
+  void complete(const std::string& name, std::uint64_t ts_us,
+                std::uint64_t dur_us, long tid, const std::string& args_json) {
+    if (!on) return;
+    std::string e = "{\"name\":\"" + name + "\",\"ph\":\"X\",\"ts\":" +
+                    std::to_string(ts_us) + ",\"dur\":" +
+                    std::to_string(dur_us) + ",\"pid\":" +
+                    std::to_string(pid) + ",\"tid\":" + std::to_string(tid);
+    if (!args_json.empty()) e += ",\"args\":" + args_json;
+    events.push_back(e + "}");
+  }
+
+  void instant(const std::string& name, long tid,
+               const std::string& args_json) {
+    if (!on) return;
+    std::string e = "{\"name\":\"" + name +
+                    "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+                    std::to_string(now_us()) + ",\"pid\":" +
+                    std::to_string(pid) + ",\"tid\":" + std::to_string(tid);
+    if (!args_json.empty()) e += ",\"args\":" + args_json;
+    events.push_back(e + "}");
+  }
+
+  void process_name(const std::string& name) {
+    if (!on) return;
+    events.push_back("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+                     std::to_string(pid) +
+                     ",\"tid\":0,\"args\":{\"name\":\"" + name + "\"}}");
+  }
 };
 
 // All work-dir paths go through std::filesystem::path so separators and
@@ -97,6 +150,29 @@ fs::path heartbeat_path(const fs::path& work, std::size_t shard,
                         std::size_t attempt) {
   return work / ("hb" + std::to_string(shard) + ".a" +
                  std::to_string(attempt));
+}
+
+// Observability sidecars mirror the part-file discipline: per-attempt
+// files while racing, promoted to a canonical per-shard name when the
+// attempt wins (which is also what resume finds).
+fs::path metrics_path(const fs::path& work, std::size_t shard) {
+  return work / ("part" + std::to_string(shard) + ".metrics.json");
+}
+
+fs::path attempt_metrics_path(const fs::path& work, std::size_t shard,
+                              std::size_t attempt) {
+  return work / ("part" + std::to_string(shard) + ".a" +
+                 std::to_string(attempt) + ".metrics.json");
+}
+
+fs::path trace_file_path(const fs::path& work, std::size_t shard) {
+  return work / ("part" + std::to_string(shard) + ".trace.json");
+}
+
+fs::path attempt_trace_path(const fs::path& work, std::size_t shard,
+                            std::size_t attempt) {
+  return work / ("part" + std::to_string(shard) + ".a" +
+                 std::to_string(attempt) + ".trace.json");
 }
 
 SpawnSpec worker_spec(const Options& opt, const fs::path& work,
@@ -135,6 +211,14 @@ SpawnSpec worker_spec(const Options& opt, const fs::path& work,
   if (opt.max_bundles != 0) {
     spec.argv.push_back("--max-bundles");
     spec.argv.push_back(std::to_string(opt.max_bundles));
+  }
+  if (!opt.trace.empty()) {
+    spec.argv.push_back("--trace");
+    spec.argv.push_back(attempt_trace_path(work, shard, attempt).string());
+  }
+  if (opt.metrics) {
+    spec.argv.push_back("--metrics");
+    spec.argv.push_back(attempt_metrics_path(work, shard, attempt).string());
   }
   if (!opt.fault.empty()) {
     spec.env_extra.push_back("MANYTIERS_FAULT=" + opt.fault);
@@ -218,7 +302,32 @@ Result orchestrate(const Options& options, EventLog& log) {
   std::size_t open = options.workers;  // shards not yet Done/Failed
   std::error_code ec;
 
+  TraceCollector trace;
+  trace.on = !options.trace.empty();
+  trace.process_name("manytiers_orchestrate " + options.grid);
+  // One lifecycle span per attempt on the supervisor's track (one row
+  // per shard), emitted when the attempt terminates — the supervisor
+  // knows both endpoints then, so a crashed worker still gets a closed
+  // span. The guard makes emission idempotent: a loser reaped in the
+  // scan pass and again in finish_shard produces one span.
+  const auto emit_attempt_span = [&](std::size_t k, Attempt& attempt,
+                                     const std::string& outcome) {
+    if (!trace.on || attempt.span_emitted) return;
+    attempt.span_emitted = true;
+    const std::uint64_t now = TraceCollector::now_us();
+    trace.complete(
+        "shard " + std::to_string(k) + " attempt " +
+            std::to_string(attempt.id) + (attempt.hedge ? " (hedge)" : ""),
+        attempt.started_us,
+        now > attempt.started_us ? now - attempt.started_us : 0,
+        static_cast<long>(k),
+        "{\"pid\":" + std::to_string(attempt.pid) +
+            ",\"hedge\":" + (attempt.hedge ? "1" : "0") +
+            ",\"outcome\":\"" + outcome + "\"}");
+  };
+
   log.write(Event("plan")
+                .field("v", std::size_t{1})
                 .field("grid", options.grid)
                 .field("workers", options.workers)
                 .field("timeout_ms", options.timeout_ms)
@@ -274,6 +383,8 @@ Result orchestrate(const Options& options, EventLog& log) {
         log.write(Event("resume-skip")
                       .field("shard", k)
                       .field("attempts", shard.next_attempt));
+        trace.instant("resume-skip shard " + std::to_string(k),
+                      static_cast<long>(k), {});
       } else {
         manifest.shards[k].state = "open";
         shard.part.reset();
@@ -328,6 +439,8 @@ Result orchestrate(const Options& options, EventLog& log) {
                   .field("attempt", attempt_id)
                   .field("reason", reason)
                   .field("backoff_ms", backoff));
+    trace.instant("retry shard " + std::to_string(k), static_cast<long>(k),
+                  "{\"backoff_ms\":" + std::to_string(backoff) + "}");
     shard.state = Shard::State::Pending;
     shard.not_before = Clock::now() + from_ms(backoff);
   };
@@ -343,8 +456,11 @@ Result orchestrate(const Options& options, EventLog& log) {
     save_manifest(manifest_path(work).string(), manifest);
     fs::remove(attempt_part_path(work, k, attempt.id), ec);
     fs::remove(heartbeat_path(work, k, attempt.id), ec);
+    fs::remove(attempt_metrics_path(work, k, attempt.id), ec);
+    fs::remove(attempt_trace_path(work, k, attempt.id), ec);
     attempt.pid = spawn_process(worker_spec(options, work, k, attempt.id));
     attempt.started = Clock::now();
+    attempt.started_us = TraceCollector::now_us();
     attempt.has_deadline = options.timeout_ms > 0.0;
     if (attempt.has_deadline) {
       attempt.deadline = attempt.started + from_ms(options.timeout_ms);
@@ -359,11 +475,12 @@ Result orchestrate(const Options& options, EventLog& log) {
   // canonical name, persist, and maybe fire the SIGKILL test hook.
   const auto finish_shard = [&](std::size_t k, std::size_t winner) {
     Shard& shard = shards[k];
+    emit_attempt_span(k, shard.attempts[winner], "win");
     const Attempt win = shard.attempts[winner];
     const bool raced = shard.attempts.size() > 1;
     for (std::size_t j = 0; j < shard.attempts.size(); ++j) {
       if (j == winner) continue;
-      const Attempt& loser = shard.attempts[j];
+      Attempt& loser = shard.attempts[j];
       // The scan loop may already have reaped this loser (failed exit,
       // timeout, or stale heartbeat in the same pass the winner landed);
       // only wait/kill a pid that is still unreaped.
@@ -389,12 +506,27 @@ Result orchestrate(const Options& options, EventLog& log) {
                         .field("attempt_b", loser.id));
         }
       }
+      emit_attempt_span(k, loser, "lost-race");
       fs::remove(attempt_part_path(work, k, loser.id), ec);
       fs::remove(heartbeat_path(work, k, loser.id), ec);
+      fs::remove(attempt_metrics_path(work, k, loser.id), ec);
+      fs::remove(attempt_trace_path(work, k, loser.id), ec);
     }
     // Same-directory rename: atomic promotion of the attempt's (already
     // durably written) part to the canonical name resume looks for.
     fs::rename(attempt_part_path(work, k, win.id), part_path(work, k));
+    // Sidecars follow the part: the winner's metrics/trace become the
+    // shard's canonical ones. A missing sidecar is tolerated here (the
+    // worker may have died between writing the part and the sidecar);
+    // the merge below warns instead of failing.
+    if (options.metrics) {
+      fs::rename(attempt_metrics_path(work, k, win.id), metrics_path(work, k),
+                 ec);
+    }
+    if (trace.on) {
+      fs::rename(attempt_trace_path(work, k, win.id),
+                 trace_file_path(work, k), ec);
+    }
     completed_ms.push_back(ms_since(win.started));
     shard.attempts.clear();
     shard.state = Shard::State::Done;
@@ -469,10 +601,12 @@ Result orchestrate(const Options& options, EventLog& log) {
             attempt.part_bad = true;
             log.write(
                 Event("bad-part").field("shard", k).field("reason", *bad));
+            emit_attempt_span(k, attempt, "bad-part");
             dead.push_back(i);
             dead_reason = *bad;
             dead_attempt_id = attempt.id;
           } else {
+            emit_attempt_span(k, attempt, "failed");
             dead.push_back(i);
             dead_reason = status->signaled
                               ? "killed by signal " +
@@ -486,6 +620,7 @@ Result orchestrate(const Options& options, EventLog& log) {
                         .field("shard", k)
                         .field("attempt", attempt.id)
                         .field("timeout_ms", options.timeout_ms));
+          emit_attempt_span(k, attempt, "timeout");
           dead.push_back(i);
           dead_reason =
               "timeout after " + std::to_string(options.timeout_ms) + " ms";
@@ -500,6 +635,7 @@ Result orchestrate(const Options& options, EventLog& log) {
                           .field("attempt", attempt.id)
                           .field("age_ms", age)
                           .field("timeout_ms", options.heartbeat_timeout_ms));
+            emit_attempt_span(k, attempt, "stale");
             dead.push_back(i);
             dead_reason = "heartbeat stale for " + std::to_string(age) +
                           " ms (cap " +
@@ -549,6 +685,9 @@ Result orchestrate(const Options& options, EventLog& log) {
                         .field("pid", static_cast<long>(hedge.pid))
                         .field("age_ms", age)
                         .field("threshold_ms", threshold));
+          trace.instant("hedge-spawn shard " + std::to_string(k),
+                        static_cast<long>(k),
+                        "{\"age_ms\":" + std::to_string(age) + "}");
         }
       }
     }
@@ -584,17 +723,89 @@ Result orchestrate(const Options& options, EventLog& log) {
                   .field("shards", shards.size())
                   .field("cells", merged.cells.size())
                   .field("wall_ms", ms_since(t_merge)));
-    if (!options.keep_parts) {
-      for (std::size_t k = 0; k < shards.size(); ++k) {
-        fs::remove(part_path(work, k), ec);
-        for (std::size_t a = 0; a < shards[k].next_attempt; ++a) {
-          fs::remove(attempt_part_path(work, k, a), ec);
-          fs::remove(log_path(work, k, a), ec);
-          fs::remove(heartbeat_path(work, k, a), ec);
-        }
+    result.ok = true;
+  }
+
+  // Cross-process metrics roll-up: parse every shard's canonical sidecar
+  // (the winner's, promoted in finish_shard; a resumed shard's survives
+  // from the dead run) and emit one merged "metrics" event. A missing or
+  // unparseable sidecar degrades to a warn — observability must never
+  // fail a run that computed correctly.
+  if (options.metrics) {
+    std::vector<obs::Snapshot> snapshots;
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      const fs::path mp = metrics_path(work, k);
+      if (!fs::exists(mp)) {
+        log.write(Event("warn").field(
+            "message", "missing metrics sidecar " + mp.string()));
+        continue;
+      }
+      try {
+        snapshots.push_back(obs::parse_snapshot(util::read_file(mp.string())));
+      } catch (const std::exception& err) {
+        log.write(Event("warn").field(
+            "message",
+            "unreadable metrics sidecar " + mp.string() + ": " + err.what()));
       }
     }
-    result.ok = true;
+    const obs::Snapshot merged_metrics = obs::merge_snapshots(snapshots);
+    Event metrics_event("metrics");
+    metrics_event.field("shards_reporting", snapshots.size());
+    for (const auto& [name, value] : merged_metrics.counters) {
+      metrics_event.field(name, value);
+    }
+    for (const auto& [name, value] : merged_metrics.gauges) {
+      metrics_event.field(name, static_cast<long>(value));
+    }
+    for (const auto& [name, hist] : merged_metrics.histograms) {
+      metrics_event.field(name + ".count", hist.count);
+      metrics_event.field(name + ".sum", hist.sum);
+    }
+    log.write(std::move(metrics_event));
+  }
+
+  // Stitch the merged timeline: supervisor lifecycle events plus every
+  // shard's canonical worker trace, all on the shared wall-clock epoch.
+  // Written on failed runs too — a trace is most useful as evidence.
+  if (trace.on) {
+    std::vector<std::string> stitched = trace.events;
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      const fs::path tp = trace_file_path(work, k);
+      if (!fs::exists(tp)) continue;  // failed shard: worker never flushed
+      try {
+        const auto worker_events = obs::read_trace_events(tp.string());
+        stitched.insert(stitched.end(), worker_events.begin(),
+                        worker_events.end());
+      } catch (const std::exception& err) {
+        log.write(Event("warn").field(
+            "message",
+            "unreadable worker trace " + tp.string() + ": " + err.what()));
+      }
+    }
+    try {
+      obs::write_trace_file(options.trace, stitched);
+      log.write(Event("trace")
+                    .field("path", options.trace)
+                    .field("events", stitched.size()));
+    } catch (const std::exception& err) {
+      log.write(Event("warn").field(
+          "message", "trace write failed: " + std::string(err.what())));
+    }
+  }
+
+  if (result.ok && !options.keep_parts) {
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      fs::remove(part_path(work, k), ec);
+      fs::remove(metrics_path(work, k), ec);
+      fs::remove(trace_file_path(work, k), ec);
+      for (std::size_t a = 0; a < shards[k].next_attempt; ++a) {
+        fs::remove(attempt_part_path(work, k, a), ec);
+        fs::remove(log_path(work, k, a), ec);
+        fs::remove(heartbeat_path(work, k, a), ec);
+        fs::remove(attempt_metrics_path(work, k, a), ec);
+        fs::remove(attempt_trace_path(work, k, a), ec);
+      }
+    }
   }
   // On failure, part files and worker logs are always kept as evidence;
   // the manifest is kept in both cases (it records the final states and

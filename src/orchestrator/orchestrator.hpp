@@ -66,6 +66,18 @@ struct Options {
   bool per_point = false;        // --per-point forwarded to workers
   std::string fault;             // MANYTIERS_FAULT plan for workers (tests)
 
+  // Observability. `trace` writes one merged Chrome-trace-event JSON
+  // timeline: every worker runs with --trace into a per-attempt file
+  // (partK.aN.trace.json), winners' files are stitched together with the
+  // supervisor's own lifecycle spans (pid-tagged "X" events per attempt,
+  // instants for retries/hedges/resume-skips) onto one shared wall-clock
+  // timeline. `metrics` runs workers with --metrics into per-attempt
+  // sidecars (partK.aN.metrics.json); the winners' sidecars are merged
+  // and emitted as one "metrics" ORCH_JSON event after the report merge.
+  // Neither changes the merged report bytes.
+  std::string trace;
+  bool metrics = false;
+
   // Crash safety: resume a previous run from its manifest instead of
   // starting fresh. Valid parts are kept (resume-skip), everything else
   // re-runs; the manifest must match grid/signature/workers exactly.

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace manytiers::pricing {
 
@@ -26,6 +30,14 @@ Market Market::calibrate(const workload::FlowSet& flows,
   if (!(blended_price > 0.0)) {
     throw std::invalid_argument("Market::calibrate: blended price must be > 0");
   }
+  static obs::Counter& calibrations =
+      obs::Registry::instance().counter("market.calibrations");
+  calibrations.add();
+  const obs::Span span(
+      "market.calibrate",
+      obs::Tracer::instance().active()
+          ? "{\"flows\":" + std::to_string(flows.size()) + "}"
+          : std::string());
   Market m;
   m.spec_ = demand_spec;
   m.blended_price_ = blended_price;
@@ -72,7 +84,15 @@ const Market::ProfitCache& Market::primed_cache() const {
   if (!profit_cache_) {
     throw std::logic_error("Market: baseline profits of an uncalibrated market");
   }
+  // lookups - fills = cache hits; the sweep paths should show fills ==
+  // calibrations (each market primes once) and lookups well above that.
+  static obs::Counter& lookups =
+      obs::Registry::instance().counter("market.profit_cache_lookups");
+  static obs::Counter& fills =
+      obs::Registry::instance().counter("market.profit_cache_fills");
+  lookups.add();
   std::call_once(profit_cache_->once, [this] {
+    fills.add();
     switch (spec_.kind) {
       case demand::DemandKind::ConstantElasticity: {
         const std::vector<double> prices(size(), blended_price_);

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace manytiers::pricing {
@@ -19,6 +22,15 @@ SweepResult sweep_captures(std::span<const double> parameter_values,
   if (max_bundles == 0) {
     throw std::invalid_argument("sweep_captures: need at least one bundle");
   }
+  static obs::Counter& points_counter =
+      obs::Registry::instance().counter("pricing.sweep_points");
+  points_counter.add(parameter_values.size());
+  const obs::Span span(
+      "sweep_captures",
+      obs::Tracer::instance().active()
+          ? "{\"points\":" + std::to_string(parameter_values.size()) +
+                ",\"max_bundles\":" + std::to_string(max_bundles) + "}"
+          : std::string());
   // Each parameter point calibrates its own market and evaluates its own
   // capture series; points never touch shared state, so they fan out
   // across threads. The min/max reduction below then runs serially in

@@ -2,8 +2,11 @@
 
 #include <cstdlib>
 #include <exception>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace manytiers::util {
 
@@ -41,6 +44,18 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     const std::size_t end = begin + size;
     workers.emplace_back([&body, &errors, t, begin, end] {
       try {
+        // Trace row per worker ordinal (tid = t + 1; 0 is the spawning
+        // thread): sequential parallel_for calls reuse the same rows,
+        // so a sweep renders as utilization bars with stragglers
+        // visible as the longest chunk span. Costs one relaxed load
+        // when tracing is off.
+        const obs::Span span(
+            "parallel_for.chunk",
+            obs::Tracer::instance().active()
+                ? "{\"begin\":" + std::to_string(begin) +
+                      ",\"end\":" + std::to_string(end) + "}"
+                : std::string(),
+            static_cast<long>(t) + 1);
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
         errors[t] = std::current_exception();

@@ -8,6 +8,7 @@
 
 #include "demand/ced.hpp"
 #include "demand/logit.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace manytiers::bundling {
@@ -209,13 +210,18 @@ TEST(OptimalSeries, MatchPerCountCallsExactly) {
 }
 
 TEST(OptimalSeries, CostExactlyOneDpFill) {
+  // The fill count lives on the obs registry now; the O(n^2 B)-not-
+  // O(n^2 B^2) guarantee is "a whole series costs one fill".
+  const obs::ScopedEnable metrics;
+  obs::Counter& fills =
+      obs::Registry::instance().counter("bundling.dp_fills");
   const auto inst = random_instance(12, 20);
-  reset_interval_dp_fill_count();
+  fills.reset();
   ced_optimal_series(inst.v, inst.c, 1.4, 6);
-  EXPECT_EQ(interval_dp_fill_count(), 1u);
-  reset_interval_dp_fill_count();
+  EXPECT_EQ(fills.value(), 1u);
+  fills.reset();
   logit_optimal_series(inst.v, inst.c, 1.2, 6);
-  EXPECT_EQ(interval_dp_fill_count(), 1u);
+  EXPECT_EQ(fills.value(), 1u);
 }
 
 TEST(CedOptimal, ProfitIsMonotoneInBundleCount) {

@@ -1,0 +1,206 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace manytiers::obs {
+namespace {
+
+TEST(Registry, DisabledByDefaultAndMutationsDrop) {
+  ASSERT_FALSE(enabled());
+  Counter& c = Registry::instance().counter("test.disabled");
+  c.reset();
+  c.add(42);
+  EXPECT_EQ(c.value(), 0u);
+  Gauge& g = Registry::instance().gauge("test.disabled_gauge");
+  g.reset();
+  g.set(7);
+  EXPECT_EQ(g.value(), 0);
+  Histogram& h = Registry::instance().histogram("test.disabled_hist");
+  h.reset();
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Registry, ScopedEnableRestoresPreviousState) {
+  ASSERT_FALSE(enabled());
+  {
+    const ScopedEnable on;
+    EXPECT_TRUE(enabled());
+    {
+      const ScopedEnable off(false);
+      EXPECT_FALSE(enabled());
+    }
+    EXPECT_TRUE(enabled());
+  }
+  EXPECT_FALSE(enabled());
+}
+
+TEST(Registry, HandleIsStableAndNamesAreDistinct) {
+  Counter& a = Registry::instance().counter("test.handle_a");
+  Counter& a2 = Registry::instance().counter("test.handle_a");
+  Counter& b = Registry::instance().counter("test.handle_b");
+  EXPECT_EQ(&a, &a2);
+  EXPECT_NE(&a, &b);
+}
+
+TEST(Registry, ConcurrentCounterIncrementsAreExact) {
+  // The sharded-counter contract: N threads x M relaxed adds lose
+  // nothing. parallel_for gives each thread a contiguous chunk, so every
+  // shard slot sees sustained traffic.
+  const ScopedEnable on;
+  Counter& c = Registry::instance().counter("test.concurrent");
+  c.reset();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10000;
+  util::parallel_for(
+      kThreads,
+      [&](std::size_t) {
+        for (std::size_t i = 0; i < kPerThread; ++i) c.add();
+      },
+      kThreads);
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Registry, ConcurrentHistogramRecordsAreExact) {
+  const ScopedEnable on;
+  Histogram& h = Registry::instance().histogram("test.concurrent_hist");
+  h.reset();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 2000;
+  util::parallel_for(
+      kThreads,
+      [&](std::size_t t) {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          h.record(static_cast<double>(t + 1));
+        }
+      },
+      kThreads);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  // Sum of t+1 over threads, kPerThread times each.
+  double expected = 0.0;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    expected += static_cast<double>(t + 1) * kPerThread;
+  }
+  EXPECT_DOUBLE_EQ(h.sum(), expected);
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  const ScopedEnable on;
+  Gauge& g = Registry::instance().gauge("test.gauge");
+  g.reset();
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Histogram, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0 is [0, 2); bucket b >= 1 is [2^b, 2^(b+1)): every boundary
+  // 2^b opens bucket b exactly.
+  EXPECT_EQ(histogram_bucket(0.0), 0u);
+  EXPECT_EQ(histogram_bucket(1.0), 0u);
+  EXPECT_EQ(histogram_bucket(1.999), 0u);
+  EXPECT_EQ(histogram_bucket(2.0), 1u);
+  EXPECT_EQ(histogram_bucket(3.999), 1u);
+  EXPECT_EQ(histogram_bucket(4.0), 2u);
+  EXPECT_EQ(histogram_bucket(1024.0), 10u);
+  EXPECT_EQ(histogram_bucket(1023.999), 9u);
+  // Negatives, NaN, and infinities must not index out of range. Huge
+  // values are capped at 2^62 before the integer cast (overflow guard),
+  // so they land in bucket 62.
+  EXPECT_EQ(histogram_bucket(-5.0), 0u);
+  EXPECT_EQ(histogram_bucket(std::nan("")), 0u);
+  EXPECT_EQ(histogram_bucket(1e300), 62u);
+  EXPECT_LT(histogram_bucket(1e300), kHistogramBuckets);
+  for (std::size_t b = 1; b < 30; ++b) {
+    EXPECT_EQ(histogram_bucket(histogram_bucket_floor(b)), b) << b;
+  }
+  EXPECT_EQ(histogram_bucket_floor(0), 0.0);
+  EXPECT_EQ(histogram_bucket_floor(10), 1024.0);
+}
+
+TEST(Histogram, RecordsLandInTheRightBuckets) {
+  const ScopedEnable on;
+  Histogram& h = Registry::instance().histogram("test.buckets");
+  h.reset();
+  h.record(1.0);    // bucket 0
+  h.record(2.0);    // bucket 1
+  h.record(3.0);    // bucket 1
+  h.record(100.0);  // bucket 6 ([64, 128))
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), kHistogramBuckets);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[6], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+}
+
+TEST(Snapshot, SerializeParseRoundTrip) {
+  const ScopedEnable on;
+  Registry& r = Registry::instance();
+  r.reset();
+  r.counter("rt.counter").add(42);
+  r.gauge("rt.gauge").set(-7);
+  Histogram& h = r.histogram("rt.hist");
+  h.record(1.0);
+  h.record(100.0);
+  h.record(100.0);
+
+  const Snapshot before = r.snapshot();
+  const std::string text = snapshot_to_json(before);
+  const Snapshot after = parse_snapshot(text);
+
+  EXPECT_EQ(after.counters.at("rt.counter"), 42u);
+  EXPECT_EQ(after.gauges.at("rt.gauge"), -7);
+  const auto& hist = after.histograms.at("rt.hist");
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_DOUBLE_EQ(hist.sum, 201.0);
+  ASSERT_EQ(hist.buckets.size(), 2u);  // sparse: buckets 0 and 6 only
+  EXPECT_EQ(hist.buckets[0], (std::pair<std::size_t, std::uint64_t>{0, 1}));
+  EXPECT_EQ(hist.buckets[1], (std::pair<std::size_t, std::uint64_t>{6, 2}));
+  // A round-trip of the round-trip is bit-stable.
+  EXPECT_EQ(snapshot_to_json(after), text);
+  r.reset();
+}
+
+TEST(Snapshot, MergeSumsAcrossParts) {
+  Snapshot a, b;
+  a.counters["c"] = 2;
+  b.counters["c"] = 3;
+  b.counters["only_b"] = 1;
+  a.gauges["g"] = -1;
+  b.gauges["g"] = 5;
+  a.histograms["h"] = {2, 10.0, {{0, 1}, {3, 1}}};
+  b.histograms["h"] = {3, 20.0, {{3, 2}, {5, 1}}};
+  const Snapshot merged = merge_snapshots({a, b});
+  EXPECT_EQ(merged.counters.at("c"), 5u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_EQ(merged.gauges.at("g"), 4);
+  const auto& h = merged.histograms.at("h");
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.sum, 30.0);
+  const std::vector<std::pair<std::size_t, std::uint64_t>> expected{
+      {0, 1}, {3, 3}, {5, 1}};
+  EXPECT_EQ(h.buckets, expected);
+}
+
+TEST(Snapshot, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_snapshot("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_snapshot("{\"kind\":\"counter\"}"),
+               std::invalid_argument);  // no enclosing array
+  EXPECT_THROW(
+      parse_snapshot("[\n{\"kind\":\"counter\",\"name\":\"x\"}\n]\n"),
+      std::invalid_argument);  // counter without value
+}
+
+}  // namespace
+}  // namespace manytiers::obs

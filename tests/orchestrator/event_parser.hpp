@@ -1,0 +1,122 @@
+// Test-side parser for the ORCH_JSON event-log line format.
+//
+// This is the consumer contract for the "v" schema-version field on plan
+// events: v1 readers accept v1 logs (and unversioned pre-v1 logs, which
+// are treated as v1), and REFUSE logs stamped with a higher major
+// version instead of silently misreading fields whose meaning may have
+// changed. Field values are kept as raw JSON value text ("smoke" keeps
+// its quotes, numbers stay unparsed) — tests compare against literals.
+//
+// EXPERIMENTS.md documents every event kind this parser may encounter.
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace manytiers::orchestrator::test {
+
+inline constexpr std::size_t kSupportedOrchSchemaVersion = 1;
+
+struct ParsedEvent {
+  std::string type;
+  std::map<std::string, std::string> fields;  // key -> raw JSON value text
+
+  bool has(const std::string& key) const { return fields.count(key) != 0; }
+  const std::string& at(const std::string& key) const {
+    const auto it = fields.find(key);
+    if (it == fields.end()) {
+      throw std::out_of_range("event \"" + type + "\" has no field \"" + key +
+                              "\"");
+    }
+    return it->second;
+  }
+};
+
+// Parse one "ORCH_JSON {...}" line (the prefix is optional so raw Event
+// lines can be fed in directly). Throws std::invalid_argument on
+// structurally broken lines and on plan events with an unsupported
+// major schema version.
+inline ParsedEvent parse_event_line(const std::string& line) {
+  std::string body = line;
+  const std::string prefix = "ORCH_JSON ";
+  if (body.rfind(prefix, 0) == 0) body = body.substr(prefix.size());
+  while (!body.empty() && (body.back() == '\n' || body.back() == '\r')) {
+    body.pop_back();
+  }
+  if (body.size() < 2 || body.front() != '{' || body.back() != '}') {
+    throw std::invalid_argument("not an ORCH_JSON object line: " + line);
+  }
+
+  ParsedEvent event;
+  std::size_t i = 1;
+  const auto fail = [&](const char* what) {
+    throw std::invalid_argument(std::string("bad ORCH_JSON line (") + what +
+                                "): " + line);
+  };
+  while (i < body.size() - 1) {
+    if (body[i] == ',') ++i;
+    if (body[i] != '"') fail("expected key");
+    const std::size_t key_end = body.find('"', i + 1);
+    if (key_end == std::string::npos) fail("unterminated key");
+    const std::string key = body.substr(i + 1, key_end - i - 1);
+    if (key_end + 1 >= body.size() || body[key_end + 1] != ':') {
+      fail("expected ':'");
+    }
+    std::size_t value_start = key_end + 2;
+    std::size_t value_end = value_start;
+    if (value_start < body.size() && body[value_start] == '"') {
+      // String value; the Event emitter escapes quotes as \".
+      value_end = value_start + 1;
+      while (value_end < body.size() && body[value_end] != '"') {
+        value_end += body[value_end] == '\\' ? 2 : 1;
+      }
+      if (value_end >= body.size()) fail("unterminated string value");
+      ++value_end;  // include the closing quote
+    } else {
+      while (value_end < body.size() - 1 && body[value_end] != ',') {
+        ++value_end;
+      }
+    }
+    event.fields[key] = body.substr(value_start, value_end - value_start);
+    i = value_end;
+  }
+  const auto type_it = event.fields.find("type");
+  if (type_it == event.fields.end() || type_it->second.size() < 2) {
+    fail("missing type");
+  }
+  event.type = type_it->second.substr(1, type_it->second.size() - 2);
+
+  if (event.type == "plan") {
+    // Unversioned plan events predate "v" and mean v1.
+    std::size_t version = 1;
+    if (event.has("v")) {
+      std::istringstream in(event.at("v"));
+      if (!(in >> version)) fail("non-numeric \"v\"");
+    }
+    if (version > kSupportedOrchSchemaVersion) {
+      throw std::invalid_argument(
+          "unsupported ORCH_JSON schema version " + std::to_string(version) +
+          " (this reader understands <= " +
+          std::to_string(kSupportedOrchSchemaVersion) + ")");
+    }
+  }
+  return event;
+}
+
+// Parse a whole event log, skipping non-ORCH_JSON lines (worker noise
+// may be interleaved when the log shares a stream with stderr).
+inline std::vector<ParsedEvent> parse_event_log(const std::string& text) {
+  std::vector<ParsedEvent> events;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("ORCH_JSON ", 0) != 0) continue;
+    events.push_back(parse_event_line(line));
+  }
+  return events;
+}
+
+}  // namespace manytiers::orchestrator::test

@@ -1,0 +1,83 @@
+#include "event_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "orchestrator/events.hpp"
+
+namespace manytiers::orchestrator {
+namespace {
+
+TEST(EventParser, ParsesFieldsInRealEmitterOutput) {
+  // Round-trip through the real Event builder, not a hand-typed literal:
+  // if the emitter's formatting drifts, this is the test that notices.
+  const std::string line = Event("spawn")
+                               .field("shard", std::size_t{1})
+                               .field("attempt", std::size_t{0})
+                               .field("pid", 4242L)
+                               .field("grid", "smoke")
+                               .line();
+  const auto event = test::parse_event_line(line);
+  EXPECT_EQ(event.type, "spawn");
+  EXPECT_EQ(event.at("shard"), "1");
+  EXPECT_EQ(event.at("attempt"), "0");
+  EXPECT_EQ(event.at("pid"), "4242");
+  EXPECT_EQ(event.at("grid"), "\"smoke\"");
+  EXPECT_TRUE(event.has("pid"));
+  EXPECT_FALSE(event.has("missing"));
+  EXPECT_THROW(event.at("missing"), std::out_of_range);
+}
+
+TEST(EventParser, AcceptsVersion1PlanEvents) {
+  const auto event = test::parse_event_line(
+      Event("plan").field("v", std::size_t{1}).field("grid", "smoke").line());
+  EXPECT_EQ(event.type, "plan");
+  EXPECT_EQ(event.at("v"), "1");
+}
+
+TEST(EventParser, TreatsUnversionedPlanAsVersion1) {
+  EXPECT_NO_THROW(test::parse_event_line(
+      Event("plan").field("grid", "smoke").line()));
+}
+
+TEST(EventParser, RejectsFuturePlanSchemaVersions) {
+  try {
+    test::parse_event_line(
+        Event("plan").field("v", std::size_t{2}).field("grid", "smoke").line());
+    FAIL() << "v2 plan must be rejected";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("unsupported ORCH_JSON schema"),
+              std::string::npos);
+  }
+  // Non-plan events carry no version and are never rejected for one.
+  EXPECT_NO_THROW(test::parse_event_line(
+      Event("spawn").field("v", std::size_t{9}).line()));
+}
+
+TEST(EventParser, RejectsStructurallyBrokenLines) {
+  EXPECT_THROW(test::parse_event_line("not json at all"),
+               std::invalid_argument);
+  EXPECT_THROW(test::parse_event_line("ORCH_JSON {\"shard\":1}"),
+               std::invalid_argument);  // no type
+  EXPECT_THROW(test::parse_event_line("ORCH_JSON {\"type\":\"x\""),
+               std::invalid_argument);  // unterminated object
+}
+
+TEST(EventParser, ParsesWholeLogsAndSkipsInterleavedNoise) {
+  std::ostringstream stream;
+  EventLog log(stream);
+  log.write(Event("plan").field("v", std::size_t{1}).field("grid", "smoke"));
+  stream << "worker stderr noise, not an event\n";
+  log.write(Event("done").field("wall_ms", 12.5));
+  const auto events = test::parse_event_log(stream.str());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, "plan");
+  EXPECT_TRUE(events[0].has("t_ms"));  // the log stamps every event
+  EXPECT_EQ(events[1].type, "done");
+  EXPECT_EQ(events[1].at("wall_ms"), "12.500");  // Event prints 3 decimals
+}
+
+}  // namespace
+}  // namespace manytiers::orchestrator

@@ -14,6 +14,7 @@
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -21,6 +22,8 @@
 #include "driver/grid.hpp"
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
+#include "obs/trace.hpp"
+#include "event_parser.hpp"
 #include "orchestrator/process.hpp"
 #include "util/file.hpp"
 
@@ -225,6 +228,72 @@ TEST(Orchestrator, SlowStragglerIsHedgedWithoutConsumingRetries) {
             std::string::npos);
   EXPECT_NE(events.find("\"type\":\"hedge-win\",\"shard\":1"),
             std::string::npos);
+}
+
+TEST(Orchestrator, HedgedRunProducesMergedTraceAndMetrics) {
+  // ISSUE acceptance: the merged trace of a hedged run must load as
+  // valid Chrome trace JSON and carry a pid-tagged spawn->done "X" span
+  // for every shard attempt, including the hedge wave — and turning
+  // tracing + metrics on must not change the merged report bytes.
+  Fixture fx("hedge_trace");
+  fx.options.grid = "smoke";
+  fx.options.workers = 2;
+  fx.options.retries = 0;
+  fx.options.hedge_after_ms = 200.0;
+  fx.options.fault = "slow:1:8000";
+  fx.options.trace = ::testing::TempDir() + "orch_hedge.trace.json";
+  fx.options.metrics = true;
+  const auto result = fx.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.merged, unsharded_report(driver::smoke_grid()));
+  EXPECT_EQ(result.shards[1].attempts, 2u);  // primary + hedge
+
+  // The merged trace parses as a line-formatted JSON array; collect its
+  // supervisor lifecycle spans ("X" events, named "shard K attempt N").
+  const auto events = obs::read_trace_events(fx.options.trace);
+  ASSERT_FALSE(events.empty());
+  std::size_t shard0_spans = 0, shard1_spans = 0, hedge_spans = 0;
+  std::set<std::string> pids;
+  for (const auto& event : events) {
+    const auto pid_at = event.find("\"pid\":");
+    ASSERT_NE(pid_at, std::string::npos) << event;
+    pids.insert(event.substr(pid_at + 6, event.find_first_of(",}", pid_at) -
+                                             pid_at - 6));
+    if (event.find("\"ph\":\"X\"") == std::string::npos) continue;
+    ASSERT_NE(event.find("\"dur\":"), std::string::npos) << event;
+    if (event.find("\"name\":\"shard 0 attempt") != std::string::npos) {
+      ++shard0_spans;
+    }
+    if (event.find("\"name\":\"shard 1 attempt") != std::string::npos) {
+      ++shard1_spans;
+    }
+    if (event.find("(hedge)") != std::string::npos) ++hedge_spans;
+  }
+  EXPECT_EQ(shard0_spans, 1u);
+  EXPECT_EQ(shard1_spans, 2u);  // straggling primary + winning hedge
+  EXPECT_EQ(hedge_spans, 1u);
+  // Pid-tagged across processes: the supervisor plus >= 2 worker pids
+  // (the slow loser may be killed before it flushes a trace).
+  EXPECT_GE(pids.size(), 3u);
+
+  // The event log carries the merged-metrics roll-up, and the whole log
+  // parses under the versioned test-side reader.
+  const auto parsed = test::parse_event_log(fx.events.str());
+  ASSERT_FALSE(parsed.empty());
+  EXPECT_EQ(parsed.front().type, "plan");
+  EXPECT_EQ(parsed.front().at("v"), "1");
+  bool saw_metrics = false, saw_trace = false;
+  for (const auto& event : parsed) {
+    if (event.type == "metrics") {
+      saw_metrics = true;
+      EXPECT_EQ(event.at("shards_reporting"), "2");
+      EXPECT_TRUE(event.has("driver.tasks"));
+    }
+    if (event.type == "trace") saw_trace = true;
+  }
+  EXPECT_TRUE(saw_metrics);
+  EXPECT_TRUE(saw_trace);
+  std::filesystem::remove(fx.options.trace);
 }
 
 TEST(Orchestrator, PartialWriteThenDeathIsRetried) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bundling/optimal.hpp"
+#include "obs/registry.hpp"
 #include "workload/generators.hpp"
 
 namespace manytiers::pricing {
@@ -155,12 +156,15 @@ TEST(CaptureSeries, ClassAwareMatchesPerCountWithFallback) {
 }
 
 TEST(CaptureSeries, OptimalCostsExactlyOneDpTableFill) {
+  const obs::ScopedEnable metrics;
+  obs::Counter& fills =
+      obs::Registry::instance().counter("bundling.dp_fills");
   for (const auto kind : {demand::DemandKind::ConstantElasticity,
                           demand::DemandKind::Logit}) {
     const auto m = eu_market(kind);
-    bundling::reset_interval_dp_fill_count();
+    fills.reset();
     capture_series(m, Strategy::Optimal, 8);
-    EXPECT_EQ(bundling::interval_dp_fill_count(), 1u);
+    EXPECT_EQ(fills.value(), 1u);
   }
 }
 

@@ -104,7 +104,8 @@ def parse_bench_log(path):
             key = (record["bench"], record.get("threads", 1))
             entry = log["records"].get(key)
             if entry is None:
-                entry = {"n": record.get("n"), "samples": []}
+                entry = {"n": record.get("n"), "samples": [],
+                         "max_rss_kb": None}
                 log["records"][key] = entry
                 log["keys"].append(key)
             elif entry["n"] != record.get("n"):
@@ -112,6 +113,11 @@ def parse_bench_log(path):
                     f"{path}: bench {key[0]!r} threads={key[1]} re-run with "
                     f"different n ({entry['n']} vs {record.get('n')})")
             entry["samples"].append(record["wall_ms"])
+            # Resource fields are newer than some logs; absent means an
+            # older binary wrote the log, which stays fully comparable.
+            if record.get("max_rss_kb") is not None:
+                entry["max_rss_kb"] = max(entry["max_rss_kb"] or 0,
+                                          record["max_rss_kb"])
     if not log["keys"]:
         raise ValueError(f"{path}: no BENCH_JSON records found")
     return log
@@ -126,8 +132,8 @@ def median(samples):
 
 
 def diff_trajectory(baseline, candidate, factor, min_ms):
-    """-> (structure_problems, latency_regressions) between bench logs."""
-    structure, regressions = [], []
+    """-> (structure_problems, latency_regressions, notes) between logs."""
+    structure, regressions, notes = [], [], []
     for key in baseline["keys"]:
         bench, threads = key
         label = f"{bench} threads={threads}"
@@ -145,11 +151,18 @@ def diff_trajectory(baseline, candidate, factor, min_ms):
             regressions.append(
                 f"{label}: {old_ms:.2f} ms -> {new_ms:.2f} ms "
                 f"({new_ms / old_ms:.2f}x)")
+        # Peak RSS is informational only (a process-wide high-water mark,
+        # shared across benches in one binary): report growth, never fail.
+        old_rss, new_rss = base.get("max_rss_kb"), cand.get("max_rss_kb")
+        if old_rss and new_rss and new_rss > old_rss * 1.25:
+            notes.append(
+                f"{label}: max RSS {old_rss} kB -> {new_rss} kB "
+                f"({new_rss / old_rss:.2f}x, informational)")
     for key in candidate["keys"]:
         if key not in baseline["records"]:
             structure.append(
                 f"bench missing from baseline: {key[0]} threads={key[1]}")
-    return structure, regressions
+    return structure, regressions, notes
 
 
 def diff_envelopes(baseline, candidate, tol):
@@ -245,9 +258,11 @@ def diff_latency(baseline, candidate, factor, min_ms):
 def diff_bench_logs(args):
     baseline = parse_bench_log(args.baseline)
     candidate = parse_bench_log(args.candidate)
-    structure, regressions = diff_trajectory(
+    structure, regressions, notes = diff_trajectory(
         baseline, candidate, args.latency_factor, args.latency_min_ms)
     for line in structure:
+        print(f"bench_diff: {line}", file=sys.stderr)
+    for line in notes:
         print(f"bench_diff: {line}", file=sys.stderr)
     for line in regressions:
         print(f"LATENCY  {line}")

@@ -2,13 +2,17 @@
 # Tier-1 gate plus sanitizer pass for the process-supervision paths.
 #
 #   tools/check.sh            # full build + full ctest, then ASan+UBSan
-#                             # build + `ctest -L orchestrator`
-#   tools/check.sh --fast     # skip the sanitizer leg
+#                             # build + `ctest -L orchestrator`, then TSan
+#                             # build + `ctest -L "obs|parallel"`
+#   tools/check.sh --fast     # skip both sanitizer legs
 #
 # The orchestrator fork/exec/kill/heartbeat code is exactly the kind of
 # code where a latent use-after-free or signed-overflow hides behind
 # "the test passed": the sanitizer leg re-runs every orchestrator- and
-# driver-labelled supervision test with ASan+UBSan enabled.
+# driver-labelled supervision test with ASan+UBSan enabled. The TSan leg
+# covers the other risk pocket — the lock-free obs registry (sharded
+# relaxed atomics) and the parallel_for pool — where a data race would
+# corrupt counters silently instead of crashing.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,6 +41,18 @@ echo "== sanitizers: ctest -L orchestrator =="
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="detect_leaks=0" \
   ctest --test-dir "$repo/build-asan" -L orchestrator \
+    --output-on-failure -j "$jobs"
+
+echo "== sanitizers: TSan build =="
+cmake -S "$repo" -B "$repo/build-tsan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMANYTIERS_TSAN=ON
+# obs_smoke (labeled obs) drives the real batch + orchestrator binaries.
+cmake --build "$repo/build-tsan" -j "$jobs" \
+  --target test_obs test_parallel manytiers_batch manytiers_orchestrate
+
+echo "== sanitizers: ctest -L \"obs|parallel\" =="
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$repo/build-tsan" -L "obs|parallel" \
     --output-on-failure -j "$jobs"
 
 echo "check.sh: all green"
