@@ -124,6 +124,45 @@ int main() {
     table.print(std::cout);
     std::cout << '\n';
   }
+  // Large-n leg: 20k flows pushes each DP row past the kernel's
+  // parallel threshold, so sweep workers exercise the
+  // nested-parallelism guard (the DP must stay serial inside a
+  // parallel_for worker) end-to-end. Results must still be
+  // bit-identical across thread counts.
+  {
+    Workload large{
+        .flows = workload::generate_eu_isp({.seed = 42, .n_flows = 20000}),
+        .cost = cost::make_linear_cost(0.2),
+        .alphas = {1.1, 2.0}};
+    std::cout << "Large-n leg (20000 flows, CED, 2 alphas):\n";
+    pricing::SweepResult reference;
+    bool have_reference = false;
+    std::vector<std::size_t> large_threads{1};
+    if (hw != 1) large_threads.push_back(hw);
+    for (const std::size_t threads : large_threads) {
+      pricing::SweepResult result;
+      bench::run_timed(
+          "sweep_scaling_large_ced", large.flows.size(), threads,
+          [&] {
+            result = pricing::sweep_alpha(
+                large.inputs(demand::DemandKind::ConstantElasticity, threads),
+                large.alphas);
+          },
+          bench::TimingOptions{.warmup = 0, .reps = 3});
+      if (!have_reference) {
+        reference = result;
+        have_reference = true;
+      }
+      const bool identical = bitwise_equal(result, reference);
+      all_identical = all_identical && identical;
+      std::cout << "  threads=" << threads
+                << (identical ? "  matches threads=1 bit-for-bit"
+                              : "  MISMATCH vs threads=1!")
+                << '\n';
+    }
+    std::cout << '\n';
+  }
+
   std::cout << (all_identical
                     ? "All thread counts reproduce the serial reference "
                       "exactly.\n"

@@ -1,0 +1,71 @@
+#include "bundling/objectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace manytiers::bundling {
+
+PrefixSums build_prefix_sums(std::span<const double> valuations,
+                             std::span<const double> costs,
+                             const std::function<double(double)>& weight) {
+  if (valuations.empty() || valuations.size() != costs.size()) {
+    throw std::invalid_argument(
+        "optimal bundling: valuations/costs must be equal-size, non-empty");
+  }
+  PrefixSums ps;
+  ps.order.resize(valuations.size());
+  std::iota(ps.order.begin(), ps.order.end(), std::size_t{0});
+  std::stable_sort(ps.order.begin(), ps.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return costs[a] < costs[b];
+                   });
+  ps.w.assign(valuations.size() + 1, 0.0);
+  ps.wc.assign(valuations.size() + 1, 0.0);
+  for (std::size_t r = 0; r < ps.order.size(); ++r) {
+    const std::size_t i = ps.order[r];
+    if (!(costs[i] > 0.0)) {
+      throw std::invalid_argument("optimal bundling: costs must be > 0");
+    }
+    const double wi = weight(valuations[i]);
+    ps.w[r + 1] = ps.w[r] + wi;
+    ps.wc[r + 1] = ps.wc[r] + wi * costs[i];
+  }
+  return ps;
+}
+
+CedObjective make_ced_objective(std::span<const double> valuations,
+                                std::span<const double> costs, double alpha) {
+  if (!(alpha > 1.0)) throw std::invalid_argument("ced_optimal: alpha must be > 1");
+  const double vmax = *std::max_element(valuations.begin(), valuations.end());
+  if (!(vmax > 0.0)) {
+    throw std::invalid_argument("ced_optimal: valuations must be > 0");
+  }
+  CedObjective obj;
+  obj.ps = build_prefix_sums(
+      valuations, costs,
+      [alpha, vmax](double v) { return std::pow(v / vmax, alpha); });
+  obj.alpha = alpha;
+  obj.kappa = std::pow(alpha, -alpha) * std::pow(alpha - 1.0, alpha - 1.0);
+  return obj;
+}
+
+LogitObjective make_logit_objective(std::span<const double> valuations,
+                                    std::span<const double> costs,
+                                    double alpha) {
+  if (!(alpha > 0.0)) {
+    throw std::invalid_argument("logit_optimal: alpha must be > 0");
+  }
+  const double vmax = *std::max_element(valuations.begin(), valuations.end());
+  const double cmin = *std::min_element(costs.begin(), costs.end());
+  LogitObjective obj;
+  obj.ps = build_prefix_sums(
+      valuations, costs,
+      [alpha, vmax](double v) { return std::exp(alpha * (v - vmax)); });
+  obj.alpha = alpha;
+  obj.cmin = cmin;
+  return obj;
+}
+
+}  // namespace manytiers::bundling

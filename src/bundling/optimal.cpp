@@ -1,15 +1,10 @@
 #include "bundling/optimal.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
-#include <numeric>
 #include <stdexcept>
-#include <string>
-#include <vector>
 
-#include "obs/registry.hpp"
-#include "obs/trace.hpp"
+#include "bundling/dp_kernel.hpp"
+#include "bundling/objectives.hpp"
 
 namespace manytiers::bundling {
 
@@ -66,77 +61,6 @@ Bundling exhaustive_optimal(
 
 namespace {
 
-struct DpTables {
-  // best[b][k]: maximum value of splitting the first k sorted flows into
-  // exactly b intervals; split[b][k]: start of the last interval.
-  std::vector<std::vector<double>> best;
-  std::vector<std::vector<std::size_t>> split;
-  std::size_t n = 0;
-};
-
-DpTables fill_dp_tables(std::size_t n, std::size_t b_max,
-                        const std::function<double(std::size_t, std::size_t)>&
-                            segment_value) {
-  // The O(n^2 B) hot loop of the Optimal strategy. The fill counter is
-  // what lets tests pin "one capture series costs exactly one fill";
-  // the span makes each fill a visible block on the flame view.
-  static obs::Counter& fills =
-      obs::Registry::instance().counter("bundling.dp_fills");
-  fills.add();
-  const obs::Span span(
-      "interval_dp.fill",
-      obs::Tracer::instance().active()
-          ? "{\"n\":" + std::to_string(n) +
-                ",\"b_max\":" + std::to_string(b_max) + "}"
-          : std::string());
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  DpTables t;
-  t.n = n;
-  t.best.assign(b_max + 1, std::vector<double>(n + 1, kNegInf));
-  t.split.assign(b_max + 1, std::vector<std::size_t>(n + 1, 0));
-  t.best[0][0] = 0.0;
-  for (std::size_t b = 1; b <= b_max; ++b) {
-    for (std::size_t k = b; k <= n; ++k) {
-      for (std::size_t i = b - 1; i < k; ++i) {
-        if (t.best[b - 1][i] == kNegInf) continue;
-        const double value = t.best[b - 1][i] + segment_value(i, k);
-        if (value > t.best[b][k]) {
-          t.best[b][k] = value;
-          t.split[b][k] = i;
-        }
-      }
-    }
-  }
-  return t;
-}
-
-// Reconstruct the optimal bundling for a requested bundle count from the
-// filled tables. Row b of the DP does not depend on b_max, so extracting
-// from a taller table is identical to filling a table of exactly this
-// height.
-Bundling extract_bundling(const DpTables& t,
-                          std::span<const std::size_t> order,
-                          std::size_t n_bundles) {
-  const std::size_t n = t.n;
-  const std::size_t b_cap = std::min(n_bundles, n);
-  // More bundles can never hurt (the objective is superadditive), but take
-  // the max over b anyway to stay correct for arbitrary segment values.
-  std::size_t b_best = 1;
-  for (std::size_t b = 2; b <= b_cap; ++b) {
-    if (t.best[b][n] > t.best[b_best][n]) b_best = b;
-  }
-  Bundling out(b_best);
-  std::size_t end = n;
-  for (std::size_t b = b_best; b >= 1; --b) {
-    const std::size_t start = t.split[b][end];
-    for (std::size_t r = start; r < end; ++r) {
-      out[b - 1].push_back(order[r]);
-    }
-    end = start;
-  }
-  return out;
-}
-
 void require_dp_args(std::size_t n, std::size_t n_bundles) {
   if (n == 0) throw std::invalid_argument("interval_dp: no flows");
   if (n_bundles == 0) {
@@ -144,140 +68,53 @@ void require_dp_args(std::size_t n, std::size_t n_bundles) {
   }
 }
 
+// Shared single-count / series plumbing, templated on the concrete
+// objective so ced_optimal / logit_optimal compile to direct calls into
+// the kernel (the std::function entry points below instantiate it with
+// the type-erased callable).
+template <class Objective>
+Bundling interval_dp_impl(std::span<const std::size_t> order,
+                          std::size_t n_bundles, const Objective& value) {
+  require_dp_args(order.size(), n_bundles);
+  const std::size_t b_max = std::min(n_bundles, order.size());
+  const auto tables = fill_dp_tables(order.size(), b_max, value);
+  return extract_dp_bundling(tables, order, n_bundles);
+}
+
+template <class Objective>
+std::vector<Bundling> interval_dp_all_impl(std::span<const std::size_t> order,
+                                           std::size_t max_bundles,
+                                           const Objective& value) {
+  require_dp_args(order.size(), max_bundles);
+  const std::size_t b_max = std::min(max_bundles, order.size());
+  const auto tables = fill_dp_tables(order.size(), b_max, value);
+  std::vector<Bundling> out;
+  out.reserve(max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    out.push_back(extract_dp_bundling(tables, order, b));
+  }
+  return out;
+}
+
 }  // namespace
 
 Bundling interval_dp(std::span<const std::size_t> order, std::size_t n_bundles,
                      const std::function<double(std::size_t, std::size_t)>&
                          segment_value) {
-  require_dp_args(order.size(), n_bundles);
-  const std::size_t b_max = std::min(n_bundles, order.size());
-  const auto tables = fill_dp_tables(order.size(), b_max, segment_value);
-  return extract_bundling(tables, order, n_bundles);
+  return interval_dp_impl(order, n_bundles, segment_value);
 }
 
 std::vector<Bundling> interval_dp_all(
     std::span<const std::size_t> order, std::size_t max_bundles,
     const std::function<double(std::size_t, std::size_t)>& segment_value) {
-  require_dp_args(order.size(), max_bundles);
-  const std::size_t b_max = std::min(max_bundles, order.size());
-  const auto tables = fill_dp_tables(order.size(), b_max, segment_value);
-  std::vector<Bundling> out;
-  out.reserve(max_bundles);
-  for (std::size_t b = 1; b <= max_bundles; ++b) {
-    out.push_back(extract_bundling(tables, order, b));
-  }
-  return out;
+  return interval_dp_all_impl(order, max_bundles, segment_value);
 }
-
-namespace {
-
-struct PrefixSums {
-  std::vector<std::size_t> order;  // flow indices sorted by unit cost
-  std::vector<double> w;           // prefix sums of weights
-  std::vector<double> wc;          // prefix sums of weight * cost
-};
-
-// Sort by unit cost and accumulate weight prefix sums. `weight` maps a
-// valuation to the model's bundle weight, already normalized by the
-// caller for overflow safety (both objectives are homogeneous in the
-// weights, so normalization does not change the argmax).
-PrefixSums build_prefix_sums(std::span<const double> valuations,
-                             std::span<const double> costs,
-                             const std::function<double(double)>& weight) {
-  if (valuations.empty() || valuations.size() != costs.size()) {
-    throw std::invalid_argument(
-        "optimal bundling: valuations/costs must be equal-size, non-empty");
-  }
-  PrefixSums ps;
-  ps.order.resize(valuations.size());
-  std::iota(ps.order.begin(), ps.order.end(), std::size_t{0});
-  std::stable_sort(ps.order.begin(), ps.order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return costs[a] < costs[b];
-                   });
-  ps.w.assign(valuations.size() + 1, 0.0);
-  ps.wc.assign(valuations.size() + 1, 0.0);
-  for (std::size_t r = 0; r < ps.order.size(); ++r) {
-    const std::size_t i = ps.order[r];
-    if (!(costs[i] > 0.0)) {
-      throw std::invalid_argument("optimal bundling: costs must be > 0");
-    }
-    const double wi = weight(valuations[i]);
-    ps.w[r + 1] = ps.w[r] + wi;
-    ps.wc[r + 1] = ps.wc[r] + wi * costs[i];
-  }
-  return ps;
-}
-
-// Sort + prefix sums + the model's segment objective, built once and
-// shared between the single-count entry points and the series variants
-// so both run the same arithmetic.
-struct CedObjective {
-  PrefixSums ps;
-  double alpha = 0.0;
-  double kappa = 0.0;
-  double operator()(std::size_t i, std::size_t j) const {
-    // Bundle profit at its optimal price, up to the weight normalization:
-    // W * cbar^(1-alpha) * alpha^-alpha * (alpha-1)^(alpha-1).
-    const double w = ps.w[j] - ps.w[i];
-    const double c_bar = (ps.wc[j] - ps.wc[i]) / w;
-    return kappa * w * std::pow(c_bar, 1.0 - alpha);
-  }
-};
-
-CedObjective make_ced_objective(std::span<const double> valuations,
-                                std::span<const double> costs, double alpha) {
-  if (!(alpha > 1.0)) throw std::invalid_argument("ced_optimal: alpha must be > 1");
-  const double vmax = *std::max_element(valuations.begin(), valuations.end());
-  if (!(vmax > 0.0)) {
-    throw std::invalid_argument("ced_optimal: valuations must be > 0");
-  }
-  CedObjective obj;
-  obj.ps = build_prefix_sums(
-      valuations, costs,
-      [alpha, vmax](double v) { return std::pow(v / vmax, alpha); });
-  obj.alpha = alpha;
-  obj.kappa = std::pow(alpha, -alpha) * std::pow(alpha - 1.0, alpha - 1.0);
-  return obj;
-}
-
-struct LogitObjective {
-  PrefixSums ps;
-  double alpha = 0.0;
-  double cmin = 0.0;
-  double operator()(std::size_t i, std::size_t j) const {
-    // Bundle quality W * e^{-alpha cbar}, shifted by cmin for stability
-    // (multiplies every segment by the same e^{alpha cmin} constant).
-    const double w = ps.w[j] - ps.w[i];
-    const double c_bar = (ps.wc[j] - ps.wc[i]) / w;
-    return w * std::exp(-alpha * (c_bar - cmin));
-  }
-};
-
-LogitObjective make_logit_objective(std::span<const double> valuations,
-                                    std::span<const double> costs,
-                                    double alpha) {
-  if (!(alpha > 0.0)) {
-    throw std::invalid_argument("logit_optimal: alpha must be > 0");
-  }
-  const double vmax = *std::max_element(valuations.begin(), valuations.end());
-  const double cmin = *std::min_element(costs.begin(), costs.end());
-  LogitObjective obj;
-  obj.ps = build_prefix_sums(
-      valuations, costs,
-      [alpha, vmax](double v) { return std::exp(alpha * (v - vmax)); });
-  obj.alpha = alpha;
-  obj.cmin = cmin;
-  return obj;
-}
-
-}  // namespace
 
 Bundling ced_optimal(std::span<const double> valuations,
                      std::span<const double> costs, double alpha,
                      std::size_t n_bundles) {
   const auto obj = make_ced_objective(valuations, costs, alpha);
-  return interval_dp(obj.ps.order, n_bundles, std::cref(obj));
+  return interval_dp_impl(obj.ps.order, n_bundles, obj);
 }
 
 std::vector<Bundling> ced_optimal_series(std::span<const double> valuations,
@@ -285,14 +122,14 @@ std::vector<Bundling> ced_optimal_series(std::span<const double> valuations,
                                          double alpha,
                                          std::size_t max_bundles) {
   const auto obj = make_ced_objective(valuations, costs, alpha);
-  return interval_dp_all(obj.ps.order, max_bundles, std::cref(obj));
+  return interval_dp_all_impl(obj.ps.order, max_bundles, obj);
 }
 
 Bundling logit_optimal(std::span<const double> valuations,
                        std::span<const double> costs, double alpha,
                        std::size_t n_bundles) {
   const auto obj = make_logit_objective(valuations, costs, alpha);
-  return interval_dp(obj.ps.order, n_bundles, std::cref(obj));
+  return interval_dp_impl(obj.ps.order, n_bundles, obj);
 }
 
 std::vector<Bundling> logit_optimal_series(std::span<const double> valuations,
@@ -300,7 +137,7 @@ std::vector<Bundling> logit_optimal_series(std::span<const double> valuations,
                                            double alpha,
                                            std::size_t max_bundles) {
   const auto obj = make_logit_objective(valuations, costs, alpha);
-  return interval_dp_all(obj.ps.order, max_bundles, std::cref(obj));
+  return interval_dp_all_impl(obj.ps.order, max_bundles, obj);
 }
 
 }  // namespace manytiers::bundling

@@ -71,10 +71,22 @@ std::vector<Bundling> interval_dp_all(
     std::span<const std::size_t> order, std::size_t max_bundles,
     const std::function<double(std::size_t, std::size_t)>& segment_value);
 
-// Instrumentation: DP table fills are counted on the obs registry
-// counter "bundling.dp_fills" (shared by interval_dp and
-// interval_dp_all; per-thread sharded, safe under parallel sweeps).
-// Tests enable the registry and assert a capture series costs exactly
-// one fill.
+// Implementation note: every entry point above runs through the layered
+// kernel in bundling/dp_kernel.hpp — flat row-major tables with uint32
+// split indices, a divide-and-conquer O(n log n)-per-row fast path when
+// the objective passes the total-monotonicity probe (both CED and logit
+// do; DESIGN.md §6), a naive-fill fallback otherwise, and deterministic
+// chunked parallelism for rows past a width threshold. Output is
+// bit-identical to the naive reference at any thread count; the
+// MANYTIERS_DP_KERNEL env var ("auto" | "naive" | "dc") forces a kernel
+// for A/B byte-compares.
+//
+// Instrumentation (obs registry, per-thread sharded, safe under
+// parallel sweeps): "bundling.dp_fills" counts table fills (shared by
+// interval_dp and interval_dp_all; tests enable the registry and assert
+// a capture series costs exactly one fill), "bundling.dp_cells" the DP
+// cells computed, and "bundling.dp_fastpath" / "bundling.dp_fallbacks"
+// partition auto-kernel fills by whether the monotonicity probe let the
+// divide-and-conquer path run.
 
 }  // namespace manytiers::bundling

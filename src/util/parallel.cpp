@@ -10,6 +10,12 @@
 
 namespace manytiers::util {
 
+namespace {
+thread_local bool t_in_parallel_worker = false;
+}  // namespace
+
+bool in_parallel_worker() { return t_in_parallel_worker; }
+
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("MANYTIERS_THREADS")) {
     char* end = nullptr;
@@ -43,6 +49,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     const std::size_t size = base + (t < extra ? 1 : 0);
     const std::size_t end = begin + size;
     workers.emplace_back([&body, &errors, t, begin, end] {
+      t_in_parallel_worker = true;
       try {
         // Trace row per worker ordinal (tid = t + 1; 0 is the spawning
         // thread): sequential parallel_for calls reuse the same rows,

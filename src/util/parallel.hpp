@@ -31,4 +31,11 @@ std::size_t default_thread_count();
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 
+// True when the calling thread is a parallel_for worker. Inner layers
+// (e.g. the bundling DP kernel) use this to stay serial instead of
+// fanning out nested thread pools when the sweep engine already owns
+// the cores. The inline `threads <= 1` path does not set it — a serial
+// outer loop leaves inner layers free to parallelize.
+bool in_parallel_worker();
+
 }  // namespace manytiers::util

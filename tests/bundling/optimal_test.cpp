@@ -224,6 +224,33 @@ TEST(OptimalSeries, CostExactlyOneDpFill) {
   EXPECT_EQ(fills.value(), 1u);
 }
 
+TEST(OptimalSeries, DpKernelCountersTrackCellsAndFastPath) {
+  // dp_cells counts computed DP cells exactly: row b covers k in [b, n],
+  // so a 20-flow, 6-row fill is sum_{b=1..6} (20 - b + 1) = 105 cells.
+  // Both paper objectives are totally monotone, so the auto kernel's
+  // probe must let the divide-and-conquer path run (dp_fastpath) and
+  // never fall back (dp_fallbacks).
+  const obs::ScopedEnable metrics;
+  auto& registry = obs::Registry::instance();
+  obs::Counter& cells = registry.counter("bundling.dp_cells");
+  obs::Counter& fastpath = registry.counter("bundling.dp_fastpath");
+  obs::Counter& fallbacks = registry.counter("bundling.dp_fallbacks");
+  const auto inst = random_instance(12, 20);
+  for (int pass = 0; pass < 2; ++pass) {
+    cells.reset();
+    fastpath.reset();
+    fallbacks.reset();
+    if (pass == 0) {
+      ced_optimal_series(inst.v, inst.c, 1.4, 6);
+    } else {
+      logit_optimal_series(inst.v, inst.c, 1.2, 6);
+    }
+    EXPECT_EQ(cells.value(), 105u) << "pass=" << pass;
+    EXPECT_EQ(fastpath.value(), 1u) << "pass=" << pass;
+    EXPECT_EQ(fallbacks.value(), 0u) << "pass=" << pass;
+  }
+}
+
 TEST(CedOptimal, ProfitIsMonotoneInBundleCount) {
   const auto inst = random_instance(42, 40);
   const demand::CedModel model(1.3);

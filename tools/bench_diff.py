@@ -19,6 +19,13 @@ A latency regression is a wall_ms that grew by more than
 must trip; absent timing fields are skipped). Mixing modes — a batch
 report against a bench log — is an error.
 
+Bench mode can also run as a speedup gate: --min-speedup X requires the
+candidate to be at least X times faster than the baseline on every
+shared key (exit 1 otherwise). Used by tools/check.sh to hold the
+divide-and-conquer DP kernel to a same-machine advantage over the naive
+kernel, where both logs come from the same host and the usual
+cross-machine noise caveats do not apply.
+
 Exit status: 0 clean, 1 capture regression (or latency regression with
 --fail-on-latency), 2 usage/incomparable-input errors (mismatched grids,
 mixed modes, missing bench keys).
@@ -131,7 +138,7 @@ def median(samples):
     return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
-def diff_trajectory(baseline, candidate, factor, min_ms):
+def diff_trajectory(baseline, candidate, factor, min_ms, min_speedup=None):
     """-> (structure_problems, latency_regressions, notes) between logs."""
     structure, regressions, notes = [], [], []
     for key in baseline["keys"]:
@@ -147,6 +154,16 @@ def diff_trajectory(baseline, candidate, factor, min_ms):
                 f"{label}: n {base['n']} -> {cand['n']} (not comparable)")
             continue
         old_ms, new_ms = median(base["samples"]), median(cand["samples"])
+        if min_speedup is not None:
+            # Speedup-gate mode: the candidate must beat the baseline by
+            # at least min_speedup on every shared key (used to hold the
+            # dc DP kernel to a same-machine advantage over naive).
+            speedup = old_ms / new_ms if new_ms > 0 else float("inf")
+            if speedup < min_speedup:
+                regressions.append(
+                    f"{label}: {old_ms:.2f} ms -> {new_ms:.2f} ms "
+                    f"({speedup:.2f}x, need >= {min_speedup:g}x)")
+            continue
         if new_ms > old_ms * factor and new_ms - old_ms > min_ms:
             regressions.append(
                 f"{label}: {old_ms:.2f} ms -> {new_ms:.2f} ms "
@@ -259,7 +276,8 @@ def diff_bench_logs(args):
     baseline = parse_bench_log(args.baseline)
     candidate = parse_bench_log(args.candidate)
     structure, regressions, notes = diff_trajectory(
-        baseline, candidate, args.latency_factor, args.latency_min_ms)
+        baseline, candidate, args.latency_factor, args.latency_min_ms,
+        args.min_speedup)
     for line in structure:
         print(f"bench_diff: {line}", file=sys.stderr)
     for line in notes:
@@ -269,11 +287,17 @@ def diff_bench_logs(args):
     if structure:
         return 2
     if not regressions:
-        print(f"OK: {len(baseline['keys'])} bench trajectories match "
-              f"(factor {args.latency_factor:g}, min {args.latency_min_ms:g} "
-              "ms)")
+        if args.min_speedup is not None:
+            print(f"OK: candidate >= {args.min_speedup:g}x faster than "
+                  f"baseline on all {len(baseline['keys'])} bench keys")
+        else:
+            print(f"OK: {len(baseline['keys'])} bench trajectories match "
+                  f"(factor {args.latency_factor:g}, "
+                  f"min {args.latency_min_ms:g} ms)")
         return 0
-    return 1 if args.fail_on_latency else 0
+    # A failed speedup gate is a hard failure: the caller asked for a
+    # minimum same-machine advantage, not a noisy-trajectory warning.
+    return 1 if (args.fail_on_latency or args.min_speedup is not None) else 0
 
 
 def main(argv=None):
@@ -289,6 +313,11 @@ def main(argv=None):
                         help="ignore absolute growth below this many ms")
     parser.add_argument("--fail-on-latency", action="store_true",
                         help="exit 1 on latency regressions too")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="bench mode only: require the candidate to be "
+                        "at least this many times faster than the baseline "
+                        "on every shared key (exit 1 otherwise); replaces "
+                        "the growth gates")
     args = parser.parse_args(argv)
 
     try:
@@ -299,6 +328,8 @@ def main(argv=None):
                 f"{args.candidate} is a {modes[1]}")
         if modes[0] == "bench":
             return diff_bench_logs(args)
+        if args.min_speedup is not None:
+            raise ValueError("--min-speedup only applies to bench logs")
         baseline = parse_report(args.baseline)
         candidate = parse_report(args.candidate)
     except (OSError, ValueError, json.JSONDecodeError) as err:

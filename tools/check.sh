@@ -27,6 +27,26 @@ cmake --build "$repo/build" -j "$jobs"
 echo "== tier-1: full ctest =="
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
+echo "== dp kernel: naive-vs-dc speedup gate =="
+if command -v python3 >/dev/null 2>&1; then
+  # Same machine, same binary, both kernels forced in turn: the
+  # divide-and-conquer fill must beat naive by >= 3x on every quick
+  # config (the full-mode acceptance number, 5x at n=50k, is recorded in
+  # the committed baselines; the quick grid keeps this leg under a
+  # minute). A trajectory compare against the committed dc baseline is
+  # informational: cross-machine wall times are too noisy to gate on.
+  dp_dir="$repo/build/dp_gate"
+  mkdir -p "$dp_dir"
+  "$repo/build/bench/bench_dp_scaling" --kernel naive > "$dp_dir/naive.log"
+  "$repo/build/bench/bench_dp_scaling" --kernel dc > "$dp_dir/dc.log"
+  python3 "$repo/tools/bench_diff.py" "$dp_dir/naive.log" "$dp_dir/dc.log" \
+    --min-speedup 3
+  python3 "$repo/tools/bench_diff.py" \
+    "$repo/bench/baselines/dp_scaling_dc.quick.log" "$dp_dir/dc.log" || true
+else
+  echo "check.sh: python3 not found, skipping dp kernel gate"
+fi
+
 if [[ "$fast" == 1 ]]; then
   echo "check.sh: --fast given, skipping sanitizer leg"
   exit 0
