@@ -83,16 +83,17 @@ StrategyResult run_strategy(const Market& market, Strategy strategy,
   return res;
 }
 
-namespace {
-
 // One bundling per bundle count in 1..max_bundles, sharing the per-
 // strategy invariant work across the series: the Optimal strategy fills
 // its interval-DP table once (interval_dp_all) instead of once per b,
 // and the weighted/division heuristics sort once. Results are identical
 // to calling build_bundling at each b.
-std::vector<bundling::Bundling> build_bundling_series(const Market& market,
-                                                      Strategy strategy,
-                                                      std::size_t max_bundles) {
+std::vector<bundling::Bundling> bundling_series(const Market& market,
+                                                Strategy strategy,
+                                                std::size_t max_bundles) {
+  if (max_bundles == 0) {
+    throw std::invalid_argument("bundling_series: need at least one bundle");
+  }
   const auto& costs = market.costs();
   switch (strategy) {
     case Strategy::Optimal:
@@ -140,8 +141,6 @@ std::vector<bundling::Bundling> build_bundling_series(const Market& market,
   throw std::invalid_argument("unknown strategy");
 }
 
-}  // namespace
-
 std::vector<double> capture_series(const Market& market, Strategy strategy,
                                    std::size_t max_bundles) {
   // A zero-length series used to be returned silently, and downstream
@@ -150,12 +149,33 @@ std::vector<double> capture_series(const Market& market, Strategy strategy,
   if (max_bundles == 0) {
     throw std::invalid_argument("capture_series: need at least one bundle");
   }
-  const auto bundlings = build_bundling_series(market, strategy, max_bundles);
+  const auto bundlings = bundling_series(market, strategy, max_bundles);
   std::vector<double> out;
   out.reserve(max_bundles);
   for (const auto& bundling : bundlings) {
     out.push_back(
         profit_capture(market, price_bundles(market, bundling).profit));
+  }
+  return out;
+}
+
+std::vector<StrategyResult> run_strategy_series(const Market& market,
+                                                Strategy strategy,
+                                                std::size_t max_bundles) {
+  if (max_bundles == 0) {
+    throw std::invalid_argument(
+        "run_strategy_series: need at least one bundle");
+  }
+  auto bundlings = bundling_series(market, strategy, max_bundles);
+  std::vector<StrategyResult> out;
+  out.reserve(max_bundles);
+  for (std::size_t b = 1; b <= max_bundles; ++b) {
+    StrategyResult res;
+    res.strategy = strategy;
+    res.requested_bundles = b;
+    res.pricing = price_bundles(market, bundlings[b - 1]);
+    res.capture = profit_capture(market, res.pricing.profit);
+    out.push_back(std::move(res));
   }
   return out;
 }

@@ -40,8 +40,27 @@ struct StrategyResult {
 StrategyResult run_strategy(const Market& market, Strategy strategy,
                             std::size_t n_bundles);
 
+// One bundling per bundle count in 1..max_bundles, sharing the per-
+// strategy invariant work across the series (the Optimal strategy fills
+// its interval-DP table once, the heuristics sort once). Identical to
+// calling the strategy at each b; ClassAwareProfitWeighted falls back to
+// plain profit-weighted below the class count so the series starts at
+// b = 1 like the paper's figures.
+std::vector<bundling::Bundling> bundling_series(const Market& market,
+                                                Strategy strategy,
+                                                std::size_t max_bundles);
+
 // Capture series for one strategy at 1..max_bundles tiers.
 std::vector<double> capture_series(const Market& market, Strategy strategy,
                                    std::size_t max_bundles);
+
+// Full priced results for one strategy at 1..max_bundles tiers — the
+// same bundlings and prices capture_series evaluates, with the
+// PricedBundling kept instead of reduced to the capture scalar. This is
+// what the serve snapshot builds tier schedules from, so the query
+// daemon and the batch driver answer from one pricing truth.
+std::vector<StrategyResult> run_strategy_series(const Market& market,
+                                                Strategy strategy,
+                                                std::size_t max_bundles);
 
 }  // namespace manytiers::pricing

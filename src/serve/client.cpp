@@ -1,0 +1,132 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+namespace manytiers::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+int dial_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::invalid_argument("serve client: unix socket path too long: " +
+                                path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("serve client: socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve client: connect(" + path + ")");
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(int fd) : fd_(fd), reader_(std::make_unique<FrameReader>(fd)) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(dial_unix(path));
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("serve client: bad IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("serve client: socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve client: connect(" + host + ":" + std::to_string(port) +
+                ")");
+  }
+  return Client(fd);
+}
+
+Client Client::connect_unix_retry(const std::string& path, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    try {
+      return connect_unix(path);
+    } catch (const std::system_error&) {
+      if (std::chrono::steady_clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+Response Client::call(const Request& request) {
+  send(request);
+  return recv();
+}
+
+std::string Client::call_raw(std::string_view request_payload) {
+  write_all(fd_, encode_frame(request_payload));
+  return recv_raw();
+}
+
+void Client::send(const Request& request) {
+  write_all(fd_, encode_frame(serialize_request(request)));
+}
+
+std::string Client::recv_raw() {
+  std::string payload;
+  if (reader_->next(payload) != FrameReader::Status::Frame) {
+    throw FrameError(FrameError::Kind::MidFrame,
+                     "serve client: connection closed before response");
+  }
+  return payload;
+}
+
+}  // namespace manytiers::serve

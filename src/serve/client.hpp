@@ -1,0 +1,56 @@
+// Client side of the serve protocol: connect, frame, exchange.
+//
+// A Client owns one connected socket and one persistent FrameReader
+// (responses to pipelined requests can share a recv buffer, so the
+// reader must outlive individual calls). call() is the blocking
+// request/response path every tool uses; send()/recv() split the
+// exchange for pipelined use (the load generator runs a sender and a
+// receiver thread over one Client — FrameReader itself is
+// single-consumer, so only the receiver thread may call recv()).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace manytiers::serve {
+
+class Client {
+ public:
+  // Throw std::system_error when the endpoint does not answer.
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port);
+  // Retry connect_unix until the daemon binds or the deadline passes —
+  // the start-the-daemon-then-connect idiom every test and tool needs.
+  static Client connect_unix_retry(const std::string& path, int timeout_ms);
+
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // One blocking exchange. Throws FrameError / std::system_error on
+  // transport faults, std::invalid_argument on unparseable responses.
+  Response call(const Request& request);
+  // Same exchange, returning the raw response payload untouched — the
+  // determinism test byte-compares these against batch output.
+  std::string call_raw(std::string_view request_payload);
+
+  // Pipelined halves: send never reads, recv never writes.
+  void send(const Request& request);
+  std::string recv_raw();
+  Response recv() { return parse_response(recv_raw()); }
+
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  explicit Client(int fd);
+  int fd_;
+  std::unique_ptr<FrameReader> reader_;
+};
+
+}  // namespace manytiers::serve

@@ -1,0 +1,188 @@
+// manytiers_serve — the pricing query daemon.
+//
+//   manytiers_serve --grid smoke --socket /tmp/mt.sock --metrics m.json
+//   manytiers_serve --grid default --socket /tmp/mt.sock --tcp 0
+//
+// Loads and calibrates every market of a grid once at startup, then
+// answers price / schedule / requote queries over the length-prefixed
+// socket protocol until SIGTERM/SIGINT. A `reload` request recalibrates
+// in the background and swaps the serving snapshot atomically; readers
+// never block on it.
+//
+// Lifecycle lines on stdout (SERVE_JSON, one object per line) mark
+// readiness and shutdown so supervisors and tests can wait on them
+// instead of polling the socket. Exit codes follow the repo contract:
+// 0 success, 1 runtime failure, 2 usage error.
+#include <signal.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "driver/grid.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "util/file.hpp"
+
+namespace {
+
+using namespace manytiers;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: manytiers_serve [options]\n"
+        "  --grid NAME          grid to serve (default \"smoke\")\n"
+        "  --list-grids         print known grid names and exit\n"
+        "  --socket PATH        unix socket to listen on (required)\n"
+        "  --tcp PORT           also listen on 127.0.0.1:PORT (0 = "
+        "kernel-assigned)\n"
+        "  --threads N          calibration threads (default: all cores)\n"
+        "  --seed N             override the grid's dataset seed\n"
+        "  --n-flows N          override the grid's flows per dataset\n"
+        "  --max-bundles N      override the grid's maximum tier count\n"
+        "  --metrics PATH       write an obs-registry metrics sidecar on "
+        "shutdown\n"
+        "  --trace PATH         write a Chrome-trace-event JSON timeline\n"
+        "  --help               this text\n"
+        "\n"
+        "exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error\n";
+  return code;
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* flag) {
+  std::size_t pos = 0;
+  const unsigned long long v = std::stoull(text, &pos);
+  if (pos != text.size()) {
+    throw std::invalid_argument(std::string(flag) + ": not an integer: " +
+                                text);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid_name = "smoke";
+  std::string socket_path;
+  std::string metrics_path;
+  std::string trace_path;
+  int tcp_port = -1;
+  std::size_t threads = 0;
+  bool seed_given = false;
+  std::uint64_t seed = 0;
+  std::size_t n_flows = 0;
+  std::size_t max_bundles = 0;
+
+  driver::ExperimentGrid grid;
+  try {
+    const auto next = [&](int& i) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(argv[i]) +
+                                    " requires an argument");
+      }
+      return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        return usage(std::cout, 0);
+      } else if (arg == "--list-grids") {
+        for (const auto name : driver::grid_names()) {
+          std::cout << name << "\n";
+        }
+        return 0;
+      } else if (arg == "--grid") {
+        grid_name = next(i);
+      } else if (arg == "--socket") {
+        socket_path = next(i);
+      } else if (arg == "--tcp") {
+        tcp_port = static_cast<int>(parse_u64(next(i), "--tcp"));
+      } else if (arg == "--threads") {
+        threads = parse_u64(next(i), "--threads");
+      } else if (arg == "--seed") {
+        seed = parse_u64(next(i), "--seed");
+        seed_given = true;
+      } else if (arg == "--n-flows") {
+        n_flows = parse_u64(next(i), "--n-flows");
+      } else if (arg == "--max-bundles") {
+        max_bundles = parse_u64(next(i), "--max-bundles");
+      } else if (arg == "--metrics") {
+        metrics_path = next(i);
+      } else if (arg == "--trace") {
+        trace_path = next(i);
+      } else {
+        std::cerr << "manytiers_serve: unknown flag " << arg << "\n";
+        return usage(std::cerr, 2);
+      }
+    }
+    if (socket_path.empty()) {
+      std::cerr << "manytiers_serve: --socket is required\n";
+      return usage(std::cerr, 2);
+    }
+    grid = driver::named_grid(grid_name);
+    if (seed_given) grid.base.seed = seed;
+    if (n_flows != 0) grid.base.n_flows = n_flows;
+    if (max_bundles != 0) grid.max_bundles = max_bundles;
+  } catch (const std::exception& err) {
+    std::cerr << "manytiers_serve: " << err.what() << "\n";
+    return 2;
+  }
+
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().start(trace_path);
+  } else {
+    obs::maybe_start_trace_from_env();
+  }
+  if (obs::Tracer::instance().active()) {
+    obs::Tracer::instance().set_process_name("manytiers_serve " + grid_name);
+  }
+  if (!metrics_path.empty()) obs::set_enabled(true);
+
+  // Block the shutdown signals in every thread (handlers and accept
+  // loops inherit this mask), then take them synchronously via sigwait
+  // below — no async-signal-safety dance, no self-pipe.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
+    std::cerr << "manytiers_serve: pthread_sigmask failed\n";
+    return 1;
+  }
+
+  try {
+    serve::ServerOptions options;
+    options.unix_path = socket_path;
+    options.tcp_port = tcp_port;
+    options.threads = threads;
+    serve::Server server(grid, options);
+    server.start();
+
+    std::cout << "SERVE_JSON {\"event\":\"ready\",\"grid\":\"" << grid_name
+              << "\",\"socket\":\"" << socket_path
+              << "\",\"markets\":" << server.snapshot()->markets.size()
+              << ",\"epoch\":" << server.epoch();
+    if (server.tcp_port() >= 0) {
+      std::cout << ",\"tcp_port\":" << server.tcp_port();
+    }
+    std::cout << "}" << std::endl;  // endl: supervisors wait on this line
+
+    int sig = 0;
+    while (sigwait(&mask, &sig) != 0) {
+    }
+    std::cout << "SERVE_JSON {\"event\":\"shutdown\",\"signal\":" << sig
+              << ",\"epoch\":" << server.epoch() << "}" << std::endl;
+    server.stop();
+
+    if (!metrics_path.empty()) {
+      util::write_file_durable(
+          metrics_path,
+          obs::snapshot_to_json(obs::Registry::instance().snapshot()));
+    }
+    obs::Tracer::instance().flush();
+  } catch (const std::exception& err) {
+    std::cerr << "manytiers_serve: " << err.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,562 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <system_error>
+
+namespace manytiers::serve {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// Escape the two characters our own emitter can ever need escaped
+// (error messages echo client-supplied market names).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+// --- Field scanning, same discipline as the batch report reader: our
+// own writer never emits nested objects except the schedule tier array
+// (handled explicitly), so key scanning is exact on well-formed input
+// and merely throws on garbage.
+
+std::optional<std::string_view> find_field(std::string_view payload,
+                                           std::string_view key) {
+  // Stack-built needle: this runs ten times per request on the daemon's
+  // hot path, and a heap-allocated needle per field lookup was the
+  // single biggest slice of parse time.
+  char needle[32];
+  if (key.size() + 3 > sizeof needle) return std::nullopt;
+  needle[0] = '"';
+  std::memcpy(needle + 1, key.data(), key.size());
+  needle[key.size() + 1] = '"';
+  needle[key.size() + 2] = ':';
+  const std::size_t at =
+      payload.find(std::string_view(needle, key.size() + 3));
+  if (at == std::string_view::npos) return std::nullopt;
+  return payload.substr(at + key.size() + 3);
+}
+
+std::string_view require_field(std::string_view payload, std::string_view key) {
+  const auto rest = find_field(payload, key);
+  if (!rest) {
+    throw std::invalid_argument("serve protocol: missing field \"" +
+                                std::string(key) + "\"");
+  }
+  return *rest;
+}
+
+std::string parse_string_token(std::string_view rest, std::string_view key) {
+  if (rest.empty() || rest.front() != '"') {
+    throw std::invalid_argument("serve protocol: field \"" + std::string(key) +
+                                "\" is not a string");
+  }
+  rest.remove_prefix(1);
+  std::string out;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == '\\') {
+      if (i + 1 >= rest.size()) break;
+      out += rest[++i];
+      continue;
+    }
+    if (rest[i] == '"') return out;
+    out += rest[i];
+  }
+  throw std::invalid_argument("serve protocol: unterminated string field \"" +
+                              std::string(key) + "\"");
+}
+
+std::string_view number_token(std::string_view rest, std::string_view key) {
+  std::size_t end = 0;
+  while (end < rest.size() &&
+         (std::isdigit(static_cast<unsigned char>(rest[end])) ||
+          rest[end] == '-' || rest[end] == '+' || rest[end] == '.' ||
+          rest[end] == 'e' || rest[end] == 'E' || rest[end] == 'i' ||
+          rest[end] == 'n' || rest[end] == 'f' || rest[end] == 'a')) {
+    ++end;
+  }
+  if (end == 0) {
+    throw std::invalid_argument("serve protocol: field \"" + std::string(key) +
+                                "\" is not a number");
+  }
+  return rest.substr(0, end);
+}
+
+// strtod/strtoull need NUL termination; a stack copy keeps the number
+// parsers allocation-free (%.17g tokens are at most a few dozen chars,
+// and number_token caps what can reach here).
+struct TokenBuf {
+  char data[64];
+  std::size_t size = 0;
+  bool fits(std::string_view token) {
+    if (token.size() >= sizeof data) return false;
+    std::memcpy(data, token.data(), token.size());
+    data[token.size()] = '\0';
+    size = token.size();
+    return true;
+  }
+};
+
+double parse_double_token(std::string_view rest, std::string_view key) {
+  const std::string_view token = number_token(rest, key);
+  TokenBuf buf;
+  char* end = nullptr;
+  errno = 0;
+  const double value = buf.fits(token) ? std::strtod(buf.data, &end) : 0.0;
+  if (end != buf.data + buf.size || errno == ERANGE) {
+    throw std::invalid_argument("serve protocol: field \"" + std::string(key) +
+                                "\" is not a valid number: " +
+                                std::string(token));
+  }
+  return value;
+}
+
+std::uint64_t parse_u64_token(std::string_view rest, std::string_view key) {
+  const std::string_view token = number_token(rest, key);
+  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0]))) {
+    throw std::invalid_argument("serve protocol: field \"" + std::string(key) +
+                                "\" is not a non-negative integer: " +
+                                std::string(token));
+  }
+  TokenBuf buf;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value =
+      buf.fits(token) ? std::strtoull(buf.data, &end, 10) : 0;
+  if (end != buf.data + buf.size || errno == ERANGE) {
+    throw std::invalid_argument("serve protocol: field \"" + std::string(key) +
+                                "\" is not a valid integer: " +
+                                std::string(token));
+  }
+  return value;
+}
+
+std::string req_string(std::string_view payload, std::string_view key) {
+  return parse_string_token(require_field(payload, key), key);
+}
+
+std::uint64_t req_u64(std::string_view payload, std::string_view key) {
+  return parse_u64_token(require_field(payload, key), key);
+}
+
+double req_double(std::string_view payload, std::string_view key) {
+  return parse_double_token(require_field(payload, key), key);
+}
+
+bool parse_bool_token(std::string_view rest, std::string_view key) {
+  if (rest.substr(0, 4) == "true") return true;
+  if (rest.substr(0, 5) == "false") return false;
+  throw std::invalid_argument("serve protocol: field \"" + std::string(key) +
+                              "\" is not a boolean");
+}
+
+}  // namespace
+
+std::string_view to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::Price: return "price";
+    case QueryKind::Schedule: return "schedule";
+    case QueryKind::Requote: return "requote";
+    case QueryKind::Reload: return "reload";
+  }
+  throw std::invalid_argument("unknown query kind");
+}
+
+QueryKind parse_query_kind(std::string_view name) {
+  if (name == "price") return QueryKind::Price;
+  if (name == "schedule") return QueryKind::Schedule;
+  if (name == "requote") return QueryKind::Requote;
+  if (name == "reload") return QueryKind::Reload;
+  throw std::invalid_argument("serve protocol: unknown query kind \"" +
+                              std::string(name) +
+                              "\"; known: price, schedule, requote, reload");
+}
+
+std::string serialize_request(const Request& request) {
+  std::string out = "{\"id\":" + std::to_string(request.id) + ",\"kind\":\"" +
+                    std::string(to_string(request.kind)) + "\"";
+  switch (request.kind) {
+    case QueryKind::Price:
+      out += ",\"market\":\"" + json_escape(request.market) +
+             "\",\"strategy\":\"" + json_escape(request.strategy) +
+             "\",\"bundles\":" + std::to_string(request.bundles) +
+             ",\"q\":" + fmt_double(request.q) +
+             ",\"d\":" + fmt_double(request.d) +
+             ",\"class\":" + std::to_string(request.cost_class);
+      break;
+    case QueryKind::Schedule:
+      out += ",\"market\":\"" + json_escape(request.market) +
+             "\",\"strategy\":\"" + json_escape(request.strategy) +
+             "\",\"bundles\":" + std::to_string(request.bundles);
+      break;
+    case QueryKind::Requote:
+      out += ",\"market\":\"" + json_escape(request.market) +
+             "\",\"strategy\":\"" + json_escape(request.strategy) +
+             "\",\"bundles\":" + std::to_string(request.bundles) +
+             ",\"flow\":" + std::to_string(request.flow);
+      break;
+    case QueryKind::Reload:
+      if (request.seed) out += ",\"seed\":" + std::to_string(*request.seed);
+      if (request.n_flows) {
+        out += ",\"n_flows\":" + std::to_string(*request.n_flows);
+      }
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+Request parse_request(std::string_view payload) {
+  if (payload.empty() || payload.front() != '{' || payload.back() != '}') {
+    throw std::invalid_argument(
+        "serve protocol: request payload is not a JSON object");
+  }
+  Request request;
+  request.id = req_u64(payload, "id");
+  request.kind = parse_query_kind(req_string(payload, "kind"));
+  switch (request.kind) {
+    case QueryKind::Price:
+      request.market = req_string(payload, "market");
+      request.strategy = req_string(payload, "strategy");
+      request.bundles = req_u64(payload, "bundles");
+      request.q = req_double(payload, "q");
+      request.d = req_double(payload, "d");
+      request.cost_class = req_u64(payload, "class");
+      break;
+    case QueryKind::Schedule:
+      request.market = req_string(payload, "market");
+      request.strategy = req_string(payload, "strategy");
+      request.bundles = req_u64(payload, "bundles");
+      break;
+    case QueryKind::Requote:
+      request.market = req_string(payload, "market");
+      request.strategy = req_string(payload, "strategy");
+      request.bundles = req_u64(payload, "bundles");
+      request.flow = req_u64(payload, "flow");
+      break;
+    case QueryKind::Reload:
+      if (const auto rest = find_field(payload, "seed")) {
+        request.seed = parse_u64_token(*rest, "seed");
+      }
+      if (const auto rest = find_field(payload, "n_flows")) {
+        request.n_flows = parse_u64_token(*rest, "n_flows");
+      }
+      break;
+  }
+  return request;
+}
+
+// Append-style emitters for the response path: the daemon serializes a
+// response per request, so the builder avoids the temporary strings the
+// operator+ chains on the request side (client-built, once per call)
+// can afford.
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(v));
+  out.append(buf, std::size_t(n));
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+  out.append(buf, std::size_t(n));
+}
+
+std::string serialize_response(const Response& response) {
+  std::string out;
+  out.reserve(128 + response.tiers.size() * 128);
+  out += "{\"id\":";
+  append_u64(out, response.id);
+  out += response.ok ? ",\"ok\":true" : ",\"ok\":false";
+  out += ",\"epoch\":";
+  append_u64(out, response.epoch);
+  if (!response.ok) {
+    out += ",\"error\":\"";
+    out += json_escape(response.error);
+    out += "\"}";
+    return out;
+  }
+  out += ",\"kind\":\"";
+  out += to_string(response.kind);
+  out += '"';
+  switch (response.kind) {
+    case QueryKind::Price:
+      out += ",\"tier\":";
+      append_u64(out, response.tier);
+      out += ",\"price\":";
+      append_double(out, response.price);
+      out += ",\"rel_cost\":";
+      append_double(out, response.rel_cost);
+      break;
+    case QueryKind::Requote:
+      out += ",\"tier\":";
+      append_u64(out, response.tier);
+      out += ",\"price\":";
+      append_double(out, response.price);
+      out += ",\"rel_cost\":";
+      append_double(out, response.rel_cost);
+      out += ",\"blended_price\":";
+      append_double(out, response.blended_price);
+      break;
+    case QueryKind::Schedule: {
+      out += ",\"capture\":";
+      if (response.capture_text.empty()) {
+        append_double(out, response.capture);
+      } else {
+        out += response.capture_text;
+      }
+      out += ",\"tiers\":[";
+      for (std::size_t i = 0; i < response.tiers.size(); ++i) {
+        const TierInfo& tier = response.tiers[i];
+        if (i != 0) out += ',';
+        out += "{\"tier\":";
+        append_u64(out, i);
+        out += ",\"price\":";
+        append_double(out, tier.price);
+        out += ",\"f_lo\":";
+        append_double(out, tier.rel_cost_lo);
+        out += ",\"f_hi\":";
+        append_double(out, tier.rel_cost_hi);
+        out += ",\"flows\":";
+        append_u64(out, tier.n_flows);
+        out += ",\"demand_mbps\":";
+        append_double(out, tier.demand_mbps);
+        out += '}';
+      }
+      out += ']';
+      break;
+    }
+    case QueryKind::Reload:
+      out += ",\"markets\":";
+      append_u64(out, response.markets);
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+Response parse_response(std::string_view payload) {
+  if (payload.empty() || payload.front() != '{' || payload.back() != '}') {
+    throw std::invalid_argument(
+        "serve protocol: response payload is not a JSON object");
+  }
+  Response response;
+  response.id = req_u64(payload, "id");
+  response.ok = parse_bool_token(require_field(payload, "ok"), "ok");
+  response.epoch = req_u64(payload, "epoch");
+  if (!response.ok) {
+    response.error = req_string(payload, "error");
+    return response;
+  }
+  response.kind = parse_query_kind(req_string(payload, "kind"));
+  switch (response.kind) {
+    case QueryKind::Price:
+      response.tier = req_u64(payload, "tier");
+      response.price = req_double(payload, "price");
+      response.rel_cost = req_double(payload, "rel_cost");
+      break;
+    case QueryKind::Requote:
+      response.tier = req_u64(payload, "tier");
+      response.price = req_double(payload, "price");
+      response.rel_cost = req_double(payload, "rel_cost");
+      response.blended_price = req_double(payload, "blended_price");
+      break;
+    case QueryKind::Schedule: {
+      const std::string_view capture_rest = require_field(payload, "capture");
+      response.capture_text =
+          std::string(number_token(capture_rest, "capture"));
+      response.capture = parse_double_token(capture_rest, "capture");
+      // Tier objects parse one by one; each is flat, so scanning within
+      // the braces of each element is exact.
+      std::string_view rest = require_field(payload, "tiers");
+      if (rest.empty() || rest.front() != '[') {
+        throw std::invalid_argument(
+            "serve protocol: field \"tiers\" is not an array");
+      }
+      rest.remove_prefix(1);
+      while (!rest.empty() && rest.front() == '{') {
+        const std::size_t close = rest.find('}');
+        if (close == std::string_view::npos) {
+          throw std::invalid_argument(
+              "serve protocol: unterminated tier object");
+        }
+        const std::string_view tier_text = rest.substr(0, close + 1);
+        TierInfo tier;
+        tier.price = req_double(tier_text, "price");
+        tier.rel_cost_lo = req_double(tier_text, "f_lo");
+        tier.rel_cost_hi = req_double(tier_text, "f_hi");
+        tier.n_flows = req_u64(tier_text, "flows");
+        tier.demand_mbps = req_double(tier_text, "demand_mbps");
+        response.tiers.push_back(tier);
+        rest.remove_prefix(close + 1);
+        if (!rest.empty() && rest.front() == ',') rest.remove_prefix(1);
+      }
+      break;
+    }
+    case QueryKind::Reload:
+      response.markets = req_u64(payload, "markets");
+      break;
+  }
+  return response;
+}
+
+std::string error_payload(std::uint64_t id, std::uint64_t epoch,
+                          std::string_view message) {
+  Response response;
+  response.id = id;
+  response.ok = false;
+  response.epoch = epoch;
+  response.error = std::string(message);
+  return serialize_response(response);
+}
+
+void append_frame(std::string& out, std::string_view payload) {
+  if (payload.size() > kMaxFrame) {
+    throw std::invalid_argument("serve protocol: payload exceeds kMaxFrame");
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(n & 0xff),
+                    static_cast<char>((n >> 8) & 0xff),
+                    static_cast<char>((n >> 16) & 0xff),
+                    static_cast<char>((n >> 24) & 0xff)};
+  out.append(prefix, 4);
+  out.append(payload);
+}
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFrame) {
+    throw std::invalid_argument("serve protocol: payload exceeds kMaxFrame");
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out += static_cast<char>(n & 0xff);
+  out += static_cast<char>((n >> 8) & 0xff);
+  out += static_cast<char>((n >> 16) & 0xff);
+  out += static_cast<char>((n >> 24) & 0xff);
+  out += payload;
+  return out;
+}
+
+void write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up surfaces as EPIPE, never a
+    // process-killing SIGPIPE. send() requires a socket fd, which is
+    // the only place this protocol runs.
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "serve protocol: send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+FrameReader::Status FrameReader::next(std::string& payload) {
+  for (;;) {
+    const std::size_t have = buffer_.size() - pos_;
+    if (have >= 4) {
+      const unsigned char* p =
+          reinterpret_cast<const unsigned char*>(buffer_.data() + pos_);
+      const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                                (static_cast<std::uint32_t>(p[1]) << 8) |
+                                (static_cast<std::uint32_t>(p[2]) << 16) |
+                                (static_cast<std::uint32_t>(p[3]) << 24);
+      if (len == 0 || len > kMaxFrame) {
+        throw FrameError(FrameError::Kind::BadLength,
+                         "serve protocol: frame length " +
+                             std::to_string(len) + " outside (0, " +
+                             std::to_string(kMaxFrame) + "]");
+      }
+      if (have >= 4 + static_cast<std::size_t>(len)) {
+        payload.assign(buffer_, pos_ + 4, len);
+        pos_ += 4 + static_cast<std::size_t>(len);
+        if (pos_ == buffer_.size()) {
+          buffer_.clear();
+          pos_ = 0;
+        }
+        return Status::Frame;
+      }
+    }
+    // Compact once consumption passes half the buffer, so a pipelined
+    // connection never grows the buffer without bound.
+    if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    char chunk[64 * 1024];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof chunk, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      throw std::system_error(errno, std::generic_category(),
+                              "serve protocol: recv");
+    }
+    if (n == 0) {
+      const std::size_t leftover = buffer_.size() - pos_;
+      if (leftover == 0) return Status::Eof;
+      throw FrameError(
+          leftover < 4 ? FrameError::Kind::TornPrefix
+                       : FrameError::Kind::MidFrame,
+          "serve protocol: connection closed mid-frame (" +
+              std::to_string(leftover) + " trailing bytes)");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool FrameReader::buffered_frame() const {
+  const std::size_t have = buffer_.size() - pos_;
+  if (have < 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + pos_);
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+  // A bad length is also "ready": next() will turn it into FrameError
+  // without blocking.
+  if (len == 0 || len > kMaxFrame) return true;
+  return have >= 4 + static_cast<std::size_t>(len);
+}
+
+std::string roundtrip(int fd, std::string_view payload) {
+  write_all(fd, encode_frame(payload));
+  FrameReader reader(fd);
+  std::string response;
+  if (reader.next(response) != FrameReader::Status::Frame) {
+    throw FrameError(FrameError::Kind::MidFrame,
+                     "serve protocol: connection closed before response");
+  }
+  return response;
+}
+
+}  // namespace manytiers::serve

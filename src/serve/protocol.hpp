@@ -1,0 +1,167 @@
+// Wire protocol of the manytiers_serve query daemon.
+//
+// Framing: every message (both directions) is a length-prefixed frame —
+// a 4-byte little-endian payload length followed by that many bytes of
+// UTF-8 JSON, one object per frame. The prefix makes message boundaries
+// explicit on a stream socket, so a reader never scans payload bytes
+// for a terminator; the kMaxFrame cap turns a garbage prefix (random
+// bytes, a length from a confused client) into a structured protocol
+// error instead of an unbounded allocation.
+//
+// Requests are flat JSON objects; responses are flat except for the
+// schedule query's tier array. Both are written and parsed by the same
+// hand-rolled scanners the batch report format uses (no JSON library in
+// this codebase), and every numeric response field is emitted with
+// %.17g so responses round-trip exactly — the determinism test
+// byte-compares serve responses against batch-driver output.
+//
+// Query kinds:
+//   price    — quote a new (q, d, class) flow under a market/strategy/
+//              bundle-count tier schedule
+//   schedule — the full tier schedule of one grid cell (prices, relative
+//              cost ranges, member counts, capture)
+//   requote  — re-quote an existing customer flow's bundle assignment
+//   reload   — admin: recalibrate (optionally with overridden base
+//              parameters) and swap the serving snapshot; the response
+//              carries the new epoch
+//
+// Every response carries the snapshot epoch it was answered from, so a
+// client (and the snapshot-swap concurrency test) can pin any answer to
+// exactly one calibration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manytiers::serve {
+
+// Hard payload cap: larger prefixes are rejected as a protocol error
+// before any allocation. Far above any real request or response.
+inline constexpr std::uint32_t kMaxFrame = 1u << 20;
+
+enum class QueryKind { Price, Schedule, Requote, Reload };
+
+std::string_view to_string(QueryKind kind);
+// Throws std::invalid_argument on an unknown kind name.
+QueryKind parse_query_kind(std::string_view name);
+
+struct Request {
+  std::uint64_t id = 0;
+  QueryKind kind = QueryKind::Schedule;
+  // price / schedule / requote: which cell to answer from.
+  std::string market;    // "dataset/demand/cost", e.g. "EU ISP/ced/linear"
+  std::string strategy;  // strategy display name, e.g. "Optimal"
+  std::size_t bundles = 0;  // tier count; 0 = the grid's max_bundles
+  // price: the flow to quote.
+  double q = 0.0;              // demand, Mbps
+  double d = 0.0;              // distance, miles
+  std::size_t cost_class = 0;  // cost-model class (region / on-off-net)
+  // requote: index into the market's (expanded) flow set.
+  std::size_t flow = 0;
+  // reload: optional base-parameter overrides for the new snapshot.
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> n_flows;
+};
+
+std::string serialize_request(const Request& request);
+// Throws std::invalid_argument on malformed payloads (missing or
+// ill-typed fields, unknown kind, trailing garbage in numbers).
+Request parse_request(std::string_view payload);
+
+// One pricing tier of a schedule response: the bundle price and the
+// relative-cost range its member flows span.
+struct TierInfo {
+  double price = 0.0;
+  double rel_cost_lo = 0.0;
+  double rel_cost_hi = 0.0;
+  std::size_t n_flows = 0;
+  double demand_mbps = 0.0;
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::uint64_t epoch = 0;
+  QueryKind kind = QueryKind::Schedule;
+  std::string error;  // set when !ok
+  // price / requote:
+  std::size_t tier = 0;      // assigned tier index (schedule order)
+  double price = 0.0;        // the tier's price
+  double rel_cost = 0.0;     // the flow's relative cost
+  double blended_price = 0.0;  // requote: the market's P0 for comparison
+  // schedule:
+  double capture = 0.0;
+  std::string capture_text;  // exact %.17g token (byte-compare hook)
+  std::vector<TierInfo> tiers;
+  // reload:
+  std::size_t markets = 0;  // markets calibrated into the new snapshot
+};
+
+std::string serialize_response(const Response& response);
+// Throws std::invalid_argument on malformed payloads.
+Response parse_response(std::string_view payload);
+
+// Convenience: the structured error every fault path answers with.
+std::string error_payload(std::uint64_t id, std::uint64_t epoch,
+                          std::string_view message);
+
+// --- Framing over a stream socket ---
+
+// What went wrong at the framing layer. TornPrefix/MidFrame mean the
+// peer vanished mid-message (nothing sensible to answer); BadLength
+// (zero or > kMaxFrame) is answerable with a structured error before
+// closing.
+class FrameError : public std::runtime_error {
+ public:
+  enum class Kind { TornPrefix, MidFrame, BadLength };
+  FrameError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+// Length-prefix + payload, ready to write.
+std::string encode_frame(std::string_view payload);
+// Same framing appended onto an existing buffer — the server's batched
+// drain re-uses one output buffer across pipelined responses.
+void append_frame(std::string& out, std::string_view payload);
+
+// Write all of `data` to fd (send with MSG_NOSIGNAL on sockets, so a
+// vanished peer surfaces as an error, not SIGPIPE). Throws
+// std::system_error on failure.
+void write_all(int fd, std::string_view data);
+
+// Buffered frame reader. next() blocks until a full frame, clean EOF at
+// a frame boundary, or a framing fault; buffered_frame() reports whether
+// another complete frame is already in the buffer (no syscall needed) —
+// the server drains those before flushing responses, which is what
+// batches syscalls under pipelined load.
+class FrameReader {
+ public:
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  enum class Status { Frame, Eof };
+
+  // Fill `payload` with the next frame. Throws FrameError on a torn
+  // prefix, mid-frame EOF, or a bad length; std::system_error on socket
+  // errors.
+  Status next(std::string& payload);
+  bool buffered_frame() const;
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t pos_ = 0;  // consumed prefix of buffer_
+};
+
+// One blocking request/response exchange on fd (client side).
+// Throws FrameError / std::system_error on transport faults.
+std::string roundtrip(int fd, std::string_view payload);
+
+}  // namespace manytiers::serve

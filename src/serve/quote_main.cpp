@@ -1,0 +1,121 @@
+// manytiers_quote — one-shot client for the manytiers_serve daemon.
+//
+//   manytiers_quote --socket /tmp/mt.sock price
+//       --market "EU ISP/ced/linear" --strategy Optimal --q 120 --d 800
+//   manytiers_quote --socket /tmp/mt.sock schedule
+//       --market "CDN/logit/linear" --strategy Profit-weighted --bundles 3
+//   manytiers_quote --socket /tmp/mt.sock requote --market ...
+//       --strategy ... --flow 7
+//   manytiers_quote --socket /tmp/mt.sock reload --seed 43
+//   manytiers_quote --socket /tmp/mt.sock --raw '{"id":1,...}'
+//
+// Prints the raw response payload on stdout (one JSON object — pipe it
+// anywhere). --retry-ms waits for the daemon to bind its socket, which
+// is the start-then-query idiom scripts need. Exit 0 on an ok response,
+// 1 on a structured error or transport fault, 2 on usage errors.
+#include <iostream>
+#include <string>
+
+#include "serve/client.hpp"
+
+namespace {
+
+using namespace manytiers;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: manytiers_quote --socket PATH [--retry-ms N] KIND [args]\n"
+        "       manytiers_quote --socket PATH --raw JSON\n"
+        "kinds:\n"
+        "  price     --market K --strategy S --q MBPS --d MILES\n"
+        "            [--class N] [--bundles N]\n"
+        "  schedule  --market K --strategy S [--bundles N]\n"
+        "  requote   --market K --strategy S --flow N [--bundles N]\n"
+        "  reload    [--seed N] [--n-flows N]\n"
+        "market keys are \"dataset/demand/cost\", e.g. \"EU ISP/ced/linear\";\n"
+        "--bundles 0 (default) means the grid's maximum tier count\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string raw;
+  int retry_ms = 0;
+  serve::Request request;
+  bool kind_given = false;
+
+  try {
+    const auto next = [&](int& i) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(argv[i]) +
+                                    " requires an argument");
+      }
+      return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        return usage(std::cout, 0);
+      } else if (arg == "--socket") {
+        socket_path = next(i);
+      } else if (arg == "--retry-ms") {
+        retry_ms = std::stoi(next(i));
+      } else if (arg == "--raw") {
+        raw = next(i);
+      } else if (arg == "--market") {
+        request.market = next(i);
+      } else if (arg == "--strategy") {
+        request.strategy = next(i);
+      } else if (arg == "--bundles") {
+        request.bundles = std::stoul(next(i));
+      } else if (arg == "--q") {
+        request.q = std::stod(next(i));
+      } else if (arg == "--d") {
+        request.d = std::stod(next(i));
+      } else if (arg == "--class") {
+        request.cost_class = std::stoul(next(i));
+      } else if (arg == "--flow") {
+        request.flow = std::stoul(next(i));
+      } else if (arg == "--seed") {
+        request.seed = std::stoull(next(i));
+      } else if (arg == "--n-flows") {
+        request.n_flows = std::stoul(next(i));
+      } else if (!arg.empty() && arg[0] != '-') {
+        request.kind = serve::parse_query_kind(arg);
+        kind_given = true;
+      } else {
+        std::cerr << "manytiers_quote: unknown flag " << arg << "\n";
+        return usage(std::cerr, 2);
+      }
+    }
+    if (socket_path.empty()) {
+      std::cerr << "manytiers_quote: --socket is required\n";
+      return usage(std::cerr, 2);
+    }
+    if (raw.empty() && !kind_given) {
+      std::cerr << "manytiers_quote: need a query kind or --raw\n";
+      return usage(std::cerr, 2);
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "manytiers_quote: " << err.what() << "\n";
+    return 2;
+  }
+
+  try {
+    serve::Client client =
+        retry_ms > 0 ? serve::Client::connect_unix_retry(socket_path, retry_ms)
+                     : serve::Client::connect_unix(socket_path);
+    const std::string payload =
+        raw.empty() ? client.call_raw(serve::serialize_request(request))
+                    : client.call_raw(raw);
+    std::cout << payload << "\n";
+    // A structured error is still a valid exchange; report it in the
+    // exit code so scripts don't have to parse the payload.
+    const serve::Response response = serve::parse_response(payload);
+    return response.ok ? 0 : 1;
+  } catch (const std::exception& err) {
+    std::cerr << "manytiers_quote: " << err.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,410 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace manytiers::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::invalid_argument("serve: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("serve: socket(AF_UNIX)");
+  // A previous daemon's socket file would make bind fail with EADDRINUSE;
+  // a stale file is indistinguishable from a live one at this layer, so
+  // the caller picks fresh paths and we just clear leftovers.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve: bind(" + path + ")");
+  }
+  if (::listen(fd, 128) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve: listen(" + path + ")");
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("serve: socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve: bind(tcp " + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 128) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve: listen(tcp)");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve: getsockname");
+  }
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+struct KindMetrics {
+  obs::Counter* requests;
+  obs::Histogram* latency;
+};
+
+// Per-kind counters/histograms, resolved once (handles are
+// process-stable).
+KindMetrics kind_metrics(QueryKind kind) {
+  obs::Registry& registry = obs::Registry::instance();
+  static KindMetrics table[] = {
+      {&registry.counter("serve.requests.price"),
+       &registry.histogram("serve.latency_us.price")},
+      {&registry.counter("serve.requests.schedule"),
+       &registry.histogram("serve.latency_us.schedule")},
+      {&registry.counter("serve.requests.requote"),
+       &registry.histogram("serve.latency_us.requote")},
+      {&registry.counter("serve.requests.reload"),
+       &registry.histogram("serve.latency_us.reload")},
+  };
+  return table[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
+
+Server::Server(driver::ExperimentGrid grid, ServerOptions options)
+    : grid_(std::move(grid)), options_(std::move(options)) {
+  if (options_.unix_path.empty()) {
+    throw std::invalid_argument("serve: unix socket path is required");
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_) throw std::logic_error("serve: start() called twice");
+  SnapshotBuildOptions build;
+  build.threads = options_.threads;
+  build.epoch = 1;
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = build_snapshot(grid_, build);
+  }
+  epoch_.store(1, std::memory_order_release);
+
+  unix_fd_ = listen_unix(options_.unix_path);
+  if (options_.tcp_port >= 0) {
+    tcp_fd_ = listen_tcp(options_.tcp_port, &bound_tcp_port_);
+  }
+  started_ = true;
+  accept_threads_.emplace_back([this] { accept_loop(unix_fd_); });
+  if (tcp_fd_ >= 0) {
+    accept_threads_.emplace_back([this] { accept_loop(tcp_fd_); });
+  }
+}
+
+void Server::stop() {
+  if (!started_ || stopping_.exchange(true)) return;
+  // Closing the listener fds unblocks accept(); shutdown() on live
+  // connection fds unblocks recv() in their handlers. Handlers own
+  // nothing shared beyond the snapshot pointer, so after the joins the
+  // teardown is complete.
+  ::shutdown(unix_fd_, SHUT_RDWR);
+  ::close(unix_fd_);
+  if (tcp_fd_ >= 0) {
+    ::shutdown(tcp_fd_, SHUT_RDWR);
+    ::close(tcp_fd_);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  // Second pass: a connection accepted concurrently with the flag flip
+  // may have been registered after the shutdown loop above; with the
+  // accept threads joined the table is now final.
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  reap_finished(/*join_all=*/true);
+  ::unlink(options_.unix_path.c_str());
+  started_ = false;
+}
+
+void Server::reap_finished(bool join_all) {
+  std::vector<std::unique_ptr<Conn>> finished;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto keep = conns_.begin();
+    for (auto& conn : conns_) {
+      if (join_all || conn->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(conn));
+      } else {
+        *keep++ = std::move(conn);
+      }
+    }
+    conns_.erase(keep, conns_.end());
+  }
+  for (auto& conn : finished) {
+    conn->thread.join();
+    // The handler never closes its own fd: closing only after the join
+    // means no handler can ever race a reused descriptor number.
+    ::close(conn->fd);
+  }
+}
+
+void Server::accept_loop(int listen_fd) {
+  static obs::Counter& connections =
+      obs::Registry::instance().counter("serve.connections");
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EBADF/EINVAL after stop() closed the listener: clean exit.
+      break;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    connections.add();
+    reap_finished(/*join_all=*/false);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    {
+      const std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+}
+
+void Server::handle_connection(Conn* conn) {
+  static obs::Counter& protocol_errors =
+      obs::Registry::instance().counter("serve.protocol_errors");
+  FrameReader reader(conn->fd);
+  std::string payload;
+  std::string out;
+  SnapCache cache;
+  try {
+    for (;;) {
+      if (reader.next(payload) == FrameReader::Status::Eof) break;
+      out.clear();  // keeps its capacity across iterations
+      append_frame(out, handle_payload(payload, cache));
+      // Drain every request the client already pipelined before paying
+      // for a write: under load this turns N round-trips into one
+      // recv + one send.
+      while (reader.buffered_frame()) {
+        if (reader.next(payload) == FrameReader::Status::Eof) break;
+        append_frame(out, handle_payload(payload, cache));
+      }
+      write_all(conn->fd, out);
+    }
+  } catch (const FrameError& e) {
+    protocol_errors.add();
+    if (e.kind() == FrameError::Kind::BadLength) {
+      // The stream still works in our direction; tell the client what
+      // was wrong with its framing before hanging up.
+      try {
+        write_all(conn->fd, encode_frame(error_payload(
+                                0, epoch_.load(std::memory_order_relaxed),
+                                e.what())));
+      } catch (const std::exception&) {
+        // Peer is gone; the close below is all that's left.
+      }
+    }
+    // TornPrefix / MidFrame: the peer vanished mid-message; nothing to
+    // answer.
+  } catch (const std::exception&) {
+    // recv/send faults (ECONNRESET, EPIPE after shutdown): drop the
+    // connection. The daemon itself never dies with a client.
+    protocol_errors.add();
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::string Server::handle_payload(std::string_view payload,
+                                   SnapCache& cache) {
+  static obs::Counter& requests =
+      obs::Registry::instance().counter("serve.requests");
+  static obs::Counter& errors =
+      obs::Registry::instance().counter("serve.errors");
+  requests.add();
+  const auto start = std::chrono::steady_clock::now();
+  Request request;
+  try {
+    request = parse_request(payload);
+  } catch (const std::exception& e) {
+    errors.add();
+    return error_payload(0, epoch_.load(std::memory_order_relaxed), e.what());
+  }
+  std::string response;
+  try {
+    response = request.kind == QueryKind::Reload
+                   ? handle_reload(request)
+                   : handle_request(request, cache);
+  } catch (const std::exception& e) {
+    errors.add();
+    response = error_payload(request.id,
+                             epoch_.load(std::memory_order_relaxed), e.what());
+  }
+  const KindMetrics metrics = kind_metrics(request.kind);
+  metrics.requests->add();
+  metrics.latency->record(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return response;
+}
+
+// Revalidate the connection's cached snapshot: one acquire load of the
+// epoch gate per request; only an actual swap pays the mutex (held just
+// for the pointer copy — reloads build outside it).
+const std::shared_ptr<const Snapshot>& Server::current_snapshot(
+    SnapCache& cache) {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (cache.snap == nullptr || cache.epoch != epoch) {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    cache.snap = snapshot_;
+    cache.epoch = cache.snap->epoch;
+  }
+  return cache.snap;
+}
+
+std::string Server::handle_request(const Request& request, SnapCache& cache) {
+  // ONE snapshot revalidation; everything below answers from `snap`, so
+  // the response is internally consistent even if a reload lands
+  // mid-query.
+  const std::shared_ptr<const Snapshot>& snap = current_snapshot(cache);
+
+  const MarketEntry* market = snap->find_market(request.market);
+  if (market == nullptr) {
+    throw std::invalid_argument("unknown market \"" + request.market +
+                                "\"; keys are \"dataset/demand/cost\"");
+  }
+  const auto strategy = strategy_from_name(request.strategy);
+  if (!strategy) {
+    throw std::invalid_argument("unknown strategy \"" + request.strategy +
+                                "\"");
+  }
+  const auto slot = snap->strategy_slot(*strategy);
+  if (!slot) {
+    throw std::invalid_argument("strategy \"" + request.strategy +
+                                "\" is not served by grid \"" +
+                                snap->grid.name + "\"");
+  }
+  const std::size_t bundles =
+      request.bundles == 0 ? snap->grid.max_bundles : request.bundles;
+  if (bundles > snap->grid.max_bundles) {
+    throw std::invalid_argument(
+        "bundle count " + std::to_string(bundles) + " exceeds grid max " +
+        std::to_string(snap->grid.max_bundles));
+  }
+  const Schedule& schedule = market->schedule(*slot, bundles);
+
+  Response response;
+  response.id = request.id;
+  response.ok = true;
+  response.epoch = snap->epoch;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case QueryKind::Price: {
+      const Quote quote = price_flow(*market, schedule, request.q, request.d,
+                                     request.cost_class);
+      response.tier = quote.tier;
+      response.price = quote.price;
+      response.rel_cost = quote.rel_cost;
+      break;
+    }
+    case QueryKind::Requote: {
+      const Quote quote = requote_flow(*market, schedule, request.flow);
+      response.tier = quote.tier;
+      response.price = quote.price;
+      response.rel_cost = quote.rel_cost;
+      response.blended_price = market->market.blended_price();
+      break;
+    }
+    case QueryKind::Schedule:
+      response.capture = schedule.capture;
+      response.tiers = schedule.tiers;
+      break;
+    case QueryKind::Reload:
+      throw std::logic_error("reload dispatched to handle_request");
+  }
+  return serialize_response(response);
+}
+
+std::string Server::handle_reload(const Request& request) {
+  static obs::Counter& reloads =
+      obs::Registry::instance().counter("serve.reloads");
+  // Serialize rebuilds: concurrent reloads would burn CPU calibrating
+  // snapshots that immediately lose the swap. Readers are untouched —
+  // they keep loading whatever pointer is current.
+  const std::lock_guard<std::mutex> lock(reload_mutex_);
+  driver::ExperimentGrid grid = grid_;
+  if (request.seed) grid.base.seed = *request.seed;
+  if (request.n_flows) grid.base.n_flows = *request.n_flows;
+
+  SnapshotBuildOptions build;
+  build.threads = options_.threads;
+  build.epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  const obs::Span span("serve.reload");
+  std::shared_ptr<const Snapshot> next = build_snapshot(grid, build);
+  {
+    const std::lock_guard<std::mutex> publish(snapshot_mutex_);
+    snapshot_ = next;
+  }
+  // Pointer first, epoch second (release): a reader that sees the new
+  // epoch is guaranteed to find the new pointer under the mutex.
+  epoch_.store(next->epoch, std::memory_order_release);
+  reloads.add();
+
+  Response response;
+  response.id = request.id;
+  response.ok = true;
+  response.epoch = next->epoch;
+  response.kind = QueryKind::Reload;
+  response.markets = next->markets.size();
+  return serialize_response(response);
+}
+
+}  // namespace manytiers::serve

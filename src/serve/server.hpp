@@ -1,0 +1,112 @@
+// The manytiers_serve daemon core: listeners, per-connection handler
+// threads, and the RCU-style snapshot swap.
+//
+// The swap is epoch-gated: every handler keeps a per-connection cached
+// shared_ptr to the snapshot it last used, and revalidates it with one
+// atomic epoch load per request. Only when the epoch moved does it take
+// snapshot_mutex_ — held by anyone just long enough to copy the
+// pointer, never across a rebuild — so steady-state reads are one
+// relaxed branch and zero refcount traffic. `reload` requests
+// recalibrate on the handler's thread — serialized by reload_mutex_ so
+// two admins can't race a rebuild — then publish the new pointer under
+// snapshot_mutex_ and bump the epoch; in-flight readers keep their old
+// snapshot alive through the shared_ptr refcount and simply drain. No
+// reader ever blocks on a recalibration.
+//
+// (An earlier version used std::atomic<std::shared_ptr> here. Besides
+// paying a spinlock + two refcount RMWs per request, libstdc++'s
+// _Sp_atomic unlocks its load() path with a relaxed fetch_sub — the
+// write-after-read edge the memory model wants is missing, and TSan
+// rightly flags the store against concurrent loads. The epoch gate is
+// both faster and clean under TSan.)
+//
+// Connection handling is thread-per-connection (query work is pure
+// in-memory lookup; the protocol drains every buffered request frame
+// before flushing one batched write, which is what amortizes syscalls
+// under pipelined load). Finished handlers park on a reap list the
+// accept loop joins, so the thread table never grows past the live
+// connection count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+
+namespace manytiers::serve {
+
+struct ServerOptions {
+  std::string unix_path;   // required: the UDS listener
+  int tcp_port = -1;       // -1 = no TCP listener, 0 = kernel-assigned
+  std::size_t threads = 0;  // snapshot calibration threads (0 = default)
+};
+
+class Server {
+ public:
+  Server(driver::ExperimentGrid grid, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Build the initial snapshot (epoch 1), bind the listeners, spawn the
+  // accept threads. Throws on bind/calibration failure.
+  void start();
+  // Close listeners, shut down live connections, join every thread.
+  // Idempotent; the destructor calls it.
+  void stop();
+
+  // The TCP port actually bound (after start); -1 when TCP is off.
+  int tcp_port() const { return bound_tcp_port_; }
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  std::shared_ptr<const Snapshot> snapshot() const {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return snapshot_;
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  // A connection's view of the serving snapshot: refreshed from
+  // snapshot_ only when the epoch gate says it moved.
+  struct SnapCache {
+    std::shared_ptr<const Snapshot> snap;
+    std::uint64_t epoch = 0;
+  };
+
+  void accept_loop(int listen_fd);
+  void handle_connection(Conn* conn);
+  // One request frame -> one response payload. Never throws: every
+  // fault inside becomes a structured error response.
+  std::string handle_payload(std::string_view payload, SnapCache& cache);
+  std::string handle_request(const Request& request, SnapCache& cache);
+  std::string handle_reload(const Request& request);
+  const std::shared_ptr<const Snapshot>& current_snapshot(SnapCache& cache);
+  void reap_finished(bool join_all);
+
+  driver::ExperimentGrid grid_;
+  ServerOptions options_;
+  std::shared_ptr<const Snapshot> snapshot_;  // guarded by snapshot_mutex_
+  mutable std::mutex snapshot_mutex_;  // pointer copies only, never rebuilds
+  std::atomic<std::uint64_t> epoch_{0};
+  std::mutex reload_mutex_;  // serializes rebuilds, not reads
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  std::vector<std::thread> accept_threads_;
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace manytiers::serve

@@ -1,0 +1,137 @@
+// One pricing truth: schedule responses replayed against the daemon
+// must byte-match the batch driver's per-point capture records. The
+// comparison is on raw %.17g tokens — the daemon's socket path and the
+// batch pipeline must agree to the last bit, not to a tolerance.
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/grid.hpp"
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
+#include "gtest/gtest.h"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve_test_util.hpp"
+
+namespace manytiers::serve {
+namespace {
+
+using testing::temp_socket_path;
+
+// Pull the raw capture-array tokens out of a BATCH_JSON per-point line:
+//   {"type":"point","cell":"EU ISP/ced/linear/Optimal","point":0,
+//    "capture":[0.84...,0.91...,...]}
+std::vector<std::string> capture_tokens(std::string_view line) {
+  const std::string_view key = "\"capture\":[";
+  const std::size_t at = line.find(key);
+  EXPECT_NE(at, std::string_view::npos) << line;
+  std::string_view rest = line.substr(at + key.size());
+  rest = rest.substr(0, rest.find(']'));
+  std::vector<std::string> tokens;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    tokens.emplace_back(rest.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return tokens;
+}
+
+// The capture token of one schedule response payload, raw.
+std::string capture_token(std::string_view payload) {
+  const std::string_view key = "\"capture\":";
+  const std::size_t at = payload.find(key);
+  EXPECT_NE(at, std::string_view::npos) << payload;
+  std::string_view rest = payload.substr(at + key.size());
+  return std::string(rest.substr(0, rest.find(',')));
+}
+
+TEST(Determinism, ServedSchedulesByteMatchBatchReport) {
+  const auto grid = driver::smoke_grid();
+
+  // The batch truth: one in-process run with per-point capture detail
+  // (exactly what `manytiers_batch --grid smoke --per-point` emits).
+  driver::RunOptions run_options;
+  run_options.per_point = true;
+  const driver::BatchReport report = driver::run_grid(grid, run_options);
+  const std::string batch_text =
+      driver::report_to_string(report, /*include_timing=*/false);
+
+  // The served answers, over a real socket.
+  const std::string path = temp_socket_path("determinism");
+  ServerOptions options;
+  options.unix_path = path;
+  Server server(grid, options);
+  server.start();
+  Client client = Client::connect_unix(path);
+
+  // Every cell of the grid: replay the (market, strategy) query log and
+  // byte-compare the capture series, bundle count by bundle count.
+  std::size_t cells_checked = 0;
+  for (const auto& cell : driver::enumerate_cells(grid)) {
+    const std::string cell_needle =
+        "\"cell\":\"" + driver::cell_key(cell) + "\",\"point\":0";
+    std::size_t line_start = batch_text.find(cell_needle);
+    ASSERT_NE(line_start, std::string::npos) << cell_needle;
+    line_start = batch_text.rfind('\n', line_start) + 1;
+    const std::size_t line_end = batch_text.find('\n', line_start);
+    const auto batch_tokens = capture_tokens(
+        std::string_view(batch_text).substr(line_start, line_end - line_start));
+    ASSERT_EQ(batch_tokens.size(), grid.max_bundles);
+
+    for (std::size_t b = 1; b <= grid.max_bundles; ++b) {
+      Request request;
+      request.id = cells_checked * 100 + b;
+      request.kind = QueryKind::Schedule;
+      request.market = market_key(cell.dataset, cell.demand, cell.cost);
+      request.strategy = std::string(pricing::to_string(cell.strategy));
+      request.bundles = b;
+      const std::string payload =
+          client.call_raw(serialize_request(request));
+      ASSERT_TRUE(parse_response(payload).ok) << payload;
+      EXPECT_EQ(capture_token(payload), batch_tokens[b - 1])
+          << driver::cell_key(cell) << " at " << b << " bundles";
+    }
+    ++cells_checked;
+  }
+  EXPECT_EQ(cells_checked,
+            grid.datasets.size() * grid.demand_kinds.size() *
+                grid.cost_kinds.size() * grid.strategies.size());
+  server.stop();
+}
+
+// Replaying the same query twice (and across reconnects) returns
+// byte-identical responses — the snapshot is immutable.
+TEST(Determinism, RepeatedQueriesAreByteStable) {
+  const std::string path = temp_socket_path("determinism_replay");
+  ServerOptions options;
+  options.unix_path = path;
+  Server server(serve::testing::tiny_grid(), options);
+  server.start();
+
+  Request request;
+  request.id = 1;
+  request.kind = QueryKind::Price;
+  request.market = "EU ISP/ced/linear";
+  request.strategy = "Profit-weighted";
+  request.q = 77.5;
+  request.d = 312.0;
+  const std::string wire = serialize_request(request);
+
+  std::string first;
+  {
+    Client client = Client::connect_unix(path);
+    first = client.call_raw(wire);
+    EXPECT_EQ(client.call_raw(wire), first);
+  }
+  {
+    Client reconnected = Client::connect_unix(path);
+    EXPECT_EQ(reconnected.call_raw(wire), first);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace manytiers::serve

@@ -1,0 +1,194 @@
+// End-to-end daemon lifecycle: spawn the real manytiers_serve binary,
+// query every kind over its socket, SIGTERM it, and require a clean
+// exit with the metrics sidecar flushed. Binary paths are injected at
+// compile time (MANYTIERS_SERVE_BIN), same pattern as the orchestrator
+// E2E suite.
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "obs/registry.hpp"
+#include "orchestrator/process.hpp"
+#include "serve/client.hpp"
+#include "serve_test_util.hpp"
+
+namespace manytiers::serve {
+namespace {
+
+using orchestrator::ExitStatus;
+using testing::temp_socket_path;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+ExitStatus wait_for_exit(pid_t pid, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (const auto status = orchestrator::try_wait(pid)) return *status;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ADD_FAILURE() << "daemon did not exit in " << timeout_ms << " ms";
+      return orchestrator::kill_and_reap(pid);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+TEST(ServeE2E, DaemonAnswersAllKindsAndShutsDownCleanOnSigterm) {
+  const std::string socket_path = temp_socket_path("e2e");
+  const std::string metrics_path = socket_path + ".metrics";
+  const std::string log_path = socket_path + ".log";
+
+  orchestrator::SpawnSpec spec;
+  spec.argv = {MANYTIERS_SERVE_BIN, "--grid",    "smoke",
+               "--socket",          socket_path, "--metrics",
+               metrics_path};
+  spec.log_path = log_path;
+  const pid_t pid = orchestrator::spawn_process(spec);
+
+  {
+    // Calibration happens before the socket binds; the retry connect IS
+    // the readiness wait.
+    Client client = Client::connect_unix_retry(socket_path, 30000);
+
+    Request schedule;
+    schedule.id = 1;
+    schedule.kind = QueryKind::Schedule;
+    schedule.market = "EU ISP/ced/linear";
+    schedule.strategy = "Optimal";
+    const Response schedule_response = client.call(schedule);
+    ASSERT_TRUE(schedule_response.ok) << schedule_response.error;
+    EXPECT_EQ(schedule_response.tiers.size(), 4u);  // smoke max_bundles
+
+    Request price = schedule;
+    price.id = 2;
+    price.kind = QueryKind::Price;
+    price.q = 42.0;
+    price.d = 250.0;
+    const Response price_response = client.call(price);
+    ASSERT_TRUE(price_response.ok) << price_response.error;
+    EXPECT_GT(price_response.price, 0.0);
+
+    Request requote = schedule;
+    requote.id = 3;
+    requote.kind = QueryKind::Requote;
+    requote.flow = 5;
+    const Response requote_response = client.call(requote);
+    ASSERT_TRUE(requote_response.ok) << requote_response.error;
+
+    Request reload;
+    reload.id = 4;
+    reload.kind = QueryKind::Reload;
+    reload.seed = 77;
+    const Response reload_response = client.call(reload);
+    ASSERT_TRUE(reload_response.ok) << reload_response.error;
+    EXPECT_EQ(reload_response.epoch, 2u);
+
+    // Post-reload queries answer from the new epoch.
+    const Response after = client.call(schedule);
+    ASSERT_TRUE(after.ok) << after.error;
+    EXPECT_EQ(after.epoch, 2u);
+  }
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  const ExitStatus status = wait_for_exit(pid, 30000);
+  EXPECT_FALSE(status.signaled) << "terminated by signal " << status.signal;
+  EXPECT_EQ(status.code, 0) << slurp(log_path);
+
+  // Lifecycle lines made it to the log.
+  const std::string log = slurp(log_path);
+  EXPECT_NE(log.find("SERVE_JSON {\"event\":\"ready\""), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("\"event\":\"shutdown\""), std::string::npos) << log;
+
+  // The sidecar parses and counted our requests (5 queries + 1 reload
+  // across the per-kind counters; serve.requests is the total).
+  const obs::Snapshot metrics = obs::parse_snapshot(slurp(metrics_path));
+  ASSERT_TRUE(metrics.counters.count("serve.requests"));
+  EXPECT_GE(metrics.counters.at("serve.requests"), 5u);
+  ASSERT_TRUE(metrics.counters.count("serve.reloads"));
+  EXPECT_EQ(metrics.counters.at("serve.reloads"), 1u);
+  EXPECT_EQ(metrics.counters.count("serve.errors"), 1u);
+  EXPECT_EQ(metrics.counters.at("serve.errors"), 0u);
+  ASSERT_TRUE(metrics.histograms.count("serve.latency_us.price"));
+  EXPECT_GE(metrics.histograms.at("serve.latency_us.price").count, 1u);
+
+  std::remove(metrics_path.c_str());
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeE2E, UsageErrorsExitTwo) {
+  orchestrator::SpawnSpec spec;
+  spec.argv = {MANYTIERS_SERVE_BIN, "--grid", "no-such-grid", "--socket",
+               temp_socket_path("usage")};
+  spec.log_path = "/dev/null";
+  const pid_t pid = orchestrator::spawn_process(spec);
+  const ExitStatus status = wait_for_exit(pid, 30000);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 2);
+
+  orchestrator::SpawnSpec no_socket;
+  no_socket.argv = {MANYTIERS_SERVE_BIN};
+  no_socket.log_path = "/dev/null";
+  const pid_t pid2 = orchestrator::spawn_process(no_socket);
+  const ExitStatus status2 = wait_for_exit(pid2, 30000);
+  EXPECT_EQ(status2.code, 2);
+}
+
+TEST(ServeE2E, QuoteCliRoundTrips) {
+  const std::string socket_path = temp_socket_path("quote_cli");
+  const std::string log_path = socket_path + ".log";
+  orchestrator::SpawnSpec daemon;
+  daemon.argv = {MANYTIERS_SERVE_BIN, "--grid", "smoke", "--socket",
+                 socket_path};
+  daemon.log_path = log_path;
+  const pid_t daemon_pid = orchestrator::spawn_process(daemon);
+
+  const std::string quote_log = socket_path + ".quote.log";
+  orchestrator::SpawnSpec quote;
+  quote.argv = {MANYTIERS_QUOTE_BIN,
+                "--socket",
+                socket_path,
+                "--retry-ms",
+                "30000",
+                "price",
+                "--market",
+                "EU ISP/ced/linear",
+                "--strategy",
+                "Optimal",
+                "--q",
+                "10",
+                "--d",
+                "100"};
+  quote.log_path = quote_log;
+  const ExitStatus quote_status =
+      wait_for_exit(orchestrator::spawn_process(quote), 30000);
+  EXPECT_EQ(quote_status.code, 0) << slurp(quote_log);
+  const Response response = parse_response([&] {
+    std::string text = slurp(quote_log);
+    // The CLI prints exactly one line: the raw response payload.
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }());
+  EXPECT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.kind, QueryKind::Price);
+
+  ASSERT_EQ(::kill(daemon_pid, SIGTERM), 0);
+  EXPECT_EQ(wait_for_exit(daemon_pid, 30000).code, 0);
+  std::remove(log_path.c_str());
+  std::remove(quote_log.c_str());
+}
+
+}  // namespace
+}  // namespace manytiers::serve

@@ -1,0 +1,35 @@
+// Shared fixtures for the serve suite: a fast-to-calibrate grid and
+// collision-free socket paths (sockaddr_un caps paths at ~108 bytes, so
+// they live directly under /tmp rather than in deep build trees).
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+
+#include "driver/grid.hpp"
+
+namespace manytiers::serve::testing {
+
+// One market, one strategy, 24 flows: calibrates in well under a
+// millisecond, so swap tests can reload dozens of times.
+inline driver::ExperimentGrid tiny_grid() {
+  driver::ExperimentGrid grid;
+  grid.name = "serve-tiny";
+  grid.datasets = {workload::DatasetKind::EuIsp};
+  grid.demand_kinds = {demand::DemandKind::ConstantElasticity};
+  grid.cost_kinds = {driver::CostKind::Linear};
+  grid.strategies = {pricing::Strategy::ProfitWeighted};
+  grid.max_bundles = 2;
+  grid.base.n_flows = 24;
+  return grid;
+}
+
+inline std::string temp_socket_path(const char* tag) {
+  static std::atomic<int> counter{0};
+  return "/tmp/mt_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+}  // namespace manytiers::serve::testing

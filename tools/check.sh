@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus sanitizer pass for the process-supervision paths.
 #
-#   tools/check.sh            # full build + full ctest, then ASan+UBSan
-#                             # build + `ctest -L orchestrator`, then TSan
-#                             # build + `ctest -L "obs|parallel"`
+#   tools/check.sh            # full build + full ctest + serve smoke,
+#                             # then ASan+UBSan build +
+#                             # `ctest -L "orchestrator|serve"`, then TSan
+#                             # build + `ctest -L "obs|parallel|serve"`
 #   tools/check.sh --fast     # skip both sanitizer legs
 #
 # The orchestrator fork/exec/kill/heartbeat code is exactly the kind of
 # code where a latent use-after-free or signed-overflow hides behind
 # "the test passed": the sanitizer leg re-runs every orchestrator- and
-# driver-labelled supervision test with ASan+UBSan enabled. The TSan leg
-# covers the other risk pocket — the lock-free obs registry (sharded
-# relaxed atomics) and the parallel_for pool — where a data race would
-# corrupt counters silently instead of crashing.
+# driver-labelled supervision test with ASan+UBSan enabled, plus the
+# serve suite — its malformed-frame corpus only proves hardening if a
+# byte-level parser bug actually crashes. The TSan leg covers the other
+# risk pocket — the lock-free obs registry (sharded relaxed atomics),
+# the parallel_for pool, and the serve daemon's RCU-style snapshot swap
+# under concurrent reloads — where a data race would corrupt counters
+# or tear a snapshot silently instead of crashing.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -47,6 +51,31 @@ else
   echo "check.sh: python3 not found, skipping dp kernel gate"
 fi
 
+echo "== serve: daemon smoke over a unix socket =="
+# One query of every kind against a real daemon, then a clean SIGTERM
+# shutdown: this is the exact start-then-query idiom EXPERIMENTS.md
+# documents, so it stays exercised even when nobody runs the gtest E2Es.
+serve_dir="$repo/build/serve_smoke"
+rm -rf "$serve_dir" && mkdir -p "$serve_dir"
+serve_sock="$serve_dir/mt.sock"
+"$repo/build/src/manytiers_serve" --grid smoke --socket "$serve_sock" \
+  --metrics "$serve_dir/metrics.json" > "$serve_dir/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+quote() {
+  "$repo/build/src/manytiers_quote" --socket "$serve_sock" --retry-ms 10000 \
+    "$@" > /dev/null
+}
+quote price --market "EU ISP/ced/linear" --strategy Optimal --q 120 --d 800
+quote schedule --market "CDN/logit/linear" --strategy Profit-weighted
+quote requote --market "Internet2/ced/linear" --strategy Optimal --flow 3
+quote reload --seed 43
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+trap - EXIT
+grep -q '"serve.requests.price"' "$serve_dir/metrics.json"
+echo "check.sh: serve smoke ok (metrics sidecar has serve.requests.*)"
+
 if [[ "$fast" == 1 ]]; then
   echo "check.sh: --fast given, skipping sanitizer leg"
   exit 0
@@ -57,22 +86,24 @@ cmake -S "$repo" -B "$repo/build-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMANYTIERS_SANITIZE=ON
 cmake --build "$repo/build-asan" -j "$jobs"
 
-echo "== sanitizers: ctest -L orchestrator =="
+echo "== sanitizers: ctest -L \"orchestrator|serve\" =="
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="detect_leaks=0" \
-  ctest --test-dir "$repo/build-asan" -L orchestrator \
+  ctest --test-dir "$repo/build-asan" -L "orchestrator|serve" \
     --output-on-failure -j "$jobs"
 
 echo "== sanitizers: TSan build =="
 cmake -S "$repo" -B "$repo/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMANYTIERS_TSAN=ON
-# obs_smoke (labeled obs) drives the real batch + orchestrator binaries.
+# obs_smoke (labeled obs) drives the real batch + orchestrator binaries;
+# the serve suite's E2E tests drive manytiers_serve/manytiers_quote.
 cmake --build "$repo/build-tsan" -j "$jobs" \
-  --target test_obs test_parallel manytiers_batch manytiers_orchestrate
+  --target test_obs test_parallel manytiers_batch manytiers_orchestrate \
+  test_serve manytiers_serve_bin manytiers_quote
 
-echo "== sanitizers: ctest -L \"obs|parallel\" =="
+echo "== sanitizers: ctest -L \"obs|parallel|serve\" =="
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir "$repo/build-tsan" -L "obs|parallel" \
+  ctest --test-dir "$repo/build-tsan" -L "obs|parallel|serve" \
     --output-on-failure -j "$jobs"
 
 echo "check.sh: all green"
