@@ -52,7 +52,7 @@ int main() {
   for (const auto& d : tm) {
     workload::Flow f;
     f.demand_mbps = d.mbps;
-    f.distance_miles = dist[d.src][d.dst];
+    f.distance_miles = dist(d.src, d.dst);
     flows.add(f);
   }
   const auto cost_model = cost::make_linear_cost(0.2);

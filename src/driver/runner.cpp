@@ -50,14 +50,24 @@ BatchReport run_grid(const ExperimentGrid& grid, const RunOptions& options) {
   const std::size_t n_cost = grid.cost_kinds.size();
   const std::size_t n_strat = grid.strategies.size();
 
-  // Shared per-run inputs: each dataset generates once, each cost model
-  // builds once; both are read-only during the parallel phases.
-  std::vector<workload::FlowSet> flows;
-  flows.reserve(grid.datasets.size());
-  for (const auto kind : grid.datasets) {
-    flows.push_back(workload::generate_dataset(
-        kind, {.seed = grid.base.seed, .n_flows = grid.base.n_flows}));
+  // Shared per-run inputs: each dataset generates once (unless the caller
+  // supplied re-costed flow sets), each cost model builds once; both are
+  // read-only during the parallel phases.
+  std::vector<workload::FlowSet> generated;
+  if (options.flows_override) {
+    if (options.flows_override->size() != grid.datasets.size()) {
+      throw std::invalid_argument(
+          "run_grid: flows_override needs one flow set per grid dataset");
+    }
+  } else {
+    generated.reserve(grid.datasets.size());
+    for (const auto kind : grid.datasets) {
+      generated.push_back(workload::generate_dataset(
+          kind, {.seed = grid.base.seed, .n_flows = grid.base.n_flows}));
+    }
   }
+  const std::vector<workload::FlowSet>& flows =
+      options.flows_override ? *options.flows_override : generated;
   std::vector<std::unique_ptr<cost::CostModel>> cost_models;
   cost_models.reserve(grid.cost_kinds.size());
   for (const auto kind : grid.cost_kinds) {

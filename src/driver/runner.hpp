@@ -31,6 +31,12 @@ struct RunOptions {
   std::size_t threads = 0;  // 0 = MANYTIERS_THREADS / hardware concurrency
   ShardPlan shard;
   bool per_point = false;  // schema v2: keep per-point capture vectors
+  // When set, evaluate against these pre-built flow sets (one per grid
+  // dataset, in grid.datasets order) instead of generating from the
+  // grid's base seed — the dynamic-network session's hook for feeding
+  // re-costed flows through the unchanged evaluation path. Must outlive
+  // the run_grid call.
+  const std::vector<workload::FlowSet>* flows_override = nullptr;
 };
 
 // Run (this shard of) the grid and return the consolidated report.

@@ -11,6 +11,8 @@ namespace manytiers::geo {
 struct GeoPoint {
   double lat_deg = 0.0;  // [-90, 90]
   double lon_deg = 0.0;  // [-180, 180]
+
+  bool operator==(const GeoPoint&) const = default;
 };
 
 inline constexpr double kEarthRadiusMiles = 3958.7613;

@@ -1,0 +1,111 @@
+#include "netdyn/grid_session.hpp"
+
+#include <string>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "topology/dijkstra.hpp"
+
+namespace manytiers::netdyn {
+
+GridSession::GridSession(driver::ExperimentGrid grid,
+                         const topology::Network& backbone,
+                         GridSessionOptions options)
+    : grid_(std::move(grid)), options_(options), net_(backbone, options.kernel) {
+  const workload::GeneratorOptions gen{.seed = grid_.base.seed,
+                                       .n_flows = grid_.base.n_flows};
+  flows_.reserve(grid_.datasets.size());
+  recosters_.reserve(grid_.datasets.size());
+  for (const auto kind : grid_.datasets) {
+    if (kind == workload::DatasetKind::Internet2) {
+      workload::TopologyBinding binding;
+      // Epoch-0 distances equal all_pairs_distances(backbone) bit-for-bit
+      // (same relaxation core), so for the Internet2 backbone these flows
+      // match generate_dataset's exactly.
+      flows_.push_back(
+          workload::generate_internet2(gen, backbone, net_.distances(),
+                                       &binding));
+      recosters_.emplace_back(FlowRecoster(std::move(binding)));
+    } else {
+      flows_.push_back(workload::generate_dataset(kind, gen));
+      recosters_.emplace_back(std::nullopt);
+    }
+  }
+  driver::RunOptions run;
+  run.threads = options_.threads;
+  run.flows_override = &flows_;
+  report_ = driver::run_grid(grid_, run);
+}
+
+GridSession::ApplyStats GridSession::apply(
+    std::span<const NetworkUpdate> batch) {
+  static obs::Counter& dirty_markets_counter =
+      obs::Registry::instance().counter("netdyn.dirty_markets");
+  static obs::Counter& dirty_cells_counter =
+      obs::Registry::instance().counter("netdyn.dirty_cells");
+  const obs::Span span(
+      "netdyn.grid_session.apply",
+      obs::Tracer::instance().active()
+          ? "{\"updates\":" + std::to_string(batch.size()) + "}"
+          : std::string());
+
+  ApplyStats stats;
+  stats.delta = net_.apply(batch);
+  if (stats.delta.empty()) return stats;
+
+  const auto& dist = net_.distances();
+  std::vector<std::size_t> dirty;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (!recosters_[i]) continue;
+    const std::size_t changed =
+        recosters_[i]->recost(flows_[i], stats.delta, dist);
+    stats.recosted_flows += changed;
+    if (changed != 0) dirty.push_back(i);
+  }
+  if (dirty.empty()) return stats;
+  stats.dirty_datasets = dirty.size();
+
+  // Cells enumerate dataset-major, so dataset i owns the contiguous block
+  // [i * block, (i + 1) * block). Re-evaluating a one-dataset sub-grid
+  // yields that block's cells in the same order, computed from the same
+  // (re-costed) flows run_grid would see in a full run — splicing them in
+  // reproduces the full-grid report byte-for-byte, timing aside.
+  const std::size_t block = grid_.demand_kinds.size() *
+                            grid_.cost_kinds.size() * grid_.strategies.size();
+  const std::size_t points = driver::points_per_cell(grid_);
+  for (const std::size_t ds : dirty) {
+    driver::ExperimentGrid sub = grid_;
+    sub.datasets = {grid_.datasets[ds]};
+    const std::vector<workload::FlowSet> sub_flows{flows_[ds]};
+    driver::RunOptions run;
+    run.threads = options_.threads;
+    run.flows_override = &sub_flows;
+    driver::BatchReport part = driver::run_grid(sub, run);
+    for (std::size_t c = 0; c < part.cells.size(); ++c) {
+      report_.cells[ds * block + c] = std::move(part.cells[c]);
+    }
+    stats.dirty_cells += block;
+    stats.dirty_markets +=
+        grid_.demand_kinds.size() * grid_.cost_kinds.size() * points;
+  }
+  dirty_cells_counter.add(stats.dirty_cells);
+  dirty_markets_counter.add(stats.dirty_markets);
+  return stats;
+}
+
+driver::BatchReport GridSession::scratch_report() const {
+  // Independent reference: scratch all-pairs Dijkstra, full re-cost of
+  // every bound flow, full-grid evaluation.
+  const topology::DistanceMatrix dist = net_.scratch_distances();
+  std::vector<workload::FlowSet> flows = flows_;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (recosters_[i]) recosters_[i]->recost_all(flows[i], dist);
+  }
+  driver::RunOptions run;
+  run.threads = options_.threads;
+  run.flows_override = &flows;
+  return driver::run_grid(grid_, run);
+}
+
+}  // namespace manytiers::netdyn

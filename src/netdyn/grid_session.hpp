@@ -1,0 +1,79 @@
+// Delta propagation, layers 2-3: from re-costed flows to recalibrated
+// markets and re-evaluated grid cells.
+//
+// A GridSession owns an ExperimentGrid evaluated against a live
+// DynamicNetwork. Network-backed datasets (Internet2) generate once over
+// the epoch-0 backbone with their topology binding captured; applying an
+// update batch re-costs only the flows the DistanceDelta names, marks the
+// datasets that repriced dirty, and re-runs run_grid for exactly the
+// dirty datasets' cell blocks (cells enumerate dataset-major, so a dirty
+// dataset is one contiguous splice). Markets of clean cells are never
+// recalibrated — their epoch-tagged profit caches stay primed.
+//
+// The maintained report is byte-identical (modulo timing fields) to
+// scratch_report(), which rebuilds everything the expensive way: scratch
+// all-pairs Dijkstra, full re-cost of every bound flow, full-grid
+// run_grid. That equivalence holds after every batch, for either SSSP
+// kernel and any thread count, and is what the netdyn ctest suite pins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "driver/runner.hpp"
+#include "netdyn/dynamic_network.hpp"
+#include "netdyn/flows.hpp"
+#include "topology/graph.hpp"
+
+namespace manytiers::netdyn {
+
+struct GridSessionOptions {
+  std::size_t threads = 0;  // forwarded to run_grid
+  SsspKernelOptions kernel = sssp_kernel_options_from_env();
+};
+
+class GridSession {
+ public:
+  // Evaluates the grid up front; Internet2 datasets bind to `backbone`
+  // (pass topology::internet2_network() to reproduce the static pipeline
+  // bit-for-bit at epoch 0).
+  GridSession(driver::ExperimentGrid grid, const topology::Network& backbone,
+              GridSessionOptions options = {});
+
+  const driver::BatchReport& report() const { return report_; }
+  const driver::ExperimentGrid& grid() const { return grid_; }
+  const DynamicNetwork& network() const { return net_; }
+  std::uint64_t epoch() const { return net_.epoch(); }
+  const std::vector<workload::FlowSet>& flows() const { return flows_; }
+
+  struct ApplyStats {
+    DistanceDelta delta;
+    std::size_t recosted_flows = 0;
+    std::size_t dirty_datasets = 0;
+    std::size_t dirty_cells = 0;
+    std::size_t dirty_markets = 0;  // (demand, cost, point) calibrations rerun
+  };
+
+  // Apply one update batch end to end: advance the network, re-cost
+  // affected flows, re-evaluate dirty cell blocks in place.
+  ApplyStats apply(std::span<const NetworkUpdate> batch);
+  ApplyStats apply(const NetworkUpdate& update) {
+    return apply(std::span<const NetworkUpdate>(&update, 1));
+  }
+
+  // The recompute-everything reference for the current epoch.
+  driver::BatchReport scratch_report() const;
+
+ private:
+  driver::ExperimentGrid grid_;
+  GridSessionOptions options_;
+  DynamicNetwork net_;
+  std::vector<workload::FlowSet> flows_;  // one per grid dataset, live
+  // Engaged for network-backed datasets only (index-aligned with flows_).
+  std::vector<std::optional<FlowRecoster>> recosters_;
+  driver::BatchReport report_;
+};
+
+}  // namespace manytiers::netdyn

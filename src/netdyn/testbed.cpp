@@ -1,0 +1,185 @@
+#include "netdyn/testbed.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "geo/cities.hpp"
+#include "util/rng.hpp"
+
+namespace manytiers::netdyn {
+
+namespace {
+
+using topology::PopId;
+
+std::string pop_name(std::size_t i) { return "P" + std::to_string(i); }
+
+}  // namespace
+
+topology::Network synthetic_backbone(const BackboneOptions& options) {
+  if (options.n_pops < 3) {
+    throw std::invalid_argument("synthetic_backbone: need at least 3 PoPs");
+  }
+  util::Rng rng(options.seed);
+  topology::Network net("synthetic");
+  if (options.city_names) {
+    const auto cities = geo::world_cities();
+    if (options.n_pops > cities.size()) {
+      throw std::invalid_argument(
+          "synthetic_backbone: city_names caps n_pops at the city database "
+          "size");
+    }
+    for (std::size_t i = 0; i < options.n_pops; ++i) {
+      net.add_pop(cities[i].name, cities[i].location);
+    }
+  } else {
+    for (std::size_t i = 0; i < options.n_pops; ++i) {
+      net.add_pop(pop_name(i),
+                  {rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)});
+    }
+  }
+  const std::size_t n = options.n_pops;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_link(i, (i + 1) % n);  // great-circle length
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < options.extra_links && attempts < options.extra_links * 20) {
+    ++attempts;
+    const PopId a = rng.index(n);
+    const PopId b = rng.index(n);
+    if (a == b || net.has_link(a, b)) continue;
+    net.add_link(a, b);
+    ++added;
+  }
+  return net;
+}
+
+std::vector<std::vector<NetworkUpdate>> generate_update_sequence(
+    const topology::Network& base, std::uint64_t seed,
+    const UpdateSequenceOptions& options) {
+  util::Rng rng(seed);
+
+  // Structural simulation of the evolving network, so every drawn op is
+  // valid when applied in order.
+  struct SimPop {
+    std::string name;
+    geo::GeoPoint location;
+    bool alive = true;
+  };
+  std::vector<SimPop> pops;
+  for (const auto& p : base.pops()) pops.push_back({p.name, p.location, true});
+  std::map<std::pair<PopId, PopId>, double> links;
+  for (const auto& l : base.links()) {
+    const auto key = l.a < l.b ? std::make_pair(l.a, l.b)
+                               : std::make_pair(l.b, l.a);
+    links[key] = l.length_miles;
+  }
+  std::size_t next_added = 0;
+
+  const auto alive_ids = [&] {
+    std::vector<PopId> ids;
+    for (PopId i = 0; i < pops.size(); ++i) {
+      if (pops[i].alive) ids.push_back(i);
+    }
+    return ids;
+  };
+  const auto random_link = [&] {
+    auto it = links.begin();
+    std::advance(it, rng.index(links.size()));
+    return it;
+  };
+
+  std::vector<std::vector<NetworkUpdate>> batches;
+  batches.reserve(options.n_batches);
+  for (std::size_t b = 0; b < options.n_batches; ++b) {
+    std::vector<NetworkUpdate> batch;
+    for (std::size_t k = 0; k < options.batch_size; ++k) {
+      const double roll =
+          options.structural ? rng.uniform(0.0, 1.0) : 0.0;
+      NetworkUpdate u;
+      if (roll < 0.55) {
+        // Reweigh an existing link by a factor in [0.5, 2).
+        if (links.empty()) continue;
+        const auto it = random_link();
+        u.kind = NetworkUpdate::Kind::LinkWeight;
+        u.a = pops[it->first.first].name;
+        u.b = pops[it->first.second].name;
+        u.length_miles = it->second * rng.uniform(0.5, 2.0);
+        it->second = u.length_miles;
+      } else if (roll < 0.70) {
+        // Fail a link (partitions allowed).
+        if (links.size() < 2) continue;
+        const auto it = random_link();
+        u.kind = NetworkUpdate::Kind::LinkDown;
+        u.a = pops[it->first.first].name;
+        u.b = pops[it->first.second].name;
+        links.erase(it);
+      } else if (roll < 0.85) {
+        // Bring up an absent link between alive PoPs.
+        const auto ids = alive_ids();
+        bool placed = false;
+        for (int tries = 0; tries < 16 && !placed; ++tries) {
+          const PopId a = ids[rng.index(ids.size())];
+          const PopId bb = ids[rng.index(ids.size())];
+          if (a == bb) continue;
+          const auto key =
+              a < bb ? std::make_pair(a, bb) : std::make_pair(bb, a);
+          if (links.contains(key)) continue;
+          u.kind = NetworkUpdate::Kind::LinkUp;
+          u.a = pops[a].name;
+          u.b = pops[bb].name;
+          u.length_miles = rng.uniform(50.0, 1500.0);
+          u.capacity_gbps = 10.0;
+          links[key] = u.length_miles;
+          placed = true;
+        }
+        if (!placed) continue;
+      } else if (roll < 0.93) {
+        // Add a PoP and wire it to one alive neighbor.
+        const auto ids = alive_ids();
+        u.kind = NetworkUpdate::Kind::PopAdd;
+        u.name = "Dyn" + std::to_string(next_added++);
+        u.location = {rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)};
+        pops.push_back({u.name, u.location, true});
+        batch.push_back(u);
+        const PopId fresh = pops.size() - 1;
+        const PopId anchor = ids[rng.index(ids.size())];
+        NetworkUpdate wire;
+        wire.kind = NetworkUpdate::Kind::LinkUp;
+        wire.a = u.name;
+        wire.b = pops[anchor].name;
+        wire.length_miles = rng.uniform(50.0, 1500.0);
+        links[anchor < fresh ? std::make_pair(anchor, fresh)
+                             : std::make_pair(fresh, anchor)] =
+            wire.length_miles;
+        batch.push_back(wire);
+        continue;  // both ops already pushed
+      } else {
+        // Remove a PoP (keep a core of four alive).
+        const auto ids = alive_ids();
+        if (ids.size() <= 4) continue;
+        const PopId victim = ids[rng.index(ids.size())];
+        u.kind = NetworkUpdate::Kind::PopRemove;
+        u.name = pops[victim].name;
+        pops[victim].alive = false;
+        for (auto it = links.begin(); it != links.end();) {
+          if (it->first.first == victim || it->first.second == victim) {
+            it = links.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      batch.push_back(std::move(u));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace manytiers::netdyn

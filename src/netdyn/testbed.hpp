@@ -1,0 +1,43 @@
+// Synthetic backbones and valid random update sequences — the generated
+// inputs the netdyn tests and bench_netdyn drive the subsystem with.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netdyn/update.hpp"
+#include "topology/graph.hpp"
+
+namespace manytiers::netdyn {
+
+struct BackboneOptions {
+  std::size_t n_pops = 64;
+  // Random chords added on top of the connecting ring.
+  std::size_t extra_links = 32;
+  std::uint64_t seed = 1;
+  // Name PoPs after real cities (required when the backbone feeds
+  // generate_internet2, which resolves PoP names to city metadata).
+  // Caps n_pops at the city-database size (113).
+  bool city_names = false;
+};
+
+// A connected ring-plus-chords backbone with great-circle link lengths.
+topology::Network synthetic_backbone(const BackboneOptions& options = {});
+
+struct UpdateSequenceOptions {
+  std::size_t n_batches = 8;
+  std::size_t batch_size = 2;
+  // Allow link up/down and PoP add/remove (partitions included); when
+  // false the sequence is reweigh-only, which keeps the vertex set fixed
+  // — what the bench's affected-fraction sweep wants.
+  bool structural = true;
+};
+
+// Random update batches that are always valid against the evolving
+// network: reweighs hit existing links, ups pick absent pairs, removals
+// keep at least four PoPs alive. Deterministic in (base, seed, options).
+std::vector<std::vector<NetworkUpdate>> generate_update_sequence(
+    const topology::Network& base, std::uint64_t seed,
+    const UpdateSequenceOptions& options = {});
+
+}  // namespace manytiers::netdyn

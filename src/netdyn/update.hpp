@@ -1,0 +1,61 @@
+// Topology update model for the dynamic-network subsystem.
+//
+// A NetworkUpdate is one structural event on a backbone: a link reweigh,
+// a link failure or restoration, or a PoP addition or removal. Updates
+// name PoPs by their (unique, alive) names rather than ids, so a
+// serialized sequence stays meaningful across processes — the serve
+// daemon's reload path ships batches as text.
+//
+// Wire format: one op per ';', fields per op separated by ',' (PoP names
+// contain spaces — "New York" — so whitespace cannot delimit). Fields
+// are trimmed of surrounding whitespace.
+//
+//   w,A,B,LEN          reweigh the existing link A-B to LEN miles
+//   down,A,B           remove the existing link A-B
+//   up,A,B[,LEN[,CAP]] add the link A-B (default length: great-circle,
+//                      default capacity: 10 Gbps)
+//   add,NAME,LAT,LON   add PoP NAME at (LAT, LON)
+//   rm,NAME            remove PoP NAME and every incident link
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/coord.hpp"
+
+namespace manytiers::netdyn {
+
+struct NetworkUpdate {
+  enum class Kind { LinkWeight, LinkDown, LinkUp, PopAdd, PopRemove };
+
+  Kind kind = Kind::LinkWeight;
+  // Link endpoints (LinkWeight / LinkDown / LinkUp), by PoP name.
+  std::string a;
+  std::string b;
+  // PoP name (PopAdd / PopRemove).
+  std::string name;
+  // New length for LinkWeight; length for LinkUp when >= 0, negative
+  // meaning "use the great-circle distance between the endpoints".
+  double length_miles = -1.0;
+  double capacity_gbps = 10.0;
+  geo::GeoPoint location;  // PopAdd only
+
+  bool operator==(const NetworkUpdate&) const = default;
+};
+
+std::string_view to_string(NetworkUpdate::Kind kind);
+
+// One-op wire form ("down,Denver,Kansas City").
+std::string serialize(const NetworkUpdate& update);
+// Whole-batch wire form, ops joined with ';'.
+std::string serialize(std::span<const NetworkUpdate> updates);
+
+// Parse the wire format; empty ops (trailing ';', blank input) are
+// skipped. Throws std::invalid_argument naming the offending op on
+// malformed input. Name resolution against a concrete network happens at
+// apply time, not parse time.
+std::vector<NetworkUpdate> parse_updates(std::string_view text);
+
+}  // namespace manytiers::netdyn

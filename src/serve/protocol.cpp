@@ -223,6 +223,9 @@ std::string serialize_request(const Request& request) {
       if (request.n_flows) {
         out += ",\"n_flows\":" + std::to_string(*request.n_flows);
       }
+      if (!request.updates.empty()) {
+        out += ",\"updates\":\"" + json_escape(request.updates) + "\"";
+      }
       break;
   }
   out += '}';
@@ -263,6 +266,9 @@ Request parse_request(std::string_view payload) {
       }
       if (const auto rest = find_field(payload, "n_flows")) {
         request.n_flows = parse_u64_token(*rest, "n_flows");
+      }
+      if (const auto rest = find_field(payload, "updates")) {
+        request.updates = parse_string_token(*rest, "updates");
       }
       break;
   }
@@ -353,6 +359,8 @@ std::string serialize_response(const Response& response) {
     case QueryKind::Reload:
       out += ",\"markets\":";
       append_u64(out, response.markets);
+      out += ",\"recalibrated\":";
+      append_u64(out, response.recalibrated);
       break;
   }
   out += '}';
@@ -419,6 +427,7 @@ Response parse_response(std::string_view payload) {
     }
     case QueryKind::Reload:
       response.markets = req_u64(payload, "markets");
+      response.recalibrated = req_u64(payload, "recalibrated");
       break;
   }
   return response;

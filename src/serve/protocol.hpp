@@ -65,6 +65,13 @@ struct Request {
   // reload: optional base-parameter overrides for the new snapshot.
   std::optional<std::uint64_t> seed;
   std::optional<std::size_t> n_flows;
+  // reload: topology update batch in the netdyn wire format
+  // ("down,A,B;w,C,D,500"). Non-empty switches the reload to the
+  // incremental path: apply the batch to the daemon's dynamic network,
+  // re-cost the bound flows, and rebuild only the dirty markets — the
+  // clean ones are structurally shared with the previous snapshot.
+  // Cannot be combined with seed / n_flows.
+  std::string updates;
 };
 
 std::string serialize_request(const Request& request);
@@ -98,7 +105,11 @@ struct Response {
   std::string capture_text;  // exact %.17g token (byte-compare hook)
   std::vector<TierInfo> tiers;
   // reload:
-  std::size_t markets = 0;  // markets calibrated into the new snapshot
+  std::size_t markets = 0;  // markets served by the new snapshot
+  // reload: markets actually recalibrated. Equals `markets` on a full
+  // rebuild; on an updates reload it counts only the dirty markets (0
+  // when the batch left every served distance unchanged).
+  std::size_t recalibrated = 0;
 };
 
 std::string serialize_response(const Response& response);

@@ -30,7 +30,11 @@ int usage(std::ostream& os, int code) {
         "            [--class N] [--bundles N]\n"
         "  schedule  --market K --strategy S [--bundles N]\n"
         "  requote   --market K --strategy S --flow N [--bundles N]\n"
-        "  reload    [--seed N] [--n-flows N]\n"
+        "  reload    [--seed N] [--n-flows N] [--updates OPS]\n"
+        "--updates ships a topology batch (netdyn wire format, ops joined\n"
+        "with ';'): \"w,A,B,LEN\" reweigh, \"down,A,B\" fail, \"up,A,B[,LEN\n"
+        "[,CAP]]\" restore, \"add,NAME,LAT,LON\" / \"rm,NAME\" PoPs — the\n"
+        "daemon applies it incrementally and rebuilds only dirty markets\n"
         "market keys are \"dataset/demand/cost\", e.g. \"EU ISP/ced/linear\";\n"
         "--bundles 0 (default) means the grid's maximum tier count\n";
   return code;
@@ -81,6 +85,8 @@ int main(int argc, char** argv) {
         request.seed = std::stoull(next(i));
       } else if (arg == "--n-flows") {
         request.n_flows = std::stoul(next(i));
+      } else if (arg == "--updates") {
+        request.updates = next(i);
       } else if (!arg.empty() && arg[0] != '-') {
         request.kind = serve::parse_query_kind(arg);
         kind_given = true;

@@ -376,19 +376,62 @@ std::string Server::handle_request(const Request& request, SnapCache& cache) {
 std::string Server::handle_reload(const Request& request) {
   static obs::Counter& reloads =
       obs::Registry::instance().counter("serve.reloads");
+  static obs::Counter& update_reloads =
+      obs::Registry::instance().counter("serve.reloads_updates");
   // Serialize rebuilds: concurrent reloads would burn CPU calibrating
   // snapshots that immediately lose the swap. Readers are untouched —
   // they keep loading whatever pointer is current.
   const std::lock_guard<std::mutex> lock(reload_mutex_);
-  driver::ExperimentGrid grid = grid_;
-  if (request.seed) grid.base.seed = *request.seed;
-  if (request.n_flows) grid.base.n_flows = *request.n_flows;
 
-  SnapshotBuildOptions build;
-  build.threads = options_.threads;
-  build.epoch = epoch_.load(std::memory_order_relaxed) + 1;
-  const obs::Span span("serve.reload");
-  std::shared_ptr<const Snapshot> next = build_snapshot(grid, build);
+  std::shared_ptr<const Snapshot> next;
+  std::size_t recalibrated = 0;
+  const std::uint64_t next_epoch =
+      epoch_.load(std::memory_order_relaxed) + 1;
+  if (!request.updates.empty()) {
+    // Incremental path: advance the dynamic network, derive the next
+    // snapshot from the current one (dirty markets rebuilt, the rest
+    // shared).
+    if (request.seed || request.n_flows) {
+      throw std::invalid_argument(
+          "reload: updates cannot be combined with seed / n_flows "
+          "overrides (the topology binding is tied to the served flows)");
+    }
+    if (!snapshot_from_base_) {
+      throw std::invalid_argument(
+          "reload: the serving snapshot was built with overridden base "
+          "parameters; issue a plain reload first to return to the base "
+          "flows, then apply updates");
+    }
+    const auto batch = netdyn::parse_updates(request.updates);
+    if (dyn_ == nullptr) dyn_ = std::make_unique<DynamicState>(grid_);
+    const obs::Span span("serve.reload");
+    std::shared_ptr<const Snapshot> prev;
+    {
+      // Pointer copy only; the derive itself runs outside the mutex so
+      // readers never block on a recalibration.
+      const std::lock_guard<std::mutex> peek(snapshot_mutex_);
+      prev = snapshot_;
+    }
+    DynamicState::Derived derived =
+        dyn_->apply(*prev, batch, next_epoch, options_.threads);
+    next = derived.snapshot;
+    recalibrated = derived.recalibrated;
+    update_reloads.add();
+  } else {
+    // Full rebuild: fresh flows make any dynamic topology state stale.
+    dyn_.reset();
+    snapshot_from_base_ = !request.seed && !request.n_flows;
+    driver::ExperimentGrid grid = grid_;
+    if (request.seed) grid.base.seed = *request.seed;
+    if (request.n_flows) grid.base.n_flows = *request.n_flows;
+
+    SnapshotBuildOptions build;
+    build.threads = options_.threads;
+    build.epoch = next_epoch;
+    const obs::Span span("serve.reload");
+    next = build_snapshot(grid, build);
+    recalibrated = next->markets.size();
+  }
   {
     const std::lock_guard<std::mutex> publish(snapshot_mutex_);
     snapshot_ = next;
@@ -404,6 +447,7 @@ std::string Server::handle_reload(const Request& request) {
   response.epoch = next->epoch;
   response.kind = QueryKind::Reload;
   response.markets = next->markets.size();
+  response.recalibrated = recalibrated;
   return serialize_response(response);
 }
 

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/dynamic.hpp"
 #include "serve/snapshot.hpp"
 
 namespace manytiers::serve {
@@ -98,6 +99,14 @@ class Server {
   mutable std::mutex snapshot_mutex_;  // pointer copies only, never rebuilds
   std::atomic<std::uint64_t> epoch_{0};
   std::mutex reload_mutex_;  // serializes rebuilds, not reads
+  // Dynamic-network reload state, guarded by reload_mutex_. Created
+  // lazily by the first updates reload; a plain reload discards it
+  // (fresh flows invalidate the topology binding). Valid only while the
+  // serving snapshot derives from the grid's base parameters —
+  // snapshot_from_base_ tracks that, and goes false when a reload
+  // overrides seed / n_flows.
+  std::unique_ptr<DynamicState> dyn_;
+  bool snapshot_from_base_ = true;
 
   int unix_fd_ = -1;
   int tcp_fd_ = -1;

@@ -111,6 +111,42 @@ std::optional<pricing::Strategy> strategy_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+std::shared_ptr<const MarketEntry> build_market_entry(
+    const driver::ExperimentGrid& grid, const workload::FlowSet& flows,
+    std::size_t ds_i, std::size_t dem_i, std::size_t cost_i) {
+  pricing::DemandSpec spec;
+  spec.kind = grid.demand_kinds[dem_i];
+  spec.alpha = grid.base.alpha;
+  spec.no_purchase_share = grid.base.s0;
+  auto cost_model =
+      driver::make_cost_model(grid.cost_kinds[cost_i], grid.base.theta);
+  auto entry = std::make_shared<MarketEntry>(pricing::Market::calibrate(
+      flows, spec, *cost_model, grid.base.blended_price));
+  entry->dataset = grid.datasets[ds_i];
+  entry->demand = grid.demand_kinds[dem_i];
+  entry->cost = grid.cost_kinds[cost_i];
+  entry->key = market_key(entry->dataset, entry->demand, entry->cost);
+  entry->cost_model = std::move(cost_model);
+  // The raw (pre-expansion) maximum-distance flow anchors the cost
+  // context for new-flow queries.
+  std::size_t far = 0;
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    if (flows[i].distance_miles > flows[far].distance_miles) far = i;
+  }
+  entry->proxy = flows[far];
+
+  entry->schedules.resize(grid.strategies.size());
+  for (std::size_t s = 0; s < grid.strategies.size(); ++s) {
+    const auto series = pricing::run_strategy_series(
+        entry->market, grid.strategies[s], grid.max_bundles);
+    entry->schedules[s].reserve(series.size());
+    for (const auto& result : series) {
+      entry->schedules[s].push_back(make_schedule(entry->market, result));
+    }
+  }
+  return entry;
+}
+
 std::shared_ptr<const Snapshot> build_snapshot(
     const driver::ExperimentGrid& grid, const SnapshotBuildOptions& options) {
   driver::validate_grid(grid);
@@ -127,12 +163,22 @@ std::shared_ptr<const Snapshot> build_snapshot(
 
   // Datasets generate once, shared across demand/cost combinations —
   // same sharing run_grid does.
-  std::vector<workload::FlowSet> flows;
-  flows.reserve(grid.datasets.size());
-  for (const auto kind : grid.datasets) {
-    flows.push_back(workload::generate_dataset(
-        kind, {.seed = grid.base.seed, .n_flows = grid.base.n_flows}));
+  std::vector<workload::FlowSet> generated;
+  if (options.flows_override != nullptr) {
+    if (options.flows_override->size() != grid.datasets.size()) {
+      throw std::invalid_argument(
+          "serve snapshot: flows_override needs one flow set per grid "
+          "dataset");
+    }
+  } else {
+    generated.reserve(grid.datasets.size());
+    for (const auto kind : grid.datasets) {
+      generated.push_back(workload::generate_dataset(
+          kind, {.seed = grid.base.seed, .n_flows = grid.base.n_flows}));
+    }
   }
+  const std::vector<workload::FlowSet>& flows =
+      options.flows_override != nullptr ? *options.flows_override : generated;
 
   const std::size_t n_markets =
       grid.datasets.size() * grid.demand_kinds.size() * grid.cost_kinds.size();
@@ -156,40 +202,8 @@ std::shared_ptr<const Snapshot> build_snapshot(
         const std::size_t cost_i = m % n_cost;
         const std::size_t dem_i = (m / n_cost) % n_dem;
         const std::size_t ds_i = m / n_cost / n_dem;
-
-        pricing::DemandSpec spec;
-        spec.kind = grid.demand_kinds[dem_i];
-        spec.alpha = grid.base.alpha;
-        spec.no_purchase_share = grid.base.s0;
-        auto cost_model =
-            driver::make_cost_model(grid.cost_kinds[cost_i], grid.base.theta);
-        auto entry = std::make_unique<MarketEntry>(pricing::Market::calibrate(
-            flows[ds_i], spec, *cost_model, grid.base.blended_price));
-        entry->dataset = grid.datasets[ds_i];
-        entry->demand = grid.demand_kinds[dem_i];
-        entry->cost = grid.cost_kinds[cost_i];
-        entry->key = market_key(entry->dataset, entry->demand, entry->cost);
-        entry->cost_model = std::move(cost_model);
-        // The raw (pre-expansion) maximum-distance flow anchors the cost
-        // context for new-flow queries.
-        const auto& raw = flows[ds_i];
-        std::size_t far = 0;
-        for (std::size_t i = 1; i < raw.size(); ++i) {
-          if (raw[i].distance_miles > raw[far].distance_miles) far = i;
-        }
-        entry->proxy = raw[far];
-
-        entry->schedules.resize(grid.strategies.size());
-        for (std::size_t s = 0; s < grid.strategies.size(); ++s) {
-          const auto series = pricing::run_strategy_series(
-              entry->market, grid.strategies[s], grid.max_bundles);
-          entry->schedules[s].reserve(series.size());
-          for (const auto& result : series) {
-            entry->schedules[s].push_back(
-                make_schedule(entry->market, result));
-          }
-        }
-        snapshot->markets[m] = std::move(entry);
+        snapshot->markets[m] =
+            build_market_entry(grid, flows[ds_i], ds_i, dem_i, cost_i);
       },
       options.threads);
 

@@ -71,7 +71,10 @@ struct MarketEntry {
 struct Snapshot {
   std::uint64_t epoch = 0;
   driver::ExperimentGrid grid;
-  std::vector<std::unique_ptr<MarketEntry>> markets;  // enumeration order
+  // Enumeration order (dataset-major, then demand, then cost). Entries
+  // are shared_ptr so a derived snapshot (updates reload) can share the
+  // clean markets of its predecessor and rebuild only the dirty ones.
+  std::vector<std::shared_ptr<const MarketEntry>> markets;
   std::unordered_map<std::string, std::size_t> by_key;
 
   const MarketEntry* find_market(std::string_view key) const;
@@ -90,6 +93,11 @@ std::optional<pricing::Strategy> strategy_from_name(std::string_view name);
 struct SnapshotBuildOptions {
   std::size_t threads = 0;  // markets calibrate via util::parallel_for
   std::uint64_t epoch = 1;
+  // When set, calibrate from these flow sets (one per grid dataset, in
+  // grid.datasets order; must outlive the call) instead of generating
+  // them — the dynamic-network path builds reference snapshots from its
+  // own re-costed flows.
+  const std::vector<workload::FlowSet>* flows_override = nullptr;
 };
 
 // Calibrate every market of the grid and price every strategy x bundle
@@ -98,6 +106,13 @@ struct SnapshotBuildOptions {
 // single answer per cell).
 std::shared_ptr<const Snapshot> build_snapshot(
     const driver::ExperimentGrid& grid, const SnapshotBuildOptions& options = {});
+
+// Calibrate and price one (dataset, demand, cost) market of the grid
+// from the given dataset flows — the unit build_snapshot fans out over
+// and the dynamic reload path rebuilds dirty markets with.
+std::shared_ptr<const MarketEntry> build_market_entry(
+    const driver::ExperimentGrid& grid, const workload::FlowSet& flows,
+    std::size_t ds_i, std::size_t dem_i, std::size_t cost_i);
 
 // --- Query evaluators (socket-free, unit-testable) ---
 

@@ -17,33 +17,48 @@ std::vector<PopId> ShortestPaths::path_to(PopId dst) const {
   return path;
 }
 
+void shortest_paths_into(std::span<const std::vector<Network::Edge>> adjacency,
+                         PopId source, std::span<double> distance,
+                         std::span<PopId> predecessor) {
+  const std::size_t n = adjacency.size();
+  if (source >= n) {
+    throw std::out_of_range("shortest_paths_into: bad source id");
+  }
+  if (distance.size() != n || predecessor.size() != n) {
+    throw std::invalid_argument("shortest_paths_into: output size mismatch");
+  }
+  std::fill(distance.begin(), distance.end(), kUnreachable);
+  for (PopId i = 0; i < n; ++i) predecessor[i] = i;
+
+  using Item = std::pair<double, PopId>;  // (distance, pop)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  distance[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > distance[u]) continue;  // stale entry
+    for (const auto& edge : adjacency[u]) {
+      const double next = dist + edge.length_miles;
+      if (next < distance[edge.to]) {
+        distance[edge.to] = next;
+        predecessor[edge.to] = u;
+        heap.emplace(next, edge.to);
+      }
+    }
+  }
+}
+
 ShortestPaths shortest_paths(const Network& net, PopId source) {
   if (source >= net.pop_count()) {
     throw std::out_of_range("shortest_paths: bad source id");
   }
   ShortestPaths out;
   out.source = source;
-  out.distance_miles.assign(net.pop_count(), kUnreachable);
+  out.distance_miles.resize(net.pop_count());
   out.predecessor.resize(net.pop_count());
-  for (PopId i = 0; i < net.pop_count(); ++i) out.predecessor[i] = i;
-
-  using Item = std::pair<double, PopId>;  // (distance, pop)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  out.distance_miles[source] = 0.0;
-  heap.emplace(0.0, source);
-  while (!heap.empty()) {
-    const auto [dist, u] = heap.top();
-    heap.pop();
-    if (dist > out.distance_miles[u]) continue;  // stale entry
-    for (const auto& edge : net.neighbors(u)) {
-      const double next = dist + edge.length_miles;
-      if (next < out.distance_miles[edge.to]) {
-        out.distance_miles[edge.to] = next;
-        out.predecessor[edge.to] = u;
-        heap.emplace(next, edge.to);
-      }
-    }
-  }
+  shortest_paths_into(net.adjacency(), source, out.distance_miles,
+                      out.predecessor);
   return out;
 }
 
@@ -54,11 +69,25 @@ double shortest_distance(const Network& net, PopId src, PopId dst) {
   return shortest_paths(net, src).distance_miles[dst];
 }
 
-std::vector<std::vector<double>> all_pairs_distances(const Network& net) {
-  std::vector<std::vector<double>> out;
-  out.reserve(net.pop_count());
-  for (PopId s = 0; s < net.pop_count(); ++s) {
-    out.push_back(shortest_paths(net, s).distance_miles);
+void DistanceMatrix::grow(std::size_t m) {
+  if (m < n_) {
+    throw std::invalid_argument("DistanceMatrix::grow: cannot shrink");
+  }
+  if (m == n_) return;
+  std::vector<double> next(m * m, kUnreachable);
+  for (std::size_t s = 0; s < n_; ++s) {
+    std::copy_n(cells_.data() + s * n_, n_, next.data() + s * m);
+  }
+  cells_ = std::move(next);
+  n_ = m;
+}
+
+DistanceMatrix all_pairs_distances(const Network& net) {
+  const std::size_t n = net.pop_count();
+  DistanceMatrix out(n);
+  std::vector<PopId> pred(n);
+  for (PopId s = 0; s < n; ++s) {
+    shortest_paths_into(net.adjacency(), s, out.row(s), pred);
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "topology/graph.hpp"
@@ -23,13 +24,59 @@ struct ShortestPaths {
   std::vector<PopId> path_to(PopId dst) const;
 };
 
+// SSSP relaxation core over a raw adjacency list. `distance` and
+// `predecessor` must have one slot per vertex; they are overwritten
+// (distance with kUnreachable / predecessor with self before the run).
+// Exposed so the dynamic-network kernels run the exact relaxation the
+// static path runs — distances are the unique fixed point of
+// d[v] = min(d[u] + w) under IEEE rounding, which is what makes
+// incremental repair bit-identical to recompute-from-scratch.
+void shortest_paths_into(std::span<const std::vector<Network::Edge>> adjacency,
+                         PopId source, std::span<double> distance,
+                         std::span<PopId> predecessor);
+
 // Single-source shortest paths by link length (Dijkstra).
 ShortestPaths shortest_paths(const Network& net, PopId source);
 
 // Distance of the shortest path between two PoPs; kUnreachable if none.
 double shortest_distance(const Network& net, PopId src, PopId dst);
 
-// All-pairs distance matrix, indexed [src][dst].
-std::vector<std::vector<double>> all_pairs_distances(const Network& net);
+// All-pairs distances in one flat row-major allocation: cell (src, dst)
+// lives at src * size() + dst. One allocation for the whole matrix
+// instead of one per PoP, and a stride index instead of a double
+// indirection on the gravity / generator hot paths.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  explicit DistanceMatrix(std::size_t n) : n_(n), cells_(n * n, kUnreachable) {}
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  double operator()(PopId src, PopId dst) const {
+    return cells_[src * n_ + dst];
+  }
+  double& operator()(PopId src, PopId dst) { return cells_[src * n_ + dst]; }
+
+  std::span<const double> row(PopId src) const {
+    return {cells_.data() + src * n_, n_};
+  }
+  std::span<double> row(PopId src) { return {cells_.data() + src * n_, n_}; }
+
+  const std::vector<double>& cells() const { return cells_; }
+
+  // Grow to m >= size() vertices, preserving existing entries; new cells
+  // (including new diagonal slots) start kUnreachable.
+  void grow(std::size_t m);
+
+  bool operator==(const DistanceMatrix&) const = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> cells_;
+};
+
+// All-pairs distance matrix, indexed (src, dst).
+DistanceMatrix all_pairs_distances(const Network& net);
 
 }  // namespace manytiers::topology

@@ -1,5 +1,6 @@
 #include "topology/graph.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace manytiers::topology {
@@ -26,11 +27,15 @@ void Network::add_link(PopId a, PopId b, std::optional<double> length_miles,
   }
   const double length = length_miles.value_or(
       geo::haversine_miles(pops_[a].location, pops_[b].location));
-  if (length < 0.0) {
-    throw std::invalid_argument("Network::add_link: negative length");
+  // The negated comparisons catch NaN too: a NaN length would silently
+  // poison every shortest-path distance downstream.
+  if (!(length >= 0.0) || !std::isfinite(length)) {
+    throw std::invalid_argument(
+        "Network::add_link: length must be finite and >= 0");
   }
-  if (capacity_gbps <= 0.0) {
-    throw std::invalid_argument("Network::add_link: capacity must be > 0");
+  if (!(capacity_gbps > 0.0) || !std::isfinite(capacity_gbps)) {
+    throw std::invalid_argument(
+        "Network::add_link: capacity must be finite and > 0");
   }
   links_.push_back(Link{a, b, length, capacity_gbps});
   adjacency_[a].push_back(Edge{b, length});

@@ -59,6 +59,12 @@ class Network {
   };
   const std::vector<Edge>& neighbors(PopId id) const;
 
+  // The full adjacency list, one entry per PoP. Routing kernels iterate
+  // this directly (see topology::shortest_paths_into).
+  const std::vector<std::vector<Edge>>& adjacency() const {
+    return adjacency_;
+  }
+
   bool has_link(PopId a, PopId b) const;
 
  private:

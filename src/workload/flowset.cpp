@@ -16,6 +16,13 @@ void FlowSet::add(Flow flow) {
   flows_.push_back(flow);
 }
 
+void FlowSet::set_distance(std::size_t i, double distance_miles) {
+  if (distance_miles < 0.0) {
+    throw std::invalid_argument("FlowSet::set_distance: distance must be >= 0");
+  }
+  flows_.at(i).distance_miles = distance_miles;
+}
+
 std::vector<double> FlowSet::demands() const {
   std::vector<double> out;
   out.reserve(flows_.size());

@@ -56,6 +56,11 @@ class FlowSet {
   // Demand-weighted average distance (Table 1's "w-avg" column).
   double weighted_avg_distance() const;
 
+  // Overwrite one flow's distance (>= 0), leaving demand and metadata
+  // untouched. The dynamic-network re-cost pass uses this to update
+  // exactly the flows whose backbone path changed.
+  void set_distance(std::size_t i, double distance_miles);
+
   // Multiply every distance by `factor` (> 0). Used by the generators to
   // pin the demand-weighted average distance to a target; pure rescaling
   // preserves the CV of distance and all relative cost structure.

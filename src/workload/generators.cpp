@@ -39,9 +39,12 @@ DatasetSpec paper_spec(DatasetKind kind) {
 namespace {
 
 // Find t such that the sample CV of {x^t} hits `target_cv`, then apply the
-// power transform in place. Monotone in t, so bisection is robust.
-void match_cv_by_power(std::vector<double>& xs, double target_cv) {
-  if (xs.size() < 2) return;
+// power transform in place. Monotone in t, so bisection is robust. Returns
+// the applied power, or nullopt when the step was skipped (too few values
+// or degenerate spread).
+std::optional<double> match_cv_by_power(std::vector<double>& xs,
+                                        double target_cv) {
+  if (xs.size() < 2) return std::nullopt;
   for (double x : xs) {
     if (x <= 0.0) {
       throw std::invalid_argument("match_cv_by_power: values must be > 0");
@@ -54,7 +57,7 @@ void match_cv_by_power(std::vector<double>& xs, double target_cv) {
     return util::coefficient_of_variation(ys);
   };
   // Degenerate spread (all values equal) cannot be reshaped by a power.
-  if (cv_of_power(1.0) < 1e-12) return;
+  if (cv_of_power(1.0) < 1e-12) return std::nullopt;
   const double lo = 1e-3;
   double hi = 1.0;
   while (cv_of_power(hi) < target_cv && hi < 64.0) hi *= 2.0;
@@ -66,6 +69,7 @@ void match_cv_by_power(std::vector<double>& xs, double target_cv) {
         [&](double tt) { return cv_of_power(tt) - target_cv; }, lo, hi, 1e-10);
   }
   for (auto& x : xs) x = std::pow(x, t);
+  return t;
 }
 
 // Rebuild a flow set column-by-column. FlowSet only exposes mutation via
@@ -84,24 +88,28 @@ FlowSet with_columns(const FlowSet& flows, const std::vector<double>& demands,
 
 }  // namespace
 
-void calibrate_to_spec(FlowSet& flows, const DatasetSpec& spec) {
+MomentCalibration calibrate_to_spec(FlowSet& flows, const DatasetSpec& spec) {
   if (flows.size() < 2) {
     throw std::invalid_argument("calibrate_to_spec: need at least 2 flows");
   }
   auto demands = flows.demands();
   auto distances = flows.distances();
+  MomentCalibration cal;
 
   // Demands first: the distance target is demand-weighted.
-  match_cv_by_power(demands, spec.cv_demand);
+  cal.demand.power = match_cv_by_power(demands, spec.cv_demand);
   const double dsum = util::sum(demands);
   const double target_sum_mbps = spec.aggregate_gbps * 1000.0;
-  for (auto& q : demands) q *= target_sum_mbps / dsum;
+  cal.demand.scale = target_sum_mbps / dsum;
+  for (auto& q : demands) q *= cal.demand.scale;
 
-  match_cv_by_power(distances, spec.cv_distance);
+  cal.distance.power = match_cv_by_power(distances, spec.cv_distance);
   const double wavg = util::weighted_mean(distances, demands);
-  for (auto& d : distances) d *= spec.wavg_distance_miles / wavg;
+  cal.distance.scale = spec.wavg_distance_miles / wavg;
+  for (auto& d : distances) d *= cal.distance.scale;
 
   flows = with_columns(flows, demands, distances);
+  return cal;
 }
 
 void impose_demand_distance_correlation(FlowSet& flows, double rho,
@@ -155,11 +163,12 @@ double raw_demand(util::Rng& rng, double cv) {
 
 // Structural post-processing shared by the generators: couple demand to
 // distance, then pin the Table 1 moments.
-void finalize(FlowSet& flows, const GeneratorOptions& options,
-              const DatasetSpec& spec, util::Rng& rng) {
+MomentCalibration finalize(FlowSet& flows, const GeneratorOptions& options,
+                           const DatasetSpec& spec, util::Rng& rng) {
   impose_demand_distance_correlation(
       flows, options.demand_distance_correlation, rng);
-  if (options.calibrate_moments) calibrate_to_spec(flows, spec);
+  if (options.calibrate_moments) return calibrate_to_spec(flows, spec);
+  return {};
 }
 
 }  // namespace
@@ -285,32 +294,62 @@ FlowSet generate_cdn(const GeneratorOptions& options) {
 }
 
 FlowSet generate_internet2(const GeneratorOptions& options) {
+  const topology::Network net = topology::internet2_network();
+  const auto dist = topology::all_pairs_distances(net);
+  return generate_internet2(options, net, dist, nullptr);
+}
+
+FlowSet generate_internet2(const GeneratorOptions& options,
+                           const topology::Network& net,
+                           const topology::DistanceMatrix& dist,
+                           TopologyBinding* binding) {
   if (options.n_flows < 2) {
     throw std::invalid_argument("generate_internet2: need at least 2 flows");
   }
+  if (net.pop_count() < 2 || dist.size() != net.pop_count()) {
+    throw std::invalid_argument(
+        "generate_internet2: need >= 2 PoPs and a matching distance matrix");
+  }
   util::Rng rng(options.seed);
   const DatasetSpec spec = paper_spec(DatasetKind::Internet2);
-  const topology::Network net = topology::internet2_network();
-  const auto dist = topology::all_pairs_distances(net);
 
   FlowSet flows("Internet2");
+  std::vector<std::pair<topology::PopId, topology::PopId>> pairs;
+  pairs.reserve(options.n_flows);
+  double max_raw = 0.0;
   for (std::size_t i = 0; i < options.n_flows; ++i) {
     const topology::PopId src = rng.index(net.pop_count());
     topology::PopId dst = src;
     while (dst == src) dst = rng.index(net.pop_count());
+    if (dist(src, dst) == topology::kUnreachable) {
+      throw std::invalid_argument(
+          "generate_internet2: backbone must route every PoP pair at "
+          "generation time");
+    }
     Flow f;
     // PoP names are city names, so city metadata carries over.
     f.src_city = geo::find_city(net.pop(src).name);
     f.dst_city = geo::find_city(net.pop(dst).name);
-    f.distance_miles = dist[src][dst];
+    if (!f.src_city || !f.dst_city) {
+      throw std::invalid_argument(
+          "generate_internet2: PoP names must be known cities");
+    }
+    f.distance_miles = dist(src, dst);
     f.region = geo::classify_cities(*f.src_city, *f.dst_city);
     f.demand_mbps = raw_demand(rng, spec.cv_demand);
     f.dest_type = rng.bernoulli(0.5) ? DestType::OnNet : DestType::OffNet;
     f.src_ip = geo::synthetic_host(*f.src_city, std::uint32_t(2 * i));
     f.dst_ip = geo::synthetic_host(*f.dst_city, std::uint32_t(2 * i + 1));
+    pairs.emplace_back(src, dst);
+    max_raw = std::max(max_raw, dist(src, dst));
     flows.add(f);
   }
-  finalize(flows, options, spec, rng);
+  const MomentCalibration cal = finalize(flows, options, spec, rng);
+  if (binding) {
+    binding->pairs = std::move(pairs);
+    binding->distance = cal.distance;
+    binding->unreachable_raw_miles = 4.0 * max_raw;
+  }
   return flows;
 }
 

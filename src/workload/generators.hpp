@@ -10,9 +10,14 @@
 // the geography still determines which flows are short or long.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <optional>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "topology/dijkstra.hpp"
 #include "util/rng.hpp"
 #include "workload/flowset.hpp"
 
@@ -47,6 +52,46 @@ struct GeneratorOptions {
   double demand_distance_correlation = -0.8;
 };
 
+// The monotone transform calibrate_to_spec applied to one column:
+// calibrated = scale * raw^power, with the power step skipped when the
+// fit degenerated (fewer than 2 values, or zero spread). apply() replays
+// the exact operations (pow then multiply) in the original order, so
+// feeding back a raw value the calibration saw reproduces the calibrated
+// value bit-for-bit — the anchor of the dynamic-network re-cost path,
+// which freezes the epoch-0 transform and pushes updated raw distances
+// through it.
+struct ColumnTransform {
+  std::optional<double> power;  // nullopt: power step was skipped
+  double scale = 1.0;
+
+  double apply(double raw) const {
+    const double shaped = power ? std::pow(raw, *power) : raw;
+    return shaped * scale;
+  }
+};
+
+// What calibrate_to_spec did to each column, for callers that need to
+// replay it on new values (demands are never replayed today; distances
+// are, by the netdyn re-cost pass).
+struct MomentCalibration {
+  ColumnTransform demand;
+  ColumnTransform distance;
+};
+
+// Topology binding of a network-backed dataset: the PoP pair each flow
+// rides, captured at generation time together with the frozen distance
+// transform. generate_internet2 fills one when asked; the netdyn layer
+// uses it to re-cost exactly the flows whose pair distances changed.
+struct TopologyBinding {
+  std::vector<std::pair<topology::PopId, topology::PopId>> pairs;
+  ColumnTransform distance;
+  // Raw shortest-path distance substituted for a pair the (changed)
+  // network can no longer route — 4x the largest raw distance any flow
+  // saw at generation, i.e. "worse than every real route" but finite so
+  // the pricing stack keeps accepting the flow.
+  double unreachable_raw_miles = 0.0;
+};
+
 // European transit ISP: endpoints drawn from European cities with a strong
 // same-country bias plus intra-metro flows; distance is the great-circle
 // entry-to-exit distance; regions classified by distance thresholds.
@@ -58,16 +103,25 @@ FlowSet generate_eu_isp(const GeneratorOptions& options = {});
 FlowSet generate_cdn(const GeneratorOptions& options = {});
 
 // Internet2: endpoints attached to the 11 Abilene PoPs; distance is the
-// sum of link lengths along the shortest backbone path.
+// sum of link lengths along the shortest backbone path. The two-argument
+// form generates over an arbitrary backbone (with its distance matrix)
+// and optionally captures the topology binding; the flows it returns for
+// (internet2_network(), binding) are byte-identical to the one-argument
+// form's.
 FlowSet generate_internet2(const GeneratorOptions& options = {});
+FlowSet generate_internet2(const GeneratorOptions& options,
+                           const topology::Network& net,
+                           const topology::DistanceMatrix& dist,
+                           TopologyBinding* binding);
 
 FlowSet generate_dataset(DatasetKind kind, const GeneratorOptions& options = {});
 
 // Calibrate a flow set's distances to (wavg, cv) targets via a monotone
 // power + scale transform, and its demands to (aggregate, cv) via the
 // heavy-tailed resampler's power + scale. Exposed for tests and for users
-// who bring their own structural datasets.
-void calibrate_to_spec(FlowSet& flows, const DatasetSpec& spec);
+// who bring their own structural datasets. Returns the transforms it
+// applied (ignorable).
+MomentCalibration calibrate_to_spec(FlowSet& flows, const DatasetSpec& spec);
 
 // Reassign the existing demand values across flows so that the rank
 // correlation between demand and distance approaches `rho` (a Gaussian-

@@ -31,9 +31,9 @@ std::vector<topology::TrafficDemand> gravity_matrix(
   for (topology::PopId i = 0; i < net.pop_count(); ++i) {
     for (topology::PopId j = 0; j < net.pop_count(); ++j) {
       if (i == j && !options.include_self_pairs) continue;
-      if (dist[i][j] == topology::kUnreachable) continue;
+      if (dist(i, j) == topology::kUnreachable) continue;
       const double d =
-          std::max(dist[i][j], options.distance_floor_miles);
+          std::max(dist(i, j), options.distance_floor_miles);
       topology::TrafficDemand demand;
       demand.src = i;
       demand.dst = j;

@@ -1,0 +1,124 @@
+#include "netdyn/flows.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netdyn/dynamic_network.hpp"
+#include "netdyn/testbed.hpp"
+#include "topology/internet2.hpp"
+#include "workload/generators.hpp"
+
+namespace manytiers::netdyn {
+namespace {
+
+using topology::PopId;
+
+struct Bound {
+  workload::FlowSet flows;
+  FlowRecoster recoster;
+};
+
+Bound bound_internet2(const DynamicNetwork& dyn) {
+  workload::TopologyBinding binding;
+  workload::FlowSet flows = workload::generate_internet2(
+      {.seed = 11, .n_flows = 80}, topology::internet2_network(),
+      dyn.distances(), &binding);
+  return {std::move(flows), FlowRecoster(std::move(binding))};
+}
+
+TEST(FlowRecoster, GenerationTimeFlowsAreAFixedPoint) {
+  const DynamicNetwork dyn(topology::internet2_network());
+  Bound b = bound_internet2(dyn);
+  const workload::FlowSet original = b.flows;
+  // Re-costing against the matrix the flows were generated from must
+  // change nothing: the frozen transform replays the exact calibration.
+  EXPECT_EQ(b.recoster.recost_all(b.flows, dyn.distances()), 0u);
+  for (std::size_t i = 0; i < b.flows.size(); ++i) {
+    EXPECT_EQ(b.flows[i].distance_miles, original[i].distance_miles) << i;
+  }
+}
+
+TEST(FlowRecoster, IncrementalRecostEqualsFullRecost) {
+  DynamicNetwork dyn(topology::internet2_network());
+  Bound incremental = bound_internet2(dyn);
+  Bound full = bound_internet2(dyn);
+
+  const auto batches = generate_update_sequence(topology::internet2_network(),
+                                                21, {.n_batches = 6});
+  for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+    const DistanceDelta delta = dyn.apply(batches[bi]);
+    incremental.recoster.recost(incremental.flows, delta, dyn.distances());
+    full.recoster.recost_all(full.flows, dyn.distances());
+    ASSERT_EQ(incremental.flows.size(), full.flows.size());
+    for (std::size_t i = 0; i < full.flows.size(); ++i) {
+      // Bit-exact: both paths push the same raw through the same frozen
+      // transform.
+      ASSERT_EQ(incremental.flows[i].distance_miles,
+                full.flows[i].distance_miles)
+          << "batch " << bi << ", flow " << i;
+    }
+  }
+}
+
+TEST(FlowRecoster, UnreachablePairsGetTheFinitePenaltyDistance) {
+  DynamicNetwork dyn(topology::internet2_network());
+  Bound b = bound_internet2(dyn);
+  const double penalty =
+      b.recoster.calibrated_distance(topology::kUnreachable);
+  EXPECT_TRUE(std::isfinite(penalty));
+  EXPECT_GT(penalty, 0.0);
+
+  // Isolate Seattle; every flow riding a Seattle pair lands exactly on
+  // the penalty distance, and every other flow keeps its bits.
+  const workload::FlowSet before = b.flows;
+  const PopId seattle = *dyn.find_pop("Seattle");
+  std::vector<NetworkUpdate> cut;
+  for (const auto* peer : {"Sunnyvale", "Denver"}) {
+    NetworkUpdate u;
+    u.kind = NetworkUpdate::Kind::LinkDown;
+    u.a = "Seattle";
+    u.b = peer;
+    cut.push_back(u);
+  }
+  const DistanceDelta delta = dyn.apply(cut);
+  const std::size_t changed =
+      b.recoster.recost(b.flows, delta, dyn.distances());
+
+  std::size_t expected_changed = 0;
+  const auto& pairs = b.recoster.binding().pairs;
+  ASSERT_EQ(pairs.size(), b.flows.size());
+  for (std::size_t i = 0; i < b.flows.size(); ++i) {
+    const bool rides_seattle =
+        pairs[i].first == seattle || pairs[i].second == seattle;
+    if (rides_seattle) {
+      EXPECT_EQ(b.flows[i].distance_miles, penalty) << i;
+      if (b.flows[i].distance_miles != before[i].distance_miles) {
+        ++expected_changed;
+      }
+    } else {
+      EXPECT_EQ(b.flows[i].distance_miles, before[i].distance_miles) << i;
+    }
+  }
+  EXPECT_EQ(changed, expected_changed);
+  EXPECT_GT(changed, 0u);
+}
+
+TEST(FlowRecoster, RejectsFlowCountMismatch) {
+  const DynamicNetwork dyn(topology::internet2_network());
+  Bound b = bound_internet2(dyn);
+  workload::FlowSet wrong("wrong");
+  wrong.add(b.flows[0]);
+  DistanceDelta delta;
+  delta.pop_count = dyn.pop_count();
+  EXPECT_THROW(b.recoster.recost(wrong, delta, dyn.distances()),
+               std::invalid_argument);
+  EXPECT_THROW(b.recoster.recost_all(wrong, dyn.distances()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::netdyn

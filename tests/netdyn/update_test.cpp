@@ -1,0 +1,82 @@
+#include "netdyn/update.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manytiers::netdyn {
+namespace {
+
+TEST(UpdateDsl, ParsesEveryKind) {
+  const auto ops = parse_updates(
+      "w,Denver,Kansas City,512.5;"
+      "down,Seattle,Sunnyvale;"
+      "up,Chicago,Atlanta;"
+      "up,Houston,Denver,900,40;"
+      "add,Lab PoP,39.5,-104.9;"
+      "rm,Lab PoP");
+  ASSERT_EQ(ops.size(), 6u);
+
+  EXPECT_EQ(ops[0].kind, NetworkUpdate::Kind::LinkWeight);
+  EXPECT_EQ(ops[0].a, "Denver");
+  EXPECT_EQ(ops[0].b, "Kansas City");
+  EXPECT_DOUBLE_EQ(ops[0].length_miles, 512.5);
+
+  EXPECT_EQ(ops[1].kind, NetworkUpdate::Kind::LinkDown);
+  EXPECT_EQ(ops[1].a, "Seattle");
+  EXPECT_EQ(ops[1].b, "Sunnyvale");
+
+  EXPECT_EQ(ops[2].kind, NetworkUpdate::Kind::LinkUp);
+  EXPECT_LT(ops[2].length_miles, 0.0);  // great-circle sentinel
+
+  EXPECT_EQ(ops[3].kind, NetworkUpdate::Kind::LinkUp);
+  EXPECT_DOUBLE_EQ(ops[3].length_miles, 900.0);
+  EXPECT_DOUBLE_EQ(ops[3].capacity_gbps, 40.0);
+
+  EXPECT_EQ(ops[4].kind, NetworkUpdate::Kind::PopAdd);
+  EXPECT_EQ(ops[4].name, "Lab PoP");
+  EXPECT_DOUBLE_EQ(ops[4].location.lat_deg, 39.5);
+  EXPECT_DOUBLE_EQ(ops[4].location.lon_deg, -104.9);
+
+  EXPECT_EQ(ops[5].kind, NetworkUpdate::Kind::PopRemove);
+  EXPECT_EQ(ops[5].name, "Lab PoP");
+}
+
+TEST(UpdateDsl, RoundTripsThroughSerialize) {
+  const auto ops = parse_updates(
+      "w,A,B,100.25;down,A,B;up,A,B;up,A,B,1,2;add,N,1.5,-2.5;rm,N");
+  const std::string wire = serialize(std::span<const NetworkUpdate>(ops));
+  EXPECT_EQ(parse_updates(wire), ops);
+}
+
+TEST(UpdateDsl, TrimsFieldWhitespaceAndSkipsEmptyOps) {
+  const auto ops = parse_updates("  down , New York , Chicago ; ;");
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].a, "New York");
+  EXPECT_EQ(ops[0].b, "Chicago");
+  EXPECT_TRUE(parse_updates("").empty());
+  EXPECT_TRUE(parse_updates("  ;;  ").empty());
+}
+
+TEST(UpdateDsl, SerializeEmitsExactDoubles) {
+  NetworkUpdate u;
+  u.kind = NetworkUpdate::Kind::LinkWeight;
+  u.a = "A";
+  u.b = "B";
+  u.length_miles = 0.1 + 0.2;  // not representable as a short decimal
+  const auto back = parse_updates(serialize(u));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].length_miles, u.length_miles);  // bit-exact
+}
+
+TEST(UpdateDsl, RejectsMalformedOps) {
+  EXPECT_THROW(parse_updates("zap,A,B"), std::invalid_argument);
+  EXPECT_THROW(parse_updates("w,A,B"), std::invalid_argument);       // no length
+  EXPECT_THROW(parse_updates("w,A,B,abc"), std::invalid_argument);   // bad number
+  EXPECT_THROW(parse_updates("down,A"), std::invalid_argument);      // one endpoint
+  EXPECT_THROW(parse_updates("down,A,B,extra"), std::invalid_argument);
+  EXPECT_THROW(parse_updates("up,,B"), std::invalid_argument);       // empty name
+  EXPECT_THROW(parse_updates("add,N,91"), std::invalid_argument);    // no lon
+  EXPECT_THROW(parse_updates("rm"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manytiers::netdyn

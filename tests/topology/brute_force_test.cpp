@@ -1,0 +1,100 @@
+// Dijkstra cross-checked against exhaustive simple-path enumeration on
+// small random graphs — the oracle is too slow for real backbones but
+// unarguable on 8 vertices.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "topology/dijkstra.hpp"
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace manytiers::topology {
+namespace {
+
+// Minimum-length simple path src -> dst by DFS over every simple path.
+double brute_force_distance(const Network& net, PopId src, PopId dst) {
+  const std::size_t n = net.pop_count();
+  std::vector<char> visited(n, 0);
+  double best = kUnreachable;
+  const auto dfs = [&](auto&& self, PopId at, double acc) -> void {
+    if (at == dst) {
+      if (acc < best) best = acc;
+      return;
+    }
+    visited[at] = 1;
+    for (const auto& edge : net.neighbors(at)) {
+      if (!visited[edge.to]) self(self, edge.to, acc + edge.length_miles);
+    }
+    visited[at] = 0;
+  };
+  dfs(dfs, src, 0.0);
+  return best;
+}
+
+Network random_network(std::uint64_t seed, std::size_t n_pops,
+                       std::size_t n_links) {
+  util::Rng rng(seed);
+  Network net("random");
+  for (std::size_t i = 0; i < n_pops; ++i) {
+    net.add_pop("P" + std::to_string(i),
+                {rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)});
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < n_links && attempts < n_links * 30) {
+    ++attempts;
+    const PopId a = rng.index(n_pops);
+    const PopId b = rng.index(n_pops);
+    if (a == b || net.has_link(a, b)) continue;
+    net.add_link(a, b, rng.uniform(1.0, 1000.0));
+    ++added;
+  }
+  return net;
+}
+
+TEST(DijkstraBruteForce, AgreesOnSmallRandomGraphs) {
+  // Sparse seeds leave some graphs disconnected on purpose: the oracle
+  // must agree on kUnreachable too. Distances are compared exactly —
+  // both sides accumulate edge lengths left to right along the optimal
+  // path, so equal paths mean equal bits.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::size_t n = 4 + seed % 5;          // 4..8 vertices
+    const std::size_t links = 2 + (seed * 7) % 10;  // 2..11 edges
+    const Network net = random_network(seed, n, links);
+    for (PopId s = 0; s < net.pop_count(); ++s) {
+      const auto sp = shortest_paths(net, s);
+      for (PopId d = 0; d < net.pop_count(); ++d) {
+        const double oracle = brute_force_distance(net, s, d);
+        if (oracle == kUnreachable) {
+          EXPECT_EQ(sp.distance_miles[d], kUnreachable)
+              << "seed " << seed << " " << s << "->" << d;
+        } else {
+          // Dijkstra's optimum can differ from the oracle's only in
+          // summation order when distinct optimal paths tie; allow the
+          // one-ulp-scale gap a tie implies, and nothing more.
+          EXPECT_NEAR(sp.distance_miles[d], oracle, oracle * 1e-12)
+              << "seed " << seed << " " << s << "->" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(DijkstraBruteForce, AllPairsMatrixMatchesTheOracleToo) {
+  const Network net = random_network(99, 7, 9);
+  const auto matrix = all_pairs_distances(net);
+  for (PopId s = 0; s < net.pop_count(); ++s) {
+    for (PopId d = 0; d < net.pop_count(); ++d) {
+      const double oracle = brute_force_distance(net, s, d);
+      if (oracle == kUnreachable) {
+        EXPECT_EQ(matrix(s, d), kUnreachable);
+      } else {
+        EXPECT_NEAR(matrix(s, d), oracle, oracle * 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manytiers::topology

@@ -77,7 +77,9 @@ TEST(Dijkstra, AllPairsMatchesSingleSource) {
   ASSERT_EQ(ap.size(), net.pop_count());
   for (PopId s = 0; s < net.pop_count(); ++s) {
     const auto sp = shortest_paths(net, s);
-    EXPECT_EQ(ap[s], sp.distance_miles);
+    for (PopId d = 0; d < net.pop_count(); ++d) {
+      EXPECT_EQ(ap(s, d), sp.distance_miles[d]);
+    }
   }
 }
 
@@ -87,10 +89,26 @@ TEST(Dijkstra, TriangleInequalityOverAllPairs) {
   for (PopId a = 0; a < net.pop_count(); ++a) {
     for (PopId b = 0; b < net.pop_count(); ++b) {
       for (PopId c = 0; c < net.pop_count(); ++c) {
-        EXPECT_LE(d[a][c], d[a][b] + d[b][c] + 1e-9);
+        EXPECT_LE(d(a, c), d(a, b) + d(b, c) + 1e-9);
       }
     }
   }
+}
+
+TEST(DistanceMatrix, GrowPreservesEntriesAndFillsUnreachable) {
+  DistanceMatrix m(2);
+  m(0, 0) = 0.0;
+  m(0, 1) = 3.0;
+  m(1, 0) = 3.0;
+  m(1, 1) = 0.0;
+  m.grow(4);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(0, 2), kUnreachable);
+  EXPECT_EQ(m(2, 2), kUnreachable);
+  EXPECT_EQ(m(3, 1), kUnreachable);
+  EXPECT_THROW(m.grow(1), std::invalid_argument);
 }
 
 TEST(Dijkstra, ValidatesIds) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace manytiers::topology {
 namespace {
 
@@ -75,6 +77,24 @@ TEST(Network, RejectsBadIdsAndValues) {
   EXPECT_THROW(net.pop(9), std::out_of_range);
   EXPECT_THROW(net.neighbors(9), std::out_of_range);
   EXPECT_THROW(net.has_link(9, 0), std::out_of_range);
+}
+
+TEST(Network, RejectsNonFiniteLinkLengthAndCapacity) {
+  // A NaN or infinite length would silently poison every downstream
+  // shortest-path distance; a rejected link must also leave no state
+  // behind, so the same pair is still addable afterwards.
+  auto net = two_pop_network();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(net.add_link(0, 1, nan), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 1, inf), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 1, 100.0, nan), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 1, 100.0, inf), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 1, 100.0, -3.0), std::invalid_argument);
+  EXPECT_EQ(net.link_count(), 0u);
+  EXPECT_TRUE(net.neighbors(0).empty());
+  net.add_link(0, 1, 100.0);
+  EXPECT_TRUE(net.has_link(0, 1));
 }
 
 TEST(Network, HasLink) {

@@ -66,7 +66,7 @@ TEST(GravityMatrix, DistanceExponentSuppressesLongHaul) {
   const auto weighted_mean = [&](const auto& tm) {
     double num = 0.0, den = 0.0;
     for (const auto& d : tm) {
-      num += dist[d.src][d.dst] * d.mbps;
+      num += dist(d.src, d.dst) * d.mbps;
       den += d.mbps;
     }
     return num / den;

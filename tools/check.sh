@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus sanitizer pass for the process-supervision paths.
 #
-#   tools/check.sh            # full build + full ctest + serve smoke,
-#                             # then ASan+UBSan build +
-#                             # `ctest -L "orchestrator|serve"`, then TSan
-#                             # build + `ctest -L "obs|parallel|serve"`
+#   tools/check.sh            # full build + full ctest + bench gates +
+#                             # serve smoke, then ASan+UBSan build +
+#                             # `ctest -L "orchestrator|serve|netdyn|topology"`,
+#                             # then TSan build +
+#                             # `ctest -L "obs|parallel|serve|netdyn"`
 #   tools/check.sh --fast     # skip both sanitizer legs
 #
 # The orchestrator fork/exec/kill/heartbeat code is exactly the kind of
@@ -51,6 +52,27 @@ else
   echo "check.sh: python3 not found, skipping dp kernel gate"
 fi
 
+echo "== netdyn: incremental-vs-naive speedup gate =="
+if command -v python3 >/dev/null 2>&1; then
+  # Same machine, same binary, both SSSP kernels in turn over identical
+  # gentle reweigh streams: incremental repair must beat full
+  # re-Dijkstra by >= 5x median per update on every gate config (the
+  # acceptance number at <= 10% affected vertices). The compare against
+  # the committed incremental baseline is informational only —
+  # cross-machine wall times are too noisy to gate on.
+  nd_dir="$repo/build/netdyn_gate"
+  mkdir -p "$nd_dir"
+  "$repo/build/bench/bench_netdyn" --kernel naive > "$nd_dir/naive.log"
+  "$repo/build/bench/bench_netdyn" --kernel incremental > "$nd_dir/incr.log"
+  python3 "$repo/tools/bench_diff.py" "$nd_dir/naive.log" "$nd_dir/incr.log" \
+    --min-speedup 5
+  python3 "$repo/tools/bench_diff.py" \
+    "$repo/bench/baselines/netdyn_incremental.quick.log" "$nd_dir/incr.log" \
+    || true
+else
+  echo "check.sh: python3 not found, skipping netdyn gate"
+fi
+
 echo "== serve: daemon smoke over a unix socket =="
 # One query of every kind against a real daemon, then a clean SIGTERM
 # shutdown: this is the exact start-then-query idiom EXPERIMENTS.md
@@ -86,10 +108,14 @@ cmake -S "$repo" -B "$repo/build-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMANYTIERS_SANITIZE=ON
 cmake --build "$repo/build-asan" -j "$jobs"
 
-echo "== sanitizers: ctest -L \"orchestrator|serve\" =="
+echo "== sanitizers: ctest -L \"orchestrator|serve|netdyn|topology\" =="
+# netdyn joins the leg because incremental-repair bookkeeping (cone
+# resets, tombstone rows, matrix growth) is exactly where an
+# out-of-bounds row index would hide behind a passing value check;
+# topology rides along as its dependency surface.
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="detect_leaks=0" \
-  ctest --test-dir "$repo/build-asan" -L "orchestrator|serve" \
+  ctest --test-dir "$repo/build-asan" -L "orchestrator|serve|netdyn|topology" \
     --output-on-failure -j "$jobs"
 
 echo "== sanitizers: TSan build =="
@@ -99,11 +125,14 @@ cmake -S "$repo" -B "$repo/build-tsan" \
 # the serve suite's E2E tests drive manytiers_serve/manytiers_quote.
 cmake --build "$repo/build-tsan" -j "$jobs" \
   --target test_obs test_parallel manytiers_batch manytiers_orchestrate \
-  test_serve manytiers_serve_bin manytiers_quote
+  test_serve manytiers_serve_bin manytiers_quote test_netdyn
 
-echo "== sanitizers: ctest -L \"obs|parallel|serve\" =="
+echo "== sanitizers: ctest -L \"obs|parallel|serve|netdyn\" =="
+# test_netdyn's grid sessions re-evaluate dirty cells on the shared
+# parallel_for pool while clean cells are read back — the dirty-set
+# bookkeeping the TSan leg exists to keep honest.
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir "$repo/build-tsan" -L "obs|parallel|serve" \
+  ctest --test-dir "$repo/build-tsan" -L "obs|parallel|serve|netdyn" \
     --output-on-failure -j "$jobs"
 
 echo "check.sh: all green"
