@@ -28,6 +28,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -72,6 +73,16 @@ struct Config {
   std::size_t reps = 3;
   std::uint64_t seed = 42;
   bool full = false;
+  // Overload regime: one fixed rate far past the knee (~2× the ~175k
+  // req/s measured in PR 7) against a server armed with a request
+  // deadline, reporting shed rate and the percentiles of the *accepted*
+  // requests only. Because the deadline bounds how stale any request
+  // the server still executes can be, p99-of-accepted is set by
+  // configuration rather than machine speed — which is what makes it
+  // gateable across machines (bench_diff latency-curve mode).
+  bool overload = false;
+  double overload_rate = 350000.0;
+  int overload_deadline_ms = 20;
 };
 
 // One phase-partitioned arrival schedule for one connection.
@@ -165,6 +176,26 @@ void receiver_loop(int fd, ConnPlan& plan, Clock::time_point t0) {
   }
 }
 
+// Overload-mode receiver: also classify each response as accepted
+// ("ok":true) or shed. The scan is a substring probe, not a JSON parse
+// — serialize_response emits the ok field exactly once — so the hot
+// loop stays allocation-free.
+void receiver_loop_classify(int fd, ConnPlan& plan,
+                            std::vector<std::uint8_t>& accepted,
+                            Clock::time_point t0) {
+  FrameReader reader(fd);
+  std::string payload;
+  for (std::size_t k = 0; k < plan.done_us.size(); ++k) {
+    if (reader.next(payload) != FrameReader::Status::Frame) {
+      std::cerr << "server closed mid-step after " << k << " responses\n";
+      std::exit(1);
+    }
+    plan.done_us[k] =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    accepted[k] = payload.find("\"ok\":true") != std::string::npos ? 1 : 0;
+  }
+}
+
 double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = p * double(sorted.size() - 1);
@@ -246,6 +277,110 @@ StepResult run_step(const Config& cfg, const std::string& socket_path,
   return best;
 }
 
+struct OverloadResult {
+  double offered = 0.0;
+  double achieved = 0.0;    // responses (accepted + shed) per second
+  std::size_t n = 0;        // measure-window responses
+  std::size_t n_accepted = 0;
+  double shed_rate = 0.0;   // shed fraction of measure-window responses
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0, max = 0.0;  // accepted
+  // Running max of the server's accepted-only arrival-to-done tail p99,
+  // sampled throughout the run. In a saturated open-loop harness the
+  // client-observed percentiles above grow with the test duration no
+  // matter what the server does (the queue just backs up into the
+  // senders), so they describe the regime, not the server. What the
+  // deadline machinery actually bounds — and what the baseline gate
+  // compares — is this number: at no point did a request that *got an
+  // answer* wait longer than this between arrival and completion.
+  double server_p99 = 0.0;
+};
+
+OverloadResult run_overload_once(const Config& cfg,
+                                 const std::string& socket_path,
+                                 const std::string& frame, double rate,
+                                 const Server* server) {
+  std::vector<ConnPlan> plans;
+  std::vector<std::vector<std::uint8_t>> accepted;
+  std::vector<Client> clients;
+  for (std::size_t c = 0; c < cfg.connections; ++c) {
+    plans.push_back(make_plan(cfg, rate, c));
+    accepted.emplace_back(plans.back().done_us.size(), 0);
+    clients.push_back(Client::connect_unix(socket_path));
+  }
+
+  const auto t0 = Clock::now();
+  // Track the worst served tail across the whole run, not a snapshot at
+  // join time — by then the backlog may already have drained and the
+  // last kWindow requests would read artificially fast.
+  std::atomic<bool> sampling_done{false};
+  double tail_max = 0.0;
+  std::thread sampler;
+  if (server != nullptr) {
+    sampler = std::thread([&sampling_done, &tail_max, server] {
+      while (!sampling_done.load(std::memory_order_relaxed)) {
+        tail_max = std::max(tail_max, server->accepted_p99_us());
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < cfg.connections; ++c) {
+    threads.emplace_back(receiver_loop_classify, clients[c].fd(),
+                         std::ref(plans[c]), std::ref(accepted[c]), t0);
+    threads.emplace_back(sender_loop, clients[c].fd(), std::cref(frame),
+                         std::cref(plans[c]), t0);
+  }
+  for (auto& t : threads) t.join();
+  sampling_done.store(true, std::memory_order_relaxed);
+  if (sampler.joinable()) sampler.join();
+
+  std::vector<double> ok_latencies;
+  OverloadResult r;
+  r.server_p99 = tail_max;
+  r.offered = rate;
+  double first_done = 1e300, last_done = 0.0;
+  for (std::size_t c = 0; c < cfg.connections; ++c) {
+    const auto& plan = plans[c];
+    for (std::size_t k = plan.measure_begin; k < plan.measure_end; ++k) {
+      ++r.n;
+      first_done = std::min(first_done, plan.done_us[k]);
+      last_done = std::max(last_done, plan.done_us[k]);
+      if (accepted[c][k]) {
+        ++r.n_accepted;
+        ok_latencies.push_back(plan.done_us[k] - plan.sched_us[k]);
+      }
+    }
+  }
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  const double span_us = last_done - first_done;
+  r.achieved = span_us > 0.0 ? double(r.n) / span_us * 1e6 : 0.0;
+  r.shed_rate = r.n > 0 ? double(r.n - r.n_accepted) / double(r.n) : 0.0;
+  r.p50 = percentile(ok_latencies, 0.50);
+  r.p90 = percentile(ok_latencies, 0.90);
+  r.p99 = percentile(ok_latencies, 0.99);
+  r.p999 = percentile(ok_latencies, 0.999);
+  r.max = ok_latencies.empty() ? 0.0 : ok_latencies.back();
+  return r;
+}
+
+OverloadResult run_overload(const Config& cfg, const std::string& socket_path,
+                            const std::string& frame, double rate,
+                            const Server* server) {
+  OverloadResult best;
+  for (std::size_t rep = 0; rep < cfg.reps; ++rep) {
+    Config seeded = cfg;
+    seeded.seed = cfg.seed + rep * 1000003;
+    const OverloadResult r =
+        run_overload_once(seeded, socket_path, frame, rate, server);
+    // Best-of-reps keys on the gated metric (server tail p99) when the
+    // server is in-process; client p99 otherwise.
+    const double key = server != nullptr ? r.server_p99 : r.p99;
+    const double best_key = server != nullptr ? best.server_p99 : best.p99;
+    if (rep == 0 || key < best_key) best = r;
+  }
+  return best;
+}
+
 std::string build_request_frame(const Config& cfg) {
   Request request;
   request.id = 1;
@@ -288,6 +423,7 @@ manytiers::driver::ExperimentGrid bench_grid() {
 
 int main(int argc, char** argv) {
   Config cfg;
+  bool connections_given = false;
   for (int i = 1; i < argc; ++i) {
     const auto arg = [&](const char* flag) {
       if (std::strcmp(argv[i], flag) != 0) return (const char*)nullptr;
@@ -307,6 +443,7 @@ int main(int argc, char** argv) {
       cfg.strategy = v;
     } else if (const char* v = arg("--connections")) {
       cfg.connections = std::stoul(v);
+      connections_given = true;
     } else if (const char* v = arg("--step-start")) {
       cfg.step_start = std::stod(v);
     } else if (const char* v = arg("--step-size")) {
@@ -321,12 +458,20 @@ int main(int argc, char** argv) {
       cfg.seed = std::stoull(v);
     } else if (std::strcmp(argv[i], "--full") == 0) {
       cfg.full = true;
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      cfg.overload = true;
+    } else if (const char* v = arg("--overload-rate")) {
+      cfg.overload_rate = std::stod(v);
+    } else if (const char* v = arg("--overload-deadline-ms")) {
+      cfg.overload_deadline_ms = std::stoi(v);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--socket PATH] [--kind price|schedule|requote]\n"
                 << "  [--market KEY] [--strategy NAME] [--connections N]\n"
                 << "  [--step-start R] [--step-size R] [--step-stop R]\n"
-                << "  [--measure-s S] [--reps N] [--seed N] [--full]\n";
+                << "  [--measure-s S] [--reps N] [--seed N] [--full]\n"
+                << "  [--overload] [--overload-rate R] "
+                   "[--overload-deadline-ms N]\n";
       return 2;
     }
   }
@@ -334,7 +479,7 @@ int main(int argc, char** argv) {
     std::cerr << "--connections must be > 0\n";
     return 2;
   }
-  if (!cfg.full) {
+  if (!cfg.full && !cfg.overload) {
     // Quick mode: a 3-point sweep with short windows, for smoke runs.
     cfg.step_start = 25000.0;
     cfg.step_size = 50000.0;
@@ -344,20 +489,43 @@ int main(int argc, char** argv) {
     cfg.cooldown_s = 0.05;
     cfg.reps = std::min<std::size_t>(cfg.reps, 2);
   }
+  if (cfg.overload && !cfg.full) {
+    cfg.warmup_s = 0.2;
+    cfg.measure_s = 0.8;
+    cfg.cooldown_s = 0.1;
+    cfg.reps = std::min<std::size_t>(cfg.reps, 2);
+    // Many moderate connections, not one firehose: a single pipelined
+    // connection keeps its backlog in the socket buffers where the
+    // server's arrival clock cannot see it (backpressure, not shedding,
+    // is the control there). Contending connections put the queue
+    // inside the server, which is the shape the deadline shedder
+    // exists for.
+    if (!connections_given) cfg.connections = 16;
+  }
 
   manytiers::bench::header(
-      "Serve load — open-loop latency vs offered rate",
-      "Poisson arrivals stepped across offered req/s against "
-      "manytiers_serve; latency from scheduled arrival to response.");
+      cfg.overload
+          ? "Serve load — overload regime (2x knee, deadline shedding)"
+          : "Serve load — open-loop latency vs offered rate",
+      cfg.overload
+          ? "One fixed offered rate far past the knee against a "
+            "deadline-armed server; shed rate plus the server-side "
+            "arrival-to-done tail the deadline bounds."
+          : "Poisson arrivals stepped across offered req/s against "
+            "manytiers_serve; latency from scheduled arrival to response.");
 
   // Target: an external daemon, or an in-process server on the default
-  // one-market grid.
+  // one-market grid. The overload regime arms the in-process server
+  // with the request deadline its gated tail-p99 bound comes from.
   std::unique_ptr<Server> server;
   std::string socket_path = cfg.socket;
   if (socket_path.empty()) {
     socket_path = "/tmp/mt_bench_serve_" + std::to_string(::getpid()) + ".sock";
     ServerOptions options;
     options.unix_path = socket_path;
+    if (cfg.overload) {
+      options.request_deadline_ms = cfg.overload_deadline_ms;
+    }
     server = std::make_unique<Server>(bench_grid(), options);
     server->start();
   }
@@ -375,6 +543,48 @@ int main(int argc, char** argv) {
       std::cerr << "probe query failed: " << response.error << "\n";
       return 1;
     }
+  }
+
+  if (cfg.overload) {
+    const auto t0 = Clock::now();
+    const OverloadResult r =
+        run_overload(cfg, socket_path, frame, cfg.overload_rate, server.get());
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    const auto usage = manytiers::bench::resource_usage();
+    // "p99_us" is the server-side arrival-to-done tail — the field
+    // bench_diff.py hard-gates, bounded by the configured deadline, not
+    // by machine speed. The client-observed percentiles go out under
+    // "client_*" keys (informational): in a saturated open-loop run
+    // they scale with the measure window, so gating on them would gate
+    // on the harness, not the server.
+    std::cout << "BENCH_JSON {\"bench\":\"serve_load_overload\",\"n\":" << r.n
+              << ",\"req_per_s\":" << r.offered
+              << ",\"achieved_per_s\":" << r.achieved
+              << ",\"accepted\":" << r.n_accepted
+              << ",\"shed_rate\":" << r.shed_rate
+              << ",\"deadline_ms\":" << cfg.overload_deadline_ms
+              << ",\"connections\":" << cfg.connections
+              << ",\"p99_us\":" << r.server_p99
+              << ",\"client_p50_us\":" << r.p50
+              << ",\"client_p90_us\":" << r.p90
+              << ",\"client_p99_us\":" << r.p99
+              << ",\"client_p999_us\":" << r.p999
+              << ",\"client_max_us\":" << r.max << ",\"wall_ms\":" << wall_ms
+              << ",\"threads\":" << cfg.connections
+              << ",\"max_rss_kb\":" << usage.max_rss_kb
+              << ",\"cpu_user_s\":" << usage.cpu_user_s
+              << ",\"cpu_sys_s\":" << usage.cpu_sys_s << "}\n";
+    manytiers::util::TextTable table({"req/s", "achieved", "n", "accepted",
+                                      "shed %", "srv p99 us", "cli p99 us"});
+    table.add_row(manytiers::util::format_double(r.offered, 0),
+                  {r.achieved, double(r.n), double(r.n_accepted),
+                   r.shed_rate * 100.0, r.server_p99, r.p99},
+                  1);
+    std::cout << "\n";
+    table.print(std::cout);
+    if (server) server->stop();
+    return 0;
   }
 
   manytiers::util::TextTable table(

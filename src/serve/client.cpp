@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -94,25 +96,61 @@ Client Client::connect_tcp(const std::string& host, int port) {
 }
 
 Client Client::connect_unix_retry(const std::string& path, int timeout_ms) {
+  // Capped exponential backoff: 1, 2, 4, ... 64 ms between attempts. A
+  // daemon that binds instantly costs one extra millisecond; one that
+  // takes seconds to calibrate is probed ~16 times a second instead of
+  // the 50/s a fixed tight loop would burn.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
+  int backoff_ms = 1;
   for (;;) {
+    int last_errno = 0;
     try {
       return connect_unix(path);
-    } catch (const std::system_error&) {
-      if (std::chrono::steady_clock::now() >= deadline) throw;
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    } catch (const std::system_error& e) {
+      last_errno = e.code().value();
     }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::system_error(
+          last_errno, std::generic_category(),
+          "serve client: connect(" + path + ") still failing after " +
+              std::to_string(timeout_ms) + " ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 64);
   }
 }
 
+void Client::set_timeout_ms(int ms) {
+  if (fd_ < 0 || ms < 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  // Best-effort: a socket type without timeout support just blocks.
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
 Response Client::call(const Request& request) {
-  send(request);
-  return recv();
+  return parse_response(call_raw(serialize_request(request)));
 }
 
 std::string Client::call_raw(std::string_view request_payload) {
-  write_all(fd_, encode_frame(request_payload));
+  try {
+    write_all(fd_, encode_frame(request_payload));
+  } catch (const std::system_error& e) {
+    // A refuse-and-close server (connection cap, drain) may have queued
+    // its typed error frame and closed before our request even hit the
+    // wire — the write side then reports EPIPE/ECONNRESET while the
+    // refusal sits unread in our receive buffer. Drain it so the caller
+    // sees *why* instead of a bare broken pipe.
+    if (e.code().value() != EPIPE && e.code().value() != ECONNRESET) throw;
+    try {
+      return recv_raw();
+    } catch (const std::exception&) {
+      throw e;  // nothing queued: the original transport fault stands
+    }
+  }
   return recv_raw();
 }
 

@@ -32,8 +32,17 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
+  // Bound every subsequent send()/recv() syscall to `ms` wall-clock
+  // milliseconds (SO_SNDTIMEO / SO_RCVTIMEO; 0 = block forever). An
+  // expired timeout surfaces as std::system_error with EAGAIN — a hung
+  // daemon becomes a typed client-side failure instead of a wedge.
+  void set_timeout_ms(int ms);
+
   // One blocking exchange. Throws FrameError / std::system_error on
   // transport faults, std::invalid_argument on unparseable responses.
+  // If the send fails with EPIPE/ECONNRESET but the server already
+  // queued a frame (a typed refuse-and-close), that frame is returned
+  // instead of the transport error.
   Response call(const Request& request);
   // Same exchange, returning the raw response payload untouched — the
   // determinism test byte-compares these against batch output.

@@ -1,0 +1,133 @@
+#include "serve/fault_client.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+namespace manytiers::serve {
+
+FaultClient FaultClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::invalid_argument("fault client: unix socket path too long: " +
+                                path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "fault client: socket(AF_UNIX)");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::system_error(saved, std::generic_category(),
+                            "fault client: connect(" + path + ")");
+  }
+  return FaultClient(fd);
+}
+
+FaultClient::FaultClient(FaultClient&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+FaultClient& FaultClient::operator=(FaultClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FaultClient::~FaultClient() { close(); }
+
+void FaultClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FaultClient::abort_rst() {
+  if (fd_ < 0) return;
+  // SO_LINGER with zero timeout turns close() into an abortive reset —
+  // on AF_UNIX the peer sees ECONNRESET on its next recv rather than a
+  // clean EOF, which is the "client crashed" signature.
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void FaultClient::send_raw(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "fault client: send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void FaultClient::send_torn(std::string_view payload,
+                            std::size_t prefix_bytes) {
+  const std::string frame = encode_frame(payload);
+  send_raw(std::string_view(frame).substr(
+      0, std::min(prefix_bytes, frame.size())));
+}
+
+bool FaultClient::dribble(std::string_view payload, std::size_t chunk,
+                          int gap_ms) {
+  if (chunk == 0) chunk = 1;
+  const std::string frame = encode_frame(payload);
+  for (std::size_t off = 0; off < frame.size(); off += chunk) {
+    try {
+      send_raw(std::string_view(frame).substr(off, chunk));
+    } catch (const std::system_error&) {
+      return false;  // the server hung up on us mid-dribble
+    }
+    if (off + chunk < frame.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(gap_ms));
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> FaultClient::try_read_frame(int timeout_ms) {
+  if (fd_ < 0 || reader_ == nullptr) return std::nullopt;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string payload;
+  try {
+    if (reader_->next(payload) != FrameReader::Status::Frame) {
+      return std::nullopt;
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;  // timeout, reset, or torn response
+  }
+  return payload;
+}
+
+}  // namespace manytiers::serve

@@ -1,0 +1,74 @@
+// A deliberately misbehaving protocol client for the chaos harness.
+//
+// Where serve::Client is the well-behaved path (whole frames, blocking
+// round-trips), FaultClient exposes the raw moves a hostile or broken
+// peer makes: partial writes ("dribble" a frame byte by byte — the
+// slow-loris), torn frames (send a prefix then vanish), half-open
+// sockets (stop sending, never close), and hard RST aborts. The chaos
+// test uses these to assert the server's read limits, drain, and
+// admission paths from the outside, against the real binary.
+//
+// Nothing here retries or recovers — every method maps to one syscall
+// sequence so a test can reason about exactly what hit the wire.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace manytiers::serve {
+
+class FaultClient {
+ public:
+  // Throws std::system_error when the endpoint does not answer.
+  static FaultClient connect_unix(const std::string& path);
+
+  FaultClient(FaultClient&&) noexcept;
+  FaultClient& operator=(FaultClient&&) noexcept;
+  FaultClient(const FaultClient&) = delete;
+  FaultClient& operator=(const FaultClient&) = delete;
+  ~FaultClient();
+
+  // Write exactly these bytes — any bytes, framed or not. Throws
+  // std::system_error if the peer is gone.
+  void send_raw(std::string_view bytes);
+  // Frame `payload` properly, then write only the first `prefix_bytes`
+  // of the frame (torn write). prefix_bytes past the frame end sends
+  // the whole frame.
+  void send_torn(std::string_view payload, std::size_t prefix_bytes);
+  // Slow-loris: frame `payload`, then trickle it out `chunk` bytes
+  // every `gap_ms`, never finishing faster than the server's
+  // frame-timeout window if chunk*rate is set below it. Returns early
+  // (false) if the server gives up and resets the connection first —
+  // which is the outcome the chaos test asserts.
+  bool dribble(std::string_view payload, std::size_t chunk, int gap_ms);
+
+  // Read one response frame with a bounded wall-clock wait. nullopt on
+  // timeout or EOF/reset — the caller branches on "did the server
+  // answer at all". The reader persists across calls, so pipelined
+  // responses sharing one recv burst all come back.
+  std::optional<std::string> try_read_frame(int timeout_ms);
+
+  // Stop sending but keep the socket open (half-open peer): the caller
+  // just goes silent. Provided for readability at call sites.
+  void go_silent() {}
+  // Abort with RST (SO_LINGER 0 + close) instead of an orderly FIN —
+  // the mid-frame-disconnect and flood-abort scenarios.
+  void abort_rst();
+  // Orderly close.
+  void close();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit FaultClient(int fd)
+      : fd_(fd), reader_(std::make_unique<FrameReader>(fd)) {}
+  int fd_;
+  std::unique_ptr<FrameReader> reader_;
+};
+
+}  // namespace manytiers::serve

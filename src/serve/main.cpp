@@ -9,6 +9,13 @@
 // in the background and swaps the serving snapshot atomically; readers
 // never block on it.
 //
+// SIGTERM drains gracefully: in-flight frames finish and flush, new
+// connections get a typed "draining" refusal, and whatever has not
+// finished within --drain-timeout-ms is hard-closed — the process
+// always exits. SIGINT (interactive ^C) skips the drain and stops
+// immediately. The admission/deadline knobs below all default off, so
+// an unconfigured daemon behaves exactly as before.
+//
 // Lifecycle lines on stdout (SERVE_JSON, one object per line) mark
 // readiness and shutdown so supervisors and tests can wait on them
 // instead of polling the socket. Exit codes follow the repo contract:
@@ -43,6 +50,21 @@ int usage(std::ostream& os, int code) {
         "  --metrics PATH       write an obs-registry metrics sidecar on "
         "shutdown\n"
         "  --trace PATH         write a Chrome-trace-event JSON timeline\n"
+        "  --max-connections N  live-connection cap; extras get a typed\n"
+        "                       'overloaded' error frame (0 = unlimited)\n"
+        "  --max-inflight N     concurrent request budget; excess requests\n"
+        "                       are shed with code 'overloaded' (0 = off)\n"
+        "  --shed-p99-us X      shed while measured arrival-to-done p99\n"
+        "                       exceeds X microseconds (0 = off)\n"
+        "  --request-deadline-ms N  shed (code 'deadline') requests that\n"
+        "                       waited longer than N ms before work (0 = off)\n"
+        "  --idle-timeout-ms N  reap connections silent for N ms (0 = off)\n"
+        "  --frame-timeout-ms N slow-loris cutoff: a started frame must\n"
+        "                       complete within N ms (0 = off)\n"
+        "  --write-timeout-ms N give up on peers not reading responses\n"
+        "                       after N ms (0 = off)\n"
+        "  --drain-timeout-ms N SIGTERM drain budget before hard-close\n"
+        "                       (default 5000)\n"
         "  --help               this text\n"
         "\n"
         "exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error\n";
@@ -72,6 +94,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   std::size_t n_flows = 0;
   std::size_t max_bundles = 0;
+  serve::ServerOptions options;
 
   driver::ExperimentGrid grid;
   try {
@@ -110,6 +133,27 @@ int main(int argc, char** argv) {
         metrics_path = next(i);
       } else if (arg == "--trace") {
         trace_path = next(i);
+      } else if (arg == "--max-connections") {
+        options.max_connections = parse_u64(next(i), "--max-connections");
+      } else if (arg == "--max-inflight") {
+        options.max_inflight = parse_u64(next(i), "--max-inflight");
+      } else if (arg == "--shed-p99-us") {
+        options.shed_p99_us = std::stod(next(i));
+      } else if (arg == "--request-deadline-ms") {
+        options.request_deadline_ms =
+            static_cast<int>(parse_u64(next(i), "--request-deadline-ms"));
+      } else if (arg == "--idle-timeout-ms") {
+        options.idle_timeout_ms =
+            static_cast<int>(parse_u64(next(i), "--idle-timeout-ms"));
+      } else if (arg == "--frame-timeout-ms") {
+        options.frame_timeout_ms =
+            static_cast<int>(parse_u64(next(i), "--frame-timeout-ms"));
+      } else if (arg == "--write-timeout-ms") {
+        options.write_timeout_ms =
+            static_cast<int>(parse_u64(next(i), "--write-timeout-ms"));
+      } else if (arg == "--drain-timeout-ms") {
+        options.drain_timeout_ms =
+            static_cast<int>(parse_u64(next(i), "--drain-timeout-ms"));
       } else {
         std::cerr << "manytiers_serve: unknown flag " << arg << "\n";
         return usage(std::cerr, 2);
@@ -151,7 +195,6 @@ int main(int argc, char** argv) {
   }
 
   try {
-    serve::ServerOptions options;
     options.unix_path = socket_path;
     options.tcp_port = tcp_port;
     options.threads = threads;
@@ -169,6 +212,15 @@ int main(int argc, char** argv) {
 
     int sig = 0;
     while (sigwait(&mask, &sig) != 0) {
+    }
+    if (sig == SIGTERM) {
+      std::cout << "SERVE_JSON {\"event\":\"draining\",\"signal\":" << sig
+                << ",\"active_connections\":" << server.active_connections()
+                << ",\"drain_timeout_ms\":" << options.drain_timeout_ms << "}"
+                << std::endl;
+      server.drain();
+      std::cout << "SERVE_JSON {\"event\":\"drained\",\"shed\":"
+                << server.shed_total() << "}" << std::endl;
     }
     std::cout << "SERVE_JSON {\"event\":\"shutdown\",\"signal\":" << sig
               << ",\"epoch\":" << server.epoch() << "}" << std::endl;

@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -181,6 +182,7 @@ std::string_view to_string(QueryKind kind) {
     case QueryKind::Schedule: return "schedule";
     case QueryKind::Requote: return "requote";
     case QueryKind::Reload: return "reload";
+    case QueryKind::Health: return "health";
   }
   throw std::invalid_argument("unknown query kind");
 }
@@ -190,9 +192,10 @@ QueryKind parse_query_kind(std::string_view name) {
   if (name == "schedule") return QueryKind::Schedule;
   if (name == "requote") return QueryKind::Requote;
   if (name == "reload") return QueryKind::Reload;
-  throw std::invalid_argument("serve protocol: unknown query kind \"" +
-                              std::string(name) +
-                              "\"; known: price, schedule, requote, reload");
+  if (name == "health") return QueryKind::Health;
+  throw std::invalid_argument(
+      "serve protocol: unknown query kind \"" + std::string(name) +
+      "\"; known: price, schedule, requote, reload, health");
 }
 
 std::string serialize_request(const Request& request) {
@@ -227,6 +230,8 @@ std::string serialize_request(const Request& request) {
         out += ",\"updates\":\"" + json_escape(request.updates) + "\"";
       }
       break;
+    case QueryKind::Health:
+      break;  // id + kind is the whole request
   }
   out += '}';
   return out;
@@ -271,6 +276,8 @@ Request parse_request(std::string_view payload) {
         request.updates = parse_string_token(*rest, "updates");
       }
       break;
+    case QueryKind::Health:
+      break;
   }
   return request;
 }
@@ -301,7 +308,13 @@ std::string serialize_response(const Response& response) {
   out += ",\"epoch\":";
   append_u64(out, response.epoch);
   if (!response.ok) {
-    out += ",\"error\":\"";
+    // The stable code token first (clients branch on it), then the
+    // human-readable message. An empty code serializes as bad_request so
+    // every error frame carries a token.
+    out += ",\"code\":\"";
+    out += response.code.empty() ? std::string(kCodeBadRequest)
+                                 : json_escape(response.code);
+    out += "\",\"error\":\"";
     out += json_escape(response.error);
     out += "\"}";
     return out;
@@ -362,6 +375,18 @@ std::string serialize_response(const Response& response) {
       out += ",\"recalibrated\":";
       append_u64(out, response.recalibrated);
       break;
+    case QueryKind::Health:
+      out += ",\"state\":\"";
+      out += json_escape(response.state);
+      out += "\",\"active_connections\":";
+      append_u64(out, response.active_connections);
+      out += ",\"inflight\":";
+      append_u64(out, response.inflight);
+      out += ",\"shed\":";
+      append_u64(out, response.shed);
+      out += ",\"markets\":";
+      append_u64(out, response.markets);
+      break;
   }
   out += '}';
   return out;
@@ -378,6 +403,10 @@ Response parse_response(std::string_view payload) {
   response.epoch = req_u64(payload, "epoch");
   if (!response.ok) {
     response.error = req_string(payload, "error");
+    // Optional for wire-compat with pre-v1.1 error frames.
+    if (const auto rest = find_field(payload, "code")) {
+      response.code = parse_string_token(*rest, "code");
+    }
     return response;
   }
   response.kind = parse_query_kind(req_string(payload, "kind"));
@@ -429,16 +458,29 @@ Response parse_response(std::string_view payload) {
       response.markets = req_u64(payload, "markets");
       response.recalibrated = req_u64(payload, "recalibrated");
       break;
+    case QueryKind::Health:
+      response.state = req_string(payload, "state");
+      response.active_connections = req_u64(payload, "active_connections");
+      response.inflight = req_u64(payload, "inflight");
+      response.shed = req_u64(payload, "shed");
+      response.markets = req_u64(payload, "markets");
+      break;
   }
   return response;
 }
 
 std::string error_payload(std::uint64_t id, std::uint64_t epoch,
                           std::string_view message) {
+  return error_payload(id, epoch, kCodeBadRequest, message);
+}
+
+std::string error_payload(std::uint64_t id, std::uint64_t epoch,
+                          std::string_view code, std::string_view message) {
   Response response;
   response.id = id;
   response.ok = false;
   response.epoch = epoch;
+  response.code = std::string(code);
   response.error = std::string(message);
   return serialize_response(response);
 }
@@ -489,6 +531,12 @@ void write_all(int fd, std::string_view data) {
 }
 
 FrameReader::Status FrameReader::next(std::string& payload) {
+  // The wait clock for the read limits: one call to next() is exactly
+  // one wait-for-a-frame episode, so both the idle window and the
+  // slow-loris frame window are measured from here. (A frame's first
+  // bytes may have landed in an earlier call's burst; that makes the
+  // cutoff strictly more lenient, never tighter.)
+  const auto wait_start = std::chrono::steady_clock::now();
   for (;;) {
     const std::size_t have = buffer_.size() - pos_;
     if (have >= 4) {
@@ -525,6 +573,35 @@ FrameReader::Status FrameReader::next(std::string& payload) {
     do {
       n = ::recv(fd_, chunk, sizeof chunk, 0);
     } while (n < 0 && errno == EINTR);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired. With limits armed this is the polling tick
+      // that lets us notice a wedged peer; without them it is the
+      // client-side hard receive timeout.
+      if (limits_.idle_timeout_ms == 0 && limits_.frame_timeout_ms == 0) {
+        throw std::system_error(errno, std::generic_category(),
+                                "serve protocol: recv timed out");
+      }
+      const auto waited_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count();
+      const bool mid_frame = buffer_.size() > pos_;
+      if (mid_frame && limits_.frame_timeout_ms > 0 &&
+          waited_ms >= limits_.frame_timeout_ms) {
+        throw FrameError(FrameError::Kind::SlowPeer,
+                         "serve protocol: peer did not complete its frame "
+                         "within " +
+                             std::to_string(limits_.frame_timeout_ms) +
+                             " ms (slow-loris cutoff)");
+      }
+      if (!mid_frame && limits_.idle_timeout_ms > 0 &&
+          waited_ms >= limits_.idle_timeout_ms) {
+        throw FrameError(FrameError::Kind::Idle,
+                         "serve protocol: connection idle past " +
+                             std::to_string(limits_.idle_timeout_ms) + " ms");
+      }
+      continue;  // inside the window: keep waiting
+    }
     if (n < 0) {
       throw std::system_error(errno, std::generic_category(),
                               "serve protocol: recv");
@@ -539,6 +616,7 @@ FrameReader::Status FrameReader::next(std::string& payload) {
               std::to_string(leftover) + " trailing bytes)");
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
+    fill_time_ = std::chrono::steady_clock::now();
   }
 }
 

@@ -24,12 +24,32 @@
 //   reload   — admin: recalibrate (optionally with overridden base
 //              parameters) and swap the serving snapshot; the response
 //              carries the new epoch
+//   health   — admin: the server's lifecycle state (ready / draining /
+//              overloaded) plus live gauges (active connections,
+//              in-flight requests, total shed). Never load-shed, so a
+//              supervisor can always probe a saturated daemon.
 //
 // Every response carries the snapshot epoch it was answered from, so a
 // client (and the snapshot-swap concurrency test) can pin any answer to
 // exactly one calibration.
+//
+// Error frames (v1.1, additive): every error response carries a stable
+// "code" token alongside the human-readable "error" message, so clients
+// branch on the token instead of string-matching messages. The tokens
+// are part of the protocol contract (round-trip-tested):
+//   overloaded  — admission control shed the request (or refused the
+//                 connection) because the server is past its budget;
+//                 retry later with backoff
+//   deadline    — the request sat queued past --request-deadline-ms
+//                 before work started; it was never executed
+//   draining    — the server is shutting down; reconnect elsewhere
+//   bad_request — malformed or unanswerable request (parse failure,
+//                 unknown market/strategy, ...); do not retry
+// Frames from pre-v1.1 servers simply lack the field; parse_response
+// leaves `code` empty.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
@@ -43,7 +63,13 @@ namespace manytiers::serve {
 // before any allocation. Far above any real request or response.
 inline constexpr std::uint32_t kMaxFrame = 1u << 20;
 
-enum class QueryKind { Price, Schedule, Requote, Reload };
+enum class QueryKind { Price, Schedule, Requote, Reload, Health };
+
+// The stable error-code tokens (see the protocol note above).
+inline constexpr std::string_view kCodeOverloaded = "overloaded";
+inline constexpr std::string_view kCodeDeadline = "deadline";
+inline constexpr std::string_view kCodeDraining = "draining";
+inline constexpr std::string_view kCodeBadRequest = "bad_request";
 
 std::string_view to_string(QueryKind kind);
 // Throws std::invalid_argument on an unknown kind name.
@@ -95,6 +121,7 @@ struct Response {
   std::uint64_t epoch = 0;
   QueryKind kind = QueryKind::Schedule;
   std::string error;  // set when !ok
+  std::string code;   // set when !ok: one of the kCode* tokens
   // price / requote:
   std::size_t tier = 0;      // assigned tier index (schedule order)
   double price = 0.0;        // the tier's price
@@ -110,6 +137,11 @@ struct Response {
   // rebuild; on an updates reload it counts only the dirty markets (0
   // when the batch left every served distance unchanged).
   std::size_t recalibrated = 0;
+  // health:
+  std::string state;  // "ready" | "draining" | "overloaded"
+  std::uint64_t active_connections = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t shed = 0;  // total shed/refused since startup
 };
 
 std::string serialize_response(const Response& response);
@@ -117,18 +149,26 @@ std::string serialize_response(const Response& response);
 Response parse_response(std::string_view payload);
 
 // Convenience: the structured error every fault path answers with.
+// `code` is one of the kCode* tokens; the three-argument form defaults
+// to kCodeBadRequest.
 std::string error_payload(std::uint64_t id, std::uint64_t epoch,
                           std::string_view message);
+std::string error_payload(std::uint64_t id, std::uint64_t epoch,
+                          std::string_view code, std::string_view message);
 
 // --- Framing over a stream socket ---
 
 // What went wrong at the framing layer. TornPrefix/MidFrame mean the
 // peer vanished mid-message (nothing sensible to answer); BadLength
 // (zero or > kMaxFrame) is answerable with a structured error before
-// closing.
+// closing. Idle and SlowPeer are the server-side read limits: Idle is a
+// connection that produced no bytes for the idle window (a half-open or
+// parked peer), SlowPeer is a peer mid-frame that failed to complete it
+// within the frame window (a slow-loris writer) — both mean "reap this
+// connection", neither is answerable.
 class FrameError : public std::runtime_error {
  public:
-  enum class Kind { TornPrefix, MidFrame, BadLength };
+  enum class Kind { TornPrefix, MidFrame, BadLength, Idle, SlowPeer };
   FrameError(Kind kind, const std::string& what)
       : std::runtime_error(what), kind_(kind) {}
   Kind kind() const { return kind_; }
@@ -155,20 +195,48 @@ void write_all(int fd, std::string_view data);
 // batches syscalls under pipelined load.
 class FrameReader {
  public:
+  // Read limits, both in wall-clock ms, both 0 = off. They only engage
+  // when the fd has SO_RCVTIMEO set (recv must return EAGAIN
+  // periodically for the reader to notice time passing); the server
+  // arms both together. idle: max time next() waits with no undelivered
+  // bytes at all before throwing FrameError{Idle}. frame: max time a
+  // partially received frame may take to complete before
+  // FrameError{SlowPeer} — the progress-based slow-loris cutoff (a
+  // dribbling writer resets nothing: the clock runs from the first byte
+  // of the incomplete frame).
+  struct ReadLimits {
+    int idle_timeout_ms = 0;
+    int frame_timeout_ms = 0;
+  };
+
   explicit FrameReader(int fd) : fd_(fd) {}
 
   enum class Status { Frame, Eof };
 
+  void set_limits(ReadLimits limits) { limits_ = limits; }
+
   // Fill `payload` with the next frame. Throws FrameError on a torn
-  // prefix, mid-frame EOF, or a bad length; std::system_error on socket
-  // errors.
+  // prefix, mid-frame EOF, a bad length, or a tripped read limit;
+  // std::system_error on socket errors. With SO_RCVTIMEO set on the fd
+  // but no limits armed, a recv timeout surfaces as std::system_error
+  // (EAGAIN) — the client-side --timeout-ms contract.
   Status next(std::string& payload);
   bool buffered_frame() const;
+
+  // When the bytes completing the most recent frame were received —
+  // the arrival approximation the server's request deadline uses. Every
+  // frame drained from one recv burst shares that burst's timestamp,
+  // which is exactly right: they were all queued then.
+  std::chrono::steady_clock::time_point last_fill() const {
+    return fill_time_;
+  }
 
  private:
   int fd_;
   std::string buffer_;
   std::size_t pos_ = 0;  // consumed prefix of buffer_
+  ReadLimits limits_;
+  std::chrono::steady_clock::time_point fill_time_{};
 };
 
 // One blocking request/response exchange on fd (client side).

@@ -11,10 +11,18 @@
 //
 // Prints the raw response payload on stdout (one JSON object — pipe it
 // anywhere). --retry-ms waits for the daemon to bind its socket, which
-// is the start-then-query idiom scripts need. Exit 0 on an ok response,
-// 1 on a structured error or transport fault, 2 on usage errors.
+// is the start-then-query idiom scripts need. --timeout-ms bounds every
+// send/recv (default 30000, so a hung daemon can't wedge the client);
+// code=="overloaded" errors are retried with exponential backoff
+// (--overload-retries, fresh connection each attempt) because the
+// server's shed answer is an explicit "come back later". Exit 0 on an
+// ok response, 1 on a structured error or transport fault, 2 on usage
+// errors.
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "serve/client.hpp"
 
@@ -23,7 +31,8 @@ namespace {
 using namespace manytiers;
 
 int usage(std::ostream& os, int code) {
-  os << "usage: manytiers_quote --socket PATH [--retry-ms N] KIND [args]\n"
+  os << "usage: manytiers_quote --socket PATH [--retry-ms N] [--timeout-ms N]\n"
+        "                       [--overload-retries N] KIND [args]\n"
         "       manytiers_quote --socket PATH --raw JSON\n"
         "kinds:\n"
         "  price     --market K --strategy S --q MBPS --d MILES\n"
@@ -31,6 +40,10 @@ int usage(std::ostream& os, int code) {
         "  schedule  --market K --strategy S [--bundles N]\n"
         "  requote   --market K --strategy S --flow N [--bundles N]\n"
         "  reload    [--seed N] [--n-flows N] [--updates OPS]\n"
+        "  health    (no args — lifecycle state and live gauges)\n"
+        "--timeout-ms bounds each send/recv syscall (default 30000; 0 =\n"
+        "block forever); --overload-retries retries code=='overloaded'\n"
+        "responses with exponential backoff (default 0 = report at once)\n"
         "--updates ships a topology batch (netdyn wire format, ops joined\n"
         "with ';'): \"w,A,B,LEN\" reweigh, \"down,A,B\" fail, \"up,A,B[,LEN\n"
         "[,CAP]]\" restore, \"add,NAME,LAT,LON\" / \"rm,NAME\" PoPs — the\n"
@@ -46,6 +59,8 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string raw;
   int retry_ms = 0;
+  int timeout_ms = 30000;
+  int overload_retries = 0;
   serve::Request request;
   bool kind_given = false;
 
@@ -65,6 +80,10 @@ int main(int argc, char** argv) {
         socket_path = next(i);
       } else if (arg == "--retry-ms") {
         retry_ms = std::stoi(next(i));
+      } else if (arg == "--timeout-ms") {
+        timeout_ms = std::stoi(next(i));
+      } else if (arg == "--overload-retries") {
+        overload_retries = std::stoi(next(i));
       } else if (arg == "--raw") {
         raw = next(i);
       } else if (arg == "--market") {
@@ -109,17 +128,31 @@ int main(int argc, char** argv) {
   }
 
   try {
-    serve::Client client =
-        retry_ms > 0 ? serve::Client::connect_unix_retry(socket_path, retry_ms)
-                     : serve::Client::connect_unix(socket_path);
-    const std::string payload =
-        raw.empty() ? client.call_raw(serve::serialize_request(request))
-                    : client.call_raw(raw);
-    std::cout << payload << "\n";
-    // A structured error is still a valid exchange; report it in the
-    // exit code so scripts don't have to parse the payload.
-    const serve::Response response = serve::parse_response(payload);
-    return response.ok ? 0 : 1;
+    const std::string request_payload =
+        raw.empty() ? serve::serialize_request(request) : raw;
+    int backoff_ms = 50;
+    for (int attempt = 0;; ++attempt) {
+      // Fresh connection per attempt: an overloaded daemon may have
+      // refused at the connection cap, so reusing the socket would just
+      // replay the same refusal.
+      serve::Client client =
+          retry_ms > 0
+              ? serve::Client::connect_unix_retry(socket_path, retry_ms)
+              : serve::Client::connect_unix(socket_path);
+      client.set_timeout_ms(timeout_ms);
+      const std::string payload = client.call_raw(request_payload);
+      const serve::Response response = serve::parse_response(payload);
+      if (!response.ok && response.code == serve::kCodeOverloaded &&
+          attempt < overload_retries) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, 2000);
+        continue;
+      }
+      std::cout << payload << "\n";
+      // A structured error is still a valid exchange; report it in the
+      // exit code so scripts don't have to parse the payload.
+      return response.ok ? 0 : 1;
+    }
   } catch (const std::exception& err) {
     std::cerr << "manytiers_quote: " << err.what() << "\n";
     return 1;

@@ -2,14 +2,17 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 #include <utility>
 
 #include "obs/registry.hpp"
@@ -101,11 +104,51 @@ KindMetrics kind_metrics(QueryKind kind) {
        &registry.histogram("serve.latency_us.requote")},
       {&registry.counter("serve.requests.reload"),
        &registry.histogram("serve.latency_us.reload")},
+      {&registry.counter("serve.requests.health"),
+       &registry.histogram("serve.latency_us.health")},
   };
   return table[static_cast<std::size_t>(kind)];
 }
 
+void set_socket_timeout(int fd, int which, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  // Best-effort: a socket that refuses the option still works, it just
+  // loses the corresponding cutoff.
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof tv);
+}
+
+double us_since(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - from)
+      .count();
+}
+
 }  // namespace
+
+void TailTracker::record(double latency_us) {
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  ring_[n % kWindow].store(latency_us, std::memory_order_relaxed);
+  if ((n + 1) % kRecompute != 0) return;
+  // One recompute at a time; losers skip rather than wait (the next
+  // kRecompute-th sample will try again).
+  bool expected = false;
+  if (!recomputing_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acquire)) {
+    return;
+  }
+  const std::size_t filled =
+      static_cast<std::size_t>(std::min<std::uint64_t>(n + 1, kWindow));
+  std::array<double, kWindow> copy;
+  for (std::size_t i = 0; i < filled; ++i) {
+    copy[i] = ring_[i].load(std::memory_order_relaxed);
+  }
+  const std::size_t rank = (filled * 99) / 100;
+  std::nth_element(copy.begin(), copy.begin() + rank, copy.begin() + filled);
+  p99_us_.store(copy[rank], std::memory_order_relaxed);
+  recomputing_.store(false, std::memory_order_release);
+}
 
 Server::Server(driver::ExperimentGrid grid, ServerOptions options)
     : grid_(std::move(grid)), options_(std::move(options)) {
@@ -168,6 +211,50 @@ void Server::stop() {
   started_ = false;
 }
 
+void Server::drain() {
+  const std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (drained_ || stopping_.load(std::memory_order_relaxed) || !started_) {
+    drained_ = true;
+    return;
+  }
+  draining_.store(true, std::memory_order_relaxed);
+  // Half-close every live connection: SHUT_RD delivers whatever the peer
+  // already sent, then EOF. The handler finishes every in-flight frame —
+  // byte-identical answers, flushed through the still-open write side —
+  // and exits cleanly at the EOF. The accept loops stay up so late
+  // connections get a typed "draining" refusal instead of ECONNREFUSED.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max(options_.drain_timeout_ms, 0));
+  bool all_done = false;
+  while (!all_done) {
+    {
+      // Re-run the half-close pass every iteration: a connection the
+      // accept loop admitted concurrently with the flag flip shows up
+      // here one tick later and is drained like the rest.
+      const std::lock_guard<std::mutex> conns_lock(conns_mutex_);
+      for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RD);
+    }
+    reap_finished(/*join_all=*/false);
+    {
+      const std::lock_guard<std::mutex> conns_lock(conns_mutex_);
+      all_done = conns_.empty();
+    }
+    if (all_done) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Drain timeout: hard-close what's left. SHUT_RDWR wakes a handler
+      // blocked in send() to a non-reading peer (EPIPE) as well as any
+      // still mid-read, so the joins below cannot wedge.
+      const std::lock_guard<std::mutex> conns_lock(conns_mutex_);
+      for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  reap_finished(/*join_all=*/true);
+  drained_ = true;
+}
+
 void Server::reap_finished(bool join_all) {
   std::vector<std::unique_ptr<Conn>> finished;
   {
@@ -190,9 +277,88 @@ void Server::reap_finished(bool join_all) {
   }
 }
 
+void Server::apply_socket_timeouts(int fd) const {
+  // The read limits need recv to surface EAGAIN periodically; the poll
+  // granularity is a quarter of the tightest window, clamped to
+  // [10 ms, 500 ms], so a cutoff overshoots by at most ~25%.
+  int tightest = 0;
+  for (const int w : {options_.idle_timeout_ms, options_.frame_timeout_ms}) {
+    if (w > 0 && (tightest == 0 || w < tightest)) tightest = w;
+  }
+  if (tightest > 0) {
+    set_socket_timeout(fd, SO_RCVTIMEO,
+                       std::clamp(tightest / 4, 10, 500));
+  }
+  if (options_.write_timeout_ms > 0) {
+    set_socket_timeout(fd, SO_SNDTIMEO, options_.write_timeout_ms);
+  }
+}
+
+void Server::refuse_connection_overloaded(int fd) {
+  static obs::Counter& refused =
+      obs::Registry::instance().counter("serve.shed.connections");
+  refused.add();
+  shed_total_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    // One typed error frame, then close: the peer learns *why* instead
+    // of a silent RST. SO_SNDTIMEO is not armed on this fd, but a
+    // just-accepted socket has an empty send buffer, so the write
+    // cannot block.
+    write_all(fd, encode_frame(error_payload(
+                      0, epoch_.load(std::memory_order_relaxed),
+                      kCodeOverloaded,
+                      "server at --max-connections; retry with backoff")));
+  } catch (const std::exception&) {
+    // Peer vanished before reading its refusal; nothing owed.
+  }
+  ::close(fd);
+}
+
+void Server::refuse_connection_draining(int fd) {
+  static obs::Counter& refused =
+      obs::Registry::instance().counter("serve.shed.draining");
+  refused.add();
+  shed_total_.fetch_add(1, std::memory_order_relaxed);
+  // Bounded single-frame read so a health probe still gets a state
+  // answer during drain; anything else (including silence) gets the
+  // typed refusal. 100 ms cap keeps the accept loop responsive and the
+  // whole phase is bounded by drain_timeout_ms anyway.
+  set_socket_timeout(fd, SO_RCVTIMEO, 25);
+  FrameReader reader(fd);
+  reader.set_limits({/*idle_timeout_ms=*/100, /*frame_timeout_ms=*/100});
+  std::uint64_t id = 0;
+  bool answer_health = false;
+  try {
+    std::string payload;
+    if (reader.next(payload) == FrameReader::Status::Frame) {
+      const Request request = parse_request(payload);
+      id = request.id;
+      answer_health = request.kind == QueryKind::Health;
+    }
+  } catch (const std::exception&) {
+    // Torn/absent frame: fall through to the plain refusal.
+  }
+  try {
+    Request health;
+    health.id = id;
+    health.kind = QueryKind::Health;
+    write_all(fd, encode_frame(
+                      answer_health
+                          ? handle_health(health)
+                          : error_payload(
+                                id, epoch_.load(std::memory_order_relaxed),
+                                kCodeDraining,
+                                "server is draining; reconnect later")));
+  } catch (const std::exception&) {
+  }
+  ::close(fd);
+}
+
 void Server::accept_loop(int listen_fd) {
   static obs::Counter& connections =
       obs::Registry::instance().counter("serve.connections");
+  static obs::Gauge& active_gauge =
+      obs::Registry::instance().gauge("serve.active_connections");
   while (!stopping_.load(std::memory_order_relaxed)) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -204,23 +370,47 @@ void Server::accept_loop(int listen_fd) {
       ::close(fd);
       break;
     }
-    connections.add();
+    if (draining_.load(std::memory_order_relaxed)) {
+      refuse_connection_draining(fd);
+      continue;
+    }
     reap_finished(/*join_all=*/false);
+    if (options_.max_connections > 0 &&
+        live_conns_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+      refuse_connection_overloaded(fd);
+      continue;
+    }
+    apply_socket_timeouts(fd);
+    connections.add();
+    active_gauge.set(static_cast<std::int64_t>(
+        live_conns_.fetch_add(1, std::memory_order_relaxed) + 1));
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     Conn* raw = conn.get();
     {
+      // Publish and start under one lock: a drain/reap holding the
+      // mutex must never see a Conn whose thread member is still being
+      // move-assigned on this thread.
       const std::lock_guard<std::mutex> lock(conns_mutex_);
       conns_.push_back(std::move(conn));
+      raw->thread = std::thread([this, raw] { handle_connection(raw); });
     }
-    raw->thread = std::thread([this, raw] { handle_connection(raw); });
   }
 }
 
 void Server::handle_connection(Conn* conn) {
   static obs::Counter& protocol_errors =
       obs::Registry::instance().counter("serve.protocol_errors");
+  static obs::Counter& idle_timeouts =
+      obs::Registry::instance().counter("serve.timeout.idle");
+  static obs::Counter& slow_timeouts =
+      obs::Registry::instance().counter("serve.timeout.slow");
+  static obs::Gauge& active_gauge =
+      obs::Registry::instance().gauge("serve.active_connections");
   FrameReader reader(conn->fd);
+  reader.set_limits(
+      {options_.idle_timeout_ms, options_.frame_timeout_ms});
   std::string payload;
   std::string out;
   SnapCache cache;
@@ -228,46 +418,131 @@ void Server::handle_connection(Conn* conn) {
     for (;;) {
       if (reader.next(payload) == FrameReader::Status::Eof) break;
       out.clear();  // keeps its capacity across iterations
-      append_frame(out, handle_payload(payload, cache));
+      append_frame(out, handle_payload(payload, reader.last_fill(), cache));
       // Drain every request the client already pipelined before paying
       // for a write: under load this turns N round-trips into one
       // recv + one send.
       while (reader.buffered_frame()) {
         if (reader.next(payload) == FrameReader::Status::Eof) break;
-        append_frame(out, handle_payload(payload, cache));
+        append_frame(out, handle_payload(payload, reader.last_fill(), cache));
       }
       write_all(conn->fd, out);
     }
   } catch (const FrameError& e) {
-    protocol_errors.add();
-    if (e.kind() == FrameError::Kind::BadLength) {
-      // The stream still works in our direction; tell the client what
-      // was wrong with its framing before hanging up.
-      try {
-        write_all(conn->fd, encode_frame(error_payload(
-                                0, epoch_.load(std::memory_order_relaxed),
-                                e.what())));
-      } catch (const std::exception&) {
-        // Peer is gone; the close below is all that's left.
-      }
+    switch (e.kind()) {
+      case FrameError::Kind::BadLength:
+        protocol_errors.add();
+        // The stream still works in our direction; tell the client what
+        // was wrong with its framing before hanging up.
+        try {
+          write_all(conn->fd, encode_frame(error_payload(
+                                  0, epoch_.load(std::memory_order_relaxed),
+                                  e.what())));
+        } catch (const std::exception&) {
+          // Peer is gone; the close below is all that's left.
+        }
+        break;
+      case FrameError::Kind::Idle:
+        // A parked or half-open peer: reaped quietly, not a protocol
+        // fault — its slot goes back to the admission budget.
+        idle_timeouts.add();
+        break;
+      case FrameError::Kind::SlowPeer:
+        // Slow-loris writer failed the progress cutoff.
+        slow_timeouts.add();
+        break;
+      case FrameError::Kind::TornPrefix:
+      case FrameError::Kind::MidFrame:
+        // The peer vanished mid-message; nothing to answer.
+        protocol_errors.add();
+        break;
     }
-    // TornPrefix / MidFrame: the peer vanished mid-message; nothing to
-    // answer.
   } catch (const std::exception&) {
-    // recv/send faults (ECONNRESET, EPIPE after shutdown): drop the
-    // connection. The daemon itself never dies with a client.
+    // recv/send faults (ECONNRESET, EPIPE after shutdown, SO_SNDTIMEO
+    // expiry on a peer that stopped reading): drop the connection. The
+    // daemon itself never dies with a client.
     protocol_errors.add();
   }
   ::shutdown(conn->fd, SHUT_RDWR);
+  active_gauge.set(static_cast<std::int64_t>(
+      live_conns_.fetch_sub(1, std::memory_order_relaxed) - 1));
   conn->done.store(true, std::memory_order_release);
 }
 
+// nullopt = admitted. The caller has already counted this request into
+// inflight_ (`inflight_now` includes it), so the budget check is exact
+// even when handlers race.
+std::optional<std::string> Server::admission_check(
+    const Request& request, std::chrono::steady_clock::time_point arrival,
+    std::size_t inflight_now) {
+  static obs::Counter& deadline_exceeded =
+      obs::Registry::instance().counter("serve.deadline_exceeded");
+  static obs::Counter& shed_overloaded =
+      obs::Registry::instance().counter("serve.shed.overloaded");
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (options_.request_deadline_ms > 0 &&
+      us_since(arrival) > 1e3 * options_.request_deadline_ms) {
+    // The request aged out in the queue before any work started: answer
+    // cheaply so the backlog drains instead of compounding.
+    deadline_exceeded.add();
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    return error_payload(
+        request.id, epoch, kCodeDeadline,
+        "request waited past --request-deadline-ms " +
+            std::to_string(options_.request_deadline_ms) + " before work");
+  }
+  const char* reason = nullptr;
+  if (options_.max_inflight > 0 && inflight_now > options_.max_inflight) {
+    reason = "in-flight budget --max-inflight exhausted";
+  } else if (options_.shed_p99_us > 0.0 &&
+             tail_.p99_us() > options_.shed_p99_us) {
+    reason = "measured p99 over --shed-p99-us";
+  }
+  if (reason == nullptr) return std::nullopt;
+  shed_overloaded.add();
+  shed_total_.fetch_add(1, std::memory_order_relaxed);
+  return error_payload(request.id, epoch, kCodeOverloaded,
+                       std::string(reason) + "; retry with backoff");
+}
+
+std::string Server::handle_health(const Request& request) {
+  const bool overloaded =
+      (options_.max_connections > 0 &&
+       live_conns_.load(std::memory_order_relaxed) >=
+           options_.max_connections) ||
+      (options_.max_inflight > 0 &&
+       inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) ||
+      (options_.shed_p99_us > 0.0 && tail_.p99_us() > options_.shed_p99_us);
+  Response response;
+  response.id = request.id;
+  response.ok = true;
+  response.epoch = epoch_.load(std::memory_order_relaxed);
+  response.kind = QueryKind::Health;
+  response.state = draining_.load(std::memory_order_relaxed)
+                       ? "draining"
+                       : overloaded ? "overloaded" : "ready";
+  response.active_connections =
+      static_cast<std::uint64_t>(live_conns_.load(std::memory_order_relaxed));
+  response.inflight =
+      static_cast<std::uint64_t>(inflight_.load(std::memory_order_relaxed));
+  response.shed = shed_total_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    if (snapshot_ != nullptr) response.markets = snapshot_->markets.size();
+  }
+  return serialize_response(response);
+}
+
 std::string Server::handle_payload(std::string_view payload,
+                                   std::chrono::steady_clock::time_point
+                                       arrival,
                                    SnapCache& cache) {
   static obs::Counter& requests =
       obs::Registry::instance().counter("serve.requests");
   static obs::Counter& errors =
       obs::Registry::instance().counter("serve.errors");
+  static obs::Gauge& inflight_gauge =
+      obs::Registry::instance().gauge("serve.inflight");
   requests.add();
   const auto start = std::chrono::steady_clock::now();
   Request request;
@@ -278,14 +553,45 @@ std::string Server::handle_payload(std::string_view payload,
     return error_payload(0, epoch_.load(std::memory_order_relaxed), e.what());
   }
   std::string response;
-  try {
-    response = request.kind == QueryKind::Reload
-                   ? handle_reload(request)
-                   : handle_request(request, cache);
-  } catch (const std::exception& e) {
-    errors.add();
-    response = error_payload(request.id,
-                             epoch_.load(std::memory_order_relaxed), e.what());
+  if (request.kind == QueryKind::Health) {
+    // Health is never shed and never queue-gated: a saturated or
+    // draining daemon must still answer its supervisor.
+    response = handle_health(request);
+  } else if (request.kind == QueryKind::Reload) {
+    // Admin path: reload is not load-shed either — an operator fixing
+    // an overload (say, reloading onto a cheaper snapshot) must not be
+    // locked out by the very overload being fixed.
+    try {
+      response = handle_reload(request);
+    } catch (const std::exception& e) {
+      errors.add();
+      response = error_payload(
+          request.id, epoch_.load(std::memory_order_relaxed), e.what());
+    }
+  } else {
+    const std::size_t inflight_now =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    inflight_gauge.set(static_cast<std::int64_t>(inflight_now));
+    if (auto refusal = admission_check(request, arrival, inflight_now)) {
+      response = std::move(*refusal);
+    } else {
+      try {
+        response = handle_request(request, cache);
+      } catch (const std::exception& e) {
+        errors.add();
+        response = error_payload(
+            request.id, epoch_.load(std::memory_order_relaxed), e.what());
+      }
+      // Accepted-only tail: bounded by the request deadline plus
+      // service time, which makes it the gateable half of the story.
+      accepted_tail_.record(us_since(arrival));
+    }
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    // Arrival-to-done sample for the p99 shedder — queue wait included,
+    // shed requests included: while a backlog exists even cheap shed
+    // answers carry its age, which is what holds the shedder open until
+    // the queue actually drains (and lets it close after).
+    tail_.record(us_since(arrival));
   }
   const KindMetrics metrics = kind_metrics(request.kind);
   metrics.requests->add();
@@ -368,7 +674,8 @@ std::string Server::handle_request(const Request& request, SnapCache& cache) {
       response.tiers = schedule.tiers;
       break;
     case QueryKind::Reload:
-      throw std::logic_error("reload dispatched to handle_request");
+    case QueryKind::Health:
+      throw std::logic_error("admin kind dispatched to handle_request");
   }
   return serialize_response(response);
 }

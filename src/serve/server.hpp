@@ -26,12 +26,49 @@
 // under pipelined load). Finished handlers park on a reap list the
 // accept loop joins, so the thread table never grows past the live
 // connection count.
+//
+// Overload hardening (all knobs default off, so the embedded-server
+// tests keep PR 7 semantics):
+//
+//  * Admission control. max_connections caps live connections —
+//    accept-then-refuse: the extra connection gets one protocol-level
+//    error frame (code "overloaded") and a close, never a silent RST,
+//    so clients can branch and back off. max_inflight bounds requests
+//    being executed across all handlers; shed_p99_us sheds when the
+//    measured arrival-to-done p99 (a sliding window that includes time
+//    queued in the read buffer) crosses the threshold. Shed requests
+//    answer with code "overloaded" at a fraction of the cost of real
+//    work, which is what lets the accepted fraction keep its latency.
+//
+//  * Deadlines. request_deadline_ms sheds (code "deadline") any request
+//    that sat queued past the deadline before work started — the
+//    FrameReader's fill timestamp is the arrival. idle_timeout_ms /
+//    frame_timeout_ms arm SO_RCVTIMEO-driven read limits so a half-open
+//    peer or a slow-loris writer is reaped instead of pinning a handler
+//    thread forever; write_timeout_ms arms SO_SNDTIMEO so a peer that
+//    stops reading its responses errors the handler out instead of
+//    blocking send() indefinitely.
+//
+//  * Graceful drain. drain() flips the server to draining: new
+//    connections get one bounded read (a health probe answers with
+//    state "draining", anything else gets code "draining") and a close;
+//    live connections are half-closed (SHUT_RD) so their handlers
+//    finish every frame the peer already sent — byte-identical answers,
+//    flushed — and exit at EOF. If everything has not drained within
+//    drain_timeout_ms the remaining connections are hard-closed. drain()
+//    always returns within the timeout; stop() afterwards is immediate.
+//
+//  * health query kind: ready/draining/overloaded plus live gauges,
+//    answered before any shed check so supervisors can always probe.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +82,39 @@ struct ServerOptions {
   std::string unix_path;   // required: the UDS listener
   int tcp_port = -1;       // -1 = no TCP listener, 0 = kernel-assigned
   std::size_t threads = 0;  // snapshot calibration threads (0 = default)
+
+  // Admission control (0 = unlimited / off).
+  std::size_t max_connections = 0;  // live-connection cap, accept-then-refuse
+  std::size_t max_inflight = 0;     // concurrent in-execution request budget
+  double shed_p99_us = 0.0;  // shed while measured arrival-to-done p99 exceeds
+
+  // Deadlines and socket timeouts (ms, 0 = off).
+  int request_deadline_ms = 0;  // max queue wait before work starts
+  int idle_timeout_ms = 0;      // reap connections with no bytes for this long
+  int frame_timeout_ms = 0;     // slow-loris cutoff: max time to finish a frame
+  int write_timeout_ms = 0;     // SO_SNDTIMEO: peer must drain its responses
+
+  // Graceful drain: hard-close whatever is left after this long.
+  int drain_timeout_ms = 5000;
+};
+
+// Sliding-window tail-latency estimator for the p99 shedder. record()
+// is two relaxed atomic stores; the estimate is recomputed from the
+// ring every kRecompute samples by whichever thread trips the counter
+// (guarded, so one recompute at a time and nobody waits).
+class TailTracker {
+ public:
+  static constexpr std::size_t kWindow = 1024;
+  static constexpr std::uint64_t kRecompute = 128;
+
+  void record(double latency_us);
+  double p99_us() const { return p99_us_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<double>, kWindow> ring_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<bool> recomputing_{false};
+  std::atomic<double> p99_us_{0.0};
 };
 
 class Server {
@@ -60,6 +130,15 @@ class Server {
   // Close listeners, shut down live connections, join every thread.
   // Idempotent; the destructor calls it.
   void stop();
+  // Graceful drain: refuse new work with typed errors, half-close live
+  // connections so in-flight frames finish byte-identically, wait until
+  // every handler exits or options.drain_timeout_ms passes (hard-close
+  // then). Always returns within the timeout; call stop() after.
+  // Idempotent; concurrent callers all block until the drain resolves.
+  void drain();
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
 
   // The TCP port actually bound (after start); -1 when TCP is off.
   int tcp_port() const { return bound_tcp_port_; }
@@ -68,6 +147,22 @@ class Server {
     const std::lock_guard<std::mutex> lock(snapshot_mutex_);
     return snapshot_;
   }
+  // Live gauges (also served by the health query).
+  std::size_t active_connections() const {
+    return live_conns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_total() const {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+  // Measured arrival-to-done p99 over the last TailTracker::kWindow work
+  // requests, shed included — the backlog signal the p99 shedder acts on.
+  double tail_p99_us() const { return tail_.p99_us(); }
+  // Same window, accepted requests only. This is the number the request
+  // deadline bounds (a request that started work had waited at most the
+  // deadline), and what the overload bench gates on. Shed requests are
+  // excluded: their arrival-to-done is their full backlog wait, which no
+  // server mechanism can cap.
+  double accepted_p99_us() const { return accepted_tail_.p99_us(); }
 
  private:
   struct Conn {
@@ -86,12 +181,29 @@ class Server {
   void accept_loop(int listen_fd);
   void handle_connection(Conn* conn);
   // One request frame -> one response payload. Never throws: every
-  // fault inside becomes a structured error response.
-  std::string handle_payload(std::string_view payload, SnapCache& cache);
+  // fault inside becomes a structured error response. `arrival` is when
+  // the frame's bytes were received (the deadline clock).
+  std::string handle_payload(std::string_view payload,
+                             std::chrono::steady_clock::time_point arrival,
+                             SnapCache& cache);
   std::string handle_request(const Request& request, SnapCache& cache);
   std::string handle_reload(const Request& request);
+  std::string handle_health(const Request& request);
   const std::shared_ptr<const Snapshot>& current_snapshot(SnapCache& cache);
   void reap_finished(bool join_all);
+  // Accept-side refusal paths: one typed error frame (or a health
+  // answer during drain), then close. Best-effort — a vanished peer is
+  // already refused.
+  void refuse_connection_overloaded(int fd);
+  void refuse_connection_draining(int fd);
+  // nullopt = admit; otherwise the typed-error payload to answer with.
+  // `inflight_now` is the in-flight count including this request (the
+  // caller counts it in before asking, so the budget check is exact).
+  std::optional<std::string> admission_check(
+      const Request& request,
+      std::chrono::steady_clock::time_point arrival,
+      std::size_t inflight_now);
+  void apply_socket_timeouts(int fd) const;
 
   driver::ExperimentGrid grid_;
   ServerOptions options_;
@@ -115,7 +227,19 @@ class Server {
   std::mutex conns_mutex_;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mutex_;  // serializes drain(); idempotence flag inside
+  bool drained_ = false;    // guarded by drain_mutex_
   bool started_ = false;
+
+  // Overload bookkeeping. Plain atomics, not obs instruments: the
+  // health query and the admission decisions must work with metrics
+  // disabled (obs counters mirror them when enabled).
+  std::atomic<std::size_t> live_conns_{0};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+  TailTracker tail_;
+  TailTracker accepted_tail_;
 };
 
 }  // namespace manytiers::serve

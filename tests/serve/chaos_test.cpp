@@ -1,0 +1,387 @@
+// Chaos harness: drive the real manytiers_serve binary with misbehaving
+// peers — slow-loris writers, half-open sockets, mid-frame disconnects
+// and RST aborts, pipelined floods past the admission budget, reloads
+// during overload, and SIGTERM drains against stalled clients — and
+// assert the hardening invariants from the outside:
+//
+//   * accepted requests answer byte-identically to an unloaded control
+//     exchange on the same snapshot epoch;
+//   * every shed or refused request receives a typed protocol error
+//     (code overloaded / deadline / draining), never a silent reset;
+//   * the daemon never wedges: it keeps answering well-behaved clients
+//     throughout, and SIGTERM always reaches exit 0 within the drain
+//     budget, stalled peers notwithstanding.
+//
+// Runs under the asan and tsan presets via the `serve` ctest label, so
+// "no leak, no race" is part of the pass criterion.
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "orchestrator/process.hpp"
+#include "serve/client.hpp"
+#include "serve/fault_client.hpp"
+#include "serve_test_util.hpp"
+
+namespace manytiers::serve {
+namespace {
+
+using orchestrator::ExitStatus;
+using testing::temp_socket_path;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+ExitStatus wait_for_exit(pid_t pid, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (const auto status = orchestrator::try_wait(pid)) return *status;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ADD_FAILURE() << "daemon did not exit in " << timeout_ms << " ms";
+      return orchestrator::kill_and_reap(pid);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Request price_request(std::uint64_t id) {
+  Request request;
+  request.id = id;
+  request.kind = QueryKind::Price;
+  request.market = "EU ISP/ced/linear";
+  request.strategy = "Optimal";
+  request.q = 42.0;
+  request.d = 250.0;
+  return request;
+}
+
+Request health_request(std::uint64_t id = 99) {
+  Request request;
+  request.id = id;
+  request.kind = QueryKind::Health;
+  return request;
+}
+
+// Spawn the daemon with extra flags; the caller owns the SIGTERM.
+pid_t spawn_daemon(const std::string& socket_path, const std::string& log_path,
+                   const std::vector<std::string>& extra_flags) {
+  orchestrator::SpawnSpec spec;
+  spec.argv = {MANYTIERS_SERVE_BIN, "--grid", "smoke", "--socket",
+               socket_path};
+  for (const auto& flag : extra_flags) spec.argv.push_back(flag);
+  spec.log_path = log_path;
+  return orchestrator::spawn_process(spec);
+}
+
+void expect_clean_exit(pid_t pid, const std::string& log_path) {
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  const ExitStatus status = wait_for_exit(pid, 60000);
+  EXPECT_FALSE(status.signaled) << "killed by signal " << status.signal;
+  EXPECT_EQ(status.code, 0) << slurp(log_path);
+}
+
+TEST(ServeChaos, SlowLorisAndHalfOpenPeersAreReapedServiceContinues) {
+  const std::string socket_path = temp_socket_path("chaos_loris");
+  const std::string log_path = socket_path + ".log";
+  const pid_t pid = spawn_daemon(
+      socket_path, log_path,
+      {"--idle-timeout-ms", "300", "--frame-timeout-ms", "400"});
+
+  Client control = Client::connect_unix_retry(socket_path, 60000);
+  control.set_timeout_ms(30000);
+  const std::string expected =
+      control.call_raw(serialize_request(price_request(1)));
+  ASSERT_TRUE(parse_response(expected).ok);
+
+  // Two half-open peers (connect, never send) and two slow-loris
+  // writers dribbling a valid frame a byte at a time — slower than the
+  // frame window allows.
+  FaultClient silent_a = FaultClient::connect_unix(socket_path);
+  FaultClient silent_b = FaultClient::connect_unix(socket_path);
+  silent_a.go_silent();
+  silent_b.go_silent();
+  std::vector<std::thread> lorises;
+  std::vector<FaultClient> loris_clients;
+  loris_clients.push_back(FaultClient::connect_unix(socket_path));
+  loris_clients.push_back(FaultClient::connect_unix(socket_path));
+  for (auto& loris : loris_clients) {
+    lorises.emplace_back([&loris] {
+      // A short payload (6-byte frame) at 1 byte / 120 ms: completing
+      // takes ~600 ms, so the 400 ms frame window must cut it first.
+      loris.dribble("xy", 1, 120);
+    });
+  }
+
+  // Meanwhile the well-behaved client must keep getting byte-identical
+  // answers the whole time the pests are being reaped.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(control.call_raw(serialize_request(price_request(1))), expected)
+        << "iteration " << i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (auto& t : lorises) t.join();
+  // The loris connections were cut, not answered.
+  for (auto& loris : loris_clients) {
+    EXPECT_FALSE(loris.try_read_frame(2000).has_value());
+  }
+  expect_clean_exit(pid, log_path);
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeChaos, MidFrameDisconnectsAndRstAbortsNeverWedge) {
+  const std::string socket_path = temp_socket_path("chaos_torn");
+  const std::string log_path = socket_path + ".log";
+  const pid_t pid =
+      spawn_daemon(socket_path, log_path, {"--idle-timeout-ms", "500"});
+
+  Client control = Client::connect_unix_retry(socket_path, 60000);
+  control.set_timeout_ms(30000);
+  const std::string expected =
+      control.call_raw(serialize_request(price_request(1)));
+
+  for (int round = 0; round < 20; ++round) {
+    FaultClient pest = FaultClient::connect_unix(socket_path);
+    const std::string payload = serialize_request(price_request(2));
+    switch (round % 4) {
+      case 0:  // torn length prefix
+        pest.send_torn(payload, 2);
+        pest.close();
+        break;
+      case 1:  // disconnect mid-payload
+        pest.send_torn(payload, payload.size() / 2 + 4);
+        pest.close();
+        break;
+      case 2:  // RST abort mid-payload
+        pest.send_torn(payload, payload.size() / 2 + 4);
+        pest.abort_rst();
+        break;
+      default:  // full frame then RST before reading the answer
+        pest.send_raw(encode_frame(payload));
+        pest.abort_rst();
+        break;
+    }
+    // After every abuse, the daemon still answers byte-identically.
+    EXPECT_EQ(control.call_raw(serialize_request(price_request(1))), expected)
+        << "round " << round;
+  }
+  expect_clean_exit(pid, log_path);
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeChaos, ConnectionCapRefusalsAreTypedAndAdmittedWorkIsExact) {
+  const std::string socket_path = temp_socket_path("chaos_cap");
+  const std::string log_path = socket_path + ".log";
+  const pid_t pid =
+      spawn_daemon(socket_path, log_path, {"--max-connections", "2"});
+
+  Client a = Client::connect_unix_retry(socket_path, 60000);
+  a.set_timeout_ms(30000);
+  const std::string expected =
+      a.call_raw(serialize_request(price_request(1)));
+  Client b = Client::connect_unix(socket_path);
+  b.set_timeout_ms(30000);
+  ASSERT_TRUE(b.call(price_request(2)).ok);
+
+  // Every connection past the cap gets exactly one typed refusal frame
+  // and then EOF — never a silent reset.
+  for (int i = 0; i < 8; ++i) {
+    FaultClient extra = FaultClient::connect_unix(socket_path);
+    const auto frame = extra.try_read_frame(10000);
+    ASSERT_TRUE(frame.has_value()) << "refusal " << i << " was not typed";
+    const Response refusal = parse_response(*frame);
+    EXPECT_FALSE(refusal.ok);
+    EXPECT_EQ(refusal.code, kCodeOverloaded);
+    EXPECT_FALSE(extra.try_read_frame(1000).has_value());  // EOF after
+  }
+
+  // Admitted connections were never perturbed, and the refusals are
+  // visible in the health gauges.
+  EXPECT_EQ(a.call_raw(serialize_request(price_request(1))), expected);
+  const Response health = a.call(health_request());
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_GE(health.shed, 8u);
+  expect_clean_exit(pid, log_path);
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeChaos, PipelinedFloodWithReloadStormAllRequestsAnswered) {
+  const std::string socket_path = temp_socket_path("chaos_flood");
+  const std::string log_path = socket_path + ".log";
+  // A deadline tight enough that a sanitized build sheds part of the
+  // flood: the invariant is not "all accepted" but "all answered,
+  // every answer ok or typed".
+  const pid_t pid = spawn_daemon(socket_path, log_path,
+                                 {"--request-deadline-ms", "100"});
+
+  Client flood = Client::connect_unix_retry(socket_path, 60000);
+  flood.set_timeout_ms(60000);  // a wedged daemon fails loudly, not forever
+  constexpr std::size_t kFlood = 2000;
+  std::string burst;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    append_frame(burst, serialize_request(price_request(i + 1)));
+  }
+
+  // Reload storm concurrent with the flood: an admin recalibrating must
+  // not be shed or blocked by the overload.
+  std::thread reloader([&socket_path] {
+    Client admin = Client::connect_unix(socket_path);
+    admin.set_timeout_ms(60000);
+    for (int i = 0; i < 3; ++i) {
+      Request reload;
+      reload.id = 9000 + i;
+      reload.kind = QueryKind::Reload;
+      const Response response = admin.call(reload);
+      EXPECT_TRUE(response.ok) << response.error;
+      EXPECT_GE(response.epoch, 2u);
+    }
+  });
+
+  // Write from a separate thread while reading responses here: burst
+  // plus responses exceed the kernel socket buffers, and a
+  // write-then-read client would deadlock against the server's own
+  // blocked response writes.
+  std::thread writer([&flood, &burst] { write_all(flood.fd(), burst); });
+  std::size_t ok_count = 0, shed_count = 0;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    const Response response = flood.recv();
+    if (response.ok) {
+      ++ok_count;
+      EXPECT_GT(response.price, 0.0);
+    } else {
+      ++shed_count;
+      EXPECT_EQ(response.code, kCodeDeadline) << response.error;
+    }
+  }
+  writer.join();
+  reloader.join();
+  EXPECT_EQ(ok_count + shed_count, kFlood);
+  EXPECT_GE(ok_count, 1u) << "a flood must not shed literally everything";
+  expect_clean_exit(pid, log_path);
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeChaos, SigtermDrainCompletesInFlightByteIdentically) {
+  const std::string socket_path = temp_socket_path("chaos_drain");
+  const std::string log_path = socket_path + ".log";
+  const pid_t pid = spawn_daemon(socket_path, log_path, {});
+
+  std::vector<std::string> expected;
+  {
+    Client control = Client::connect_unix_retry(socket_path, 60000);
+    control.set_timeout_ms(30000);
+    for (std::size_t i = 0; i < 50; ++i) {
+      expected.push_back(
+          control.call_raw(serialize_request(price_request(i + 1))));
+    }
+  }
+
+  // Pipeline the same 50 requests, then SIGTERM while they are in
+  // flight: the drain must finish and flush every one, byte-identical,
+  // before the process exits. One synchronous round-trip first:
+  // connect() succeeding only proves the kernel queued the connection
+  // in the listen backlog, and a connection the daemon has not
+  // *accepted* yet is fair game for a typed draining refusal.
+  Client client = Client::connect_unix(socket_path);
+  client.set_timeout_ms(30000);
+  ASSERT_TRUE(client.call(price_request(999)).ok);
+  std::string burst;
+  for (std::size_t i = 0; i < 50; ++i) {
+    append_frame(burst, serialize_request(price_request(i + 1)));
+  }
+  write_all(client.fd(), burst);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(client.recv_raw(), expected[i]) << "response " << i;
+  }
+
+  const ExitStatus status = wait_for_exit(pid, 60000);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 0) << slurp(log_path);
+  const std::string log = slurp(log_path);
+  EXPECT_NE(log.find("\"event\":\"draining\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"event\":\"drained\""), std::string::npos) << log;
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeChaos, DrainHardClosesStalledClientAndRefusesLatecomersTyped) {
+  const std::string socket_path = temp_socket_path("chaos_stall");
+  const std::string log_path = socket_path + ".log";
+  const pid_t pid = spawn_daemon(socket_path, log_path,
+                                 {"--drain-timeout-ms", "2000"});
+
+  // Wait for the daemon to finish calibrating and bind the socket.
+  {
+    Client probe = Client::connect_unix_retry(socket_path, 60000);
+    probe.set_timeout_ms(30000);
+    ASSERT_TRUE(probe.call(health_request()).ok);
+  }
+  // The stall: flood requests and never read a single response. The
+  // handler eventually blocks in send() with full buffers, so a plain
+  // drain would hang forever — the drain timeout's hard-close is the
+  // only way out.
+  FaultClient stalled = FaultClient::connect_unix(socket_path);
+  std::thread flooder([&stalled] {
+    const std::string frame =
+        encode_frame(serialize_request(price_request(1)));
+    std::string chunk;
+    for (int i = 0; i < 64; ++i) chunk += frame;
+    try {
+      for (int i = 0; i < 400; ++i) stalled.send_raw(chunk);
+    } catch (const std::exception&) {
+      // The hard-close cut us off mid-write: exactly the point.
+    }
+  });
+  // Give the handler time to start answering into the void.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  // Let the daemon take the signal and flip to draining before probing,
+  // so the latecomer below cannot race in ahead of the flag.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // While the stalled connection holds the drain open, latecomers get
+  // typed refusals and health still answers with the draining state.
+  {
+    Client late = Client::connect_unix(socket_path);
+    late.set_timeout_ms(10000);
+    const Response refusal = late.call(price_request(5));
+    EXPECT_FALSE(refusal.ok);
+    EXPECT_EQ(refusal.code, kCodeDraining) << refusal.error;
+  }
+  {
+    Client probe = Client::connect_unix(socket_path);
+    probe.set_timeout_ms(10000);
+    const Response health = probe.call(health_request());
+    ASSERT_TRUE(health.ok) << health.error;
+    EXPECT_EQ(health.state, "draining");
+  }
+
+  const ExitStatus status = wait_for_exit(pid, 60000);
+  const double drain_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 0) << slurp(log_path);
+  // The drain budget was 2 s; generous slack for sanitized builds, but
+  // nowhere near a wedge.
+  EXPECT_LT(drain_wall_s, 30.0);
+  flooder.join();
+  std::remove(log_path.c_str());
+}
+
+}  // namespace
+}  // namespace manytiers::serve

@@ -1,0 +1,323 @@
+// In-process tests of the overload-hardening machinery: admission
+// control (connection cap, in-flight budget, p99 shedder), the request
+// deadline, the read limits (idle reap, slow-loris cutoff), graceful
+// drain semantics, and the health query's lifecycle states. Each test
+// builds its own Server so the knobs can differ; the shared fixture
+// grid calibrates in well under a millisecond.
+//
+// The chaos harness (chaos_test.cpp) re-runs the same invariants
+// against the real binary over process boundaries; these tests pin the
+// mechanisms deterministically where timing can be controlled exactly.
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.hpp"
+#include "serve/fault_client.hpp"
+#include "serve_test_util.hpp"
+
+namespace manytiers::serve {
+namespace {
+
+using testing::temp_socket_path;
+using testing::tiny_grid;
+
+Request price_request(std::uint64_t id) {
+  Request request;
+  request.id = id;
+  request.kind = QueryKind::Price;
+  request.market = "EU ISP/ced/linear";
+  request.strategy = "Profit-weighted";
+  request.q = 50.0;
+  request.d = 100.0;
+  return request;
+}
+
+Request health_request(std::uint64_t id = 99) {
+  Request request;
+  request.id = id;
+  request.kind = QueryKind::Health;
+  return request;
+}
+
+std::unique_ptr<Server> make_server(const std::string& socket_path,
+                                    ServerOptions options) {
+  options.unix_path = socket_path;
+  auto server = std::make_unique<Server>(tiny_grid(), std::move(options));
+  server->start();
+  return server;
+}
+
+TEST(Health, ReportsReadyWithGauges) {
+  const std::string path = temp_socket_path("health");
+  auto server = make_server(path, ServerOptions{});
+  Client client = Client::connect_unix(path);
+  const Response response = client.call(health_request());
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.kind, QueryKind::Health);
+  EXPECT_EQ(response.state, "ready");
+  EXPECT_EQ(response.active_connections, 1u);  // us
+  EXPECT_EQ(response.shed, 0u);
+  EXPECT_EQ(response.markets, 1u);
+  server->stop();
+}
+
+TEST(AdmissionControl, ConnectionCapRefusesWithTypedError) {
+  const std::string path = temp_socket_path("conncap");
+  ServerOptions options;
+  options.max_connections = 2;
+  auto server = make_server(path, options);
+
+  // Fill the cap with two idle-but-live connections.
+  Client a = Client::connect_unix(path);
+  Client b = Client::connect_unix(path);
+  ASSERT_TRUE(a.call(price_request(1)).ok);
+  ASSERT_TRUE(b.call(price_request(2)).ok);
+
+  // The third connection is accepted, answered with one typed
+  // "overloaded" error frame, and closed — not silently reset.
+  Client c = Client::connect_unix(path);
+  c.set_timeout_ms(5000);
+  std::string payload;
+  // The refusal frame has id 0 (no request was read).
+  FrameReader reader(c.fd());
+  ASSERT_EQ(reader.next(payload), FrameReader::Status::Frame);
+  const Response refusal = parse_response(payload);
+  EXPECT_FALSE(refusal.ok);
+  EXPECT_EQ(refusal.code, kCodeOverloaded);
+  // ... and then a clean EOF.
+  EXPECT_EQ(reader.next(payload), FrameReader::Status::Eof);
+
+  // Admitted connections are unaffected, and the shed shows up in the
+  // health gauges.
+  const Response health = a.call(health_request());
+  ASSERT_TRUE(health.ok);
+  EXPECT_GE(health.shed, 1u);
+  ASSERT_TRUE(b.call(price_request(3)).ok);
+  server->stop();
+}
+
+TEST(AdmissionControl, DeadlineShedsStaleBacklog) {
+  const std::string path = temp_socket_path("deadline");
+  ServerOptions options;
+  options.request_deadline_ms = 1;
+  auto server = make_server(path, options);
+
+  // Pipeline a deep backlog in one burst: every frame in the flood
+  // shares its recv burst's arrival timestamp, and the handler works
+  // through them at a few microseconds each, so frames near the tail
+  // are guaranteed to have aged past the 1 ms deadline before their
+  // turn comes. The server must answer ALL of them — accepted ones
+  // correctly, stale ones with code "deadline".
+  constexpr std::size_t kFlood = 5000;
+  Client client = Client::connect_unix(path);
+  std::string burst;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    append_frame(burst, serialize_request(price_request(i + 1)));
+  }
+  // Write from a separate thread while reading responses here: the
+  // burst plus its responses exceed the kernel socket buffers, so a
+  // write-then-read client would deadlock against the server's own
+  // blocked response writes.
+  std::thread writer(
+      [&client, &burst] { write_all(client.fd(), burst); });
+
+  std::size_t ok_count = 0, deadline_count = 0;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    const Response response = client.recv();
+    if (response.ok) {
+      ++ok_count;
+      EXPECT_GT(response.price, 0.0);
+    } else {
+      EXPECT_EQ(response.code, kCodeDeadline) << response.error;
+      ++deadline_count;
+    }
+  }
+  writer.join();
+  EXPECT_EQ(ok_count + deadline_count, kFlood);
+  EXPECT_GE(deadline_count, 1u) << "5000 pipelined frames at ~µs each must "
+                                   "blow a 1 ms deadline somewhere";
+  server->stop();
+}
+
+TEST(AdmissionControl, TinyP99ThresholdShedsUnderBurst) {
+  const std::string path = temp_socket_path("p99shed");
+  ServerOptions options;
+  options.shed_p99_us = 0.001;  // below any real latency: sheds once primed
+  auto server = make_server(path, options);
+
+  Client client = Client::connect_unix(path);
+  // The tail tracker recomputes every 128 samples; prime it past one
+  // recompute, then expect shed responses.
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const Response response = client.call(price_request(i + 1));
+    if (!response.ok) {
+      EXPECT_EQ(response.code, kCodeOverloaded);
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 1u) << "p99 threshold of 1ns must trip within 400 calls";
+  // Health reflects the overloaded state while the estimate is high.
+  const Response health = client.call(health_request());
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.state, "overloaded");
+  server->stop();
+}
+
+TEST(ReadLimits, IdleConnectionIsReaped) {
+  const std::string path = temp_socket_path("idle");
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  auto server = make_server(path, options);
+
+  FaultClient silent = FaultClient::connect_unix(path);
+  silent.go_silent();
+  // The server must reap the idle connection within a few poll ticks.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server->active_connections() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->active_connections(), 0u);
+  // And an active client on the same server must be unaffected.
+  Client client = Client::connect_unix(path);
+  EXPECT_TRUE(client.call(price_request(1)).ok);
+  server->stop();
+}
+
+TEST(ReadLimits, SlowLorisWriterIsCutOff) {
+  const std::string path = temp_socket_path("loris");
+  ServerOptions options;
+  options.idle_timeout_ms = 10000;  // generous: the frame limit must fire
+  options.frame_timeout_ms = 150;
+  auto server = make_server(path, options);
+
+  FaultClient loris = FaultClient::connect_unix(path);
+  // Dribble a 6-byte frame 1 byte per 50 ms: finishing takes ~250 ms,
+  // so the 150 ms frame window must cut the connection first. (The
+  // payload need not parse — the cutoff fires before any parse.)
+  const bool finished = loris.dribble("xy", 1, 50);
+  // Either the send failed mid-dribble (server reset us) or the read
+  // side reports EOF/reset with no answer.
+  if (finished) {
+    EXPECT_FALSE(loris.try_read_frame(2000).has_value());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server->active_connections() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->active_connections(), 0u);
+  Client client = Client::connect_unix(path);
+  EXPECT_TRUE(client.call(price_request(2)).ok);
+  server->stop();
+}
+
+TEST(Drain, InFlightPipelinedFramesCompleteByteIdentically) {
+  const std::string path = temp_socket_path("drain_inflight");
+  auto server = make_server(path, ServerOptions{});
+
+  // Control answers from a non-draining exchange.
+  std::vector<std::string> expected;
+  {
+    Client control = Client::connect_unix(path);
+    for (std::size_t i = 0; i < 50; ++i) {
+      expected.push_back(
+          control.call_raw(serialize_request(price_request(i + 1))));
+    }
+  }
+
+  // Pipeline the same 50 requests, then drain while they are in flight.
+  // One synchronous round-trip first: connect() succeeding only proves
+  // the kernel queued us in the listen backlog, and a connection the
+  // server has not *accepted* yet is fair game for a typed draining
+  // refusal.
+  Client client = Client::connect_unix(path);
+  ASSERT_TRUE(client.call(price_request(999)).ok);
+  std::string burst;
+  for (std::size_t i = 0; i < 50; ++i) {
+    append_frame(burst, serialize_request(price_request(i + 1)));
+  }
+  write_all(client.fd(), burst);
+  std::thread drainer([&] { server->drain(); });
+
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(client.recv_raw(), expected[i]) << "response " << i;
+  }
+  drainer.join();
+  EXPECT_TRUE(server->draining());
+  server->stop();
+}
+
+TEST(Drain, NewConnectionsGetTypedRefusalButHealthAnswers) {
+  const std::string path = temp_socket_path("drain_refuse");
+  auto server = make_server(path, ServerOptions{});
+  server->drain();  // no live connections: returns immediately
+
+  // A work request on a fresh connection gets code "draining".
+  {
+    Client late = Client::connect_unix(path);
+    late.set_timeout_ms(5000);
+    const Response refusal = late.call(price_request(1));
+    EXPECT_FALSE(refusal.ok);
+    EXPECT_EQ(refusal.code, kCodeDraining);
+  }
+  // A health probe on a fresh connection still reports state.
+  {
+    Client probe = Client::connect_unix(path);
+    probe.set_timeout_ms(5000);
+    const Response health = probe.call(health_request());
+    ASSERT_TRUE(health.ok) << health.error;
+    EXPECT_EQ(health.state, "draining");
+  }
+  server->stop();
+}
+
+TEST(Drain, TimeoutHardClosesStalledConnection) {
+  const std::string path = temp_socket_path("drain_stall");
+  ServerOptions options;
+  options.drain_timeout_ms = 300;
+  auto server = make_server(path, options);
+
+  // A connected peer that never sends anything: its handler blocks in
+  // recv. SHUT_RD wakes it with EOF immediately, so to actually stall
+  // the drain we need a handler mid-send to a full socket — hard to
+  // arrange in-process. Instead, pin the simpler invariant: drain()
+  // with an idle-but-open peer returns promptly (the EOF path) and
+  // never exceeds the timeout by more than scheduling noise.
+  FaultClient idle = FaultClient::connect_unix(path);
+  const auto t0 = std::chrono::steady_clock::now();
+  server->drain();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 5000) << "drain must terminate well within bounds";
+  EXPECT_EQ(server->active_connections(), 0u);
+  server->stop();
+}
+
+TEST(Drain, IsIdempotentAndConcurrent) {
+  const std::string path = temp_socket_path("drain_idem");
+  auto server = make_server(path, ServerOptions{});
+  std::vector<std::thread> drainers;
+  for (int i = 0; i < 4; ++i) {
+    drainers.emplace_back([&] { server->drain(); });
+  }
+  for (auto& t : drainers) t.join();
+  EXPECT_TRUE(server->draining());
+  server->stop();
+}
+
+}  // namespace
+}  // namespace manytiers::serve

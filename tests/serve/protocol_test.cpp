@@ -16,7 +16,8 @@ namespace {
 
 TEST(QueryKind, RoundTripsAllKinds) {
   for (const auto kind : {QueryKind::Price, QueryKind::Schedule,
-                          QueryKind::Requote, QueryKind::Reload}) {
+                          QueryKind::Requote, QueryKind::Reload,
+                          QueryKind::Health}) {
     EXPECT_EQ(parse_query_kind(to_string(kind)), kind);
   }
   EXPECT_THROW(parse_query_kind("frobnicate"), std::invalid_argument);
@@ -107,6 +108,66 @@ TEST(Response, ErrorRoundTrips) {
   EXPECT_FALSE(parsed.ok);
   EXPECT_EQ(parsed.epoch, 3u);
   EXPECT_EQ(parsed.error, "it broke: \"badly\"");
+  // The 3-arg form defaults the v1.1 code token.
+  EXPECT_EQ(parsed.code, kCodeBadRequest);
+}
+
+TEST(Response, ErrorCodeTokensRoundTrip) {
+  // The stable code tokens are a protocol contract: clients branch on
+  // them instead of string-matching messages, so each must survive a
+  // serialize/parse round-trip verbatim.
+  for (const auto code : {kCodeOverloaded, kCodeDeadline, kCodeDraining,
+                          kCodeBadRequest}) {
+    const std::string payload = error_payload(9, 4, code, "shed");
+    const Response parsed = parse_response(payload);
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_EQ(parsed.code, code);
+    EXPECT_EQ(parsed.error, "shed");
+    // Re-serializing the parsed response preserves the token exactly.
+    EXPECT_EQ(parse_response(serialize_response(parsed)).code, code);
+  }
+}
+
+TEST(Response, PreV11ErrorFramesParseWithEmptyCode) {
+  // Frames from servers predating the code field must still parse —
+  // code is optional on the wire, empty on the parsed struct.
+  const Response parsed = parse_response(
+      "{\"id\":2,\"ok\":false,\"epoch\":1,\"error\":\"old server\"}");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.error, "old server");
+  EXPECT_TRUE(parsed.code.empty());
+}
+
+TEST(Response, HealthRoundTrips) {
+  Response response;
+  response.id = 11;
+  response.ok = true;
+  response.epoch = 3;
+  response.kind = QueryKind::Health;
+  response.state = "draining";
+  response.active_connections = 12;
+  response.inflight = 5;
+  response.shed = 1234;
+  response.markets = 8;
+  const std::string payload = serialize_response(response);
+  const Response parsed = parse_response(payload);
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.kind, QueryKind::Health);
+  EXPECT_EQ(parsed.state, "draining");
+  EXPECT_EQ(parsed.active_connections, 12u);
+  EXPECT_EQ(parsed.inflight, 5u);
+  EXPECT_EQ(parsed.shed, 1234u);
+  EXPECT_EQ(parsed.markets, 8u);
+  EXPECT_EQ(serialize_response(parsed), payload);
+}
+
+TEST(Request, HealthRoundTrips) {
+  Request request;
+  request.id = 21;
+  request.kind = QueryKind::Health;
+  const Request parsed = parse_request(serialize_request(request));
+  EXPECT_EQ(parsed.id, 21u);
+  EXPECT_EQ(parsed.kind, QueryKind::Health);
 }
 
 TEST(Response, ScheduleRoundTripsWithCaptureText) {

@@ -12,8 +12,9 @@
 # code where a latent use-after-free or signed-overflow hides behind
 # "the test passed": the sanitizer leg re-runs every orchestrator- and
 # driver-labelled supervision test with ASan+UBSan enabled, plus the
-# serve suite — its malformed-frame corpus only proves hardening if a
-# byte-level parser bug actually crashes. The TSan leg covers the other
+# serve suite — its malformed-frame corpus and the chaos harness
+# (slow-loris, RST aborts, drain storms against the live binary) only
+# prove hardening if a byte-level parser bug actually crashes. The TSan leg covers the other
 # risk pocket — the lock-free obs registry (sharded relaxed atomics),
 # the parallel_for pool, and the serve daemon's RCU-style snapshot swap
 # under concurrent reloads — where a data race would corrupt counters
@@ -88,6 +89,10 @@ quote() {
   "$repo/build/src/manytiers_quote" --socket "$serve_sock" --retry-ms 10000 \
     "$@" > /dev/null
 }
+# health first: the readiness probe a supervisor would use, and the
+# check that an unconfigured daemon reports "ready".
+"$repo/build/src/manytiers_quote" --socket "$serve_sock" --retry-ms 10000 \
+  health | grep -q '"state":"ready"'
 quote price --market "EU ISP/ced/linear" --strategy Optimal --q 120 --d 800
 quote schedule --market "CDN/logit/linear" --strategy Profit-weighted
 quote requote --market "Internet2/ced/linear" --strategy Optimal --flow 3
@@ -96,7 +101,25 @@ kill -TERM "$serve_pid"
 wait "$serve_pid"
 trap - EXIT
 grep -q '"serve.requests.price"' "$serve_dir/metrics.json"
-echo "check.sh: serve smoke ok (metrics sidecar has serve.requests.*)"
+grep -q '"event":"drained"' "$serve_dir/serve.log"
+echo "check.sh: serve smoke ok (health ready, drained on SIGTERM, metrics)"
+
+echo "== serve: overload regime p99-of-accepted gate =="
+if command -v python3 >/dev/null 2>&1; then
+  # 2x the measured knee against a deadline-armed in-process server.
+  # Unlike the wall-time benches, p99-of-accepted here is bounded by the
+  # request deadline — configuration, not machine speed — so the compare
+  # against the committed baseline is a hard gate (latency-curve mode):
+  # if p99-of-accepted regresses past the factor, shedding stopped
+  # protecting the accepted requests.
+  ov_dir="$repo/build/serve_overload"
+  mkdir -p "$ov_dir"
+  "$repo/build/bench/bench_serve_load" --overload > "$ov_dir/overload.log"
+  python3 "$repo/tools/bench_diff.py" \
+    "$repo/bench/baselines/serve_load.overload.log" "$ov_dir/overload.log"
+else
+  echo "check.sh: python3 not found, skipping serve overload gate"
+fi
 
 if [[ "$fast" == 1 ]]; then
   echo "check.sh: --fast given, skipping sanitizer leg"
@@ -125,7 +148,7 @@ cmake -S "$repo" -B "$repo/build-tsan" \
 # the serve suite's E2E tests drive manytiers_serve/manytiers_quote.
 cmake --build "$repo/build-tsan" -j "$jobs" \
   --target test_obs test_parallel manytiers_batch manytiers_orchestrate \
-  test_serve manytiers_serve_bin manytiers_quote test_netdyn
+  test_serve test_serve_chaos manytiers_serve_bin manytiers_quote test_netdyn
 
 echo "== sanitizers: ctest -L \"obs|parallel|serve|netdyn\" =="
 # test_netdyn's grid sessions re-evaluate dirty cells on the shared
