@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/registry.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/table.hpp"
@@ -404,6 +405,53 @@ std::string build_request_frame(const Config& cfg) {
       manytiers::serve::serialize_request(request));
 }
 
+// Side-channel stats watcher: one extra connection polling the `stats`
+// wire query at 1 Hz while the load runs. stats rides the never-shed
+// admin path, so the polls keep answering even when the measured
+// queries are being deadline-shed — and the committed latency gate must
+// not move with the watcher on (that is the point: watching the daemon
+// is free). Every poll's raw payload is kept and re-emitted after the
+// run as one BENCH_SERIES line per poll — a server-side time series
+// right next to the BENCH_JSON record, which also gains the poll count.
+class StatsWatcher {
+ public:
+  void start(const std::string& socket_path) {
+    thread_ = std::thread([this, socket_path] {
+      try {
+        Client client = Client::connect_unix(socket_path);
+        client.set_timeout_ms(30000);
+        Request request;
+        request.kind = QueryKind::Stats;
+        for (;;) {
+          request.id = payloads_.size() + 1;
+          payloads_.push_back(
+              client.call_raw(manytiers::serve::serialize_request(request)));
+          // Sleep the second in short slices so stop() is prompt.
+          for (int slice = 0; slice < 100; ++slice) {
+            if (done_.load(std::memory_order_acquire)) return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }
+        }
+      } catch (const std::exception&) {
+        // The watcher must never fail or skew the bench; a daemon
+        // without the stats kind simply yields fewer (or zero) polls.
+      }
+    });
+  }
+
+  // Join and hand back the polled payloads (safe to read after join).
+  std::vector<std::string> stop() {
+    done_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+    return std::move(payloads_);
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+  std::vector<std::string> payloads_;  // watcher thread only until join
+};
+
 // The in-process default target: one market, the serve test fixture's
 // shape but at the smoke grid's flow count, so price queries exercise a
 // realistic calibration without seconds of startup.
@@ -526,6 +574,10 @@ int main(int argc, char** argv) {
     if (cfg.overload) {
       options.request_deadline_ms = cfg.overload_deadline_ms;
     }
+    // The stats side-channel below reads this process's registry: turn
+    // it on so the polled counters and histograms are live, the same
+    // switch a standalone daemon flips when --metrics is given.
+    manytiers::obs::set_enabled(true);
     server = std::make_unique<Server>(bench_grid(), options);
     server->start();
   }
@@ -545,12 +597,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 1 Hz stats polling for the whole run, warm-up through cool-down: the
+  // measure windows are inside that span, so the gate below is measured
+  // with the watcher live.
+  StatsWatcher watcher;
+  watcher.start(socket_path);
+
   if (cfg.overload) {
     const auto t0 = Clock::now();
     const OverloadResult r =
         run_overload(cfg, socket_path, frame, cfg.overload_rate, server.get());
     const double wall_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    const std::vector<std::string> polls = watcher.stop();
     const auto usage = manytiers::bench::resource_usage();
     // "p99_us" is the server-side arrival-to-done tail — the field
     // bench_diff.py hard-gates, bounded by the configured deadline, not
@@ -566,6 +625,7 @@ int main(int argc, char** argv) {
               << ",\"deadline_ms\":" << cfg.overload_deadline_ms
               << ",\"connections\":" << cfg.connections
               << ",\"p99_us\":" << r.server_p99
+              << ",\"stats_polls\":" << polls.size()
               << ",\"client_p50_us\":" << r.p50
               << ",\"client_p90_us\":" << r.p90
               << ",\"client_p99_us\":" << r.p99
@@ -575,6 +635,9 @@ int main(int argc, char** argv) {
               << ",\"max_rss_kb\":" << usage.max_rss_kb
               << ",\"cpu_user_s\":" << usage.cpu_user_s
               << ",\"cpu_sys_s\":" << usage.cpu_sys_s << "}\n";
+    for (const auto& payload : polls) {
+      std::cout << "BENCH_SERIES " << payload << "\n";
+    }
     manytiers::util::TextTable table({"req/s", "achieved", "n", "accepted",
                                       "shed %", "srv p99 us", "cli p99 us"});
     table.add_row(manytiers::util::format_double(r.offered, 0),
@@ -611,6 +674,9 @@ int main(int argc, char** argv) {
     table.add_row(
         manytiers::util::format_double(rate, 0),
         {r.achieved, double(r.n), r.p50, r.p90, r.p99, r.p999}, 1);
+  }
+  for (const auto& payload : watcher.stop()) {
+    std::cout << "BENCH_SERIES " << payload << "\n";
   }
   std::cout << "\n";
   table.print(std::cout);

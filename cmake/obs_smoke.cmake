@@ -1,17 +1,22 @@
 # Observability smoke test, run by ctest (label: obs).
 #
-# The load-bearing invariant: turning tracing + metrics on never changes
-# a single byte of BATCH_JSON output.
+# The load-bearing invariant: turning tracing + metrics on — including
+# the streaming extensions (--metrics-interval-ms delta snapshots and
+# --trace-sample span sampling) — never changes a single byte of
+# BATCH_JSON output.
 #
 # 1. Single-process: `manytiers_batch --grid default` with and without
-#    --trace/--metrics must produce byte-identical reports, and the
-#    sidecars must actually appear.
-# 2. Orchestrated: a 3-worker run with one injected crash, --trace and
-#    --metrics all at once must still be byte-identical to the
-#    single-process report; the event log must carry the "v":1 plan, the
-#    merged "metrics" roll-up, and the "trace" stitch event.
-# 3. When python3 is available, both the merged trace and the metrics
-#    sidecar must parse with json.load (the Perfetto-loadable contract).
+#    --trace/--metrics/--metrics-interval-ms/--trace-sample must produce
+#    byte-identical reports, and the sidecars (series stream included)
+#    must actually appear.
+# 2. Orchestrated: a 3-worker run with one injected crash, --trace,
+#    --metrics and both streaming flags all at once must still be
+#    byte-identical to the single-process report; the event log must
+#    carry the "v":1 plan, the merged "metrics" roll-up, the
+#    "metrics-series" timeline roll-up, and the "trace" stitch event.
+# 3. When python3 is available, the merged trace, the metrics sidecar,
+#    and both series streams must parse with json.load (the
+#    Perfetto-loadable contract).
 #
 # Expects: ORCH_BIN, BATCH_BIN, WORK_DIR; PYTHON may be empty.
 
@@ -22,6 +27,7 @@ set(plain "${WORK_DIR}/plain.batch")
 set(traced "${WORK_DIR}/traced.batch")
 set(trace_file "${WORK_DIR}/single.trace.json")
 set(metrics_file "${WORK_DIR}/single.metrics.json")
+set(series_file "${WORK_DIR}/single.metrics.series.json")
 
 execute_process(
   COMMAND "${BATCH_BIN}" --grid default --no-timing --out "${plain}"
@@ -32,7 +38,8 @@ endif()
 
 execute_process(
   COMMAND "${BATCH_BIN}" --grid default --no-timing --out "${traced}"
-    --trace "${trace_file}" --metrics "${metrics_file}"
+    --trace "${trace_file}" --trace-sample 3
+    --metrics "${metrics_file}" --metrics-interval-ms 25
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "traced manytiers_batch --grid default failed (${rc})")
@@ -46,7 +53,7 @@ if(NOT rc EQUAL 0)
     "--trace/--metrics changed the report bytes: ${plain} vs ${traced}; "
     "observability must be invisible to BATCH_JSON")
 endif()
-foreach(sidecar "${trace_file}" "${metrics_file}")
+foreach(sidecar "${trace_file}" "${metrics_file}" "${series_file}")
   if(NOT EXISTS "${sidecar}")
     message(FATAL_ERROR "expected sidecar ${sidecar} was not written")
   endif()
@@ -65,6 +72,14 @@ if(NOT metrics_text MATCHES "\"name\":\"driver.tasks\"")
   message(FATAL_ERROR
     "metrics sidecar ${metrics_file} has no driver.tasks counter")
 endif()
+# The series stream must open with its baseline tick (seq 0).
+file(READ "${series_file}" series_text)
+if(NOT series_text MATCHES "\"kind\":\"tick\"")
+  message(FATAL_ERROR "series stream ${series_file} has no tick records")
+endif()
+if(NOT series_text MATCHES "\"seq\":0")
+  message(FATAL_ERROR "series stream ${series_file} has no baseline tick")
+endif()
 
 # Orchestrated leg: crash shard 1 once, trace + meter everything, and
 # the merged report must still match the single-process bytes.
@@ -74,7 +89,8 @@ set(events "${WORK_DIR}/orch.events")
 execute_process(
   COMMAND "${ORCH_BIN}" --grid default --workers 3 --fault crash:1
     --retries 2 --backoff-ms 1 --worker "${BATCH_BIN}"
-    --trace "${merged_trace}" --metrics
+    --trace "${merged_trace}" --trace-sample 3
+    --metrics --metrics-interval-ms 25
     --work-dir "${WORK_DIR}/parts" --event-log "${events}"
     --out "${orch}"
   RESULT_VARIABLE rc)
@@ -102,6 +118,18 @@ endif()
 if(NOT event_text MATCHES "\"type\":\"trace\"")
   message(FATAL_ERROR "event log ${events} has no trace stitch event")
 endif()
+if(NOT event_text MATCHES "\"type\":\"metrics-series\"")
+  message(FATAL_ERROR
+    "event log ${events} has no metrics-series roll-up event")
+endif()
+set(merged_series "${WORK_DIR}/parts/metrics.series.json")
+if(NOT EXISTS "${merged_series}")
+  message(FATAL_ERROR "merged series ${merged_series} was not written")
+endif()
+file(READ "${merged_series}" merged_series_text)
+if(NOT merged_series_text MATCHES "\"kind\":\"tick\"")
+  message(FATAL_ERROR "merged series ${merged_series} has no tick records")
+endif()
 if(NOT EXISTS "${merged_trace}")
   message(FATAL_ERROR "merged trace ${merged_trace} was not written")
 endif()
@@ -121,7 +149,10 @@ assert isinstance(events, list) and events, 'empty trace'
 pids = {e['pid'] for e in events}
 assert len(pids) >= 4, f'expected supervisor + 3 worker pids, got {pids}'
 json.load(open(sys.argv[2]))
-" "${merged_trace}" "${metrics_file}"
+for series in sys.argv[3:]:
+    records = json.load(open(series))
+    assert any(r.get('kind') == 'tick' for r in records), series
+" "${merged_trace}" "${metrics_file}" "${series_file}" "${merged_series}"
     RESULT_VARIABLE rc ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR

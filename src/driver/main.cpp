@@ -33,6 +33,7 @@
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
 #include "obs/registry.hpp"
+#include "obs/snapshotter.hpp"
 #include "obs/trace.hpp"
 #include "util/file.hpp"
 
@@ -68,6 +69,13 @@ int usage(std::ostream& os, int code) {
         "  --metrics PATH       write an obs-registry metrics sidecar\n"
         "                       (counters/gauges/histograms, one JSON record\n"
         "                       per line) to PATH after the report\n"
+        "  --metrics-interval-ms N  also stream delta snapshots every N ms\n"
+        "                       to the PATH-derived .series.json (requires\n"
+        "                       --metrics); flushed heartbeat-style during\n"
+        "                       the run, never changes the report bytes\n"
+        "  --trace-sample N     keep 1/N of per-task sweep spans (hash-based\n"
+        "                       and deterministic across shard processes);\n"
+        "                       lifecycle spans are always kept (0/1 = all)\n"
         "  --seed S             dataset seed override\n"
         "  --n-flows N          flows per dataset override\n"
         "  --max-bundles B      bundle-count ceiling override\n"
@@ -86,6 +94,15 @@ int usage(std::ostream& os, int code) {
 std::uint64_t parse_u64(const std::string& text, const char* flag) {
   std::size_t used = 0;
   const std::uint64_t value = std::stoull(text, &used);
+  if (used != text.size()) {
+    throw std::invalid_argument(std::string(flag) + ": not a number: " + text);
+  }
+  return value;
+}
+
+double parse_double(const std::string& text, const char* flag) {
+  std::size_t used = 0;
+  const double value = std::stod(text, &used);
   if (used != text.size()) {
     throw std::invalid_argument(std::string(flag) + ": not a number: " + text);
   }
@@ -151,7 +168,9 @@ int main(int argc, char** argv) {
   std::string heartbeat_path;
   double heartbeat_interval_ms = 100.0;
   std::string trace_path;
+  std::uint64_t trace_sample = 0;
   std::string metrics_path;
+  double metrics_interval_ms = 0.0;
   std::uint64_t seed = 0;
   bool seed_given = false;
   std::size_t n_flows = 0;
@@ -206,8 +225,12 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--trace") {
         trace_path = next();
+      } else if (arg == "--trace-sample") {
+        trace_sample = parse_u64(next(), "--trace-sample");
       } else if (arg == "--metrics") {
         metrics_path = next();
+      } else if (arg == "--metrics-interval-ms") {
+        metrics_interval_ms = parse_double(next(), "--metrics-interval-ms");
       } else if (arg == "--seed") {
         seed = parse_u64(next(), "--seed");
         seed_given = true;
@@ -239,6 +262,10 @@ int main(int argc, char** argv) {
       if (n_flows != 0) grid.base.n_flows = n_flows;
       if (max_bundles != 0) grid.max_bundles = max_bundles;
     }
+    if (metrics_interval_ms > 0.0 && metrics_path.empty()) {
+      throw std::invalid_argument(
+          "--metrics-interval-ms requires --metrics");
+    }
     fault_plan = driver::fault_plan_from_env();
   } catch (const std::exception& err) {
     std::cerr << "manytiers_batch: " << err.what() << "\n";
@@ -261,6 +288,7 @@ int main(int argc, char** argv) {
     }
     obs::Tracer::instance().set_process_name(process_name);
   }
+  if (trace_sample != 0) obs::Tracer::instance().set_sample_every(trace_sample);
   if (!metrics_path.empty()) obs::set_enabled(true);
 
   // The fault hook (see driver/fault.hpp): hermetic crash / stall /
@@ -300,6 +328,14 @@ int main(int argc, char** argv) {
     std::optional<Heartbeat> heartbeat;
     if (!heartbeat_path.empty()) {
       heartbeat.emplace(heartbeat_path, heartbeat_interval_ms);
+    }
+    // Heartbeat-style metrics stream: ticks while the grid evaluates,
+    // final tick taken before the end-of-run sidecar is written.
+    std::optional<obs::PeriodicSnapshotter> snapshotter;
+    if (metrics_interval_ms > 0.0) {
+      snapshotter.emplace(obs::PeriodicSnapshotter::Options{
+          obs::series_path_for(metrics_path), metrics_interval_ms});
+      snapshotter->start();
     }
     if (slow_ms != 0) {
       // Deterministic straggler: alive (beating) but slow.
@@ -355,6 +391,7 @@ int main(int argc, char** argv) {
     } else {
       util::write_file_durable(out_path, payload);
     }
+    if (snapshotter) snapshotter->stop();
     if (!metrics_path.empty()) {
       // Sidecar after the report: a supervisor that sees a valid part
       // file may still find the sidecar missing (worker died between the

@@ -166,6 +166,19 @@ BatchReport run_grid(const ExperimentGrid& grid, const RunOptions& options) {
     util::parallel_for(
         tasks.size(),
         [&](std::size_t t) {
+          // Per-task span, gated by the deterministic sampler. The key
+          // is the GLOBAL task index (cell * n_points + point), which
+          // every shard derives identically — so a sampled sharded run
+          // stitches into the same task set an unsharded run keeps.
+          const std::uint64_t task_key = static_cast<std::uint64_t>(
+              tasks[t].cell * n_points + tasks[t].point);
+          std::optional<obs::Span> span;
+          if (tracing && obs::Tracer::instance().sample_keep(task_key)) {
+            span.emplace("run_grid.task",
+                         "{\"cell\":" + std::to_string(tasks[t].cell) +
+                             ",\"point\":" + std::to_string(tasks[t].point) +
+                             "}");
+          }
           const auto start = Clock::now();
           series[t] = pricing::capture_series(*markets[tasks[t].market],
                                               cells[tasks[t].cell].strategy,

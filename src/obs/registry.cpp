@@ -1,7 +1,10 @@
 #include "obs/registry.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -55,6 +58,32 @@ std::size_t histogram_bucket(double value) {
 double histogram_bucket_floor(std::size_t b) {
   if (b == 0) return 0.0;
   return std::ldexp(1.0, static_cast<int>(b));
+}
+
+double histogram_percentile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile recording, 1-based; q = 0 still asks for the
+  // first recording so an all-zero histogram answers 0, not garbage.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(h.count))));
+  std::uint64_t seen = 0;
+  for (const auto& [bucket, n] : h.buckets) {
+    seen += n;
+    if (seen >= rank) return histogram_bucket_floor(bucket);
+  }
+  // count disagrees with the bucket sum (clipped input): answer from
+  // the last non-empty bucket rather than inventing a value.
+  return h.buckets.empty() ? 0.0
+                           : histogram_bucket_floor(h.buckets.back().first);
+}
+
+std::uint64_t wall_clock_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
 }
 
 void Histogram::record(double value) {
@@ -139,6 +168,8 @@ Histogram& Registry::histogram(std::string_view name) {
 Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot out;
+  out.pid = static_cast<long>(::getpid());
+  out.t_us = wall_clock_us();
   for (const auto& [name, counter] : counters_) {
     out.counters[name] = counter->value();
   }
@@ -321,8 +352,43 @@ std::vector<std::pair<std::size_t, std::uint64_t>> parse_buckets(
 
 }  // namespace
 
+namespace {
+
+// Shared array wrapper: records joined one-per-line inside [ ].
+std::string records_to_array(const std::vector<std::string>& records) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out += records[i];
+    if (i + 1 < records.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string bucket_array(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& buckets) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '[' + std::to_string(buckets[i].first) + ',' +
+           std::to_string(buckets[i].second) + ']';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
 std::string snapshot_to_json(const Snapshot& snapshot) {
   std::vector<std::string> records;
+  if (snapshot.pid != 0 || snapshot.t_us != 0) {
+    // Provenance stamps lead the sidecar; hand-built (unstamped)
+    // snapshots serialize exactly as before the stamps existed.
+    records.push_back("{\"kind\":\"meta\",\"pid\":" +
+                      std::to_string(snapshot.pid) +
+                      ",\"t_us\":" + std::to_string(snapshot.t_us) + "}");
+  }
   for (const auto& [name, value] : snapshot.counters) {
     records.push_back("{\"kind\":\"counter\",\"name\":" + quote(name) +
                       ",\"value\":" + std::to_string(value) + "}");
@@ -344,14 +410,7 @@ std::string snapshot_to_json(const Snapshot& snapshot) {
                       ",\"sum\":" + format_double(h.sum) +
                       ",\"buckets\":" + buckets + "}");
   }
-  std::string out = "[\n";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    out += records[i];
-    if (i + 1 < records.size()) out += ',';
-    out += '\n';
-  }
-  out += "]\n";
-  return out;
+  return records_to_array(records);
 }
 
 Snapshot parse_snapshot(std::string_view text) {
@@ -381,6 +440,11 @@ Snapshot parse_snapshot(std::string_view text) {
       bad("expected one JSON object per line, got: " + std::string(line));
     }
     const std::string kind = parse_string(raw_field(line, "kind"));
+    if (kind == "meta") {
+      out.pid = parse_i64(raw_field(line, "pid"));
+      out.t_us = parse_u64(raw_field(line, "t_us"));
+      continue;
+    }
     const std::string name = parse_string(raw_field(line, "name"));
     if (kind == "counter") {
       out.counters[name] += parse_u64(raw_field(line, "value"));
@@ -403,6 +467,9 @@ Snapshot parse_snapshot(std::string_view text) {
 Snapshot merge_snapshots(const std::vector<Snapshot>& parts) {
   Snapshot out;
   for (const auto& part : parts) {
+    // pid stays 0: the merge spans processes. The merged capture time is
+    // the latest part's, i.e. when the last contributor was observed.
+    out.t_us = std::max(out.t_us, part.t_us);
     for (const auto& [name, value] : part.counters) {
       out.counters[name] += value;
     }
@@ -419,6 +486,152 @@ Snapshot merge_snapshots(const std::vector<Snapshot>& parts) {
       for (const auto& [b, n] : h.buckets) merged[b] += n;
       dst.buckets.assign(merged.begin(), merged.end());
     }
+  }
+  return out;
+}
+
+// --- Streaming time-series ---
+
+namespace {
+
+std::string tick_stamp(const DeltaTick& tick) {
+  return ",\"pid\":" + std::to_string(tick.pid) +
+         ",\"seq\":" + std::to_string(tick.seq) +
+         ",\"t_us\":" + std::to_string(tick.t_us);
+}
+
+}  // namespace
+
+std::string time_series_to_json(const std::vector<DeltaTick>& ticks) {
+  std::vector<std::string> records;
+  for (const auto& tick : ticks) {
+    const std::string stamp = tick_stamp(tick);
+    records.push_back("{\"kind\":\"tick\"" + stamp + "}");
+    for (const auto& [name, delta] : tick.counters) {
+      records.push_back("{\"kind\":\"cdelta\",\"name\":" + quote(name) +
+                        ",\"delta\":" + std::to_string(delta) + stamp + "}");
+    }
+    for (const auto& [name, value] : tick.gauges) {
+      records.push_back("{\"kind\":\"glevel\",\"name\":" + quote(name) +
+                        ",\"value\":" + std::to_string(value) + stamp + "}");
+    }
+    for (const auto& [name, h] : tick.histograms) {
+      records.push_back("{\"kind\":\"hdelta\",\"name\":" + quote(name) +
+                        ",\"count\":" + std::to_string(h.count) +
+                        ",\"sum\":" + format_double(h.sum) +
+                        ",\"buckets\":" + bucket_array(h.buckets) + stamp +
+                        "}");
+    }
+  }
+  return records_to_array(records);
+}
+
+std::vector<DeltaTick> parse_time_series(std::string_view text) {
+  std::vector<DeltaTick> out;
+  std::size_t pos = 0;
+  bool saw_open = false, saw_close = false;
+  while (pos < text.size()) {
+    auto eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == ','))
+      line.remove_suffix(1);
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty()) continue;
+    if (line == "[") {
+      saw_open = true;
+      continue;
+    }
+    if (line == "]") {
+      saw_close = true;
+      continue;
+    }
+    if (line.front() != '{' || line.back() != '}') {
+      bad("expected one JSON object per line, got: " + std::string(line));
+    }
+    const std::string kind = parse_string(raw_field(line, "kind"));
+    const long pid = parse_i64(raw_field(line, "pid"));
+    const std::uint64_t seq = parse_u64(raw_field(line, "seq"));
+    const std::uint64_t t_us = parse_u64(raw_field(line, "t_us"));
+    if (kind == "tick") {
+      DeltaTick tick;
+      tick.pid = pid;
+      tick.seq = seq;
+      tick.t_us = t_us;
+      out.push_back(std::move(tick));
+      continue;
+    }
+    // Every per-metric record belongs to the "tick" record that opened
+    // its tick; the writer keeps them contiguous, so a mismatch means a
+    // corrupted or hand-spliced stream.
+    if (out.empty() || out.back().pid != pid || out.back().seq != seq) {
+      bad("record outside its tick: " + std::string(line));
+    }
+    DeltaTick& tick = out.back();
+    const std::string name = parse_string(raw_field(line, "name"));
+    if (kind == "cdelta") {
+      tick.counters[name] += parse_u64(raw_field(line, "delta"));
+    } else if (kind == "glevel") {
+      tick.gauges[name] = parse_i64(raw_field(line, "value"));
+    } else if (kind == "hdelta") {
+      HistogramSnapshot h;
+      h.count = parse_u64(raw_field(line, "count"));
+      h.sum = parse_number(raw_field(line, "sum"));
+      h.buckets = parse_buckets(raw_field(line, "buckets"));
+      tick.histograms[name] = std::move(h);
+    } else {
+      bad("unknown record kind \"" + kind + "\"");
+    }
+  }
+  if (!saw_open || !saw_close) bad("missing enclosing [ ] array markers");
+  return out;
+}
+
+std::vector<DeltaTick> merge_time_series(
+    const std::vector<std::vector<DeltaTick>>& streams) {
+  std::vector<DeltaTick> out;
+  for (const auto& stream : streams) {
+    out.insert(out.end(), stream.begin(), stream.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DeltaTick& a, const DeltaTick& b) {
+                     if (a.t_us != b.t_us) return a.t_us < b.t_us;
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.seq < b.seq;
+                   });
+  return out;
+}
+
+Snapshot time_series_total(const std::vector<DeltaTick>& ticks) {
+  Snapshot out;
+  // Latest gauge level per (pid, name); "latest" is timeline position,
+  // which within one process is also seq order.
+  std::map<std::pair<long, std::string>, std::int64_t> gauge_levels;
+  for (const auto& tick : ticks) {
+    // Single-stream totals keep their pid; a merged timeline reads 0
+    // like merge_snapshots output.
+    out.pid = (&tick == &ticks.front() || out.pid == tick.pid) ? tick.pid : 0;
+    out.t_us = std::max(out.t_us, tick.t_us);
+    for (const auto& [name, delta] : tick.counters) {
+      out.counters[name] += delta;
+    }
+    for (const auto& [name, value] : tick.gauges) {
+      gauge_levels[{tick.pid, name}] = value;
+    }
+    for (const auto& [name, h] : tick.histograms) {
+      HistogramSnapshot& dst = out.histograms[name];
+      dst.count += h.count;
+      dst.sum += h.sum;
+      std::map<std::size_t, std::uint64_t> merged(dst.buckets.begin(),
+                                                  dst.buckets.end());
+      for (const auto& [b, n] : h.buckets) merged[b] += n;
+      dst.buckets.assign(merged.begin(), merged.end());
+    }
+  }
+  for (const auto& [key, value] : gauge_levels) {
+    out.gauges[key.second] += value;
   }
   return out;
 }

@@ -142,11 +142,29 @@ struct HistogramSnapshot {
   std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
 };
 
+// Exact q-quantile (q in [0, 1]) of the recorded distribution at bucket
+// resolution: the inclusive lower bound of the bucket holding the
+// ceil(q * count)-th recording. Deterministic — two processes with the
+// same buckets derive the same percentile. 0 when the histogram is
+// empty.
+double histogram_percentile(const HistogramSnapshot& h, double q);
+
 struct Snapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  // Provenance stamps (0 = unstamped, for hand-built snapshots): the
+  // emitting process and the wall-clock capture time, so merged
+  // multi-process sidecars are self-describing instead of relying on
+  // file naming. Registry::snapshot() always stamps.
+  long pid = 0;
+  std::uint64_t t_us = 0;
 };
+
+// Microseconds since the wall-clock epoch — the shared timeline every
+// snapshot stamp and time-series tick lives on (same epoch the tracer
+// anchors to, so metrics ticks line up under trace spans).
+std::uint64_t wall_clock_us();
 
 class Registry {
  public:
@@ -171,16 +189,60 @@ class Registry {
 
 // Metrics sidecar format: a valid JSON array, one record per line —
 //   [
+//   {"kind":"meta","pid":4242,"t_us":1700000000000000},
 //   {"kind":"counter","name":"bundling.dp_fills","value":42},
 //   {"kind":"hist","name":"driver.task_us","count":3,"sum":128.0,
 //    "buckets":[[5,2],[6,1]]}
 //   ]
 // so the same file loads in any JSON tool AND parses line-by-line with
-// the hand-rolled reader below (no JSON library in this codebase).
+// the hand-rolled reader below (no JSON library in this codebase). The
+// "meta" record carries the snapshot stamps and is omitted for
+// unstamped snapshots, which keeps pre-stamp sidecars byte-identical.
 std::string snapshot_to_json(const Snapshot& snapshot);
 // Throws std::invalid_argument on malformed input.
 Snapshot parse_snapshot(std::string_view text);
 // Element-wise sum: counters and gauges add, histograms add bucket-wise.
+// The merged stamps are pid 0 (multi-process) and the max part t_us.
 Snapshot merge_snapshots(const std::vector<Snapshot>& parts);
+
+// --- Streaming time-series (the PeriodicSnapshotter's record unit) ---
+//
+// One interval tick of one process: counter DELTAS and histogram bucket
+// DELTAS since the previous tick, gauge LEVELS as of this tick. seq 0
+// is the baseline tick (delta from an empty registry), so summing every
+// delta of a stream reproduces the process's final snapshot exactly —
+// the sum-to-total identity the streaming tests pin.
+struct DeltaTick {
+  long pid = 0;
+  std::uint64_t seq = 0;   // tick ordinal within this process's stream
+  std::uint64_t t_us = 0;  // wall-clock stamp (wall_clock_us)
+  std::map<std::string, std::uint64_t> counters;  // deltas
+  std::map<std::string, std::int64_t> gauges;     // levels
+  std::map<std::string, HistogramSnapshot> histograms;  // deltas
+};
+
+// Time-series sidecar format: the same one-record-per-line JSON array
+// discipline, with stream-specific record kinds so a plain snapshot
+// reader never confuses the two —
+//   {"kind":"tick","pid":P,"seq":S,"t_us":T}
+//   {"kind":"cdelta","name":N,"delta":D,"pid":P,"seq":S,"t_us":T}
+//   {"kind":"glevel","name":N,"value":V,"pid":P,"seq":S,"t_us":T}
+//   {"kind":"hdelta","name":N,"count":C,"sum":X,"buckets":[[b,n],...],
+//    "pid":P,"seq":S,"t_us":T}
+// Every tick opens with its "tick" record (emitted even when nothing
+// changed: the stream's own heartbeat), followed by one record per
+// changed metric.
+std::string time_series_to_json(const std::vector<DeltaTick>& ticks);
+// Throws std::invalid_argument on malformed input.
+std::vector<DeltaTick> parse_time_series(std::string_view text);
+// Align several per-process streams onto one wall-clock timeline:
+// ticks ordered by (t_us, pid, seq).
+std::vector<DeltaTick> merge_time_series(
+    const std::vector<std::vector<DeltaTick>>& streams);
+// Fold a (possibly merged, multi-process) timeline back into totals:
+// counter and histogram deltas sum; a gauge takes its last level per
+// process, summed across processes. For a single complete stream this
+// reproduces the process's final snapshot.
+Snapshot time_series_total(const std::vector<DeltaTick>& ticks);
 
 }  // namespace manytiers::obs

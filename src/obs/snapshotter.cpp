@@ -1,0 +1,168 @@
+#include "obs/snapshotter.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace manytiers::obs {
+
+std::string series_path_for(const std::string& metrics_path) {
+  static constexpr std::string_view kJson = ".json";
+  std::string stem = metrics_path;
+  if (stem.size() >= kJson.size() &&
+      stem.compare(stem.size() - kJson.size(), kJson.size(), kJson) == 0) {
+    stem.resize(stem.size() - kJson.size());
+  }
+  return stem + ".series.json";
+}
+
+namespace {
+
+// Diff two registry folds into one tick. seq 0 (the baseline) emits
+// every metric — even zero-valued ones — so the stream's total carries
+// the same key set as a final snapshot; later ticks only emit change.
+DeltaTick delta_between(const Snapshot& prev, const Snapshot& snap,
+                        std::uint64_t seq) {
+  DeltaTick tick;
+  tick.pid = snap.pid;
+  tick.seq = seq;
+  tick.t_us = snap.t_us;
+  const bool baseline = (seq == 0);
+  for (const auto& [name, value] : snap.counters) {
+    const auto it = prev.counters.find(name);
+    const std::uint64_t before = it == prev.counters.end() ? 0 : it->second;
+    // A registry reset() shrinks a counter; restart the delta stream
+    // from the new level instead of underflowing.
+    const std::uint64_t delta = value >= before ? value - before : value;
+    if (baseline || it == prev.counters.end() || delta != 0) {
+      tick.counters[name] = delta;
+    }
+  }
+  for (const auto& [name, level] : snap.gauges) {
+    const auto it = prev.gauges.find(name);
+    if (baseline || it == prev.gauges.end() || it->second != level) {
+      tick.gauges[name] = level;
+    }
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const auto it = prev.histograms.find(name);
+    if (it == prev.histograms.end() || h.count < it->second.count) {
+      // New histogram (or reset): the delta is the whole thing.
+      if (baseline || it != prev.histograms.end() || h.count != 0 ||
+          h.sum != 0.0) {
+        tick.histograms[name] = h;
+      }
+      continue;
+    }
+    const HistogramSnapshot& before = it->second;
+    if (!baseline && h.count == before.count && h.sum == before.sum) continue;
+    HistogramSnapshot delta;
+    delta.count = h.count - before.count;
+    delta.sum = h.sum - before.sum;
+    std::map<std::size_t, std::uint64_t> merged(h.buckets.begin(),
+                                                h.buckets.end());
+    for (const auto& [b, n] : before.buckets) {
+      auto found = merged.find(b);
+      if (found == merged.end() || found->second < n) {
+        merged[b] = 0;  // reset mid-stream; clamp instead of underflow
+      } else {
+        found->second -= n;
+      }
+    }
+    for (auto found = merged.begin(); found != merged.end();) {
+      found = found->second == 0 ? merged.erase(found) : std::next(found);
+    }
+    delta.buckets.assign(merged.begin(), merged.end());
+    tick.histograms[name] = std::move(delta);
+  }
+  return tick;
+}
+
+// Atomic whole-file replace, same discipline as the trace writer: a
+// reader polling the sidecar either sees the previous complete stream
+// or the new one, never a torn write. obs sits below util in the link
+// order, so this is its own minimal writer.
+void replace_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;  // observability never takes the process down
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  if (wrote && closed) {
+    std::rename(tmp.c_str(), path.c_str());
+  } else {
+    std::remove(tmp.c_str());
+  }
+}
+
+}  // namespace
+
+PeriodicSnapshotter::PeriodicSnapshotter(Options options)
+    : options_(std::move(options)) {}
+
+PeriodicSnapshotter::~PeriodicSnapshotter() { stop(); }
+
+void PeriodicSnapshotter::start() {
+  {
+    std::lock_guard lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  // Baseline tick before the thread exists: callers observe seq 0 (and
+  // a flushed sidecar) as soon as start() returns.
+  take_tick();
+  thread_ = std::thread([this] { run(); });
+}
+
+void PeriodicSnapshotter::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final tick: whatever happened after the last interval still lands
+  // in the stream before the process moves on.
+  take_tick();
+  std::lock_guard lock(mutex_);
+  running_ = false;
+}
+
+std::vector<DeltaTick> PeriodicSnapshotter::series() const {
+  std::lock_guard lock(mutex_);
+  return ticks_;
+}
+
+void PeriodicSnapshotter::run() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      std::max(1.0, options_.interval_ms));
+  std::unique_lock lock(mutex_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;  // the final tick belongs to stop()
+    }
+    lock.unlock();
+    take_tick();
+    lock.lock();
+  }
+}
+
+void PeriodicSnapshotter::take_tick() {
+  // Fold the registry outside mutex_: the registry has its own lock and
+  // the fold is the expensive part.
+  Snapshot snap = Registry::instance().snapshot();
+  std::lock_guard lock(mutex_);
+  ticks_.push_back(delta_between(prev_, snap, next_seq_++));
+  prev_ = std::move(snap);
+  flush_locked();
+}
+
+void PeriodicSnapshotter::flush_locked() const {
+  if (options_.path.empty()) return;
+  replace_file(options_.path, time_series_to_json(ticks_));
+}
+
+}  // namespace manytiers::obs

@@ -1,0 +1,75 @@
+// Background time-series emitter: turns the process-global Registry
+// into a stream of DeltaTicks on a fixed wall-clock cadence.
+//
+// Every interval the snapshotter folds the registry (Registry::
+// snapshot()), diffs it against the previous fold, appends one
+// DeltaTick — counter deltas, histogram bucket deltas, gauge levels —
+// and rewrites the series sidecar atomically (temp + rename), so an
+// external reader always sees a complete, parseable file no matter
+// when it looks. The first tick (seq 0) is the baseline: a delta from
+// the empty registry, which is what makes time_series_total() of a
+// complete stream reproduce the process's final snapshot.
+//
+// stop() is idempotent, takes one final tick (so the stream never
+// under-reports work done between the last interval and shutdown),
+// and flushes. The destructor stops. The tick path takes the registry
+// fold mutex but never any application lock — instrumented code cannot
+// block on the snapshotter, only the reverse.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace manytiers::obs {
+
+// Canonical series sidecar path for a metrics sidecar path: strips one
+// trailing ".json" and appends ".series.json", so `part0.metrics.json`
+// streams to `part0.metrics.series.json`. This derivation is the whole
+// flag surface: tools take --metrics-interval-ms, never a second path.
+std::string series_path_for(const std::string& metrics_path);
+
+class PeriodicSnapshotter {
+ public:
+  struct Options {
+    std::string path;           // series sidecar destination (required)
+    double interval_ms = 1000;  // tick cadence; clamped to >= 1ms
+  };
+
+  explicit PeriodicSnapshotter(Options options);
+  ~PeriodicSnapshotter();  // stops if still running
+
+  PeriodicSnapshotter(const PeriodicSnapshotter&) = delete;
+  PeriodicSnapshotter& operator=(const PeriodicSnapshotter&) = delete;
+
+  // Takes the baseline tick (seq 0) immediately, then ticks every
+  // interval on a background thread.
+  void start();
+  // Idempotent. Takes a final tick, flushes the sidecar, joins.
+  void stop();
+
+  // Copy of the stream so far (tests; also the final series after
+  // stop()).
+  std::vector<DeltaTick> series() const;
+
+ private:
+  void run();
+  void take_tick();   // caller must NOT hold mutex_
+  void flush_locked() const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  Snapshot prev_;  // previous fold; empty before the baseline tick
+  std::vector<DeltaTick> ticks_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace manytiers::obs

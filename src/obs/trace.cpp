@@ -45,6 +45,19 @@ long next_tid() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Sampling divisor; relaxed for the same reason as the active flag.
+std::atomic<std::uint64_t> g_sample_every{0};
+
+// splitmix64 finalizer: a cheap, well-mixed hash so sampling by
+// `hash(key) % N` keeps an unbiased 1/N of tasks even when keys are
+// sequential integers (key % N would keep every N-th cell column).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 struct Tracer::Impl {
@@ -161,6 +174,21 @@ void Tracer::set_process_name(std::string_view name) {
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << impl()->pid
      << ",\"tid\":0,\"args\":{\"name\":" << quote(name) << "}}";
   push(os.str());
+}
+
+void Tracer::set_sample_every(std::uint64_t n) {
+  g_sample_every.store(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::sample_every() const {
+  return g_sample_every.load(std::memory_order_relaxed);
+}
+
+bool Tracer::sample_keep(std::uint64_t key) const {
+  if (!active()) return false;
+  const std::uint64_t n = g_sample_every.load(std::memory_order_relaxed);
+  if (n <= 1) return true;
+  return splitmix64(key) % n == 0;
 }
 
 void Tracer::flush() {

@@ -66,6 +66,24 @@ class Tracer {
   // Metadata: names the current process in the Perfetto track list.
   void set_process_name(std::string_view name);
 
+  // --- Deterministic span sampling (`--trace-sample N`) ---
+  //
+  // Keeps roughly 1/N of per-task spans: a span keyed by a stable task
+  // id is kept iff splitmix64(key) % N == 0. The decision is a pure
+  // function of (key, N), so every worker process of a sharded run
+  // makes the SAME keep/drop choice for the same global task — stitched
+  // traces stay consistent instead of sampling different tasks per
+  // worker. n == 0 or 1 disables sampling (keep everything).
+  //
+  // Only bulk per-task spans consult sample_keep(); lifecycle and
+  // supervisor spans (worker attempts, phases, reloads) are always
+  // emitted — sampling thins the 10^6-task floodplain, not the
+  // structure above it.
+  void set_sample_every(std::uint64_t n);
+  std::uint64_t sample_every() const;
+  // True when tracing is active AND this key survives the sampler.
+  bool sample_keep(std::uint64_t key) const;
+
   // Write the buffered events to the path as a JSON array (temp file +
   // rename, so a reader never sees a torn array). Idempotent; keeps
   // the buffer so a later flush rewrites the complete file.

@@ -91,6 +91,17 @@ int usage(std::ostream& os, int code) {
         "                       merged counters/histograms as one "
         "\"metrics\"\n"
         "                       ORCH_JSON event after the report merge\n"
+        "  --metrics-interval-ms N   (needs --metrics) stream delta "
+        "snapshots\n"
+        "                       every N ms per worker; winners' series "
+        "merge\n"
+        "                       onto one timeline at "
+        "<work-dir>/metrics.series.json\n"
+        "  --trace-sample N     (needs --trace) keep 1-in-N per-task "
+        "spans,\n"
+        "                       chosen by a deterministic hash of the "
+        "global\n"
+        "                       task index — identical across workers\n"
         "  --fault SPEC         MANYTIERS_FAULT plan injected into "
         "workers\n"
         "  --kill-after-shards N   TEST HOOK: SIGKILL this process right "
@@ -185,6 +196,11 @@ int main(int argc, char** argv) {
         options.trace = next();
       } else if (arg == "--metrics") {
         options.metrics = true;
+      } else if (arg == "--metrics-interval-ms") {
+        options.metrics_interval_ms =
+            parse_double(next(), "--metrics-interval-ms");
+      } else if (arg == "--trace-sample") {
+        options.trace_sample = parse_u64(next(), "--trace-sample");
       } else if (arg == "--fault") {
         options.fault = next();
       } else if (arg == "--seed") {
@@ -201,6 +217,12 @@ int main(int argc, char** argv) {
     }
     if (options.workers == 0) {
       throw std::invalid_argument("--workers must be >= 1");
+    }
+    if (options.metrics_interval_ms > 0.0 && !options.metrics) {
+      throw std::invalid_argument("--metrics-interval-ms requires --metrics");
+    }
+    if (options.trace_sample != 0 && options.trace.empty()) {
+      throw std::invalid_argument("--trace-sample requires --trace");
     }
     if (options.worker_binary.empty()) {
       // Default: the batch binary that ships next to this one.

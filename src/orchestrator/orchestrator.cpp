@@ -7,6 +7,7 @@
 #include <cmath>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -17,6 +18,7 @@
 #include "driver/grid.hpp"
 #include "driver/report.hpp"
 #include "obs/registry.hpp"
+#include "obs/snapshotter.hpp"
 #include "obs/trace.hpp"
 #include "orchestrator/manifest.hpp"
 #include "orchestrator/process.hpp"
@@ -165,6 +167,19 @@ fs::path attempt_metrics_path(const fs::path& work, std::size_t shard,
                  std::to_string(attempt) + ".metrics.json");
 }
 
+// Time-series sidecars are named off the metrics paths by the same rule
+// the snapshotter itself uses (strip ".json", append ".series.json"), so
+// the supervisor finds exactly the file the worker wrote.
+fs::path series_path(const fs::path& work, std::size_t shard) {
+  return fs::path(obs::series_path_for(metrics_path(work, shard).string()));
+}
+
+fs::path attempt_series_path(const fs::path& work, std::size_t shard,
+                             std::size_t attempt) {
+  return fs::path(
+      obs::series_path_for(attempt_metrics_path(work, shard, attempt).string()));
+}
+
 fs::path trace_file_path(const fs::path& work, std::size_t shard) {
   return work / ("part" + std::to_string(shard) + ".trace.json");
 }
@@ -215,10 +230,21 @@ SpawnSpec worker_spec(const Options& opt, const fs::path& work,
   if (!opt.trace.empty()) {
     spec.argv.push_back("--trace");
     spec.argv.push_back(attempt_trace_path(work, shard, attempt).string());
+    if (opt.trace_sample != 0) {
+      spec.argv.push_back("--trace-sample");
+      spec.argv.push_back(std::to_string(opt.trace_sample));
+    }
   }
   if (opt.metrics) {
     spec.argv.push_back("--metrics");
     spec.argv.push_back(attempt_metrics_path(work, shard, attempt).string());
+    if (opt.metrics_interval_ms > 0.0) {
+      char interval_ms[32];
+      std::snprintf(interval_ms, sizeof(interval_ms), "%g",
+                    opt.metrics_interval_ms);
+      spec.argv.push_back("--metrics-interval-ms");
+      spec.argv.push_back(interval_ms);
+    }
   }
   if (!opt.fault.empty()) {
     spec.env_extra.push_back("MANYTIERS_FAULT=" + opt.fault);
@@ -457,6 +483,7 @@ Result orchestrate(const Options& options, EventLog& log) {
     fs::remove(attempt_part_path(work, k, attempt.id), ec);
     fs::remove(heartbeat_path(work, k, attempt.id), ec);
     fs::remove(attempt_metrics_path(work, k, attempt.id), ec);
+    fs::remove(attempt_series_path(work, k, attempt.id), ec);
     fs::remove(attempt_trace_path(work, k, attempt.id), ec);
     attempt.pid = spawn_process(worker_spec(options, work, k, attempt.id));
     attempt.started = Clock::now();
@@ -510,6 +537,7 @@ Result orchestrate(const Options& options, EventLog& log) {
       fs::remove(attempt_part_path(work, k, loser.id), ec);
       fs::remove(heartbeat_path(work, k, loser.id), ec);
       fs::remove(attempt_metrics_path(work, k, loser.id), ec);
+      fs::remove(attempt_series_path(work, k, loser.id), ec);
       fs::remove(attempt_trace_path(work, k, loser.id), ec);
     }
     // Same-directory rename: atomic promotion of the attempt's (already
@@ -522,6 +550,10 @@ Result orchestrate(const Options& options, EventLog& log) {
     if (options.metrics) {
       fs::rename(attempt_metrics_path(work, k, win.id), metrics_path(work, k),
                  ec);
+      if (options.metrics_interval_ms > 0.0) {
+        fs::rename(attempt_series_path(work, k, win.id), series_path(work, k),
+                   ec);
+      }
     }
     if (trace.on) {
       fs::rename(attempt_trace_path(work, k, win.id),
@@ -762,6 +794,49 @@ Result orchestrate(const Options& options, EventLog& log) {
       metrics_event.field(name + ".sum", hist.sum);
     }
     log.write(std::move(metrics_event));
+
+    // Time-series roll-up: the winners' delta streams (one per shard,
+    // each self-stamped with pid/seq/t_us) concatenate and sort onto one
+    // wall-clock timeline — no resampling, no alignment guesswork. The
+    // merged stream lands next to the manifest so a monitoring pipeline
+    // can pick up one file per run. Same degradation contract as above.
+    if (options.metrics_interval_ms > 0.0) {
+      std::vector<obs::DeltaTick> merged_series;
+      std::size_t series_reporting = 0;
+      for (std::size_t k = 0; k < shards.size(); ++k) {
+        const fs::path sp = series_path(work, k);
+        if (!fs::exists(sp)) {
+          log.write(Event("warn").field(
+              "message", "missing metrics series sidecar " + sp.string()));
+          continue;
+        }
+        try {
+          const auto ticks =
+              obs::parse_time_series(util::read_file(sp.string()));
+          merged_series.insert(merged_series.end(), ticks.begin(),
+                               ticks.end());
+          ++series_reporting;
+        } catch (const std::exception& err) {
+          log.write(Event("warn").field(
+              "message", "unreadable metrics series sidecar " + sp.string() +
+                             ": " + err.what()));
+        }
+      }
+      merged_series = obs::merge_time_series({std::move(merged_series)});
+      const fs::path merged_path = work / "metrics.series.json";
+      try {
+        util::write_file_durable(merged_path.string(),
+                                 obs::time_series_to_json(merged_series));
+        log.write(Event("metrics-series")
+                      .field("path", merged_path.string())
+                      .field("shards_reporting", series_reporting)
+                      .field("ticks", merged_series.size()));
+      } catch (const std::exception& err) {
+        log.write(Event("warn").field(
+            "message",
+            "metrics series write failed: " + std::string(err.what())));
+      }
+    }
   }
 
   // Stitch the merged timeline: supervisor lifecycle events plus every
@@ -797,12 +872,14 @@ Result orchestrate(const Options& options, EventLog& log) {
     for (std::size_t k = 0; k < shards.size(); ++k) {
       fs::remove(part_path(work, k), ec);
       fs::remove(metrics_path(work, k), ec);
+      fs::remove(series_path(work, k), ec);
       fs::remove(trace_file_path(work, k), ec);
       for (std::size_t a = 0; a < shards[k].next_attempt; ++a) {
         fs::remove(attempt_part_path(work, k, a), ec);
         fs::remove(log_path(work, k, a), ec);
         fs::remove(heartbeat_path(work, k, a), ec);
         fs::remove(attempt_metrics_path(work, k, a), ec);
+        fs::remove(attempt_series_path(work, k, a), ec);
         fs::remove(attempt_trace_path(work, k, a), ec);
       }
     }

@@ -78,6 +78,18 @@ struct Options {
   std::string trace;
   bool metrics = false;
 
+  // Streaming extensions (needs `metrics` / `trace`): with
+  // `metrics_interval_ms` > 0 every worker also streams timestamped
+  // delta snapshots into a per-attempt .series.json sidecar; winners'
+  // series are promoted like parts, merged onto one wall-clock timeline
+  // (obs::merge_time_series), and written to work_dir/metrics.series.json.
+  // `trace_sample` forwards --trace-sample N to workers: per-task spans
+  // are kept 1-in-N by a deterministic hash of the global task index, so
+  // every shard keeps the SAME task subset (lifecycle spans are always
+  // kept).
+  double metrics_interval_ms = 0.0;
+  std::uint64_t trace_sample = 0;
+
   // Crash safety: resume a previous run from its manifest instead of
   // starting fresh. Valid parts are kept (resume-skip), everything else
   // re-runs; the manifest must match grid/signature/workers exactly.

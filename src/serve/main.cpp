@@ -24,10 +24,12 @@
 
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "driver/grid.hpp"
 #include "obs/registry.hpp"
+#include "obs/snapshotter.hpp"
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "util/file.hpp"
@@ -49,6 +51,9 @@ int usage(std::ostream& os, int code) {
         "  --max-bundles N      override the grid's maximum tier count\n"
         "  --metrics PATH       write an obs-registry metrics sidecar on "
         "shutdown\n"
+        "  --metrics-interval-ms N  also stream delta snapshots every N ms\n"
+        "                       to PATH-derived .series.json (needs "
+        "--metrics)\n"
         "  --trace PATH         write a Chrome-trace-event JSON timeline\n"
         "  --max-connections N  live-connection cap; extras get a typed\n"
         "                       'overloaded' error frame (0 = unlimited)\n"
@@ -87,6 +92,7 @@ int main(int argc, char** argv) {
   std::string grid_name = "smoke";
   std::string socket_path;
   std::string metrics_path;
+  double metrics_interval_ms = 0.0;
   std::string trace_path;
   int tcp_port = -1;
   std::size_t threads = 0;
@@ -131,6 +137,8 @@ int main(int argc, char** argv) {
         max_bundles = parse_u64(next(i), "--max-bundles");
       } else if (arg == "--metrics") {
         metrics_path = next(i);
+      } else if (arg == "--metrics-interval-ms") {
+        metrics_interval_ms = std::stod(next(i));
       } else if (arg == "--trace") {
         trace_path = next(i);
       } else if (arg == "--max-connections") {
@@ -167,6 +175,11 @@ int main(int argc, char** argv) {
     if (seed_given) grid.base.seed = seed;
     if (n_flows != 0) grid.base.n_flows = n_flows;
     if (max_bundles != 0) grid.max_bundles = max_bundles;
+    if (metrics_interval_ms > 0.0 && metrics_path.empty()) {
+      std::cerr << "manytiers_serve: --metrics-interval-ms requires "
+                   "--metrics\n";
+      return usage(std::cerr, 2);
+    }
   } catch (const std::exception& err) {
     std::cerr << "manytiers_serve: " << err.what() << "\n";
     return 2;
@@ -201,6 +214,16 @@ int main(int argc, char** argv) {
     serve::Server server(grid, options);
     server.start();
 
+    // Time-series stream: started after the server so the baseline tick
+    // includes calibration-time metrics, stopped before the final
+    // sidecar write so the last tick covers the drain.
+    std::optional<obs::PeriodicSnapshotter> snapshotter;
+    if (metrics_interval_ms > 0.0) {
+      snapshotter.emplace(obs::PeriodicSnapshotter::Options{
+          obs::series_path_for(metrics_path), metrics_interval_ms});
+      snapshotter->start();
+    }
+
     std::cout << "SERVE_JSON {\"event\":\"ready\",\"grid\":\"" << grid_name
               << "\",\"socket\":\"" << socket_path
               << "\",\"markets\":" << server.snapshot()->markets.size()
@@ -226,6 +249,7 @@ int main(int argc, char** argv) {
               << ",\"epoch\":" << server.epoch() << "}" << std::endl;
     server.stop();
 
+    if (snapshotter) snapshotter->stop();
     if (!metrics_path.empty()) {
       util::write_file_durable(
           metrics_path,

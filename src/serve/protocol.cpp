@@ -155,6 +155,20 @@ std::uint64_t parse_u64_token(std::string_view rest, std::string_view key) {
   return value;
 }
 
+std::int64_t parse_i64_token(std::string_view rest, std::string_view key) {
+  const std::string_view token = number_token(rest, key);
+  TokenBuf buf;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = buf.fits(token) ? std::strtoll(buf.data, &end, 10) : 0;
+  if (end != buf.data + buf.size || errno == ERANGE) {
+    throw std::invalid_argument("serve protocol: field \"" + std::string(key) +
+                                "\" is not a valid integer: " +
+                                std::string(token));
+  }
+  return value;
+}
+
 std::string req_string(std::string_view payload, std::string_view key) {
   return parse_string_token(require_field(payload, key), key);
 }
@@ -183,6 +197,7 @@ std::string_view to_string(QueryKind kind) {
     case QueryKind::Requote: return "requote";
     case QueryKind::Reload: return "reload";
     case QueryKind::Health: return "health";
+    case QueryKind::Stats: return "stats";
   }
   throw std::invalid_argument("unknown query kind");
 }
@@ -193,9 +208,10 @@ QueryKind parse_query_kind(std::string_view name) {
   if (name == "requote") return QueryKind::Requote;
   if (name == "reload") return QueryKind::Reload;
   if (name == "health") return QueryKind::Health;
+  if (name == "stats") return QueryKind::Stats;
   throw std::invalid_argument(
       "serve protocol: unknown query kind \"" + std::string(name) +
-      "\"; known: price, schedule, requote, reload, health");
+      "\"; known: price, schedule, requote, reload, health, stats");
 }
 
 std::string serialize_request(const Request& request) {
@@ -231,6 +247,7 @@ std::string serialize_request(const Request& request) {
       }
       break;
     case QueryKind::Health:
+    case QueryKind::Stats:
       break;  // id + kind is the whole request
   }
   out += '}';
@@ -277,6 +294,7 @@ Request parse_request(std::string_view payload) {
       }
       break;
     case QueryKind::Health:
+    case QueryKind::Stats:
       break;
   }
   return request;
@@ -296,6 +314,13 @@ void append_u64(std::string& out, std::uint64_t v) {
 void append_double(std::string& out, double v) {
   char buf[40];
   const int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+  out.append(buf, std::size_t(n));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  const int n =
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
   out.append(buf, std::size_t(n));
 }
 
@@ -387,10 +412,194 @@ std::string serialize_response(const Response& response) {
       out += ",\"markets\":";
       append_u64(out, response.markets);
       break;
+    case QueryKind::Stats: {
+      // Scalar fields first so top-level key scans can never collide
+      // with a metric name inside the arrays below.
+      out += ",\"version\":\"";
+      out += json_escape(response.version.empty()
+                             ? std::string(kProtocolVersion)
+                             : response.version);
+      out += "\",\"t_us\":";
+      append_u64(out, response.t_us);
+      out += ",\"pid\":";
+      append_i64(out, response.stats_pid);
+      out += ",\"state\":\"";
+      out += json_escape(response.state);
+      out += "\",\"active_connections\":";
+      append_u64(out, response.active_connections);
+      out += ",\"inflight\":";
+      append_u64(out, response.inflight);
+      out += ",\"shed\":";
+      append_u64(out, response.shed);
+      out += ",\"markets\":";
+      append_u64(out, response.markets);
+      out += ",\"counters\":[";
+      for (std::size_t i = 0; i < response.stats_counters.size(); ++i) {
+        if (i != 0) out += ',';
+        out += "[\"";
+        out += json_escape(response.stats_counters[i].first);
+        out += "\",";
+        append_u64(out, response.stats_counters[i].second);
+        out += ']';
+      }
+      out += "],\"gauges\":[";
+      for (std::size_t i = 0; i < response.stats_gauges.size(); ++i) {
+        if (i != 0) out += ',';
+        out += "[\"";
+        out += json_escape(response.stats_gauges[i].first);
+        out += "\",";
+        append_i64(out, response.stats_gauges[i].second);
+        out += ']';
+      }
+      out += "],\"hists\":[";
+      for (std::size_t i = 0; i < response.stats_hists.size(); ++i) {
+        const StatsHist& h = response.stats_hists[i];
+        if (i != 0) out += ',';
+        out += "{\"name\":\"";
+        out += json_escape(h.name);
+        out += "\",\"count\":";
+        append_u64(out, h.count);
+        out += ",\"sum\":";
+        append_double(out, h.sum);
+        out += ",\"p50\":";
+        append_double(out, h.p50);
+        out += ",\"p99\":";
+        append_double(out, h.p99);
+        out += ",\"p999\":";
+        append_double(out, h.p999);
+        out += ",\"buckets\":[";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+          if (b != 0) out += ',';
+          out += '[';
+          append_u64(out, h.buckets[b].first);
+          out += ',';
+          append_u64(out, h.buckets[b].second);
+          out += ']';
+        }
+        out += "]}";
+      }
+      out += ']';
+      break;
+    }
   }
   out += '}';
   return out;
 }
+
+namespace {
+
+// Scan a `[["name",V],...]` pair array (the stats counter and gauge
+// lists). `parse_value` is handed the text at the value token; the
+// token's extent comes from number_token, so both integer widths share
+// this scanner.
+template <typename Value, typename ParseValue>
+std::vector<std::pair<std::string, Value>> parse_pair_array(
+    std::string_view rest, std::string_view key, ParseValue parse_value) {
+  const auto fail = [&key](const char* why) {
+    throw std::invalid_argument("serve protocol: field \"" + std::string(key) +
+                                "\": " + why);
+  };
+  std::vector<std::pair<std::string, Value>> out;
+  if (rest.empty() || rest.front() != '[') fail("not an array");
+  rest.remove_prefix(1);
+  for (;;) {
+    while (!rest.empty() && (rest.front() == ',' || rest.front() == ' ')) {
+      rest.remove_prefix(1);
+    }
+    if (rest.empty()) fail("unterminated array");
+    if (rest.front() == ']') break;
+    if (rest.front() != '[') fail("expected [name, value] pair");
+    rest.remove_prefix(1);
+    if (rest.empty() || rest.front() != '"') fail("pair name is not a string");
+    std::string name;
+    std::size_t i = 1;
+    for (; i < rest.size() && rest[i] != '"'; ++i) {
+      if (rest[i] == '\\' && i + 1 < rest.size()) ++i;
+      name += rest[i];
+    }
+    if (i >= rest.size()) fail("unterminated pair name");
+    rest.remove_prefix(i + 1);
+    while (!rest.empty() && (rest.front() == ',' || rest.front() == ' ')) {
+      rest.remove_prefix(1);
+    }
+    const std::string_view token = number_token(rest, key);
+    out.emplace_back(std::move(name), parse_value(rest, key));
+    rest.remove_prefix(token.size());
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (rest.empty() || rest.front() != ']') fail("unterminated pair");
+    rest.remove_prefix(1);
+  }
+  return out;
+}
+
+// Scan a stats `buckets` array: `[[b,n],...]` of unsigned pairs.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> parse_bucket_pairs(
+    std::string_view rest, std::string_view key) {
+  const auto fail = [&key](const char* why) {
+    throw std::invalid_argument("serve protocol: field \"" + std::string(key) +
+                                "\": " + why);
+  };
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  if (rest.empty() || rest.front() != '[') fail("not an array");
+  rest.remove_prefix(1);
+  for (;;) {
+    while (!rest.empty() && (rest.front() == ',' || rest.front() == ' ')) {
+      rest.remove_prefix(1);
+    }
+    if (rest.empty()) fail("unterminated array");
+    if (rest.front() == ']') break;
+    if (rest.front() != '[') fail("expected [bucket, count] pair");
+    rest.remove_prefix(1);
+    const std::string_view b_tok = number_token(rest, key);
+    const std::uint64_t b = parse_u64_token(rest, key);
+    rest.remove_prefix(b_tok.size());
+    if (rest.empty() || rest.front() != ',') fail("malformed pair");
+    rest.remove_prefix(1);
+    const std::string_view n_tok = number_token(rest, key);
+    const std::uint64_t n = parse_u64_token(rest, key);
+    rest.remove_prefix(n_tok.size());
+    if (rest.empty() || rest.front() != ']') fail("unterminated pair");
+    rest.remove_prefix(1);
+    out.emplace_back(b, n);
+  }
+  return out;
+}
+
+std::vector<StatsHist> parse_stats_hists(std::string_view rest) {
+  const auto fail = [](const char* why) {
+    throw std::invalid_argument(std::string("serve protocol: field \"hists\": ") +
+                                why);
+  };
+  std::vector<StatsHist> out;
+  if (rest.empty() || rest.front() != '[') fail("not an array");
+  rest.remove_prefix(1);
+  for (;;) {
+    while (!rest.empty() && (rest.front() == ',' || rest.front() == ' ')) {
+      rest.remove_prefix(1);
+    }
+    if (rest.empty()) fail("unterminated array");
+    if (rest.front() == ']') break;
+    if (rest.front() != '{') fail("expected histogram object");
+    // Histogram objects are flat (the buckets array nests only
+    // brackets), so the first '}' closes the object.
+    const std::size_t close = rest.find('}');
+    if (close == std::string_view::npos) fail("unterminated object");
+    const std::string_view h_text = rest.substr(0, close + 1);
+    StatsHist h;
+    h.name = req_string(h_text, "name");
+    h.count = req_u64(h_text, "count");
+    h.sum = req_double(h_text, "sum");
+    h.p50 = req_double(h_text, "p50");
+    h.p99 = req_double(h_text, "p99");
+    h.p999 = req_double(h_text, "p999");
+    h.buckets = parse_bucket_pairs(require_field(h_text, "buckets"), "buckets");
+    out.push_back(std::move(h));
+    rest.remove_prefix(close + 1);
+  }
+  return out;
+}
+
+}  // namespace
 
 Response parse_response(std::string_view payload) {
   if (payload.empty() || payload.front() != '{' || payload.back() != '}') {
@@ -465,6 +674,22 @@ Response parse_response(std::string_view payload) {
       response.shed = req_u64(payload, "shed");
       response.markets = req_u64(payload, "markets");
       break;
+    case QueryKind::Stats: {
+      response.version = req_string(payload, "version");
+      response.t_us = req_u64(payload, "t_us");
+      response.stats_pid = parse_i64_token(require_field(payload, "pid"), "pid");
+      response.state = req_string(payload, "state");
+      response.active_connections = req_u64(payload, "active_connections");
+      response.inflight = req_u64(payload, "inflight");
+      response.shed = req_u64(payload, "shed");
+      response.markets = req_u64(payload, "markets");
+      response.stats_counters = parse_pair_array<std::uint64_t>(
+          require_field(payload, "counters"), "counters", parse_u64_token);
+      response.stats_gauges = parse_pair_array<std::int64_t>(
+          require_field(payload, "gauges"), "gauges", parse_i64_token);
+      response.stats_hists = parse_stats_hists(require_field(payload, "hists"));
+      break;
+    }
   }
   return response;
 }

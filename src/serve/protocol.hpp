@@ -28,6 +28,15 @@
 //              overloaded) plus live gauges (active connections,
 //              in-flight requests, total shed). Never load-shed, so a
 //              supervisor can always probe a saturated daemon.
+//   stats    — admin (v1.2, additive): everything health reports PLUS
+//              the full obs::Registry snapshot (counters, gauges,
+//              histograms with exact bucket counts) and derived exact
+//              percentiles (p50/p99/p999 at log-bucket resolution) per
+//              histogram. Never load-shed and answered during drain,
+//              like health — this is what manytiers_top polls. The
+//              response carries a "version" tag ("1.2"); pre-v1.2
+//              clients never issue stats, and every pre-existing kind's
+//              wire shape is untouched, so old clients still parse.
 //
 // Every response carries the snapshot epoch it was answered from, so a
 // client (and the snapshot-swap concurrency test) can pin any answer to
@@ -55,6 +64,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace manytiers::serve {
@@ -63,7 +73,10 @@ namespace manytiers::serve {
 // before any allocation. Far above any real request or response.
 inline constexpr std::uint32_t kMaxFrame = 1u << 20;
 
-enum class QueryKind { Price, Schedule, Requote, Reload, Health };
+enum class QueryKind { Price, Schedule, Requote, Reload, Health, Stats };
+
+// The version tag stats responses carry (the protocol's own version).
+inline constexpr std::string_view kProtocolVersion = "1.2";
 
 // The stable error-code tokens (see the protocol note above).
 inline constexpr std::string_view kCodeOverloaded = "overloaded";
@@ -115,6 +128,21 @@ struct TierInfo {
   double demand_mbps = 0.0;
 };
 
+// One histogram of a stats response: the registry snapshot's sparse
+// buckets plus the server-derived exact percentiles (computed with
+// obs::histogram_percentile at log-bucket resolution, so every client
+// sees the same numbers the server's own gates use).
+struct StatsHist {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  // Sparse (bucket index, count) pairs, ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
 struct Response {
   std::uint64_t id = 0;
   bool ok = false;
@@ -137,11 +165,18 @@ struct Response {
   // rebuild; on an updates reload it counts only the dirty markets (0
   // when the batch left every served distance unchanged).
   std::size_t recalibrated = 0;
-  // health:
+  // health (and stats, which is a superset):
   std::string state;  // "ready" | "draining" | "overloaded"
   std::uint64_t active_connections = 0;
   std::uint64_t inflight = 0;
   std::uint64_t shed = 0;  // total shed/refused since startup
+  // stats:
+  std::string version;        // protocol version tag ("1.2")
+  std::uint64_t t_us = 0;     // server wall-clock capture time, µs
+  std::int64_t stats_pid = 0;  // serving process pid (wire field "pid")
+  std::vector<std::pair<std::string, std::uint64_t>> stats_counters;
+  std::vector<std::pair<std::string, std::int64_t>> stats_gauges;
+  std::vector<StatsHist> stats_hists;
 };
 
 std::string serialize_response(const Response& response);

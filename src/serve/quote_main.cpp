@@ -41,6 +41,8 @@ int usage(std::ostream& os, int code) {
         "  requote   --market K --strategy S --flow N [--bundles N]\n"
         "  reload    [--seed N] [--n-flows N] [--updates OPS]\n"
         "  health    (no args — lifecycle state and live gauges)\n"
+        "  stats     (no args — health plus the full metrics registry\n"
+        "            with exact p50/p99/p999 per histogram; never shed)\n"
         "--timeout-ms bounds each send/recv syscall (default 30000; 0 =\n"
         "block forever); --overload-retries retries code=='overloaded'\n"
         "responses with exponential backoff (default 0 = report at once)\n"

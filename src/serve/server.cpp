@@ -106,6 +106,8 @@ KindMetrics kind_metrics(QueryKind kind) {
        &registry.histogram("serve.latency_us.reload")},
       {&registry.counter("serve.requests.health"),
        &registry.histogram("serve.latency_us.health")},
+      {&registry.counter("serve.requests.stats"),
+       &registry.histogram("serve.latency_us.stats")},
   };
   return table[static_cast<std::size_t>(kind)];
 }
@@ -328,27 +330,36 @@ void Server::refuse_connection_draining(int fd) {
   reader.set_limits({/*idle_timeout_ms=*/100, /*frame_timeout_ms=*/100});
   std::uint64_t id = 0;
   bool answer_health = false;
+  bool answer_stats = false;
   try {
     std::string payload;
     if (reader.next(payload) == FrameReader::Status::Frame) {
       const Request request = parse_request(payload);
       id = request.id;
       answer_health = request.kind == QueryKind::Health;
+      answer_stats = request.kind == QueryKind::Stats;
     }
   } catch (const std::exception&) {
     // Torn/absent frame: fall through to the plain refusal.
   }
   try {
-    Request health;
-    health.id = id;
-    health.kind = QueryKind::Health;
-    write_all(fd, encode_frame(
-                      answer_health
-                          ? handle_health(health)
-                          : error_payload(
-                                id, epoch_.load(std::memory_order_relaxed),
-                                kCodeDraining,
-                                "server is draining; reconnect later")));
+    Request probe;
+    probe.id = id;
+    std::string answer;
+    if (answer_stats) {
+      // A live monitor keeps its view through the drain, same as a
+      // supervisor's health probe.
+      probe.kind = QueryKind::Stats;
+      answer = handle_stats(probe);
+    } else if (answer_health) {
+      probe.kind = QueryKind::Health;
+      answer = handle_health(probe);
+    } else {
+      answer = error_payload(id, epoch_.load(std::memory_order_relaxed),
+                             kCodeDraining,
+                             "server is draining; reconnect later");
+    }
+    write_all(fd, encode_frame(answer));
   } catch (const std::exception&) {
   }
   ::close(fd);
@@ -533,6 +544,44 @@ std::string Server::handle_health(const Request& request) {
   return serialize_response(response);
 }
 
+std::string Server::handle_stats(const Request& request) {
+  // Health's answer plus the full registry fold: parse the health
+  // fields the same way, then attach the snapshot. The registry fold is
+  // the only extra cost, and stats shares health's never-shed path, so
+  // a monitor polling at 1 Hz rides entirely outside the admission
+  // machinery.
+  Response response = parse_response(handle_health(request));
+  response.kind = QueryKind::Stats;
+  response.version = std::string(kProtocolVersion);
+  const obs::Snapshot snap = obs::Registry::instance().snapshot();
+  response.t_us = snap.t_us;
+  response.stats_pid = snap.pid;
+  response.stats_counters.reserve(snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    response.stats_counters.emplace_back(name, value);
+  }
+  response.stats_gauges.reserve(snap.gauges.size());
+  for (const auto& [name, value] : snap.gauges) {
+    response.stats_gauges.emplace_back(name, value);
+  }
+  response.stats_hists.reserve(snap.histograms.size());
+  for (const auto& [name, h] : snap.histograms) {
+    StatsHist out;
+    out.name = name;
+    out.count = h.count;
+    out.sum = h.sum;
+    out.p50 = obs::histogram_percentile(h, 0.50);
+    out.p99 = obs::histogram_percentile(h, 0.99);
+    out.p999 = obs::histogram_percentile(h, 0.999);
+    out.buckets.reserve(h.buckets.size());
+    for (const auto& [b, n] : h.buckets) {
+      out.buckets.emplace_back(static_cast<std::uint64_t>(b), n);
+    }
+    response.stats_hists.push_back(std::move(out));
+  }
+  return serialize_response(response);
+}
+
 std::string Server::handle_payload(std::string_view payload,
                                    std::chrono::steady_clock::time_point
                                        arrival,
@@ -553,10 +602,14 @@ std::string Server::handle_payload(std::string_view payload,
     return error_payload(0, epoch_.load(std::memory_order_relaxed), e.what());
   }
   std::string response;
-  if (request.kind == QueryKind::Health) {
-    // Health is never shed and never queue-gated: a saturated or
-    // draining daemon must still answer its supervisor.
-    response = handle_health(request);
+  if (request.kind == QueryKind::Health ||
+      request.kind == QueryKind::Stats) {
+    // Health and stats are never shed and never queue-gated: a
+    // saturated or draining daemon must still answer its supervisor —
+    // and its monitor, which needs the stats view most exactly when the
+    // daemon is overloaded.
+    response = request.kind == QueryKind::Health ? handle_health(request)
+                                                 : handle_stats(request);
   } else if (request.kind == QueryKind::Reload) {
     // Admin path: reload is not load-shed either — an operator fixing
     // an overload (say, reloading onto a cheaper snapshot) must not be
@@ -593,12 +646,17 @@ std::string Server::handle_payload(std::string_view payload,
     // the queue actually drains (and lets it close after).
     tail_.record(us_since(arrival));
   }
+  static obs::Histogram& latency_all =
+      obs::Registry::instance().histogram("serve.latency_us.all");
   const KindMetrics metrics = kind_metrics(request.kind);
+  const double handle_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
   metrics.requests->add();
-  metrics.latency->record(
-      std::chrono::duration<double, std::micro>(
-          std::chrono::steady_clock::now() - start)
-          .count());
+  metrics.latency->record(handle_us);
+  // One combined histogram across kinds: the single latency source a
+  // live monitor derives its p50/p99/p999 from.
+  latency_all.record(handle_us);
   return response;
 }
 
@@ -675,6 +733,7 @@ std::string Server::handle_request(const Request& request, SnapCache& cache) {
       break;
     case QueryKind::Reload:
     case QueryKind::Health:
+    case QueryKind::Stats:
       throw std::logic_error("admin kind dispatched to handle_request");
   }
   return serialize_response(response);

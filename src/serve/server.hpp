@@ -189,6 +189,9 @@ class Server {
   std::string handle_request(const Request& request, SnapCache& cache);
   std::string handle_reload(const Request& request);
   std::string handle_health(const Request& request);
+  // stats = health plus the full registry snapshot with derived
+  // percentiles. Same never-shed discipline as health.
+  std::string handle_stats(const Request& request);
   const std::shared_ptr<const Snapshot>& current_snapshot(SnapCache& cache);
   void reap_finished(bool join_all);
   // Accept-side refusal paths: one typed error frame (or a health

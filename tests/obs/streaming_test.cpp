@@ -1,0 +1,295 @@
+// Streaming-observability suite: delta-tick wire round-trips, the
+// sum-to-total identity (a complete delta stream folds back to the
+// process's final snapshot), multi-process merge ordering, the
+// PeriodicSnapshotter's background thread against live recording (the
+// TSan leg's target here), snapshot provenance stamps, and the
+// deterministic trace sampler across forked workers.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/registry.hpp"
+#include "obs/snapshotter.hpp"
+#include "obs/trace.hpp"
+
+namespace manytiers::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(SeriesPath, DerivesFromMetricsPath) {
+  EXPECT_EQ(series_path_for("part0.metrics.json"),
+            "part0.metrics.series.json");
+  EXPECT_EQ(series_path_for("/tmp/m.json"), "/tmp/m.series.json");
+  EXPECT_EQ(series_path_for("noext"), "noext.series.json");
+}
+
+TEST(TimeSeries, SerializeParseRoundTrip) {
+  std::vector<DeltaTick> ticks(2);
+  ticks[0].pid = 4242;
+  ticks[0].seq = 0;
+  ticks[0].t_us = 1700000000000000ull;
+  ticks[0].counters["serve.requests"] = 17;
+  ticks[0].gauges["serve.inflight"] = -3;
+  HistogramSnapshot h;
+  h.count = 3;
+  h.sum = 128.0;
+  h.buckets = {{5, 2}, {6, 1}};
+  ticks[0].histograms["driver.task_us"] = h;
+  ticks[1].pid = 4242;
+  ticks[1].seq = 1;
+  ticks[1].t_us = 1700000000100000ull;
+  // An empty tick is legal: the stream's heartbeat.
+
+  const std::string text = time_series_to_json(ticks);
+  const std::vector<DeltaTick> parsed = parse_time_series(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].pid, 4242);
+  EXPECT_EQ(parsed[0].seq, 0u);
+  EXPECT_EQ(parsed[0].t_us, 1700000000000000ull);
+  EXPECT_EQ(parsed[0].counters.at("serve.requests"), 17u);
+  EXPECT_EQ(parsed[0].gauges.at("serve.inflight"), -3);
+  const HistogramSnapshot& ph = parsed[0].histograms.at("driver.task_us");
+  EXPECT_EQ(ph.count, 3u);
+  EXPECT_DOUBLE_EQ(ph.sum, 128.0);
+  EXPECT_EQ(ph.buckets, h.buckets);
+  EXPECT_TRUE(parsed[1].counters.empty());
+  EXPECT_EQ(parsed[1].seq, 1u);
+  // Byte-stable re-serialization, same contract as the snapshot format.
+  EXPECT_EQ(time_series_to_json(parsed), text);
+}
+
+TEST(TimeSeries, RecordOutsideItsTickIsRejected) {
+  // A per-metric record with no preceding tick record (or a stamp that
+  // does not match the open tick) is corruption, not data.
+  const std::string orphan =
+      "[\n"
+      "{\"kind\":\"cdelta\",\"name\":\"x\",\"delta\":1,"
+      "\"pid\":1,\"seq\":0,\"t_us\":5}\n"
+      "]\n";
+  EXPECT_THROW(parse_time_series(orphan), std::invalid_argument);
+
+  const std::string mismatched =
+      "[\n"
+      "{\"kind\":\"tick\",\"pid\":1,\"seq\":0,\"t_us\":5},\n"
+      "{\"kind\":\"cdelta\",\"name\":\"x\",\"delta\":1,"
+      "\"pid\":2,\"seq\":0,\"t_us\":5}\n"
+      "]\n";
+  EXPECT_THROW(parse_time_series(mismatched), std::invalid_argument);
+}
+
+TEST(TimeSeries, MergeOrdersStreamsOntoOneTimeline) {
+  const auto tick = [](long pid, std::uint64_t seq, std::uint64_t t_us,
+                       std::uint64_t requests, std::int64_t level) {
+    DeltaTick t;
+    t.pid = pid;
+    t.seq = seq;
+    t.t_us = t_us;
+    t.counters["c"] = requests;
+    t.gauges["g"] = level;
+    return t;
+  };
+  const std::vector<DeltaTick> a = {tick(100, 0, 10, 1, 5),
+                                    tick(100, 1, 30, 2, 7)};
+  const std::vector<DeltaTick> b = {tick(50, 0, 20, 4, 1),
+                                    tick(50, 1, 30, 8, 2)};
+
+  const std::vector<DeltaTick> merged = merge_time_series({a, b});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].t_us, 10u);  // (10, pid 100)
+  EXPECT_EQ(merged[1].t_us, 20u);  // (20, pid 50)
+  EXPECT_EQ(merged[2].pid, 50);    // t_us ties break by pid
+  EXPECT_EQ(merged[2].t_us, 30u);
+  EXPECT_EQ(merged[3].pid, 100);
+  EXPECT_EQ(merged[3].t_us, 30u);
+
+  // Totals across the merged timeline: counters sum over everything,
+  // gauges take each process's LAST level and sum across processes.
+  const Snapshot total = time_series_total(merged);
+  EXPECT_EQ(total.counters.at("c"), 15u);
+  EXPECT_EQ(total.gauges.at("g"), 7 + 2);
+  EXPECT_EQ(total.pid, 0);  // mixed streams: no single owner
+  EXPECT_EQ(total.t_us, 30u);
+}
+
+TEST(TimeSeries, CompleteStreamSumsToFinalSnapshot) {
+  Registry& registry = Registry::instance();
+  registry.reset();
+  ScopedEnable on;
+  Counter& counter = registry.counter("streamtest.count");
+  Gauge& gauge = registry.gauge("streamtest.level");
+  Histogram& hist = registry.histogram("streamtest.us");
+
+  counter.add(7);
+  gauge.set(3);
+  hist.record(8.0);  // integer-valued recordings: exact double sums
+
+  const std::string path =
+      "/tmp/mt_obs_stream_" + std::to_string(::getpid()) + ".series.json";
+  PeriodicSnapshotter snapshotter({path, /*interval_ms=*/60000.0});
+  snapshotter.start();  // baseline tick carries the state above
+
+  counter.add(5);
+  gauge.set(-2);
+  hist.record(1024.0);
+  snapshotter.stop();  // final tick carries the mutations
+
+  const std::vector<DeltaTick> series = snapshotter.series();
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_EQ(series.front().seq, 0u);
+
+  const Snapshot total = time_series_total(series);
+  const Snapshot final_snap = registry.snapshot();
+  EXPECT_EQ(total.counters, final_snap.counters);
+  EXPECT_EQ(total.gauges, final_snap.gauges);
+  ASSERT_EQ(total.histograms.size(), final_snap.histograms.size());
+  for (const auto& [name, h] : final_snap.histograms) {
+    const auto it = total.histograms.find(name);
+    ASSERT_NE(it, total.histograms.end()) << name;
+    EXPECT_EQ(it->second.count, h.count) << name;
+    EXPECT_DOUBLE_EQ(it->second.sum, h.sum) << name;
+    EXPECT_EQ(it->second.buckets, h.buckets) << name;
+  }
+  EXPECT_EQ(total.pid, final_snap.pid);  // single stream keeps its owner
+
+  // The sidecar on disk round-trips to the same stream.
+  const std::vector<DeltaTick> reread = parse_time_series(slurp(path));
+  EXPECT_EQ(time_series_to_json(reread), time_series_to_json(series));
+  std::remove(path.c_str());
+}
+
+// The TSan target: background ticking while worker threads hammer the
+// registry. Also pins the stream invariants — monotone seq, ordered
+// t_us, the owning pid on every tick.
+TEST(Snapshotter, BackgroundTicksUnderConcurrentRecording) {
+  Registry& registry = Registry::instance();
+  registry.reset();
+  ScopedEnable on;
+  Counter& counter = registry.counter("snapshotter.bg_count");
+  Histogram& hist = registry.histogram("snapshotter.bg_us");
+
+  const std::string path =
+      "/tmp/mt_obs_bg_" + std::to_string(::getpid()) + ".series.json";
+  PeriodicSnapshotter snapshotter({path, /*interval_ms=*/5.0});
+  snapshotter.start();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&counter, &hist] {
+      for (int i = 0; i < 20000; ++i) {
+        counter.add();
+        hist.record(double(1 << (i % 10)));
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  snapshotter.stop();
+
+  const std::vector<DeltaTick> series = snapshotter.series();
+  ASSERT_GE(series.size(), 2u);  // baseline + final at minimum
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].seq, i);
+    EXPECT_EQ(series[i].pid, static_cast<long>(::getpid()));
+    if (i > 0) EXPECT_GE(series[i].t_us, series[i - 1].t_us);
+  }
+  const Snapshot total = time_series_total(series);
+  EXPECT_EQ(total.counters.at("snapshotter.bg_count"), 4u * 20000u);
+  EXPECT_EQ(total.histograms.at("snapshotter.bg_us").count, 4u * 20000u);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RegistryStampsSurviveRoundTrip) {
+  ScopedEnable on;
+  Registry::instance().counter("stamptest.count").add();
+  const Snapshot snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap.pid, static_cast<long>(::getpid()));
+  EXPECT_GT(snap.t_us, 0u);
+
+  const Snapshot reparsed = parse_snapshot(snapshot_to_json(snap));
+  EXPECT_EQ(reparsed.pid, snap.pid);
+  EXPECT_EQ(reparsed.t_us, snap.t_us);
+
+  // Unstamped (hand-built) snapshots serialize with no meta record at
+  // all, keeping pre-stamp sidecars byte-identical.
+  Snapshot bare;
+  bare.counters["x"] = 1;
+  EXPECT_EQ(snapshot_to_json(bare).find("\"kind\":\"meta\""),
+            std::string::npos);
+}
+
+// Two forked workers must keep the SAME 1-in-N task subset: the sampler
+// hashes the caller-supplied key, never process-local state. This is
+// what lets a sharded --trace-sample run stitch into the task set an
+// unsharded run keeps.
+TEST(TraceSampling, DeterministicAcrossForkedWorkers) {
+  constexpr std::size_t kKeys = 64;
+  constexpr std::uint64_t kEvery = 5;
+  unsigned char masks[2][kKeys * 2];
+  pid_t pids[2] = {-1, -1};
+  for (int c = 0; c < 2; ++c) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    pids[c] = ::fork();
+    ASSERT_GE(pids[c], 0);
+    if (pids[c] == 0) {
+      ::close(fds[0]);
+      Tracer& tracer = Tracer::instance();
+      if (!tracer.active()) {
+        tracer.start("/tmp/mt_obs_fork_" + std::to_string(::getpid()) +
+                     ".trace.json");
+      }
+      unsigned char mask[kKeys * 2];
+      tracer.set_sample_every(kEvery);
+      for (std::size_t k = 0; k < kKeys; ++k) {
+        mask[k] = tracer.sample_keep(k) ? 1 : 0;
+      }
+      tracer.set_sample_every(1);  // 1 (like 0) keeps everything
+      for (std::size_t k = 0; k < kKeys; ++k) {
+        mask[kKeys + k] = tracer.sample_keep(k) ? 1 : 0;
+      }
+      ssize_t written = ::write(fds[1], mask, sizeof mask);
+      ::_exit(written == static_cast<ssize_t>(sizeof mask) ? 0 : 1);
+    }
+    ::close(fds[1]);
+    std::size_t got = 0;
+    while (got < sizeof masks[c]) {
+      const ssize_t n =
+          ::read(fds[0], masks[c] + got, sizeof masks[c] - got);
+      ASSERT_GT(n, 0);
+      got += static_cast<std::size_t>(n);
+    }
+    ::close(fds[0]);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pids[c], &status, 0), pids[c]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    std::remove(("/tmp/mt_obs_fork_" + std::to_string(pids[c]) +
+                 ".trace.json")
+                    .c_str());
+  }
+
+  std::size_t kept = 0;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(masks[0][k], masks[1][k]) << "key " << k;
+    kept += masks[0][k];
+    EXPECT_EQ(masks[0][kKeys + k], 1) << "key " << k;
+    EXPECT_EQ(masks[1][kKeys + k], 1) << "key " << k;
+  }
+  // 1-in-5 over 64 keys: the hash must thin the set without erasing it.
+  EXPECT_GT(kept, 0u);
+  EXPECT_LT(kept, kKeys);
+}
+
+}  // namespace
+}  // namespace manytiers::obs

@@ -1,0 +1,221 @@
+// The v1.2 `stats` wire query: full-registry snapshots with derived
+// percentiles over the never-shed admin path. Pins the wire round-trip
+// (both directions, byte-stable), the live-server response contents,
+// and the two moments the query exists for — answering during a drain
+// and answering while the admission machinery is shedding work.
+#include "serve/server.hpp"
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/registry.hpp"
+#include "serve/client.hpp"
+#include "serve_test_util.hpp"
+
+namespace manytiers::serve {
+namespace {
+
+using testing::temp_socket_path;
+using testing::tiny_grid;
+
+Request price_request(std::uint64_t id) {
+  Request request;
+  request.id = id;
+  request.kind = QueryKind::Price;
+  request.market = "EU ISP/ced/linear";
+  request.strategy = "Profit-weighted";
+  request.q = 50.0;
+  request.d = 100.0;
+  return request;
+}
+
+Request stats_request(std::uint64_t id = 7) {
+  Request request;
+  request.id = id;
+  request.kind = QueryKind::Stats;
+  return request;
+}
+
+std::unique_ptr<Server> make_server(const std::string& socket_path,
+                                    ServerOptions options) {
+  options.unix_path = socket_path;
+  auto server = std::make_unique<Server>(tiny_grid(), std::move(options));
+  server->start();
+  return server;
+}
+
+TEST(StatsWire, RequestRoundTrip) {
+  EXPECT_EQ(to_string(QueryKind::Stats), "stats");
+  EXPECT_EQ(parse_query_kind("stats"), QueryKind::Stats);
+  const Request parsed = parse_request(serialize_request(stats_request(31)));
+  EXPECT_EQ(parsed.kind, QueryKind::Stats);
+  EXPECT_EQ(parsed.id, 31u);
+}
+
+TEST(StatsWire, ResponseRoundTripPreservesEveryField) {
+  Response response;
+  response.id = 9;
+  response.ok = true;
+  response.kind = QueryKind::Stats;
+  response.epoch = 4;
+  response.version = "1.2";
+  response.t_us = 1700000000000000ull;
+  response.stats_pid = 4242;
+  response.state = "ready";
+  response.active_connections = 3;
+  response.inflight = 1;
+  response.shed = 2;
+  response.markets = 1;
+  response.stats_counters = {{"serve.requests", 17},
+                             {"serve.requests.price", 12}};
+  response.stats_gauges = {{"serve.inflight", -1}};
+  StatsHist hist;
+  hist.name = "serve.latency_us.all";
+  hist.count = 3;
+  hist.sum = 96.0;
+  hist.p50 = 16.0;
+  hist.p99 = 64.0;
+  hist.p999 = 64.0;
+  hist.buckets = {{4, 2}, {6, 1}};
+  response.stats_hists = {hist};
+
+  const std::string payload = serialize_response(response);
+  const Response parsed = parse_response(payload);
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.kind, QueryKind::Stats);
+  EXPECT_EQ(parsed.id, 9u);
+  EXPECT_EQ(parsed.epoch, 4u);
+  EXPECT_EQ(parsed.version, "1.2");
+  EXPECT_EQ(parsed.t_us, 1700000000000000ull);
+  EXPECT_EQ(parsed.stats_pid, 4242);
+  EXPECT_EQ(parsed.state, "ready");
+  EXPECT_EQ(parsed.active_connections, 3u);
+  EXPECT_EQ(parsed.inflight, 1u);
+  EXPECT_EQ(parsed.shed, 2u);
+  EXPECT_EQ(parsed.markets, 1u);
+  EXPECT_EQ(parsed.stats_counters, response.stats_counters);
+  EXPECT_EQ(parsed.stats_gauges, response.stats_gauges);
+  ASSERT_EQ(parsed.stats_hists.size(), 1u);
+  EXPECT_EQ(parsed.stats_hists[0].name, hist.name);
+  EXPECT_EQ(parsed.stats_hists[0].count, hist.count);
+  EXPECT_DOUBLE_EQ(parsed.stats_hists[0].sum, hist.sum);
+  EXPECT_DOUBLE_EQ(parsed.stats_hists[0].p50, hist.p50);
+  EXPECT_DOUBLE_EQ(parsed.stats_hists[0].p99, hist.p99);
+  EXPECT_DOUBLE_EQ(parsed.stats_hists[0].p999, hist.p999);
+  EXPECT_EQ(parsed.stats_hists[0].buckets, hist.buckets);
+  // Byte-stable: re-serializing the parse reproduces the payload.
+  EXPECT_EQ(serialize_response(parsed), payload);
+}
+
+TEST(Stats, ReturnsRegistrySnapshotWithDerivedPercentiles) {
+  obs::ScopedEnable metrics_on;
+  const std::string path = temp_socket_path("stats");
+  auto server = make_server(path, ServerOptions{});
+  Client client = Client::connect_unix(path);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(client.call(price_request(i)).ok);
+  }
+
+  const Response stats = client.call(stats_request());
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.kind, QueryKind::Stats);
+  EXPECT_EQ(stats.version, kProtocolVersion);
+  EXPECT_EQ(stats.state, "ready");  // the health superset still reads
+  EXPECT_EQ(stats.markets, 1u);
+  EXPECT_GT(stats.t_us, 0u);
+  EXPECT_EQ(stats.stats_pid, static_cast<std::int64_t>(::getpid()));
+
+  const auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& [n, v] : stats.stats_counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+  EXPECT_GE(counter("serve.requests"), 5u);
+  EXPECT_GE(counter("serve.requests.price"), 5u);
+
+  const StatsHist* all = nullptr;
+  for (const auto& h : stats.stats_hists) {
+    if (h.name == "serve.latency_us.all") all = &h;
+  }
+  ASSERT_NE(all, nullptr) << "combined latency histogram must be served";
+  EXPECT_GE(all->count, 5u);
+  EXPECT_LE(all->p50, all->p99);
+  EXPECT_LE(all->p99, all->p999);
+  // The served percentiles are exactly the ones any client derives from
+  // the served buckets — no privileged server-side math.
+  obs::HistogramSnapshot from_wire;
+  from_wire.count = all->count;
+  from_wire.sum = all->sum;
+  for (const auto& [b, n] : all->buckets) {
+    from_wire.buckets.emplace_back(static_cast<std::size_t>(b), n);
+  }
+  EXPECT_DOUBLE_EQ(all->p50, obs::histogram_percentile(from_wire, 0.50));
+  EXPECT_DOUBLE_EQ(all->p99, obs::histogram_percentile(from_wire, 0.99));
+  EXPECT_DOUBLE_EQ(all->p999, obs::histogram_percentile(from_wire, 0.999));
+  server->stop();
+}
+
+TEST(Stats, AnswersOnFreshConnectionDuringDrain) {
+  obs::ScopedEnable metrics_on;
+  const std::string path = temp_socket_path("stats_drain");
+  auto server = make_server(path, ServerOptions{});
+  server->drain();  // no live connections: returns immediately
+
+  // Work requests are refused with code "draining"...
+  {
+    Client late = Client::connect_unix(path);
+    late.set_timeout_ms(5000);
+    const Response refusal = late.call(price_request(1));
+    EXPECT_FALSE(refusal.ok);
+    EXPECT_EQ(refusal.code, kCodeDraining);
+  }
+  // ...but stats, like health, still answers and reports the state.
+  {
+    Client probe = Client::connect_unix(path);
+    probe.set_timeout_ms(5000);
+    const Response stats = probe.call(stats_request());
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_EQ(stats.kind, QueryKind::Stats);
+    EXPECT_EQ(stats.state, "draining");
+    EXPECT_FALSE(stats.stats_counters.empty());
+  }
+  server->stop();
+}
+
+TEST(Stats, NeverShedWhileOverloaded) {
+  obs::ScopedEnable metrics_on;
+  const std::string path = temp_socket_path("stats_ovl");
+  ServerOptions options;
+  options.shed_p99_us = 0.001;  // below any real latency: sheds once primed
+  auto server = make_server(path, options);
+
+  Client client = Client::connect_unix(path);
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    if (!client.call(price_request(i + 1)).ok) ++shed;
+  }
+  ASSERT_GE(shed, 1u) << "p99 threshold of 1ns must trip within 400 calls";
+
+  // Every stats poll during the storm must answer, and the registry it
+  // carries must show the shedding it survived.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const Response stats = client.call(stats_request(1000 + i));
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_EQ(stats.state, "overloaded");
+  }
+  const Response stats = client.call(stats_request());
+  ASSERT_TRUE(stats.ok);
+  std::uint64_t overloaded = 0;
+  for (const auto& [n, v] : stats.stats_counters) {
+    if (n == "serve.shed.overloaded") overloaded = v;
+  }
+  EXPECT_GE(overloaded, 1u);
+  server->stop();
+}
+
+}  // namespace
+}  // namespace manytiers::serve

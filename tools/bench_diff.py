@@ -117,6 +117,11 @@ def parse_bench_log(path):
             if not line.startswith("BENCH_JSON "):
                 continue
             record = json.loads(line[len("BENCH_JSON "):])
+            if record.get("wall_ms") is None:
+                # Time-series sidecar records (stats polls and the like)
+                # carry no timing sample; they ride along for humans and
+                # never enter the gates.
+                continue
             key = (record["bench"], record.get("threads", 1))
             entry = log["records"].get(key)
             if entry is None:

@@ -2,8 +2,9 @@
 # Tier-1 gate plus sanitizer pass for the process-supervision paths.
 #
 #   tools/check.sh            # full build + full ctest + bench gates +
-#                             # serve smoke, then ASan+UBSan build +
-#                             # `ctest -L "orchestrator|serve|netdyn|topology"`,
+#                             # serve smoke (incl. live stats polls), then
+#                             # ASan+UBSan build +
+#                             # `ctest -L "obs|orchestrator|serve|netdyn|topology"`,
 #                             # then TSan build +
 #                             # `ctest -L "obs|parallel|serve|netdyn"`
 #   tools/check.sh --fast     # skip both sanitizer legs
@@ -82,7 +83,8 @@ serve_dir="$repo/build/serve_smoke"
 rm -rf "$serve_dir" && mkdir -p "$serve_dir"
 serve_sock="$serve_dir/mt.sock"
 "$repo/build/src/manytiers_serve" --grid smoke --socket "$serve_sock" \
-  --metrics "$serve_dir/metrics.json" > "$serve_dir/serve.log" &
+  --metrics "$serve_dir/metrics.json" --metrics-interval-ms 200 \
+  > "$serve_dir/serve.log" &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
 quote() {
@@ -97,12 +99,39 @@ quote price --market "EU ISP/ced/linear" --strategy Optimal --q 120 --d 800
 quote schedule --market "CDN/logit/linear" --strategy Profit-weighted
 quote requote --market "Internet2/ced/linear" --strategy Optimal --flow 3
 quote reload --seed 43
+# Two stats polls with a priced query between them: counters must be
+# monotone across polls and the request count must actually move — the
+# live half of the streaming-observability contract.
+"$repo/build/src/manytiers_quote" --socket "$serve_sock" --retry-ms 10000 \
+  stats > "$serve_dir/stats1.json"
+quote price --market "EU ISP/ced/linear" --strategy Optimal --q 60 --d 400
+"$repo/build/src/manytiers_quote" --socket "$serve_sock" --retry-ms 10000 \
+  stats > "$serve_dir/stats2.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$serve_dir/stats1.json" "$serve_dir/stats2.json" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a["ok"] and b["ok"], "stats polls must answer ok"
+assert a["version"] == b["version"] == "1.2", (a["version"], b["version"])
+assert b["t_us"] >= a["t_us"], "stats capture time went backwards"
+ca, cb = dict(a["counters"]), dict(b["counters"])
+for name, value in ca.items():
+    assert cb.get(name, 0) >= value, f"counter {name} went backwards"
+assert cb["serve.requests"] > ca["serve.requests"], \
+    "serve.requests did not advance across polls"
+EOF
+else
+  grep -q '"kind":"stats"' "$serve_dir/stats2.json"
+fi
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 trap - EXIT
 grep -q '"serve.requests.price"' "$serve_dir/metrics.json"
+grep -q '"kind":"tick"' "$serve_dir/metrics.series.json"
 grep -q '"event":"drained"' "$serve_dir/serve.log"
-echo "check.sh: serve smoke ok (health ready, drained on SIGTERM, metrics)"
+echo "check.sh: serve smoke ok (health ready, stats monotone, series" \
+  "stream, drained on SIGTERM, metrics)"
 
 echo "== serve: overload regime p99-of-accepted gate =="
 if command -v python3 >/dev/null 2>&1; then
@@ -131,14 +160,17 @@ cmake -S "$repo" -B "$repo/build-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMANYTIERS_SANITIZE=ON
 cmake --build "$repo/build-asan" -j "$jobs"
 
-echo "== sanitizers: ctest -L \"orchestrator|serve|netdyn|topology\" =="
+echo "== sanitizers: ctest -L \"obs|orchestrator|serve|netdyn|topology\" =="
 # netdyn joins the leg because incremental-repair bookkeeping (cone
 # resets, tombstone rows, matrix growth) is exactly where an
 # out-of-bounds row index would hide behind a passing value check;
-# topology rides along as its dependency surface.
+# topology rides along as its dependency surface. obs joins for the
+# streaming layer: the hand-rolled series parser and the snapshotter's
+# temp+rename writer are byte-level code ASan should see.
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="detect_leaks=0" \
-  ctest --test-dir "$repo/build-asan" -L "orchestrator|serve|netdyn|topology" \
+  ctest --test-dir "$repo/build-asan" \
+    -L "obs|orchestrator|serve|netdyn|topology" \
     --output-on-failure -j "$jobs"
 
 echo "== sanitizers: TSan build =="
